@@ -1,0 +1,121 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   (1) the RBL delta-correction horizon (0 == classic 1/R split),
+//   (2) the discharging directive parameter sweep (CCB <-> RBL blend),
+//   (3) fuel-gauge quantisation/noise sensitivity,
+//   (4) ChargeOneFromAnother efficiency vs transfer power.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/emu/workload.h"
+
+namespace {
+
+using namespace sdb;
+
+struct WatchRun {
+  double life_h = 0.0;
+  double losses_j = 0.0;
+};
+
+// A demanding watch day: heavy tracking load that sweeps both cells through
+// their steep low-SoC resistance region, where the policy split matters.
+WatchRun RunWatch(double directive, double delta_horizon_s, FuelGaugeConfig gauge,
+                  uint64_t seed) {
+  std::vector<Cell> cells = bench::MakeWatchScenarioCells(1.0);
+  BatteryPack pack;
+  for (auto& c : cells) {
+    pack.AddCell(std::move(c));
+  }
+  SdbMicrocontroller micro(std::move(pack), DischargeCircuitConfig{}, ChargeCircuitConfig{},
+                           gauge, seed);
+  RuntimeConfig config;
+  config.rbl.delta_horizon_s = delta_horizon_s;
+  SdbRuntime runtime(&micro, config);
+  runtime.SetDischargingDirective(directive);
+  SimConfig sim_config;
+  sim_config.tick = Seconds(5.0);
+  sim_config.runtime_period = Minutes(2.0);
+  Simulator sim(&runtime, sim_config);
+  SimResult r = sim.Run(PowerTrace::Constant(Watts(0.30), Hours(24.0)));
+  WatchRun out;
+  out.life_h = r.first_shortfall.has_value() ? ToHours(*r.first_shortfall) : ToHours(r.elapsed);
+  out.losses_j = r.TotalLoss().value();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Ablation 1: RBL delta-correction horizon (0.3 W tracking load)");
+  {
+    TextTable table({"horizon (s)", "battery life (h)", "total losses (J)"});
+    for (double h : {0.0, 60.0, 600.0, 3600.0}) {
+      WatchRun r = RunWatch(1.0, h, FuelGaugeConfig{}, 91);
+      table.AddRow({TextTable::Num(h, 0), TextTable::Num(r.life_h, 3),
+                    TextTable::Num(r.losses_j, 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote(
+        "horizon 0 is the classic instantaneous 1/R split; the delta term shifts "
+        "load off the battery whose DCIR will grow as it drains.");
+  }
+
+  PrintBanner(std::cout, "Ablation 2: discharging directive sweep (RBL weight)");
+  {
+    TextTable table({"directive", "battery life (h)", "total losses (J)"});
+    for (double d : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      WatchRun r = RunWatch(d, 600.0, FuelGaugeConfig{}, 92);
+      table.AddRow({TextTable::Num(d, 2), TextTable::Num(r.life_h, 3),
+                    TextTable::Num(r.losses_j, 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote(
+        "on this sustained load the even CCB split wins end-to-end: RBL's "
+        "instantaneously-optimal split drains the efficient battery into its "
+        "steep low-SoC resistance region early, while spreading the load keeps "
+        "both cells in the flat part of the DCIR curve — exactly the "
+        "instantaneous-vs-global gap the paper's §3.3 warns about (and what the "
+        "delta horizon in ablation 1 partially recovers).");
+  }
+
+  PrintBanner(std::cout, "Ablation 3: fuel-gauge error sensitivity");
+  {
+    TextTable table({"noise (mA, 1 sigma)", "drift (%/h)", "battery life (h)", "losses (J)"});
+    struct GaugeSpec {
+      double noise_a;
+      double drift;
+    } specs[] = {{0.0, 0.0}, {0.0005, 0.0}, {0.005, 0.0}, {0.0005, 0.01}, {0.005, 0.05}};
+    for (const auto& s : specs) {
+      FuelGaugeConfig gauge;
+      gauge.current_noise_a = s.noise_a;
+      gauge.soc_drift_per_hour = s.drift;
+      WatchRun r = RunWatch(1.0, 600.0, gauge, 93);
+      table.AddRow({TextTable::Num(1000.0 * s.noise_a, 1), TextTable::Num(100.0 * s.drift, 1),
+                    TextTable::Num(r.life_h, 3), TextTable::Num(r.losses_j, 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("the policies tolerate realistic gauge error; only gross drift moves the result.");
+  }
+
+  PrintBanner(std::cout, "Ablation 4: battery-to-battery transfer efficiency");
+  {
+    TextTable table({"transfer power (W)", "end-to-end efficiency (%)"});
+    for (double w : {1.0, 2.0, 5.0, 10.0, 15.0}) {
+      bench::Rig rig(bench::MakeTwoInOneCells(1.0), 94);
+      rig.micro().mutable_pack().cell(1).set_soc(0.2);
+      double moved = 0.0, drawn = 0.0;
+      (void)rig.micro().ChargeOneFromAnother(0, 1, Watts(w), Minutes(20.0));
+      for (int k = 0; k < 1200 && rig.micro().transfer_active(); ++k) {
+        MicroTick tick = rig.micro().Step(Watts(0.0), Watts(0.0), Seconds(1.0));
+        moved += tick.transfer.moved.value();
+        drawn += tick.transfer.drawn.value();
+      }
+      table.AddRow({TextTable::Num(w, 1), TextTable::Num(100.0 * moved / drawn, 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote(
+        "two regulator stages plus cell losses: why §5.3's charge-through design "
+        "wastes energy relative to simultaneous draw.");
+  }
+  return 0;
+}

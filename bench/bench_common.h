@@ -1,0 +1,73 @@
+// Shared rig builders and formatting helpers for the per-figure benchmark
+// harnesses. Every bench prints the paper-style rows with TextTable and a
+// short "paper vs measured" note; EXPERIMENTS.md records the outcomes.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/hw/microcontroller.h"
+#include "src/util/table.h"
+
+namespace sdb {
+namespace bench {
+
+// A self-owning runtime rig: microcontroller + runtime with stable addresses.
+class Rig {
+ public:
+  explicit Rig(std::vector<Cell> cells, uint64_t seed = 1234)
+      : micro_(MakeDefaultMicrocontroller(std::move(cells), seed)), runtime_(&micro_) {}
+
+  SdbMicrocontroller& micro() { return micro_; }
+  SdbRuntime& runtime() { return runtime_; }
+
+ private:
+  SdbMicrocontroller micro_;
+  SdbRuntime runtime_;
+};
+
+// The fast-charge + high-energy tablet pack of §5.1 (8000 mAh total split
+// by `fast_fraction` of capacity to the fast-charging battery).
+inline std::vector<Cell> MakeFastChargeScenarioCells(double fast_fraction,
+                                                     double initial_soc = 0.0) {
+  std::vector<Cell> cells;
+  double total_mah = 8000.0;
+  double fast_mah = total_mah * fast_fraction;
+  double he_mah = total_mah - fast_mah;
+  if (fast_mah > 0.0) {
+    cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(fast_mah)), initial_soc);
+  }
+  if (he_mah > 0.0) {
+    cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(he_mah)), initial_soc);
+  }
+  return cells;
+}
+
+// The smart-watch pack of §5.2: 200 mAh rigid Li-ion + 200 mAh bendable.
+inline std::vector<Cell> MakeWatchScenarioCells(double initial_soc = 1.0) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), initial_soc);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), initial_soc);
+  return cells;
+}
+
+// The 2-in-1 pack of §5.3: two equal traditional Li-ion batteries.
+inline std::vector<Cell> MakeTwoInOneCells(double initial_soc = 1.0) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeTwoInOneInternal(MilliAmpHours(4000.0)), initial_soc);
+  cells.emplace_back(MakeTwoInOneExternal(MilliAmpHours(4000.0)), initial_soc);
+  return cells;
+}
+
+inline void PrintNote(const std::string& note) { std::cout << "  note: " << note << "\n"; }
+
+}  // namespace bench
+}  // namespace sdb
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,122 @@
+// Figure 12: performance priority levels. A 2-in-1 pairs its traditional
+// high-energy battery with a high power-density battery; the OS chooses
+// between three levels:
+//   Low    — high power-density battery disabled, CPU at the long-term limit,
+//   Medium — both batteries, peak = burst limit,
+//   High   — maximum possible power from both batteries (protection limit).
+// For a network-bottlenecked and a CPU/GPU-bottlenecked task mix, latency
+// and device energy (including battery losses) are reported relative to Low.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/os/cpu_model.h"
+#include "src/os/task.h"
+
+namespace {
+
+using namespace sdb;
+
+struct LevelResult {
+  double latency_s = 0.0;
+  double energy_j = 0.0;  // Chemical energy drawn from the batteries.
+};
+
+// Runs every task in the mix at the given perf level against a fresh
+// two-battery rig, replaying the CPU power profile through the SDB stack so
+// battery losses are included.
+LevelResult RunMix(const std::vector<Task>& tasks, PerfLevel level, uint64_t seed) {
+  CpuModel cpu;
+  LevelResult result;
+  for (const Task& task : tasks) {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 1.0);
+    cells.emplace_back(MakeType3FastCharge(MilliAmpHours(4000.0)), 1.0);  // High power density.
+    bench::Rig rig(std::move(cells), seed);
+    rig.runtime().SetDischargingDirective(1.0);
+    if (level == PerfLevel::kLow) {
+      // High power-density battery disabled.
+      (void)rig.micro().SetDischargeRatios({1.0, 0.0});
+    }
+
+    // Battery peak capability at this level.
+    double he_peak = rig.micro().pack().cell(0).MaxDischargePower().value();
+    double hp_peak = rig.micro().pack().cell(1).MaxDischargePower().value();
+    double battery_peak = level == PerfLevel::kLow ? he_peak
+                          : level == PerfLevel::kMedium ? 2.0 * he_peak
+                                                        : he_peak + hp_peak;
+    // The battery system also sets the *sustained* ceiling: past the burst
+    // budget the package falls back to what the batteries can keep feeding.
+    TaskRun run = cpu.Execute(task, cpu.PowerCapFor(level, Watts(battery_peak)),
+                              Watts(battery_peak));
+    result.latency_s += run.latency.value();
+
+    // Replay the profile against the batteries to capture resistive losses.
+    double e0 = rig.micro().pack().TotalRemainingEnergy().value();
+    double t = 0.0;
+    double horizon = run.power_profile.TotalDuration().value();
+    bool replanned = false;
+    while (t < horizon) {
+      if (level != PerfLevel::kLow && !replanned) {
+        rig.runtime().Update(run.power_profile.Sample(Seconds(t)), Watts(0.0));
+        replanned = true;
+      }
+      rig.micro().Step(run.power_profile.Sample(Seconds(t)), Watts(0.0), Seconds(1.0));
+      t += 1.0;
+    }
+    result.energy_j += e0 - rig.micro().pack().TotalRemainingEnergy().value();
+  }
+  return result;
+}
+
+void PrintComparison(const char* mix_name, const std::vector<Task>& tasks) {
+  LevelResult low = RunMix(tasks, PerfLevel::kLow, 61);
+  LevelResult medium = RunMix(tasks, PerfLevel::kMedium, 62);
+  LevelResult high = RunMix(tasks, PerfLevel::kHigh, 63);
+
+  TextTable table({"level", "latency (s)", "latency (rel)", "energy (J)", "energy (rel)"});
+  auto row = [&](const char* name, const LevelResult& r) {
+    table.AddRow({name, TextTable::Num(r.latency_s, 1),
+                  TextTable::Num(r.latency_s / low.latency_s, 2), TextTable::Num(r.energy_j, 0),
+                  TextTable::Num(r.energy_j / low.energy_j, 2)});
+  };
+  row("Low", low);
+  row("Medium", medium);
+  row("High", high);
+  std::cout << mix_name << "\n";
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Figure 12: latency & energy per performance priority level");
+  PrintComparison("Network-bottlenecked task mix:", MakeNetworkBoundTasks());
+  PrintComparison("CPU/GPU-bottlenecked task mix:", MakeComputeBoundTasks());
+
+  // Why the high power-density battery matters at all: without it, the CPU
+  // may *enter* the protection level but cannot stay there past the burst
+  // budget — the sustained cap collapses to what one battery feeds.
+  {
+    CpuModel cpu;
+    // A long job (a full software rebuild) that runs far past the 3-minute
+    // burst window — the case where sustained turbo actually matters.
+    Task rebuild{"full-rebuild", 2000.0, 0.0};
+    Power cap = cpu.config().protection_limit;
+    double throttled =
+        cpu.Execute(rebuild, cap, cpu.config().long_term_limit).latency.value();
+    double sustained = cpu.Execute(rebuild, cap, cap).latency.value();
+    std::cout << "Burst-budget effect on a long compute job at the High level:\n"
+              << "  traditional battery (falls back to long-term after 3 min): "
+              << TextTable::Num(throttled, 1) << " s\n"
+              << "  with high power-density battery (sustained turbo):        "
+              << TextTable::Num(sustained, 1) << " s ("
+              << TextTable::Num(100.0 * (1.0 - sustained / throttled), 1)
+              << "% faster)\n\n";
+  }
+  bench::PrintNote(
+      "paper shape: network-bound work gains no latency but spends up to ~20.6% "
+      "more energy at higher levels; compute-bound work gains ~26% on benchmark "
+      "scores (lower latency) at the high level.");
+  return 0;
+}

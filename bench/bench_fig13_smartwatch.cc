@@ -1,0 +1,96 @@
+// Figure 13: the smart-watch day (§5.2). A 200 mAh rigid Li-ion battery is
+// augmented with a 200 mAh bendable battery; the user checks messages all
+// day and goes for a run at hour 9. Two discharge policies are compared:
+//   Policy 1 — minimise instantaneous losses (pure RBL-Discharge),
+//   Policy 2 — preserve the efficient Li-ion battery for the expected run
+//              (RBL-Discharge + workload hint).
+// The bench prints hour-by-hour load energy and losses, plus depletion
+// times — the annotations the paper's figure carries.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/emu/workload.h"
+
+namespace {
+
+using namespace sdb;
+
+struct PolicyOutcome {
+  SimResult result;
+  std::vector<std::string> depletion_notes;
+};
+
+PolicyOutcome RunPolicy(bool preserve_liion, uint64_t seed) {
+  bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+  rig.runtime().SetDischargingDirective(1.0);
+  if (preserve_liion) {
+    rig.runtime().SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+  }
+  SmartwatchDayConfig day;
+  SimConfig config;
+  config.tick = Seconds(5.0);
+  config.runtime_period = Minutes(5.0);
+  config.stop_on_shortfall = false;  // Keep accounting for the whole day.
+  Simulator sim(&rig.runtime(), config);
+  PolicyOutcome outcome;
+  outcome.result = sim.Run(MakeSmartwatchDayTrace(day));
+  const char* names[] = {"Li-ion", "bendable"};
+  for (size_t i = 0; i < outcome.result.depletion_time.size(); ++i) {
+    if (outcome.result.depletion_time[i].has_value()) {
+      outcome.depletion_notes.push_back(
+          std::string(names[i]) + " discharged completely at hour " +
+          TextTable::Num(ToHours(*outcome.result.depletion_time[i]), 1));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Figure 13: smart-watch day, per-hour energy and policy losses");
+
+  PolicyOutcome p1 = RunPolicy(/*preserve_liion=*/false, 71);
+  PolicyOutcome p2 = RunPolicy(/*preserve_liion=*/true, 71);
+
+  TextTable table({"hour", "load energy (J)", "P1 losses (J)", "P2 losses (J)"});
+  size_t hours = std::max(p1.result.hourly.size(), p2.result.hourly.size());
+  for (size_t h = 0; h < hours && h < 24; ++h) {
+    auto losses = [&](const PolicyOutcome& p) {
+      if (h >= p.result.hourly.size()) {
+        return std::string("-");
+      }
+      return TextTable::Num(
+          p.result.hourly[h].battery_loss.value() + p.result.hourly[h].circuit_loss.value(), 2);
+    };
+    std::string load = h < p1.result.hourly.size()
+                           ? TextTable::Num(p1.result.hourly[h].load_energy.value(), 1)
+                           : "-";
+    table.AddRow({std::to_string(h + 1), load, losses(p1), losses(p2)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPolicy 1 (minimise instantaneous losses):\n";
+  for (const auto& note : p1.depletion_notes) {
+    std::cout << "  " << note << "\n";
+  }
+  auto life = [](const PolicyOutcome& p) {
+    return p.result.first_shortfall.has_value() ? ToHours(*p.result.first_shortfall)
+                                                : ToHours(p.result.elapsed);
+  };
+  std::cout << "  device battery life: " << TextTable::Num(life(p1), 2) << " h, total losses "
+            << TextTable::Num(p1.result.TotalLoss().value(), 1) << " J\n";
+
+  std::cout << "Policy 2 (preserve Li-ion for the hour-9 run):\n";
+  for (const auto& note : p2.depletion_notes) {
+    std::cout << "  " << note << "\n";
+  }
+  std::cout << "  device battery life: " << TextTable::Num(life(p2), 2) << " h, total losses "
+            << TextTable::Num(p2.result.TotalLoss().value(), 1) << " J\n";
+  std::cout << "  battery life improvement: " << TextTable::Num(life(p2) - life(p1), 2)
+            << " h\n";
+  sdb::bench::PrintNote(
+      "paper: the preserve-Li-ion policy minimises total losses and lives over an "
+      "hour longer (19.2 h vs 18 h); without the run, policy 1 would win.");
+  return 0;
+}

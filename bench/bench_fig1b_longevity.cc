@@ -1,0 +1,39 @@
+// Figure 1(b): charging rate affects longevity. A Type 2 cell is cycled
+// 600 times at 0.5 / 0.7 / 1.0 A charge current; capacity after N cycles
+// is reported every 50 cycles (the paper's y-axis spans 75-105%).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/chem/aging.h"
+
+int main() {
+  using namespace sdb;
+  PrintBanner(std::cout, "Figure 1(b): capacity after N cycles vs charging current");
+
+  const double kCurrents[] = {0.5, 0.7, 1.0};
+  BatteryParams params = MakeType2Standard(MilliAmpHours(2000.0));
+
+  std::vector<AgingModel> models;
+  for (size_t i = 0; i < std::size(kCurrents); ++i) {
+    models.emplace_back(&params);
+  }
+
+  TextTable table({"cycles", "0.5A (%)", "0.7A (%)", "1.0A (%)"});
+  table.AddRow({"0", "100.0", "100.0", "100.0"});
+  for (int cycle = 1; cycle <= 600; ++cycle) {
+    for (size_t i = 0; i < models.size(); ++i) {
+      double dose = 0.8 * params.nominal_capacity.value() * models[i].capacity_factor();
+      models[i].RecordCharge(Coulombs(dose), Amps(kCurrents[i]));
+    }
+    if (cycle % 50 == 0) {
+      table.AddRow({std::to_string(cycle), TextTable::Num(models[0].longevity_percent(), 1),
+                    TextTable::Num(models[1].longevity_percent(), 1),
+                    TextTable::Num(models[2].longevity_percent(), 1)});
+    }
+  }
+  table.Print(std::cout);
+  sdb::bench::PrintNote(
+      "paper shape: monotone fade, clearly faster at higher charge current "
+      "(roughly 95/90/80% bands after 600 cycles).");
+  return 0;
+}

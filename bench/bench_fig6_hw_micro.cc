@@ -1,0 +1,119 @@
+// Figure 6: SDB hardware microbenchmarks, reproduced against the circuit
+// models calibrated to the prototype:
+//   (a) discharge-circuit power loss % vs discharge power (0.1-10 W),
+//   (b) proportion-setting error % vs share setting (1-99%),
+//   (c) charging efficiency as % of the charger chip's typical efficiency
+//       vs charging current (0.8-2.2 A),
+//   (d) charging-current setpoint error % vs setpoint (0.2-2.0 A).
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/hw/charge_circuit.h"
+#include "src/hw/discharge_circuit.h"
+#include "src/hw/switching_sim.h"
+
+namespace {
+
+// Measures the realised share against the setting by stepping a fresh
+// two-battery pack once, like probing the prototype with a multimeter.
+double MeasureShareErrorPercent(double setting, uint64_t seed) {
+  using namespace sdb;
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 0), 1.0));
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 1), 1.0));
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), seed);
+  DischargeTick tick = circuit.Step(pack, {setting, 1.0 - setting}, Watts(4.0), Seconds(1.0));
+  return 100.0 * std::fabs(tick.realised_shares[0] - setting) / setting;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdb;
+
+  PrintBanner(std::cout, "Figure 6(a): discharge circuit power loss vs load");
+  {
+    SdbDischargeCircuit circuit((DischargeCircuitConfig()), 1);
+    TextTable table({"load (W)", "loss (%)"});
+    for (double p : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+      double loss = circuit.CircuitLossAt(Watts(p), Volts(3.7)).value();
+      table.AddRow({TextTable::Num(p, 1), TextTable::Num(100.0 * loss / p, 2)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("paper: ~1% at light loads rising to ~1.6% at 10 W.");
+  }
+
+  PrintBanner(std::cout, "Figure 6(b): proportion setting error");
+  {
+    TextTable table({"setting (%)", "mean error (%)", "max error (%)"});
+    for (double s : {0.01, 0.05, 0.10, 0.20, 0.50, 0.80, 0.95, 0.99}) {
+      double sum = 0.0;
+      double worst = 0.0;
+      const int kTrials = 32;
+      for (int t = 0; t < kTrials; ++t) {
+        double err = MeasureShareErrorPercent(s, 100 + t);
+        sum += err;
+        worst = std::max(worst, err);
+      }
+      table.AddRow({TextTable::Num(100.0 * s, 0), TextTable::Num(sum / kTrials, 3),
+                    TextTable::Num(worst, 3)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("paper: < 0.6% across the whole setting range.");
+  }
+
+  PrintBanner(std::cout, "Figure 6(c): charging efficiency (% of chip's typical)");
+  {
+    std::vector<const BatteryParams*> params;
+    BatteryParams p0 = MakeType2Standard(MilliAmpHours(3000.0));
+    params.push_back(&p0);
+    SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 2);
+    TextTable table({"current (A)", "efficiency (% of typical)"});
+    for (double a : {0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2}) {
+      double ratio = circuit.EfficiencyVsTypical(Amps(a), Volts(3.7));
+      table.AddRow({TextTable::Num(a, 1), TextTable::Num(100.0 * ratio, 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("paper: near-typical at light loads, ~94% at high charging currents.");
+  }
+
+  PrintBanner(std::cout, "Figure 6(d): charging current setpoint error");
+  {
+    std::vector<const BatteryParams*> params;
+    BatteryParams p0 = MakeType2Standard(MilliAmpHours(3000.0));
+    params.push_back(&p0);
+    SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 3);
+    TextTable table({"setpoint (A)", "error envelope (%)"});
+    for (double a = 0.2; a <= 2.01; a += 0.2) {
+      table.AddRow({TextTable::Num(a, 1),
+                    TextTable::Num(100.0 * circuit.SetpointErrorEnvelope(Amps(a)), 3)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("paper: at or below 0.5%, worst at low currents.");
+  }
+  PrintBanner(std::cout, "Waveform-level validation (the paper's LTSPICE runs, §3.2.1)");
+  {
+    std::vector<SwitchingSource> sources = {{Volts(3.9), MilliOhms(35.0)},
+                                            {Volts(3.7), MilliOhms(55.0)}};
+    TextTable table({"share setting", "realised share", "ripple (mV pp)", "settle (us)",
+                     "regulated"});
+    for (double share : {0.2, 0.5, 0.8}) {
+      auto sim = RunSwitchingSim(sources, {share, 1.0 - share}, Ohms(2.0), Seconds(10e-3));
+      if (!sim.ok()) {
+        std::cout << "  sim error: " << sim.status().ToString() << "\n";
+        continue;
+      }
+      table.AddRow({TextTable::Num(share, 2), TextTable::Num(sim->realised_shares[0], 3),
+                    TextTable::Num(1000.0 * sim->ripple_pp_v, 2),
+                    TextTable::Num(1e6 * sim->settling_time_s, 0),
+                    sim->regulated ? "yes" : "NO"});
+    }
+    table.Print(std::cout);
+    bench::PrintNote(
+        "packet-level weighted round-robin at 500 kHz holds the rail within "
+        "millivolts while the per-battery energy split tracks the setting — "
+        "the correctness/stability/responsiveness claim of §3.2.1.");
+  }
+  return 0;
+}

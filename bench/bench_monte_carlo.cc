@@ -1,0 +1,94 @@
+// Monte-Carlo policy comparison: the Fig. 13 conclusion with spread. Each
+// policy runs the smart-watch day across many jittered workload seeds
+// (different check timings, burst powers, run intensity); mean, spread and
+// worst case are reported per policy.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/emu/monte_carlo.h"
+#include "src/emu/workload.h"
+#include "src/util/histogram.h"
+
+namespace {
+
+using namespace sdb;
+
+MonteCarloResult RunPolicy(double directive, bool hint, int runs) {
+  ScenarioFn scenario = [directive, hint](uint64_t seed) {
+    bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+    rig.runtime().SetDischargingDirective(directive);
+    if (hint) {
+      rig.runtime().SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+    }
+    SmartwatchDayConfig day;
+    day.seed = seed;  // Vary the workload itself, not just measurement noise.
+    SimConfig config;
+    config.tick = Seconds(10.0);
+    config.runtime_period = Minutes(10.0);
+    Simulator sim(&rig.runtime(), config);
+    return sim.Run(MakeSmartwatchDayTrace(day));
+  };
+  return RunMonteCarlo(scenario, runs, /*base_seed=*/1000);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Monte-Carlo: smart-watch day across 24 workload seeds");
+
+  const int kRuns = 24;
+  struct Row {
+    const char* name;
+    MonteCarloResult result;
+  };
+  Row rows[] = {
+      {"Reserve (hint)", RunPolicy(1.0, true, kRuns)},
+      {"RBL-Discharge", RunPolicy(1.0, false, kRuns)},
+      {"Blend 0.5", RunPolicy(0.5, false, kRuns)},
+      {"CCB even split", RunPolicy(0.0, false, kRuns)},
+  };
+
+  TextTable table({"policy", "life mean (h)", "life sigma (h)", "life min (h)",
+                   "loss mean (J)", "shortfall runs"});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, TextTable::Num(row.result.battery_life_h.mean(), 2),
+                  TextTable::Num(row.result.battery_life_h.stddev(), 2),
+                  TextTable::Num(row.result.battery_life_h.min(), 2),
+                  TextTable::Num(row.result.total_loss_j.mean(), 1),
+                  std::to_string(row.result.shortfall_runs) + "/" +
+                      std::to_string(row.result.runs)});
+  }
+  table.Print(std::cout);
+
+  // Distribution of the hinted policy's battery life across seeds.
+  {
+    Histogram hist(11.0, 12.5, 6);
+    ScenarioFn scenario = [](uint64_t seed) {
+      bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+      rig.runtime().SetDischargingDirective(1.0);
+      rig.runtime().SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+      SmartwatchDayConfig day;
+      day.seed = seed;
+      SimConfig config;
+      config.tick = Seconds(10.0);
+      config.runtime_period = Minutes(10.0);
+      Simulator sim(&rig.runtime(), config);
+      return sim.Run(MakeSmartwatchDayTrace(day));
+    };
+    for (int r = 0; r < kRuns; ++r) {
+      SimResult result = scenario(1000 + r);
+      hist.Add(result.first_shortfall.has_value() ? ToHours(*result.first_shortfall)
+                                                  : ToHours(result.elapsed));
+    }
+    std::cout << "Reserve-policy battery-life histogram (hours):\n";
+    for (int b = 0; b < hist.bins(); ++b) {
+      std::cout << "  [" << TextTable::Num(hist.BinLow(b), 2) << ", "
+                << TextTable::Num(hist.BinLow(b) + 0.25, 2) << ")  "
+                << std::string(hist.BinCount(b), '#') << "\n";
+    }
+  }
+  sdb::bench::PrintNote(
+      "the Fig. 13 ordering holds in expectation, not just on one trace: the "
+      "hinted policy leads on mean and worst-case battery life.");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// The price of myopia: the paper concedes its RBL algorithms are optimal
+// "only in an instantaneous sense" and that future knowledge could beat
+// them (§3.3). This bench quantifies that gap on the smart-watch day:
+//   * the offline DP plan (full future knowledge, src/core/optimizer),
+//   * the RBL-Discharge heuristic (instantaneous loss minimisation),
+//   * the CCB even split,
+//   * the workload-hint reserve policy (partial future knowledge),
+// each replayed against the full emulator.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/mpc_policy.h"
+#include "src/core/optimizer.h"
+#include "src/emu/workload.h"
+
+namespace {
+
+using namespace sdb;
+
+PowerTrace WatchDay() {
+  SmartwatchDayConfig day;
+  return MakeSmartwatchDayTrace(day);
+}
+
+struct Outcome {
+  double life_h;
+  double losses_j;
+};
+
+Outcome RunHeuristic(double directive, bool hint, uint64_t seed) {
+  bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+  rig.runtime().SetDischargingDirective(directive);
+  if (hint) {
+    rig.runtime().SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+  }
+  SimConfig config;
+  config.tick = Seconds(5.0);
+  config.runtime_period = Minutes(5.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&rig.runtime(), config);
+  SimResult r = sim.Run(WatchDay());
+  double life = r.first_shortfall.has_value() ? ToHours(*r.first_shortfall) : ToHours(r.elapsed);
+  return Outcome{life, r.TotalLoss().value()};
+}
+
+// Replays the DP share schedule against the full emulator by programming
+// the microcontroller's discharge ratios directly at every planning step.
+Outcome ReplayPlan(const PlanResult& plan, uint64_t seed) {
+  bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+  PowerTrace trace = WatchDay();
+  const double kTick = 5.0;
+  double t = 0.0;
+  double horizon = trace.TotalDuration().value();
+  std::optional<double> first_shortfall;
+  double losses = 0.0;
+  while (t < horizon) {
+    size_t step = static_cast<size_t>(t / plan.step.value());
+    double share = step < plan.share_schedule.size() ? plan.share_schedule[step] : 0.5;
+    (void)rig.micro().SetDischargeRatios({share, 1.0 - share});
+    Power load = trace.Sample(Seconds(t));
+    MicroTick tick = rig.micro().Step(load, Watts(0.0), Seconds(kTick));
+    losses += tick.discharge.battery_loss.value() + tick.discharge.circuit_loss.value();
+    t += kTick;
+    if (tick.discharge.shortfall && load.value() > 0.0 && !first_shortfall.has_value()) {
+      first_shortfall = t;
+    }
+  }
+  double life = first_shortfall.has_value() ? *first_shortfall / 3600.0 : t / 3600.0;
+  return Outcome{life, losses};
+}
+
+// Runs the MPC policy online: oracle forecast over the remaining trace,
+// 6-hour receding horizon, re-planned every 5 minutes.
+Outcome RunMpc(const BatteryParams& liion, const BatteryParams& bendable, uint64_t seed) {
+  bench::Rig rig(bench::MakeWatchScenarioCells(1.0), seed);
+  PowerTrace trace = WatchDay();
+  auto forecast = [&trace](Duration now, Duration horizon) {
+    PowerTrace window;
+    double t = now.value();
+    double end = std::min(t + horizon.value(), trace.TotalDuration().value());
+    while (t < end) {
+      double seg = std::min(300.0, end - t);
+      window.Append(Seconds(seg), trace.Sample(Seconds(t + seg / 2.0)));
+      t += seg;
+    }
+    return window;
+  };
+  MpcDischargePolicy mpc(&liion, &bendable, forecast);
+
+  const double kTick = 5.0;
+  double t = 0.0;
+  double horizon = trace.TotalDuration().value();
+  double next_replan = 0.0;
+  std::optional<double> first_shortfall;
+  double losses = 0.0;
+  while (t < horizon) {
+    if (t >= next_replan) {
+      BatteryViews views = rig.runtime().BuildViews();
+      std::vector<double> d = mpc.Allocate(views, trace.Sample(Seconds(t)));
+      (void)rig.micro().SetDischargeRatios(d);
+      next_replan = t + 300.0;
+    }
+    Power load = trace.Sample(Seconds(t));
+    MicroTick tick = rig.micro().Step(load, Watts(0.0), Seconds(kTick));
+    losses += tick.discharge.battery_loss.value() + tick.discharge.circuit_loss.value();
+    t += kTick;
+    mpc.Advance(Seconds(kTick));
+    if (tick.discharge.shortfall && load.value() > 0.0 && !first_shortfall.has_value()) {
+      first_shortfall = t;
+    }
+  }
+  double life = first_shortfall.has_value() ? *first_shortfall / 3600.0 : t / 3600.0;
+  return Outcome{life, losses};
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Price of myopia: offline-optimal vs heuristic discharge scheduling");
+
+  BatteryParams liion = MakeWatchLiIon(MilliAmpHours(200.0));
+  BatteryParams bendable = MakeType4Bendable(MilliAmpHours(200.0));
+  PlanConfig plan_config;
+  plan_config.soc_grid = 61;
+  plan_config.action_grid = 21;
+  plan_config.step = Minutes(5.0);
+  PlanResult plan =
+      PlanOptimalDischarge({&liion, 1.0}, {&bendable, 1.0}, WatchDay(), plan_config);
+
+  Outcome dp = ReplayPlan(plan, 71);
+  Outcome mpc = RunMpc(liion, bendable, 71);
+  Outcome rbl = RunHeuristic(1.0, /*hint=*/false, 71);
+  Outcome ccb = RunHeuristic(0.0, /*hint=*/false, 71);
+  Outcome reserve = RunHeuristic(1.0, /*hint=*/true, 71);
+
+  TextTable table({"scheduler", "knowledge", "battery life (h)", "total losses (J)"});
+  table.AddRow({"DP offline plan", "entire future trace", TextTable::Num(dp.life_h, 2),
+                TextTable::Num(dp.losses_j, 1)});
+  table.AddRow({"MPC (6 h oracle forecast)", "receding-horizon DP",
+                TextTable::Num(mpc.life_h, 2), TextTable::Num(mpc.losses_j, 1)});
+  table.AddRow({"Reserve (workload hint)", "one predicted event", TextTable::Num(reserve.life_h, 2),
+                TextTable::Num(reserve.losses_j, 1)});
+  table.AddRow({"RBL-Discharge", "none (instantaneous)", TextTable::Num(rbl.life_h, 2),
+                TextTable::Num(rbl.losses_j, 1)});
+  table.AddRow({"CCB even split", "none", TextTable::Num(ccb.life_h, 2),
+                TextTable::Num(ccb.losses_j, 1)});
+  table.Print(std::cout);
+
+  std::cout << "  planner predicted: "
+            << TextTable::Num(ToHours(plan.serviced), 2) << " h serviced, "
+            << TextTable::Num(plan.predicted_loss.value(), 1) << " J loss (planning model)\n";
+  std::cout << "  myopia gap (DP vs RBL): " << TextTable::Num(dp.life_h - rbl.life_h, 2)
+            << " h\n";
+  sdb::bench::PrintNote(
+      "the paper's §3.3 in numbers: knowing the future beats instantaneous "
+      "optimality; a single workload hint recovers most of the gap.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Policy compute overhead (google-benchmark): the paper argues the SDB
+// Runtime can live in the OS because its decisions run at coarse time
+// steps; this bench shows a full re-plan costs microseconds even for
+// many-battery packs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/allocator.h"
+#include "src/core/ccb_policy.h"
+#include "src/core/rbl_policy.h"
+
+namespace {
+
+using namespace sdb;
+
+std::vector<Cell> MakeCells(int n) {
+  std::vector<Cell> cells;
+  for (int i = 0; i < n; ++i) {
+    cells.emplace_back(MakeType2Standard(MilliAmpHours(2000.0 + 500.0 * (i % 4)), i % 8),
+                       0.3 + 0.6 * (i % 3) / 2.0);
+  }
+  return cells;
+}
+
+BatteryViews MakeViews(int n) {
+  bench::Rig rig(MakeCells(n), 7);
+  return rig.runtime().BuildViews();
+}
+
+void BM_RuntimeUpdate(benchmark::State& state) {
+  bench::Rig rig(MakeCells(static_cast<int>(state.range(0))), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.runtime().Update(Watts(8.0), Watts(0.0)));
+  }
+}
+BENCHMARK(BM_RuntimeUpdate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RblDischargeAllocate(benchmark::State& state) {
+  BatteryViews views = MakeViews(static_cast<int>(state.range(0)));
+  RblDischargePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Allocate(views, Watts(8.0)));
+  }
+}
+BENCHMARK(BM_RblDischargeAllocate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_CcbDischargeAllocate(benchmark::State& state) {
+  BatteryViews views = MakeViews(static_cast<int>(state.range(0)));
+  CcbDischargePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Allocate(views, Watts(8.0)));
+  }
+}
+BENCHMARK(BM_CcbDischargeAllocate)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_MarginalCostAllocator(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  MarginalCostProblem problem;
+  for (int i = 0; i < n; ++i) {
+    problem.resistance_ohm.push_back(0.02 + 0.01 * (i % 5));
+    problem.dcir_growth_per_c.push_back(1e-6 * (i % 3));
+    problem.current_cap_a.push_back(4.0);
+  }
+  problem.total_current_a = n * 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMarginalCostAllocation(problem));
+  }
+}
+BENCHMARK(BM_MarginalCostAllocator)->Arg(2)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MicroStep(benchmark::State& state) {
+  bench::Rig rig(MakeCells(static_cast<int>(state.range(0))), 7);
+  (void)rig.runtime().Update(Watts(6.0), Watts(0.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.micro().Step(Watts(6.0), Watts(0.0), Seconds(1.0)));
+  }
+}
+BENCHMARK(BM_MicroStep)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

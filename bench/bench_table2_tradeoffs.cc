@@ -1,0 +1,87 @@
+// Table 2: the three tradeoffs that drive SDB policies, quantified on the
+// same battery models the policies run against:
+//   (1) charge power vs longevity,
+//   (2) discharge power vs longevity,
+//   (3) discharge power vs battery life (I^2 R losses).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/chem/aging.h"
+
+namespace {
+
+using namespace sdb;
+
+// Capacity remaining after 500 cycles charged at the given C-rate.
+double LongevityAtChargeRate(double c_rate) {
+  BatteryParams params = MakeType2Standard(MilliAmpHours(3000.0));
+  AgingModel aging(&params);
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    double dose = 0.8 * params.nominal_capacity.value() * aging.capacity_factor();
+    aging.RecordCharge(Coulombs(dose), params.CRate(c_rate));
+  }
+  return aging.longevity_percent();
+}
+
+// Single-charge energy delivered when draining at the given C-rate, as a
+// fraction of the 0.1C reference.
+double DeliveredEnergyFraction(double c_rate) {
+  auto drain = [](double rate) {
+    Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 1.0);
+    double delivered = 0.0;
+    while (!cell.IsEmpty(1e-3)) {
+      StepResult r = cell.StepDischargeCurrent(cell.params().CRate(rate), Seconds(20.0));
+      delivered += r.energy_at_terminals.value();
+      if (r.current.value() <= 0.0) {
+        break;
+      }
+    }
+    return delivered;
+  };
+  return drain(c_rate) / drain(0.1);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout, "Table 2(1): charge power vs longevity (500 cycles)");
+  {
+    TextTable table({"charge rate (C)", "full-charge time (min, CC phase)", "capacity left (%)"});
+    for (double c : {0.1, 0.2, 0.35, 0.5, 0.7}) {  // 0.7C is the Type 2 datasheet limit.
+      table.AddRow({TextTable::Num(c, 1), TextTable::Num(60.0 / c, 0),
+                    TextTable::Num(LongevityAtChargeRate(c), 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("higher charge rate -> faster charging but faster crack formation.");
+  }
+
+  PrintBanner(std::cout, "Table 2(2): discharge power vs longevity");
+  {
+    // Discharge stress enters through the recharge that follows: draining at
+    // high C forces proportionally high-current recharges in fast-turnaround
+    // duty cycles. Reported via the same fade law on the implied currents.
+    TextTable table({"duty cycle", "implied recharge rate (C)", "capacity left (%)"});
+    struct Row {
+      const char* name;
+      double c;
+    } rows[] = {{"overnight recharge", 0.2}, {"lunch-break top-up", 0.5}, {"rapid turnaround", 0.7}};
+    for (const auto& r : rows) {
+      table.AddRow({r.name, TextTable::Num(r.c, 1), TextTable::Num(LongevityAtChargeRate(r.c), 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote("supporting high-current workloads shortens cycle life.");
+  }
+
+  PrintBanner(std::cout, "Table 2(3): discharge power vs battery life (DCIR losses)");
+  {
+    TextTable table({"discharge rate (C)", "energy delivered (% of 0.1C)"});
+    for (double c : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+      table.AddRow({TextTable::Num(c, 2), TextTable::Num(100.0 * DeliveredEnergyFraction(c), 1)});
+    }
+    table.Print(std::cout);
+    bench::PrintNote(
+        "losses are proportional to the square of the current: doubling the rate "
+        "more than doubles the wasted energy.");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+# Benchmark harnesses: one binary per paper table/figure, emitted into
+# build/bench/ (kept free of CMake bookkeeping so `for b in build/bench/*`
+# runs them all).
+function(sdb_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE sdb_os sdb_emu sdb_core sdb_hw sdb_chem sdb_util)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  # Smoke-test every harness so the figure generators cannot bit-rot.
+  add_test(NAME smoke_${name} COMMAND ${name})
+endfunction()
+
+sdb_bench(bench_table1_characteristics)
+sdb_bench(bench_table2_tradeoffs)
+sdb_bench(bench_fig1a_radar)
+sdb_bench(bench_fig1b_longevity)
+sdb_bench(bench_fig1c_heatloss)
+sdb_bench(bench_fig6_hw_micro)
+sdb_bench(bench_fig8_battery_curves)
+sdb_bench(bench_fig10_model_validation)
+sdb_bench(bench_fig11_fastcharge)
+sdb_bench(bench_fig12_turbo)
+sdb_bench(bench_fig13_smartwatch)
+sdb_bench(bench_fig14_twoin1)
+sdb_bench(bench_ablations)
+
+sdb_bench(bench_policy_overhead)
+target_link_libraries(bench_policy_overhead PRIVATE benchmark::benchmark)
+set_tests_properties(smoke_bench_policy_overhead PROPERTIES ENVIRONMENT
+  "BENCHMARK_BENCHMARK_MIN_TIME=0.01")
+# Keep the perf smoke test quick.
+set_property(TEST smoke_bench_policy_overhead PROPERTY TIMEOUT 120)
+
+sdb_bench(bench_optimal_vs_myopic)
+sdb_bench(bench_monte_carlo)
+sdb_bench(bench_weekly_wear)

@@ -1,0 +1,70 @@
+// Drone pack (paper §8 future work: "we are working on additional devices
+// that would benefit from this technology, such as drones"). A high-power
+// Type 1 cell handles takeoff/gust bursts while a high-energy cell carries
+// the cruise; the safety supervisor guards the pack and the thermal model
+// shows the high-power cell warming under bursts.
+//
+//   $ ./drone_pack
+#include <cstdio>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+#include "src/hw/microcontroller.h"
+#include "src/hw/safety.h"
+
+int main() {
+  using namespace sdb;
+
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 1.0);
+  cells.emplace_back(MakeType1PowerCell(MilliAmpHours(1500.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 404);
+
+  // Protection layer: derived datasheet limits per battery.
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  SafetySupervisor safety(limits);
+  micro.AttachSafety(&safety);
+
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+
+  PowerTrace flight = MakeDroneFlightTrace(Minutes(20.0));
+  std::printf("20-minute sortie: peak %.0f W, total %.1f kJ demanded.\n",
+              flight.PeakPower().value(), flight.TotalEnergy().value() / 1000.0);
+
+  Simulator sim(&runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(10.0)});
+  SimResult result = sim.Run(flight);
+
+  if (result.first_shortfall.has_value()) {
+    std::printf("POWER LOSS at %.1f min into the flight!\n",
+                ToMinutes(*result.first_shortfall));
+  } else {
+    std::printf("Flight completed; %.1f kJ delivered, %.1f%% lost to resistance.\n",
+                result.delivered.value() / 1000.0,
+                100.0 * result.TotalLoss().value() / result.delivered.value());
+  }
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    const Cell& cell = micro.pack().cell(i);
+    std::printf("  %-12s SoC %.0f%%, %.1f C, faults: %s\n", cell.params().name.c_str(),
+                100.0 * cell.soc(), ToCelsius(cell.thermal().temperature()),
+                safety.IsFaulted(i) ? std::string(FaultKindName(safety.fault(i).kind)).c_str()
+                                    : "none");
+  }
+
+  // How many sorties does the pack support before a recharge?
+  int sorties = 1;
+  while (!result.first_shortfall.has_value() && sorties < 10) {
+    result = sim.Run(MakeDroneFlightTrace(Minutes(20.0), 29 + sorties));
+    if (result.first_shortfall.has_value()) {
+      break;
+    }
+    ++sorties;
+  }
+  std::printf("Pack sustained %d full 20-minute sorties on one charge.\n", sorties);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Electric-vehicle extension (paper §8 future work): "an EV's NAV system
+// could provide the vehicle's route as a hint to the SDB Runtime, which
+// could then decide the appropriate batteries based on traffic, hills,
+// temperature and other factors."
+//
+// A compact EV pack pairs a high-energy chemistry with a high-power
+// chemistry (scaled-up Type 1). The NAV knows a steep climb is coming and
+// hints the runtime, which preserves the power cell for the hill.
+//
+//   $ ./ev_route
+#include <cstdio>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/hw/microcontroller.h"
+
+namespace {
+
+using namespace sdb;
+
+// Route profile: two hours of flat cruising, a 10-minute mountain climb
+// that needs both chemistries at once, then cruising until the pack is spent. (Powers scaled down ~100x from a
+// real EV so the stock cell models apply; the scheduling problem is
+// identical.)
+PowerTrace MakeRoute() {
+  PowerTrace route;
+  route.Append(Hours(1.75), Watts(30.0));    // Long cruise.
+  route.Append(Minutes(9.0), Watts(160.0));   // The climb needs both cells.
+  route.Append(Hours(4.0), Watts(30.0));      // Cruise until empty.
+  return route;
+}
+
+struct Drive {
+  double range_h;
+  bool climb_served;
+};
+
+Drive RunDrive(bool nav_hint, uint64_t seed) {
+  std::vector<Cell> cells;
+  // 20 Ah high-energy pack cell + 4.5 Ah power cell.
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(20000.0)), 1.0);
+  cells.emplace_back(MakeType1PowerCell(MilliAmpHours(4500.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), seed);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+  if (nav_hint) {
+    runtime.SetWorkloadHint(WorkloadHint{Hours(1.75), Watts(160.0), Minutes(9.0)});
+  }
+  SimConfig config;
+  config.tick = Seconds(2.0);
+  config.runtime_period = Seconds(30.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&runtime, config);
+  SimResult r = sim.Run(MakeRoute());
+
+  // Did the climb get full power? A shortfall inside the climb window
+  // (minutes 105-114) means the driver lost power on the hill.
+  bool climb_ok = true;
+  if (r.first_shortfall.has_value() && ToMinutes(*r.first_shortfall) < 114.5) {
+    climb_ok = false;
+  }
+  double range = r.first_shortfall.has_value() ? ToHours(*r.first_shortfall)
+                                               : ToHours(r.elapsed);
+  return Drive{range, climb_ok};
+}
+
+}  // namespace
+
+int main() {
+  Drive blind = RunDrive(/*nav_hint=*/false, 401);
+  Drive hinted = RunDrive(/*nav_hint=*/true, 402);
+
+  std::printf("EV route with a mountain climb at minute 105:\n");
+  std::printf("  without NAV hint: range %.2f h, climb served at full power: %s\n",
+              blind.range_h, blind.climb_served ? "yes" : "NO");
+  std::printf("  with NAV hint:    range %.2f h, climb served at full power: %s\n",
+              hinted.range_h, hinted.climb_served ? "yes" : "NO");
+  std::printf(
+      "The hint preserves the high-power cell for the hill and lets the\n"
+      "high-energy cell do the cruising — the §8 scenario, same runtime, same APIs.\n");
+  return 0;
+}

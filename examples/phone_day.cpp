@@ -1,0 +1,62 @@
+// Phone scenario on the §4.3 Snapdragon-800 device preset: a day of screen
+// sessions and a midday video call on a standard cell + small fast-charge
+// companion, with the self-tuning power manager classifying the workload as
+// it runs and the battery service reporting what a status bar would show.
+//
+//   $ ./phone_day
+#include <cstdio>
+
+#include "src/emu/device.h"
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+
+int main() {
+  using namespace sdb;
+
+  std::unique_ptr<Device> phone = MakePhoneDevice(1.0);
+  PowerTrace day = MakePhoneDayTrace();
+  std::printf("Phone (%s): %.1f Wh pack, %.1f h of trace, peak %.1f W.\n",
+              phone->name().c_str(),
+              ToWattHours(phone->micro().pack().TotalRemainingEnergy()),
+              ToHours(day.TotalDuration()), day.PeakPower().value());
+
+  // Drive the day manually so the OS layers observe the load as it happens.
+  const double kTick = 5.0;
+  double t = 0.0;
+  double next_replan = 0.0;
+  double horizon = day.TotalDuration().value();
+  int situation_changes = 0;
+  std::string last_situation = phone->power_manager().current_situation();
+  while (t < horizon) {
+    Power load = day.Sample(Seconds(t));
+    phone->power_manager().ObservePower(load);
+    phone->battery_service().Observe(load, Seconds(kTick));
+    if (phone->power_manager().current_situation() != last_situation) {
+      ++situation_changes;
+      last_situation = phone->power_manager().current_situation();
+    }
+    if (t >= next_replan) {
+      phone->runtime().Update(load, Watts(0.0));
+      next_replan = t + 60.0;
+    }
+    phone->micro().Step(load, Watts(0.0), Seconds(kTick));
+    phone->runtime().AdvanceTime(Seconds(kTick));
+    t += kTick;
+  }
+
+  BatteryReadout readout = phone->battery_service().Read();
+  std::printf("End of day: %d%% shown", readout.percent);
+  if (readout.time_to_empty.has_value()) {
+    std::printf(", %.1f h to empty at the current draw", ToHours(*readout.time_to_empty));
+  }
+  std::printf(".\n");
+  std::printf("Workload classifier finished in '%s' (situation changed %d times).\n",
+              std::string(WorkloadClassName(phone->power_manager().classifier().Classify()))
+                  .c_str(),
+              situation_changes);
+  for (size_t i = 0; i < phone->micro().battery_count(); ++i) {
+    const Cell& cell = phone->micro().pack().cell(i);
+    std::printf("  %-16s SoC %.0f%%\n", cell.params().name.c_str(), 100.0 * cell.soc());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a two-battery Software Defined Battery (a fast-charging
+// cell + a high-energy cell), let the SDB Runtime schedule them under a
+// bursty load, and watch the four APIs in action.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+#include "src/hw/microcontroller.h"
+
+int main() {
+  using namespace sdb;
+
+  // 1. Pick two batteries with complementary strengths.
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), /*initial_soc=*/1.0);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), /*initial_soc=*/1.0);
+
+  // 2. Wrap them in the SDB hardware (discharge multiplexer, O(N) reversible
+  //    charging circuit, fuel gauges, microcontroller).
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), /*seed=*/2026);
+
+  // 3. Attach the OS-resident SDB Runtime and set the directive parameters:
+  //    favour useful charge (RBL) while discharging, favour longevity (CCB)
+  //    while charging.
+  RuntimeConfig config;
+  config.directives.discharging = 0.9;
+  config.directives.charging = 0.2;
+  SdbRuntime runtime(&micro, config);
+
+  // 4. Run a 4-hour bursty tablet load through the emulator.
+  PowerTrace load = MakeBurstyTrace(Watts(4.0), Watts(14.0), /*burst_fraction=*/0.25,
+                                    Hours(4.0), Minutes(1.0), /*seed=*/99);
+  Simulator sim(&runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(30.0)});
+  SimResult result = sim.Run(load);
+
+  std::printf("Simulated %.2f h of load (%.1f kJ delivered)\n", ToHours(result.elapsed),
+              result.delivered.value() / 1000.0);
+  std::printf("Losses: %.1f J in batteries, %.1f J in circuits (%.2f%% of delivered)\n",
+              result.battery_loss.value(), result.circuit_loss.value(),
+              100.0 * result.TotalLoss().value() / result.delivered.value());
+
+  // 5. Inspect what the OS sees through QueryBatteryStatus().
+  std::vector<BatteryStatus> statuses = micro.QueryBatteryStatus();
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    std::printf("Battery %zu (%s): SoC %.1f%%, %.0f mAh full capacity, %.1f cycles\n", i,
+                micro.pack().cell(i).params().name.c_str(), 100.0 * statuses[i].soc,
+                ToMilliAmpHours(statuses[i].full_capacity), statuses[i].cycle_count);
+  }
+  std::printf("Discharge ratios programmed: [%.3f, %.3f]  (CCB %.3f, RBL %.1f kJ)\n",
+              runtime.last_discharge_ratios()[0], runtime.last_discharge_ratios()[1],
+              runtime.LastCcb(), runtime.LastRbl().value() / 1000.0);
+
+  // 6. Top the pack back up from a 24 W wall adapter.
+  SimResult charge = sim.RunChargeOnly(Watts(24.0), Hours(3.0));
+  std::printf("Recharged to [%.1f%%, %.1f%%] in %.0f min (%.1f kJ absorbed)\n",
+              100.0 * charge.final_soc[0], 100.0 * charge.final_soc[1],
+              ToMinutes(charge.elapsed), charge.charged.value() / 1000.0);
+  return 0;
+}

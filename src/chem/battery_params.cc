@@ -1,0 +1,127 @@
+#include "src/chem/battery_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+std::string_view ChemistryName(Chemistry chemistry) {
+  switch (chemistry) {
+    case Chemistry::kType1HighPower:
+      return "Type1-LiFePO4-HighPower";
+    case Chemistry::kType2Standard:
+      return "Type2-CoO2-Standard";
+    case Chemistry::kType3FastCharge:
+      return "Type3-CoO2-FastCharge";
+    case Chemistry::kType4Bendable:
+      return "Type4-Ceramic-Bendable";
+  }
+  return "Unknown";
+}
+
+Current BatteryParams::CRate(double c_rate) const {
+  // 1C drains nominal capacity in one hour.
+  return Amps(c_rate * ToAmpHours(nominal_capacity));
+}
+
+Energy BatteryParams::NominalEnergy() const {
+  return Joules(nominal_voltage.value() * nominal_capacity.value());
+}
+
+double BatteryParams::EnergyDensityWhPerLitre(bool swollen) const {
+  double litres = ToLitres(volume);
+  if (swollen) {
+    litres *= 1.0 + fast_charge_swelling;
+  }
+  return ToWattHours(NominalEnergy()) / litres;
+}
+
+double BatteryParams::EnergyDensityWhPerKg() const {
+  return ToWattHours(NominalEnergy()) / mass.value();
+}
+
+Status BatteryParams::Validate() const {
+  if (name.empty()) {
+    return InvalidArgumentError("battery needs a name");
+  }
+  if (nominal_capacity.value() <= 0.0) {
+    return InvalidArgumentError(name + ": capacity must be positive");
+  }
+  if (nominal_voltage.value() <= 0.0) {
+    return InvalidArgumentError(name + ": nominal voltage must be positive");
+  }
+  if (ocv_vs_soc.points().size() < 2 || dcir_vs_soc.points().size() < 2) {
+    return InvalidArgumentError(name + ": characteristic curves missing");
+  }
+  if (ocv_vs_soc.min_x() > 0.0 || ocv_vs_soc.max_x() < 1.0) {
+    return InvalidArgumentError(name + ": OCV curve must span SoC [0,1]");
+  }
+  if (dcir_vs_soc.min_x() > 0.0 || dcir_vs_soc.max_x() < 1.0) {
+    return InvalidArgumentError(name + ": DCIR curve must span SoC [0,1]");
+  }
+  if (!ocv_vs_soc.IsMonotoneIncreasing()) {
+    // Paper Fig. 8(b): OCP increases with state of charge.
+    return InvalidArgumentError(name + ": OCV curve must be non-decreasing in SoC");
+  }
+  if (dcir_vs_soc.min_y() <= 0.0) {
+    return InvalidArgumentError(name + ": DCIR must be positive");
+  }
+  if (concentration_resistance.value() < 0.0 || plate_capacitance.value() <= 0.0) {
+    return InvalidArgumentError(name + ": RC pair parameters invalid");
+  }
+  if (max_discharge_current.value() <= 0.0 || max_charge_current.value() <= 0.0) {
+    return InvalidArgumentError(name + ": current limits must be positive");
+  }
+  if (rated_cycle_count <= 0.0) {
+    return InvalidArgumentError(name + ": rated cycle count must be positive");
+  }
+  if (fade_reference_current.value() <= 0.0) {
+    return InvalidArgumentError(name + ": fade reference current must be positive");
+  }
+  if (volume.value() <= 0.0 || mass.value() <= 0.0) {
+    return InvalidArgumentError(name + ": physical dimensions must be positive");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Maps `value` within [lo, hi] to a 0-10 score (clamped, optionally inverted).
+double AxisScore(double value, double lo, double hi, bool invert = false) {
+  double t = Clamp((value - lo) / (hi - lo), 0.0, 1.0);
+  if (invert) {
+    t = 1.0 - t;
+  }
+  return 10.0 * t;
+}
+
+}  // namespace
+
+ChemistryAxisScores ScoreAxes(const BatteryParams& params) {
+  ChemistryAxisScores scores;
+  // Power density: sustained discharge C-rate capability.
+  double discharge_c = params.max_discharge_current.value() /
+                       Amps(ToAmpHours(params.nominal_capacity)).value();
+  scores.power_density = AxisScore(discharge_c, 0.5, 10.0);
+  // Energy density: Wh/l against the range the paper quotes (300-600).
+  scores.energy_density = AxisScore(params.EnergyDensityWhPerLitre(), 250.0, 620.0);
+  // Affordability: $/Wh, lower is better.
+  double usd_per_wh = params.cost_usd / ToWattHours(params.NominalEnergy());
+  scores.affordability = AxisScore(usd_per_wh, 0.1, 1.2, /*invert=*/true);
+  // Longevity: rated cycle count.
+  scores.longevity = AxisScore(params.rated_cycle_count, 300.0, 2500.0);
+  // Efficiency: mid-SoC DCIR normalised by capacity (ohm * Ah), lower is better.
+  double ohm_ah = params.dcir_vs_soc.Evaluate(0.5) * ToAmpHours(params.nominal_capacity);
+  scores.efficiency = AxisScore(ohm_ah, 0.02, 0.6, /*invert=*/true);
+  // Flexibility: bend radius (0 == rigid scores 0; smaller positive radius is better).
+  if (params.bend_radius_mm <= 0.0) {
+    scores.form_factor_flexibility = 0.0;
+  } else {
+    scores.form_factor_flexibility = AxisScore(params.bend_radius_mm, 5.0, 100.0, /*invert=*/true);
+  }
+  return scores;
+}
+
+}  // namespace sdb

@@ -1,0 +1,107 @@
+// Static description of a battery: chemistry, electrical characteristic
+// curves, physical properties and aging coefficients.
+//
+// These are the "manufacturer datasheet" inputs to the Thevenin cell model
+// (paper §4.3, Figure 8) and to the policy layer (DCIR-vs-SoC curves drive
+// the RBL algorithms). The paper characterised 15 physical batteries on
+// Arbin/Maccor cyclers; src/chem/library.h provides the synthetic stand-ins.
+#ifndef SRC_CHEM_BATTERY_PARAMS_H_
+#define SRC_CHEM_BATTERY_PARAMS_H_
+
+#include <string>
+
+#include "src/util/curve.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// The four Li-ion variants of paper Figure 1(a), plus the scenario-specific
+// chemistries used in §5.
+enum class Chemistry {
+  kType1HighPower,    // LiFePO4 cathode, high-density liquid polymer separator.
+  kType2Standard,     // CoO2 cathode, high-density liquid polymer separator.
+  kType3FastCharge,   // CoO2 cathode, low-density liquid polymer separator.
+  kType4Bendable,     // CoO2 cathode, rubber-like solid ceramic separator.
+};
+
+std::string_view ChemistryName(Chemistry chemistry);
+
+struct BatteryParams {
+  std::string name;
+  Chemistry chemistry = Chemistry::kType2Standard;
+
+  // Electrical characteristics (paper Fig. 8).
+  Charge nominal_capacity;                // Coulombs at 100% health.
+  PiecewiseLinearCurve ocv_vs_soc;        // Open-circuit potential (V) vs SoC in [0,1].
+  PiecewiseLinearCurve dcir_vs_soc;       // Internal resistance (ohm) vs SoC in [0,1].
+  Resistance concentration_resistance;    // Thevenin R_c (fixed per battery).
+  Capacitance plate_capacitance;          // Thevenin C_p (fixed per battery).
+
+  // Operating limits.
+  Current max_discharge_current;  // Sustained discharge limit.
+  Current max_charge_current;     // Sustained charge limit (fast-charge ceiling).
+  Voltage charge_cutoff_voltage;  // CV phase target (e.g. 4.2 V).
+
+  // Aging (paper Fig. 1(b) and §5.1 cycle-count rule).
+  double rated_cycle_count = 800.0;      // chi_i: tolerable cycles to the warranty threshold.
+  double base_fade_per_cycle = 4.5e-5;   // Capacity fraction lost per cycle at low current.
+  double fade_current_stress = 6.0;      // Quadratic stress coefficient on I/I_ref.
+  Current fade_reference_current;        // I_ref for the stress term.
+  double resistance_growth = 2.0;        // DCIR growth per unit capacity fade.
+  // Calendar effects: idle self-discharge and shelf fade, quoted per month
+  // (typical Li-ion: 2-3%/month leak, ~0.2%/month calendar fade at room
+  // temperature).
+  double self_discharge_per_month = 0.025;
+  double calendar_fade_per_month = 0.002;
+  // Cold-temperature derating: DCIR grows by this fraction per kelvin below
+  // 25 C (ion mobility drops in the cold; ~2%/K is typical for Li-ion).
+  double cold_resistance_per_k = 0.02;
+
+  // Physical / economic characteristics (paper Table 1).
+  Volume volume;
+  Mass mass;
+  double cost_usd = 0.0;
+  double bend_radius_mm = 0.0;  // 0 == rigid.
+
+  // Fast-charge swelling (paper §5.1): effective volumetric density drops
+  // when the battery is routinely charged near its maximum rate.
+  double fast_charge_swelling = 0.0;  // Fractional volume growth at max-rate charging.
+
+  // Nominal voltage used for C-rate and Wh bookkeeping.
+  Voltage nominal_voltage;
+
+  // --- Derived helpers -----------------------------------------------------
+
+  // The current corresponding to `c_rate` (1C empties the battery in 1 hour).
+  Current CRate(double c_rate) const;
+
+  // Nominal stored energy at 100% SoC and 100% health.
+  Energy NominalEnergy() const;
+
+  // Volumetric energy density in Wh/l, optionally after swelling.
+  double EnergyDensityWhPerLitre(bool swollen = false) const;
+
+  // Gravimetric energy density in Wh/kg.
+  double EnergyDensityWhPerKg() const;
+
+  // Validation: curves span [0,1], capacities/limits positive, etc.
+  Status Validate() const;
+};
+
+// Normalised 0-10 scores on the six axes of paper Figure 1(a), computed from
+// the params so the radar bench has a single source of truth.
+struct ChemistryAxisScores {
+  double power_density = 0.0;
+  double energy_density = 0.0;
+  double affordability = 0.0;
+  double longevity = 0.0;
+  double efficiency = 0.0;
+  double form_factor_flexibility = 0.0;
+};
+
+ChemistryAxisScores ScoreAxes(const BatteryParams& params);
+
+}  // namespace sdb
+
+#endif  // SRC_CHEM_BATTERY_PARAMS_H_

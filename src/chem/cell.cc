@@ -1,0 +1,165 @@
+#include "src/chem/cell.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+namespace {
+// Generic thermal lumped parameters: ~40 J/K and 0.5 W/K suit phone-scale
+// cells; precise values only shift absolute temperatures, not energy flows.
+constexpr double kHeatCapacityJPerK = 40.0;
+constexpr double kConductanceWPerK = 0.5;
+}  // namespace
+
+Cell::Cell(BatteryParams params, double initial_soc)
+    : params_(std::make_unique<BatteryParams>(std::move(params))),
+      electrical_(params_.get(), initial_soc),
+      aging_(params_.get()),
+      thermal_(kHeatCapacityJPerK, kConductanceWPerK, Celsius(25.0)) {
+  ::sdb::Status valid = params_->Validate();
+  SDB_CHECK(valid.ok());
+}
+
+Cell::Cell(Cell&& other) noexcept
+    : params_(std::move(other.params_)),
+      electrical_(other.electrical_),
+      aging_(other.aging_),
+      thermal_(other.thermal_),
+      total_loss_j_(other.total_loss_j_) {}
+
+Cell& Cell::operator=(Cell&& other) noexcept {
+  params_ = std::move(other.params_);
+  electrical_ = other.electrical_;
+  aging_ = other.aging_;
+  thermal_ = other.thermal_;
+  total_loss_j_ = other.total_loss_j_;
+  return *this;
+}
+
+Charge Cell::EffectiveCapacity() const {
+  return Charge(params_->nominal_capacity.value() * aging_.capacity_factor());
+}
+
+Charge Cell::RemainingCharge() const { return Charge(EffectiveCapacity().value() * soc()); }
+
+Energy Cell::RemainingEnergy() const {
+  // Integrate OCV(s) ds over [0, soc] scaled by capacity: the chemical
+  // energy still extractable ignoring resistive losses.
+  double cap = EffectiveCapacity().value();
+  double s = soc();
+  if (s <= 0.0) {
+    return Joules(0.0);
+  }
+  constexpr int kPanels = 32;
+  double sum = 0.0;
+  double h = s / kPanels;
+  for (int i = 0; i <= kPanels; ++i) {
+    double weight = (i == 0 || i == kPanels) ? 0.5 : 1.0;
+    sum += weight * params_->ocv_vs_soc.Evaluate(i * h);
+  }
+  return Joules(sum * h * cap);
+}
+
+Power Cell::MaxDischargePower() const {
+  // The lower of the electrical max-power point and the current limit.
+  double ocv = OpenCircuitVoltage().value();
+  double i_max = params_->max_discharge_current.value();
+  double r0 = InternalResistance().value();
+  double p_limit = (ocv - i_max * r0) * i_max;
+  double p_electrical = electrical_.MaxDischargePower().value();
+  return Watts(std::max(0.0, std::min(p_limit, p_electrical)));
+}
+
+Power Cell::MaxChargePower() const {
+  double ocv = OpenCircuitVoltage().value();
+  double j_max = params_->max_charge_current.value();
+  double r0 = InternalResistance().value();
+  return Watts((ocv + j_max * r0) * j_max);
+}
+
+void Cell::AdvanceIdle(Duration dt) {
+  SDB_CHECK(dt.value() >= 0.0);
+  constexpr double kSecondsPerMonth = 30.0 * 24.0 * 3600.0;
+  double leak = params_->self_discharge_per_month * dt.value() / kSecondsPerMonth;
+  electrical_.set_soc(electrical_.soc() * (1.0 - leak));
+  aging_.AdvanceCalendar(dt);
+  SyncAging();
+}
+
+StepResult Cell::StepDischargePower(Power power, Duration dt) {
+  SyncAging();
+  StepResult result = electrical_.StepWithDischargePower(power, dt, EffectiveCapacity());
+  Account(result, dt);
+  return result;
+}
+
+StepResult Cell::StepDischargeCurrent(Current current, Duration dt) {
+  SDB_CHECK(current.value() >= 0.0);
+  SyncAging();
+  double i = std::min(current.value(), params_->max_discharge_current.value());
+  StepResult result = electrical_.StepWithCurrent(Amps(i), dt, EffectiveCapacity());
+  Account(result, dt);
+  return result;
+}
+
+StepResult Cell::StepChargePower(Power power, Duration dt) {
+  SyncAging();
+  StepResult result = electrical_.StepWithChargePower(power, dt, EffectiveCapacity());
+  Account(result, dt);
+  return result;
+}
+
+StepResult Cell::StepChargeCurrent(Current current, Duration dt) {
+  SDB_CHECK(current.value() >= 0.0);
+  SyncAging();
+  double j = std::min(current.value(), params_->max_charge_current.value());
+  StepResult result = electrical_.StepWithCurrent(Amps(-j), dt, EffectiveCapacity());
+  Account(result, dt);
+  return result;
+}
+
+void Cell::Account(const StepResult& result, Duration dt) {
+  double i = result.current.value();
+  double moved_c = std::fabs(i) * dt.value();
+  if (i < 0.0) {
+    aging_.RecordCharge(Charge(moved_c), Amps(std::fabs(i)));
+  } else if (i > 0.0) {
+    aging_.RecordDischarge(Charge(moved_c), Amps(i));
+  }
+  double loss = result.energy_lost.value();
+  total_loss_j_ += loss;
+  thermal_.Step(Joules(std::max(0.0, loss)), dt);
+  SyncAging();
+}
+
+void Cell::SyncAging() {
+  // DCIR grows with age and with cold: both multiply the fresh curve.
+  double cold = 1.0;
+  double below_25 = 298.15 - thermal_.temperature().value();
+  if (below_25 > 0.0) {
+    cold += params_->cold_resistance_per_k * below_25;
+  }
+  electrical_.set_resistance_scale(aging_.resistance_factor() * cold);
+}
+
+CellStatus Cell::GetStatus() const {
+  CellStatus status;
+  status.name = params_->name;
+  status.soc = soc();
+  status.terminal_voltage = electrical_.TerminalVoltageAt(Amps(0.0));
+  status.open_circuit_voltage = OpenCircuitVoltage();
+  status.internal_resistance = InternalResistance();
+  status.effective_capacity = EffectiveCapacity();
+  status.capacity_factor = aging_.capacity_factor();
+  status.cycle_count = aging_.cycle_count();
+  status.wear_ratio = aging_.wear_ratio();
+  status.temperature = thermal_.temperature();
+  status.total_loss = total_loss();
+  return status;
+}
+
+}  // namespace sdb

@@ -1,0 +1,249 @@
+#include "src/chem/library.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+PiecewiseLinearCurve CoO2OcvCurve(double v_empty, double v_full) {
+  SDB_CHECK(v_full > v_empty);
+  // Normalised CoO2 discharge curve; y in [0,1] is rescaled to the span.
+  static const std::pair<double, double> kShape[] = {
+      {0.00, 0.000}, {0.05, 0.330}, {0.10, 0.470}, {0.20, 0.545}, {0.30, 0.595},
+      {0.40, 0.632}, {0.50, 0.668}, {0.60, 0.705}, {0.70, 0.748}, {0.80, 0.805},
+      {0.90, 0.885}, {1.00, 1.000}};
+  std::vector<std::pair<double, double>> points;
+  points.reserve(std::size(kShape));
+  for (const auto& [x, y] : kShape) {
+    points.emplace_back(x, v_empty + y * (v_full - v_empty));
+  }
+  auto curve = PiecewiseLinearCurve::Create(std::move(points));
+  SDB_CHECK(curve.ok());
+  return std::move(curve).value();
+}
+
+PiecewiseLinearCurve LiFePO4OcvCurve() {
+  return PiecewiseLinearCurve::FromTable({{0.00, 2.90},
+                                          {0.05, 3.12},
+                                          {0.10, 3.20},
+                                          {0.20, 3.26},
+                                          {0.40, 3.29},
+                                          {0.60, 3.31},
+                                          {0.80, 3.34},
+                                          {0.90, 3.37},
+                                          {1.00, 3.48}});
+}
+
+PiecewiseLinearCurve DcirCurve(double r_mid_ohm) {
+  SDB_CHECK(r_mid_ohm > 0.0);
+  // Fig. 8c shape: resistance rises sharply as the battery empties.
+  static const std::pair<double, double> kShape[] = {
+      {0.00, 4.20}, {0.05, 2.60}, {0.10, 1.90}, {0.20, 1.40}, {0.30, 1.18},
+      {0.40, 1.07}, {0.50, 1.00}, {0.60, 0.96}, {0.70, 0.93}, {0.80, 0.91},
+      {0.90, 0.90}, {1.00, 0.89}};
+  std::vector<std::pair<double, double>> points;
+  points.reserve(std::size(kShape));
+  for (const auto& [x, y] : kShape) {
+    points.emplace_back(x, y * r_mid_ohm);
+  }
+  auto curve = PiecewiseLinearCurve::Create(std::move(points));
+  SDB_CHECK(curve.ok());
+  return std::move(curve).value();
+}
+
+namespace {
+
+// Fills physical properties from volumetric/gravimetric densities and cost
+// per Wh so every preset stays internally consistent.
+void FillPhysical(BatteryParams& p, double wh_per_litre, double wh_per_kg, double usd_per_wh) {
+  double wh = ToWattHours(p.NominalEnergy());
+  p.volume = Litres(wh / wh_per_litre);
+  p.mass = Kilograms(wh / wh_per_kg);
+  p.cost_usd = usd_per_wh * wh;
+}
+
+// RC pair from a fraction of mid-SoC DCIR and a target time constant.
+void FillRcPair(BatteryParams& p, double r_mid_ohm, double rc_fraction, double tau_s) {
+  p.concentration_resistance = Ohms(r_mid_ohm * rc_fraction);
+  p.plate_capacitance = Farads(tau_s / p.concentration_resistance.value());
+}
+
+}  // namespace
+
+BatteryParams MakeType1PowerCell(Charge capacity) {
+  BatteryParams p;
+  p.name = "T1-PowerTool";
+  p.chemistry = Chemistry::kType1HighPower;
+  p.nominal_capacity = capacity;
+  p.nominal_voltage = Volts(3.25);
+  p.ocv_vs_soc = LiFePO4OcvCurve();
+  double r_mid = 0.010 * (2.5 / ToAmpHours(capacity));  // 10 mOhm at 2.5 Ah scale.
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  FillRcPair(p, r_mid, 0.30, 20.0);
+  p.max_discharge_current = p.CRate(10.0);
+  p.max_charge_current = p.CRate(4.0);
+  p.charge_cutoff_voltage = Volts(3.60);
+  p.rated_cycle_count = 2000.0;
+  p.base_fade_per_cycle = 3.0e-5;
+  p.fade_current_stress = 0.5;
+  p.fade_reference_current = p.CRate(1.0);
+  p.resistance_growth = 1.5;
+  // Half the volumetric density of Type 2 (paper: double the volume for the
+  // same capacity).
+  FillPhysical(p, 290.0, 110.0, 0.25);
+  return p;
+}
+
+BatteryParams MakeType2Standard(Charge capacity, int variant) {
+  BatteryParams p;
+  p.name = "T2-Standard-" + std::string(1, static_cast<char>('A' + variant));
+  p.chemistry = Chemistry::kType2Standard;
+  p.nominal_capacity = capacity;
+  p.nominal_voltage = Volts(3.70);
+  // Variants differ slightly in curve endpoints and resistance, as the
+  // paper's eight Type 2 samples do.
+  double v_full = 4.18 + 0.01 * (variant % 3);
+  p.ocv_vs_soc = CoO2OcvCurve(2.80 - 0.02 * (variant % 2), v_full);
+  double r_mid = (0.030 + 0.003 * (variant % 4)) * (2.5 / ToAmpHours(capacity));
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  FillRcPair(p, r_mid, 0.35, 30.0);
+  p.max_discharge_current = p.CRate(2.0);
+  p.max_charge_current = p.CRate(0.7);
+  p.charge_cutoff_voltage = Volts(4.20);
+  p.rated_cycle_count = 800.0;
+  // Calibrated to Fig. 1(b): 600 cycles at 0.25C/0.35C/0.5C charge end near
+  // 92% / 88% / 81% of original capacity.
+  p.base_fade_per_cycle = 8.0e-5;
+  p.fade_current_stress = 12.0;
+  p.fade_reference_current = p.CRate(1.0);
+  p.resistance_growth = 2.0;
+  FillPhysical(p, 590.0 + (variant % 4) * 3.0, 255.0, 0.30);
+  return p;
+}
+
+BatteryParams MakeType3FastCharge(Charge capacity, int variant) {
+  BatteryParams p;
+  p.name = "T3-FastCharge-" + std::string(1, static_cast<char>('A' + variant));
+  p.chemistry = Chemistry::kType3FastCharge;
+  p.nominal_capacity = capacity;
+  p.nominal_voltage = Volts(3.65);
+  p.ocv_vs_soc = CoO2OcvCurve(2.75, 4.12 + 0.02 * variant);
+  double r_mid = (0.016 + 0.004 * variant) * (2.5 / ToAmpHours(capacity));
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  // The low-density separator keeps ohmic DCIR small (that is what buys the
+  // 3C power) but concentration polarisation is high — Fig. 1(c) puts the
+  // Type 3 heat-loss curve between Type 2 and Type 4.
+  FillRcPair(p, r_mid, 2.5, 15.0);
+  p.max_discharge_current = p.CRate(4.0);
+  p.max_charge_current = p.CRate(3.0);
+  p.charge_cutoff_voltage = Volts(4.20);
+  p.rated_cycle_count = 700.0;
+  // Designed for current: low stress coefficient, but fast charging still
+  // costs ~22% capacity over 1000 cycles (Fig. 11c).
+  p.base_fade_per_cycle = 6.0e-5;
+  p.fade_current_stress = 0.30;
+  p.fade_reference_current = p.CRate(1.0);
+  p.resistance_growth = 2.0;
+  // 530-540 Wh/l fresh; swells ~5.5% under routine max-rate charging,
+  // landing at the paper's 500-510 Wh/l effective density.
+  FillPhysical(p, 532.0 + 6.0 * variant, 235.0, 0.45);
+  p.fast_charge_swelling = 0.055;
+  return p;
+}
+
+BatteryParams MakeType4Bendable(Charge capacity, int variant) {
+  BatteryParams p;
+  p.name = "T4-Bendable-" + std::string(1, static_cast<char>('A' + variant));
+  p.chemistry = Chemistry::kType4Bendable;
+  p.nominal_capacity = capacity;
+  p.nominal_voltage = Volts(3.65);
+  p.ocv_vs_soc = CoO2OcvCurve(2.70, 4.10);
+  // The rubber-like ceramic separator resists ion flow: ohm-scale DCIR at
+  // watch capacities (top of the Fig. 8c band).
+  // Calibrated so a 2C drain loses ~30% to heat (Fig. 1c's Type 4 curve).
+  double r_mid = (1.80 + 0.60 * variant) * (0.2 / ToAmpHours(capacity));
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  FillRcPair(p, r_mid, 0.50, 45.0);
+  p.max_discharge_current = p.CRate(2.0);
+  p.max_charge_current = p.CRate(0.3);
+  p.charge_cutoff_voltage = Volts(4.15);
+  p.rated_cycle_count = 500.0;
+  p.base_fade_per_cycle = 1.6e-4;
+  p.fade_current_stress = 8.0;
+  p.fade_reference_current = p.CRate(1.0);
+  p.resistance_growth = 2.5;
+  FillPhysical(p, 350.0, 160.0, 0.90);
+  p.bend_radius_mm = 12.0 + 4.0 * variant;
+  return p;
+}
+
+BatteryParams MakeWatchLiIon(Charge capacity) {
+  BatteryParams p = MakeType2Standard(capacity, 0);
+  p.name = "Watch-LiIon";
+  // Small cells carry proportionally higher DCIR (Fig. 8c upper cluster).
+  double r_mid = 0.45 * (0.2 / ToAmpHours(capacity));
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  FillRcPair(p, r_mid, 0.35, 25.0);
+  FillPhysical(p, 600.0, 250.0, 0.40);
+  return p;
+}
+
+BatteryParams MakeHighEnergyTablet(Charge capacity) {
+  BatteryParams p = MakeType2Standard(capacity, 1);
+  p.name = "HE-Tablet";
+  FillPhysical(p, 595.0, 260.0, 0.32);
+  p.rated_cycle_count = 1000.0;
+  // Large-format tablet cells charge gently (0.5C) to protect longevity.
+  p.max_charge_current = p.CRate(0.5);
+  return p;
+}
+
+BatteryParams MakeFastChargeTablet(Charge capacity) {
+  BatteryParams p = MakeType3FastCharge(capacity, 0);
+  p.name = "FC-Tablet";
+  FillPhysical(p, 535.0, 238.0, 0.45);
+  p.fast_charge_swelling = 0.055;
+  p.rated_cycle_count = 1000.0;
+  return p;
+}
+
+BatteryParams MakeTwoInOneInternal(Charge capacity) {
+  BatteryParams p = MakeType2Standard(capacity, 2);
+  p.name = "2in1-Internal";
+  return p;
+}
+
+BatteryParams MakeTwoInOneExternal(Charge capacity) {
+  BatteryParams p = MakeType2Standard(capacity, 3);
+  p.name = "2in1-External";
+  return p;
+}
+
+std::vector<BatteryParams> MakeBatteryLibrary() {
+  std::vector<BatteryParams> lib;
+  lib.reserve(15);
+  // Two Type 4 (bendable), watch scale.
+  lib.push_back(MakeType4Bendable(MilliAmpHours(200.0), 0));
+  lib.push_back(MakeType4Bendable(MilliAmpHours(350.0), 1));
+  // Two Type 3 (fast charge), phone/tablet scale.
+  lib.push_back(MakeType3FastCharge(MilliAmpHours(3000.0), 0));
+  lib.push_back(MakeType3FastCharge(MilliAmpHours(4000.0), 1));
+  // Eight Type 2 (standard), assorted sizes.
+  lib.push_back(MakeType2Standard(MilliAmpHours(2000.0), 0));
+  lib.push_back(MakeType2Standard(MilliAmpHours(2500.0), 1));
+  lib.push_back(MakeType2Standard(MilliAmpHours(3000.0), 2));
+  lib.push_back(MakeType2Standard(MilliAmpHours(3500.0), 3));
+  lib.push_back(MakeType2Standard(MilliAmpHours(4000.0), 4));
+  lib.push_back(MakeType2Standard(MilliAmpHours(4500.0), 5));
+  lib.push_back(MakeType2Standard(MilliAmpHours(5000.0), 6));
+  lib.push_back(MakeType2Standard(MilliAmpHours(5500.0), 7));
+  // Three others: power cell, watch cell, high-energy tablet cell.
+  lib.push_back(MakeType1PowerCell(MilliAmpHours(1500.0)));
+  lib.push_back(MakeWatchLiIon(MilliAmpHours(200.0)));
+  lib.push_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)));
+  for (const auto& params : lib) {
+    SDB_CHECK(params.Validate().ok());
+  }
+  return lib;
+}
+
+}  // namespace sdb

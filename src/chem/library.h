@@ -1,0 +1,58 @@
+// The battery library: synthetic parameter sets standing in for the 15
+// state-of-the-art mobile-device batteries the paper characterised on Arbin
+// BT-2000 / Maccor 4200 cyclers (§4.3, Figure 9).
+//
+// Composition mirrors the paper: two Type 4 (bendable), two Type 3
+// (fast-charge), eight Type 2 (standard CoO2) and three others (a Type 1
+// power cell, a small watch Li-ion, a high-energy tablet cell). Scenario
+// presets (§5) derive from these.
+//
+// Curve shapes are calibrated to the figures: OCP rises 2.7→4.3 V with SoC
+// (Fig. 8b), DCIR falls steeply at low SoC and spans ~0.01–10 ohm across the
+// library (Fig. 8c), fade constants reproduce Fig. 1(b) / Fig. 11(c), and
+// the Type 2/3/4 resistances reproduce the Fig. 1(c) heat-loss ordering.
+#ifndef SRC_CHEM_LIBRARY_H_
+#define SRC_CHEM_LIBRARY_H_
+
+#include <vector>
+
+#include "src/chem/battery_params.h"
+
+namespace sdb {
+
+// --- Curve factories --------------------------------------------------------
+
+// CoO2-style OCV curve scaled so that the 0%..100% swing spans
+// [v_empty, v_full] (defaults match Fig. 8b: 2.80 V .. 4.18 V).
+PiecewiseLinearCurve CoO2OcvCurve(double v_empty = 2.80, double v_full = 4.18);
+
+// LiFePO4-style OCV curve: characteristically flat mid-range plateau.
+PiecewiseLinearCurve LiFePO4OcvCurve();
+
+// DCIR-vs-SoC curve with the Fig. 8c shape: `r_mid` ohms at 50% SoC,
+// rising ~4x toward empty and dipping slightly toward full.
+PiecewiseLinearCurve DcirCurve(double r_mid_ohm);
+
+// --- Individual presets -----------------------------------------------------
+// `capacity` scales the cell; curves and coefficients follow the chemistry.
+
+BatteryParams MakeType1PowerCell(Charge capacity);    // LiFePO4 power-tool cell.
+BatteryParams MakeType2Standard(Charge capacity, int variant = 0);  // Everyday CoO2.
+BatteryParams MakeType3FastCharge(Charge capacity, int variant = 0);
+BatteryParams MakeType4Bendable(Charge capacity, int variant = 0);
+
+// Scenario cells used in §5.
+BatteryParams MakeWatchLiIon(Charge capacity);       // Small rigid watch cell.
+BatteryParams MakeHighEnergyTablet(Charge capacity); // 590-600 Wh/l, slow charge.
+BatteryParams MakeFastChargeTablet(Charge capacity); // 530-540 Wh/l, 3C charge,
+                                                     // swells to 500-510 effective.
+BatteryParams MakeTwoInOneInternal(Charge capacity); // Tablet-side Li-ion.
+BatteryParams MakeTwoInOneExternal(Charge capacity); // Keyboard-base Li-ion.
+
+// The full 15-battery library in a stable order (indices are referenced by
+// the Fig. 8 bench).
+std::vector<BatteryParams> MakeBatteryLibrary();
+
+}  // namespace sdb
+
+#endif  // SRC_CHEM_LIBRARY_H_

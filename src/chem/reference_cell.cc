@@ -1,0 +1,63 @@
+#include "src/chem/reference_cell.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+ReferenceCell::ReferenceCell(const BatteryParams* params, ReferenceCellConfig config,
+                             double initial_soc)
+    : params_(params), config_(config) {
+  SDB_CHECK(params_ != nullptr);
+  soc_ = Clamp(initial_soc, 0.0, 1.0);
+}
+
+void ReferenceCell::set_soc(double soc) { soc_ = Clamp(soc, 0.0, 1.0); }
+
+double ReferenceCell::EffectiveCapacity(double current_a) const {
+  double cap = params_->nominal_capacity.value();
+  double i_ref = params_->fade_reference_current.value();
+  double mag = std::fabs(current_a);
+  if (mag <= 0.0) {
+    return cap;
+  }
+  // Peukert-like shrinkage relative to the reference current.
+  double ratio = mag / i_ref;
+  return cap / std::pow(ratio, config_.peukert_exponent - 1.0);
+}
+
+Voltage ReferenceCell::TerminalVoltage(Current current) const {
+  double i = current.value();
+  double ocv = params_->ocv_vs_soc.Evaluate(soc_) + hysteresis_state_;
+  double r0 = params_->dcir_vs_soc.Evaluate(soc_) * (1.0 + config_.r_current_coeff * std::fabs(i));
+  return Volts(ocv - i * r0 - v_fast_ - v_slow_);
+}
+
+Voltage ReferenceCell::StepWithCurrent(Current current, Duration dt) {
+  double i = current.value();
+  double dt_s = dt.value();
+  SDB_CHECK(dt_s > 0.0);
+
+  double rc_total = params_->concentration_resistance.value();
+  double r_fast = rc_total * config_.fast_rc_fraction;
+  double r_slow = rc_total * (1.0 - config_.fast_rc_fraction);
+
+  auto relax = [&](double v, double r, double tau) {
+    double v_inf = i * r;
+    return v_inf + (v - v_inf) * std::exp(-dt_s / tau);
+  };
+  v_fast_ = relax(v_fast_, r_fast, config_.fast_tau_s);
+  v_slow_ = relax(v_slow_, r_slow, config_.slow_tau_s);
+
+  // Hysteresis relaxes toward the direction-dependent bound.
+  double target = (i > 0.0) ? -config_.hysteresis_v : (i < 0.0 ? config_.hysteresis_v : 0.0);
+  constexpr double kHysteresisTau = 300.0;
+  hysteresis_state_ = target + (hysteresis_state_ - target) * std::exp(-dt_s / kHysteresisTau);
+
+  soc_ = Clamp(soc_ - i * dt_s / EffectiveCapacity(i), 0.0, 1.0);
+  return TerminalVoltage(current);
+}
+
+}  // namespace sdb

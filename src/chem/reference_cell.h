@@ -1,0 +1,58 @@
+// Higher-order reference cell model used to validate the 4-parameter
+// Thevenin model (paper Fig. 10, "97.5% accurate").
+//
+// The paper compares the Thevenin model's terminal-voltage prediction
+// against a physical cell driven by an Arbin/Maccor cycler. We have no
+// cycler, so the reference is a richer electrochemical surrogate:
+//   * two RC branches (fast surface + slow diffusion dynamics),
+//   * OCV hysteresis between charge and discharge directions,
+//   * rate-dependent usable capacity (a Peukert-like term),
+//   * mild resistance nonlinearity in current.
+// The Thevenin model fitted to the same battery is then evaluated against
+// this surrogate exactly the way the paper evaluates against hardware.
+#ifndef SRC_CHEM_REFERENCE_CELL_H_
+#define SRC_CHEM_REFERENCE_CELL_H_
+
+#include "src/chem/battery_params.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// Extra fidelity knobs layered on top of BatteryParams.
+struct ReferenceCellConfig {
+  double fast_rc_fraction = 0.6;   // Portion of R_c assigned to the fast branch.
+  double fast_tau_s = 5.0;         // Fast branch time constant.
+  double slow_tau_s = 300.0;       // Slow branch time constant.
+  double hysteresis_v = 0.080;     // Half-width of the OCV hysteresis band.
+  double peukert_exponent = 1.08;  // Usable capacity shrinks as I^(k-1).
+  double r_current_coeff = 0.20;   // R0 grows by this fraction per amp.
+};
+
+class ReferenceCell {
+ public:
+  ReferenceCell(const BatteryParams* params, ReferenceCellConfig config, double initial_soc);
+
+  // Advances one step at fixed current (discharge positive) and returns the
+  // end-of-step terminal voltage.
+  Voltage StepWithCurrent(Current current, Duration dt);
+
+  Voltage TerminalVoltage(Current current) const;
+
+  double soc() const { return soc_; }
+  void set_soc(double soc);
+
+ private:
+  double EffectiveCapacity(double current_a) const;
+
+  const BatteryParams* params_;
+  ReferenceCellConfig config_;
+  double soc_;
+  double v_fast_ = 0.0;
+  double v_slow_ = 0.0;
+  // Hysteresis state drifts toward +h on discharge, -h on charge.
+  double hysteresis_state_ = 0.0;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CHEM_REFERENCE_CELL_H_

@@ -1,0 +1,58 @@
+#include "src/chem/soc_estimator.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+SocEstimator::SocEstimator(const BatteryParams* params, SocEstimatorConfig config,
+                           double initial_soc)
+    : params_(params), config_(config) {
+  SDB_CHECK(params_ != nullptr);
+  SDB_CHECK(config_.initial_variance > 0.0);
+  soc_ = Clamp(initial_soc, 0.0, 1.0);
+  variance_ = config_.initial_variance;
+}
+
+void SocEstimator::Update(Current current, Voltage terminal_voltage, Charge capacity,
+                          Duration dt) {
+  double i = current.value();
+  double dt_s = dt.value();
+  double cap = capacity.value();
+  SDB_CHECK(dt_s > 0.0);
+  SDB_CHECK(cap > 0.0);
+
+  // --- Predict: coulomb counting with throughput-scaled process noise.
+  soc_ = Clamp(soc_ - i * dt_s / cap, 0.0, 1.0);
+  variance_ += config_.process_noise_per_c * std::fabs(i) * dt_s;
+
+  // --- Correct: invert the OCV curve through the IR model.
+  if (std::fabs(i) > config_.max_correction_current.value()) {
+    return;
+  }
+  double r0 = params_->dcir_vs_soc.Evaluate(soc_);
+  double ocv_inferred = terminal_voltage.value() + i * r0;
+  StatusOr<double> soc_meas = params_->ocv_vs_soc.SolveForX(
+      Clamp(ocv_inferred, params_->ocv_vs_soc.min_y(), params_->ocv_vs_soc.max_y()));
+  if (!soc_meas.ok()) {
+    return;
+  }
+
+  // Measurement variance in SoC units: sensor noise divided by the local
+  // OCV slope (V per SoC). A flat curve makes the measurement useless.
+  double slope = params_->ocv_vs_soc.Derivative(soc_);
+  constexpr double kMinSlope = 1e-3;
+  if (slope < kMinSlope) {
+    slope = kMinSlope;
+  }
+  double sigma_soc = config_.voltage_noise_v / slope;
+  double r_meas = sigma_soc * sigma_soc;
+
+  double gain = variance_ / (variance_ + r_meas);
+  soc_ = Clamp(soc_ + gain * (*soc_meas - soc_), 0.0, 1.0);
+  variance_ *= 1.0 - gain;
+}
+
+}  // namespace sdb

@@ -1,0 +1,50 @@
+// Kalman state-of-charge estimator.
+//
+// Coulomb counting drifts; OCV inversion is noisy under load and blind in
+// flat regions of the OCV curve. This scalar Kalman filter fuses both, the
+// approach of the adaptive-EKF Thevenin literature the paper builds its
+// emulator on (§4.3, refs [8,19]):
+//
+//   predict:  soc -= I*dt/Q            (process noise grows with throughput)
+//   correct:  soc_meas = OCV^{-1}(V_term + I*R(soc))   (measurement noise
+//             scaled by sensor noise and the local OCV slope — a flat curve
+//             makes voltage nearly uninformative and the gain collapses)
+#ifndef SRC_CHEM_SOC_ESTIMATOR_H_
+#define SRC_CHEM_SOC_ESTIMATOR_H_
+
+#include "src/chem/battery_params.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct SocEstimatorConfig {
+  double initial_variance = 0.04;        // (20% 1-sigma initial uncertainty)^2.
+  double process_noise_per_c = 1e-9;     // SoC variance added per coulomb moved.
+  double voltage_noise_v = 0.010;        // Terminal-voltage sensor noise (1 sigma).
+  // Skip the correction step when |I| exceeds this (the IR estimate gets
+  // too uncertain under heavy load, like production gauges do).
+  Current max_correction_current = Amps(3.0);
+};
+
+class SocEstimator {
+ public:
+  SocEstimator(const BatteryParams* params, SocEstimatorConfig config, double initial_soc);
+
+  // One filter step with the measured current (discharge positive) and
+  // terminal voltage over `dt`, against the battery's current full
+  // capacity.
+  void Update(Current current, Voltage terminal_voltage, Charge capacity, Duration dt);
+
+  double soc() const { return soc_; }
+  double variance() const { return variance_; }
+
+ private:
+  const BatteryParams* params_;
+  SocEstimatorConfig config_;
+  double soc_;
+  double variance_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CHEM_SOC_ESTIMATOR_H_

@@ -1,0 +1,48 @@
+#include "src/chem/thermal.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+ThermalModel::ThermalModel(double heat_capacity_j_per_k, double thermal_conductance_w_per_k,
+                           Temperature ambient)
+    : heat_capacity_(heat_capacity_j_per_k),
+      conductance_(thermal_conductance_w_per_k),
+      ambient_k_(ambient.value()),
+      temp_k_(ambient.value()) {
+  SDB_CHECK(heat_capacity_ > 0.0);
+  SDB_CHECK(conductance_ >= 0.0);
+}
+
+void ThermalModel::Step(Energy heat, Duration dt) {
+  double dt_s = dt.value();
+  SDB_CHECK(dt_s > 0.0);
+  double heat_j = heat.value();
+  if (heat_j > 0.0) {
+    total_heat_j_ += heat_j;
+  }
+  // Exact solution of C dT/dt = P_heat - G (T - T_amb) for constant P_heat.
+  double p_heat = heat_j / dt_s;
+  if (conductance_ > 0.0) {
+    double t_inf = ambient_k_ + p_heat / conductance_;
+    double tau = heat_capacity_ / conductance_;
+    temp_k_ = t_inf + (temp_k_ - t_inf) * std::exp(-dt_s / tau);
+  } else {
+    temp_k_ += heat_j / heat_capacity_;
+  }
+}
+
+void ThermalModel::ResetTemperature() { temp_k_ = ambient_k_; }
+
+double HeatLossPercentAtCRate(const BatteryParams& params, double c_rate, double soc) {
+  SDB_CHECK(c_rate >= 0.0);
+  double i = params.CRate(c_rate).value();
+  double ocv = params.ocv_vs_soc.Evaluate(soc);
+  double r_total = params.dcir_vs_soc.Evaluate(soc) + params.concentration_resistance.value();
+  // Fraction of the chemical energy OCV*I dissipated as I^2*R heat.
+  return 100.0 * i * r_total / ocv;
+}
+
+}  // namespace sdb

@@ -1,0 +1,93 @@
+// The paper's battery model (Fig. 8a): a Thevenin equivalent circuit with
+// four learned quantities — open-circuit potential OCV(SoC), internal
+// resistance R0(SoC), concentration resistance R_c and plate capacitance
+// C_p. Terminal voltage under load current I (discharge positive):
+//
+//   V_term = OCV(SoC) - I * R0(SoC) - V_rc
+//   dV_rc/dt = (I - V_rc / R_c) / C_p
+//
+// The model integrates SoC by coulomb counting and supports both
+// current-specified and power-specified steps (the latter solves the load
+// quadratic; see DESIGN.md §5).
+#ifndef SRC_CHEM_THEVENIN_H_
+#define SRC_CHEM_THEVENIN_H_
+
+#include "src/chem/battery_params.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// Outcome of one integration step.
+struct StepResult {
+  Current current;          // Actual current (discharge positive, charge negative).
+  Voltage terminal_voltage; // At end of step.
+  Energy energy_at_terminals;  // Delivered to (discharge, +) or absorbed from (charge, -) load.
+  Energy energy_chemical;      // Removed from (+) or stored into (-) the chemistry.
+  Energy energy_lost;          // Resistive heat (momentarily negative only while the
+                               // RC element returns transient stored energy).
+  bool limited = false;        // True if the request was clamped (empty/full/over-power).
+};
+
+// Dynamic electrical state of one cell. Aging is layered on top by
+// sdb::Cell; this class treats capacity as externally supplied so the same
+// solver serves both fresh and degraded cells.
+class TheveninModel {
+ public:
+  // `params` must outlive the model and be valid (see BatteryParams::Validate).
+  TheveninModel(const BatteryParams* params, double initial_soc);
+
+  // State of charge in [0, 1].
+  double soc() const { return soc_; }
+  void set_soc(double soc);
+
+  // Multiplier (>= 1) applied to the fresh DCIR curve; set by the aging
+  // layer as capacity fades.
+  double resistance_scale() const { return resistance_scale_; }
+  void set_resistance_scale(double scale);
+
+  // Voltage across the RC (concentration) element.
+  Voltage rc_voltage() const { return Voltage(v_rc_); }
+
+  Voltage OpenCircuitVoltage() const;
+  Resistance InternalResistance() const;
+
+  // d(DCIR)/d(SoC) at the current SoC — the delta_i of the RBL algorithms.
+  double DcirSlope() const;
+
+  // Terminal voltage if `current` were applied right now (no state change).
+  Voltage TerminalVoltageAt(Current current) const;
+
+  // Maximum instantaneous power the cell can source given OCV, V_rc and R0
+  // (the peak of the P(I) parabola), ignoring the current limit.
+  Power MaxDischargePower() const;
+
+  // Integrates one step at fixed current. Positive current discharges.
+  // The request is clamped when the cell would leave [0,1] SoC; the result
+  // reports the realised current/energies. `capacity` is the cell's current
+  // (possibly faded) full-charge capacity.
+  StepResult StepWithCurrent(Current current, Duration dt, Charge capacity);
+
+  // Integrates one step delivering `power` at the terminals (discharge).
+  // Clamps to MaxDischargePower and to the params' discharge current limit.
+  StepResult StepWithDischargePower(Power power, Duration dt, Charge capacity);
+
+  // Integrates one step absorbing `power` at the terminals (charge).
+  // Clamps to the params' charge current limit and to 100% SoC.
+  StepResult StepWithChargePower(Power power, Duration dt, Charge capacity);
+
+  const BatteryParams& params() const { return *params_; }
+
+ private:
+  // Shared integration core once the current has been decided.
+  StepResult Integrate(double current_a, double dt_s, double capacity_c);
+
+  const BatteryParams* params_;
+  double soc_;
+  double v_rc_ = 0.0;  // Volts.
+  double resistance_scale_ = 1.0;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CHEM_THEVENIN_H_

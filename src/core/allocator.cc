@@ -1,0 +1,129 @@
+#include "src/core/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+
+// y at which battery i's marginal cost reaches lambda (inverse of
+// mc(y) = 2 R y + 3 H g y^2).
+double CurrentAtMultiplier(double r, double hg3, double lambda) {
+  if (lambda <= 0.0) {
+    return 0.0;
+  }
+  if (hg3 <= 0.0) {
+    return lambda / (2.0 * r);
+  }
+  // Positive root of hg3 * y^2 + 2 r y - lambda = 0.
+  double disc = 4.0 * r * r + 4.0 * hg3 * lambda;
+  return (-2.0 * r + std::sqrt(disc)) / (2.0 * hg3);
+}
+
+}  // namespace
+
+std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& problem) {
+  const size_t n = problem.resistance_ohm.size();
+  SDB_CHECK(problem.dcir_growth_per_c.size() == n);
+  SDB_CHECK(problem.current_cap_a.size() == n);
+  std::vector<double> result(n, 0.0);
+  double total = problem.total_current_a;
+  if (total <= 0.0 || n == 0) {
+    return result;
+  }
+
+  double cap_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    SDB_CHECK(problem.current_cap_a[i] >= 0.0);
+    if (problem.current_cap_a[i] > 0.0) {
+      SDB_CHECK(problem.resistance_ohm[i] > 0.0);
+      SDB_CHECK(problem.dcir_growth_per_c[i] >= 0.0);
+    }
+    cap_sum += problem.current_cap_a[i];
+  }
+  if (cap_sum <= total) {
+    return problem.current_cap_a;  // Everything is saturated.
+  }
+
+  auto hg3 = [&](size_t i) { return 3.0 * problem.horizon_s * problem.dcir_growth_per_c[i]; };
+  auto total_at = [&](double lambda) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (problem.current_cap_a[i] <= 0.0) {
+        continue;
+      }
+      double y = CurrentAtMultiplier(problem.resistance_ohm[i], hg3(i), lambda);
+      sum += std::min(y, problem.current_cap_a[i]);
+    }
+    return sum;
+  };
+
+  // Bracket lambda: above lambda_hi every eligible battery is saturated.
+  double lambda_hi = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double cap = problem.current_cap_a[i];
+    if (cap <= 0.0) {
+      continue;
+    }
+    double mc = 2.0 * problem.resistance_ohm[i] * cap + hg3(i) * cap * cap;
+    lambda_hi = std::max(lambda_hi, mc);
+  }
+  lambda_hi *= 1.0 + 1e-9;
+
+  double lo = 0.0;
+  double hi = lambda_hi;
+  for (int iter = 0; iter < 120; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (total_at(mid) < total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double lambda = 0.5 * (lo + hi);
+  for (size_t i = 0; i < n; ++i) {
+    if (problem.current_cap_a[i] <= 0.0) {
+      continue;
+    }
+    double y = CurrentAtMultiplier(problem.resistance_ohm[i], hg3(i), lambda);
+    result[i] = std::min(y, problem.current_cap_a[i]);
+  }
+  return result;
+}
+
+std::vector<double> NormalizeShares(std::vector<double> weights,
+                                    const std::vector<bool>* eligible) {
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    SDB_CHECK(weights[i] >= 0.0);
+    if (eligible != nullptr && !(*eligible)[i]) {
+      weights[i] = 0.0;
+    }
+    sum += weights[i];
+  }
+  if (sum > 0.0) {
+    for (auto& w : weights) {
+      w /= sum;
+    }
+    return weights;
+  }
+  // Fall back to uniform over eligible entries.
+  size_t count = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (eligible == nullptr || (*eligible)[i]) {
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return weights;  // All zero; caller handles the degenerate case.
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = (eligible == nullptr || (*eligible)[i]) ? 1.0 / static_cast<double>(count) : 0.0;
+  }
+  return weights;
+}
+
+}  // namespace sdb

@@ -1,0 +1,44 @@
+// The Lagrangian current allocator shared by the RBL policies and the RBL
+// metric (paper §3.3, "the RBL-Discharge algorithm ... balances
+// R'_i = R_i + delta_i * y_i ... where lambda is a Lagrangian multiplier").
+//
+// We cast the balancing as marginal-cost equalisation. Per battery, the
+// cost of carrying current y is
+//
+//   cost_i(y) = R_i * y^2            (instantaneous resistive loss)
+//             + H * g_i * y^3        (future loss: drawing charge raises the
+//                                     DCIR at g_i ohm/coulomb for a horizon
+//                                     of H seconds)
+//
+// so the marginal cost mc_i(y) = 2 R_i y + 3 H g_i y^2 is strictly
+// increasing. The optimum shares a multiplier lambda with mc_i(y_i) =
+// lambda for every battery below its cap — found by monotone bisection.
+// With g == 0 this reduces to the classic loss-minimising y_i ∝ 1/R_i.
+#ifndef SRC_CORE_ALLOCATOR_H_
+#define SRC_CORE_ALLOCATOR_H_
+
+#include <vector>
+
+namespace sdb {
+
+struct MarginalCostProblem {
+  std::vector<double> resistance_ohm;      // R_i > 0 for eligible batteries.
+  std::vector<double> dcir_growth_per_c;   // g_i >= 0 (ohm per coulomb drawn).
+  std::vector<double> current_cap_a;       // y_max_i >= 0.
+  double total_current_a = 0.0;            // Target sum of y_i.
+  double horizon_s = 600.0;                // H in the future-loss term.
+};
+
+// Returns currents y_i >= 0 with sum == min(total, sum of caps), equalising
+// marginal costs among uncapped batteries. Batteries with zero cap get zero.
+std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& problem);
+
+// Normalises a non-negative vector to sum to 1; all-zero input becomes a
+// uniform vector over entries whose `eligible` flag is set (or truly uniform
+// when no flags are given).
+std::vector<double> NormalizeShares(std::vector<double> weights,
+                                    const std::vector<bool>* eligible = nullptr);
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_ALLOCATOR_H_

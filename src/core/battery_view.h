@@ -1,0 +1,50 @@
+// The policy layer's view of one battery: gauge estimates fused with the
+// manufacturer characteristic curves (the paper's runtime "calculates these
+// power values ... based on the DCIR-SoC curves given by the manufacturer",
+// §3.3). Policies never touch Cell objects directly — only these views —
+// so they run identically against hardware, the emulator, or test fixtures.
+#ifndef SRC_CORE_BATTERY_VIEW_H_
+#define SRC_CORE_BATTERY_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct BatteryView {
+  size_t index = 0;
+  std::string name;
+
+  double soc = 0.0;              // Gauge estimate.
+  double ocv_v = 0.0;            // From the manufacturer OCV curve at `soc`.
+  double dcir_ohm = 0.0;         // From the manufacturer DCIR curve at `soc`.
+  double dcir_slope = 0.0;       // d(DCIR)/d(SoC) at `soc` (typically < 0).
+  double capacity_c = 0.0;       // Full-charge capacity estimate (coulombs).
+  double remaining_energy_j = 0.0;
+  double wear_ratio = 0.0;       // lambda_i = cc_i / chi_i.
+  double rated_cycles = 0.0;     // chi_i.
+  double max_discharge_a = 0.0;  // Datasheet sustained limit.
+  double max_charge_a = 0.0;     // Current charge acceptance (profile-limited).
+  double temperature_k = 298.15;
+  bool is_empty = false;
+  bool is_full = false;
+
+  // Resistance growth per coulomb drawn: |dR/dSoC| / capacity when draining
+  // raises resistance; zero otherwise. This is the delta_i of the paper's
+  // RBL derivation, normalised to charge units.
+  double DischargeDcirGrowthPerCoulomb() const {
+    if (capacity_c <= 0.0) {
+      return 0.0;
+    }
+    double growth = -dcir_slope;  // Draining lowers SoC; R rises when slope < 0.
+    return growth > 0.0 ? growth / capacity_c : 0.0;
+  }
+};
+
+using BatteryViews = std::vector<BatteryView>;
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_BATTERY_VIEW_H_

@@ -1,0 +1,55 @@
+#include "src/core/ccb_policy.h"
+
+#include <algorithm>
+
+#include "src/core/allocator.h"
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+
+// Headroom-weighted shares: weight_i = (max wear − wear_i + band), zeroed
+// for unavailable batteries, normalised. More headroom (less wear relative
+// to chi_i) means a larger share, driving CCB toward 1.
+std::vector<double> WearHeadroomShares(const BatteryViews& views, double band,
+                                       bool for_charge) {
+  std::vector<double> weights(views.size(), 0.0);
+  std::vector<bool> eligible(views.size(), false);
+  double max_wear = 0.0;
+  for (const auto& v : views) {
+    max_wear = std::max(max_wear, v.wear_ratio);
+  }
+  for (size_t i = 0; i < views.size(); ++i) {
+    const BatteryView& v = views[i];
+    bool available = for_charge ? (!v.is_full && v.max_charge_a > 0.0)
+                                : (!v.is_empty && v.max_discharge_a > 0.0);
+    eligible[i] = available;
+    if (available) {
+      weights[i] = max_wear - v.wear_ratio + band;
+    }
+  }
+  return NormalizeShares(std::move(weights), &eligible);
+}
+
+}  // namespace
+
+CcbDischargePolicy::CcbDischargePolicy(CcbPolicyConfig config) : config_(config) {
+  SDB_CHECK(config_.wear_band > 0.0);
+}
+
+std::vector<double> CcbDischargePolicy::Allocate(const BatteryViews& views, Power load) {
+  (void)load;  // CCB shares depend on wear, not on the load level.
+  return WearHeadroomShares(views, config_.wear_band, /*for_charge=*/false);
+}
+
+CcbChargePolicy::CcbChargePolicy(CcbPolicyConfig config) : config_(config) {
+  SDB_CHECK(config_.wear_band > 0.0);
+}
+
+std::vector<double> CcbChargePolicy::Allocate(const BatteryViews& views, Power supply) {
+  (void)supply;
+  return WearHeadroomShares(views, config_.wear_band, /*for_charge=*/true);
+}
+
+}  // namespace sdb

@@ -1,0 +1,123 @@
+#include "src/core/charge_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+double PredictedFadeForCharge(const BatteryParams& params, double soc_delta, double c_rate) {
+  SDB_CHECK(soc_delta >= 0.0);
+  if (soc_delta <= 0.0 || c_rate <= 0.0) {
+    return 0.0;
+  }
+  // Fraction of a counted cycle this charge represents (cycles trip at 80%
+  // of capacity), times the fade-per-cycle law at the implied current.
+  double cycle_fraction = soc_delta / 0.8;
+  double i = params.CRate(c_rate).value();
+  double ratio = i / params.fade_reference_current.value();
+  double fade_per_cycle =
+      params.base_fade_per_cycle * (1.0 + params.fade_current_stress * ratio * ratio);
+  return cycle_fraction * fade_per_cycle;
+}
+
+namespace {
+
+// Charge time for a goal at a ladder rate, including the CV-tail overhead.
+Duration TimeToTarget(const ChargeGoal& goal, double c_rate, double cv_overhead) {
+  double soc_delta = std::max(0.0, goal.target_soc - goal.current_soc);
+  if (soc_delta <= 0.0 || c_rate <= 0.0) {
+    return Seconds(0.0);
+  }
+  double hours = soc_delta / c_rate * cv_overhead;
+  return Hours(hours);
+}
+
+double MaxCRate(const ChargeGoal& goal) {
+  return goal.params->max_charge_current.value() /
+         Amps(ToAmpHours(goal.params->nominal_capacity)).value();
+}
+
+}  // namespace
+
+StatusOr<ChargePlan> PlanCharge(const std::vector<ChargeGoal>& goals, Duration deadline,
+                                const ChargePlannerConfig& config) {
+  if (goals.empty()) {
+    return InvalidArgumentError("no charge goals");
+  }
+  if (deadline.value() <= 0.0) {
+    return InvalidArgumentError("deadline must be positive");
+  }
+  if (config.rate_fractions.empty()) {
+    return InvalidArgumentError("rate ladder must not be empty");
+  }
+  for (const ChargeGoal& goal : goals) {
+    if (goal.params == nullptr) {
+      return InvalidArgumentError("goal missing battery params");
+    }
+    if (goal.target_soc < goal.current_soc - 1e-9) {
+      return InvalidArgumentError(goal.params->name + ": target below current SoC");
+    }
+  }
+
+  double budget_s = deadline.value() * config.deadline_margin;
+  const size_t n = goals.size();
+
+  // Start everyone at the gentlest ladder step.
+  std::vector<size_t> rung(n, 0);
+  auto entry_for = [&](size_t i) {
+    const ChargeGoal& goal = goals[i];
+    double c_rate = MaxCRate(goal) * config.rate_fractions[rung[i]];
+    ChargePlanEntry entry;
+    entry.c_rate = c_rate;
+    entry.current = goal.params->CRate(c_rate);
+    entry.time_to_target = TimeToTarget(goal, c_rate, config.cv_overhead);
+    entry.predicted_fade = PredictedFadeForCharge(
+        *goal.params, std::max(0.0, goal.target_soc - goal.current_soc), c_rate);
+    return entry;
+  };
+
+  // Greedy escalation: while the bottleneck misses the deadline, raise the
+  // bottleneck battery one rung (it is the only move that helps).
+  for (int guard = 0; guard < 1000; ++guard) {
+    size_t bottleneck = 0;
+    double worst = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double t = entry_for(i).time_to_target.value();
+      if (t > worst) {
+        worst = t;
+        bottleneck = i;
+      }
+    }
+    if (worst <= budget_s) {
+      break;
+    }
+    if (rung[bottleneck] + 1 >= config.rate_fractions.size()) {
+      break;  // Already flat out.
+    }
+    ++rung[bottleneck];
+  }
+
+  ChargePlan plan;
+  plan.entries.reserve(n);
+  double completion = 0.0;
+  double peak_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ChargePlanEntry entry = entry_for(i);
+    completion = std::max(completion, entry.time_to_target.value());
+    // Supply needed at start: charge power at the planned current.
+    double ocv = goals[i].params->ocv_vs_soc.Evaluate(goals[i].current_soc);
+    double r = goals[i].params->dcir_vs_soc.Evaluate(goals[i].current_soc);
+    double j = entry.current.value();
+    peak_w += (ocv + j * r) * j;
+    plan.entries.push_back(entry);
+  }
+  plan.completion = Seconds(completion);
+  plan.peak_supply = Watts(peak_w);
+  plan.meets_deadline = completion <= deadline.value();
+  return plan;
+}
+
+}  // namespace sdb

@@ -1,0 +1,68 @@
+// Deadline-aware charge planning (the paper's §7 example: "if the OS knows
+// that the user is about to board a plane then it might make sense to
+// charge as quickly as possible and take the hit to longevity" — and,
+// conversely, overnight it should charge as gently as the deadline allows).
+//
+// Given per-battery capacity gaps, acceptance limits, fade coefficients and
+// a deadline, the planner picks per-battery charge C-rates that reach the
+// target state of charge in time while minimising predicted cycle wear. The
+// wear model is the same current-stress fade law the aging module applies,
+// so "minimise wear" here means exactly "maximise Fig. 1(b) longevity".
+#ifndef SRC_CORE_CHARGE_PLANNER_H_
+#define SRC_CORE_CHARGE_PLANNER_H_
+
+#include <vector>
+
+#include "src/chem/battery_params.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct ChargeGoal {
+  const BatteryParams* params = nullptr;
+  double current_soc = 0.0;
+  double target_soc = 1.0;
+};
+
+struct ChargePlanEntry {
+  double c_rate = 0.0;          // Planned charging rate.
+  Current current;              // The same, in amps.
+  Duration time_to_target;      // Time this battery needs at that rate.
+  double predicted_fade = 0.0;  // Capacity fraction lost for the charge.
+};
+
+struct ChargePlan {
+  std::vector<ChargePlanEntry> entries;
+  Duration completion;     // max over batteries.
+  Power peak_supply;       // Supply power the plan needs at the start.
+  bool meets_deadline = false;
+};
+
+struct ChargePlannerConfig {
+  // Rate ladder searched per battery, as fractions of the battery's maximum
+  // charge rate. Sorted ascending.
+  std::vector<double> rate_fractions = {0.15, 0.25, 0.4, 0.6, 0.8, 1.0};
+  // Headroom on the deadline (plan to finish slightly early).
+  double deadline_margin = 0.95;
+  // CC/CV overhead: the tail above the taper threshold charges slower than
+  // the CC phase; effective charge time is inflated by this factor.
+  double cv_overhead = 1.15;
+};
+
+// Plans the gentlest per-battery rates that still meet `deadline`, greedily
+// raising the rate of whichever battery is the bottleneck, one ladder step
+// at a time, choosing the battery whose marginal wear increase is smallest.
+// Returns an error if even maximum rates cannot meet the deadline (the plan
+// with max rates is still returned inside the StatusOr's error-free path in
+// that case, flagged meets_deadline == false).
+StatusOr<ChargePlan> PlanCharge(const std::vector<ChargeGoal>& goals, Duration deadline,
+                                const ChargePlannerConfig& config = {});
+
+// Predicted capacity fraction lost if `params` is charged through
+// `soc_delta` of its capacity at `c_rate` (the planner's wear model).
+double PredictedFadeForCharge(const BatteryParams& params, double soc_delta, double c_rate);
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_CHARGE_PLANNER_H_

@@ -1,0 +1,97 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/allocator.h"
+#include "src/util/check.h"
+
+namespace sdb {
+
+double ComputeCcb(const BatteryViews& views) {
+  if (views.empty()) {
+    return 1.0;
+  }
+  double min_wear = views[0].wear_ratio;
+  double max_wear = views[0].wear_ratio;
+  for (const auto& v : views) {
+    min_wear = std::min(min_wear, v.wear_ratio);
+    max_wear = std::max(max_wear, v.wear_ratio);
+  }
+  // Unworn batteries would divide by zero; treat near-zero wear as balanced
+  // with a floor of one tolerable-cycle-equivalent of wear.
+  constexpr double kWearFloor = 1e-3;
+  min_wear = std::max(min_wear, kWearFloor);
+  max_wear = std::max(max_wear, kWearFloor);
+  return max_wear / min_wear;
+}
+
+WearSpread ComputeWearSpread(const BatteryViews& views) {
+  WearSpread spread;
+  if (views.empty()) {
+    return spread;
+  }
+  spread.min_wear = views[0].wear_ratio;
+  spread.max_wear = views[0].wear_ratio;
+  double sum = 0.0;
+  for (const auto& v : views) {
+    spread.min_wear = std::min(spread.min_wear, v.wear_ratio);
+    spread.max_wear = std::max(spread.max_wear, v.wear_ratio);
+    sum += v.wear_ratio;
+  }
+  spread.mean_wear = sum / static_cast<double>(views.size());
+  return spread;
+}
+
+Energy EstimateRbl(const BatteryViews& views, Power anticipated_load) {
+  double total_energy = 0.0;
+  double v_sum = 0.0;
+  int live = 0;
+  for (const auto& v : views) {
+    total_energy += v.remaining_energy_j;
+    if (!v.is_empty) {
+      v_sum += v.ocv_v;
+      ++live;
+    }
+  }
+  double p = anticipated_load.value();
+  if (p <= 0.0 || live == 0 || total_energy <= 0.0) {
+    return Joules(total_energy);
+  }
+  double v_bus = v_sum / live;
+
+  // Split the anticipated load to minimise instantaneous loss and discount
+  // the remaining energy by the resulting loss fraction.
+  MarginalCostProblem problem;
+  problem.total_current_a = p / v_bus;
+  problem.horizon_s = 0.0;  // Instantaneous discount.
+  for (const auto& v : views) {
+    problem.resistance_ohm.push_back(std::max(v.dcir_ohm, 1e-6));
+    problem.dcir_growth_per_c.push_back(0.0);
+    problem.current_cap_a.push_back(v.is_empty ? 0.0 : v.max_discharge_a);
+  }
+  std::vector<double> currents = SolveMarginalCostAllocation(problem);
+  double loss_w = 0.0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    loss_w += problem.resistance_ohm[i] * currents[i] * currents[i];
+  }
+  double useful_fraction = p / (p + loss_w);
+  return Joules(total_energy * useful_fraction);
+}
+
+double InstantaneousLossW(const BatteryViews& views, const std::vector<double>& shares,
+                          Power load) {
+  SDB_CHECK(shares.size() == views.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    double p_i = shares[i] * load.value();
+    if (p_i <= 0.0 || views[i].ocv_v <= 0.0) {
+      continue;
+    }
+    double y = p_i / views[i].ocv_v;
+    loss += views[i].dcir_ohm * y * y;
+  }
+  return loss;
+}
+
+}  // namespace sdb

@@ -1,0 +1,42 @@
+// The two key metrics every SDB charging/discharging policy optimises
+// (paper §3.3):
+//
+//   * CCB — Cycle Count Balance: max_i(lambda_i) / min_j(lambda_j), the
+//     ratio between the most- and least-worn battery, wear normalised to
+//     each battery's tolerable cycle count. Longevity is maximised by
+//     keeping CCB near 1.
+//   * RBL — Remaining Battery Lifetime: the useful charge left assuming no
+//     future charging, i.e. remaining chemical energy discounted by the
+//     resistive losses the anticipated load will incur.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include "src/core/battery_view.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// CCB >= 1; returns 1 for empty input or when every battery is unworn.
+double ComputeCcb(const BatteryViews& views);
+
+// Wear statistics backing CCB.
+struct WearSpread {
+  double min_wear = 0.0;
+  double max_wear = 0.0;
+  double mean_wear = 0.0;
+};
+WearSpread ComputeWearSpread(const BatteryViews& views);
+
+// RBL at an anticipated steady load: remaining energy minus the resistive
+// loss it would suffer if the load were split to minimise losses. Returns
+// energy (joules).
+Energy EstimateRbl(const BatteryViews& views, Power anticipated_load);
+
+// Instantaneous resistive loss (watts) if `load` is split across the views
+// with the given power shares — the objective RBL-Discharge minimises.
+double InstantaneousLossW(const BatteryViews& views, const std::vector<double>& shares,
+                          Power load);
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_METRICS_H_

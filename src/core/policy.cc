@@ -1,0 +1,26 @@
+#include "src/core/policy.h"
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+std::vector<double> BlendShares(const std::vector<double>& a, const std::vector<double>& b,
+                                double weight) {
+  SDB_CHECK(a.size() == b.size());
+  weight = Clamp(weight, 0.0, 1.0);
+  std::vector<double> out(a.size(), 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = weight * a[i] + (1.0 - weight) * b[i];
+    sum += out[i];
+  }
+  if (sum > 0.0) {
+    for (auto& s : out) {
+      s /= sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdb

@@ -1,0 +1,37 @@
+#include "src/core/policy_db.h"
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+void PolicyDatabase::Register(std::string situation, DirectiveParameters params) {
+  SDB_CHECK(!situation.empty());
+  params.charging = Clamp(params.charging, 0.0, 1.0);
+  params.discharging = Clamp(params.discharging, 0.0, 1.0);
+  entries_[std::move(situation)] = params;
+}
+
+StatusOr<DirectiveParameters> PolicyDatabase::Lookup(const std::string& situation) const {
+  auto it = entries_.find(situation);
+  if (it == entries_.end()) {
+    return NotFoundError("unknown policy situation: " + situation);
+  }
+  return it->second;
+}
+
+bool PolicyDatabase::Contains(const std::string& situation) const {
+  return entries_.count(situation) > 0;
+}
+
+PolicyDatabase MakeDefaultPolicyDatabase() {
+  PolicyDatabase db;
+  db.Register("overnight", {.charging = 0.05, .discharging = 0.3});
+  db.Register("preflight", {.charging = 1.0, .discharging = 0.7});
+  db.Register("interactive", {.charging = 0.5, .discharging = 0.6});
+  db.Register("low-battery", {.charging = 0.8, .discharging = 1.0});
+  db.Register("performance", {.charging = 0.6, .discharging = 0.9});
+  return db;
+}
+
+}  // namespace sdb

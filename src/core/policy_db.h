@@ -1,0 +1,49 @@
+// The parameter-to-policy database of the paper's software architecture
+// (Fig. 5): named user situations map to the directive parameters the SDB
+// Runtime blends policies with. The OS power manager (src/os) sets the
+// active situation from workload, schedule and charging context.
+#ifndef SRC_CORE_POLICY_DB_H_
+#define SRC_CORE_POLICY_DB_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace sdb {
+
+// The two knobs the paper exposes (§3.3): each in [0,1], where high values
+// prioritise RBL (useful charge now) and low values prioritise CCB
+// (longevity / wear balance).
+struct DirectiveParameters {
+  double charging = 0.5;
+  double discharging = 0.5;
+};
+
+class PolicyDatabase {
+ public:
+  PolicyDatabase() = default;
+
+  // Registers or replaces a named situation.
+  void Register(std::string situation, DirectiveParameters params);
+
+  StatusOr<DirectiveParameters> Lookup(const std::string& situation) const;
+
+  bool Contains(const std::string& situation) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, DirectiveParameters> entries_;
+};
+
+// The stock situations the paper's scenarios imply:
+//   "overnight"   — no hurry; protect longevity (low charge directive).
+//   "preflight"   — charge as fast as possible (§7's boarding example).
+//   "interactive" — balanced daytime use.
+//   "low-battery" — stretch remaining charge (high discharge directive).
+//   "performance" — feed high-power turbo workloads.
+PolicyDatabase MakeDefaultPolicyDatabase();
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_POLICY_DB_H_

@@ -1,0 +1,186 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+namespace {
+
+// Chemical energy still extractable at `soc` per the manufacturer OCV curve.
+double RemainingEnergyJ(const BatteryParams& params, double soc, double capacity_c) {
+  if (soc <= 0.0) {
+    return 0.0;
+  }
+  constexpr int kPanels = 16;
+  double h = soc / kPanels;
+  double sum = 0.0;
+  for (int i = 0; i <= kPanels; ++i) {
+    double weight = (i == 0 || i == kPanels) ? 0.5 : 1.0;
+    sum += weight * params.ocv_vs_soc.Evaluate(i * h);
+  }
+  return sum * h * capacity_c;
+}
+
+}  // namespace
+
+SdbRuntime::SdbRuntime(SdbMicrocontroller* micro, RuntimeConfig config)
+    : micro_(micro),
+      config_(config),
+      rbl_discharge_(config.rbl),
+      ccb_discharge_(config.ccb),
+      blended_discharge_(&rbl_discharge_, &ccb_discharge_, config.directives.discharging),
+      reserve_(&blended_discharge_, config.reserve),
+      rbl_charge_(config.rbl),
+      ccb_charge_(config.ccb),
+      blended_charge_(&rbl_charge_, &ccb_charge_, config.directives.charging) {
+  SDB_CHECK(micro_ != nullptr);
+  last_discharge_ratios_.assign(micro_->battery_count(), 0.0);
+  last_charge_ratios_.assign(micro_->battery_count(), 0.0);
+}
+
+void SdbRuntime::SetChargingDirective(double value) {
+  blended_charge_.set_weight(Clamp(value, 0.0, 1.0));
+}
+
+void SdbRuntime::SetDischargingDirective(double value) {
+  blended_discharge_.set_weight(Clamp(value, 0.0, 1.0));
+}
+
+void SdbRuntime::SetDirectives(DirectiveParameters params) {
+  SetChargingDirective(params.charging);
+  SetDischargingDirective(params.discharging);
+}
+
+DirectiveParameters SdbRuntime::directives() const {
+  return DirectiveParameters{.charging = blended_charge_.weight(),
+                             .discharging = blended_discharge_.weight()};
+}
+
+void SdbRuntime::SetWorkloadHint(std::optional<WorkloadHint> hint) {
+  reserve_.SetHint(std::move(hint));
+}
+
+void SdbRuntime::AdvanceTime(Duration dt) {
+  elapsed_ += dt;
+  if (override_advance_ != nullptr) {
+    override_advance_(dt);
+  }
+  const auto& hint = reserve_.hint();
+  if (!hint.has_value()) {
+    return;
+  }
+  WorkloadHint updated = *hint;
+  updated.time_until -= dt;
+  if (updated.time_until.value() <= -updated.duration.value()) {
+    // The anticipated window has fully passed; stop reserving.
+    reserve_.SetHint(std::nullopt);
+    return;
+  }
+  reserve_.SetHint(updated);
+}
+
+BatteryViews SdbRuntime::BuildViews() const {
+  std::vector<BatteryStatus> statuses = micro_->QueryBatteryStatus();
+  BatteryViews views;
+  views.reserve(statuses.size());
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    // Manufacturer data (curves, limits) + gauge estimates (SoC, capacity).
+    const BatteryParams& params = micro_->pack().cell(i).params();
+    const BatteryStatus& status = statuses[i];
+    BatteryView v;
+    v.index = i;
+    v.name = params.name;
+    v.soc = status.soc;
+    v.ocv_v = params.ocv_vs_soc.Evaluate(v.soc);
+    v.dcir_ohm = params.dcir_vs_soc.Evaluate(v.soc);
+    v.dcir_slope = params.dcir_vs_soc.Derivative(v.soc);
+    v.capacity_c = status.full_capacity.value();
+    v.remaining_energy_j = RemainingEnergyJ(params, v.soc, v.capacity_c);
+    v.rated_cycles = params.rated_cycle_count;
+    v.wear_ratio = params.rated_cycle_count > 0.0
+                       ? status.cycle_count / params.rated_cycle_count
+                       : 0.0;
+    v.max_discharge_a = params.max_discharge_current.value();
+    // Charge acceptance tapers above 80% SoC (the profile's trickle rule).
+    v.max_charge_a = params.max_charge_current.value();
+    if (v.soc >= 0.8) {
+      v.max_charge_a = std::min(v.max_charge_a, params.CRate(0.3).value());
+    }
+    // Thermal derating: a hot battery is throttled and finally excluded.
+    v.temperature_k = status.temperature.value();
+    double t_lo = config_.derate_start.value();
+    double t_hi = config_.derate_cutoff.value();
+    if (v.temperature_k > t_lo) {
+      double scale = Clamp((t_hi - v.temperature_k) / (t_hi - t_lo), 0.0, 1.0);
+      v.max_discharge_a *= scale;
+      v.max_charge_a *= scale;
+    }
+    v.is_empty = v.soc <= 1e-3;
+    v.is_full = v.soc >= 1.0 - 1e-3;
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
+  BatteryViews views = BuildViews();
+  if (views.empty()) {
+    return FailedPreconditionError("no batteries");
+  }
+
+  last_ccb_ = ComputeCcb(views);
+  last_rbl_ = EstimateRbl(views, config_.anticipated_load);
+
+  std::vector<double> d = discharge_override_ != nullptr
+                              ? discharge_override_->Allocate(views, expected_load)
+                              : reserve_.Allocate(views, expected_load);
+  double d_sum = 0.0;
+  for (double x : d) {
+    d_sum += x;
+  }
+  if (d_sum > 0.0) {
+    for (auto& x : d) {
+      x /= d_sum;
+    }
+    SDB_RETURN_IF_ERROR(micro_->SetDischargeRatios(d));
+    last_discharge_ratios_ = d;
+  }
+
+  std::vector<double> c = blended_charge_.Allocate(views, expected_supply);
+  double c_sum = 0.0;
+  for (double x : c) {
+    c_sum += x;
+  }
+  if (c_sum > 0.0) {
+    for (auto& x : c) {
+      x /= c_sum;
+    }
+    SDB_RETURN_IF_ERROR(micro_->SetChargeRatios(c));
+    last_charge_ratios_ = c;
+  }
+
+  if (telemetry_ != nullptr) {
+    TelemetrySample sample;
+    sample.time = elapsed_;
+    sample.directives = directives();
+    sample.discharge_ratios = last_discharge_ratios_;
+    sample.charge_ratios = last_charge_ratios_;
+    sample.ccb = last_ccb_;
+    sample.rbl = last_rbl_;
+    sample.soc.reserve(views.size());
+    for (const BatteryView& v : views) {
+      sample.soc.push_back(v.soc);
+    }
+    telemetry_->Record(std::move(sample));
+  }
+  return Status::Ok();
+}
+
+Status SdbRuntime::RequestTransfer(size_t from, size_t to, Power power, Duration duration) {
+  return micro_->ChargeOneFromAnother(from, to, power, duration);
+}
+
+}  // namespace sdb

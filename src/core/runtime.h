@@ -1,0 +1,120 @@
+// The SDB Runtime (paper §3.3, Fig. 5): the OS-resident component that owns
+// all charging/discharging scheduling decisions. It takes clues from the
+// rest of the OS (directive parameters, workload hints), maintains the two
+// N-tuples (c1..cN) and (d1..dN) of power ratios, and programs the SDB
+// microcontroller through the four APIs.
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/core/blended_policy.h"
+#include "src/core/ccb_policy.h"
+#include "src/core/metrics.h"
+#include "src/core/policy_db.h"
+#include "src/core/telemetry.h"
+#include "src/core/rbl_policy.h"
+#include "src/core/workload_aware.h"
+#include "src/hw/microcontroller.h"
+
+namespace sdb {
+
+struct RuntimeConfig {
+  DirectiveParameters directives;  // Initial charge/discharge directives.
+  RblPolicyConfig rbl;
+  CcbPolicyConfig ccb;
+  ReservePolicyConfig reserve;
+  // Steady load assumed when reporting the RBL metric.
+  Power anticipated_load = Watts(1.0);
+  // Thermal derating (paper §3.3: ratio changes can be triggered by "a
+  // change in device temperature"): between these temperatures a battery's
+  // usable current ramps linearly down to zero.
+  Temperature derate_start = Celsius(45.0);
+  Temperature derate_cutoff = Celsius(60.0);
+};
+
+class SdbRuntime {
+ public:
+  // `micro` must outlive the runtime.
+  SdbRuntime(SdbMicrocontroller* micro, RuntimeConfig config = {});
+
+  // --- Clues from the rest of the OS ---------------------------------------
+
+  void SetChargingDirective(double value);
+  void SetDischargingDirective(double value);
+  void SetDirectives(DirectiveParameters params);
+  DirectiveParameters directives() const;
+
+  // Announces (or clears) an anticipated high-power workload; the discharge
+  // schedule preserves the most suitable battery for it (§5.2).
+  void SetWorkloadHint(std::optional<WorkloadHint> hint);
+  const std::optional<WorkloadHint>& workload_hint() const { return reserve_.hint(); }
+
+  // Counts the hint's start time down as simulated time passes; the hint is
+  // dropped once the anticipated workload window has fully elapsed.
+  void AdvanceTime(Duration dt);
+
+  // --- The scheduling step ---------------------------------------------------
+
+  // Rebuilds battery views from QueryBatteryStatus + manufacturer curves,
+  // recomputes both ratio vectors for the expected load/supply, and programs
+  // the microcontroller. Call at coarse time steps (the paper's runtime
+  // "calculates these power values at coarse granular time steps").
+  Status Update(Power expected_load, Power expected_supply);
+
+  // Passthrough for battery-to-battery transfers.
+  Status RequestTransfer(size_t from, size_t to, Power power, Duration duration);
+
+  // Optional observability: when attached, every Update() appends a sample
+  // (timestamped by AdvanceTime's clock). `recorder` must outlive the
+  // runtime or be detached with nullptr.
+  void AttachTelemetry(TelemetryRecorder* recorder) { telemetry_ = recorder; }
+
+  // Replaces the built-in reserve(blend(RBL, CCB)) discharge scheduling with
+  // an arbitrary policy (an MPC or schedule-replay policy, say). The policy
+  // must outlive the runtime or be detached with nullptr. `on_advance`, when
+  // given, receives every AdvanceTime delta so clock-driven policies stay in
+  // sync with simulated time.
+  void OverrideDischargePolicy(DischargePolicy* policy,
+                               std::function<void(Duration)> on_advance = nullptr) {
+    discharge_override_ = policy;
+    override_advance_ = std::move(on_advance);
+  }
+
+  // --- Introspection ----------------------------------------------------------
+
+  BatteryViews BuildViews() const;
+  double LastCcb() const { return last_ccb_; }
+  Energy LastRbl() const { return last_rbl_; }
+  const std::vector<double>& last_discharge_ratios() const { return last_discharge_ratios_; }
+  const std::vector<double>& last_charge_ratios() const { return last_charge_ratios_; }
+
+  SdbMicrocontroller* microcontroller() { return micro_; }
+
+ private:
+  SdbMicrocontroller* micro_;
+  RuntimeConfig config_;
+
+  RblDischargePolicy rbl_discharge_;
+  CcbDischargePolicy ccb_discharge_;
+  BlendedDischargePolicy blended_discharge_;
+  ReserveDischargePolicy reserve_;
+  RblChargePolicy rbl_charge_;
+  CcbChargePolicy ccb_charge_;
+  BlendedChargePolicy blended_charge_;
+
+  double last_ccb_ = 1.0;
+  Energy last_rbl_ = Joules(0.0);
+  TelemetryRecorder* telemetry_ = nullptr;
+  DischargePolicy* discharge_override_ = nullptr;
+  std::function<void(Duration)> override_advance_;
+  Duration elapsed_ = Seconds(0.0);
+  std::vector<double> last_discharge_ratios_;
+  std::vector<double> last_charge_ratios_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_RUNTIME_H_

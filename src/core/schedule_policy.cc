@@ -1,0 +1,33 @@
+#include "src/core/schedule_policy.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+ScheduleDischargePolicy::ScheduleDischargePolicy(PlanResult plan, DischargePolicy* fallback)
+    : plan_(std::move(plan)), fallback_(fallback) {
+  SDB_CHECK(plan_.step.value() > 0.0);
+}
+
+bool ScheduleDischargePolicy::Exhausted() const {
+  size_t step = static_cast<size_t>(elapsed_.value() / plan_.step.value());
+  return step >= plan_.share_schedule.size();
+}
+
+std::vector<double> ScheduleDischargePolicy::Allocate(const BatteryViews& views, Power load) {
+  SDB_CHECK(views.size() == 2);
+  if (plan_.share_schedule.empty() || (Exhausted() && fallback_ != nullptr)) {
+    if (fallback_ != nullptr) {
+      return fallback_->Allocate(views, load);
+    }
+    return {0.5, 0.5};
+  }
+  size_t step = static_cast<size_t>(elapsed_.value() / plan_.step.value());
+  if (step >= plan_.share_schedule.size()) {
+    step = plan_.share_schedule.size() - 1;  // Hold the last planned share.
+  }
+  double share = plan_.share_schedule[step];
+  return {share, 1.0 - share};
+}
+
+}  // namespace sdb

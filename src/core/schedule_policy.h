@@ -1,0 +1,42 @@
+// A discharge policy that replays a precomputed share schedule — the bridge
+// from the offline optimizer (src/core/optimizer) back into the runtime:
+// plan once with full trace knowledge, then hand the plan to the same
+// machinery that executes the heuristics.
+//
+// The schedule is indexed by elapsed time; call Advance() as simulated time
+// passes (the runtime's AdvanceTime path drives this in practice).
+#ifndef SRC_CORE_SCHEDULE_POLICY_H_
+#define SRC_CORE_SCHEDULE_POLICY_H_
+
+#include "src/core/optimizer.h"
+#include "src/core/policy.h"
+
+namespace sdb {
+
+class ScheduleDischargePolicy final : public DischargePolicy {
+ public:
+  // Two-battery schedule: `plan.share_schedule[k]` is battery 0's power
+  // fraction during step k. `fallback` (may be null) handles time beyond the
+  // schedule; without one, the last step's share is held.
+  ScheduleDischargePolicy(PlanResult plan, DischargePolicy* fallback = nullptr);
+
+  // Advances the policy's clock.
+  void Advance(Duration dt) { elapsed_ += dt; }
+  void ResetClock() { elapsed_ = Seconds(0.0); }
+  Duration elapsed() const { return elapsed_; }
+
+  // True once the clock has run past the planned schedule.
+  bool Exhausted() const;
+
+  std::vector<double> Allocate(const BatteryViews& views, Power load) override;
+  std::string_view name() const override { return "Schedule-Discharge"; }
+
+ private:
+  PlanResult plan_;
+  DischargePolicy* fallback_;
+  Duration elapsed_ = Seconds(0.0);
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_SCHEDULE_POLICY_H_

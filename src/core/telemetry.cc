@@ -1,0 +1,80 @@
+#include "src/core/telemetry.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+TelemetryRecorder::TelemetryRecorder(size_t capacity) : capacity_(capacity) {
+  SDB_CHECK(capacity_ > 0);
+}
+
+void TelemetryRecorder::Record(TelemetrySample sample) {
+  if (samples_.size() >= capacity_) {
+    samples_.erase(samples_.begin());
+    ++dropped_;
+  }
+  samples_.push_back(std::move(sample));
+}
+
+const TelemetrySample& TelemetryRecorder::sample(size_t i) const {
+  SDB_CHECK(i < samples_.size());
+  return samples_[i];
+}
+
+const TelemetrySample& TelemetryRecorder::latest() const {
+  SDB_CHECK(!samples_.empty());
+  return samples_.back();
+}
+
+std::string TelemetryRecorder::ToCsv() const {
+  std::ostringstream os;
+  size_t n = samples_.empty() ? 0 : samples_.front().discharge_ratios.size();
+  os << "t_s,charge_directive,discharge_directive,ccb,rbl_j";
+  for (size_t i = 0; i < n; ++i) {
+    os << ",d" << i;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    os << ",c" << i;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    os << ",soc" << i;
+  }
+  os << "\n";
+  for (const TelemetrySample& s : samples_) {
+    os << s.time.value() << "," << s.directives.charging << "," << s.directives.discharging
+       << "," << s.ccb << "," << s.rbl.value();
+    for (double d : s.discharge_ratios) {
+      os << "," << d;
+    }
+    for (double c : s.charge_ratios) {
+      os << "," << c;
+    }
+    for (double soc : s.soc) {
+      os << "," << soc;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+double TelemetryRecorder::MaxRatioSwing() const {
+  double swing = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const auto& prev = samples_[i - 1].discharge_ratios;
+    const auto& curr = samples_[i].discharge_ratios;
+    for (size_t b = 0; b < prev.size() && b < curr.size(); ++b) {
+      swing = std::max(swing, std::fabs(curr[b] - prev[b]));
+    }
+  }
+  return swing;
+}
+
+void TelemetryRecorder::Clear() {
+  samples_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace sdb

@@ -1,0 +1,59 @@
+// Runtime telemetry: a rolling record of every scheduling decision the SDB
+// Runtime makes — timestamps, directive parameters, programmed ratio
+// vectors, CCB/RBL metrics and per-battery SoC — exportable as CSV. This is
+// the observability layer an OS vendor would ship with SDB (and what the
+// paper's own evaluation plots are made of).
+#ifndef SRC_CORE_TELEMETRY_H_
+#define SRC_CORE_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/battery_view.h"
+#include "src/core/policy_db.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct TelemetrySample {
+  Duration time;
+  DirectiveParameters directives;
+  std::vector<double> discharge_ratios;
+  std::vector<double> charge_ratios;
+  double ccb = 1.0;
+  Energy rbl;
+  std::vector<double> soc;
+};
+
+class TelemetryRecorder {
+ public:
+  // Keeps at most `capacity` samples (oldest evicted first).
+  explicit TelemetryRecorder(size_t capacity = 100000);
+
+  void Record(TelemetrySample sample);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const TelemetrySample& sample(size_t i) const;
+  const TelemetrySample& latest() const;
+
+  // CSV with one row per sample:
+  //   t_s,charge_directive,discharge_directive,ccb,rbl_j,
+  //   d0..dN-1,c0..cN-1,soc0..socN-1
+  std::string ToCsv() const;
+
+  // Largest swing in any battery's discharge ratio between consecutive
+  // samples — a stability indicator for policy oscillation analysis.
+  double MaxRatioSwing() const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_CORE_TELEMETRY_H_

@@ -1,0 +1,119 @@
+#include "src/core/workload_aware.h"
+
+#include <algorithm>
+
+#include "src/core/allocator.h"
+#include "src/util/check.h"
+
+namespace sdb {
+
+ReserveDischargePolicy::ReserveDischargePolicy(DischargePolicy* fallback,
+                                               ReservePolicyConfig config)
+    : fallback_(fallback), config_(config) {
+  SDB_CHECK(fallback_ != nullptr);
+  SDB_CHECK(config_.reserve_margin >= 1.0);
+  SDB_CHECK(config_.bias >= 0.0 && config_.bias <= 1.0);
+}
+
+int ReserveDischargePolicy::ReservedIndex(const BatteryViews& views, Power load) const {
+  (void)load;
+  if (!hint_.has_value()) {
+    return -1;
+  }
+  double need_w = hint_->expected_power.value();
+
+  std::vector<double> deliverable(views.size(), 0.0);
+  double total_deliverable = 0.0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    const BatteryView& v = views[i];
+    if (v.is_empty || v.ocv_v <= 0.0) {
+      continue;
+    }
+    deliverable[i] =
+        std::max(0.0, (v.ocv_v - v.dcir_ohm * v.max_discharge_a) * v.max_discharge_a);
+    total_deliverable += deliverable[i];
+  }
+
+  // First choice: a battery that can sustain the hinted power alone, picked
+  // for lowest loss fraction at that power (§5.2: preserve the *efficient*
+  // battery for the run).
+  int best = -1;
+  double best_loss_fraction = 0.0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (deliverable[i] < need_w) {
+      continue;
+    }
+    const BatteryView& v = views[i];
+    double y = need_w / v.ocv_v;
+    double loss_fraction = y * v.dcir_ohm / v.ocv_v;
+    if (best < 0 || loss_fraction < best_loss_fraction) {
+      best = static_cast<int>(i);
+      best_loss_fraction = loss_fraction;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+
+  // Otherwise: the workload needs several batteries at once. Reserve the
+  // battery whose absence would make it infeasible (the scarce capability —
+  // e.g. the high power-density cell ahead of an EV hill climb). If even the
+  // whole pack cannot serve it, reserving is pointless.
+  if (total_deliverable < need_w) {
+    return -1;
+  }
+  int critical = -1;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (deliverable[i] <= 0.0) {
+      continue;
+    }
+    if (total_deliverable - deliverable[i] < need_w) {
+      // Among critical batteries, protect the scarcest one — the others are
+      // big enough to be drawn on in the meantime.
+      if (critical < 0 || views[i].remaining_energy_j < views[critical].remaining_energy_j) {
+        critical = static_cast<int>(i);
+      }
+    }
+  }
+  return critical;
+}
+
+std::vector<double> ReserveDischargePolicy::Allocate(const BatteryViews& views, Power load) {
+  std::vector<double> base = fallback_->Allocate(views, load);
+  if (hint_.has_value() && hint_->time_until.value() <= 0.0) {
+    // The anticipated workload has arrived: stop reserving and let the
+    // fallback route it to the battery we preserved for exactly this.
+    return base;
+  }
+  int reserved = ReservedIndex(views, load);
+  if (reserved < 0) {
+    return base;
+  }
+  const BatteryView& r = views[reserved];
+
+  // Energy the hinted workload will need from the reserved battery,
+  // inflated by the margin and by that battery's own loss fraction.
+  double need_j =
+      hint_->expected_power.value() * hint_->duration.value() * config_.reserve_margin;
+  if (r.remaining_energy_j >= need_j * 1.5) {
+    // Comfortably above the reserve; no need to distort the split.
+    return base;
+  }
+
+  // Re-run the fallback with the reserved battery masked out; if the others
+  // cannot carry any load, keep the original split.
+  BatteryViews masked = views;
+  masked[reserved].is_empty = true;
+  masked[reserved].max_discharge_a = 0.0;
+  std::vector<double> shifted = fallback_->Allocate(masked, load);
+  double shifted_sum = 0.0;
+  for (double s : shifted) {
+    shifted_sum += s;
+  }
+  if (shifted_sum <= 0.0) {
+    return base;
+  }
+  return BlendShares(shifted, base, config_.bias);
+}
+
+}  // namespace sdb

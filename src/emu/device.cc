@@ -1,0 +1,72 @@
+#include "src/emu/device.h"
+
+#include "src/chem/library.h"
+#include "src/util/check.h"
+
+namespace sdb {
+
+Device::Device(std::string name, std::vector<Cell> cells, CpuConfig cpu_config, uint64_t seed)
+    : name_(std::move(name)), cpu_(cpu_config) {
+  SDB_CHECK(!cells.empty());
+  BatteryPack pack;
+  for (auto& cell : cells) {
+    pack.AddCell(std::move(cell));
+  }
+  micro_ = std::make_unique<SdbMicrocontroller>(std::move(pack), DischargeCircuitConfig{},
+                                                ChargeCircuitConfig{}, FuelGaugeConfig{}, seed);
+  runtime_ = std::make_unique<SdbRuntime>(micro_.get());
+  power_manager_ = std::make_unique<OsPowerManager>(runtime_.get(), MakeDefaultPolicyDatabase(),
+                                                    nullptr);
+  battery_service_ = std::make_unique<BatteryService>(runtime_.get());
+}
+
+double Device::StoredFraction() const {
+  double stored = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < micro_->battery_count(); ++i) {
+    const Cell& cell = micro_->pack().cell(i);
+    stored += cell.soc() * cell.params().nominal_capacity.value();
+    total += cell.params().nominal_capacity.value();
+  }
+  return total > 0.0 ? stored / total : 0.0;
+}
+
+std::unique_ptr<Device> MakeTabletDevice(double initial_soc, uint64_t seed) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), initial_soc);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), initial_soc);
+  CpuConfig cpu;  // Defaults model the Core i5 class (15/25/38 W levels).
+  return std::make_unique<Device>("tablet-2in1", std::move(cells), cpu, seed);
+}
+
+std::unique_ptr<Device> MakePhoneDevice(double initial_soc, uint64_t seed) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeType2Standard(MilliAmpHours(2800.0), 2), initial_soc);
+  cells.emplace_back(MakeType3FastCharge(MilliAmpHours(1200.0), 0), initial_soc);
+  CpuConfig cpu;
+  cpu.platform_idle = Watts(0.25);
+  cpu.network_active = Watts(0.8);
+  cpu.long_term_limit = Watts(2.5);   // Snapdragon 800 class.
+  cpu.burst_limit = Watts(4.5);
+  cpu.protection_limit = Watts(6.5);
+  cpu.ref_freq_ghz = 2.3;
+  cpu.ref_cpu_power = Watts(2.0);
+  return std::make_unique<Device>("phone-sd800", std::move(cells), cpu, seed);
+}
+
+std::unique_ptr<Device> MakeWatchDevice(double initial_soc, uint64_t seed) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), initial_soc);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), initial_soc);
+  CpuConfig cpu;
+  cpu.platform_idle = Watts(0.015);
+  cpu.network_active = Watts(0.12);
+  cpu.long_term_limit = Watts(0.25);  // Snapdragon 200 class.
+  cpu.burst_limit = Watts(0.5);
+  cpu.protection_limit = Watts(0.9);
+  cpu.ref_freq_ghz = 1.2;
+  cpu.ref_cpu_power = Watts(0.2);
+  return std::make_unique<Device>("watch-sd200", std::move(cells), cpu, seed);
+}
+
+}  // namespace sdb

@@ -1,0 +1,61 @@
+// Device presets: the three instrumented platforms of paper §4.3 — a Core
+// i5 2-in-1 tablet, a Snapdragon 800 phone and a Snapdragon 200 watch —
+// assembled as complete SDB stacks (cells + circuits + microcontroller +
+// runtime + policy database + battery service) ready to drive with a trace.
+#ifndef SRC_EMU_DEVICE_H_
+#define SRC_EMU_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/runtime.h"
+#include "src/os/battery_service.h"
+#include "src/os/cpu_model.h"
+#include "src/os/power_manager.h"
+
+namespace sdb {
+
+// A fully-wired SDB device. Owns every layer; components keep stable
+// addresses for the lifetime of the Device (heap-allocated internals).
+class Device {
+ public:
+  Device(std::string name, std::vector<Cell> cells, CpuConfig cpu_config, uint64_t seed);
+
+  // Non-copyable, non-movable: components hold pointers into each other.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  SdbMicrocontroller& micro() { return *micro_; }
+  SdbRuntime& runtime() { return *runtime_; }
+  OsPowerManager& power_manager() { return *power_manager_; }
+  BatteryService& battery_service() { return *battery_service_; }
+  const CpuModel& cpu() const { return cpu_; }
+
+  // Total stored fraction across the pack (capacity-weighted).
+  double StoredFraction() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SdbMicrocontroller> micro_;
+  std::unique_ptr<SdbRuntime> runtime_;
+  std::unique_ptr<OsPowerManager> power_manager_;
+  std::unique_ptr<BatteryService> battery_service_;
+  CpuModel cpu_;
+};
+
+// §4.3's "2-in-1 development device with Intel Core i5": fast-charge +
+// high-energy tablet cells, desktop-class turbo limits.
+std::unique_ptr<Device> MakeTabletDevice(double initial_soc = 1.0, uint64_t seed = 101);
+
+// §4.3's "Qualcomm development device with Snapdragon 800 chipset": a single
+// phone cell plus a small fast-charge companion, phone-scale power levels.
+std::unique_ptr<Device> MakePhoneDevice(double initial_soc = 1.0, uint64_t seed = 102);
+
+// §4.3's "Snapdragon 200 development board" watch: rigid Li-ion + bendable
+// strap battery, milliwatt-scale CPU.
+std::unique_ptr<Device> MakeWatchDevice(double initial_soc = 1.0, uint64_t seed = 103);
+
+}  // namespace sdb
+
+#endif  // SRC_EMU_DEVICE_H_

@@ -1,0 +1,26 @@
+#include "src/emu/monte_carlo.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs, uint64_t base_seed) {
+  SDB_CHECK(runs > 0);
+  SDB_CHECK(scenario != nullptr);
+  MonteCarloResult result;
+  for (int r = 0; r < runs; ++r) {
+    SimResult sim = scenario(base_seed + static_cast<uint64_t>(r));
+    double life_h = sim.first_shortfall.has_value() ? ToHours(*sim.first_shortfall)
+                                                    : ToHours(sim.elapsed);
+    result.battery_life_h.Add(life_h);
+    result.total_loss_j.Add(sim.TotalLoss().value());
+    result.delivered_j.Add(sim.delivered.value());
+    if (sim.first_shortfall.has_value()) {
+      ++result.shortfall_runs;
+    }
+    ++result.runs;
+  }
+  return result;
+}
+
+}  // namespace sdb

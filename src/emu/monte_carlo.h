@@ -1,0 +1,33 @@
+// Monte-Carlo evaluation harness: runs a scenario across many seeded
+// workload variations and reports distributional statistics, so policy
+// comparisons (Fig. 13-style claims) come with spread, not just a single
+// trace. Everything stays deterministic given the base seed.
+#ifndef SRC_EMU_MONTE_CARLO_H_
+#define SRC_EMU_MONTE_CARLO_H_
+
+#include <functional>
+
+#include "src/emu/simulator.h"
+#include "src/util/histogram.h"
+
+namespace sdb {
+
+struct MonteCarloResult {
+  RunningStats battery_life_h;
+  RunningStats total_loss_j;
+  RunningStats delivered_j;
+  int shortfall_runs = 0;  // Runs that hit a shortfall before the trace ended.
+  int runs = 0;
+};
+
+// One experiment instance: given a per-run seed, build the rig + trace and
+// run it, returning the SimResult. The callback owns all state; the harness
+// only aggregates.
+using ScenarioFn = std::function<SimResult(uint64_t seed)>;
+
+// Runs `scenario` for seeds base_seed .. base_seed + runs - 1.
+MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs, uint64_t base_seed = 1);
+
+}  // namespace sdb
+
+#endif  // SRC_EMU_MONTE_CARLO_H_

@@ -1,0 +1,144 @@
+#include "src/emu/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+Simulator::Simulator(SdbRuntime* runtime, SimConfig config)
+    : runtime_(runtime), config_(config) {
+  SDB_CHECK(runtime_ != nullptr);
+  SDB_CHECK(config_.tick.value() > 0.0);
+  SDB_CHECK(config_.runtime_period.value() >= config_.tick.value());
+}
+
+SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
+  SdbMicrocontroller* micro = runtime_->microcontroller();
+  const size_t n = micro->battery_count();
+
+  SimResult result;
+  result.delivered = Joules(0.0);
+  result.battery_loss = Joules(0.0);
+  result.circuit_loss = Joules(0.0);
+  result.charged = Joules(0.0);
+  result.final_soc.assign(n, 0.0);
+  result.depletion_time.assign(n, std::nullopt);
+
+  double horizon_s =
+      std::min(std::max(load.TotalDuration(), supply.TotalDuration()).value(),
+               config_.max_duration.value());
+  double tick_s = config_.tick.value();
+  double next_replan = 0.0;
+  bool transfer_was_active = false;
+
+  double t = 0.0;
+  while (t < horizon_s) {
+    Power p_load = load.Sample(Seconds(t));
+    Power p_supply = supply.Sample(Seconds(t));
+
+    if (t >= next_replan) {
+      runtime_->Update(p_load, p_supply);
+      next_replan = t + config_.runtime_period.value();
+    }
+
+    MicroTick tick = micro->Step(p_load, p_supply, Seconds(tick_s));
+    runtime_->AdvanceTime(Seconds(tick_s));
+    t += tick_s;
+
+    // Energy ledger.
+    double delivered_j = tick.discharge.delivered.value() * tick_s;
+    double battery_loss_j =
+        tick.discharge.battery_loss.value() + tick.charge.battery_loss.value() +
+        tick.transfer.battery_loss.value();
+    double circuit_loss_j =
+        tick.discharge.circuit_loss.value() + tick.charge.circuit_loss.value() +
+        tick.transfer.circuit_loss.value();
+    result.delivered += Joules(delivered_j);
+    result.battery_loss += Joules(battery_loss_j);
+    result.circuit_loss += Joules(circuit_loss_j);
+    result.charged += Joules(tick.charge.absorbed.value() * tick_s);
+
+    size_t hour = static_cast<size_t>(t / 3600.0);
+    if (result.hourly.size() <= hour) {
+      result.hourly.resize(hour + 1,
+                           HourlyStats{Joules(0.0), Joules(0.0), Joules(0.0)});
+    }
+    result.hourly[hour].load_energy += Joules(delivered_j);
+    result.hourly[hour].battery_loss += Joules(battery_loss_j);
+    result.hourly[hour].circuit_loss += Joules(circuit_loss_j);
+
+    // Events.
+    for (size_t i = 0; i < n; ++i) {
+      const Cell& cell = micro->pack().cell(i);
+      if (!result.depletion_time[i].has_value() && cell.IsEmpty(1e-3)) {
+        result.depletion_time[i] = Seconds(t);
+        result.events.push_back(
+            SimEvent{SimEventKind::kBatteryDepleted, Seconds(t), static_cast<int>(i)});
+      }
+    }
+    if (transfer_was_active && !micro->transfer_active()) {
+      result.events.push_back(SimEvent{SimEventKind::kTransferEnded, Seconds(t), -1});
+    }
+    transfer_was_active = micro->transfer_active();
+
+    if (tick.discharge.shortfall && p_load.value() > 0.0) {
+      if (!result.first_shortfall.has_value()) {
+        result.first_shortfall = Seconds(t);
+        result.events.push_back(SimEvent{SimEventKind::kLoadShortfall, Seconds(t), -1});
+      }
+      if (config_.stop_on_shortfall) {
+        break;
+      }
+    }
+  }
+
+  result.elapsed = Seconds(t);
+  for (size_t i = 0; i < n; ++i) {
+    result.final_soc[i] = micro->pack().cell(i).soc();
+  }
+  return result;
+}
+
+SimResult Simulator::RunChargeOnly(Power supply, Duration timeout) {
+  SdbMicrocontroller* micro = runtime_->microcontroller();
+  const size_t n = micro->battery_count();
+  SimResult result;
+  result.delivered = Joules(0.0);
+  result.battery_loss = Joules(0.0);
+  result.circuit_loss = Joules(0.0);
+  result.charged = Joules(0.0);
+  result.final_soc.assign(n, 0.0);
+  result.depletion_time.assign(n, std::nullopt);
+
+  double tick_s = config_.tick.value();
+  double next_replan = 0.0;
+  double t = 0.0;
+  while (t < timeout.value()) {
+    if (micro->pack().AllFull(1.0 - 1e-3)) {
+      break;
+    }
+    if (t >= next_replan) {
+      runtime_->Update(Watts(0.0), supply);
+      next_replan = t + config_.runtime_period.value();
+    }
+    MicroTick tick = micro->Step(Watts(0.0), supply, Seconds(tick_s));
+    t += tick_s;
+    result.charged += Joules(tick.charge.absorbed.value() * tick_s);
+    result.battery_loss += tick.charge.battery_loss;
+    result.circuit_loss += tick.charge.circuit_loss;
+    // A tick where nothing charged and nothing is full means the profiles
+    // have terminated (CV tail done): stop early.
+    if (!tick.charge.any_charging) {
+      break;
+    }
+  }
+  result.elapsed = Seconds(t);
+  for (size_t i = 0; i < n; ++i) {
+    result.final_soc[i] = micro->pack().cell(i).soc();
+  }
+  return result;
+}
+
+}  // namespace sdb

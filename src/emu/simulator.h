@@ -1,0 +1,81 @@
+// The multi-battery emulator's driver loop (paper §4.3): plays a load
+// trace (and optionally a supply trace) against an SDB runtime +
+// microcontroller, with the runtime re-planning at coarse steps, and keeps
+// a full energy ledger plus the event log the application benches read.
+#ifndef SRC_EMU_SIMULATOR_H_
+#define SRC_EMU_SIMULATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/emu/trace.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct SimConfig {
+  Duration tick = Seconds(1.0);             // Hardware step.
+  Duration runtime_period = Seconds(60.0);  // Policy re-plan period.
+  // Stop early once the load can no longer be served (battery life reached).
+  bool stop_on_shortfall = true;
+  // Hard wall-clock cap regardless of the trace length.
+  Duration max_duration = Hours(72.0);
+};
+
+enum class SimEventKind {
+  kBatteryDepleted,
+  kBatteryFull,
+  kLoadShortfall,
+  kTransferEnded,
+};
+
+struct SimEvent {
+  SimEventKind kind;
+  Duration time;
+  int battery = -1;  // For per-battery events.
+};
+
+// Per-hour energy buckets (Fig. 13 plots hour-by-hour energy and losses).
+struct HourlyStats {
+  Energy load_energy;     // Energy the load consumed.
+  Energy battery_loss;    // Resistive losses inside batteries.
+  Energy circuit_loss;    // Conversion losses.
+};
+
+struct SimResult {
+  Duration elapsed;
+  std::optional<Duration> first_shortfall;  // "Battery life" under the trace.
+  Energy delivered;
+  Energy battery_loss;
+  Energy circuit_loss;
+  Energy charged;                            // Absorbed from external supply.
+  std::vector<double> final_soc;
+  std::vector<std::optional<Duration>> depletion_time;  // Per battery.
+  std::vector<SimEvent> events;
+  std::vector<HourlyStats> hourly;
+
+  Energy TotalLoss() const { return battery_loss + circuit_loss; }
+};
+
+class Simulator {
+ public:
+  // `runtime` (and its microcontroller) must outlive the simulator.
+  Simulator(SdbRuntime* runtime, SimConfig config = {});
+
+  // Runs `load` against the pack with `supply` available externally
+  // (empty supply == always on battery).
+  SimResult Run(const PowerTrace& load, const PowerTrace& supply = PowerTrace());
+
+  // Convenience: charge until the pack is full (or `timeout`), no load.
+  SimResult RunChargeOnly(Power supply, Duration timeout);
+
+ private:
+  SdbRuntime* runtime_;
+  SimConfig config_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_EMU_SIMULATOR_H_

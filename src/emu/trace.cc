@@ -1,0 +1,100 @@
+#include "src/emu/trace.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+void PowerTrace::Append(Duration duration, Power power) {
+  SDB_CHECK(duration.value() > 0.0);
+  SDB_CHECK(power.value() >= 0.0);
+  Duration start = TotalDuration();
+  segments_.push_back(TraceSegment{start, duration, power});
+}
+
+Power PowerTrace::Sample(Duration t) const {
+  double ts = t.value();
+  if (segments_.empty() || ts < 0.0) {
+    return Watts(0.0);
+  }
+  // Binary search for the segment containing ts.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), ts,
+      [](double value, const TraceSegment& seg) { return value < seg.start.value(); });
+  if (it == segments_.begin()) {
+    return Watts(0.0);
+  }
+  const TraceSegment& seg = *(it - 1);
+  if (ts < seg.start.value() + seg.duration.value()) {
+    return seg.power;
+  }
+  return Watts(0.0);
+}
+
+Duration PowerTrace::TotalDuration() const {
+  if (segments_.empty()) {
+    return Seconds(0.0);
+  }
+  const TraceSegment& last = segments_.back();
+  return last.start + last.duration;
+}
+
+Energy PowerTrace::TotalEnergy() const {
+  Energy total = Joules(0.0);
+  for (const auto& seg : segments_) {
+    total += Joules(seg.power.value() * seg.duration.value());
+  }
+  return total;
+}
+
+Energy PowerTrace::EnergyBetween(Duration from, Duration to) const {
+  double lo = from.value();
+  double hi = to.value();
+  if (hi <= lo) {
+    return Joules(0.0);
+  }
+  double total = 0.0;
+  for (const auto& seg : segments_) {
+    double s0 = seg.start.value();
+    double s1 = s0 + seg.duration.value();
+    double overlap = std::min(hi, s1) - std::max(lo, s0);
+    if (overlap > 0.0) {
+      total += seg.power.value() * overlap;
+    }
+  }
+  return Joules(total);
+}
+
+Power PowerTrace::PeakPower() const {
+  Power peak = Watts(0.0);
+  for (const auto& seg : segments_) {
+    peak = Max(peak, seg.power);
+  }
+  return peak;
+}
+
+PowerTrace PowerTrace::Constant(Power power, Duration duration) {
+  PowerTrace trace;
+  trace.Append(duration, power);
+  return trace;
+}
+
+PowerTrace PowerTrace::Scaled(double factor) const {
+  SDB_CHECK(factor >= 0.0);
+  PowerTrace out;
+  for (const auto& seg : segments_) {
+    out.Append(seg.duration, Watts(seg.power.value() * factor));
+  }
+  return out;
+}
+
+PowerTrace PowerTrace::Concatenated(const PowerTrace& other) const {
+  PowerTrace out = *this;
+  for (const auto& seg : other.segments_) {
+    out.Append(seg.duration, seg.power);
+  }
+  return out;
+}
+
+}  // namespace sdb

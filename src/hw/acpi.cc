@@ -1,0 +1,76 @@
+#include "src/hw/acpi.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+
+uint32_t ToMilliWattHours(double joules) {
+  return static_cast<uint32_t>(std::lround(joules / 3.6));
+}
+
+}  // namespace
+
+AcpiBatteryDevice::AcpiBatteryDevice(const TraditionalPmic* pmic, std::string model)
+    : pmic_(pmic), model_(std::move(model)) {
+  SDB_CHECK(pmic_ != nullptr);
+}
+
+AcpiBatteryInformation AcpiBatteryDevice::ReadBif() const {
+  AcpiBatteryInformation bif;
+  AcpiBatteryInfo info = pmic_->Query();
+
+  // Energy figures from charge x nominal voltage, as firmware reports them.
+  double v_nominal = 0.0;
+  double design_j = 0.0;
+  double full_j = 0.0;
+  const BatteryPack& pack = pmic_->pack();
+  for (size_t i = 0; i < pack.size(); ++i) {
+    const BatteryParams& p = pack.cell(i).params();
+    v_nominal += p.nominal_voltage.value();
+    design_j += p.NominalEnergy().value();
+    full_j += pack.cell(i).EffectiveCapacity().value() * p.nominal_voltage.value();
+  }
+  v_nominal /= static_cast<double>(pack.size());
+
+  bif.design_capacity_mwh = ToMilliWattHours(design_j);
+  bif.last_full_charge_capacity_mwh = ToMilliWattHours(full_j);
+  bif.design_voltage_mv = static_cast<uint32_t>(std::lround(v_nominal * 1000.0));
+  bif.design_capacity_warning_mwh = bif.design_capacity_mwh / 10;
+  bif.design_capacity_low_mwh = bif.design_capacity_mwh * 4 / 100;
+  bif.cycle_count = static_cast<uint32_t>(info.cycle_count);
+  bif.model_number = model_;
+  return bif;
+}
+
+AcpiBatteryStatus AcpiBatteryDevice::ReadBst(const PmicTick& last_tick) const {
+  AcpiBatteryStatus bst;
+  AcpiBatteryInfo info = pmic_->Query();
+
+  double remaining_j = 0.0;
+  const BatteryPack& pack = pmic_->pack();
+  for (size_t i = 0; i < pack.size(); ++i) {
+    remaining_j += pack.cell(i).RemainingCharge().value() *
+                   pack.cell(i).params().nominal_voltage.value();
+  }
+  bst.remaining_capacity_mwh = ToMilliWattHours(remaining_j);
+  bst.present_voltage_mv = static_cast<uint32_t>(std::lround(info.voltage.value() * 1000.0));
+
+  if (last_tick.charging) {
+    bst.state |= kAcpiCharging;
+  } else if (last_tick.delivered.value() > 0.0) {
+    bst.state |= kAcpiDischarging;
+  }
+  if (info.soc < 0.04) {
+    bst.state |= kAcpiCritical;
+  }
+  double rate_w = last_tick.charging ? last_tick.delivered.value()
+                                     : std::fabs(last_tick.delivered.value());
+  bst.present_rate_mw = static_cast<uint32_t>(std::lround(rate_w * 1000.0));
+  return bst;
+}
+
+}  // namespace sdb

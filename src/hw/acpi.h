@@ -1,0 +1,64 @@
+// ACPI battery-interface emulation (paper §2.2: "these parameters are
+// exposed through the Advanced Configuration and Power Interface... none of
+// these APIs allow the OS to set the battery parameters").
+//
+// Models the _BIF (static battery information) and _BST (dynamic battery
+// status) objects a firmware battery device exposes, derived from the
+// traditional PMIC's aggregate view — the query-only world SDB extends.
+#ifndef SRC_HW_ACPI_H_
+#define SRC_HW_ACPI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hw/pmic.h"
+
+namespace sdb {
+
+// _BIF: static information, in mWh/mW units (power_unit == 0 in ACPI).
+struct AcpiBatteryInformation {
+  uint32_t design_capacity_mwh = 0;
+  uint32_t last_full_charge_capacity_mwh = 0;
+  uint32_t design_voltage_mv = 0;
+  uint32_t design_capacity_warning_mwh = 0;  // 10% of design.
+  uint32_t design_capacity_low_mwh = 0;      // 4% of design.
+  uint32_t cycle_count = 0;
+  std::string model_number;
+};
+
+// _BST state bits.
+enum AcpiBatteryState : uint32_t {
+  kAcpiDischarging = 1u << 0,
+  kAcpiCharging = 1u << 1,
+  kAcpiCritical = 1u << 2,
+};
+
+// _BST: dynamic status.
+struct AcpiBatteryStatus {
+  uint32_t state = 0;
+  uint32_t present_rate_mw = 0;       // Magnitude of current flow.
+  uint32_t remaining_capacity_mwh = 0;
+  uint32_t present_voltage_mv = 0;
+};
+
+// Wraps a traditional PMIC as an ACPI battery device. The adapter is
+// read-only by construction — exactly the limitation SDB's APIs remove.
+class AcpiBatteryDevice {
+ public:
+  // `pmic` must outlive the device.
+  explicit AcpiBatteryDevice(const TraditionalPmic* pmic, std::string model = "SDB-BAT0");
+
+  AcpiBatteryInformation ReadBif() const;
+
+  // `last_tick` carries the flow direction/magnitude of the most recent
+  // hardware step (ACPI reports instantaneous rate).
+  AcpiBatteryStatus ReadBst(const PmicTick& last_tick) const;
+
+ private:
+  const TraditionalPmic* pmic_;
+  std::string model_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_ACPI_H_

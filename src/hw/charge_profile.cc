@@ -1,0 +1,87 @@
+#include "src/hw/charge_profile.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+Current ChargeProfile::CommandedCurrent(const Cell& cell) const {
+  if (cell.IsFull()) {
+    return Amps(0.0);
+  }
+  double setpoint = cc_current.value();
+
+  // CV phase: cap the current so the terminal voltage does not exceed the CV
+  // target. Charging terminal voltage is approximately OCV + J * R0.
+  double ocv = cell.OpenCircuitVoltage().value();
+  double r0 = cell.InternalResistance().value();
+  double headroom_v = cv_voltage.value() - ocv;
+  if (headroom_v <= 0.0) {
+    return Amps(0.0);
+  }
+  double j_cv = headroom_v / r0;
+  setpoint = std::min(setpoint, j_cv);
+
+  // High-SoC taper (paper: high currents damage the anode beyond ~80% SoC).
+  if (cell.soc() >= taper_soc) {
+    setpoint = std::min(setpoint, taper_current.value());
+  }
+
+  setpoint = std::min(setpoint, cell.params().max_charge_current.value());
+  if (setpoint <= termination_current.value()) {
+    return Amps(0.0);
+  }
+  return Amps(setpoint);
+}
+
+ChargeProfile MakeStandardProfile(const BatteryParams& params, double cc_fraction) {
+  SDB_CHECK(cc_fraction > 0.0 && cc_fraction <= 1.0);
+  ChargeProfile profile;
+  profile.name = "standard";
+  profile.cc_current = Amps(params.max_charge_current.value() * cc_fraction);
+  profile.cv_voltage = params.charge_cutoff_voltage;
+  profile.taper_soc = 0.80;
+  profile.taper_current = Amps(std::min(params.max_charge_current.value() * 0.4,
+                                        params.CRate(0.3).value()));
+  profile.termination_current = params.CRate(0.02);
+  return profile;
+}
+
+ChargeProfile MakeGentleProfile(const BatteryParams& params) {
+  ChargeProfile profile = MakeStandardProfile(params, 0.5);
+  profile.name = "gentle";
+  profile.taper_soc = 0.70;
+  profile.taper_current = params.CRate(0.15);
+  return profile;
+}
+
+ChargeProfile MakeStorageProfile(const BatteryParams& params) {
+  ChargeProfile profile = MakeStandardProfile(params, 0.3);
+  profile.name = "storage";
+  // CV at the ~60%-SoC open-circuit voltage: charging stops there.
+  profile.cv_voltage = Volts(params.ocv_vs_soc.Evaluate(0.6));
+  profile.taper_soc = 0.5;
+  profile.taper_current = params.CRate(0.1);
+  return profile;
+}
+
+ChargeProfileBank::ChargeProfileBank(std::vector<ChargeProfile> profiles)
+    : profiles_(std::move(profiles)) {
+  SDB_CHECK(!profiles_.empty());
+}
+
+const ChargeProfile& ChargeProfileBank::profile(size_t index) const {
+  SDB_CHECK(index < profiles_.size());
+  return profiles_[index];
+}
+
+Status ChargeProfileBank::Select(size_t index) {
+  if (index >= profiles_.size()) {
+    return OutOfRangeError("charge profile index out of range");
+  }
+  selected_ = index;
+  return Status::Ok();
+}
+
+}  // namespace sdb

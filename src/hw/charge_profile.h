@@ -1,0 +1,62 @@
+// Charging profiles (paper §2.2 and Fig. 4): constant-current /
+// constant-voltage (CC-CV) with a high-SoC taper. Traditional PMICs bake in
+// one fixed profile; the SDB hardware holds several per battery and lets the
+// microcontroller select among them dynamically (Fig. 4c, "multiple charge
+// profiles").
+#ifndef SRC_HW_CHARGE_PROFILE_H_
+#define SRC_HW_CHARGE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chem/cell.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct ChargeProfile {
+  std::string name;
+  Current cc_current;       // Constant-current phase setpoint.
+  Voltage cv_voltage;       // Constant-voltage phase target.
+  double taper_soc = 0.80;  // Above this SoC, current is limited...
+  Current taper_current;    // ...to this value (paper: "trickle beyond 80%").
+  Current termination_current;  // Charging stops below this in CV phase.
+
+  // The charge current this profile commands for the cell's present state.
+  // Returns zero when the cell counts as full.
+  Current CommandedCurrent(const Cell& cell) const;
+};
+
+// Standard profile for a battery: CC at a fraction of the max charge
+// current, CV at the chemistry cutoff, taper above 80%.
+ChargeProfile MakeStandardProfile(const BatteryParams& params, double cc_fraction = 1.0);
+
+// Gentle overnight profile: half-rate CC, earlier taper — trades charge
+// speed for longevity (paper Table 2, charge power vs. longevity).
+ChargeProfile MakeGentleProfile(const BatteryParams& params);
+
+// Storage profile: charges only to ~60% at a low rate — the long-term
+// storage regime (high resting SoC accelerates calendar fade).
+ChargeProfile MakeStorageProfile(const BatteryParams& params);
+
+// The profile bank one battery's charger stage holds; the microcontroller
+// selects by index (paper Fig. 4b/4c "charging profile select").
+class ChargeProfileBank {
+ public:
+  explicit ChargeProfileBank(std::vector<ChargeProfile> profiles);
+
+  size_t size() const { return profiles_.size(); }
+  const ChargeProfile& profile(size_t index) const;
+
+  size_t selected_index() const { return selected_; }
+  const ChargeProfile& selected() const { return profile(selected_); }
+  Status Select(size_t index);
+
+ private:
+  std::vector<ChargeProfile> profiles_;
+  size_t selected_ = 0;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_CHARGE_PROFILE_H_

@@ -1,0 +1,272 @@
+#include "src/hw/command_link.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+
+constexpr uint8_t kStartByte = 0xA5;
+// Per-battery record size in a kStatusReport payload.
+constexpr size_t kStatusRecordSize = 24;
+
+void PutF32(std::vector<uint8_t>& out, float value) {
+  uint8_t bytes[4];
+  std::memcpy(bytes, &value, 4);
+  out.insert(out.end(), bytes, bytes + 4);
+}
+
+float GetF32(const uint8_t* data) {
+  float value;
+  std::memcpy(&value, data, 4);
+  return value;
+}
+
+uint8_t StatusToWireCode(const Status& status) {
+  return status.ok() ? 0 : static_cast<uint8_t>(status.code());
+}
+
+Status WireCodeToStatus(uint8_t code) {
+  if (code == 0) {
+    return Status::Ok();
+  }
+  return Status(static_cast<StatusCode>(code), "remote error");
+}
+
+std::vector<double> DecodeRatios(const std::vector<uint8_t>& payload) {
+  std::vector<double> ratios;
+  for (size_t i = 0; i + 4 <= payload.size(); i += 4) {
+    ratios.push_back(static_cast<double>(GetF32(payload.data() + i)));
+  }
+  return ratios;
+}
+
+std::vector<uint8_t> EncodeRatios(const std::vector<double>& ratios) {
+  std::vector<uint8_t> payload;
+  payload.reserve(ratios.size() * 4);
+  for (double r : ratios) {
+    PutF32(payload, static_cast<float>(r));
+  }
+  return payload;
+}
+
+}  // namespace
+
+uint16_t Crc16(const uint8_t* data, size_t size) {
+  uint16_t crc = 0xFFFF;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= static_cast<uint16_t>(data[i]) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  SDB_CHECK(frame.payload.size() <= 255);
+  std::vector<uint8_t> out;
+  out.reserve(frame.payload.size() + 5);
+  out.push_back(kStartByte);
+  out.push_back(static_cast<uint8_t>(frame.payload.size()));
+  out.push_back(static_cast<uint8_t>(frame.type));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  // CRC over length, type, payload.
+  uint16_t crc = Crc16(out.data() + 1, out.size() - 1);
+  out.push_back(static_cast<uint8_t>(crc >> 8));
+  out.push_back(static_cast<uint8_t>(crc & 0xFF));
+  return out;
+}
+
+std::optional<Frame> FrameDecoder::Feed(uint8_t byte) {
+  switch (state_) {
+    case State::kIdle:
+      if (byte == kStartByte) {
+        state_ = State::kLength;
+      }
+      return std::nullopt;
+    case State::kLength:
+      length_ = byte;
+      payload_.clear();
+      state_ = State::kType;
+      return std::nullopt;
+    case State::kType:
+      type_ = byte;
+      state_ = length_ > 0 ? State::kPayload : State::kCrcHigh;
+      return std::nullopt;
+    case State::kPayload:
+      payload_.push_back(byte);
+      if (payload_.size() == length_) {
+        state_ = State::kCrcHigh;
+      }
+      return std::nullopt;
+    case State::kCrcHigh:
+      crc_ = static_cast<uint16_t>(byte) << 8;
+      state_ = State::kCrcLow;
+      return std::nullopt;
+    case State::kCrcLow: {
+      crc_ |= byte;
+      state_ = State::kIdle;
+      std::vector<uint8_t> covered;
+      covered.push_back(length_);
+      covered.push_back(type_);
+      covered.insert(covered.end(), payload_.begin(), payload_.end());
+      if (Crc16(covered.data(), covered.size()) != crc_) {
+        ++crc_errors_;
+        return std::nullopt;
+      }
+      ++frames_decoded_;
+      return Frame{static_cast<MessageType>(type_), payload_};
+    }
+  }
+  return std::nullopt;
+}
+
+void FrameDecoder::Feed(const std::vector<uint8_t>& bytes, std::vector<Frame>& out) {
+  for (uint8_t b : bytes) {
+    if (std::optional<Frame> frame = Feed(b)) {
+      out.push_back(std::move(*frame));
+    }
+  }
+}
+
+CommandLinkServer::CommandLinkServer(SdbMicrocontroller* micro) : micro_(micro) {
+  SDB_CHECK(micro_ != nullptr);
+}
+
+std::vector<uint8_t> CommandLinkServer::Receive(const std::vector<uint8_t>& bytes) {
+  std::vector<Frame> frames;
+  decoder_.Feed(bytes, frames);
+  std::vector<uint8_t> response;
+  for (const Frame& frame : frames) {
+    std::vector<uint8_t> reply = Execute(frame);
+    response.insert(response.end(), reply.begin(), reply.end());
+  }
+  return response;
+}
+
+std::vector<uint8_t> CommandLinkServer::Execute(const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kSetDischargeRatios: {
+      Status status = micro_->SetDischargeRatios(DecodeRatios(frame.payload));
+      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
+    }
+    case MessageType::kSetChargeRatios: {
+      Status status = micro_->SetChargeRatios(DecodeRatios(frame.payload));
+      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
+    }
+    case MessageType::kChargeOneFromAnother: {
+      if (frame.payload.size() != 10) {
+        return EncodeFrame(Frame{
+            MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
+      }
+      uint8_t from = frame.payload[0];
+      uint8_t to = frame.payload[1];
+      float power = GetF32(frame.payload.data() + 2);
+      float duration = GetF32(frame.payload.data() + 6);
+      Status status = micro_->ChargeOneFromAnother(from, to, Watts(power), Seconds(duration));
+      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
+    }
+    case MessageType::kSelectProfile: {
+      if (frame.payload.size() != 2) {
+        return EncodeFrame(Frame{
+            MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
+      }
+      Status status = micro_->SelectChargeProfile(frame.payload[0], frame.payload[1]);
+      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
+    }
+    case MessageType::kQueryStatus: {
+      std::vector<BatteryStatus> statuses = micro_->QueryBatteryStatus();
+      Frame report{MessageType::kStatusReport, {}};
+      for (const BatteryStatus& s : statuses) {
+        PutF32(report.payload, static_cast<float>(s.soc));
+        PutF32(report.payload, static_cast<float>(s.terminal_voltage.value()));
+        PutF32(report.payload, static_cast<float>(s.cycle_count));
+        PutF32(report.payload, static_cast<float>(s.full_capacity.value()));
+        PutF32(report.payload, static_cast<float>(s.last_current.value()));
+        PutF32(report.payload, static_cast<float>(s.temperature.value()));
+      }
+      return EncodeFrame(report);
+    }
+    default:
+      return EncodeFrame(Frame{
+          MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
+  }
+}
+
+CommandLinkClient::CommandLinkClient(Transport transport) : transport_(std::move(transport)) {
+  SDB_CHECK(transport_ != nullptr);
+}
+
+StatusOr<Frame> CommandLinkClient::Roundtrip(const Frame& request) {
+  std::vector<uint8_t> response_bytes = transport_(EncodeFrame(request));
+  std::vector<Frame> frames;
+  decoder_.Feed(response_bytes, frames);
+  if (frames.empty()) {
+    return UnavailableError("no response frame (link corruption?)");
+  }
+  return frames.front();
+}
+
+Status CommandLinkClient::RoundtripAck(const Frame& request) {
+  StatusOr<Frame> response = Roundtrip(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->type != MessageType::kAck || response->payload.size() != 1) {
+    return InternalError("malformed ack");
+  }
+  return WireCodeToStatus(response->payload[0]);
+}
+
+Status CommandLinkClient::SetDischargeRatios(const std::vector<double>& ratios) {
+  return RoundtripAck(Frame{MessageType::kSetDischargeRatios, EncodeRatios(ratios)});
+}
+
+Status CommandLinkClient::SetChargeRatios(const std::vector<double>& ratios) {
+  return RoundtripAck(Frame{MessageType::kSetChargeRatios, EncodeRatios(ratios)});
+}
+
+Status CommandLinkClient::ChargeOneFromAnother(uint8_t from, uint8_t to, Power power,
+                                               Duration duration) {
+  Frame request{MessageType::kChargeOneFromAnother, {from, to}};
+  PutF32(request.payload, static_cast<float>(power.value()));
+  PutF32(request.payload, static_cast<float>(duration.value()));
+  return RoundtripAck(request);
+}
+
+Status CommandLinkClient::SelectChargeProfile(uint8_t battery, uint8_t profile) {
+  return RoundtripAck(Frame{MessageType::kSelectProfile, {battery, profile}});
+}
+
+StatusOr<std::vector<BatteryStatus>> CommandLinkClient::QueryBatteryStatus() {
+  StatusOr<Frame> response = Roundtrip(Frame{MessageType::kQueryStatus, {}});
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->type != MessageType::kStatusReport ||
+      response->payload.size() % kStatusRecordSize != 0) {
+    return InternalError("malformed status report");
+  }
+  std::vector<BatteryStatus> statuses;
+  for (size_t offset = 0; offset < response->payload.size(); offset += kStatusRecordSize) {
+    const uint8_t* record = response->payload.data() + offset;
+    BatteryStatus s;
+    s.soc = GetF32(record);
+    s.terminal_voltage = Volts(GetF32(record + 4));
+    s.cycle_count = GetF32(record + 8);
+    s.full_capacity = Coulombs(GetF32(record + 12));
+    s.last_current = Amps(GetF32(record + 16));
+    s.temperature = Kelvin(GetF32(record + 20));
+    statuses.push_back(s);
+  }
+  return statuses;
+}
+
+}  // namespace sdb

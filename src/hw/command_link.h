@@ -1,0 +1,117 @@
+// The wire protocol between the SDB Runtime and the microcontroller.
+//
+// The paper's prototype connects the OS to the controller board over a
+// serial transport (a Bluetooth link standing in for the power-management
+// serial bus, §4.1). This module implements that link: framed, checksummed
+// messages carrying the four SDB APIs, an incremental decoder that resyncs
+// after corruption, and client/server endpoints.
+//
+// Frame layout (little-endian payloads):
+//   0xA5 | length (1 byte, payload size) | type (1 byte) | payload | crc16 (2 bytes)
+// The CRC (CCITT-FALSE) covers length, type and payload.
+#ifndef SRC_HW_COMMAND_LINK_H_
+#define SRC_HW_COMMAND_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/hw/microcontroller.h"
+#include "src/util/status.h"
+
+namespace sdb {
+
+enum class MessageType : uint8_t {
+  kSetDischargeRatios = 0x01,
+  kSetChargeRatios = 0x02,
+  kChargeOneFromAnother = 0x03,
+  kQueryStatus = 0x04,
+  kSelectProfile = 0x05,
+  kAck = 0x80,           // Payload: 1 status byte (0 == OK).
+  kStatusReport = 0x81,  // Payload: per-battery status records.
+};
+
+struct Frame {
+  MessageType type;
+  std::vector<uint8_t> payload;
+};
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+uint16_t Crc16(const uint8_t* data, size_t size);
+
+// Serialises a frame to bytes.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Incremental frame decoder: feed bytes as they arrive; complete, valid
+// frames pop out. Corrupt frames (bad CRC) are dropped and counted; the
+// decoder hunts for the next start byte.
+class FrameDecoder {
+ public:
+  // Feeds one byte; returns a frame when one completes.
+  std::optional<Frame> Feed(uint8_t byte);
+
+  // Feeds a buffer; appends completed frames to `out`.
+  void Feed(const std::vector<uint8_t>& bytes, std::vector<Frame>& out);
+
+  size_t crc_errors() const { return crc_errors_; }
+  size_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  enum class State { kIdle, kLength, kType, kPayload, kCrcHigh, kCrcLow };
+  State state_ = State::kIdle;
+  uint8_t length_ = 0;
+  uint8_t type_ = 0;
+  std::vector<uint8_t> payload_;
+  uint16_t crc_ = 0;
+  size_t crc_errors_ = 0;
+  size_t frames_decoded_ = 0;
+};
+
+// Firmware-side endpoint: executes decoded command frames against the
+// microcontroller and produces response bytes.
+class CommandLinkServer {
+ public:
+  // `micro` must outlive the server.
+  explicit CommandLinkServer(SdbMicrocontroller* micro);
+
+  // Feeds raw bytes from the wire; returns response bytes to send back
+  // (acks and status reports, one response per completed command frame).
+  std::vector<uint8_t> Receive(const std::vector<uint8_t>& bytes);
+
+  size_t crc_errors() const { return decoder_.crc_errors(); }
+
+ private:
+  std::vector<uint8_t> Execute(const Frame& frame);
+
+  SdbMicrocontroller* micro_;
+  FrameDecoder decoder_;
+};
+
+// OS-side endpoint: the four APIs as serialised calls. `transport` delivers
+// request bytes and returns response bytes (tests wire it straight to a
+// CommandLinkServer, optionally through a lossy channel).
+class CommandLinkClient {
+ public:
+  using Transport = std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+  explicit CommandLinkClient(Transport transport);
+
+  Status SetDischargeRatios(const std::vector<double>& ratios);
+  Status SetChargeRatios(const std::vector<double>& ratios);
+  Status ChargeOneFromAnother(uint8_t from, uint8_t to, Power power, Duration duration);
+  StatusOr<std::vector<BatteryStatus>> QueryBatteryStatus();
+  Status SelectChargeProfile(uint8_t battery, uint8_t profile);
+
+ private:
+  // Sends a frame and decodes the single expected response frame.
+  StatusOr<Frame> Roundtrip(const Frame& request);
+  Status RoundtripAck(const Frame& request);
+
+  Transport transport_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_COMMAND_LINK_H_

@@ -1,0 +1,81 @@
+// The SDB discharge circuit (paper §3.2.1, Fig. 4c left): a switched-mode
+// regulator restructured to draw energy packets from N batteries in
+// weighted round-robin, so a software-set ratio vector controls what
+// fraction of the load each battery supplies.
+//
+// Modeled behaviours, calibrated to the prototype microbenchmarks:
+//   * conversion loss ~1% at light load rising to ~1.6% at 10 W (Fig. 6a);
+//   * proportion-setting error, worst (~0.55%) at extreme settings and
+//     ~0.1% mid-range (Fig. 6b);
+//   * spill-over: when a battery cannot meet its share (empty, or at its
+//     power limit), the remainder is redistributed across the others.
+#ifndef SRC_HW_DISCHARGE_CIRCUIT_H_
+#define SRC_HW_DISCHARGE_CIRCUIT_H_
+
+#include <vector>
+
+#include "src/chem/pack.h"
+#include "src/hw/regulator.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct DischargeCircuitConfig {
+  // Loss terms calibrated to Fig. 6(a): ~1.0% loss at 0.1-2 W, ~1.6% at 10 W.
+  RegulatorConfig regulator{.quiescent_w = 2.0e-5,
+                            .proportional = 0.0097,
+                            .series_resistance = 0.0086,
+                            .reverse_penalty = 1.35,
+                            .typical_efficiency = 0.96};
+  // Proportion error envelope (fraction of the setting): worst at the edges
+  // of the [0,1] setting range, best mid-range (Fig. 6b).
+  double share_error_mid = 0.0010;
+  double share_error_edge = 0.0040;
+  // Safety margin kept below a battery's instantaneous max power.
+  double power_margin = 0.98;
+};
+
+struct DischargeTick {
+  Power requested;                  // Load power asked for.
+  Power delivered;                  // Power that reached the load.
+  Energy circuit_loss;              // Dissipated in the switching circuitry.
+  Energy battery_loss;              // Resistive loss inside the batteries.
+  std::vector<Current> currents;    // Per battery.
+  std::vector<Power> battery_power; // Terminal power drawn per battery.
+  std::vector<double> realised_shares;  // After proportion error + spill.
+  bool shortfall = false;
+};
+
+class SdbDischargeCircuit {
+ public:
+  SdbDischargeCircuit(DischargeCircuitConfig config, uint64_t seed);
+
+  // Draws `load` from `pack` split by `shares` (non-negative, summing to 1
+  // over the pack size) for one tick. Shares of unavailable batteries spill
+  // to the rest; if the whole pack cannot meet the load, delivers what it
+  // can and flags a shortfall.
+  DischargeTick Step(BatteryPack& pack, const std::vector<double>& shares, Power load,
+                     Duration dt);
+
+  // The proportion error applied to a given setting (deterministic part of
+  // the Fig. 6b envelope); exposed for the microbenchmark.
+  double ShareErrorEnvelope(double setting) const;
+
+  // Circuit loss moving `load` at the pack bus voltage (Fig. 6a).
+  Power CircuitLossAt(Power load, Voltage bus) const;
+
+  const DischargeCircuitConfig& config() const { return config_; }
+
+ private:
+  // Terminal power battery i can deliver in this tick.
+  Power AvailablePower(const Cell& cell, Duration dt) const;
+
+  DischargeCircuitConfig config_;
+  RegulatorModel regulator_;
+  Rng rng_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_DISCHARGE_CIRCUIT_H_

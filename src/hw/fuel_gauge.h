@@ -1,0 +1,53 @@
+// Per-battery fuel gauge: a coulomb counter plus voltage/current sensing
+// with realistic quantisation and noise (paper §2.2; the prototype used a
+// custom coulomb-counter module, Fig. 7).
+//
+// The SDB runtime sees *estimates* from this gauge, never the emulator's
+// ground truth — policies must tolerate measurement error, and the
+// fuel-gauge ablation bench quantifies how much error they tolerate.
+#ifndef SRC_HW_FUEL_GAUGE_H_
+#define SRC_HW_FUEL_GAUGE_H_
+
+#include "src/chem/cell.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct FuelGaugeConfig {
+  double current_lsb_a = 0.001;     // Current ADC quantisation step.
+  double voltage_lsb_v = 0.002;     // Voltage ADC quantisation step.
+  double current_noise_a = 0.0005;  // Gaussian sensing noise (1 sigma).
+  double soc_drift_per_hour = 0.0;  // Integrator drift (fraction of capacity).
+};
+
+class FuelGauge {
+ public:
+  FuelGauge(FuelGaugeConfig config, uint64_t seed, double initial_soc_estimate);
+
+  // Feeds one tick's true current (discharge positive) and the true terminal
+  // voltage; the gauge quantises, adds noise and integrates.
+  void Observe(Current true_current, Voltage true_voltage, Charge true_capacity, Duration dt);
+
+  // Latest estimates.
+  double EstimatedSoc() const { return soc_estimate_; }
+  Current MeasuredCurrent() const { return Current(last_current_a_); }
+  Voltage MeasuredVoltage() const { return Voltage(last_voltage_v_); }
+
+  // Re-anchors the integrator (e.g. at a charge-complete event, like real
+  // gauges re-learning full capacity).
+  void AnchorSoc(double soc);
+
+ private:
+  double Quantise(double value, double lsb) const;
+
+  FuelGaugeConfig config_;
+  Rng rng_;
+  double soc_estimate_;
+  double last_current_a_ = 0.0;
+  double last_voltage_v_ = 0.0;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_FUEL_GAUGE_H_

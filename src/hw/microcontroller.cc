@@ -1,0 +1,234 @@
+#include "src/hw/microcontroller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+
+std::vector<const BatteryParams*> CollectParams(const BatteryPack& pack) {
+  std::vector<const BatteryParams*> params;
+  params.reserve(pack.size());
+  for (size_t i = 0; i < pack.size(); ++i) {
+    params.push_back(&pack.cell(i).params());
+  }
+  return params;
+}
+
+}  // namespace
+
+SdbMicrocontroller::SdbMicrocontroller(BatteryPack pack, DischargeCircuitConfig discharge_config,
+                                       ChargeCircuitConfig charge_config,
+                                       FuelGaugeConfig gauge_config, uint64_t seed)
+    : pack_(std::move(pack)),
+      discharge_circuit_(discharge_config, seed ^ 0x9E3779B97F4A7C15ULL),
+      charge_circuit_(charge_config, CollectParams(pack_), seed ^ 0xD1B54A32D192ED03ULL) {
+  SDB_CHECK(!pack_.empty());
+  const size_t n = pack_.size();
+  gauges_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    gauges_.emplace_back(gauge_config, seed + 17 * (i + 1), pack_.cell(i).soc());
+  }
+  // Default: split evenly, the closest analogue of a dumb parallel pack.
+  charge_ratios_.assign(n, 1.0 / static_cast<double>(n));
+  discharge_ratios_.assign(n, 1.0 / static_cast<double>(n));
+}
+
+Status SdbMicrocontroller::ValidateRatios(const std::vector<double>& ratios) const {
+  if (ratios.size() != pack_.size()) {
+    return InvalidArgumentError("ratio vector arity must match battery count");
+  }
+  double sum = 0.0;
+  for (double r : ratios) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      return InvalidArgumentError("ratios must be finite and non-negative");
+    }
+    sum += r;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return InvalidArgumentError("ratios must sum to 1");
+  }
+  return Status::Ok();
+}
+
+Status SdbMicrocontroller::SetChargeRatios(const std::vector<double>& ratios) {
+  SDB_RETURN_IF_ERROR(ValidateRatios(ratios));
+  charge_ratios_ = ratios;
+  return Status::Ok();
+}
+
+Status SdbMicrocontroller::SetDischargeRatios(const std::vector<double>& ratios) {
+  SDB_RETURN_IF_ERROR(ValidateRatios(ratios));
+  discharge_ratios_ = ratios;
+  return Status::Ok();
+}
+
+Status SdbMicrocontroller::ChargeOneFromAnother(size_t from, size_t to, Power power,
+                                                Duration duration) {
+  if (from >= pack_.size() || to >= pack_.size()) {
+    return OutOfRangeError("battery index out of range");
+  }
+  if (from == to) {
+    return InvalidArgumentError("cannot charge a battery from itself");
+  }
+  if (power.value() <= 0.0 || duration.value() <= 0.0) {
+    return InvalidArgumentError("transfer power and duration must be positive");
+  }
+  transfer_ = ActiveTransfer{from, to, power, duration};
+  return Status::Ok();
+}
+
+std::vector<BatteryStatus> SdbMicrocontroller::QueryBatteryStatus() const {
+  std::vector<BatteryStatus> statuses;
+  statuses.reserve(pack_.size());
+  for (size_t i = 0; i < pack_.size(); ++i) {
+    const Cell& cell = pack_.cell(i);
+    BatteryStatus s;
+    s.soc = gauges_[i].EstimatedSoc();
+    s.terminal_voltage = gauges_[i].MeasuredVoltage();
+    s.last_current = gauges_[i].MeasuredCurrent();
+    s.cycle_count = cell.aging().cycle_count();
+    s.full_capacity = cell.EffectiveCapacity();
+    s.temperature = cell.thermal().temperature();
+    statuses.push_back(s);
+  }
+  return statuses;
+}
+
+Status SdbMicrocontroller::SelectChargeProfile(size_t battery, size_t profile_index) {
+  return charge_circuit_.SelectProfile(battery, profile_index);
+}
+
+void SdbMicrocontroller::CancelTransfer() { transfer_.reset(); }
+
+std::vector<double> SdbMicrocontroller::MaskFaulted(const std::vector<double>& ratios) const {
+  if (safety_ == nullptr || !safety_->AnyFaulted()) {
+    return ratios;
+  }
+  std::vector<double> masked = ratios;
+  double sum = 0.0;
+  for (size_t i = 0; i < masked.size(); ++i) {
+    if (safety_->IsFaulted(i)) {
+      masked[i] = 0.0;
+    }
+    sum += masked[i];
+  }
+  if (sum > 0.0) {
+    for (auto& r : masked) {
+      r /= sum;
+    }
+  }
+  return masked;
+}
+
+MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration dt) {
+  SDB_CHECK(dt.value() > 0.0);
+  MicroTick tick;
+  tick.dt = dt;
+  const size_t n = pack_.size();
+
+  // External supply covers the load first; the surplus charges the pack.
+  double supply_w = std::max(0.0, external_supply.value());
+  double load_w = std::max(0.0, load.value());
+  double supply_to_load = std::min(supply_w, load_w);
+  double load_from_pack = load_w - supply_to_load;
+  double supply_to_charge = supply_w - supply_to_load;
+
+  if (load_from_pack > 0.0) {
+    std::vector<double> d_ratios = MaskFaulted(discharge_ratios_);
+    tick.discharge =
+        discharge_circuit_.Step(pack_, d_ratios, Watts(load_from_pack), dt);
+    // Power the external source fed straight to the load still counts as
+    // delivered to the load.
+    tick.discharge.delivered += Watts(supply_to_load);
+    tick.discharge.requested = load;
+  } else {
+    tick.discharge.requested = load;
+    tick.discharge.delivered = Watts(supply_to_load);
+    tick.discharge.currents.assign(n, Amps(0.0));
+    tick.discharge.battery_power.assign(n, Watts(0.0));
+    tick.discharge.realised_shares.assign(n, 0.0);
+    tick.discharge.circuit_loss = Joules(0.0);
+    tick.discharge.battery_loss = Joules(0.0);
+  }
+
+  if (supply_to_charge > 0.0) {
+    std::vector<double> c_ratios = MaskFaulted(charge_ratios_);
+    tick.charge = charge_circuit_.Step(pack_, c_ratios, Watts(supply_to_charge), dt);
+  } else {
+    tick.charge.supply_offered = Watts(0.0);
+    tick.charge.absorbed = Watts(0.0);
+    tick.charge.supply_used = Watts(0.0);
+    tick.charge.circuit_loss = Joules(0.0);
+    tick.charge.battery_loss = Joules(0.0);
+    tick.charge.currents.assign(n, Amps(0.0));
+  }
+
+  if (transfer_.has_value()) {
+    tick.transfer =
+        charge_circuit_.StepTransfer(pack_, transfer_->from, transfer_->to, transfer_->power, dt);
+    tick.transfer_active = true;
+    transfer_->remaining -= dt;
+    if (transfer_->remaining.value() <= 0.0 || tick.transfer.source_exhausted ||
+        tick.transfer.destination_full) {
+      transfer_.reset();
+    }
+  } else {
+    tick.transfer = TransferTick{Joules(0.0), Joules(0.0), Joules(0.0), Joules(0.0), false, false};
+  }
+
+  // Protection: inspect every battery's realised electrical state.
+  if (safety_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      const Cell& cell = pack_.cell(i);
+      double i_net = 0.0;
+      if (i < tick.discharge.currents.size()) {
+        i_net += tick.discharge.currents[i].value();
+      }
+      if (i < tick.charge.currents.size()) {
+        i_net += tick.charge.currents[i].value();
+      }
+      StepResult observed;
+      observed.current = Amps(i_net);
+      observed.terminal_voltage =
+          Volts(cell.NoLoadVoltage().value() - i_net * cell.InternalResistance().value());
+      safety_->Inspect(i, cell, observed);
+    }
+  }
+
+  // Feed the fuel gauges with the net per-battery currents.
+  for (size_t i = 0; i < n; ++i) {
+    Cell& cell = pack_.cell(i);
+    double i_net = 0.0;
+    if (i < tick.discharge.currents.size()) {
+      i_net += tick.discharge.currents[i].value();
+    }
+    if (i < tick.charge.currents.size()) {
+      i_net += tick.charge.currents[i].value();
+    }
+    // Transfer-leg currents are already reflected in cell state; the gauges
+    // re-anchor at full/empty below, like production coulomb counters.
+    Voltage v = cell.NoLoadVoltage();
+    gauges_[i].Observe(Amps(i_net), v, cell.EffectiveCapacity(), dt);
+    if (cell.IsFull()) {
+      gauges_[i].AnchorSoc(1.0);
+    } else if (cell.IsEmpty()) {
+      gauges_[i].AnchorSoc(0.0);
+    }
+  }
+  return tick;
+}
+
+SdbMicrocontroller MakeDefaultMicrocontroller(std::vector<Cell> cells, uint64_t seed) {
+  BatteryPack pack;
+  for (auto& cell : cells) {
+    pack.AddCell(std::move(cell));
+  }
+  return SdbMicrocontroller(std::move(pack), DischargeCircuitConfig{}, ChargeCircuitConfig{},
+                            FuelGaugeConfig{}, seed);
+}
+
+}  // namespace sdb

@@ -1,0 +1,129 @@
+// The SDB microcontroller (paper §3, Fig. 3): the hardware-side endpoint of
+// the four OS-facing APIs. Mechanism only — all policy lives in the
+// OS-resident SDB Runtime (src/core), exactly the split the paper argues
+// for: "we only implement the mechanisms in hardware, and all policies are
+// managed and set by the OS."
+//
+// APIs (paper §3.3):
+//   Charge(c1..cN)                  -> SetChargeRatios
+//   Discharge(d1..dN)               -> SetDischargeRatios
+//   ChargeOneFromAnother(X,Y,W,T)   -> ChargeOneFromAnother
+//   QueryBatteryStatus()            -> QueryBatteryStatus
+#ifndef SRC_HW_MICROCONTROLLER_H_
+#define SRC_HW_MICROCONTROLLER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/chem/pack.h"
+#include "src/hw/charge_circuit.h"
+#include "src/hw/discharge_circuit.h"
+#include "src/hw/fuel_gauge.h"
+#include "src/hw/safety.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// What QueryBatteryStatus returns per battery — the paper lists state of
+// charge, terminal voltage and cycle count; we add the capacity estimate the
+// gauge derives. These are gauge *estimates*, not emulator ground truth.
+struct BatteryStatus {
+  double soc = 0.0;
+  Voltage terminal_voltage;
+  double cycle_count = 0.0;
+  Charge full_capacity;
+  Current last_current;
+  Temperature temperature;  // Pack thermistor reading.
+};
+
+// Everything that happened during one hardware tick, for the simulator's
+// energy ledger.
+struct MicroTick {
+  DischargeTick discharge;
+  ChargeTick charge;
+  TransferTick transfer;
+  bool transfer_active = false;
+  Duration dt;
+};
+
+class SdbMicrocontroller {
+ public:
+  // Takes ownership of the pack. `seed` drives all measurement noise.
+  SdbMicrocontroller(BatteryPack pack, DischargeCircuitConfig discharge_config,
+                     ChargeCircuitConfig charge_config, FuelGaugeConfig gauge_config,
+                     uint64_t seed);
+
+  size_t battery_count() const { return pack_.size(); }
+
+  // --- The four SDB APIs ----------------------------------------------------
+
+  // Ratios must be non-negative and sum to 1 (tolerance 1e-6).
+  Status SetChargeRatios(const std::vector<double>& ratios);
+  Status SetDischargeRatios(const std::vector<double>& ratios);
+
+  // Schedules a battery-to-battery transfer of `power` for `duration`; runs
+  // during subsequent Step calls and stops early if the source empties or
+  // the destination fills. A new call replaces any active transfer.
+  Status ChargeOneFromAnother(size_t from, size_t to, Power power, Duration duration);
+
+  std::vector<BatteryStatus> QueryBatteryStatus() const;
+
+  // --- Auxiliary commands ---------------------------------------------------
+
+  Status SelectChargeProfile(size_t battery, size_t profile_index);
+  void CancelTransfer();
+
+  // Attaches a protection supervisor (non-owning; must outlive the
+  // microcontroller, or detach with nullptr). While attached, every tick's
+  // per-battery outcome is inspected and faulted batteries are removed from
+  // the charge/discharge splits until their faults clear.
+  void AttachSafety(SafetySupervisor* supervisor) { safety_ = supervisor; }
+  SafetySupervisor* safety() { return safety_; }
+  bool transfer_active() const { return transfer_.has_value(); }
+
+  const std::vector<double>& charge_ratios() const { return charge_ratios_; }
+  const std::vector<double>& discharge_ratios() const { return discharge_ratios_; }
+
+  // --- Simulation interface -------------------------------------------------
+
+  // Advances the hardware one tick: external supply (if any) feeds the load
+  // first and the surplus charges the pack per the charge ratios; any load
+  // not covered by the supply is drawn from the pack per the discharge
+  // ratios; an active transfer runs on top.
+  MicroTick Step(Power load, Power external_supply, Duration dt);
+
+  // Ground-truth access for the emulator and tests (not visible to the OS).
+  const BatteryPack& pack() const { return pack_; }
+  BatteryPack& mutable_pack() { return pack_; }
+
+ private:
+  struct ActiveTransfer {
+    size_t from;
+    size_t to;
+    Power power;
+    Duration remaining;
+  };
+
+  Status ValidateRatios(const std::vector<double>& ratios) const;
+  // Zeroes faulted batteries' shares and renormalises; all-zero when every
+  // battery is faulted.
+  std::vector<double> MaskFaulted(const std::vector<double>& ratios) const;
+
+  BatteryPack pack_;
+  SdbDischargeCircuit discharge_circuit_;
+  SdbChargeCircuit charge_circuit_;
+  std::vector<FuelGauge> gauges_;
+  std::vector<double> charge_ratios_;
+  std::vector<double> discharge_ratios_;
+  std::optional<ActiveTransfer> transfer_;
+  SafetySupervisor* safety_ = nullptr;
+};
+
+// Convenience: builds a microcontroller with default circuit/gauge configs
+// over the given cells.
+SdbMicrocontroller MakeDefaultMicrocontroller(std::vector<Cell> cells, uint64_t seed = 42);
+
+}  // namespace sdb
+
+#endif  // SRC_HW_MICROCONTROLLER_H_

@@ -1,0 +1,102 @@
+#include "src/hw/pmic.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+namespace {
+// Same charger-chip loss surface the SDB charge circuit uses, so baseline
+// comparisons isolate policy, not component quality.
+RegulatorConfig PmicChargerConfig() {
+  return RegulatorConfig{.quiescent_w = 0.008,
+                         .proportional = 0.006,
+                         .series_resistance = 0.15,
+                         .reverse_penalty = 1.35,
+                         .typical_efficiency = 0.97};
+}
+}  // namespace
+
+TraditionalPmic::TraditionalPmic(BatteryPack pack)
+    : pack_(std::move(pack)), charger_(PmicChargerConfig()) {
+  SDB_CHECK(!pack_.empty());
+  profiles_.reserve(pack_.size());
+  for (size_t i = 0; i < pack_.size(); ++i) {
+    profiles_.push_back(MakeStandardProfile(pack_.cell(i).params()));
+  }
+}
+
+PmicTick TraditionalPmic::Step(Power load, Power external_supply, Duration dt) {
+  PmicTick tick;
+  tick.delivered = Watts(0.0);
+  tick.battery_loss = Joules(0.0);
+  tick.circuit_loss = Joules(0.0);
+
+  double supply_w = std::max(0.0, external_supply.value());
+  double load_w = std::max(0.0, load.value());
+  double supply_to_load = std::min(supply_w, load_w);
+  double load_from_pack = load_w - supply_to_load;
+  double supply_to_charge = supply_w - supply_to_load;
+
+  if (load_from_pack > 0.0) {
+    PackStepResult result = pack_.StepParallelDischarge(Watts(load_from_pack), dt);
+    tick.delivered = result.delivered + Watts(supply_to_load);
+    tick.battery_loss += result.energy_lost;
+    tick.shortfall = result.shortfall;
+  } else {
+    tick.delivered = Watts(supply_to_load);
+  }
+
+  if (supply_to_charge > 0.0) {
+    // Fixed profile, cells charged independently; supply is first-come
+    // first-served in cell order (how fixed-function chargers chain).
+    double budget_w = supply_to_charge;
+    for (size_t i = 0; i < pack_.size() && budget_w > 1e-12; ++i) {
+      Cell& cell = pack_.cell(i);
+      double j = profiles_[i].CommandedCurrent(cell).value();
+      if (j <= 0.0) {
+        continue;
+      }
+      double ocv = cell.OpenCircuitVoltage().value();
+      double r0 = cell.InternalResistance().value();
+      double p_want = (ocv + j * r0) * j;
+      double p_in_want = charger_.InputFor(Watts(p_want), Volts(ocv)).value();
+      double p_in = std::min(budget_w, p_in_want);
+      double p_batt = p_in * (p_want / p_in_want);
+      StepResult step = cell.StepChargePower(Watts(p_batt), dt);
+      double absorbed_w = -step.energy_at_terminals.value() / dt.value();
+      if (absorbed_w > 0.0) {
+        tick.charging = true;
+        double loss_w = charger_.LossAt(Watts(absorbed_w), Volts(ocv)).value();
+        budget_w -= absorbed_w + loss_w;
+        tick.circuit_loss += Joules(loss_w * dt.value());
+        tick.battery_loss += step.energy_lost;
+      }
+    }
+  }
+  return tick;
+}
+
+AcpiBatteryInfo TraditionalPmic::Query() const {
+  AcpiBatteryInfo info;
+  double remaining_c = 0.0;
+  double full_c = 0.0;
+  double design_c = 0.0;
+  double v_sum = 0.0;
+  for (size_t i = 0; i < pack_.size(); ++i) {
+    const Cell& cell = pack_.cell(i);
+    remaining_c += cell.RemainingCharge().value();
+    full_c += cell.EffectiveCapacity().value();
+    design_c += cell.params().nominal_capacity.value();
+    v_sum += cell.NoLoadVoltage().value();
+    info.cycle_count = std::max(info.cycle_count, cell.aging().cycle_count());
+  }
+  info.soc = full_c > 0.0 ? remaining_c / full_c : 0.0;
+  info.voltage = Volts(v_sum / static_cast<double>(pack_.size()));
+  info.remaining_capacity = Coulombs(remaining_c);
+  info.design_capacity = Coulombs(design_c);
+  return info;
+}
+
+}  // namespace sdb

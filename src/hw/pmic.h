@@ -1,0 +1,60 @@
+// Traditional power-management IC baseline (paper §2.2, Fig. 2): the
+// battery pack is a black box behind a fixed charging profile and a
+// query-only ACPI-style interface. No ratio control, no per-cell policies —
+// this is what SDB replaces, and what the application benches compare
+// against.
+#ifndef SRC_HW_PMIC_H_
+#define SRC_HW_PMIC_H_
+
+#include <vector>
+
+#include "src/chem/pack.h"
+#include "src/hw/charge_profile.h"
+#include "src/hw/regulator.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// The coarse aggregate state ACPI exposes (remaining capacity, voltage,
+// cycle count of the pack as a whole).
+struct AcpiBatteryInfo {
+  double soc = 0.0;               // Pack-level state of charge.
+  Voltage voltage;                // Pack terminal voltage (no load).
+  Charge remaining_capacity;
+  Charge design_capacity;
+  double cycle_count = 0.0;       // Max across cells (what vendors report).
+};
+
+struct PmicTick {
+  Power delivered;
+  Energy battery_loss;
+  Energy circuit_loss;
+  bool shortfall = false;
+  bool charging = false;
+};
+
+class TraditionalPmic {
+ public:
+  // The PMIC treats the cells as one parallel pack with a fixed standard
+  // charge profile per cell.
+  explicit TraditionalPmic(BatteryPack pack);
+
+  // One tick: supply feeds load first, surplus charges the pack through the
+  // fixed profile; any remaining load discharges the parallel chain.
+  PmicTick Step(Power load, Power external_supply, Duration dt);
+
+  // The only OS-visible interface a traditional design offers.
+  AcpiBatteryInfo Query() const;
+
+  const BatteryPack& pack() const { return pack_; }
+  BatteryPack& mutable_pack() { return pack_; }
+
+ private:
+  BatteryPack pack_;
+  std::vector<ChargeProfile> profiles_;
+  RegulatorModel charger_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_PMIC_H_

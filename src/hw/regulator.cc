@@ -1,0 +1,45 @@
+#include "src/hw/regulator.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+RegulatorModel::RegulatorModel(RegulatorConfig config) : config_(config) {
+  SDB_CHECK(config_.quiescent_w >= 0.0);
+  SDB_CHECK(config_.proportional >= 0.0 && config_.proportional < 1.0);
+  SDB_CHECK(config_.series_resistance >= 0.0);
+  SDB_CHECK(config_.reverse_penalty >= 1.0);
+}
+
+Power RegulatorModel::LossAt(Power output, Voltage bus_voltage, RegulatorMode mode) const {
+  if (mode == RegulatorMode::kDisabled || output.value() <= 0.0) {
+    return Watts(0.0);
+  }
+  double v = bus_voltage.value();
+  SDB_CHECK(v > 0.0);
+  double p = output.value();
+  double i = p / v;
+  double loss =
+      config_.quiescent_w + config_.proportional * p + config_.series_resistance * i * i;
+  if (mode == RegulatorMode::kReverseBuck) {
+    loss *= config_.reverse_penalty;
+  }
+  return Watts(loss);
+}
+
+double RegulatorModel::EfficiencyAt(Power output, Voltage bus_voltage, RegulatorMode mode) const {
+  double p = output.value();
+  if (p <= 0.0) {
+    return 0.0;
+  }
+  double loss = LossAt(output, bus_voltage, mode).value();
+  return p / (p + loss);
+}
+
+Power RegulatorModel::InputFor(Power output, Voltage bus_voltage, RegulatorMode mode) const {
+  return output + LossAt(output, bus_voltage, mode);
+}
+
+}  // namespace sdb

@@ -1,0 +1,64 @@
+// Switched-mode regulator loss models.
+//
+// The paper's discharge circuit is a modified switched-mode regulator that
+// draws energy packets from multiple batteries (Fig. 4c, left); its charging
+// circuit is a chain of synchronous *reversible* buck regulators (Fig. 4c,
+// right). We do not simulate switching waveforms (the paper used LTSPICE for
+// that); we model the loss surface those simulations and the prototype
+// microbenchmarks exhibit:
+//
+//   P_loss(P_out) = P_quiescent + alpha * P_out + R_series * I_out^2
+//
+// which yields the Fig. 6(a) shape — ~1% loss at light load rising to
+// ~1.6% at 10 W — and the Fig. 6(c) shape for charging efficiency.
+#ifndef SRC_HW_REGULATOR_H_
+#define SRC_HW_REGULATOR_H_
+
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// Operating directions for a synchronous reversible buck regulator.
+enum class RegulatorMode {
+  kBuck,         // Input (high voltage) -> output (battery); used when charging.
+  kReverseBuck,  // Battery -> input rail; used to charge one battery from another.
+  kDisabled,
+};
+
+struct RegulatorConfig {
+  double quiescent_w = 0.008;   // Controller + gate-drive overhead.
+  double proportional = 0.006;  // Switching losses that scale with power.
+  double series_resistance = 0.012;  // FET + inductor resistance (ohm).
+  // Reverse operation is slightly less efficient (body-diode conduction
+  // intervals); multiplier on the total loss in reverse-buck mode.
+  double reverse_penalty = 1.35;
+  // Datasheet "typical" efficiency the Fig. 6(c) bench normalises against.
+  double typical_efficiency = 0.96;
+};
+
+// A loss model for one regulator stage.
+class RegulatorModel {
+ public:
+  explicit RegulatorModel(RegulatorConfig config);
+
+  // Power lost moving `output` watts at `bus_voltage` in the given mode.
+  Power LossAt(Power output, Voltage bus_voltage, RegulatorMode mode = RegulatorMode::kBuck) const;
+
+  // Output / (output + loss).
+  double EfficiencyAt(Power output, Voltage bus_voltage,
+                      RegulatorMode mode = RegulatorMode::kBuck) const;
+
+  // Input power needed to deliver `output` (inverts the loss model).
+  Power InputFor(Power output, Voltage bus_voltage,
+                 RegulatorMode mode = RegulatorMode::kBuck) const;
+
+  const RegulatorConfig& config() const { return config_; }
+
+ private:
+  RegulatorConfig config_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_REGULATOR_H_

@@ -1,0 +1,106 @@
+#include "src/hw/safety.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kOverCurrentDischarge:
+      return "over-current-discharge";
+    case FaultKind::kOverCurrentCharge:
+      return "over-current-charge";
+    case FaultKind::kOverVoltage:
+      return "over-voltage";
+    case FaultKind::kUnderVoltage:
+      return "under-voltage";
+    case FaultKind::kOverTemperature:
+      return "over-temperature";
+  }
+  return "unknown";
+}
+
+SafetyLimits DeriveLimits(const BatteryParams& params) {
+  SafetyLimits limits;
+  limits.max_discharge = Amps(params.max_discharge_current.value() * 1.25);
+  limits.max_charge = Amps(params.max_charge_current.value() * 1.25);
+  limits.min_voltage = Volts(params.ocv_vs_soc.min_y() - 0.15);
+  limits.max_voltage = Volts(params.charge_cutoff_voltage.value() + 0.15);
+  limits.max_temperature = Celsius(60.0);
+  return limits;
+}
+
+SafetySupervisor::SafetySupervisor(std::vector<SafetyLimits> limits)
+    : limits_(std::move(limits)), faults_(limits_.size()) {
+  SDB_CHECK(!limits_.empty());
+}
+
+FaultKind SafetySupervisor::Inspect(size_t index, const Cell& cell, const StepResult& step) {
+  SDB_CHECK(index < limits_.size());
+  if (faults_[index].kind != FaultKind::kNone) {
+    return faults_[index].kind;
+  }
+  const SafetyLimits& lim = limits_[index];
+  double i = step.current.value();
+  double v = step.terminal_voltage.value();
+  double temp = cell.thermal().temperature().value();
+
+  FaultRecord record;
+  if (i > lim.max_discharge.value()) {
+    record = {FaultKind::kOverCurrentDischarge, i, lim.max_discharge.value()};
+  } else if (-i > lim.max_charge.value()) {
+    record = {FaultKind::kOverCurrentCharge, -i, lim.max_charge.value()};
+  } else if (v > lim.max_voltage.value()) {
+    record = {FaultKind::kOverVoltage, v, lim.max_voltage.value()};
+  } else if (v < lim.min_voltage.value() && !cell.IsEmpty()) {
+    // An empty cell resting at its floor voltage is not a fault; a loaded
+    // cell collapsing below the floor is.
+    record = {FaultKind::kUnderVoltage, v, lim.min_voltage.value()};
+  } else if (temp > lim.max_temperature.value()) {
+    record = {FaultKind::kOverTemperature, temp, lim.max_temperature.value()};
+  } else {
+    return FaultKind::kNone;
+  }
+  faults_[index] = record;
+  return record.kind;
+}
+
+bool SafetySupervisor::IsFaulted(size_t index) const {
+  SDB_CHECK(index < faults_.size());
+  return faults_[index].kind != FaultKind::kNone;
+}
+
+const FaultRecord& SafetySupervisor::fault(size_t index) const {
+  SDB_CHECK(index < faults_.size());
+  return faults_[index];
+}
+
+bool SafetySupervisor::AnyFaulted() const {
+  for (const auto& f : faults_) {
+    if (f.kind != FaultKind::kNone) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SafetySupervisor::ClearFault(size_t index, const Cell& cell) {
+  SDB_CHECK(index < faults_.size());
+  if (faults_[index].kind == FaultKind::kNone) {
+    return true;
+  }
+  // The thermal condition must have passed before a thermal fault clears;
+  // electrical faults clear once no current flows (the latch removed it).
+  if (faults_[index].kind == FaultKind::kOverTemperature &&
+      cell.thermal().temperature().value() > limits_[index].max_temperature.value()) {
+    return false;
+  }
+  faults_[index] = FaultRecord{};
+  return true;
+}
+
+}  // namespace sdb

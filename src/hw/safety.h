@@ -1,0 +1,73 @@
+// Battery protection supervisor: the safety interlocks every battery
+// management system carries underneath whatever scheduling policy runs
+// above it (the paper's PMIC context, §2.2). Monitors each cell for
+// over-current, terminal over/under-voltage and over-temperature; trips a
+// latched fault that removes the battery from scheduling until cleared.
+#ifndef SRC_HW_SAFETY_H_
+#define SRC_HW_SAFETY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chem/cell.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+enum class FaultKind {
+  kNone = 0,
+  kOverCurrentDischarge,
+  kOverCurrentCharge,
+  kOverVoltage,
+  kUnderVoltage,
+  kOverTemperature,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct SafetyLimits {
+  Current max_discharge;    // Hard ceiling, above the datasheet rating.
+  Current max_charge;
+  Voltage min_voltage;      // Terminal voltage bounds.
+  Voltage max_voltage;
+  Temperature max_temperature;
+};
+
+// Limits derived from a battery's datasheet with standard protection
+// margins (current +25%, voltage window widened by 150 mV, 60 C thermal).
+SafetyLimits DeriveLimits(const BatteryParams& params);
+
+struct FaultRecord {
+  FaultKind kind = FaultKind::kNone;
+  double observed_value = 0.0;
+  double limit_value = 0.0;
+};
+
+class SafetySupervisor {
+ public:
+  // One limit set per battery.
+  explicit SafetySupervisor(std::vector<SafetyLimits> limits);
+
+  size_t battery_count() const { return limits_.size(); }
+
+  // Checks one tick's electrical outcome for battery `index`; trips and
+  // latches a fault if any limit is violated. Returns the fault observed
+  // this call (kNone if healthy). Already-faulted batteries stay faulted.
+  FaultKind Inspect(size_t index, const Cell& cell, const StepResult& step);
+
+  bool IsFaulted(size_t index) const;
+  const FaultRecord& fault(size_t index) const;
+  bool AnyFaulted() const;
+
+  // Operator/OS intervention: clear a latched fault after the condition
+  // passes. Refuses (returns false) while the condition persists.
+  bool ClearFault(size_t index, const Cell& cell);
+
+ private:
+  std::vector<SafetyLimits> limits_;
+  std::vector<FaultRecord> faults_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_HW_SAFETY_H_

@@ -1,0 +1,178 @@
+#include "src/hw/switching_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace sdb {
+
+StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>& sources,
+                                             const std::vector<double>& shares,
+                                             Resistance load_resistance, Duration duration,
+                                             const SwitchingSimConfig& config) {
+  const size_t n = sources.size();
+  if (n == 0) {
+    return InvalidArgumentError("switching sim needs at least one source");
+  }
+  if (shares.size() != n) {
+    return InvalidArgumentError("share vector arity must match source count");
+  }
+  double share_sum = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) {
+      return InvalidArgumentError("shares must be non-negative");
+    }
+    share_sum += s;
+  }
+  if (std::fabs(share_sum - 1.0) > 1e-6) {
+    return InvalidArgumentError("shares must sum to 1");
+  }
+  for (const SwitchingSource& src : sources) {
+    if (src.emf.value() <= config.output_setpoint.value()) {
+      return InvalidArgumentError("buck topology needs EMF above the output setpoint");
+    }
+    if (src.series_resistance.value() < 0.0) {
+      return InvalidArgumentError("negative source resistance");
+    }
+  }
+  if (load_resistance.value() <= 0.0 || duration.value() <= 0.0) {
+    return InvalidArgumentError("load resistance and duration must be positive");
+  }
+  if (config.switching_frequency_hz <= 0.0 || config.substeps_per_period < 8) {
+    return InvalidArgumentError("invalid switching configuration");
+  }
+
+  const double t_period = 1.0 / config.switching_frequency_hz;
+  const double dt = t_period / config.substeps_per_period;
+  const double v_ref = config.output_setpoint.value();
+  const double r_load = load_resistance.value();
+  const double r_on = config.switch_on_resistance.value();
+  const double inductance = config.inductance_h;
+  const double capacitance = config.capacitance_f;
+  const int periods = static_cast<int>(duration.value() / t_period);
+  SDB_CHECK(periods > 1);
+
+  // Simulation state.
+  double i_l = 0.0;      // Inductor current.
+  double v_c = 0.0;      // Output (capacitor) voltage.
+  double integral = 0.0; // PI integral term.
+  double duty_carry = 0.0;  // Sigma-delta remainder for on-time quantisation.
+  std::vector<double> credit(n, 0.0);  // Weighted round-robin deficit counters.
+  std::vector<double> per_source_energy(n, 0.0);
+
+  SwitchingSimResult result;
+  result.commanded_shares = shares;
+  result.settling_time_s = -1.0;
+
+  const int settled_start = periods / 2;
+  double v_min = 1e9, v_max = -1e9, v_sum = 0.0;
+  int v_samples = 0;
+  bool counting = false;
+
+  for (int period = 0; period < periods; ++period) {
+    // Weighted round-robin packet scheduling: grant the period to the most
+    // in-deficit source.
+    size_t active = 0;
+    double best = -1e18;
+    for (size_t i = 0; i < n; ++i) {
+      credit[i] += shares[i];
+      if (credit[i] > best) {
+        best = credit[i];
+        active = i;
+      }
+    }
+    credit[active] -= 1.0;
+    const SwitchingSource& src = sources[active];
+    double emf = src.emf.value();
+    double r_src = src.series_resistance.value() + r_on;
+
+    // Duty: ideal-buck feedforward plus PI correction with anti-windup (the
+    // integral contribution is bounded to a small duty authority so the
+    // startup transient cannot ring the loop into a limit cycle).
+    double err = v_ref - v_c;
+    integral += err * t_period;
+    if (config.ki > 0.0) {
+      double authority = 0.05 / config.ki;
+      integral = Clamp(integral, -authority, authority);
+    }
+    // Volt-second balance with the diode drop and resistive sag included:
+    //   d (emf - I R - v) = (1 - d)(v + Vd)  =>  d = (v + Vd)/(emf + Vd - I R).
+    double i_load_est = v_ref / r_load;
+    double vd = config.diode_drop.value();
+    double d0 = (v_ref + vd) / std::max(emf + vd - i_load_est * r_src, 1e-3);
+    double d = Clamp(d0 + config.kp * err + config.ki * integral, 0.02, 0.98);
+
+    // Sigma-delta quantisation of the on-time: carrying the fractional
+    // remainder across periods dithers the duty LSB away (otherwise a
+    // single-source run limit-cycles at ~EMF/substeps volts of ripple).
+    double on_exact = d * config.substeps_per_period + duty_carry;
+    int on_steps = static_cast<int>(on_exact);
+    duty_carry = on_exact - on_steps;
+    on_steps = std::min(on_steps, config.substeps_per_period);
+    counting = period >= settled_start;
+    for (int step = 0; step < config.substeps_per_period; ++step) {
+      bool on = step < on_steps;
+      double v_l;
+      if (on) {
+        v_l = emf - i_l * r_src - v_c;
+      } else if (i_l > 0.0) {
+        v_l = -v_c - config.diode_drop.value();  // Freewheel through the diode.
+      } else {
+        v_l = 0.0;  // Discontinuous conduction: diode blocks.
+        i_l = 0.0;
+      }
+      double i_next = i_l + v_l / inductance * dt;
+      if (!on && i_next < 0.0) {
+        i_next = 0.0;
+      }
+      double v_next = v_c + (i_l - v_c / r_load) / capacitance * dt;
+
+      if (counting) {
+        double out_p = v_c * v_c / r_load;
+        result.output_energy_j += out_p * dt;
+        if (on) {
+          double in_p = emf * i_l;  // Energy leaving the source EMF.
+          result.input_energy_j += in_p * dt;
+          per_source_energy[active] += in_p * dt;
+          result.conduction_loss_j += i_l * i_l * r_src * dt;
+        } else if (i_l > 0.0) {
+          result.conduction_loss_j += config.diode_drop.value() * i_l * dt;
+        }
+        v_min = std::min(v_min, v_c);
+        v_max = std::max(v_max, v_c);
+        v_sum += v_c;
+        ++v_samples;
+      }
+      i_l = i_next;
+      v_c = v_next;
+    }
+
+    if (result.settling_time_s < 0.0 && std::fabs(v_c - v_ref) < 0.02 * v_ref) {
+      result.settling_time_s = (period + 1) * t_period;
+    }
+  }
+
+  SDB_CHECK(v_samples > 0);
+  result.mean_output_v = v_sum / v_samples;
+  result.ripple_pp_v = v_max - v_min;
+  result.regulated = std::fabs(result.mean_output_v - v_ref) < 0.03 * v_ref &&
+                     result.ripple_pp_v < 0.05 * v_ref && result.settling_time_s >= 0.0;
+
+  result.realised_shares.assign(n, 0.0);
+  double total_in = 0.0;
+  for (double e : per_source_energy) {
+    total_in += e;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    result.realised_shares[i] = total_in > 0.0 ? per_source_energy[i] / total_in : 0.0;
+    result.worst_share_error =
+        std::max(result.worst_share_error, std::fabs(result.realised_shares[i] - shares[i]));
+  }
+  result.efficiency =
+      result.input_energy_j > 0.0 ? result.output_energy_j / result.input_energy_j : 0.0;
+  return result;
+}
+
+}  // namespace sdb

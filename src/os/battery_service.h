@@ -1,0 +1,63 @@
+// The user-facing battery service: the OS component that turns raw SDB
+// state into what people and applications actually consume — a stable
+// percentage, time-to-empty / time-to-full estimates — and that schedules
+// *adaptive charging* (finish charging right before the predicted unplug,
+// as gently as the deadline allows; the §7 "smart assistant" behaviour).
+#ifndef SRC_OS_BATTERY_SERVICE_H_
+#define SRC_OS_BATTERY_SERVICE_H_
+
+#include <optional>
+
+#include "src/core/charge_planner.h"
+#include "src/core/runtime.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct BatteryServiceConfig {
+  // Display percentage only moves when the underlying value crosses the
+  // shown value by this much (hysteresis against gauge jitter).
+  double display_hysteresis = 0.005;
+  // Smoothing factor for the load EWMA behind time-to-empty.
+  double load_ewma_alpha = 0.1;
+  // Charge rate ladder handed to the charge planner.
+  ChargePlannerConfig planner;
+};
+
+struct BatteryReadout {
+  int percent = 0;                      // Stable display percentage.
+  double raw_fraction = 0.0;            // Unfiltered stored fraction.
+  std::optional<Duration> time_to_empty;  // Present when discharging.
+  std::optional<Duration> time_to_full;   // Present when charging.
+};
+
+class BatteryService {
+ public:
+  // `runtime` must outlive the service.
+  BatteryService(SdbRuntime* runtime, BatteryServiceConfig config = {});
+
+  // Feed one observation period: the net power the device drew from (+) or
+  // pushed into (-) the pack over `dt`.
+  void Observe(Power net_load, Duration dt);
+
+  BatteryReadout Read() const;
+
+  // Plans charging so the pack reaches `target_soc` by `until_unplug`,
+  // programming the runtime's charging directive accordingly: gentle when
+  // there is slack, aggressive when the deadline is tight. Returns the plan.
+  StatusOr<ChargePlan> ScheduleAdaptiveCharge(Duration until_unplug, double target_soc = 1.0);
+
+ private:
+  double StoredFraction() const;
+
+  SdbRuntime* runtime_;
+  BatteryServiceConfig config_;
+  double load_ewma_w_ = 0.0;
+  bool has_load_sample_ = false;
+  bool charging_ = false;
+  mutable int shown_percent_ = -1;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_OS_BATTERY_SERVICE_H_

@@ -1,0 +1,113 @@
+#include "src/os/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+std::string_view PerfLevelName(PerfLevel level) {
+  switch (level) {
+    case PerfLevel::kLow:
+      return "Low";
+    case PerfLevel::kMedium:
+      return "Medium";
+    case PerfLevel::kHigh:
+      return "High";
+  }
+  return "Unknown";
+}
+
+CpuModel::CpuModel(CpuConfig config) : config_(config) {
+  SDB_CHECK(config_.ref_freq_ghz > 0.0);
+  SDB_CHECK(config_.ref_cpu_power.value() > 0.0);
+  SDB_CHECK(config_.freq_exponent > 0.0 && config_.freq_exponent <= 1.0);
+}
+
+double CpuModel::FrequencyAt(Power cpu_power) const {
+  double p = std::max(cpu_power.value(), 0.1);
+  return config_.ref_freq_ghz *
+         std::pow(p / config_.ref_cpu_power.value(), config_.freq_exponent);
+}
+
+Power CpuModel::PowerCapFor(PerfLevel level, Power battery_peak) const {
+  double peak = battery_peak.value();
+  switch (level) {
+    case PerfLevel::kLow:
+      // High power-density battery disabled; the CPU is informed of the
+      // decreased power capacity and stays at the long-term limit.
+      return Watts(std::min(config_.long_term_limit.value(), peak));
+    case PerfLevel::kMedium:
+      return Watts(std::min(config_.burst_limit.value(), peak));
+    case PerfLevel::kHigh:
+      return Watts(std::min(config_.protection_limit.value(), peak));
+  }
+  return config_.long_term_limit;
+}
+
+TaskRun CpuModel::Execute(const Task& task, Power device_power_cap) const {
+  return Execute(task, device_power_cap, device_power_cap);
+}
+
+TaskRun CpuModel::Execute(const Task& task, Power device_power_cap, Power sustained_cap) const {
+  TaskRun run;
+  double idle_w = config_.platform_idle.value();
+  double cpu_w = std::max(device_power_cap.value() - idle_w, 1.0);
+  double freq = FrequencyAt(Watts(cpu_w));
+  run.frequency_ghz = freq;
+
+  double cpu_time_s = task.compute_gcycles / freq;
+  // Burst-budget throttling: past the budget the package falls back to the
+  // sustained level and the remaining cycles run slower.
+  double sustained_w = std::max(std::min(sustained_cap.value(), device_power_cap.value()) -
+                                    idle_w,
+                                1.0);
+  if (cpu_time_s > config_.burst_budget.value() && sustained_w < cpu_w) {
+    double burst_s = config_.burst_budget.value();
+    double cycles_done = burst_s * freq;
+    double freq_sustained = FrequencyAt(Watts(sustained_w));
+    double remaining_s = std::max(0.0, task.compute_gcycles - cycles_done) / freq_sustained;
+    // Rebuild the compute phase as burst + sustained segments.
+    run.frequency_ghz = freq_sustained;
+    double network_s2 = task.network_seconds;
+    constexpr double kOverlap2 = 0.25;
+    double total_cpu_s = burst_s + remaining_s;
+    double overlapped2 = std::min(total_cpu_s, network_s2 * kOverlap2);
+    double latency_s2 = network_s2 + total_cpu_s - overlapped2;
+    run.latency = Seconds(latency_s2);
+    run.power_profile.Append(Seconds(burst_s), Watts(idle_w + cpu_w));
+    if (remaining_s > 0.0) {
+      run.power_profile.Append(Seconds(remaining_s), Watts(idle_w + sustained_w));
+    }
+    double wait_s2 = latency_s2 - total_cpu_s;
+    if (wait_s2 > 0.0) {
+      run.power_profile.Append(Seconds(wait_s2),
+                               Watts(idle_w + config_.network_active.value()));
+    }
+    run.energy = run.power_profile.TotalEnergy();
+    return run;
+  }
+  double network_s = task.network_seconds;
+  // The network phase cannot be accelerated; compute overlaps with at most
+  // a small fraction of it (pipelined requests).
+  constexpr double kOverlap = 0.25;
+  double overlapped = std::min(cpu_time_s, network_s * kOverlap);
+  double latency_s = network_s + cpu_time_s - overlapped;
+  run.latency = Seconds(latency_s);
+
+  // Power profile: the CPU phase runs flat-out at the cap, the rest of the
+  // task draws idle + radio.
+  double wait_s = latency_s - cpu_time_s;
+  if (cpu_time_s > 0.0) {
+    run.power_profile.Append(Seconds(cpu_time_s), Watts(idle_w + cpu_w));
+  }
+  if (wait_s > 0.0) {
+    run.power_profile.Append(Seconds(wait_s),
+                             Watts(idle_w + config_.network_active.value()));
+  }
+  run.energy = run.power_profile.TotalEnergy();
+  return run;
+}
+
+}  // namespace sdb

@@ -1,0 +1,79 @@
+// CPU power-state model (paper §5.1, "Discharging Behavior"): modern Intel
+// CPUs expose three active power levels — a long-term system limit, a burst
+// limit (up to ~3 minutes) and a battery-protection limit entered only for
+// milliseconds unless the battery can sustain it. Pairing a high
+// power-density battery with the traditional one lets the OS unlock the
+// protection level for sustained turbo.
+//
+// The model maps a power cap to a clock frequency with a sub-linear
+// (voltage-scaling-limited) law and executes tasks against it, producing
+// latency, CPU energy, and the power profile to replay against batteries.
+#ifndef SRC_OS_CPU_MODEL_H_
+#define SRC_OS_CPU_MODEL_H_
+
+#include "src/emu/trace.h"
+#include "src/os/task.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+// Fig. 12's three performance priority levels.
+enum class PerfLevel {
+  kLow,     // High power-density battery disabled; CPU told less power.
+  kMedium,  // Both batteries enabled, peak = 2x the high-energy battery's peak.
+  kHigh,    // CPU may draw maximum possible power from both batteries.
+};
+
+std::string_view PerfLevelName(PerfLevel level);
+
+struct CpuConfig {
+  Power platform_idle = Watts(2.0);   // Display + rest of platform.
+  Power network_active = Watts(2.2);  // Radio while a task waits on network.
+  Power long_term_limit = Watts(15.0);
+  Power burst_limit = Watts(25.0);
+  Power protection_limit = Watts(38.0);
+  Duration burst_budget = Minutes(3.0);  // Max time at burst before thermals.
+  // Frequency curve anchor: `ref_freq_ghz` at `ref_cpu_power`.
+  double ref_freq_ghz = 2.0;
+  Power ref_cpu_power = Watts(10.0);
+  // f ∝ P^exponent; ~1/4 reflects diminishing returns past nominal voltage.
+  double freq_exponent = 0.25;
+};
+
+struct TaskRun {
+  Duration latency;
+  Energy energy;           // Platform + CPU energy at the device level.
+  PowerTrace power_profile;  // What the batteries see.
+  double frequency_ghz = 0.0;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuConfig config = {});
+
+  // Clock frequency when the CPU package may draw `cpu_power`.
+  double FrequencyAt(Power cpu_power) const;
+
+  // The package power cap for a perf level, given what the battery system
+  // can actually sustain (`battery_peak`). Low ignores the high-power
+  // battery entirely; High uses everything available.
+  Power PowerCapFor(PerfLevel level, Power battery_peak) const;
+
+  // Executes a task under a device-level power cap: the CPU phase runs at
+  // (cap - idle) package power, network waits draw radio power. When
+  // `sustained_cap` is lower than `device_power_cap`, the cap only holds for
+  // the burst budget (~3 minutes, §5.1) and the remainder of the compute
+  // phase falls back to the sustained level — the regime a weak battery
+  // forces, and exactly what pairing in a high power-density battery lifts.
+  TaskRun Execute(const Task& task, Power device_power_cap) const;
+  TaskRun Execute(const Task& task, Power device_power_cap, Power sustained_cap) const;
+
+  const CpuConfig& config() const { return config_; }
+
+ private:
+  CpuConfig config_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_OS_CPU_MODEL_H_

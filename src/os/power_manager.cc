@@ -1,0 +1,57 @@
+#include "src/os/power_manager.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+OsPowerManager::OsPowerManager(SdbRuntime* runtime, PolicyDatabase db,
+                               UserSchedulePredictor* predictor)
+    : runtime_(runtime), db_(std::move(db)), predictor_(predictor), situation_("interactive") {
+  SDB_CHECK(runtime_ != nullptr);
+  auto params = db_.Lookup(situation_);
+  if (params.ok()) {
+    runtime_->SetDirectives(*params);
+  }
+}
+
+Status OsPowerManager::SetSituation(const std::string& situation) {
+  StatusOr<DirectiveParameters> params = db_.Lookup(situation);
+  if (!params.ok()) {
+    return params.status();
+  }
+  situation_ = situation;
+  runtime_->SetDirectives(*params);
+  return Status::Ok();
+}
+
+PerfLevel OsPowerManager::ChoosePerfLevel(const Task& task) const {
+  return task.NetworkBound() ? PerfLevel::kLow : PerfLevel::kHigh;
+}
+
+void OsPowerManager::ObservePower(Power power) {
+  classifier_.Observe(power);
+  std::string suggested = classifier_.SuggestedSituation();
+  if (suggested == situation_) {
+    pending_count_ = 0;
+    return;
+  }
+  if (suggested == pending_situation_) {
+    ++pending_count_;
+  } else {
+    pending_situation_ = suggested;
+    pending_count_ = 1;
+  }
+  if (pending_count_ >= debounce_ && db_.Contains(suggested)) {
+    (void)SetSituation(suggested);
+    pending_count_ = 0;
+  }
+}
+
+void OsPowerManager::PollPredictor(Duration time_of_day) {
+  if (predictor_ == nullptr) {
+    return;
+  }
+  runtime_->SetWorkloadHint(predictor_->PredictNext(time_of_day));
+}
+
+}  // namespace sdb

@@ -1,0 +1,61 @@
+// The OS power manager (paper Fig. 5): the component that "conveys power
+// requirements" and "sets policies" — it translates what the OS knows
+// (active workload class, charging context, learned user schedule) into the
+// SDB Runtime's directive parameters, workload hints and CPU perf levels.
+#ifndef SRC_OS_POWER_MANAGER_H_
+#define SRC_OS_POWER_MANAGER_H_
+
+#include <string>
+
+#include "src/core/policy_db.h"
+#include "src/core/runtime.h"
+#include "src/os/cpu_model.h"
+#include "src/os/predictor.h"
+#include "src/os/workload_classifier.h"
+
+namespace sdb {
+
+class OsPowerManager {
+ public:
+  // `runtime` must outlive the manager; `predictor` may be null (no learned
+  // schedule).
+  OsPowerManager(SdbRuntime* runtime, PolicyDatabase db, UserSchedulePredictor* predictor);
+
+  // Applies a named situation from the policy database to the runtime.
+  Status SetSituation(const std::string& situation);
+  const std::string& current_situation() const { return situation_; }
+
+  // Chooses the perf level for a task class: compute-bound work gets High
+  // (turbo pays off), network-bound work gets Low (turbo wastes energy) —
+  // the dynamic selection §5.1 argues for over any fixed level.
+  PerfLevel ChoosePerfLevel(const Task& task) const;
+
+  // Polls the predictor at the given time of day and forwards any hint for
+  // an upcoming high-power slot to the runtime.
+  void PollPredictor(Duration time_of_day);
+
+  // Feeds the observed device power into the workload classifier and, when
+  // the classified regime changes, switches the active situation — the
+  // self-tuning loop the paper's runtime overview describes (§3.1).
+  // The regime must persist for `debounce` consecutive observations before
+  // the situation switches (no thrash on bursty workloads).
+  void ObservePower(Power power);
+  const WorkloadClassifier& classifier() const { return classifier_; }
+  void set_situation_debounce(int observations) { debounce_ = observations; }
+
+  SdbRuntime* runtime() { return runtime_; }
+
+ private:
+  SdbRuntime* runtime_;
+  PolicyDatabase db_;
+  UserSchedulePredictor* predictor_;
+  std::string situation_;
+  WorkloadClassifier classifier_;
+  int debounce_ = 60;
+  int pending_count_ = 0;
+  std::string pending_situation_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_OS_POWER_MANAGER_H_

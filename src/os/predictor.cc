@@ -1,0 +1,69 @@
+#include "src/os/predictor.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+UserSchedulePredictor::UserSchedulePredictor(PredictorConfig config) : config_(config) {
+  SDB_CHECK(config_.recurrence_threshold > 0.0 && config_.recurrence_threshold <= 1.0);
+}
+
+void UserSchedulePredictor::ObserveDay(const std::vector<Power>& hourly_mean_power) {
+  SDB_CHECK(hourly_mean_power.size() == 24);
+  ++days_;
+  for (int h = 0; h < 24; ++h) {
+    if (hourly_mean_power[h] >= config_.high_power_threshold) {
+      hours_[h].high_days += 1;
+      hours_[h].power_sum_w += hourly_mean_power[h].value();
+    }
+  }
+}
+
+std::vector<int> UserSchedulePredictor::RecurringHours() const {
+  std::vector<int> recurring;
+  if (days_ == 0) {
+    return recurring;
+  }
+  for (int h = 0; h < 24; ++h) {
+    double fraction = static_cast<double>(hours_[h].high_days) / days_;
+    if (fraction >= config_.recurrence_threshold) {
+      recurring.push_back(h);
+    }
+  }
+  return recurring;
+}
+
+std::optional<WorkloadHint> UserSchedulePredictor::PredictNext(Duration time_of_day) const {
+  std::vector<int> recurring = RecurringHours();
+  if (recurring.empty()) {
+    return std::nullopt;
+  }
+  double now_h = ToHours(time_of_day);
+  // Find the next recurring hour at or after `now_h`, wrapping daily.
+  double best_delta = 48.0;
+  int best_hour = -1;
+  for (int h : recurring) {
+    double delta = h - now_h;
+    if (delta < 0.0) {
+      delta += 24.0;
+    }
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_hour = h;
+    }
+  }
+  if (best_hour < 0 || Hours(best_delta) > config_.lookahead) {
+    return std::nullopt;
+  }
+  double mean_power =
+      hours_[best_hour].high_days > 0
+          ? hours_[best_hour].power_sum_w / hours_[best_hour].high_days
+          : config_.high_power_threshold.value();
+  WorkloadHint hint;
+  hint.time_until = Hours(best_delta);
+  hint.expected_power = Watts(mean_power);
+  hint.duration = Hours(1.0);
+  return hint;
+}
+
+}  // namespace sdb

@@ -1,0 +1,59 @@
+// User-schedule predictor (paper §5.2/§7): "mobile OSes that are aware of a
+// user's day-to-day schedule may be able to provide better battery life" —
+// the OS learns when high-power workloads (a run, an evening gaming
+// session) tend to happen and hands the SDB Runtime a WorkloadHint ahead of
+// time. Stands in for the Siri/Cortana/Google Now integration the paper
+// describes as future work.
+#ifndef SRC_OS_PREDICTOR_H_
+#define SRC_OS_PREDICTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/workload_aware.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct PredictorConfig {
+  // How far ahead a predicted event produces a hint.
+  Duration lookahead = Hours(12.0);
+  // Fraction of observed days an hour must exceed the power threshold in
+  // before it is treated as a recurring high-power slot.
+  double recurrence_threshold = 0.5;
+  // Mean hourly power above which an hour counts as "high power".
+  Power high_power_threshold = Watts(0.5);
+};
+
+class UserSchedulePredictor {
+ public:
+  explicit UserSchedulePredictor(PredictorConfig config = {});
+
+  // Feeds one observed day: 24 mean-power samples, one per hour.
+  void ObserveDay(const std::vector<Power>& hourly_mean_power);
+
+  // Number of days observed so far.
+  int days_observed() const { return days_; }
+
+  // The hint for the next predicted high-power slot after `time_of_day`
+  // (wrapping past midnight), or nullopt if nothing recurring is known.
+  std::optional<WorkloadHint> PredictNext(Duration time_of_day) const;
+
+  // Recurring high-power hours learned so far (0-23).
+  std::vector<int> RecurringHours() const;
+
+ private:
+  PredictorConfig config_;
+  int days_ = 0;
+  // Per hour: how many observed days exceeded the threshold, and the mean
+  // power on those days.
+  struct HourStats {
+    int high_days = 0;
+    double power_sum_w = 0.0;
+  };
+  HourStats hours_[24] = {};
+};
+
+}  // namespace sdb
+
+#endif  // SRC_OS_PREDICTOR_H_

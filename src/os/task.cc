@@ -1,0 +1,27 @@
+#include "src/os/task.h"
+
+namespace sdb {
+
+std::vector<Task> MakeNetworkBoundTasks() {
+  return {
+      {"email-sync", 1.5, 8.0},
+      {"web-browsing", 4.0, 12.0},
+      {"social-feed", 2.5, 10.0},
+      {"audio-call", 3.0, 60.0},
+      {"video-call", 12.0, 60.0},
+      {"cloud-backup", 2.0, 45.0},
+  };
+}
+
+std::vector<Task> MakeComputeBoundTasks() {
+  return {
+      {"integer-math", 180.0, 0.0},
+      {"floating-math", 220.0, 0.0},
+      {"rendering", 300.0, 0.5},
+      {"fractals", 260.0, 0.0},
+      {"gpu-compute", 340.0, 0.5},
+      {"code-compile", 240.0, 1.0},
+  };
+}
+
+}  // namespace sdb

@@ -1,0 +1,33 @@
+// Task model for the Fig. 12 experiment: the two extreme users the paper
+// contrasts — one running network-facing applications (email, browsing,
+// calls) and one hammering CPU/GPU (gaming, development). A task is compute
+// cycles plus non-overlappable network wait.
+#ifndef SRC_OS_TASK_H_
+#define SRC_OS_TASK_H_
+
+#include <string>
+#include <vector>
+
+namespace sdb {
+
+struct Task {
+  std::string name;
+  double compute_gcycles = 0.0;   // CPU work.
+  double network_seconds = 0.0;   // Time blocked on the network.
+
+  // A task is network-bottlenecked when its network wait dominates its
+  // compute time at nominal (2 GHz) frequency.
+  bool NetworkBound() const { return network_seconds > compute_gcycles / 2.0; }
+};
+
+// The network-facing user's mix: email sync, browsing, social feeds,
+// audio/video calls.
+std::vector<Task> MakeNetworkBoundTasks();
+
+// The local-compute user's mix: integer/floating benchmarks, rendering,
+// fractals, GPU compute (the PassMark/3DMark-style kernels the paper cites).
+std::vector<Task> MakeComputeBoundTasks();
+
+}  // namespace sdb
+
+#endif  // SRC_OS_TASK_H_

@@ -1,0 +1,87 @@
+#include "src/os/workload_classifier.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+std::string_view WorkloadClassName(WorkloadClass klass) {
+  switch (klass) {
+    case WorkloadClass::kIdle:
+      return "idle";
+    case WorkloadClass::kInteractive:
+      return "interactive";
+    case WorkloadClass::kSustained:
+      return "sustained";
+    case WorkloadClass::kPeak:
+      return "peak";
+  }
+  return "unknown";
+}
+
+WorkloadClassifier::WorkloadClassifier(WorkloadClassifierConfig config)
+    : config_(config), window_(config.window) {
+  SDB_CHECK(config_.idle_threshold.value() >= 0.0);
+  SDB_CHECK(config_.sustained_threshold.value() > config_.idle_threshold.value());
+  SDB_CHECK(config_.peak_threshold.value() > config_.sustained_threshold.value());
+}
+
+void WorkloadClassifier::Observe(Power power) {
+  SDB_CHECK(power.value() >= 0.0);
+  window_.Push(power.value());
+}
+
+double WorkloadClassifier::MeanPowerW() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return Mean(window_);
+}
+
+double WorkloadClassifier::PowerCv() const {
+  if (window_.size() < 2) {
+    return 0.0;
+  }
+  double mean = MeanPowerW();
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  double sq = 0.0;
+  for (size_t i = 0; i < window_.size(); ++i) {
+    double d = window_.At(i) - mean;
+    sq += d * d;
+  }
+  double stddev = std::sqrt(sq / static_cast<double>(window_.size() - 1));
+  return stddev / mean;
+}
+
+WorkloadClass WorkloadClassifier::Classify() const {
+  double mean = MeanPowerW();
+  if (mean >= config_.peak_threshold.value()) {
+    return WorkloadClass::kPeak;
+  }
+  if (mean < config_.idle_threshold.value()) {
+    return WorkloadClass::kIdle;
+  }
+  if (mean >= config_.sustained_threshold.value() && PowerCv() < config_.burstiness_cv) {
+    return WorkloadClass::kSustained;
+  }
+  return WorkloadClass::kInteractive;
+}
+
+std::string WorkloadClassifier::SuggestedSituation() const {
+  switch (Classify()) {
+    case WorkloadClass::kIdle:
+      return "overnight";
+    case WorkloadClass::kInteractive:
+      return "interactive";
+    case WorkloadClass::kSustained:
+      return "low-battery";
+    case WorkloadClass::kPeak:
+      return "performance";
+  }
+  return "interactive";
+}
+
+}  // namespace sdb

@@ -1,0 +1,65 @@
+// Online workload classification: the paper's runtime "monitors the
+// applications, the charging and discharging behavior of the users, and
+// accordingly sets policies" (§3.1). This component watches the recent
+// power draw and classifies the device's current regime; the power manager
+// maps the regime to a policy-database situation without anyone having to
+// announce what they are doing.
+#ifndef SRC_OS_WORKLOAD_CLASSIFIER_H_
+#define SRC_OS_WORKLOAD_CLASSIFIER_H_
+
+#include <string>
+
+#include "src/util/ring_buffer.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+enum class WorkloadClass {
+  kIdle,         // Standby-level draw.
+  kInteractive,  // Bursty medium draw (browsing, messaging).
+  kSustained,    // Flat high draw (video, navigation, games).
+  kPeak,         // Near the platform's power ceiling (turbo, GPS tracking).
+};
+
+std::string_view WorkloadClassName(WorkloadClass klass);
+
+struct WorkloadClassifierConfig {
+  size_t window = 60;             // Samples retained.
+  Power idle_threshold = Watts(0.5);
+  Power sustained_threshold = Watts(6.0);
+  Power peak_threshold = Watts(18.0);
+  // Coefficient-of-variation above which a medium draw counts as bursty
+  // (interactive) rather than sustained.
+  double burstiness_cv = 0.5;
+};
+
+class WorkloadClassifier {
+ public:
+  explicit WorkloadClassifier(WorkloadClassifierConfig config = {});
+
+  // Feeds one observed power sample.
+  void Observe(Power power);
+
+  // Classification over the retained window (kIdle until samples arrive).
+  WorkloadClass Classify() const;
+
+  // Window statistics backing the classification.
+  double MeanPowerW() const;
+  double PowerCv() const;  // Coefficient of variation (stddev / mean).
+
+  size_t samples() const { return window_.size(); }
+
+  // The policy-database situation this regime maps to (see
+  // MakeDefaultPolicyDatabase): idle -> "overnight"-style wear protection,
+  // interactive -> "interactive", sustained -> "low-battery" stretching,
+  // peak -> "performance".
+  std::string SuggestedSituation() const;
+
+ private:
+  WorkloadClassifierConfig config_;
+  RingBuffer<double> window_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_OS_WORKLOAD_CLASSIFIER_H_

@@ -1,0 +1,41 @@
+// Lightweight assertion macros for invariant checking.
+//
+// Library code in this project does not throw on programming errors; it
+// aborts with a message. Recoverable errors are reported through
+// sdb::Status / sdb::StatusOr (see src/util/status.h).
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdb {
+namespace check_internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace sdb
+
+// Always-on invariant check. Prefer this over <cassert> so release builds
+// keep the guard rails that protect physical-model invariants.
+#define SDB_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sdb::check_internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                                \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define SDB_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SDB_DCHECK(expr) SDB_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

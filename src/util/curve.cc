@@ -1,0 +1,159 @@
+#include "src/util/curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+StatusOr<PiecewiseLinearCurve> PiecewiseLinearCurve::Create(
+    std::vector<std::pair<double, double>> points) {
+  if (points.size() < 2) {
+    return InvalidArgumentError("curve needs at least two points");
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (!(points[i].first > points[i - 1].first)) {
+      return InvalidArgumentError("curve x values must be strictly increasing");
+    }
+  }
+  for (const auto& [x, y] : points) {
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return InvalidArgumentError("curve points must be finite");
+    }
+  }
+  return PiecewiseLinearCurve(std::move(points));
+}
+
+PiecewiseLinearCurve PiecewiseLinearCurve::FromTable(
+    std::initializer_list<std::pair<double, double>> points) {
+  auto curve = Create(std::vector<std::pair<double, double>>(points));
+  SDB_CHECK(curve.ok());
+  return std::move(curve).value();
+}
+
+size_t PiecewiseLinearCurve::SegmentIndex(double x) const {
+  SDB_DCHECK(points_.size() >= 2);
+  // First point with px > x; the segment starts one before it.
+  auto it = std::upper_bound(points_.begin(), points_.end(), x,
+                             [](double value, const auto& p) { return value < p.first; });
+  if (it == points_.begin()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(it - points_.begin()) - 1;
+  return std::min(idx, points_.size() - 2);
+}
+
+double PiecewiseLinearCurve::Evaluate(double x) const {
+  SDB_CHECK(points_.size() >= 2);
+  if (x <= points_.front().first) {
+    return points_.front().second;
+  }
+  if (x >= points_.back().first) {
+    return points_.back().second;
+  }
+  size_t i = SegmentIndex(x);
+  const auto& [x0, y0] = points_[i];
+  const auto& [x1, y1] = points_[i + 1];
+  double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinearCurve::Derivative(double x) const {
+  SDB_CHECK(points_.size() >= 2);
+  size_t i = SegmentIndex(x);
+  const auto& [x0, y0] = points_[i];
+  const auto& [x1, y1] = points_[i + 1];
+  return (y1 - y0) / (x1 - x0);
+}
+
+bool PiecewiseLinearCurve::IsMonotoneIncreasing() const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].second < points_[i - 1].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PiecewiseLinearCurve::IsMonotoneDecreasing() const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].second > points_[i - 1].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<double> PiecewiseLinearCurve::SolveForX(double y) const {
+  bool increasing = IsMonotoneIncreasing();
+  bool decreasing = IsMonotoneDecreasing();
+  if (!increasing && !decreasing) {
+    return FailedPreconditionError("inverse lookup requires a monotone curve");
+  }
+  double lo = min_y();
+  double hi = max_y();
+  if (y < lo || y > hi) {
+    return OutOfRangeError("y outside curve range");
+  }
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    double y0 = points_[i].second;
+    double y1 = points_[i + 1].second;
+    double seg_lo = std::min(y0, y1);
+    double seg_hi = std::max(y0, y1);
+    if (y >= seg_lo && y <= seg_hi) {
+      if (y1 == y0) {
+        return points_[i].first;
+      }
+      double t = (y - y0) / (y1 - y0);
+      return points_[i].first + t * (points_[i + 1].first - points_[i].first);
+    }
+  }
+  return InternalError("inverse lookup failed to locate segment");
+}
+
+double PiecewiseLinearCurve::min_x() const {
+  SDB_CHECK(!points_.empty());
+  return points_.front().first;
+}
+
+double PiecewiseLinearCurve::max_x() const {
+  SDB_CHECK(!points_.empty());
+  return points_.back().first;
+}
+
+double PiecewiseLinearCurve::min_y() const {
+  SDB_CHECK(!points_.empty());
+  double m = points_.front().second;
+  for (const auto& p : points_) {
+    m = std::min(m, p.second);
+  }
+  return m;
+}
+
+double PiecewiseLinearCurve::max_y() const {
+  SDB_CHECK(!points_.empty());
+  double m = points_.front().second;
+  for (const auto& p : points_) {
+    m = std::max(m, p.second);
+  }
+  return m;
+}
+
+PiecewiseLinearCurve PiecewiseLinearCurve::ScaledY(double factor) const {
+  std::vector<std::pair<double, double>> scaled = points_;
+  for (auto& [x, y] : scaled) {
+    y *= factor;
+  }
+  return PiecewiseLinearCurve(std::move(scaled));
+}
+
+PiecewiseLinearCurve PiecewiseLinearCurve::ShiftedY(double offset) const {
+  std::vector<std::pair<double, double>> shifted = points_;
+  for (auto& [x, y] : shifted) {
+    y += offset;
+  }
+  return PiecewiseLinearCurve(std::move(shifted));
+}
+
+}  // namespace sdb

@@ -1,0 +1,67 @@
+// Piecewise-linear curves over double, the workhorse for battery
+// characteristic tables (OCV vs SoC, DCIR vs SoC, fade vs cycle count, ...).
+#ifndef SRC_UTIL_CURVE_H_
+#define SRC_UTIL_CURVE_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sdb {
+
+// A piecewise-linear function y = f(x) defined by sample points with
+// strictly increasing x. Evaluation outside the sampled range clamps to the
+// end values (batteries saturate; they do not extrapolate).
+class PiecewiseLinearCurve {
+ public:
+  PiecewiseLinearCurve() = default;
+
+  // Builds a curve from (x, y) samples. Returns an error unless there are at
+  // least two points and x is strictly increasing.
+  static StatusOr<PiecewiseLinearCurve> Create(std::vector<std::pair<double, double>> points);
+
+  // Convenience for compile-time tables; aborts on invalid input.
+  static PiecewiseLinearCurve FromTable(
+      std::initializer_list<std::pair<double, double>> points);
+
+  // Linear interpolation with end-clamping.
+  double Evaluate(double x) const;
+
+  // Slope dy/dx of the segment containing x (end segments for out-of-range x).
+  double Derivative(double x) const;
+
+  // Inverse lookup: smallest x with f(x) == y. Requires the curve to be
+  // monotone (either direction); returns an error otherwise or when y is
+  // outside the curve's range.
+  StatusOr<double> SolveForX(double y) const;
+
+  bool IsMonotoneIncreasing() const;
+  bool IsMonotoneDecreasing() const;
+
+  double min_x() const;
+  double max_x() const;
+  double min_y() const;
+  double max_y() const;
+
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  // Returns a curve whose y values are scaled by `factor`.
+  PiecewiseLinearCurve ScaledY(double factor) const;
+  // Returns a curve shifted vertically by `offset`.
+  PiecewiseLinearCurve ShiftedY(double offset) const;
+
+ private:
+  explicit PiecewiseLinearCurve(std::vector<std::pair<double, double>> points)
+      : points_(std::move(points)) {}
+
+  // Index of the segment [i, i+1] containing x (clamped to valid segments).
+  size_t SegmentIndex(double x) const;
+
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_CURVE_H_

@@ -1,0 +1,91 @@
+// Streaming statistics accumulator (count/mean/variance/min/max via
+// Welford's algorithm) plus a fixed-bin histogram. Used by the Monte-Carlo
+// harness and run statistics.
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) {
+      min_ = x;
+    }
+    if (count_ == 1 || x > max_) {
+      max_ = x;
+    }
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1); zero for fewer than two samples.
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    SDB_CHECK(count_ > 0);
+    return min_;
+  }
+  double max() const {
+    SDB_CHECK(count_ > 0);
+    return max_;
+  }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-range, equal-width bins; out-of-range samples clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+    SDB_CHECK(hi > lo);
+    SDB_CHECK(bins > 0);
+  }
+
+  void Add(double x) {
+    stats_.Add(x);
+    double t = (x - lo_) / (hi_ - lo_);
+    int bin = static_cast<int>(t * static_cast<double>(counts_.size()));
+    if (bin < 0) {
+      bin = 0;
+    }
+    if (bin >= static_cast<int>(counts_.size())) {
+      bin = static_cast<int>(counts_.size()) - 1;
+    }
+    ++counts_[bin];
+  }
+
+  size_t BinCount(int bin) const {
+    SDB_CHECK(bin >= 0 && bin < static_cast<int>(counts_.size()));
+    return counts_[bin];
+  }
+  double BinLow(int bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+  }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  RunningStats stats_;
+};
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,52 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace sdb {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogLevel()) {
+    return;
+  }
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace sdb

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. Default level is kWarning so library
+// users see problems but simulations stay quiet; tests and examples may
+// raise verbosity.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace sdb
+
+#define SDB_LOG(level) \
+  ::sdb::log_internal::LogMessage(::sdb::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SRC_UTIL_LOGGING_H_

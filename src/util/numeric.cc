@@ -1,0 +1,105 @@
+#include "src/util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::fabs(a - b);
+  if (diff <= abs_tol) {
+    return true;
+  }
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+double Clamp(double x, double lo, double hi) {
+  SDB_CHECK(lo <= hi);
+  return std::min(std::max(x, lo), hi);
+}
+
+double Lerp(double a, double b, double t) { return a + t * (b - a); }
+
+QuadraticRoots SolveQuadratic(double a, double b, double c) {
+  QuadraticRoots roots;
+  if (a == 0.0) {
+    if (b == 0.0) {
+      return roots;  // Constant equation: no roots (or all x; callers treat as none).
+    }
+    roots.count = 1;
+    roots.lo = roots.hi = -c / b;
+    return roots;
+  }
+  double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) {
+    return roots;
+  }
+  if (disc == 0.0) {
+    roots.count = 1;
+    roots.lo = roots.hi = -b / (2.0 * a);
+    return roots;
+  }
+  // Numerically stable form: compute the larger-magnitude root first.
+  double sq = std::sqrt(disc);
+  double q = -0.5 * (b + std::copysign(sq, b));
+  double r1 = q / a;
+  double r2 = (q != 0.0) ? c / q : -b / a - r1;
+  roots.count = 2;
+  roots.lo = std::min(r1, r2);
+  roots.hi = std::max(r1, r2);
+  return roots;
+}
+
+StatusOr<double> Bisect(const std::function<double(double)>& f, double lo, double hi, double tol,
+                        int max_iters) {
+  if (!(lo <= hi)) {
+    return InvalidArgumentError("bisect: lo > hi");
+  }
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) {
+    return lo;
+  }
+  if (fhi == 0.0) {
+    return hi;
+  }
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    return FailedPreconditionError("bisect: endpoints do not bracket a root");
+  }
+  double a = lo;
+  double b = hi;
+  for (int i = 0; i < max_iters && (b - a) > tol; ++i) {
+    double mid = 0.5 * (a + b);
+    double fmid = f(mid);
+    if (fmid == 0.0) {
+      return mid;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      a = mid;
+      flo = fmid;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+StatusOr<double> SolveMonotone(const std::function<double(double)>& g, double target, double lo,
+                               double hi, double tol, int max_iters) {
+  return Bisect([&](double x) { return g(x) - target; }, lo, hi, tol, max_iters);
+}
+
+double IntegrateTrapezoid(const std::function<double(double)>& f, double lo, double hi, int n) {
+  SDB_CHECK(n >= 1);
+  SDB_CHECK(hi >= lo);
+  double h = (hi - lo) / n;
+  double sum = 0.5 * (f(lo) + f(hi));
+  for (int i = 1; i < n; ++i) {
+    sum += f(lo + i * h);
+  }
+  return sum * h;
+}
+
+}  // namespace sdb

@@ -1,0 +1,48 @@
+// Numeric helpers: root finding, quadratic solving, clamping, tolerant
+// comparisons. Used by the electrical solver and the Lagrangian policy
+// allocators.
+#ifndef SRC_UTIL_NUMERIC_H_
+#define SRC_UTIL_NUMERIC_H_
+
+#include <functional>
+
+#include "src/util/status.h"
+
+namespace sdb {
+
+// Approximate equality with combined absolute/relative tolerance.
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
+
+// Clamps x into [lo, hi]; aborts if lo > hi.
+double Clamp(double x, double lo, double hi);
+
+// Linear interpolation: a + t * (b - a).
+double Lerp(double a, double b, double t);
+
+// Solutions of a*x^2 + b*x + c = 0.
+struct QuadraticRoots {
+  int count = 0;  // 0, 1, or 2 real roots.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Solves the quadratic; handles the degenerate linear case (a == 0). Roots
+// are ordered lo <= hi.
+QuadraticRoots SolveQuadratic(double a, double b, double c);
+
+// Finds x in [lo, hi] with f(x) == 0 by bisection. Requires f(lo) and f(hi)
+// to bracket the root (opposite signs or one endpoint exactly zero).
+StatusOr<double> Bisect(const std::function<double(double)>& f, double lo, double hi,
+                        double tol = 1e-10, int max_iters = 200);
+
+// Finds the x in [lo, hi] where the monotone non-decreasing function g
+// first reaches `target`, by bisection on g(x) - target.
+StatusOr<double> SolveMonotone(const std::function<double(double)>& g, double target, double lo,
+                               double hi, double tol = 1e-10, int max_iters = 200);
+
+// Trapezoidal integration of f over [lo, hi] with n >= 1 panels.
+double IntegrateTrapezoid(const std::function<double(double)>& f, double lo, double hi, int n);
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_NUMERIC_H_

@@ -1,0 +1,69 @@
+// Fixed-capacity ring buffer used for rolling windows of telemetry
+// (recent power draw, recent losses) in the runtime and the predictor.
+#ifndef SRC_UTIL_RING_BUFFER_H_
+#define SRC_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : data_(capacity) { SDB_CHECK(capacity > 0); }
+
+  // Appends, evicting the oldest element when full.
+  void Push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) {
+      ++size_;
+    }
+  }
+
+  // Element i counted from the oldest retained element (0 == oldest).
+  const T& At(size_t i) const {
+    SDB_CHECK(i < size_);
+    size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  // Most recently pushed element.
+  const T& Back() const {
+    SDB_CHECK(size_ > 0);
+    return At(size_ - 1);
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return data_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == data_.size(); }
+
+  void Clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+// Mean of the retained elements (requires arithmetic T and non-empty buffer).
+template <typename T>
+double Mean(const RingBuffer<T>& buf) {
+  SDB_CHECK(!buf.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    sum += static_cast<double>(buf.At(i));
+  }
+  return sum / static_cast<double>(buf.size());
+}
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_RING_BUFFER_H_

@@ -1,0 +1,94 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace sdb {
+namespace {
+
+// SplitMix64 seeds the Xoshiro state from a single 64-bit value.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SDB_DCHECK(hi >= lo);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; reject the measure-zero u1 == 0 case.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  cached_gaussian_ = mag * std::sin(kTwoPi * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SDB_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+}  // namespace sdb

@@ -1,0 +1,122 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// Modeled after the absl::Status idiom but self-contained. Functions that
+// can fail for reasons the caller may want to handle return Status (or
+// StatusOr<T> when they also produce a value). Programming errors abort via
+// SDB_CHECK instead.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+// Broad error taxonomy; keep in sync with StatusCodeName().
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the OK path.
+class Status {
+ public:
+  // Default: OK.
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    SDB_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+// A value or an error. Access to the value when holding an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from value and from error status, mirroring absl.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    SDB_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    SDB_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    SDB_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    SDB_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const { return ok() ? std::get<T>(rep_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates an error status from an expression that yields Status.
+#define SDB_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::sdb::Status sdb_status_tmp = (expr); \
+    if (!sdb_status_tmp.ok()) {            \
+      return sdb_status_tmp;               \
+    }                                      \
+  } while (0)
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+// Text-table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary regenerating a paper table/figure prints its rows with
+// TextTable (aligned, human-readable) and can also dump CSV for plotting.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdb {
+
+// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  // Formats a double with the given precision (fixed notation).
+  static std::string Num(double value, int precision = 3);
+
+  // Renders with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  // Renders as CSV (comma-separated, no quoting; values must not contain ',').
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner used by bench binaries:  == title ==
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_TABLE_H_

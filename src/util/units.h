@@ -1,0 +1,153 @@
+// Compile-time dimensional analysis for the physical quantities used
+// throughout the battery models.
+//
+// A Quantity carries exponents over the SI base dimensions we need
+// (length, mass, time, current, temperature) and a double magnitude in
+// coherent SI units (m, kg, s, A, K). Mixing incompatible dimensions is a
+// compile error; multiplying/dividing produces the correctly-derived type.
+//
+//   sdb::Voltage v = sdb::Volts(3.7);
+//   sdb::Current i = sdb::Amps(1.2);
+//   sdb::Power p = v * i;                 // Watts
+//   sdb::Energy e = p * sdb::Seconds(60); // Joules
+//
+// Public APIs use these types; numeric kernels may unwrap with .value()
+// once at function entry.
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+#include <cmath>
+#include <compare>
+
+namespace sdb {
+
+// Exponents over (length, mass, time, current, temperature).
+template <int L, int M, int T, int I, int K>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  // Magnitude in coherent SI units.
+  constexpr double value() const { return value_; }
+
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity operator+(Quantity other) const { return Quantity(value_ + other.value_); }
+  constexpr Quantity operator-(Quantity other) const { return Quantity(value_ - other.value_); }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity operator*(double scalar) const { return Quantity(value_ * scalar); }
+  constexpr Quantity operator/(double scalar) const { return Quantity(value_ / scalar); }
+  constexpr Quantity& operator*=(double scalar) {
+    value_ *= scalar;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scalar) {
+    value_ /= scalar;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+template <int L, int M, int T, int I, int K>
+constexpr Quantity<L, M, T, I, K> operator*(double scalar, Quantity<L, M, T, I, K> q) {
+  return q * scalar;
+}
+
+template <int L1, int M1, int T1, int I1, int K1, int L2, int M2, int T2, int I2, int K2>
+constexpr Quantity<L1 + L2, M1 + M2, T1 + T2, I1 + I2, K1 + K2> operator*(
+    Quantity<L1, M1, T1, I1, K1> a, Quantity<L2, M2, T2, I2, K2> b) {
+  return Quantity<L1 + L2, M1 + M2, T1 + T2, I1 + I2, K1 + K2>(a.value() * b.value());
+}
+
+template <int L1, int M1, int T1, int I1, int K1, int L2, int M2, int T2, int I2, int K2>
+constexpr Quantity<L1 - L2, M1 - M2, T1 - T2, I1 - I2, K1 - K2> operator/(
+    Quantity<L1, M1, T1, I1, K1> a, Quantity<L2, M2, T2, I2, K2> b) {
+  return Quantity<L1 - L2, M1 - M2, T1 - T2, I1 - I2, K1 - K2>(a.value() / b.value());
+}
+
+// Dividing two like-dimensioned quantities yields a plain ratio.
+template <int L, int M, int T, int I, int K>
+constexpr double Ratio(Quantity<L, M, T, I, K> a, Quantity<L, M, T, I, K> b) {
+  return a.value() / b.value();
+}
+
+//                       L   M   T   I   K
+using Dimensionless = Quantity<0, 0, 0, 0, 0>;
+using Duration = Quantity<0, 0, 1, 0, 0>;       // seconds
+using Current = Quantity<0, 0, 0, 1, 0>;        // amperes
+using Charge = Quantity<0, 0, 1, 1, 0>;         // coulombs
+using Voltage = Quantity<2, 1, -3, -1, 0>;      // volts
+using Resistance = Quantity<2, 1, -3, -2, 0>;   // ohms
+using Capacitance = Quantity<-2, -1, 4, 2, 0>;  // farads
+using Power = Quantity<2, 1, -3, 0, 0>;         // watts
+using Energy = Quantity<2, 1, -2, 0, 0>;        // joules
+using Temperature = Quantity<0, 0, 0, 0, 1>;    // kelvin
+using Mass = Quantity<0, 1, 0, 0, 0>;           // kilograms
+using Volume = Quantity<3, 0, 0, 0, 0>;         // cubic metres
+
+// Factory helpers in the units people actually quote.
+constexpr Duration Seconds(double s) { return Duration(s); }
+constexpr Duration Minutes(double m) { return Duration(m * 60.0); }
+constexpr Duration Hours(double h) { return Duration(h * 3600.0); }
+constexpr Current Amps(double a) { return Current(a); }
+constexpr Current MilliAmps(double ma) { return Current(ma * 1e-3); }
+constexpr Charge Coulombs(double c) { return Charge(c); }
+constexpr Charge AmpHours(double ah) { return Charge(ah * 3600.0); }
+constexpr Charge MilliAmpHours(double mah) { return Charge(mah * 3.6); }
+constexpr Voltage Volts(double v) { return Voltage(v); }
+constexpr Voltage MilliVolts(double mv) { return Voltage(mv * 1e-3); }
+constexpr Resistance Ohms(double o) { return Resistance(o); }
+constexpr Resistance MilliOhms(double mo) { return Resistance(mo * 1e-3); }
+constexpr Capacitance Farads(double f) { return Capacitance(f); }
+constexpr Power Watts(double w) { return Power(w); }
+constexpr Power MilliWatts(double mw) { return Power(mw * 1e-3); }
+constexpr Energy Joules(double j) { return Energy(j); }
+constexpr Energy WattHours(double wh) { return Energy(wh * 3600.0); }
+constexpr Temperature Kelvin(double k) { return Temperature(k); }
+constexpr Temperature Celsius(double c) { return Temperature(c + 273.15); }
+constexpr Mass Kilograms(double kg) { return Mass(kg); }
+constexpr Mass Grams(double g) { return Mass(g * 1e-3); }
+constexpr Volume Litres(double l) { return Volume(l * 1e-3); }
+constexpr Volume CubicMillimetres(double mm3) { return Volume(mm3 * 1e-9); }
+
+// Readbacks in quoted units.
+constexpr double ToHours(Duration d) { return d.value() / 3600.0; }
+constexpr double ToMinutes(Duration d) { return d.value() / 60.0; }
+constexpr double ToMilliAmpHours(Charge q) { return q.value() / 3.6; }
+constexpr double ToAmpHours(Charge q) { return q.value() / 3600.0; }
+constexpr double ToWattHours(Energy e) { return e.value() / 3600.0; }
+constexpr double ToCelsius(Temperature t) { return t.value() - 273.15; }
+constexpr double ToLitres(Volume v) { return v.value() * 1e3; }
+
+// Energy density in Wh/l — the unit the paper quotes in Figure 11(a).
+constexpr double WattHoursPerLitre(Energy e, Volume v) { return ToWattHours(e) / ToLitres(v); }
+
+template <int L, int M, int T, int I, int K>
+constexpr Quantity<L, M, T, I, K> Abs(Quantity<L, M, T, I, K> q) {
+  return q.value() < 0 ? -q : q;
+}
+
+template <int L, int M, int T, int I, int K>
+constexpr Quantity<L, M, T, I, K> Min(Quantity<L, M, T, I, K> a, Quantity<L, M, T, I, K> b) {
+  return a < b ? a : b;
+}
+
+template <int L, int M, int T, int I, int K>
+constexpr Quantity<L, M, T, I, K> Max(Quantity<L, M, T, I, K> a, Quantity<L, M, T, I, K> b) {
+  return a > b ? a : b;
+}
+
+}  // namespace sdb
+
+#endif  // SRC_UTIL_UNITS_H_

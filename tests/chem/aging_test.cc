@@ -1,0 +1,150 @@
+#include "src/chem/aging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+class AgingTest : public ::testing::Test {
+ protected:
+  AgingTest() : params_(MakeType2Standard(MilliAmpHours(2000.0))) {}
+
+  // Charges one full 80%-of-capacity dose at the given current: exactly one
+  // cycle under the paper's rule.
+  void ChargeOneCycle(AgingModel& model, double current_a) {
+    double dose = 0.8 * params_.nominal_capacity.value() * model.capacity_factor();
+    model.RecordCharge(Coulombs(dose), Amps(current_a));
+  }
+
+  BatteryParams params_;
+};
+
+TEST_F(AgingTest, FreshBatteryIsPristine) {
+  AgingModel model(&params_);
+  EXPECT_DOUBLE_EQ(model.capacity_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(model.resistance_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(model.cycle_count(), 0.0);
+  EXPECT_DOUBLE_EQ(model.wear_ratio(), 0.0);
+}
+
+TEST_F(AgingTest, EightyPercentCumulativeChargeIncrementsCycle) {
+  AgingModel model(&params_);
+  double cap = params_.nominal_capacity.value();
+  // Paper's example: charge 50%, then 30% more -> one cycle.
+  model.RecordCharge(Coulombs(0.5 * cap), Amps(1.0));
+  EXPECT_DOUBLE_EQ(model.cycle_count(), 0.0);
+  model.RecordCharge(Coulombs(0.3 * cap + 1.0), Amps(1.0));
+  EXPECT_DOUBLE_EQ(model.cycle_count(), 1.0);
+}
+
+TEST_F(AgingTest, PartialCycleFractionTracksProgress) {
+  AgingModel model(&params_);
+  double cap = params_.nominal_capacity.value();
+  model.RecordCharge(Coulombs(0.4 * cap), Amps(1.0));
+  EXPECT_NEAR(model.partial_cycle_fraction(), 0.4, 1e-9);
+}
+
+TEST_F(AgingTest, LargeDoseCountsMultipleCycles) {
+  AgingModel model(&params_);
+  double cap = params_.nominal_capacity.value();
+  model.RecordCharge(Coulombs(2.0 * 0.8 * cap + 1.0), Amps(0.5));
+  EXPECT_GE(model.cycle_count(), 2.0);
+}
+
+TEST_F(AgingTest, CapacityFadesWithCycles) {
+  AgingModel model(&params_);
+  for (int i = 0; i < 100; ++i) {
+    ChargeOneCycle(model, 0.5);
+  }
+  EXPECT_EQ(model.cycle_count(), 100.0);
+  EXPECT_LT(model.capacity_factor(), 1.0);
+  EXPECT_GT(model.capacity_factor(), 0.9);
+}
+
+TEST_F(AgingTest, HigherCurrentAgesFaster) {
+  // The Fig. 1(b) property: same cycle count, higher charge current, more
+  // capacity lost.
+  AgingModel slow(&params_);
+  AgingModel fast(&params_);
+  for (int i = 0; i < 200; ++i) {
+    ChargeOneCycle(slow, 0.5);
+    ChargeOneCycle(fast, 1.0);
+  }
+  EXPECT_LT(fast.capacity_factor(), slow.capacity_factor());
+}
+
+TEST_F(AgingTest, ResistanceGrowsAsCapacityFades) {
+  AgingModel model(&params_);
+  for (int i = 0; i < 300; ++i) {
+    ChargeOneCycle(model, 1.0);
+  }
+  double fade = 1.0 - model.capacity_factor();
+  EXPECT_NEAR(model.resistance_factor(), 1.0 + params_.resistance_growth * fade, 1e-12);
+  EXPECT_GT(model.resistance_factor(), 1.0);
+}
+
+TEST_F(AgingTest, WearRatioNormalisesToRatedCycles) {
+  AgingModel model(&params_);
+  for (int i = 0; i < 80; ++i) {
+    ChargeOneCycle(model, 0.5);
+  }
+  EXPECT_NEAR(model.wear_ratio(), 80.0 / params_.rated_cycle_count, 1e-12);
+}
+
+TEST_F(AgingTest, DischargeDoesNotAdvanceCycles) {
+  AgingModel model(&params_);
+  model.RecordDischarge(Coulombs(10.0 * params_.nominal_capacity.value()), Amps(1.0));
+  EXPECT_DOUBLE_EQ(model.cycle_count(), 0.0);
+  EXPECT_GT(model.total_charge_out().value(), 0.0);
+}
+
+TEST_F(AgingTest, ThroughputCountersAccumulate) {
+  AgingModel model(&params_);
+  model.RecordCharge(Coulombs(100.0), Amps(1.0));
+  model.RecordCharge(Coulombs(50.0), Amps(1.0));
+  EXPECT_DOUBLE_EQ(model.total_charge_in().value(), 150.0);
+}
+
+TEST_F(AgingTest, CapacityFactorNeverBelowFloor) {
+  AgingModel model(&params_);
+  for (int i = 0; i < 200000; ++i) {
+    ChargeOneCycle(model, 2.0);
+  }
+  EXPECT_GE(model.capacity_factor(), 0.05);
+}
+
+TEST_F(AgingTest, LongevityPercentMatchesCapacityFactor) {
+  AgingModel model(&params_);
+  ChargeOneCycle(model, 0.5);
+  EXPECT_DOUBLE_EQ(model.longevity_percent(), 100.0 * model.capacity_factor());
+}
+
+// Fig. 1(b) calibration sweep: after 600 cycles the Type 2 cell keeps
+// roughly 92% / 88% / 81% at 0.5 / 0.7 / 1.0 A charging.
+struct LongevityPoint {
+  double current_a;
+  double expected_percent;
+  double tolerance;
+};
+
+class LongevityCalibration : public ::testing::TestWithParam<LongevityPoint> {};
+
+TEST_P(LongevityCalibration, Figure1bShape) {
+  BatteryParams params = MakeType2Standard(MilliAmpHours(2000.0));
+  AgingModel model(&params);
+  for (int i = 0; i < 600; ++i) {
+    double dose = 0.8 * params.nominal_capacity.value() * model.capacity_factor();
+    model.RecordCharge(Coulombs(dose), Amps(GetParam().current_a));
+  }
+  EXPECT_NEAR(model.longevity_percent(), GetParam().expected_percent, GetParam().tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure1b, LongevityCalibration,
+                         ::testing::Values(LongevityPoint{0.5, 92.0, 2.5},
+                                           LongevityPoint{0.7, 88.0, 2.5},
+                                           LongevityPoint{1.0, 81.0, 3.0}));
+
+}  // namespace
+}  // namespace sdb

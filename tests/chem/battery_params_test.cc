@@ -1,0 +1,140 @@
+#include "src/chem/battery_params.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/cell.h"
+#include "src/chem/library.h"
+#include "src/hw/charge_profile.h"
+
+namespace sdb {
+namespace {
+
+class BatteryParamsTest : public ::testing::Test {
+ protected:
+  BatteryParamsTest() : params_(MakeType2Standard(MilliAmpHours(3000.0))) {}
+
+  BatteryParams params_;
+};
+
+TEST_F(BatteryParamsTest, CRateScalesWithCapacity) {
+  EXPECT_NEAR(params_.CRate(1.0).value(), 3.0, 1e-9);
+  EXPECT_NEAR(params_.CRate(2.0).value(), 6.0, 1e-9);
+  EXPECT_NEAR(params_.CRate(0.1).value(), 0.3, 1e-9);
+}
+
+TEST_F(BatteryParamsTest, NominalEnergyIsVoltsTimesCoulombs) {
+  double expected = params_.nominal_voltage.value() * params_.nominal_capacity.value();
+  EXPECT_NEAR(params_.NominalEnergy().value(), expected, 1e-6);
+}
+
+TEST_F(BatteryParamsTest, SwellingReducesEffectiveDensity) {
+  BatteryParams p = MakeFastChargeTablet(MilliAmpHours(4000.0));
+  double fresh = p.EnergyDensityWhPerLitre(false);
+  double swollen = p.EnergyDensityWhPerLitre(true);
+  EXPECT_LT(swollen, fresh);
+  EXPECT_NEAR(swollen * (1.0 + p.fast_charge_swelling), fresh, 1e-6);
+}
+
+TEST_F(BatteryParamsTest, GravimetricDensityPositive) {
+  EXPECT_GT(params_.EnergyDensityWhPerKg(), 100.0);
+  EXPECT_LT(params_.EnergyDensityWhPerKg(), 400.0);
+}
+
+TEST_F(BatteryParamsTest, ValidateAcceptsPreset) {
+  EXPECT_TRUE(params_.Validate().ok());
+}
+
+TEST_F(BatteryParamsTest, ValidateRejectsEmptyName) {
+  params_.name.clear();
+  EXPECT_FALSE(params_.Validate().ok());
+}
+
+TEST_F(BatteryParamsTest, ValidateRejectsNonPositiveScalars) {
+  BatteryParams p = params_;
+  p.nominal_voltage = Volts(0.0);
+  EXPECT_FALSE(p.Validate().ok());
+  p = params_;
+  p.max_discharge_current = Amps(-1.0);
+  EXPECT_FALSE(p.Validate().ok());
+  p = params_;
+  p.fade_reference_current = Amps(0.0);
+  EXPECT_FALSE(p.Validate().ok());
+  p = params_;
+  p.volume = Litres(0.0);
+  EXPECT_FALSE(p.Validate().ok());
+  p = params_;
+  p.plate_capacitance = Farads(0.0);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST_F(BatteryParamsTest, ValidateRejectsNonPositiveDcir) {
+  params_.dcir_vs_soc = PiecewiseLinearCurve::FromTable({{0.0, 0.05}, {1.0, -0.01}});
+  EXPECT_FALSE(params_.Validate().ok());
+}
+
+TEST(ChemistryNameTest, AllChemistriesNamed) {
+  EXPECT_EQ(ChemistryName(Chemistry::kType1HighPower), "Type1-LiFePO4-HighPower");
+  EXPECT_EQ(ChemistryName(Chemistry::kType2Standard), "Type2-CoO2-Standard");
+  EXPECT_EQ(ChemistryName(Chemistry::kType3FastCharge), "Type3-CoO2-FastCharge");
+  EXPECT_EQ(ChemistryName(Chemistry::kType4Bendable), "Type4-Ceramic-Bendable");
+}
+
+TEST(AxisScoresTest, ScoresAreBounded) {
+  for (const BatteryParams& p : MakeBatteryLibrary()) {
+    ChemistryAxisScores s = ScoreAxes(p);
+    for (double score : {s.power_density, s.energy_density, s.affordability, s.longevity,
+                         s.efficiency, s.form_factor_flexibility}) {
+      EXPECT_GE(score, 0.0) << p.name;
+      EXPECT_LE(score, 10.0) << p.name;
+    }
+  }
+}
+
+TEST(AxisScoresTest, RigidBatteriesScoreZeroFlexibility) {
+  ChemistryAxisScores s = ScoreAxes(MakeType2Standard(MilliAmpHours(3000.0)));
+  EXPECT_DOUBLE_EQ(s.form_factor_flexibility, 0.0);
+}
+
+// Library soak: every preset must survive a full charge-discharge round
+// trip under its own limits without violating any invariant.
+class LibrarySoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibrarySoak, FullCycleRoundTrip) {
+  std::vector<BatteryParams> lib = MakeBatteryLibrary();
+  BatteryParams params = lib[GetParam()];
+  std::string name = params.name;
+  Cell cell(std::move(params), 1.0);
+
+  // Drain at 0.5C to empty.
+  Current i_dis = cell.params().CRate(0.5);
+  double delivered = 0.0;
+  int guard = 0;
+  while (!cell.IsEmpty(1e-3) && guard++ < 100000) {
+    StepResult r = cell.StepDischargeCurrent(i_dis, Seconds(10.0));
+    delivered += r.energy_at_terminals.value();
+    EXPECT_GE(cell.soc(), 0.0) << name;
+  }
+  ASSERT_LT(guard, 100000) << name;
+  EXPECT_GT(delivered, 0.5 * cell.params().NominalEnergy().value()) << name;
+
+  // Recharge through the standard profile to full.
+  ChargeProfile profile = MakeStandardProfile(cell.params());
+  guard = 0;
+  while (guard++ < 200000) {
+    Current j = profile.CommandedCurrent(cell);
+    if (j.value() <= 0.0) {
+      break;
+    }
+    cell.StepChargeCurrent(j, Seconds(10.0));
+  }
+  ASSERT_LT(guard, 200000) << name;
+  EXPECT_GT(cell.soc(), 0.97) << name;
+  EXPECT_GE(cell.aging().cycle_count(), 1.0) << name;
+  EXPECT_LE(cell.aging().capacity_factor(), 1.0) << name;
+  EXPECT_GT(cell.aging().capacity_factor(), 0.99) << name;  // One cycle barely ages it.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFifteen, LibrarySoak, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace sdb

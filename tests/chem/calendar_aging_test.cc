@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/chem/cell.h"
+#include "src/chem/library.h"
+#include "src/chem/pack.h"
+#include "src/hw/charge_circuit.h"
+#include "src/hw/charge_profile.h"
+
+namespace sdb {
+namespace {
+
+TEST(CalendarAgingTest, SelfDischargeLeaksSoc) {
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 1.0);
+  // One month on the shelf: ~2.5% of charge leaks away.
+  cell.AdvanceIdle(Hours(30.0 * 24.0));
+  EXPECT_NEAR(cell.soc(), 1.0 - cell.params().self_discharge_per_month, 1e-3);
+}
+
+TEST(CalendarAgingTest, CalendarFadeShavesCapacity) {
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 0.5);
+  double cap0 = cell.EffectiveCapacity().value();
+  // A year on the shelf.
+  for (int month = 0; month < 12; ++month) {
+    cell.AdvanceIdle(Hours(30.0 * 24.0));
+  }
+  double cap1 = cell.EffectiveCapacity().value();
+  double expected_fade = 12.0 * cell.params().calendar_fade_per_month;
+  EXPECT_NEAR((cap0 - cap1) / cap0, expected_fade, expected_fade * 0.1);
+  // No cycles were consumed by sitting idle.
+  EXPECT_DOUBLE_EQ(cell.aging().cycle_count(), 0.0);
+}
+
+TEST(CalendarAgingTest, IdleLeaksProportionallyToSoc) {
+  Cell full(MakeType2Standard(MilliAmpHours(3000.0)), 1.0);
+  Cell half(MakeType2Standard(MilliAmpHours(3000.0)), 0.5);
+  full.AdvanceIdle(Hours(30.0 * 24.0));
+  half.AdvanceIdle(Hours(30.0 * 24.0));
+  // Leak is multiplicative: the half-full cell loses half the charge.
+  EXPECT_NEAR(1.0 - full.soc(), 2.0 * (0.5 - half.soc()), 1e-3);
+}
+
+TEST(CalendarAgingTest, ZeroDurationIsNoOp) {
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 0.7);
+  cell.AdvanceIdle(Seconds(0.0));
+  EXPECT_DOUBLE_EQ(cell.soc(), 0.7);
+}
+
+TEST(StorageProfileTest, StopsAroundSixtyPercent) {
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 0.1);
+  ChargeProfile storage = MakeStorageProfile(cell.params());
+  int guard = 0;
+  while (guard++ < 50000) {
+    Current j = storage.CommandedCurrent(cell);
+    if (j.value() <= 0.0) {
+      break;
+    }
+    cell.StepChargeCurrent(j, Seconds(30.0));
+  }
+  EXPECT_LT(guard, 50000);
+  EXPECT_GT(cell.soc(), 0.45);
+  EXPECT_LT(cell.soc(), 0.68);
+}
+
+TEST(StorageProfileTest, GentlerThanStandard) {
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 0.2);
+  ChargeProfile standard = MakeStandardProfile(cell.params());
+  ChargeProfile storage = MakeStorageProfile(cell.params());
+  EXPECT_LT(storage.CommandedCurrent(cell).value(), standard.CommandedCurrent(cell).value());
+}
+
+TEST(StorageProfileTest, AvailableAsBankIndexTwo) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeType2Standard(MilliAmpHours(3000.0)), 0.2);
+  BatteryPack pack;
+  pack.AddCell(std::move(cells[0]));
+  std::vector<const BatteryParams*> params = {&pack.cell(0).params()};
+  SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 1);
+  ASSERT_TRUE(circuit.SelectProfile(0, 2).ok());
+  EXPECT_EQ(circuit.bank(0).selected().name, "storage");
+}
+
+}  // namespace
+}  // namespace sdb

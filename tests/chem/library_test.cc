@@ -1,0 +1,161 @@
+#include "src/chem/library.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/thermal.h"
+
+namespace sdb {
+namespace {
+
+TEST(LibraryTest, HasFifteenBatteries) {
+  auto lib = MakeBatteryLibrary();
+  EXPECT_EQ(lib.size(), 15u);
+}
+
+TEST(LibraryTest, AllEntriesValidate) {
+  for (const auto& params : MakeBatteryLibrary()) {
+    EXPECT_TRUE(params.Validate().ok()) << params.name;
+  }
+}
+
+TEST(LibraryTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& params : MakeBatteryLibrary()) {
+    EXPECT_TRUE(names.insert(params.name).second) << "duplicate: " << params.name;
+  }
+}
+
+TEST(LibraryTest, CompositionMatchesPaper) {
+  // Two Type 4, two Type 3, eight Type 2 and three others (§4.3).
+  int type2 = 0, type3 = 0, type4 = 0, other = 0;
+  for (const auto& params : MakeBatteryLibrary()) {
+    switch (params.chemistry) {
+      case Chemistry::kType2Standard:
+        ++type2;
+        break;
+      case Chemistry::kType3FastCharge:
+        ++type3;
+        break;
+      case Chemistry::kType4Bendable:
+        ++type4;
+        break;
+      default:
+        ++other;
+    }
+  }
+  EXPECT_EQ(type4, 2);
+  EXPECT_EQ(type3, 2);
+  // Watch-LiIon and HE-Tablet derive from Type 2, so >= 8 is the floor.
+  EXPECT_GE(type2, 8);
+  EXPECT_GE(other, 1);
+}
+
+TEST(LibraryTest, OcvCurvesSpanFig8bRange) {
+  for (const auto& params : MakeBatteryLibrary()) {
+    EXPECT_GE(params.ocv_vs_soc.min_y(), 2.6) << params.name;
+    EXPECT_LE(params.ocv_vs_soc.max_y(), 4.3) << params.name;
+    EXPECT_TRUE(params.ocv_vs_soc.IsMonotoneIncreasing()) << params.name;
+  }
+}
+
+TEST(LibraryTest, DcirFallsWithSocLikeFig8c) {
+  for (const auto& params : MakeBatteryLibrary()) {
+    double r_low = params.dcir_vs_soc.Evaluate(0.05);
+    double r_high = params.dcir_vs_soc.Evaluate(0.9);
+    EXPECT_GT(r_low, r_high) << params.name;
+  }
+}
+
+TEST(LibraryTest, DcirSpansFig8cDecades) {
+  // Across the library, mid-SoC resistance spans from ~10 mOhm (power
+  // cells) to ohm-scale (bendable watch cells).
+  double r_min = 1e9, r_max = 0.0;
+  for (const auto& params : MakeBatteryLibrary()) {
+    double r = params.dcir_vs_soc.Evaluate(0.5);
+    r_min = std::min(r_min, r);
+    r_max = std::max(r_max, r);
+  }
+  EXPECT_LT(r_min, 0.03);
+  EXPECT_GT(r_max, 0.5);
+}
+
+TEST(LibraryTest, EnergyDensityOrdering) {
+  // Paper §5.1: high-energy 590-600 Wh/l, fast-charge 530-540 fresh and
+  // 500-510 swollen, Type 1 about half of Type 2.
+  BatteryParams he = MakeHighEnergyTablet(MilliAmpHours(4000.0));
+  BatteryParams fc = MakeFastChargeTablet(MilliAmpHours(4000.0));
+  BatteryParams t1 = MakeType1PowerCell(MilliAmpHours(1500.0));
+  EXPECT_NEAR(he.EnergyDensityWhPerLitre(), 595.0, 10.0);
+  EXPECT_NEAR(fc.EnergyDensityWhPerLitre(), 535.0, 10.0);
+  EXPECT_NEAR(fc.EnergyDensityWhPerLitre(/*swollen=*/true), 507.0, 10.0);
+  EXPECT_LT(t1.EnergyDensityWhPerLitre(), 0.55 * he.EnergyDensityWhPerLitre());
+}
+
+TEST(LibraryTest, FastChargeAcceptsThreeC) {
+  BatteryParams fc = MakeFastChargeTablet(MilliAmpHours(4000.0));
+  EXPECT_NEAR(fc.max_charge_current.value(), fc.CRate(3.0).value(), 1e-9);
+  BatteryParams he = MakeHighEnergyTablet(MilliAmpHours(4000.0));
+  EXPECT_NEAR(he.max_charge_current.value(), he.CRate(0.5).value(), 1e-9);
+}
+
+TEST(LibraryTest, BendableIsFlexibleAndInefficient) {
+  BatteryParams t4 = MakeType4Bendable(MilliAmpHours(200.0));
+  EXPECT_GT(t4.bend_radius_mm, 0.0);
+  BatteryParams watch = MakeWatchLiIon(MilliAmpHours(200.0));
+  EXPECT_DOUBLE_EQ(watch.bend_radius_mm, 0.0);
+  // At the same capacity, the bendable cell has much higher DCIR.
+  EXPECT_GT(t4.dcir_vs_soc.Evaluate(0.5), 2.0 * watch.dcir_vs_soc.Evaluate(0.5));
+}
+
+TEST(LibraryTest, HeatLossOrderingMatchesFig1c) {
+  // Type 4 >> Type 3 > Type 2 heat loss at the same C-rate.
+  BatteryParams t2 = MakeType2Standard(MilliAmpHours(2500.0));
+  BatteryParams t3 = MakeType3FastCharge(MilliAmpHours(2500.0));
+  BatteryParams t4 = MakeType4Bendable(MilliAmpHours(2500.0) /*scaled*/);
+  double l2 = HeatLossPercentAtCRate(t2, 1.5);
+  double l3 = HeatLossPercentAtCRate(t3, 1.5);
+  double l4 = HeatLossPercentAtCRate(t4, 1.5);
+  EXPECT_GT(l4, l3);
+  EXPECT_GT(l3, l2);
+  EXPECT_GT(l2, 0.0);
+}
+
+TEST(LibraryTest, AxisScoresDifferentiateChemistries) {
+  ChemistryAxisScores t1 = ScoreAxes(MakeType1PowerCell(MilliAmpHours(1500.0)));
+  ChemistryAxisScores t2 = ScoreAxes(MakeType2Standard(MilliAmpHours(3000.0)));
+  ChemistryAxisScores t4 = ScoreAxes(MakeType4Bendable(MilliAmpHours(200.0)));
+  EXPECT_GT(t1.power_density, t2.power_density);
+  EXPECT_GT(t2.energy_density, t1.energy_density);
+  EXPECT_GT(t4.form_factor_flexibility, t2.form_factor_flexibility);
+  EXPECT_GT(t2.efficiency, t4.efficiency);
+  EXPECT_GT(t1.longevity, t2.longevity);
+}
+
+TEST(LibraryTest, CRateHelper) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2000.0));
+  EXPECT_NEAR(p.CRate(1.0).value(), 2.0, 1e-9);
+  EXPECT_NEAR(p.CRate(0.5).value(), 1.0, 1e-9);
+}
+
+TEST(ParamsValidationTest, RejectsBadCurves) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2000.0));
+  p.ocv_vs_soc = PiecewiseLinearCurve::FromTable({{0.0, 4.0}, {1.0, 3.0}});  // Decreasing.
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsValidationTest, RejectsPartialSocSpan) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2000.0));
+  p.dcir_vs_soc = PiecewiseLinearCurve::FromTable({{0.2, 0.05}, {0.8, 0.03}});
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsValidationTest, RejectsZeroCycleLife) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2000.0));
+  p.rated_cycle_count = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,133 @@
+#include "src/chem/pack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+BatteryPack MakeTwoCellPack(double soc0 = 1.0, double soc1 = 1.0) {
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 0), soc0));
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 1), soc1));
+  return pack;
+}
+
+TEST(PackTest, Aggregates) {
+  BatteryPack pack = MakeTwoCellPack(0.5, 1.0);
+  EXPECT_EQ(pack.size(), 2u);
+  EXPECT_NEAR(ToMilliAmpHours(pack.TotalRemainingCharge()), 1500.0 + 3000.0, 1.0);
+  EXPECT_GT(pack.TotalRemainingEnergy().value(), 0.0);
+  EXPECT_FALSE(pack.AllEmpty());
+  EXPECT_FALSE(pack.AllFull());
+}
+
+TEST(PackTest, AllFullAndAllEmpty) {
+  EXPECT_TRUE(MakeTwoCellPack(1.0, 1.0).AllFull());
+  EXPECT_TRUE(MakeTwoCellPack(0.0, 0.0).AllEmpty());
+}
+
+TEST(PackTest, ParallelDischargeDeliversRequestedPower) {
+  BatteryPack pack = MakeTwoCellPack();
+  PackStepResult r = pack.StepParallelDischarge(Watts(6.0), Seconds(1.0));
+  EXPECT_FALSE(r.shortfall);
+  EXPECT_NEAR(r.delivered.value(), 6.0, 0.1);
+  // Both cells contribute.
+  EXPECT_GT(r.cell_currents[0].value(), 0.0);
+  EXPECT_GT(r.cell_currents[1].value(), 0.0);
+}
+
+TEST(PackTest, ParallelCurrentsSplitInverselyWithResistance) {
+  BatteryPack pack;
+  BatteryParams low_r = MakeType2Standard(MilliAmpHours(3000.0));
+  BatteryParams high_r = MakeType2Standard(MilliAmpHours(3000.0));
+  // Double the resistance of the second cell.
+  high_r.dcir_vs_soc = high_r.dcir_vs_soc.ScaledY(2.0);
+  high_r.name = "T2-HighR";
+  pack.AddCell(Cell(std::move(low_r), 1.0));
+  pack.AddCell(Cell(std::move(high_r), 1.0));
+  PackStepResult r = pack.StepParallelDischarge(Watts(8.0), Seconds(1.0));
+  // Same OCV, so currents are inversely proportional to resistance: the
+  // low-R branch carries about twice the current.
+  EXPECT_NEAR(r.cell_currents[0].value() / r.cell_currents[1].value(), 2.0, 0.2);
+}
+
+TEST(PackTest, ParallelSkipsEmptyCells) {
+  BatteryPack pack = MakeTwoCellPack(1.0, 0.0);
+  PackStepResult r = pack.StepParallelDischarge(Watts(4.0), Seconds(1.0));
+  EXPECT_DOUBLE_EQ(r.cell_currents[1].value(), 0.0);
+  EXPECT_GT(r.cell_currents[0].value(), 0.0);
+}
+
+TEST(PackTest, ParallelShortfallWhenAllEmpty) {
+  BatteryPack pack = MakeTwoCellPack(0.0, 0.0);
+  PackStepResult r = pack.StepParallelDischarge(Watts(4.0), Seconds(1.0));
+  EXPECT_TRUE(r.shortfall);
+  EXPECT_DOUBLE_EQ(r.delivered.value(), 0.0);
+}
+
+TEST(PackTest, ParallelShortfallOnOverload) {
+  BatteryPack pack = MakeTwoCellPack();
+  PackStepResult r = pack.StepParallelDischarge(Watts(500.0), Seconds(1.0));
+  EXPECT_TRUE(r.shortfall);
+  EXPECT_LT(r.delivered.value(), 500.0);
+}
+
+TEST(PackTest, SeriesDischargeSharesOneCurrent) {
+  BatteryPack pack = MakeTwoCellPack();
+  PackStepResult r = pack.StepSeriesDischarge(Watts(6.0), Seconds(1.0));
+  EXPECT_FALSE(r.shortfall);
+  EXPECT_NEAR(r.cell_currents[0].value(), r.cell_currents[1].value(), 1e-9);
+  EXPECT_NEAR(r.delivered.value(), 6.0, 0.1);
+}
+
+TEST(PackTest, SeriesChainDiesWithOneDeadCell) {
+  BatteryPack pack = MakeTwoCellPack(1.0, 0.0);
+  PackStepResult r = pack.StepSeriesDischarge(Watts(4.0), Seconds(1.0));
+  EXPECT_TRUE(r.shortfall);
+  EXPECT_DOUBLE_EQ(r.delivered.value(), 0.0);
+}
+
+TEST(PackTest, SeriesUsesLowerCurrentThanParallelForSamePower) {
+  BatteryPack series = MakeTwoCellPack();
+  BatteryPack parallel = MakeTwoCellPack();
+  PackStepResult rs = series.StepSeriesDischarge(Watts(6.0), Seconds(1.0));
+  PackStepResult rp = parallel.StepParallelDischarge(Watts(6.0), Seconds(1.0));
+  // Series doubles the voltage: the chain current is about half the summed
+  // parallel current.
+  double series_i = rs.cell_currents[0].value();
+  double parallel_i = rp.cell_currents[0].value() + rp.cell_currents[1].value();
+  EXPECT_LT(series_i, 0.6 * parallel_i);
+}
+
+TEST(PackTest, EitherOrUsesFirstLiveCellOnly) {
+  BatteryPack pack = MakeTwoCellPack();
+  PackStepResult r = pack.StepEitherOrDischarge(Watts(4.0), Seconds(1.0));
+  EXPECT_GT(r.cell_currents[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.cell_currents[1].value(), 0.0);
+}
+
+TEST(PackTest, EitherOrFailsOverWhenFirstEmpties) {
+  BatteryPack pack = MakeTwoCellPack(0.0, 1.0);
+  PackStepResult r = pack.StepEitherOrDischarge(Watts(4.0), Seconds(1.0));
+  EXPECT_DOUBLE_EQ(r.cell_currents[0].value(), 0.0);
+  EXPECT_GT(r.cell_currents[1].value(), 0.0);
+}
+
+TEST(PackTest, EitherOrLosesMoreThanParallel) {
+  // The paper's point (§6): drawing everything from one battery wastes
+  // I^2 R energy compared to splitting the current.
+  BatteryPack either = MakeTwoCellPack();
+  BatteryPack parallel = MakeTwoCellPack();
+  double either_loss = 0.0, parallel_loss = 0.0;
+  for (int k = 0; k < 600; ++k) {
+    either_loss += either.StepEitherOrDischarge(Watts(8.0), Seconds(1.0)).energy_lost.value();
+    parallel_loss +=
+        parallel.StepParallelDischarge(Watts(8.0), Seconds(1.0)).energy_lost.value();
+  }
+  EXPECT_GT(either_loss, 1.5 * parallel_loss);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,97 @@
+#include "src/chem/reference_cell.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/chem/thevenin.h"
+
+namespace sdb {
+namespace {
+
+class ReferenceCellTest : public ::testing::Test {
+ protected:
+  ReferenceCellTest() : params_(MakeType2Standard(MilliAmpHours(2500.0))) {}
+
+  BatteryParams params_;
+  ReferenceCellConfig config_;
+};
+
+TEST_F(ReferenceCellTest, DischargeDrainsSoc) {
+  ReferenceCell cell(&params_, config_, 1.0);
+  for (int k = 0; k < 60; ++k) {
+    cell.StepWithCurrent(Amps(1.0), Seconds(60.0));
+  }
+  EXPECT_LT(cell.soc(), 1.0);
+}
+
+TEST_F(ReferenceCellTest, VoltageSagsUnderLoad) {
+  ReferenceCell cell(&params_, config_, 0.9);
+  Voltage open = cell.TerminalVoltage(Amps(0.0));
+  Voltage loaded = cell.TerminalVoltage(Amps(2.0));
+  EXPECT_LT(loaded.value(), open.value());
+}
+
+TEST_F(ReferenceCellTest, HigherCurrentShrinksUsableCapacity) {
+  // Peukert behaviour: the same coulombs pull SoC down faster at higher
+  // current.
+  ReferenceCell gentle(&params_, config_, 1.0);
+  ReferenceCell hard(&params_, config_, 1.0);
+  // Move identical charge: 0.5 A for 2 h vs 2 A for 0.5 h.
+  for (int k = 0; k < 120; ++k) {
+    gentle.StepWithCurrent(Amps(0.5), Seconds(60.0));
+  }
+  for (int k = 0; k < 30; ++k) {
+    hard.StepWithCurrent(Amps(2.0), Seconds(60.0));
+  }
+  EXPECT_LT(hard.soc(), gentle.soc());
+}
+
+TEST_F(ReferenceCellTest, HysteresisSplitsChargeAndDischargeVoltage) {
+  ReferenceCell discharging(&params_, config_, 0.5);
+  ReferenceCell charging(&params_, config_, 0.5);
+  for (int k = 0; k < 100; ++k) {
+    discharging.StepWithCurrent(Amps(0.5), Seconds(30.0));
+    charging.StepWithCurrent(Amps(-0.5), Seconds(30.0));
+  }
+  // Evaluate both at the same SoC and no load: the hysteresis state should
+  // leave the recently-charged cell reading higher.
+  discharging.set_soc(0.5);
+  charging.set_soc(0.5);
+  EXPECT_GT(charging.TerminalVoltage(Amps(0.0)).value(),
+            discharging.TerminalVoltage(Amps(0.0)).value());
+}
+
+// The Fig. 10 validation property: the 4-parameter Thevenin model tracks
+// the richer reference cell to a few percent across constant-current
+// discharges.
+class ModelValidationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModelValidationSweep, TheveninTracksReference) {
+  BatteryParams params = MakeType2Standard(MilliAmpHours(2500.0));
+  ReferenceCellConfig config;
+  ReferenceCell reference(&params, config, 1.0);
+  TheveninModel model(&params, 1.0);
+  double current = GetParam();
+
+  double err_sum = 0.0;
+  int samples = 0;
+  while (reference.soc() > 0.05 && model.soc() > 0.05) {
+    Voltage v_ref = reference.StepWithCurrent(Amps(current), Seconds(30.0));
+    StepResult r = model.StepWithCurrent(Amps(current), Seconds(30.0), params.nominal_capacity);
+    err_sum += std::fabs(r.terminal_voltage.value() - v_ref.value()) / v_ref.value();
+    ++samples;
+  }
+  ASSERT_GT(samples, 10);
+  double accuracy = 100.0 * (1.0 - err_sum / samples);
+  // Paper: "our model is accurate to 97.5%". Require at least 95%.
+  EXPECT_GT(accuracy, 95.0);
+  EXPECT_LT(accuracy, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig10Currents, ModelValidationSweep,
+                         ::testing::Values(0.2, 0.5, 0.7));
+
+}  // namespace
+}  // namespace sdb

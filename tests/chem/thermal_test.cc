@@ -1,0 +1,91 @@
+#include "src/chem/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+TEST(ThermalTest, StartsAtAmbient) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  EXPECT_DOUBLE_EQ(ToCelsius(model.temperature()), 25.0);
+}
+
+TEST(ThermalTest, HeatsUpUnderDissipation) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  for (int k = 0; k < 60; ++k) {
+    model.Step(Joules(2.0), Seconds(1.0));  // 2 W of heat.
+  }
+  EXPECT_GT(ToCelsius(model.temperature()), 25.5);
+}
+
+TEST(ThermalTest, ConvergesToSteadyState) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  // 2 W into 0.5 W/K conductance -> +4 K steady state.
+  for (int k = 0; k < 5000; ++k) {
+    model.Step(Joules(2.0), Seconds(1.0));
+  }
+  EXPECT_NEAR(ToCelsius(model.temperature()), 29.0, 0.05);
+}
+
+TEST(ThermalTest, CoolsBackToAmbient) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  for (int k = 0; k < 600; ++k) {
+    model.Step(Joules(3.0), Seconds(1.0));
+  }
+  for (int k = 0; k < 5000; ++k) {
+    model.Step(Joules(0.0), Seconds(1.0));
+  }
+  EXPECT_NEAR(ToCelsius(model.temperature()), 25.0, 0.05);
+}
+
+TEST(ThermalTest, TotalHeatAccumulates) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  model.Step(Joules(5.0), Seconds(1.0));
+  model.Step(Joules(3.0), Seconds(1.0));
+  EXPECT_DOUBLE_EQ(model.total_heat().value(), 8.0);
+}
+
+TEST(ThermalTest, ResetTemperature) {
+  ThermalModel model(40.0, 0.5, Celsius(25.0));
+  model.Step(Joules(100.0), Seconds(1.0));
+  model.ResetTemperature();
+  EXPECT_DOUBLE_EQ(ToCelsius(model.temperature()), 25.0);
+}
+
+TEST(ThermalTest, NoConductanceIntegratesAdiabatically) {
+  ThermalModel model(50.0, 0.0, Celsius(20.0));
+  model.Step(Joules(100.0), Seconds(1.0));  // 100 J into 50 J/K -> +2 K.
+  EXPECT_NEAR(ToCelsius(model.temperature()), 22.0, 1e-9);
+}
+
+TEST(HeatLossTest, ZeroAtZeroCRate) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2500.0));
+  EXPECT_DOUBLE_EQ(HeatLossPercentAtCRate(p, 0.0), 0.0);
+}
+
+TEST(HeatLossTest, GrowsWithCRate) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(2500.0));
+  double l1 = HeatLossPercentAtCRate(p, 0.5);
+  double l2 = HeatLossPercentAtCRate(p, 1.0);
+  double l3 = HeatLossPercentAtCRate(p, 2.0);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+  // Linear in current for a fixed resistance.
+  EXPECT_NEAR(l3 / l1, 4.0, 0.1);
+}
+
+TEST(HeatLossTest, BendableLosesTensOfPercentAtTwoC) {
+  // Fig. 1(c): the Type 4 separator pushes losses toward ~30% at 2C.
+  BatteryParams t4 = MakeType4Bendable(MilliAmpHours(200.0));
+  double loss = HeatLossPercentAtCRate(t4, 2.0);
+  EXPECT_GT(loss, 15.0);
+  EXPECT_LT(loss, 45.0);
+  // While the standard chemistry stays single-digit.
+  BatteryParams t2 = MakeType2Standard(MilliAmpHours(2500.0));
+  EXPECT_LT(HeatLossPercentAtCRate(t2, 2.0), 10.0);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,164 @@
+#include "src/chem/thevenin.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+class TheveninTest : public ::testing::Test {
+ protected:
+  TheveninTest() : params_(MakeType2Standard(MilliAmpHours(3000.0))) {}
+
+  BatteryParams params_;
+};
+
+TEST_F(TheveninTest, InitialStateMatchesCurves) {
+  TheveninModel model(&params_, 0.5);
+  EXPECT_DOUBLE_EQ(model.soc(), 0.5);
+  EXPECT_DOUBLE_EQ(model.OpenCircuitVoltage().value(), params_.ocv_vs_soc.Evaluate(0.5));
+  EXPECT_DOUBLE_EQ(model.InternalResistance().value(), params_.dcir_vs_soc.Evaluate(0.5));
+}
+
+TEST_F(TheveninTest, SocClampedToUnitInterval) {
+  TheveninModel model(&params_, 1.7);
+  EXPECT_DOUBLE_EQ(model.soc(), 1.0);
+  model.set_soc(-0.3);
+  EXPECT_DOUBLE_EQ(model.soc(), 0.0);
+}
+
+TEST_F(TheveninTest, TerminalVoltageDropsUnderLoad) {
+  TheveninModel model(&params_, 0.8);
+  Voltage open = model.TerminalVoltageAt(Amps(0.0));
+  Voltage loaded = model.TerminalVoltageAt(Amps(2.0));
+  EXPECT_LT(loaded.value(), open.value());
+  EXPECT_NEAR(open.value() - loaded.value(), 2.0 * model.InternalResistance().value(), 1e-12);
+}
+
+TEST_F(TheveninTest, DischargeReducesSoc) {
+  TheveninModel model(&params_, 1.0);
+  // 1 A for 1 hour out of a 3 Ah battery: SoC drops by 1/3.
+  StepResult result = model.StepWithCurrent(Amps(1.0), Hours(1.0), params_.nominal_capacity);
+  EXPECT_NEAR(model.soc(), 1.0 - 1.0 / 3.0, 1e-9);
+  EXPECT_GT(result.energy_at_terminals.value(), 0.0);
+  EXPECT_GT(result.energy_lost.value(), 0.0);
+}
+
+TEST_F(TheveninTest, ChargeIncreasesSoc) {
+  TheveninModel model(&params_, 0.2);
+  model.StepWithCurrent(Amps(-1.5), Hours(1.0), params_.nominal_capacity);
+  EXPECT_NEAR(model.soc(), 0.2 + 0.5, 1e-9);
+}
+
+TEST_F(TheveninTest, DischargeClampsAtEmpty) {
+  TheveninModel model(&params_, 0.01);
+  StepResult result = model.StepWithCurrent(Amps(3.0), Hours(1.0), params_.nominal_capacity);
+  EXPECT_TRUE(result.limited);
+  EXPECT_DOUBLE_EQ(model.soc(), 0.0);
+  // Realised current only drains what was there: 0.01 * 3 Ah over 1 h.
+  EXPECT_NEAR(result.current.value(), 0.03, 1e-9);
+}
+
+TEST_F(TheveninTest, ChargeClampsAtFull) {
+  TheveninModel model(&params_, 0.99);
+  StepResult result = model.StepWithCurrent(Amps(-3.0), Hours(1.0), params_.nominal_capacity);
+  EXPECT_TRUE(result.limited);
+  EXPECT_DOUBLE_EQ(model.soc(), 1.0);
+}
+
+TEST_F(TheveninTest, EnergyConservationInStep) {
+  TheveninModel model(&params_, 0.9);
+  StepResult r = model.StepWithCurrent(Amps(2.0), Seconds(10.0), params_.nominal_capacity);
+  EXPECT_NEAR(r.energy_chemical.value(), r.energy_at_terminals.value() + r.energy_lost.value(),
+              1e-9);
+}
+
+TEST_F(TheveninTest, PowerStepDeliversRequestedPower) {
+  TheveninModel model(&params_, 0.9);
+  const double kPower = 5.0;
+  StepResult r = model.StepWithDischargePower(Watts(kPower), Seconds(1.0),
+                                              params_.nominal_capacity);
+  EXPECT_FALSE(r.limited);
+  EXPECT_NEAR(r.energy_at_terminals.value(), kPower, kPower * 0.02);
+}
+
+TEST_F(TheveninTest, PowerStepRespectsMaxPowerPoint) {
+  TheveninModel model(&params_, 0.5);
+  double p_max = model.MaxDischargePower().value();
+  StepResult r = model.StepWithDischargePower(Watts(p_max * 10.0), Seconds(1.0),
+                                              params_.nominal_capacity);
+  EXPECT_TRUE(r.limited);
+}
+
+TEST_F(TheveninTest, PowerStepRespectsCurrentLimit) {
+  TheveninModel model(&params_, 1.0);
+  // Ask for enormous power: clamps to max discharge current (2C = 6 A).
+  StepResult r = model.StepWithDischargePower(Watts(500.0), Seconds(1.0),
+                                              params_.nominal_capacity);
+  EXPECT_TRUE(r.limited);
+  EXPECT_LE(r.current.value(), params_.max_discharge_current.value() + 1e-9);
+}
+
+TEST_F(TheveninTest, ChargePowerStepAbsorbsPower) {
+  TheveninModel model(&params_, 0.3);
+  StepResult r = model.StepWithChargePower(Watts(5.0), Seconds(1.0), params_.nominal_capacity);
+  EXPECT_LT(r.current.value(), 0.0);
+  EXPECT_LT(r.energy_at_terminals.value(), 0.0);
+  EXPECT_NEAR(-r.energy_at_terminals.value(), 5.0, 5.0 * 0.02);
+}
+
+TEST_F(TheveninTest, RcBranchConvergesToSteadyState) {
+  TheveninModel model(&params_, 0.9);
+  double i = 1.0;
+  // Integrate many time constants at constant current.
+  for (int k = 0; k < 200; ++k) {
+    model.StepWithCurrent(Amps(i), Seconds(5.0), params_.nominal_capacity);
+  }
+  EXPECT_NEAR(model.rc_voltage().value(), i * params_.concentration_resistance.value(),
+              1e-3 * params_.concentration_resistance.value() * i + 1e-9);
+}
+
+TEST_F(TheveninTest, ResistanceScaleInflatesDcir) {
+  TheveninModel model(&params_, 0.5);
+  double fresh = model.InternalResistance().value();
+  model.set_resistance_scale(1.5);
+  EXPECT_NEAR(model.InternalResistance().value(), 1.5 * fresh, 1e-12);
+}
+
+TEST_F(TheveninTest, MaxDischargePowerMatchesFormula) {
+  TheveninModel model(&params_, 0.7);
+  double e = model.OpenCircuitVoltage().value();
+  double r = model.InternalResistance().value();
+  EXPECT_NEAR(model.MaxDischargePower().value(), e * e / (4.0 * r), 1e-9);
+}
+
+// Property: many small steps == a few large steps for SoC bookkeeping.
+TEST_F(TheveninTest, SocIntegrationIsStepSizeInvariant) {
+  TheveninModel fine(&params_, 1.0);
+  TheveninModel coarse(&params_, 1.0);
+  for (int k = 0; k < 600; ++k) {
+    fine.StepWithCurrent(Amps(1.0), Seconds(1.0), params_.nominal_capacity);
+  }
+  coarse.StepWithCurrent(Amps(1.0), Minutes(10.0), params_.nominal_capacity);
+  EXPECT_NEAR(fine.soc(), coarse.soc(), 1e-9);
+}
+
+// Parameterised sweep: the load quadratic holds across power levels.
+class TheveninPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TheveninPowerSweep, DeliveredPowerTracksRequest) {
+  BatteryParams params = MakeType2Standard(MilliAmpHours(3000.0));
+  TheveninModel model(&params, 0.95);
+  double p = GetParam();
+  StepResult r = model.StepWithDischargePower(Watts(p), Seconds(1.0), params.nominal_capacity);
+  EXPECT_NEAR(r.energy_at_terminals.value(), p, p * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerLevels, TheveninPowerSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,106 @@
+// Randomised property tests for the Lagrangian allocator: for arbitrary
+// resistance/growth/cap vectors and targets, the invariants that every
+// policy depends on must hold.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/allocator.h"
+#include "src/util/rng.h"
+
+namespace sdb {
+namespace {
+
+TEST(AllocatorFuzzTest, InvariantsHoldAcrossRandomProblems) {
+  Rng rng(424242);
+  for (int episode = 0; episode < 500; ++episode) {
+    MarginalCostProblem problem;
+    size_t n = 1 + rng.NextBounded(6);
+    double cap_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      problem.resistance_ohm.push_back(rng.Uniform(0.005, 2.0));
+      problem.dcir_growth_per_c.push_back(rng.Bernoulli(0.5) ? rng.Uniform(0.0, 1e-3) : 0.0);
+      double cap = rng.Bernoulli(0.1) ? 0.0 : rng.Uniform(0.1, 12.0);
+      problem.current_cap_a.push_back(cap);
+      cap_sum += cap;
+    }
+    problem.total_current_a = rng.Uniform(0.0, cap_sum * 1.5 + 0.5);
+    problem.horizon_s = rng.Uniform(0.0, 3600.0);
+
+    std::vector<double> y = SolveMarginalCostAllocation(problem);
+    ASSERT_EQ(y.size(), n);
+
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      // Non-negative and within caps.
+      EXPECT_GE(y[i], -1e-12) << "episode " << episode;
+      EXPECT_LE(y[i], problem.current_cap_a[i] + 1e-9) << "episode " << episode;
+      if (problem.current_cap_a[i] <= 0.0) {
+        EXPECT_DOUBLE_EQ(y[i], 0.0) << "episode " << episode;
+      }
+      sum += y[i];
+    }
+    // Sum equals min(target, total capability).
+    double expected = std::min(problem.total_current_a, cap_sum);
+    EXPECT_NEAR(sum, expected, std::max(1e-6, expected * 1e-4)) << "episode " << episode;
+  }
+}
+
+TEST(AllocatorFuzzTest, MarginalCostsEqualisedAmongInteriorBatteries) {
+  Rng rng(77777);
+  for (int episode = 0; episode < 200; ++episode) {
+    MarginalCostProblem problem;
+    size_t n = 2 + rng.NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      problem.resistance_ohm.push_back(rng.Uniform(0.01, 0.5));
+      problem.dcir_growth_per_c.push_back(rng.Uniform(0.0, 5e-4));
+      problem.current_cap_a.push_back(rng.Uniform(2.0, 10.0));
+    }
+    problem.horizon_s = 600.0;
+    // Keep the target low enough that several batteries stay interior.
+    problem.total_current_a = rng.Uniform(0.5, 2.0);
+
+    std::vector<double> y = SolveMarginalCostAllocation(problem);
+    auto marginal = [&](size_t i) {
+      double hg3 = 3.0 * problem.horizon_s * problem.dcir_growth_per_c[i];
+      return 2.0 * problem.resistance_ohm[i] * y[i] + hg3 * y[i] * y[i];
+    };
+    // Collect marginal costs of interior (uncapped, active) batteries.
+    std::vector<double> interior;
+    for (size_t i = 0; i < n; ++i) {
+      if (y[i] > 1e-9 && y[i] < problem.current_cap_a[i] - 1e-6) {
+        interior.push_back(marginal(i));
+      }
+    }
+    if (interior.size() >= 2) {
+      double lo = *std::min_element(interior.begin(), interior.end());
+      double hi = *std::max_element(interior.begin(), interior.end());
+      EXPECT_NEAR(hi, lo, std::max(1e-6, hi * 5e-3)) << "episode " << episode;
+    }
+  }
+}
+
+TEST(AllocatorFuzzTest, MonotoneInTarget) {
+  // Raising the target never lowers any battery's allocation.
+  Rng rng(31337);
+  for (int episode = 0; episode < 100; ++episode) {
+    MarginalCostProblem problem;
+    size_t n = 2 + rng.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      problem.resistance_ohm.push_back(rng.Uniform(0.01, 0.5));
+      problem.dcir_growth_per_c.push_back(rng.Uniform(0.0, 2e-4));
+      problem.current_cap_a.push_back(rng.Uniform(1.0, 8.0));
+    }
+    problem.horizon_s = 600.0;
+    problem.total_current_a = rng.Uniform(0.2, 3.0);
+    std::vector<double> y_low = SolveMarginalCostAllocation(problem);
+    problem.total_current_a *= rng.Uniform(1.1, 2.0);
+    std::vector<double> y_high = SolveMarginalCostAllocation(problem);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(y_high[i], y_low[i] - 1e-6) << "episode " << episode << " battery " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdb

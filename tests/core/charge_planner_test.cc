@@ -1,0 +1,111 @@
+#include "src/core/charge_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+class ChargePlannerTest : public ::testing::Test {
+ protected:
+  ChargePlannerTest()
+      : fast_(MakeFastChargeTablet(MilliAmpHours(4000.0))),
+        he_(MakeHighEnergyTablet(MilliAmpHours(4000.0))) {}
+
+  BatteryParams fast_;
+  BatteryParams he_;
+};
+
+TEST_F(ChargePlannerTest, ValidatesInput) {
+  EXPECT_FALSE(PlanCharge({}, Hours(1.0)).ok());
+  EXPECT_FALSE(PlanCharge({{&fast_, 0.5, 1.0}}, Seconds(0.0)).ok());
+  EXPECT_FALSE(PlanCharge({{nullptr, 0.5, 1.0}}, Hours(1.0)).ok());
+  EXPECT_FALSE(PlanCharge({{&fast_, 0.9, 0.5}}, Hours(1.0)).ok());  // Target below current.
+}
+
+TEST_F(ChargePlannerTest, GenerousDeadlineUsesGentlestRates) {
+  // 0.075C needs ~12.3 h for an 80% top-up incl. the CV tail; 16 h of slack
+  // keeps the planner on the bottom rung.
+  auto plan = PlanCharge({{&he_, 0.2, 1.0}}, Hours(16.0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->meets_deadline);
+  // Gentlest rung: 15% of the 0.5C max -> 0.075C.
+  EXPECT_NEAR(plan->entries[0].c_rate, 0.5 * 0.15, 1e-9);
+}
+
+TEST_F(ChargePlannerTest, TightDeadlineEscalates) {
+  auto gentle = PlanCharge({{&he_, 0.2, 1.0}}, Hours(12.0));
+  auto rushed = PlanCharge({{&he_, 0.2, 1.0}}, Hours(2.0));
+  ASSERT_TRUE(gentle.ok());
+  ASSERT_TRUE(rushed.ok());
+  EXPECT_GT(rushed->entries[0].c_rate, gentle->entries[0].c_rate);
+  EXPECT_TRUE(rushed->meets_deadline);
+  // And the rush costs wear.
+  EXPECT_GT(rushed->entries[0].predicted_fade, gentle->entries[0].predicted_fade);
+}
+
+TEST_F(ChargePlannerTest, ImpossibleDeadlineFlagsButStillPlans) {
+  auto plan = PlanCharge({{&he_, 0.0, 1.0}}, Minutes(10.0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->meets_deadline);
+  // Flat out: the top rung of the ladder.
+  EXPECT_NEAR(plan->entries[0].c_rate, 0.5, 1e-9);
+}
+
+TEST_F(ChargePlannerTest, FastBatteryAbsorbsTheRush) {
+  // Both need 80%; a 45-minute deadline is trivial for the 3C cell and
+  // impossible to meet gently for the 0.5C cell.
+  auto plan = PlanCharge({{&fast_, 0.2, 1.0}, {&he_, 0.2, 1.0}}, Minutes(45.0));
+  ASSERT_TRUE(plan.ok());
+  // The fast cell can stay at a relatively low fraction of its (huge) max;
+  // the HE cell must run flat out and still be the bottleneck.
+  EXPECT_GT(plan->entries[1].c_rate, plan->entries[0].c_rate / 3.0);
+  EXPECT_GE(plan->completion.value(), plan->entries[1].time_to_target.value());
+}
+
+TEST_F(ChargePlannerTest, AlreadyChargedNeedsNothing) {
+  auto plan = PlanCharge({{&he_, 1.0, 1.0}}, Hours(1.0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->meets_deadline);
+  EXPECT_DOUBLE_EQ(plan->entries[0].time_to_target.value(), 0.0);
+  EXPECT_DOUBLE_EQ(plan->entries[0].predicted_fade, 0.0);
+}
+
+TEST_F(ChargePlannerTest, CompletionIsMaxOverBatteries) {
+  auto plan = PlanCharge({{&fast_, 0.0, 1.0}, {&he_, 0.9, 1.0}}, Hours(3.0));
+  ASSERT_TRUE(plan.ok());
+  double t0 = plan->entries[0].time_to_target.value();
+  double t1 = plan->entries[1].time_to_target.value();
+  EXPECT_DOUBLE_EQ(plan->completion.value(), std::max(t0, t1));
+}
+
+TEST_F(ChargePlannerTest, PeakSupplyIsPositiveAndScalesWithRates) {
+  auto gentle = PlanCharge({{&he_, 0.1, 1.0}}, Hours(12.0));
+  auto rushed = PlanCharge({{&he_, 0.1, 1.0}}, Hours(2.0));
+  ASSERT_TRUE(gentle.ok());
+  ASSERT_TRUE(rushed.ok());
+  EXPECT_GT(gentle->peak_supply.value(), 0.0);
+  EXPECT_GT(rushed->peak_supply.value(), gentle->peak_supply.value());
+}
+
+TEST(PredictedFadeTest, MonotoneInRateAndDose) {
+  BatteryParams p = MakeType2Standard(MilliAmpHours(3000.0));
+  EXPECT_LT(PredictedFadeForCharge(p, 0.8, 0.2), PredictedFadeForCharge(p, 0.8, 0.7));
+  EXPECT_LT(PredictedFadeForCharge(p, 0.4, 0.5), PredictedFadeForCharge(p, 0.8, 0.5));
+  EXPECT_DOUBLE_EQ(PredictedFadeForCharge(p, 0.0, 0.5), 0.0);
+}
+
+TEST(PredictedFadeTest, MatchesAgingModelPerCycle) {
+  // One full 80% charge at 0.5C must predict the same fade the aging model
+  // applies for one cycle at that current.
+  BatteryParams p = MakeType2Standard(MilliAmpHours(3000.0));
+  double predicted = PredictedFadeForCharge(p, 0.8, 0.5);
+  double i = p.CRate(0.5).value();
+  double ratio = i / p.fade_reference_current.value();
+  double per_cycle = p.base_fade_per_cycle * (1.0 + p.fade_current_stress * ratio * ratio);
+  EXPECT_NEAR(predicted, per_cycle, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/core/optimizer.h"
+
+namespace sdb {
+namespace {
+
+class Optimizer3Test : public ::testing::Test {
+ protected:
+  Optimizer3Test()
+      : fast_(MakeFastChargeTablet(MilliAmpHours(2000.0))),
+        he_(MakeHighEnergyTablet(MilliAmpHours(3000.0))),
+        power_(MakeType1PowerCell(MilliAmpHours(1000.0))) {
+    config_.soc_grid = 15;
+    config_.share_grid = 5;
+    config_.step = Minutes(10.0);
+  }
+
+  BatteryParams fast_;
+  BatteryParams he_;
+  BatteryParams power_;
+  Plan3Config config_;
+};
+
+TEST_F(Optimizer3Test, EmptyTraceTriviallyServed) {
+  Plan3Result plan = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 1.0},
+                                           PowerTrace(), config_);
+  EXPECT_TRUE(plan.full_trace_served);
+}
+
+TEST_F(Optimizer3Test, LightLoadFullyServedWithValidShares) {
+  PowerTrace load = PowerTrace::Constant(Watts(4.0), Hours(3.0));
+  Plan3Result plan = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 1.0}, load,
+                                           config_);
+  EXPECT_TRUE(plan.full_trace_served);
+  ASSERT_EQ(plan.share_a_schedule.size(), 18u);
+  for (size_t t = 0; t < plan.share_a_schedule.size(); ++t) {
+    double a = plan.share_a_schedule[t];
+    double b = plan.share_b_schedule[t];
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(a + b, 1.0 + 1e-9);
+  }
+  EXPECT_GT(plan.predicted_loss.value(), 0.0);
+}
+
+TEST_F(Optimizer3Test, ImpossibleLoadServesNothing) {
+  PowerTrace load = PowerTrace::Constant(Watts(5000.0), Hours(1.0));
+  Plan3Result plan = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 1.0}, load,
+                                           config_);
+  EXPECT_FALSE(plan.full_trace_served);
+  EXPECT_DOUBLE_EQ(plan.serviced.value(), 0.0);
+}
+
+TEST_F(Optimizer3Test, ThreeBatteriesOutlastTwoOnHeavyLoad) {
+  // The third battery adds real serviceable energy: with it drained from the
+  // start (soc 0) the plan must not do better than with it full.
+  PowerTrace load = PowerTrace::Constant(Watts(25.0), Hours(3.0));
+  Plan3Result with_c = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 1.0}, load,
+                                             config_);
+  Plan3Result without_c = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 0.0},
+                                                load, config_);
+  EXPECT_GE(with_c.serviced.value(), without_c.serviced.value());
+  EXPECT_GT(with_c.serviced.value(), 0.0);
+}
+
+TEST_F(Optimizer3Test, DegeneratesToTwoBatteryPlan) {
+  // With the third battery empty, the 3-battery planner should match the
+  // 2-battery planner's serviced time (same model, same grid axes).
+  PowerTrace load = PowerTrace::Constant(Watts(18.0), Hours(4.0));
+  Plan3Result three = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 0.0}, load,
+                                            config_);
+  PlanConfig config2;
+  config2.soc_grid = 15;
+  config2.action_grid = 5;
+  config2.step = Minutes(10.0);
+  PlanResult two = PlanOptimalDischarge({&fast_, 1.0}, {&he_, 1.0}, load, config2);
+  EXPECT_NEAR(three.serviced.value(), two.serviced.value(), config_.step.value() + 1e-9);
+}
+
+TEST_F(Optimizer3Test, ReservesThePowerCellForTheSpike) {
+  // Light cruise then a spike only feasible with the power cell's help: the
+  // plan must not waste the small power cell on the cruise.
+  PowerTrace load;
+  load.Append(Hours(2.0), Watts(4.0));
+  load.Append(Minutes(10.0), Watts(50.0));
+  Plan3Result plan = PlanOptimalDischarge3({&fast_, 1.0}, {&he_, 1.0}, {&power_, 1.0}, load,
+                                           config_);
+  EXPECT_TRUE(plan.full_trace_served);
+  // During the first two hours the power cell's share stays small.
+  double cruise_share_c = 0.0;
+  int cruise_steps = 12;  // 2 h at 10-minute steps.
+  for (int t = 0; t < cruise_steps; ++t) {
+    cruise_share_c += 1.0 - plan.share_a_schedule[t] - plan.share_b_schedule[t];
+  }
+  EXPECT_LT(cruise_share_c / cruise_steps, 0.3);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,244 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/blended_policy.h"
+#include "src/core/ccb_policy.h"
+#include "src/core/metrics.h"
+#include "src/core/rbl_policy.h"
+#include "src/core/workload_aware.h"
+#include "tests/core/test_views.h"
+
+namespace sdb {
+namespace {
+
+using testing_views::MakeView;
+
+double Sum(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+// ---------- RBL-Discharge ----------
+
+TEST(RblDischargeTest, SharesSumToOne) {
+  RblDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 1.0, 0.09)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_NEAR(Sum(d), 1.0, 1e-9);
+}
+
+TEST(RblDischargeTest, FavoursLowResistanceBattery) {
+  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon_s = 0.0});
+  BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 1.0, 0.09)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_GT(d[0], d[1]);
+  // With delta = 0, current ratio ~ R1/R0 = 3 (power shares similar since
+  // OCVs match).
+  EXPECT_NEAR(d[0] / d[1], 3.0, 0.3);
+}
+
+TEST(RblDischargeTest, EmptyBatteryExcluded) {
+  RblDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.0, 0.03), MakeView(1, 0.8, 0.09)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_NEAR(d[1], 1.0, 1e-9);
+}
+
+TEST(RblDischargeTest, AllEmptyGivesZeros) {
+  RblDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.0, 0.03), MakeView(1, 0.0, 0.09)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_DOUBLE_EQ(Sum(d), 0.0);
+}
+
+TEST(RblDischargeTest, MinimisesInstantaneousLossAmongSplits) {
+  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon_s = 0.0});
+  BatteryViews views = {MakeView(0, 0.9, 0.05), MakeView(1, 0.9, 0.12)};
+  auto d = policy.Allocate(views, Watts(6.0));
+  double policy_loss = InstantaneousLossW(views, d, Watts(6.0));
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    double l = InstantaneousLossW(views, {s, 1.0 - s}, Watts(6.0));
+    EXPECT_LE(policy_loss, l + 1e-9) << "beaten at s=" << s;
+  }
+}
+
+TEST(RblDischargeTest, DeltaCorrectionShiftsLoadToStableBattery) {
+  // Battery 0's DCIR climbs steeply as it drains; with the delta term on,
+  // it carries less than the pure instantaneous optimum would give it.
+  BatteryViews views = {MakeView(0, 0.3, 0.05), MakeView(1, 0.3, 0.05)};
+  views[0].dcir_slope = -2.0;  // Steep growth toward empty.
+  views[1].dcir_slope = -0.01;
+  RblDischargePolicy instant(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy horizon(RblPolicyConfig{.delta_horizon_s = 3600.0});
+  auto d_instant = instant.Allocate(views, Watts(4.0));
+  auto d_horizon = horizon.Allocate(views, Watts(4.0));
+  EXPECT_LT(d_horizon[0], d_instant[0]);
+}
+
+TEST(RblDischargeTest, ZeroLoadStillYieldsProportions) {
+  RblDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 1.0, 0.09)};
+  auto d = policy.Allocate(views, Watts(0.0));
+  EXPECT_NEAR(Sum(d), 1.0, 1e-9);
+}
+
+// ---------- RBL-Charge ----------
+
+TEST(RblChargeTest, SharesSumToOneAndRespectAcceptance) {
+  RblChargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.2, 0.03), MakeView(1, 0.2, 0.09)};
+  views[0].max_charge_a = 12.0;  // Fast-charge battery.
+  views[1].max_charge_a = 2.8;
+  auto c = policy.Allocate(views, Watts(40.0));
+  EXPECT_NEAR(Sum(c), 1.0, 1e-9);
+  EXPECT_GT(c[0], c[1]);
+}
+
+TEST(RblChargeTest, FullBatteryExcluded) {
+  RblChargePolicy policy;
+  BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 0.3, 0.09)};
+  auto c = policy.Allocate(views, Watts(20.0));
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_NEAR(c[1], 1.0, 1e-9);
+}
+
+// ---------- CCB ----------
+
+TEST(CcbDischargeTest, BalancedWearSplitsEvenly) {
+  CcbDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.8, 0.05, 0.3), MakeView(1, 0.8, 0.05, 0.3)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_NEAR(d[0], 0.5, 1e-9);
+  EXPECT_NEAR(d[1], 0.5, 1e-9);
+}
+
+TEST(CcbDischargeTest, LessWornBatteryCarriesMore) {
+  CcbDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.8, 0.05, 0.5), MakeView(1, 0.8, 0.05, 0.1)};
+  auto d = policy.Allocate(views, Watts(5.0));
+  EXPECT_GT(d[1], d[0]);
+}
+
+TEST(CcbChargeTest, LessWornBatteryChargesMore) {
+  CcbChargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.5, 0.05, 0.6), MakeView(1, 0.5, 0.05, 0.2)};
+  auto c = policy.Allocate(views, Watts(10.0));
+  EXPECT_GT(c[1], c[0]);
+  EXPECT_NEAR(Sum(c), 1.0, 1e-9);
+}
+
+TEST(CcbChargeTest, FullBatteryIneligible) {
+  CcbChargePolicy policy;
+  BatteryViews views = {MakeView(0, 1.0, 0.05, 0.0), MakeView(1, 0.5, 0.05, 0.9)};
+  auto c = policy.Allocate(views, Watts(10.0));
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_NEAR(c[1], 1.0, 1e-9);
+}
+
+TEST(CcbConvergenceTest, RepeatedAllocationBalancesWear) {
+  // Simulate wear dynamics: each round adds wear proportional to the share.
+  CcbDischargePolicy policy;
+  BatteryViews views = {MakeView(0, 0.8, 0.05, 0.40), MakeView(1, 0.8, 0.05, 0.10)};
+  for (int round = 0; round < 300; ++round) {
+    auto d = policy.Allocate(views, Watts(5.0));
+    views[0].wear_ratio += 0.002 * d[0];
+    views[1].wear_ratio += 0.002 * d[1];
+  }
+  EXPECT_LT(ComputeCcb(views), 1.4);  // Started at 4.0.
+}
+
+// ---------- Blending ----------
+
+TEST(BlendTest, WeightOneIsPureA) {
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  CcbDischargePolicy ccb;
+  BlendedDischargePolicy blend(&rbl, &ccb, 1.0);
+  BatteryViews views = {MakeView(0, 1.0, 0.03, 0.5), MakeView(1, 1.0, 0.09, 0.0)};
+  auto d = blend.Allocate(views, Watts(5.0));
+  auto d_rbl = rbl.Allocate(views, Watts(5.0));
+  EXPECT_NEAR(d[0], d_rbl[0], 1e-12);
+}
+
+TEST(BlendTest, WeightZeroIsPureB) {
+  RblDischargePolicy rbl;
+  CcbDischargePolicy ccb;
+  BlendedDischargePolicy blend(&rbl, &ccb, 0.0);
+  BatteryViews views = {MakeView(0, 1.0, 0.03, 0.5), MakeView(1, 1.0, 0.09, 0.0)};
+  auto d = blend.Allocate(views, Watts(5.0));
+  auto d_ccb = ccb.Allocate(views, Watts(5.0));
+  EXPECT_NEAR(d[0], d_ccb[0], 1e-12);
+}
+
+TEST(BlendTest, MidWeightInterpolates) {
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  CcbDischargePolicy ccb;
+  BlendedDischargePolicy blend(&rbl, &ccb, 0.5);
+  BatteryViews views = {MakeView(0, 1.0, 0.03, 0.5), MakeView(1, 1.0, 0.09, 0.0)};
+  auto d = blend.Allocate(views, Watts(5.0));
+  auto a = rbl.Allocate(views, Watts(5.0));
+  auto b = ccb.Allocate(views, Watts(5.0));
+  EXPECT_GT(d[0], std::min(a[0], b[0]) - 1e-12);
+  EXPECT_LT(d[0], std::max(a[0], b[0]) + 1e-12);
+  EXPECT_NEAR(Sum(d), 1.0, 1e-9);
+}
+
+TEST(BlendSharesTest, Renormalises) {
+  auto out = BlendShares({0.8, 0.2}, {0.2, 0.8}, 0.5);
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+// ---------- Reserve (workload-aware) ----------
+
+TEST(ReserveTest, NoHintDefersToFallback) {
+  RblDischargePolicy rbl;
+  ReserveDischargePolicy reserve(&rbl);
+  BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 1.0, 0.30)};
+  auto d = reserve.Allocate(views, Watts(2.0));
+  auto d_rbl = rbl.Allocate(views, Watts(2.0));
+  EXPECT_NEAR(d[0], d_rbl[0], 1e-12);
+}
+
+TEST(ReserveTest, ReservesTheEfficientCapableBattery) {
+  RblDischargePolicy rbl;
+  ReserveDischargePolicy reserve(&rbl);
+  // Battery 0 is efficient (low R); battery 1 is lossy. An upcoming 5 W
+  // workload should reserve battery 0.
+  BatteryViews views = {MakeView(0, 0.4, 0.03), MakeView(1, 0.9, 0.30)};
+  reserve.SetHint(WorkloadHint{Hours(2.0), Watts(5.0), Hours(1.0)});
+  EXPECT_EQ(reserve.ReservedIndex(views, Watts(1.0)), 0);
+  auto d = reserve.Allocate(views, Watts(1.0));
+  // Load shifts to the lossy battery to preserve the efficient one.
+  EXPECT_LT(d[0], 0.1);
+  EXPECT_GT(d[1], 0.9);
+}
+
+TEST(ReserveTest, NoCapableBatteryMeansNoReservation) {
+  RblDischargePolicy rbl;
+  ReserveDischargePolicy reserve(&rbl);
+  BatteryViews views = {MakeView(0, 0.5, 0.03), MakeView(1, 0.5, 0.30)};
+  reserve.SetHint(WorkloadHint{Hours(1.0), Watts(500.0), Hours(1.0)});
+  EXPECT_EQ(reserve.ReservedIndex(views, Watts(1.0)), -1);
+}
+
+TEST(ReserveTest, AmpleEnergyMeansNoDistortion) {
+  RblDischargePolicy rbl;
+  ReserveDischargePolicy reserve(&rbl);
+  // Battery 0 holds far more energy than the hinted workload needs.
+  BatteryViews views = {MakeView(0, 1.0, 0.03, 0.0, 20000.0), MakeView(1, 1.0, 0.30)};
+  reserve.SetHint(WorkloadHint{Hours(2.0), Watts(1.0), Minutes(10.0)});
+  auto d = reserve.Allocate(views, Watts(1.0));
+  auto d_rbl = rbl.Allocate(views, Watts(1.0));
+  EXPECT_NEAR(d[0], d_rbl[0], 1e-9);
+}
+
+TEST(ReserveTest, FallsBackWhenOthersCannotCarry) {
+  RblDischargePolicy rbl;
+  ReserveDischargePolicy reserve(&rbl);
+  BatteryViews views = {MakeView(0, 0.4, 0.03), MakeView(1, 0.0, 0.30)};  // Other is empty.
+  reserve.SetHint(WorkloadHint{Hours(1.0), Watts(5.0), Hours(1.0)});
+  auto d = reserve.Allocate(views, Watts(1.0));
+  EXPECT_NEAR(d[0], 1.0, 1e-9);  // Must still serve the load.
+}
+
+}  // namespace
+}  // namespace sdb

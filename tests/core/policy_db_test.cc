@@ -1,0 +1,52 @@
+#include "src/core/policy_db.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(PolicyDbTest, RegisterAndLookup) {
+  PolicyDatabase db;
+  db.Register("gaming", {.charging = 0.6, .discharging = 0.9});
+  ASSERT_TRUE(db.Contains("gaming"));
+  auto params = db.Lookup("gaming");
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(params->charging, 0.6);
+  EXPECT_DOUBLE_EQ(params->discharging, 0.9);
+}
+
+TEST(PolicyDbTest, LookupMissReturnsNotFound) {
+  PolicyDatabase db;
+  EXPECT_EQ(db.Lookup("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(db.Contains("nope"));
+}
+
+TEST(PolicyDbTest, RegisterReplaces) {
+  PolicyDatabase db;
+  db.Register("x", {.charging = 0.1, .discharging = 0.1});
+  db.Register("x", {.charging = 0.9, .discharging = 0.9});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.Lookup("x")->charging, 0.9);
+}
+
+TEST(PolicyDbTest, ParametersClampedOnRegister) {
+  PolicyDatabase db;
+  db.Register("wild", {.charging = 7.0, .discharging = -3.0});
+  auto params = db.Lookup("wild");
+  EXPECT_DOUBLE_EQ(params->charging, 1.0);
+  EXPECT_DOUBLE_EQ(params->discharging, 0.0);
+}
+
+TEST(PolicyDbTest, DefaultDatabaseHasPaperSituations) {
+  PolicyDatabase db = MakeDefaultPolicyDatabase();
+  for (const char* situation :
+       {"overnight", "preflight", "interactive", "low-battery", "performance"}) {
+    EXPECT_TRUE(db.Contains(situation)) << situation;
+  }
+  // Overnight charging protects longevity; preflight charges flat out (§7).
+  EXPECT_LT(db.Lookup("overnight")->charging, 0.2);
+  EXPECT_DOUBLE_EQ(db.Lookup("preflight")->charging, 1.0);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,177 @@
+#include "src/core/runtime.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/core/mpc_policy.h"
+#include "src/emu/simulator.h"
+
+namespace sdb {
+namespace {
+
+SdbMicrocontroller MakeMicro(double soc0 = 1.0, double soc1 = 1.0) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), soc0);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), soc1);
+  return MakeDefaultMicrocontroller(std::move(cells), 17);
+}
+
+TEST(RuntimeTest, UpdateProgramsRatios) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  double sum = std::accumulate(runtime.last_discharge_ratios().begin(),
+                               runtime.last_discharge_ratios().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(micro.discharge_ratios(), runtime.last_discharge_ratios());
+}
+
+TEST(RuntimeTest, ViewsReflectGaugeState) {
+  SdbMicrocontroller micro = MakeMicro(0.7, 0.4);
+  SdbRuntime runtime(&micro);
+  BatteryViews views = runtime.BuildViews();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_NEAR(views[0].soc, 0.7, 0.02);
+  EXPECT_NEAR(views[1].soc, 0.4, 0.02);
+  EXPECT_GT(views[0].ocv_v, 3.0);
+  EXPECT_GT(views[0].dcir_ohm, 0.0);
+  EXPECT_GT(views[0].max_discharge_a, 0.0);
+}
+
+TEST(RuntimeTest, ChargeAcceptanceTapersAboveEighty) {
+  SdbMicrocontroller micro = MakeMicro(0.9, 0.5);
+  SdbRuntime runtime(&micro);
+  BatteryViews views = runtime.BuildViews();
+  EXPECT_LT(views[0].max_charge_a, micro.pack().cell(0).params().max_charge_current.value());
+  EXPECT_NEAR(views[1].max_charge_a, micro.pack().cell(1).params().max_charge_current.value(),
+              1e-6);
+}
+
+TEST(RuntimeTest, DirectivesSteerTheBlend) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);  // Pure RBL.
+  ASSERT_TRUE(runtime.Update(Watts(6.0), Watts(0.0)).ok());
+  auto rbl_ratios = runtime.last_discharge_ratios();
+
+  runtime.SetDischargingDirective(0.0);  // Pure CCB (balanced wear -> even).
+  ASSERT_TRUE(runtime.Update(Watts(6.0), Watts(0.0)).ok());
+  auto ccb_ratios = runtime.last_discharge_ratios();
+
+  EXPECT_NEAR(ccb_ratios[0], 0.5, 1e-6);
+  // RBL favours the lower-resistance fast-charge battery.
+  EXPECT_GT(rbl_ratios[0], 0.55);
+}
+
+TEST(RuntimeTest, DirectivesClampToUnitInterval) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  runtime.SetDirectives({.charging = 5.0, .discharging = -2.0});
+  EXPECT_DOUBLE_EQ(runtime.directives().charging, 1.0);
+  EXPECT_DOUBLE_EQ(runtime.directives().discharging, 0.0);
+}
+
+TEST(RuntimeTest, MetricsExposedAfterUpdate) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_GE(runtime.LastCcb(), 1.0);
+  EXPECT_GT(runtime.LastRbl().value(), 0.0);
+}
+
+TEST(RuntimeTest, WorkloadHintCountsDown) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  runtime.SetWorkloadHint(WorkloadHint{Hours(1.0), Watts(5.0), Minutes(30.0)});
+  runtime.AdvanceTime(Minutes(30.0));
+  ASSERT_TRUE(runtime.workload_hint().has_value());
+  EXPECT_NEAR(ToHours(runtime.workload_hint()->time_until), 0.5, 1e-9);
+  // After the whole window passes the hint clears.
+  runtime.AdvanceTime(Hours(1.01));
+  EXPECT_FALSE(runtime.workload_hint().has_value());
+}
+
+TEST(RuntimeTest, HintShiftsDischargeAwayFromReservedBattery) {
+  std::vector<Cell> cells;
+  // Battery 0: efficient watch Li-ion; battery 1: lossy bendable.
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 0.6);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 0.9);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 3);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+
+  ASSERT_TRUE(runtime.Update(Watts(0.05), Watts(0.0)).ok());
+  double share_before = runtime.last_discharge_ratios()[0];
+
+  runtime.SetWorkloadHint(WorkloadHint{Hours(3.0), Watts(0.8), Hours(1.0)});
+  ASSERT_TRUE(runtime.Update(Watts(0.05), Watts(0.0)).ok());
+  double share_after = runtime.last_discharge_ratios()[0];
+  EXPECT_LT(share_after, share_before);
+}
+
+TEST(RuntimeTest, TransferPassthrough) {
+  SdbMicrocontroller micro = MakeMicro(1.0, 0.3);
+  SdbRuntime runtime(&micro);
+  ASSERT_TRUE(runtime.RequestTransfer(0, 1, Watts(5.0), Minutes(1.0)).ok());
+  EXPECT_TRUE(micro.transfer_active());
+}
+
+TEST(RuntimeTest, ChargeRatiosFavourAcceptance) {
+  SdbMicrocontroller micro = MakeMicro(0.2, 0.2);
+  SdbRuntime runtime(&micro);
+  runtime.SetChargingDirective(1.0);  // RBL-Charge.
+  ASSERT_TRUE(runtime.Update(Watts(0.0), Watts(40.0)).ok());
+  // The 3C fast-charge battery takes the bigger slice.
+  EXPECT_GT(runtime.last_charge_ratios()[0], runtime.last_charge_ratios()[1]);
+}
+
+TEST(RuntimeOverrideTest, OverridePolicyDrivesTheRatios) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  // A trivial fixed-split policy.
+  class FixedPolicy final : public DischargePolicy {
+   public:
+    std::vector<double> Allocate(const BatteryViews& views, Power) override {
+      (void)views;
+      return std::vector<double>{0.9, 0.1};
+    }
+    std::string_view name() const override { return "fixed"; }
+  } fixed;
+  runtime.OverrideDischargePolicy(&fixed);
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_NEAR(runtime.last_discharge_ratios()[0], 0.9, 1e-9);
+  // Detaching restores the built-in scheduling.
+  runtime.OverrideDischargePolicy(nullptr);
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_LT(runtime.last_discharge_ratios()[0], 0.9);
+}
+
+TEST(RuntimeOverrideTest, MpcRunsInsideTheSimulator) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 19);
+  SdbRuntime runtime(&micro);
+  const BatteryParams* a = &micro.pack().cell(0).params();
+  const BatteryParams* b = &micro.pack().cell(1).params();
+  MpcConfig config;
+  config.horizon = Hours(1.0);
+  config.plan.soc_grid = 21;
+  MpcDischargePolicy mpc(a, b,
+                         [](Duration, Duration horizon) {
+                           return PowerTrace::Constant(Watts(0.1), horizon);
+                         },
+                         config);
+  runtime.OverrideDischargePolicy(&mpc, [&mpc](Duration dt) { mpc.Advance(dt); });
+
+  Simulator sim(&runtime, SimConfig{.tick = Seconds(10.0), .runtime_period = Minutes(5.0)});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(0.1), Hours(2.0)));
+  EXPECT_FALSE(result.first_shortfall.has_value());
+  EXPECT_GT(mpc.replans(), 10);  // The advance hook kept the clock moving.
+  EXPECT_NEAR(ToHours(mpc.elapsed()), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sdb

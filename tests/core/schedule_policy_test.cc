@@ -1,0 +1,72 @@
+#include "src/core/schedule_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rbl_policy.h"
+#include "tests/core/test_views.h"
+
+namespace sdb {
+namespace {
+
+using testing_views::MakeView;
+
+PlanResult MakePlan(std::vector<double> shares, double step_s = 60.0) {
+  PlanResult plan;
+  plan.share_schedule = std::move(shares);
+  plan.step = Seconds(step_s);
+  plan.serviced = Seconds(step_s * static_cast<double>(plan.share_schedule.size()));
+  plan.predicted_loss = Joules(0.0);
+  plan.full_trace_served = true;
+  return plan;
+}
+
+BatteryViews TwoViews() { return {MakeView(0, 0.8, 0.05), MakeView(1, 0.8, 0.10)}; }
+
+TEST(SchedulePolicyTest, ReplaysSharesByTime) {
+  ScheduleDischargePolicy policy(MakePlan({0.2, 0.7, 1.0}));
+  BatteryViews views = TwoViews();
+  EXPECT_NEAR(policy.Allocate(views, Watts(1.0))[0], 0.2, 1e-12);
+  policy.Advance(Seconds(60.0));
+  EXPECT_NEAR(policy.Allocate(views, Watts(1.0))[0], 0.7, 1e-12);
+  policy.Advance(Seconds(60.0));
+  EXPECT_NEAR(policy.Allocate(views, Watts(1.0))[0], 1.0, 1e-12);
+}
+
+TEST(SchedulePolicyTest, SharesAlwaysSumToOne) {
+  ScheduleDischargePolicy policy(MakePlan({0.3}));
+  auto d = policy.Allocate(TwoViews(), Watts(2.0));
+  EXPECT_NEAR(d[0] + d[1], 1.0, 1e-12);
+}
+
+TEST(SchedulePolicyTest, HoldsLastShareWithoutFallback) {
+  ScheduleDischargePolicy policy(MakePlan({0.25, 0.75}));
+  policy.Advance(Hours(1.0));
+  EXPECT_TRUE(policy.Exhausted());
+  EXPECT_NEAR(policy.Allocate(TwoViews(), Watts(1.0))[0], 0.75, 1e-12);
+}
+
+TEST(SchedulePolicyTest, FallsBackPastTheSchedule) {
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  ScheduleDischargePolicy policy(MakePlan({0.25}), &rbl);
+  BatteryViews views = TwoViews();
+  policy.Advance(Minutes(5.0));
+  auto d = policy.Allocate(views, Watts(2.0));
+  auto expected = rbl.Allocate(views, Watts(2.0));
+  EXPECT_NEAR(d[0], expected[0], 1e-12);
+}
+
+TEST(SchedulePolicyTest, ResetClockRestartsTheSchedule) {
+  ScheduleDischargePolicy policy(MakePlan({0.1, 0.9}));
+  policy.Advance(Seconds(90.0));
+  policy.ResetClock();
+  EXPECT_DOUBLE_EQ(policy.elapsed().value(), 0.0);
+  EXPECT_NEAR(policy.Allocate(TwoViews(), Watts(1.0))[0], 0.1, 1e-12);
+}
+
+TEST(SchedulePolicyTest, EmptyScheduleUsesFallbackOrEvenSplit) {
+  ScheduleDischargePolicy bare(MakePlan({}));
+  EXPECT_NEAR(bare.Allocate(TwoViews(), Watts(1.0))[0], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,82 @@
+#include "src/emu/device.h"
+
+#include <gtest/gtest.h>
+
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+
+namespace sdb {
+namespace {
+
+TEST(DeviceTest, TabletAssemblesFullStack) {
+  auto tablet = MakeTabletDevice(0.8);
+  EXPECT_EQ(tablet->name(), "tablet-2in1");
+  EXPECT_EQ(tablet->micro().battery_count(), 2u);
+  EXPECT_NEAR(tablet->StoredFraction(), 0.8, 1e-6);
+  EXPECT_EQ(tablet->power_manager().current_situation(), "interactive");
+  EXPECT_NEAR(tablet->battery_service().Read().raw_fraction, 0.8, 0.02);
+}
+
+TEST(DeviceTest, DevicePowerScalesAcrossPlatforms) {
+  auto tablet = MakeTabletDevice();
+  auto phone = MakePhoneDevice();
+  auto watch = MakeWatchDevice();
+  // Turbo ceilings order as the silicon does.
+  EXPECT_GT(tablet->cpu().config().protection_limit.value(),
+            phone->cpu().config().protection_limit.value());
+  EXPECT_GT(phone->cpu().config().protection_limit.value(),
+            watch->cpu().config().protection_limit.value());
+  // Pack capacities order the same way.
+  double cap_tablet = tablet->micro().pack().TotalRemainingEnergy().value();
+  double cap_phone = phone->micro().pack().TotalRemainingEnergy().value();
+  double cap_watch = watch->micro().pack().TotalRemainingEnergy().value();
+  EXPECT_GT(cap_tablet, cap_phone);
+  EXPECT_GT(cap_phone, cap_watch);
+}
+
+TEST(DeviceTest, PhoneSurvivesItsDayTrace) {
+  auto phone = MakePhoneDevice(1.0);
+  Simulator sim(&phone->runtime(), SimConfig{.tick = Seconds(5.0)});
+  SimResult result = sim.Run(MakePhoneDayTrace());
+  EXPECT_FALSE(result.first_shortfall.has_value());
+  EXPECT_GT(phone->StoredFraction(), 0.1);
+  EXPECT_LT(phone->StoredFraction(), 0.95);
+}
+
+TEST(DeviceTest, WatchRunsItsDayTrace) {
+  auto watch = MakeWatchDevice(1.0);
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&watch->runtime(), config);
+  SimResult result = sim.Run(MakeSmartwatchDayTrace(SmartwatchDayConfig{}));
+  EXPECT_GT(result.delivered.value(), 0.0);
+}
+
+TEST(DeviceTest, TabletTurboTaskWithinBatteryCapability) {
+  auto tablet = MakeTabletDevice(1.0);
+  double peak = 0.0;
+  for (size_t i = 0; i < tablet->micro().battery_count(); ++i) {
+    peak += tablet->micro().pack().cell(i).MaxDischargePower().value();
+  }
+  Power cap = tablet->cpu().PowerCapFor(PerfLevel::kHigh, Watts(peak));
+  // The tablet pack comfortably feeds the protection level.
+  EXPECT_NEAR(cap.value(), tablet->cpu().config().protection_limit.value(), 1e-9);
+  TaskRun run = tablet->cpu().Execute(Task{"render", 300.0, 0.0}, cap);
+  Simulator sim(&tablet->runtime(), SimConfig{.tick = Seconds(1.0)});
+  SimResult result = sim.Run(run.power_profile);
+  EXPECT_FALSE(result.first_shortfall.has_value());
+}
+
+TEST(DeviceTest, ServiceAndManagerShareTheRuntime) {
+  auto tablet = MakeTabletDevice(0.5);
+  // The manager's situation change is visible through the runtime the
+  // service also uses.
+  ASSERT_TRUE(tablet->power_manager().SetSituation("preflight").ok());
+  EXPECT_DOUBLE_EQ(tablet->runtime().directives().charging, 1.0);
+  auto plan = tablet->battery_service().ScheduleAdaptiveCharge(Hours(2.0));
+  EXPECT_TRUE(plan.ok());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,60 @@
+#include "src/emu/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/emu/workload.h"
+
+namespace sdb {
+namespace {
+
+SimResult WatchScenario(uint64_t seed) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), seed);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+  SmartwatchDayConfig day;
+  day.seed = seed;
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  Simulator sim(&runtime, config);
+  return sim.Run(MakeSmartwatchDayTrace(day));
+}
+
+TEST(MonteCarloTest, AggregatesRuns) {
+  MonteCarloResult result = RunMonteCarlo(WatchScenario, 8, 100);
+  EXPECT_EQ(result.runs, 8);
+  EXPECT_EQ(result.battery_life_h.count(), 8u);
+  EXPECT_GT(result.battery_life_h.mean(), 5.0);
+  EXPECT_LT(result.battery_life_h.mean(), 24.0);
+  EXPECT_GT(result.delivered_j.mean(), 0.0);
+}
+
+TEST(MonteCarloTest, SeedVariationProducesSpread) {
+  MonteCarloResult result = RunMonteCarlo(WatchScenario, 8, 100);
+  // Different workload seeds must not produce identical outcomes.
+  EXPECT_GT(result.battery_life_h.max() - result.battery_life_h.min(), 0.0);
+}
+
+TEST(MonteCarloTest, DeterministicForSameBaseSeed) {
+  MonteCarloResult a = RunMonteCarlo(WatchScenario, 4, 7);
+  MonteCarloResult b = RunMonteCarlo(WatchScenario, 4, 7);
+  EXPECT_DOUBLE_EQ(a.battery_life_h.mean(), b.battery_life_h.mean());
+  EXPECT_DOUBLE_EQ(a.total_loss_j.mean(), b.total_loss_j.mean());
+}
+
+TEST(MonteCarloTest, CountsShortfallRuns) {
+  // This scenario always exhausts the watch before the 24 h trace ends.
+  MonteCarloResult result = RunMonteCarlo(WatchScenario, 4, 55);
+  EXPECT_EQ(result.shortfall_runs, 4);
+}
+
+TEST(MonteCarloDeathTest, RejectsZeroRuns) {
+  EXPECT_DEATH(RunMonteCarlo(WatchScenario, 0, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,167 @@
+#include "src/emu/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+struct Rig {
+  explicit Rig(double soc0 = 1.0, double soc1 = 1.0) {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), soc0);
+    cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), soc1);
+    micro.emplace(MakeDefaultMicrocontroller(std::move(cells), 29));
+    runtime.emplace(&*micro);
+  }
+
+  std::optional<SdbMicrocontroller> micro;
+  std::optional<SdbRuntime> runtime;
+};
+
+TEST(SimulatorTest, RunsTraceToCompletion) {
+  Rig rig;
+  Simulator sim(&*rig.runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(60.0)});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(5.0), Hours(1.0)));
+  EXPECT_NEAR(ToHours(result.elapsed), 1.0, 0.01);
+  EXPECT_FALSE(result.first_shortfall.has_value());
+  EXPECT_NEAR(result.delivered.value(), 5.0 * 3600.0, 5.0 * 3600.0 * 0.01);
+}
+
+TEST(SimulatorTest, StopsAtBatteryExhaustion) {
+  Rig rig(0.05, 0.05);
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(15.0), Hours(10.0)));
+  ASSERT_TRUE(result.first_shortfall.has_value());
+  EXPECT_LT(ToHours(*result.first_shortfall), 1.0);
+  // Depletion events recorded for both batteries.
+  EXPECT_TRUE(result.depletion_time[0].has_value());
+  EXPECT_TRUE(result.depletion_time[1].has_value());
+  bool saw_shortfall_event = false;
+  for (const auto& e : result.events) {
+    if (e.kind == SimEventKind::kLoadShortfall) {
+      saw_shortfall_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_shortfall_event);
+}
+
+TEST(SimulatorTest, HourlyBucketsSumToTotals) {
+  Rig rig;
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(6.0), Hours(2.5)));
+  double hourly_load = 0.0, hourly_batt = 0.0, hourly_circ = 0.0;
+  for (const auto& h : result.hourly) {
+    hourly_load += h.load_energy.value();
+    hourly_batt += h.battery_loss.value();
+    hourly_circ += h.circuit_loss.value();
+  }
+  EXPECT_NEAR(hourly_load, result.delivered.value(), 1.0);
+  EXPECT_NEAR(hourly_batt, result.battery_loss.value(), 1.0);
+  EXPECT_NEAR(hourly_circ, result.circuit_loss.value(), 1.0);
+}
+
+TEST(SimulatorTest, EnergyConservation) {
+  Rig rig;
+  double e0 = rig.micro->pack().TotalRemainingEnergy().value();
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(8.0), Hours(2.0)));
+  double e1 = rig.micro->pack().TotalRemainingEnergy().value();
+  double accounted = result.delivered.value() + result.TotalLoss().value();
+  EXPECT_NEAR(e0 - e1, accounted, (e0 - e1) * 0.03);
+}
+
+TEST(SimulatorTest, SupplyKeepsPackCharged) {
+  Rig rig(0.5, 0.5);
+  Simulator sim(&*rig.runtime, SimConfig{});
+  PowerTrace load = PowerTrace::Constant(Watts(5.0), Hours(1.0));
+  PowerTrace supply = PowerTrace::Constant(Watts(30.0), Hours(1.0));
+  SimResult result = sim.Run(load, supply);
+  EXPECT_GT(result.charged.value(), 0.0);
+  EXPECT_GT(result.final_soc[0], 0.5);
+  EXPECT_GT(result.final_soc[1], 0.5);
+}
+
+TEST(SimulatorTest, RunChargeOnlyFillsThePack) {
+  Rig rig(0.1, 0.1);
+  Simulator sim(&*rig.runtime, SimConfig{.tick = Seconds(2.0)});
+  SimResult result = sim.RunChargeOnly(Watts(30.0), Hours(6.0));
+  EXPECT_GT(result.final_soc[0], 0.97);
+  EXPECT_GT(result.final_soc[1], 0.97);
+  EXPECT_GT(result.charged.value(), 0.0);
+  EXPECT_LT(ToHours(result.elapsed), 6.0);
+}
+
+TEST(SimulatorTest, MaxDurationCapsRun) {
+  Rig rig;
+  SimConfig config;
+  config.max_duration = Minutes(10.0);
+  Simulator sim(&*rig.runtime, config);
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(1.0), Hours(5.0)));
+  EXPECT_NEAR(ToMinutes(result.elapsed), 10.0, 0.1);
+}
+
+TEST(SimulatorTest, ContinuesPastShortfallWhenConfigured) {
+  Rig rig(0.02, 0.02);
+  SimConfig config;
+  config.stop_on_shortfall = false;
+  Simulator sim(&*rig.runtime, config);
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(10.0), Hours(1.0)));
+  ASSERT_TRUE(result.first_shortfall.has_value());
+  EXPECT_NEAR(ToHours(result.elapsed), 1.0, 0.01);
+}
+
+TEST(SimulatorTest, TransferEndedEventEmitted) {
+  Rig rig(1.0, 0.2);
+  ASSERT_TRUE(rig.runtime->RequestTransfer(0, 1, Watts(10.0), Minutes(2.0)).ok());
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(0.5), Minutes(10.0)));
+  bool saw_transfer_end = false;
+  for (const auto& e : result.events) {
+    if (e.kind == SimEventKind::kTransferEnded) {
+      saw_transfer_end = true;
+    }
+  }
+  EXPECT_TRUE(saw_transfer_end);
+}
+
+TEST(SimulatorTest, ChargeOnlyWithNoSupplyStopsImmediately) {
+  Rig rig(0.5, 0.5);
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.RunChargeOnly(Watts(0.0), Hours(1.0));
+  EXPECT_LT(result.elapsed.value(), 10.0);
+  EXPECT_DOUBLE_EQ(result.charged.value(), 0.0);
+}
+
+TEST(SimulatorTest, ChargeOnlyOnFullPackIsNoOp) {
+  Rig rig(1.0, 1.0);
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.RunChargeOnly(Watts(30.0), Hours(1.0));
+  EXPECT_LT(result.elapsed.value(), 10.0);
+  EXPECT_NEAR(result.final_soc[0], 1.0, 1e-6);
+}
+
+TEST(SimulatorTest, EmptyTraceReturnsZeroedResult) {
+  Rig rig;
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(PowerTrace());
+  EXPECT_DOUBLE_EQ(result.elapsed.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.delivered.value(), 0.0);
+  EXPECT_FALSE(result.first_shortfall.has_value());
+}
+
+TEST(SimulatorTest, TraceGapsDrawNothing) {
+  Rig rig;
+  // Load, then a gap (the trace ends), padded by a zero-power segment.
+  PowerTrace load;
+  load.Append(Minutes(5.0), Watts(6.0));
+  load.Append(Minutes(5.0), MilliWatts(1e-3));
+  Simulator sim(&*rig.runtime, SimConfig{});
+  SimResult result = sim.Run(load);
+  // Energy only from the first five minutes.
+  EXPECT_NEAR(result.delivered.value(), 6.0 * 300.0, 6.0 * 300.0 * 0.02);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,81 @@
+#include "src/hw/acpi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+TraditionalPmic MakePmic(double soc) {
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 0), soc));
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 1), soc));
+  return TraditionalPmic(std::move(pack));
+}
+
+TEST(AcpiTest, BifReportsDesignFigures) {
+  TraditionalPmic pmic = MakePmic(1.0);
+  AcpiBatteryDevice device(&pmic, "TESTBAT");
+  AcpiBatteryInformation bif = device.ReadBif();
+  // Two 3 Ah cells at ~3.7 V nominal: ~22.2 Wh design capacity.
+  EXPECT_NEAR(bif.design_capacity_mwh, 22200, 500);
+  EXPECT_EQ(bif.last_full_charge_capacity_mwh, bif.design_capacity_mwh);  // Fresh pack.
+  EXPECT_NEAR(bif.design_voltage_mv, 3700, 50);
+  EXPECT_EQ(bif.design_capacity_warning_mwh, bif.design_capacity_mwh / 10);
+  EXPECT_EQ(bif.cycle_count, 0u);
+  EXPECT_EQ(bif.model_number, "TESTBAT");
+}
+
+TEST(AcpiTest, BstTracksDischarge) {
+  TraditionalPmic pmic = MakePmic(0.5);
+  AcpiBatteryDevice device(&pmic);
+  PmicTick tick = pmic.Step(Watts(6.0), Watts(0.0), Seconds(1.0));
+  AcpiBatteryStatus bst = device.ReadBst(tick);
+  EXPECT_TRUE(bst.state & kAcpiDischarging);
+  EXPECT_FALSE(bst.state & kAcpiCharging);
+  EXPECT_NEAR(bst.present_rate_mw, 6000, 200);
+  // Half of ~22.2 Wh remaining.
+  EXPECT_NEAR(bst.remaining_capacity_mwh, 11100, 500);
+  EXPECT_GT(bst.present_voltage_mv, 3000u);
+}
+
+TEST(AcpiTest, BstReportsChargingState) {
+  TraditionalPmic pmic = MakePmic(0.3);
+  AcpiBatteryDevice device(&pmic);
+  PmicTick tick = pmic.Step(Watts(0.0), Watts(20.0), Seconds(1.0));
+  AcpiBatteryStatus bst = device.ReadBst(tick);
+  EXPECT_TRUE(bst.state & kAcpiCharging);
+  EXPECT_FALSE(bst.state & kAcpiDischarging);
+}
+
+TEST(AcpiTest, CriticalBitBelowFourPercent) {
+  TraditionalPmic pmic = MakePmic(0.02);
+  AcpiBatteryDevice device(&pmic);
+  PmicTick tick = pmic.Step(Watts(0.5), Watts(0.0), Seconds(1.0));
+  AcpiBatteryStatus bst = device.ReadBst(tick);
+  EXPECT_TRUE(bst.state & kAcpiCritical);
+}
+
+TEST(AcpiTest, LastFullCapacityShrinksWithAging) {
+  BatteryPack pack;
+  Cell cell(MakeType2Standard(MilliAmpHours(3000.0)), 0.0);
+  // Age the cell hard before wrapping it.
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    while (!cell.IsFull()) {
+      cell.StepChargeCurrent(cell.params().max_charge_current, Minutes(20.0));
+    }
+    while (!cell.IsEmpty()) {
+      cell.StepDischargeCurrent(cell.params().max_discharge_current, Minutes(20.0));
+    }
+  }
+  pack.AddCell(std::move(cell));
+  TraditionalPmic pmic(std::move(pack));
+  AcpiBatteryDevice device(&pmic);
+  AcpiBatteryInformation bif = device.ReadBif();
+  EXPECT_LT(bif.last_full_charge_capacity_mwh, bif.design_capacity_mwh);
+  EXPECT_GT(bif.cycle_count, 10u);
+}
+
+}  // namespace
+}  // namespace sdb

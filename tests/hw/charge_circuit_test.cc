@@ -1,0 +1,147 @@
+#include "src/hw/charge_circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+struct Fixture {
+  Fixture(double soc0 = 0.2, double soc1 = 0.2)
+      : fc(MakeFastChargeTablet(MilliAmpHours(4000.0))),
+        he(MakeHighEnergyTablet(MilliAmpHours(4000.0))) {
+    pack.AddCell(Cell(fc, soc0));
+    pack.AddCell(Cell(he, soc1));
+    circuit.emplace(ChargeCircuitConfig{},
+                    std::vector<const BatteryParams*>{&pack.cell(0).params(),
+                                                      &pack.cell(1).params()},
+                    11);
+  }
+
+  BatteryParams fc;
+  BatteryParams he;
+  BatteryPack pack;
+  std::optional<SdbChargeCircuit> circuit;
+};
+
+TEST(ChargeCircuitTest, ChargesBothBatteries) {
+  Fixture f;
+  ChargeTick tick = f.circuit->Step(f.pack, {0.5, 0.5}, Watts(20.0), Seconds(1.0));
+  EXPECT_TRUE(tick.any_charging);
+  EXPECT_LT(tick.currents[0].value(), 0.0);
+  EXPECT_LT(tick.currents[1].value(), 0.0);
+  EXPECT_GT(tick.absorbed.value(), 0.0);
+  EXPECT_LE(tick.supply_used.value(), 20.0 + 1e-9);
+}
+
+TEST(ChargeCircuitTest, SupplyUsedExceedsAbsorbedByLosses) {
+  Fixture f;
+  ChargeTick tick = f.circuit->Step(f.pack, {0.5, 0.5}, Watts(20.0), Seconds(1.0));
+  EXPECT_GT(tick.supply_used.value(), tick.absorbed.value());
+  EXPECT_NEAR(tick.supply_used.value() - tick.absorbed.value(),
+              tick.circuit_loss.value(), 1e-6);
+}
+
+TEST(ChargeCircuitTest, ProfileLimitsCaps) {
+  // The HE battery accepts only 0.7C (2.8 A); with a huge supply all spare
+  // power spills to the fast-charge battery (3C = 12 A).
+  Fixture f;
+  ChargeTick tick = f.circuit->Step(f.pack, {0.5, 0.5}, Watts(100.0), Seconds(1.0));
+  double j_he = -tick.currents[1].value();
+  double j_fc = -tick.currents[0].value();
+  EXPECT_LE(j_he, f.he.max_charge_current.value() * 1.02);
+  EXPECT_GT(j_fc, 2.0 * j_he);
+}
+
+TEST(ChargeCircuitTest, FullBatteryTakesNothing) {
+  Fixture f(0.2, 1.0);
+  ChargeTick tick = f.circuit->Step(f.pack, {0.5, 0.5}, Watts(20.0), Seconds(1.0));
+  EXPECT_DOUBLE_EQ(tick.currents[1].value(), 0.0);
+  EXPECT_LT(tick.currents[0].value(), 0.0);
+}
+
+TEST(ChargeCircuitTest, ZeroSupplyIsNoOp) {
+  Fixture f;
+  ChargeTick tick = f.circuit->Step(f.pack, {0.5, 0.5}, Watts(0.0), Seconds(1.0));
+  EXPECT_FALSE(tick.any_charging);
+  EXPECT_DOUBLE_EQ(tick.absorbed.value(), 0.0);
+}
+
+TEST(ChargeCircuitTest, SetpointErrorEnvelopeMatchesFig6d) {
+  Fixture f;
+  // <= 0.5% everywhere, worst at low currents.
+  double low = f.circuit->SetpointErrorEnvelope(Amps(0.2));
+  double high = f.circuit->SetpointErrorEnvelope(Amps(2.0));
+  EXPECT_GT(low, high);
+  EXPECT_LE(low, 0.005);
+  EXPECT_GE(high, 0.0005);
+}
+
+TEST(ChargeCircuitTest, EfficiencyVsTypicalMatchesFig6c) {
+  Fixture f;
+  double at_low = f.circuit->EfficiencyVsTypical(Amps(0.8), Volts(3.7));
+  double at_high = f.circuit->EfficiencyVsTypical(Amps(2.2), Volts(3.7));
+  EXPECT_GT(at_low, at_high);
+  EXPECT_GT(at_low, 0.97);
+  EXPECT_NEAR(at_high, 0.94, 0.02);
+}
+
+TEST(ChargeCircuitTest, ProfileSelectionChangesChargeRate) {
+  Fixture standard;
+  Fixture gentle;
+  ASSERT_TRUE(gentle.circuit->SelectProfile(0, 1).ok());  // Gentle on battery 0.
+  ChargeTick t_std = standard.circuit->Step(standard.pack, {1.0, 0.0}, Watts(40.0), Seconds(1.0));
+  ChargeTick t_gen = gentle.circuit->Step(gentle.pack, {1.0, 0.0}, Watts(40.0), Seconds(1.0));
+  EXPECT_GT(-t_std.currents[0].value(), -t_gen.currents[0].value());
+}
+
+TEST(ChargeCircuitTest, SelectProfileValidatesIndices) {
+  Fixture f;
+  EXPECT_EQ(f.circuit->SelectProfile(9, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(f.circuit->SelectProfile(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(f.circuit->SelectProfile(0, 1).ok());
+}
+
+TEST(TransferTest, MovesEnergyBetweenBatteries) {
+  Fixture f(1.0, 0.2);
+  double soc_src = f.pack.cell(0).soc();
+  double soc_dst = f.pack.cell(1).soc();
+  TransferTick tick = f.circuit->StepTransfer(f.pack, 0, 1, Watts(8.0), Minutes(5.0));
+  EXPECT_GT(tick.moved.value(), 0.0);
+  EXPECT_GT(tick.drawn.value(), tick.moved.value());  // Two-stage losses.
+  EXPECT_LT(f.pack.cell(0).soc(), soc_src);
+  EXPECT_GT(f.pack.cell(1).soc(), soc_dst);
+}
+
+TEST(TransferTest, RefusesWhenSourceEmpty) {
+  Fixture f(0.0, 0.2);
+  TransferTick tick = f.circuit->StepTransfer(f.pack, 0, 1, Watts(5.0), Seconds(1.0));
+  EXPECT_TRUE(tick.source_exhausted);
+  EXPECT_DOUBLE_EQ(tick.moved.value(), 0.0);
+}
+
+TEST(TransferTest, RefusesWhenDestinationFull) {
+  Fixture f(1.0, 1.0);
+  TransferTick tick = f.circuit->StepTransfer(f.pack, 0, 1, Watts(5.0), Seconds(1.0));
+  EXPECT_TRUE(tick.destination_full);
+  EXPECT_DOUBLE_EQ(tick.moved.value(), 0.0);
+}
+
+TEST(TransferTest, TransferEfficiencyIsRealistic) {
+  // Battery-to-battery charging pays two regulator stages plus both cells'
+  // internal losses — the §5.3 story about why charge-through is wasteful.
+  Fixture f(1.0, 0.2);
+  double moved = 0.0, drawn = 0.0;
+  for (int k = 0; k < 300; ++k) {
+    TransferTick tick = f.circuit->StepTransfer(f.pack, 0, 1, Watts(8.0), Seconds(1.0));
+    moved += tick.moved.value();
+    drawn += tick.drawn.value();
+  }
+  double efficiency = moved / drawn;
+  EXPECT_GT(efficiency, 0.75);
+  EXPECT_LT(efficiency, 0.97);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,95 @@
+#include "src/hw/charge_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+Cell MakeCell(double soc) { return Cell(MakeType2Standard(MilliAmpHours(3000.0)), soc); }
+
+TEST(ChargeProfileTest, CcPhaseCommandsFullCurrent) {
+  Cell cell = MakeCell(0.3);
+  ChargeProfile profile = MakeStandardProfile(cell.params());
+  Current j = profile.CommandedCurrent(cell);
+  EXPECT_NEAR(j.value(), profile.cc_current.value(), 1e-9);
+}
+
+TEST(ChargeProfileTest, FullCellGetsZero) {
+  Cell cell = MakeCell(1.0);
+  ChargeProfile profile = MakeStandardProfile(cell.params());
+  EXPECT_DOUBLE_EQ(profile.CommandedCurrent(cell).value(), 0.0);
+}
+
+TEST(ChargeProfileTest, TaperAboveEightyPercent) {
+  Cell low = MakeCell(0.5);
+  Cell high = MakeCell(0.85);
+  ChargeProfile profile = MakeStandardProfile(low.params());
+  EXPECT_GT(profile.CommandedCurrent(low).value(), profile.CommandedCurrent(high).value());
+  EXPECT_LE(profile.CommandedCurrent(high).value(), profile.taper_current.value() + 1e-9);
+}
+
+TEST(ChargeProfileTest, CvPhaseLimitsCurrentNearCutoff) {
+  // At very high SoC the OCV approaches the CV target and headroom shrinks.
+  Cell cell = MakeCell(0.985);
+  ChargeProfile profile = MakeStandardProfile(cell.params());
+  double j = profile.CommandedCurrent(cell).value();
+  double ocv = cell.OpenCircuitVoltage().value();
+  double r0 = cell.InternalResistance().value();
+  EXPECT_LE(j, (profile.cv_voltage.value() - ocv) / r0 + 1e-9);
+}
+
+TEST(ChargeProfileTest, GentleProfileIsSlower) {
+  Cell cell = MakeCell(0.3);
+  ChargeProfile standard = MakeStandardProfile(cell.params());
+  ChargeProfile gentle = MakeGentleProfile(cell.params());
+  EXPECT_LT(gentle.CommandedCurrent(cell).value(), standard.CommandedCurrent(cell).value());
+  EXPECT_LT(gentle.taper_soc, standard.taper_soc);
+}
+
+TEST(ChargeProfileTest, CommandNeverExceedsDatasheetLimit) {
+  for (double soc : {0.0, 0.2, 0.5, 0.79, 0.8, 0.9, 0.99}) {
+    Cell cell = MakeCell(soc);
+    ChargeProfile profile = MakeStandardProfile(cell.params());
+    EXPECT_LE(profile.CommandedCurrent(cell).value(),
+              cell.params().max_charge_current.value() + 1e-9)
+        << soc;
+  }
+}
+
+TEST(ChargeProfileBankTest, SelectsProfiles) {
+  Cell cell = MakeCell(0.5);
+  ChargeProfileBank bank({MakeStandardProfile(cell.params()), MakeGentleProfile(cell.params())});
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.selected_index(), 0u);
+  EXPECT_EQ(bank.selected().name, "standard");
+  ASSERT_TRUE(bank.Select(1).ok());
+  EXPECT_EQ(bank.selected().name, "gentle");
+}
+
+TEST(ChargeProfileBankTest, RejectsBadIndex) {
+  Cell cell = MakeCell(0.5);
+  ChargeProfileBank bank({MakeStandardProfile(cell.params())});
+  EXPECT_EQ(bank.Select(3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bank.selected_index(), 0u);
+}
+
+TEST(ChargeProfileTest, FullChargeTerminates) {
+  // Integrate an actual CC-CV charge: the command must reach zero.
+  Cell cell = MakeCell(0.0);
+  ChargeProfile profile = MakeStandardProfile(cell.params());
+  int guard = 0;
+  while (guard++ < 100000) {
+    Current j = profile.CommandedCurrent(cell);
+    if (j.value() <= 0.0) {
+      break;
+    }
+    cell.StepChargeCurrent(j, Seconds(30.0));
+  }
+  EXPECT_LT(guard, 100000);
+  EXPECT_GT(cell.soc(), 0.97);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,125 @@
+// Edge-case tests for the SDB circuits beyond the two-battery happy path:
+// three-way splits, cascading spill, saturated packs and degenerate inputs.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/hw/charge_circuit.h"
+#include "src/hw/discharge_circuit.h"
+
+namespace sdb {
+namespace {
+
+BatteryPack ThreePack(double s0 = 1.0, double s1 = 1.0, double s2 = 1.0) {
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeFastChargeTablet(MilliAmpHours(3000.0)), s0));
+  pack.AddCell(Cell(MakeHighEnergyTablet(MilliAmpHours(4000.0)), s1));
+  pack.AddCell(Cell(MakeType1PowerCell(MilliAmpHours(1500.0)), s2));
+  return pack;
+}
+
+TEST(DischargeEdgeTest, ThreeWaySplitTracksShares) {
+  BatteryPack pack = ThreePack();
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), 3);
+  DischargeTick tick = circuit.Step(pack, {0.5, 0.3, 0.2}, Watts(9.0), Seconds(1.0));
+  EXPECT_FALSE(tick.shortfall);
+  EXPECT_NEAR(tick.realised_shares[0], 0.5, 0.02);
+  EXPECT_NEAR(tick.realised_shares[1], 0.3, 0.02);
+  EXPECT_NEAR(tick.realised_shares[2], 0.2, 0.02);
+}
+
+TEST(DischargeEdgeTest, CascadingSpillAcrossTwoEmptyBatteries) {
+  BatteryPack pack = ThreePack(0.0, 0.0, 1.0);
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), 3);
+  DischargeTick tick = circuit.Step(pack, {0.4, 0.4, 0.2}, Watts(4.0), Seconds(1.0));
+  EXPECT_FALSE(tick.shortfall);
+  EXPECT_DOUBLE_EQ(tick.currents[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(tick.currents[1].value(), 0.0);
+  EXPECT_GT(tick.currents[2].value(), 0.0);
+}
+
+TEST(DischargeEdgeTest, PartialShortfallDeliversWhatItCan) {
+  // Only the small power cell is live; ask for more than it can give.
+  BatteryPack pack = ThreePack(0.0, 0.0, 1.0);
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), 3);
+  double avail = pack.cell(2).MaxDischargePower().value();
+  DischargeTick tick =
+      circuit.Step(pack, {1.0 / 3, 1.0 / 3, 1.0 / 3}, Watts(avail * 2.0), Seconds(1.0));
+  EXPECT_TRUE(tick.shortfall);
+  EXPECT_GT(tick.delivered.value(), 0.5 * avail);
+}
+
+TEST(DischargeEdgeTest, TinyLoadStillServed) {
+  BatteryPack pack = ThreePack();
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), 3);
+  DischargeTick tick = circuit.Step(pack, {0.5, 0.25, 0.25}, MilliWatts(10.0), Seconds(1.0));
+  EXPECT_FALSE(tick.shortfall);
+  EXPECT_NEAR(tick.delivered.value(), 0.01, 0.002);
+}
+
+TEST(DischargeEdgeTest, SubSecondTicks) {
+  BatteryPack pack = ThreePack();
+  SdbDischargeCircuit circuit((DischargeCircuitConfig()), 3);
+  double delivered = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    DischargeTick tick =
+        circuit.Step(pack, {0.4, 0.4, 0.2}, Watts(5.0), Seconds(0.1));
+    delivered += tick.delivered.value() * 0.1;
+    EXPECT_FALSE(tick.shortfall);
+  }
+  EXPECT_NEAR(delivered, 50.0, 1.0);
+}
+
+TEST(ChargeEdgeTest, ThreeWayChargeRespectsEveryProfile) {
+  BatteryPack pack = ThreePack(0.2, 0.2, 0.2);
+  std::vector<const BatteryParams*> params = {&pack.cell(0).params(), &pack.cell(1).params(),
+                                              &pack.cell(2).params()};
+  SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 4);
+  ChargeTick tick =
+      circuit.Step(pack, {1.0 / 3, 1.0 / 3, 1.0 / 3}, Watts(200.0), Seconds(1.0));
+  EXPECT_TRUE(tick.any_charging);
+  for (size_t i = 0; i < 3; ++i) {
+    double j = -tick.currents[i].value();
+    EXPECT_LE(j, params[i]->max_charge_current.value() * 1.02) << i;
+    EXPECT_GT(j, 0.0) << i;
+  }
+  EXPECT_LE(tick.supply_used.value(), 200.0 + 1e-6);
+}
+
+TEST(ChargeEdgeTest, SupplySmallerThanQuiescentHandled) {
+  BatteryPack pack = ThreePack(0.2, 0.2, 0.2);
+  std::vector<const BatteryParams*> params = {&pack.cell(0).params(), &pack.cell(1).params(),
+                                              &pack.cell(2).params()};
+  SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 4);
+  ChargeTick tick =
+      circuit.Step(pack, {1.0 / 3, 1.0 / 3, 1.0 / 3}, MilliWatts(5.0), Seconds(1.0));
+  // Nothing blows up; absorbed power is bounded by the offer.
+  EXPECT_LE(tick.absorbed.value(), 0.005 + 1e-9);
+  EXPECT_GE(tick.absorbed.value(), 0.0);
+}
+
+TEST(ChargeEdgeTest, AllFullPackAbsorbsNothing) {
+  BatteryPack pack = ThreePack(1.0, 1.0, 1.0);
+  std::vector<const BatteryParams*> params = {&pack.cell(0).params(), &pack.cell(1).params(),
+                                              &pack.cell(2).params()};
+  SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 4);
+  ChargeTick tick =
+      circuit.Step(pack, {1.0 / 3, 1.0 / 3, 1.0 / 3}, Watts(30.0), Seconds(1.0));
+  EXPECT_FALSE(tick.any_charging);
+  EXPECT_DOUBLE_EQ(tick.absorbed.value(), 0.0);
+}
+
+TEST(TransferEdgeTest, SelfHealsWhenPowerExceedsSourceCapability) {
+  BatteryPack pack = ThreePack(1.0, 0.2, 1.0);
+  std::vector<const BatteryParams*> params = {&pack.cell(0).params(), &pack.cell(1).params(),
+                                              &pack.cell(2).params()};
+  SdbChargeCircuit circuit((ChargeCircuitConfig()), params, 4);
+  // Ask for far more than the source can push: the transfer clamps.
+  TransferTick tick = circuit.StepTransfer(pack, 2, 1, Watts(500.0), Seconds(1.0));
+  EXPECT_GT(tick.moved.value(), 0.0);
+  EXPECT_LT(tick.drawn.value(), 100.0);
+}
+
+}  // namespace
+}  // namespace sdb

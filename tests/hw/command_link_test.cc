@@ -1,0 +1,169 @@
+#include "src/hw/command_link.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/util/rng.h"
+
+namespace sdb {
+namespace {
+
+SdbMicrocontroller MakeMicro(double soc0 = 0.8, double soc1 = 0.6) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), soc0);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), soc1);
+  return MakeDefaultMicrocontroller(std::move(cells), 9);
+}
+
+TEST(Crc16Test, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") == 0x29B1.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc16(data, sizeof(data)), 0x29B1);
+}
+
+TEST(FrameCodecTest, EncodeDecodeRoundtrip) {
+  Frame frame{MessageType::kSetDischargeRatios, {1, 2, 3, 4}};
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(bytes, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, MessageType::kSetDischargeRatios);
+  EXPECT_EQ(out[0].payload, frame.payload);
+  EXPECT_EQ(decoder.crc_errors(), 0u);
+}
+
+TEST(FrameCodecTest, EmptyPayloadFrame) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{MessageType::kQueryStatus, {}});
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(bytes, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(FrameCodecTest, DecoderHandlesBytewiseDelivery) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{MessageType::kAck, {0}});
+  FrameDecoder decoder;
+  std::optional<Frame> frame;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    frame = decoder.Feed(bytes[i]);
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(frame.has_value());
+    }
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MessageType::kAck);
+}
+
+TEST(FrameCodecTest, CorruptedFrameDroppedAndCounted) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{MessageType::kAck, {0}});
+  bytes[3] ^= 0xFF;  // Flip payload bits.
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(bytes, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(decoder.crc_errors(), 1u);
+}
+
+TEST(FrameCodecTest, ResyncsAfterGarbage) {
+  std::vector<uint8_t> stream = {0x00, 0x13, 0x37};  // Line noise.
+  std::vector<uint8_t> good = EncodeFrame(Frame{MessageType::kQueryStatus, {}});
+  stream.insert(stream.end(), good.begin(), good.end());
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(stream, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, MessageType::kQueryStatus);
+}
+
+TEST(FrameCodecTest, BackToBackFrames) {
+  std::vector<uint8_t> stream = EncodeFrame(Frame{MessageType::kAck, {0}});
+  std::vector<uint8_t> second = EncodeFrame(Frame{MessageType::kAck, {3}});
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(stream, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].payload[0], 3);
+}
+
+class LinkFixture : public ::testing::Test {
+ protected:
+  LinkFixture()
+      : micro_(MakeMicro()),
+        server_(&micro_),
+        client_([this](const std::vector<uint8_t>& bytes) { return server_.Receive(bytes); }) {}
+
+  SdbMicrocontroller micro_;
+  CommandLinkServer server_;
+  CommandLinkClient client_;
+};
+
+TEST_F(LinkFixture, SetDischargeRatiosOverTheWire) {
+  ASSERT_TRUE(client_.SetDischargeRatios({0.25, 0.75}).ok());
+  EXPECT_NEAR(micro_.discharge_ratios()[0], 0.25, 1e-6);
+  EXPECT_NEAR(micro_.discharge_ratios()[1], 0.75, 1e-6);
+}
+
+TEST_F(LinkFixture, InvalidRatiosRejectedRemotely) {
+  Status status = client_.SetDischargeRatios({0.9, 0.9});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LinkFixture, ChargeRatiosAndProfileSelection) {
+  EXPECT_TRUE(client_.SetChargeRatios({0.5, 0.5}).ok());
+  EXPECT_TRUE(client_.SelectChargeProfile(0, 1).ok());
+  EXPECT_EQ(client_.SelectChargeProfile(7, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LinkFixture, TransferCommandOverTheWire) {
+  ASSERT_TRUE(client_.ChargeOneFromAnother(0, 1, Watts(5.0), Minutes(2.0)).ok());
+  EXPECT_TRUE(micro_.transfer_active());
+  EXPECT_EQ(client_.ChargeOneFromAnother(0, 0, Watts(5.0), Minutes(2.0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LinkFixture, QueryStatusRoundtrips) {
+  auto statuses = client_.QueryBatteryStatus();
+  ASSERT_TRUE(statuses.ok());
+  ASSERT_EQ(statuses->size(), 2u);
+  EXPECT_NEAR((*statuses)[0].soc, 0.8, 0.02);
+  EXPECT_NEAR((*statuses)[1].soc, 0.6, 0.02);
+  EXPECT_GT((*statuses)[0].full_capacity.value(), 0.0);
+  EXPECT_NEAR(ToCelsius((*statuses)[0].temperature), 25.0, 1.0);
+}
+
+TEST(LossyLinkTest, CorruptionYieldsErrorNotWrongState) {
+  SdbMicrocontroller micro = MakeMicro();
+  CommandLinkServer server(&micro);
+  Rng rng(77);
+  int drop_every = 3;
+  int counter = 0;
+  CommandLinkClient client([&](const std::vector<uint8_t>& bytes) {
+    std::vector<uint8_t> corrupted = bytes;
+    if (++counter % drop_every == 0) {
+      corrupted[rng.NextBounded(corrupted.size())] ^= 0x40;  // Flip a bit.
+    }
+    return server.Receive(corrupted);
+  });
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 30; ++i) {
+    Status status = client.SetDischargeRatios({0.5, 0.5});
+    if (status.ok()) {
+      ++ok;
+    } else {
+      ++failed;
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(server.crc_errors(), 0u);
+  // State was never corrupted: ratios remain a valid vector.
+  double sum = micro.discharge_ratios()[0] + micro.discharge_ratios()[1];
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,86 @@
+#include "src/hw/fuel_gauge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(FuelGaugeTest, TracksCoulombCountedSoc) {
+  FuelGaugeConfig config;
+  config.current_noise_a = 0.0;
+  config.current_lsb_a = 0.0;
+  FuelGauge gauge(config, 1, 1.0);
+  Charge cap = MilliAmpHours(1000.0);
+  // Drain 1 A for 0.5 h out of 1 Ah -> SoC 0.5.
+  for (int k = 0; k < 1800; ++k) {
+    gauge.Observe(Amps(1.0), Volts(3.7), cap, Seconds(1.0));
+  }
+  EXPECT_NEAR(gauge.EstimatedSoc(), 0.5, 1e-9);
+}
+
+TEST(FuelGaugeTest, ChargingRaisesEstimate) {
+  FuelGaugeConfig config;
+  config.current_noise_a = 0.0;
+  FuelGauge gauge(config, 1, 0.2);
+  Charge cap = MilliAmpHours(1000.0);
+  for (int k = 0; k < 720; ++k) {
+    gauge.Observe(Amps(-1.0), Volts(4.0), cap, Seconds(1.0));
+  }
+  EXPECT_NEAR(gauge.EstimatedSoc(), 0.4, 1e-6);
+}
+
+TEST(FuelGaugeTest, QuantisationRoundsReadings) {
+  FuelGaugeConfig config;
+  config.current_noise_a = 0.0;
+  config.current_lsb_a = 0.01;
+  config.voltage_lsb_v = 0.01;
+  FuelGauge gauge(config, 1, 1.0);
+  gauge.Observe(Amps(0.1234), Volts(3.696), MilliAmpHours(1000.0), Seconds(1.0));
+  EXPECT_NEAR(gauge.MeasuredCurrent().value(), 0.12, 1e-12);
+  EXPECT_NEAR(gauge.MeasuredVoltage().value(), 3.70, 1e-12);
+}
+
+TEST(FuelGaugeTest, NoiseAveragesOut) {
+  FuelGaugeConfig config;
+  config.current_noise_a = 0.01;
+  config.current_lsb_a = 0.0;
+  FuelGauge gauge(config, 42, 1.0);
+  Charge cap = MilliAmpHours(2000.0);
+  for (int k = 0; k < 3600; ++k) {
+    gauge.Observe(Amps(1.0), Volts(3.7), cap, Seconds(1.0));
+  }
+  // 1 A for 1 h out of 2 Ah -> 0.5 expected despite noise.
+  EXPECT_NEAR(gauge.EstimatedSoc(), 0.5, 0.005);
+}
+
+TEST(FuelGaugeTest, DriftAccumulates) {
+  FuelGaugeConfig config;
+  config.current_noise_a = 0.0;
+  config.soc_drift_per_hour = 0.01;
+  FuelGauge gauge(config, 1, 0.8);
+  for (int k = 0; k < 3600; ++k) {
+    gauge.Observe(Amps(0.0), Volts(3.8), MilliAmpHours(1000.0), Seconds(1.0));
+  }
+  EXPECT_NEAR(gauge.EstimatedSoc(), 0.79, 1e-6);
+}
+
+TEST(FuelGaugeTest, AnchorResetsEstimate) {
+  FuelGauge gauge(FuelGaugeConfig{}, 1, 0.5);
+  gauge.AnchorSoc(1.0);
+  EXPECT_DOUBLE_EQ(gauge.EstimatedSoc(), 1.0);
+  gauge.AnchorSoc(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.EstimatedSoc(), 0.0);
+}
+
+TEST(FuelGaugeTest, EstimateStaysInUnitInterval) {
+  FuelGauge gauge(FuelGaugeConfig{}, 3, 0.01);
+  for (int k = 0; k < 1000; ++k) {
+    gauge.Observe(Amps(5.0), Volts(3.0), MilliAmpHours(100.0), Seconds(10.0));
+  }
+  EXPECT_GE(gauge.EstimatedSoc(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdb

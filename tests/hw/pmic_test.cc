@@ -1,0 +1,62 @@
+#include "src/hw/pmic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+TraditionalPmic MakePmic(double soc0 = 1.0, double soc1 = 1.0) {
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 0), soc0));
+  pack.AddCell(Cell(MakeType2Standard(MilliAmpHours(3000.0), 1), soc1));
+  return TraditionalPmic(std::move(pack));
+}
+
+TEST(PmicTest, DischargesAsParallelPack) {
+  TraditionalPmic pmic = MakePmic();
+  PmicTick tick = pmic.Step(Watts(6.0), Watts(0.0), Seconds(1.0));
+  EXPECT_FALSE(tick.shortfall);
+  EXPECT_NEAR(tick.delivered.value(), 6.0, 0.1);
+}
+
+TEST(PmicTest, SupplyFeedsLoadFirstThenCharges) {
+  TraditionalPmic pmic = MakePmic(0.5, 0.5);
+  PmicTick tick = pmic.Step(Watts(5.0), Watts(25.0), Seconds(1.0));
+  EXPECT_TRUE(tick.charging);
+  EXPECT_NEAR(tick.delivered.value(), 5.0, 1e-9);
+  EXPECT_GT(pmic.pack().cell(0).soc(), 0.5);
+}
+
+TEST(PmicTest, FixedProfileStopsAtFull) {
+  TraditionalPmic pmic = MakePmic(1.0, 1.0);
+  PmicTick tick = pmic.Step(Watts(0.0), Watts(25.0), Seconds(1.0));
+  EXPECT_FALSE(tick.charging);
+}
+
+TEST(PmicTest, QueryAggregatesThePack) {
+  TraditionalPmic pmic = MakePmic(1.0, 0.0);
+  AcpiBatteryInfo info = pmic.Query();
+  EXPECT_NEAR(info.soc, 0.5, 0.01);  // Two equal cells, one full one empty.
+  EXPECT_GT(info.voltage.value(), 3.0);
+  EXPECT_NEAR(ToMilliAmpHours(info.design_capacity), 6000.0, 1.0);
+  EXPECT_DOUBLE_EQ(info.cycle_count, 0.0);
+}
+
+TEST(PmicTest, ShortfallWhenEmpty) {
+  TraditionalPmic pmic = MakePmic(0.0, 0.0);
+  PmicTick tick = pmic.Step(Watts(5.0), Watts(0.0), Seconds(1.0));
+  EXPECT_TRUE(tick.shortfall);
+}
+
+TEST(PmicTest, ChargeLossesAccounted) {
+  TraditionalPmic pmic = MakePmic(0.2, 0.2);
+  PmicTick tick = pmic.Step(Watts(0.0), Watts(20.0), Seconds(1.0));
+  EXPECT_TRUE(tick.charging);
+  EXPECT_GT(tick.circuit_loss.value(), 0.0);
+  EXPECT_GT(tick.battery_loss.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdb

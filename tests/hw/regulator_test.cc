@@ -1,0 +1,73 @@
+#include "src/hw/regulator.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+RegulatorModel DefaultModel() { return RegulatorModel(RegulatorConfig{}); }
+
+TEST(RegulatorTest, NoLossAtZeroOutput) {
+  RegulatorModel m = DefaultModel();
+  EXPECT_DOUBLE_EQ(m.LossAt(Watts(0.0), Volts(3.7)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.LossAt(Watts(5.0), Volts(3.7), RegulatorMode::kDisabled).value(), 0.0);
+}
+
+TEST(RegulatorTest, LossGrowsWithPower) {
+  RegulatorModel m = DefaultModel();
+  double l1 = m.LossAt(Watts(1.0), Volts(3.7)).value();
+  double l5 = m.LossAt(Watts(5.0), Volts(3.7)).value();
+  double l10 = m.LossAt(Watts(10.0), Volts(3.7)).value();
+  EXPECT_LT(l1, l5);
+  EXPECT_LT(l5, l10);
+}
+
+TEST(RegulatorTest, LossIsSuperlinearAtHighCurrent) {
+  RegulatorModel m = DefaultModel();
+  double l5 = m.LossAt(Watts(5.0), Volts(3.7)).value();
+  double l10 = m.LossAt(Watts(10.0), Volts(3.7)).value();
+  // I^2 R term makes doubling the power more than double the loss.
+  EXPECT_GT(l10, 2.0 * l5 * 0.999);
+}
+
+TEST(RegulatorTest, ReverseModeIsLessEfficient) {
+  RegulatorModel m = DefaultModel();
+  double fwd = m.LossAt(Watts(5.0), Volts(3.7), RegulatorMode::kBuck).value();
+  double rev = m.LossAt(Watts(5.0), Volts(3.7), RegulatorMode::kReverseBuck).value();
+  EXPECT_GT(rev, fwd);
+  EXPECT_NEAR(rev / fwd, m.config().reverse_penalty, 1e-9);
+}
+
+TEST(RegulatorTest, EfficiencyBetweenZeroAndOne) {
+  RegulatorModel m = DefaultModel();
+  for (double p : {0.1, 0.5, 1.0, 5.0, 10.0, 25.0}) {
+    double eff = m.EfficiencyAt(Watts(p), Volts(3.7));
+    EXPECT_GT(eff, 0.0) << p;
+    EXPECT_LT(eff, 1.0) << p;
+  }
+  EXPECT_DOUBLE_EQ(m.EfficiencyAt(Watts(0.0), Volts(3.7)), 0.0);
+}
+
+TEST(RegulatorTest, InputForInvertsLoss) {
+  RegulatorModel m = DefaultModel();
+  Power out = Watts(4.0);
+  Power in = m.InputFor(out, Volts(3.7));
+  EXPECT_NEAR(in.value(), out.value() + m.LossAt(out, Volts(3.7)).value(), 1e-12);
+}
+
+TEST(RegulatorTest, HigherBusVoltageLowersConductionLoss) {
+  RegulatorModel m = DefaultModel();
+  // Same power at higher voltage means lower current and lower I^2 R loss.
+  double low_v = m.LossAt(Watts(10.0), Volts(3.3)).value();
+  double high_v = m.LossAt(Watts(10.0), Volts(4.2)).value();
+  EXPECT_GT(low_v, high_v);
+}
+
+TEST(RegulatorDeathTest, RejectsInvalidConfig) {
+  RegulatorConfig bad;
+  bad.reverse_penalty = 0.5;  // Must be >= 1.
+  EXPECT_DEATH(RegulatorModel{bad}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sdb

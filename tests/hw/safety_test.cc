@@ -1,0 +1,137 @@
+#include "src/hw/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+class SafetyTest : public ::testing::Test {
+ protected:
+  SafetyTest()
+      : cell_(MakeType2Standard(MilliAmpHours(3000.0)), 0.8),
+        supervisor_({DeriveLimits(cell_.params())}) {}
+
+  StepResult MakeStep(double current_a, double voltage_v) {
+    StepResult step;
+    step.current = Amps(current_a);
+    step.terminal_voltage = Volts(voltage_v);
+    step.energy_at_terminals = Joules(0.0);
+    step.energy_chemical = Joules(0.0);
+    step.energy_lost = Joules(0.0);
+    return step;
+  }
+
+  Cell cell_;
+  SafetySupervisor supervisor_;
+};
+
+TEST_F(SafetyTest, DerivedLimitsHaveMargins) {
+  SafetyLimits limits = DeriveLimits(cell_.params());
+  EXPECT_GT(limits.max_discharge.value(), cell_.params().max_discharge_current.value());
+  EXPECT_GT(limits.max_charge.value(), cell_.params().max_charge_current.value());
+  EXPECT_LT(limits.min_voltage.value(), cell_.params().ocv_vs_soc.min_y());
+  EXPECT_GT(limits.max_voltage.value(), cell_.params().charge_cutoff_voltage.value());
+}
+
+TEST_F(SafetyTest, HealthyOperationPasses) {
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(2.0, 3.8));
+  EXPECT_EQ(kind, FaultKind::kNone);
+  EXPECT_FALSE(supervisor_.IsFaulted(0));
+  EXPECT_FALSE(supervisor_.AnyFaulted());
+}
+
+TEST_F(SafetyTest, OverCurrentDischargeTrips) {
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(limit * 1.2, 3.4));
+  EXPECT_EQ(kind, FaultKind::kOverCurrentDischarge);
+  EXPECT_TRUE(supervisor_.IsFaulted(0));
+  EXPECT_DOUBLE_EQ(supervisor_.fault(0).limit_value, limit);
+}
+
+TEST_F(SafetyTest, OverCurrentChargeTrips) {
+  double limit = DeriveLimits(cell_.params()).max_charge.value();
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(-limit * 1.5, 4.1));
+  EXPECT_EQ(kind, FaultKind::kOverCurrentCharge);
+}
+
+TEST_F(SafetyTest, OverVoltageTrips) {
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(-1.0, 4.6));
+  EXPECT_EQ(kind, FaultKind::kOverVoltage);
+}
+
+TEST_F(SafetyTest, UnderVoltageTripsOnLoadedCell) {
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(5.0, 2.2));
+  EXPECT_EQ(kind, FaultKind::kUnderVoltage);
+}
+
+TEST_F(SafetyTest, EmptyCellAtFloorVoltageIsNotAFault) {
+  Cell empty(MakeType2Standard(MilliAmpHours(3000.0)), 0.0);
+  SafetySupervisor supervisor({DeriveLimits(empty.params())});
+  FaultKind kind = supervisor.Inspect(0, empty, MakeStep(0.0, 2.3));
+  EXPECT_EQ(kind, FaultKind::kNone);
+}
+
+TEST_F(SafetyTest, FaultsLatch) {
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  supervisor_.Inspect(0, cell_, MakeStep(limit * 1.2, 3.4));
+  // A later healthy reading does not clear the latch.
+  FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(0.5, 3.8));
+  EXPECT_EQ(kind, FaultKind::kOverCurrentDischarge);
+  EXPECT_TRUE(supervisor_.IsFaulted(0));
+}
+
+TEST_F(SafetyTest, ClearFaultRestoresOperation) {
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  supervisor_.Inspect(0, cell_, MakeStep(limit * 1.2, 3.4));
+  EXPECT_TRUE(supervisor_.ClearFault(0, cell_));
+  EXPECT_FALSE(supervisor_.IsFaulted(0));
+  EXPECT_EQ(supervisor_.Inspect(0, cell_, MakeStep(1.0, 3.8)), FaultKind::kNone);
+}
+
+TEST_F(SafetyTest, ThermalFaultRefusesToClearWhileHot) {
+  // Use a tight thermal limit so sustained max-rate dissipation crosses it
+  // (the lumped thermal model only rises a few kelvin on a healthy cell).
+  Cell hot(MakeType2Standard(MilliAmpHours(3000.0)), 1.0);
+  SafetyLimits limits = DeriveLimits(hot.params());
+  limits.max_temperature = Celsius(26.5);
+  SafetySupervisor supervisor({limits});
+  for (int k = 0; k < 5000 && hot.thermal().temperature().value() < 300.0; ++k) {
+    hot.StepDischargeCurrent(hot.params().max_discharge_current, Seconds(1.0));
+    if (hot.IsEmpty()) {
+      hot.set_soc(1.0);  // Refill instantly; we only care about heat here.
+    }
+  }
+  ASSERT_GT(hot.thermal().temperature().value(), Celsius(26.5).value());
+  StepResult step;
+  step.current = Amps(1.0);
+  step.terminal_voltage = Volts(3.6);
+  EXPECT_EQ(supervisor.Inspect(0, hot, step), FaultKind::kOverTemperature);
+  EXPECT_FALSE(supervisor.ClearFault(0, hot));  // Still hot.
+  // Let it cool below the limit; the fault may then be cleared.
+  for (int k = 0; k < 20000 && hot.thermal().temperature().value() > Celsius(26.0).value();
+       ++k) {
+    hot.StepDischargeCurrent(Amps(0.0), Seconds(1.0));
+  }
+  EXPECT_TRUE(supervisor.ClearFault(0, hot));
+}
+
+TEST_F(SafetyTest, FaultKindNames) {
+  EXPECT_EQ(FaultKindName(FaultKind::kNone), "none");
+  EXPECT_EQ(FaultKindName(FaultKind::kOverTemperature), "over-temperature");
+}
+
+TEST_F(SafetyTest, PerBatteryIsolation) {
+  Cell other(MakeType2Standard(MilliAmpHours(3000.0)), 0.8);
+  SafetySupervisor supervisor(
+      {DeriveLimits(cell_.params()), DeriveLimits(other.params())});
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  supervisor.Inspect(0, cell_, MakeStep(limit * 2.0, 3.3));
+  EXPECT_TRUE(supervisor.IsFaulted(0));
+  EXPECT_FALSE(supervisor.IsFaulted(1));
+  EXPECT_TRUE(supervisor.AnyFaulted());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,194 @@
+// Cross-module integration tests: each reproduces (at reduced scale) one of
+// the paper's end-to-end claims, wiring chem + hw + core + emu + os
+// together the way the benches do.
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+#include "src/hw/pmic.h"
+#include "src/os/power_manager.h"
+
+namespace sdb {
+namespace {
+
+// §5.3 claim: drawing power simultaneously from internal and external
+// batteries beats depleting the external one to charge the internal one.
+TEST(EndToEndTest, ParallelDrawBeatsChargeThrough) {
+  auto make_rig = [](std::optional<SdbMicrocontroller>& micro,
+                     std::optional<SdbRuntime>& runtime) {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeTwoInOneInternal(MilliAmpHours(4000.0)), 1.0);
+    cells.emplace_back(MakeTwoInOneExternal(MilliAmpHours(4000.0)), 1.0);
+    micro.emplace(MakeDefaultMicrocontroller(std::move(cells), 41));
+    runtime.emplace(&*micro);
+  };
+
+  PowerTrace load = PowerTrace::Constant(Watts(12.0), Hours(12.0));
+  SimConfig config;
+  config.tick = Seconds(2.0);
+
+  // SDB: proportional draw from both.
+  std::optional<SdbMicrocontroller> micro_sdb;
+  std::optional<SdbRuntime> runtime_sdb;
+  make_rig(micro_sdb, runtime_sdb);
+  runtime_sdb->SetDischargingDirective(1.0);
+  Simulator sim_sdb(&*runtime_sdb, config);
+  SimResult sdb = sim_sdb.Run(load);
+
+  // Baseline: serve the load from the internal battery while the external
+  // one charges it through the transfer path.
+  std::optional<SdbMicrocontroller> micro_base;
+  std::optional<SdbRuntime> runtime_base;
+  make_rig(micro_base, runtime_base);
+  ASSERT_TRUE(micro_base->SetDischargeRatios({1.0, 0.0}).ok());
+  ASSERT_TRUE(micro_base->ChargeOneFromAnother(1, 0, Watts(14.0), Hours(12.0)).ok());
+  double t = 0.0;
+  std::optional<double> base_life;
+  while (t < 12.0 * 3600.0) {
+    MicroTick tick = micro_base->Step(Watts(12.0), Watts(0.0), Seconds(2.0));
+    t += 2.0;
+    if (tick.discharge.shortfall) {
+      base_life = t;
+      break;
+    }
+    if (!micro_base->transfer_active() && !micro_base->pack().cell(1).IsEmpty()) {
+      (void)micro_base->ChargeOneFromAnother(1, 0, Watts(14.0), Hours(12.0));
+    }
+  }
+
+  ASSERT_TRUE(sdb.first_shortfall.has_value());
+  ASSERT_TRUE(base_life.has_value());
+  double improvement = (sdb.first_shortfall->value() - *base_life) / *base_life;
+  // Paper: up to 22% more battery life. Require a clearly positive gap.
+  EXPECT_GT(improvement, 0.08);
+  EXPECT_LT(improvement, 0.40);
+}
+
+// §5.2 claim: preserving the efficient battery for a predicted run beats
+// pure instantaneous loss minimisation.
+TEST(EndToEndTest, ReservePolicyOutlivesInstantaneousOnWatch) {
+  auto make_rig = [](std::optional<SdbMicrocontroller>& micro,
+                     std::optional<SdbRuntime>& runtime) {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+    cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+    micro.emplace(MakeDefaultMicrocontroller(std::move(cells), 43));
+    runtime.emplace(&*micro);
+  };
+
+  SmartwatchDayConfig day;
+  day.run_start_hour = 9.0;
+  PowerTrace trace = MakeSmartwatchDayTrace(day);
+  SimConfig config;
+  config.tick = Seconds(5.0);
+  config.runtime_period = Minutes(5.0);
+
+  // Policy 1: minimise instantaneous losses.
+  std::optional<SdbMicrocontroller> micro1;
+  std::optional<SdbRuntime> runtime1;
+  make_rig(micro1, runtime1);
+  runtime1->SetDischargingDirective(1.0);
+  SimResult p1 = Simulator(&*runtime1, config).Run(trace);
+
+  // Policy 2: preserve the Li-ion battery for the 9 am run.
+  std::optional<SdbMicrocontroller> micro2;
+  std::optional<SdbRuntime> runtime2;
+  make_rig(micro2, runtime2);
+  runtime2->SetDischargingDirective(1.0);
+  runtime2->SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+  SimResult p2 = Simulator(&*runtime2, config).Run(trace);
+
+  auto life = [](const SimResult& r) {
+    return r.first_shortfall.has_value() ? ToHours(*r.first_shortfall) : ToHours(r.elapsed);
+  };
+  // The reserve policy must carry the device through the run and beyond.
+  EXPECT_GT(life(p2), 9.5);
+  EXPECT_GE(life(p2), life(p1));
+}
+
+// §5.1 claim: the OS should pick Low for network-bound work and High for
+// compute-bound work; fixed levels lose on one axis or the other.
+TEST(EndToEndTest, DynamicPerfLevelBeatsFixed) {
+  CpuModel cpu;
+  Power battery_peak = Watts(100.0);
+  Task network{"browse", 4.0, 12.0};
+  Task compute{"render", 300.0, 0.5};
+
+  TaskRun net_low = cpu.Execute(network, cpu.PowerCapFor(PerfLevel::kLow, battery_peak));
+  TaskRun net_high = cpu.Execute(network, cpu.PowerCapFor(PerfLevel::kHigh, battery_peak));
+  TaskRun cmp_low = cpu.Execute(compute, cpu.PowerCapFor(PerfLevel::kLow, battery_peak));
+  TaskRun cmp_high = cpu.Execute(compute, cpu.PowerCapFor(PerfLevel::kHigh, battery_peak));
+
+  // Network-bound: High wastes energy for no latency gain.
+  EXPECT_GT(net_high.energy.value(), 1.05 * net_low.energy.value());
+  EXPECT_NEAR(net_high.latency.value(), net_low.latency.value(),
+              0.05 * net_low.latency.value());
+  // Compute-bound: High buys real latency.
+  EXPECT_LT(cmp_high.latency.value(), 0.85 * cmp_low.latency.value());
+}
+
+// The SDB microcontroller + runtime keep working through a full
+// charge/discharge/charge day with an OS power manager in the loop.
+TEST(EndToEndTest, FullDayLifecycle) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.9);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.9);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 47);
+  SdbRuntime runtime(&micro);
+  OsPowerManager manager(&runtime, MakeDefaultPolicyDatabase(), nullptr);
+
+  // Morning use on battery.
+  ASSERT_TRUE(manager.SetSituation("interactive").ok());
+  Simulator sim(&runtime, SimConfig{.tick = Seconds(2.0)});
+  SimResult morning = sim.Run(PowerTrace::Constant(Watts(8.0), Hours(3.0)));
+  EXPECT_FALSE(morning.first_shortfall.has_value());
+
+  // Preflight fast charge.
+  ASSERT_TRUE(manager.SetSituation("preflight").ok());
+  SimResult charge = sim.RunChargeOnly(Watts(45.0), Hours(2.0));
+  EXPECT_GT(charge.final_soc[0], 0.95);
+
+  // Evening: drain to empty without crashing.
+  ASSERT_TRUE(manager.SetSituation("low-battery").ok());
+  SimResult evening = sim.Run(PowerTrace::Constant(Watts(18.0), Hours(12.0)));
+  EXPECT_TRUE(evening.first_shortfall.has_value());
+  EXPECT_LT(micro.pack().cell(0).soc(), 0.05);
+  EXPECT_LT(micro.pack().cell(1).soc(), 0.05);
+}
+
+// Aging integrates across the stack: heavy daily cycling wears the pack and
+// the CCB directive keeps wear balanced.
+TEST(EndToEndTest, CcbDirectiveBalancesWearAcrossCycles) {
+  std::vector<Cell> cells;
+  // Unequal rated cycle lives: wear ratios diverge without balancing.
+  BatteryParams a = MakeType2Standard(MilliAmpHours(3000.0), 0);
+  a.rated_cycle_count = 400.0;
+  BatteryParams b = MakeType2Standard(MilliAmpHours(3000.0), 1);
+  b.rated_cycle_count = 1200.0;
+  cells.emplace_back(std::move(a), 1.0);
+  cells.emplace_back(std::move(b), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 53);
+  SdbRuntime runtime(&micro);
+  runtime.SetChargingDirective(0.0);  // Pure CCB-Charge.
+  runtime.SetDischargingDirective(0.3);
+
+  // The charge budget must be scarce for the CCB split to matter (a full
+  // nightly recharge would give every battery one cycle per day no matter
+  // how the ratios steer it).
+  Simulator sim(&runtime, SimConfig{.tick = Seconds(10.0), .runtime_period = Minutes(5.0)});
+  for (int day = 0; day < 12; ++day) {
+    sim.Run(PowerTrace::Constant(Watts(10.0), Hours(3.0)));
+    sim.RunChargeOnly(Watts(10.0), Hours(1.2));
+  }
+  double wear0 = micro.pack().cell(0).aging().wear_ratio();
+  double wear1 = micro.pack().cell(1).aging().wear_ratio();
+  ASSERT_GT(wear0, 0.0);
+  ASSERT_GT(wear1, 0.0);
+  // CCB-Charge pushed more cycles onto the battery with the larger budget.
+  EXPECT_LT(wear0 / wear1, 3.0);  // Without balancing, 1200/400 = 3x gap.
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,82 @@
+// Long-horizon soak: a month of simulated daily use through the whole SDB
+// stack. Guards against slow state corruption the short tests cannot see —
+// aging must be monotone, gauges must stay anchored, metrics must remain
+// sane, and the pack must keep serving the same day after 30 cycles.
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+
+namespace sdb {
+namespace {
+
+TEST(LongevitySoakTest, ThirtyDaysOfDailyUse) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 1.0);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 365);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(0.8);
+  runtime.SetChargingDirective(0.3);
+
+  SimConfig config;
+  config.tick = Seconds(20.0);
+  config.runtime_period = Minutes(10.0);
+  Simulator sim(&runtime, config);
+
+  double first_day_life = 0.0;
+  double last_day_life = 0.0;
+  double prev_capacity0 = micro.pack().cell(0).EffectiveCapacity().value();
+  double prev_capacity1 = micro.pack().cell(1).EffectiveCapacity().value();
+
+  for (int day = 0; day < 30; ++day) {
+    // Daytime: 10 W of mixed use until the pack runs out or 5 h pass.
+    SimResult use = sim.Run(PowerTrace::Constant(Watts(10.0), Hours(5.0)));
+    double life = use.first_shortfall.has_value() ? ToHours(*use.first_shortfall)
+                                                  : ToHours(use.elapsed);
+    if (day == 0) {
+      first_day_life = life;
+    }
+    last_day_life = life;
+
+    // Standby gap with self-discharge, then the nightly recharge.
+    for (size_t i = 0; i < micro.battery_count(); ++i) {
+      micro.mutable_pack().cell(i).AdvanceIdle(Hours(10.0));
+    }
+    sim.RunChargeOnly(Watts(30.0), Hours(9.0));
+
+    // Aging is monotone: capacity never increases.
+    double cap0 = micro.pack().cell(0).EffectiveCapacity().value();
+    double cap1 = micro.pack().cell(1).EffectiveCapacity().value();
+    EXPECT_LE(cap0, prev_capacity0 + 1e-9) << "day " << day;
+    EXPECT_LE(cap1, prev_capacity1 + 1e-9) << "day " << day;
+    prev_capacity0 = cap0;
+    prev_capacity1 = cap1;
+
+    // Gauges stay anchored to ground truth after every recharge.
+    auto statuses = micro.QueryBatteryStatus();
+    EXPECT_NEAR(statuses[0].soc, micro.pack().cell(0).soc(), 0.05) << "day " << day;
+    EXPECT_NEAR(statuses[1].soc, micro.pack().cell(1).soc(), 0.05) << "day " << day;
+  }
+
+  // A month of daily cycling costs some capacity but not much (roughly one
+  // cycle per day at moderate rates).
+  double fade0 = 1.0 - micro.pack().cell(0).aging().capacity_factor();
+  double fade1 = 1.0 - micro.pack().cell(1).aging().capacity_factor();
+  EXPECT_GT(fade0 + fade1, 0.0);
+  EXPECT_LT(fade0, 0.05);
+  EXPECT_LT(fade1, 0.05);
+  EXPECT_GE(micro.pack().cell(0).aging().cycle_count(), 15.0);
+
+  // The pack still serves the same day at month's end (mild degradation).
+  EXPECT_GT(last_day_life, 0.85 * first_day_life);
+
+  // Metrics remain sane after a month.
+  EXPECT_GE(runtime.LastCcb(), 1.0);
+  EXPECT_LT(runtime.LastCcb(), 10.0);
+  EXPECT_GT(runtime.LastRbl().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,108 @@
+#include "src/os/battery_service.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+struct Rig {
+  explicit Rig(double soc = 0.5) {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), soc);
+    cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), soc);
+    micro.emplace(MakeDefaultMicrocontroller(std::move(cells), 71));
+    runtime.emplace(&*micro);
+  }
+
+  std::optional<SdbMicrocontroller> micro;
+  std::optional<SdbRuntime> runtime;
+};
+
+TEST(BatteryServiceTest, ReadsPercentage) {
+  Rig rig(0.5);
+  BatteryService service(&*rig.runtime);
+  BatteryReadout readout = service.Read();
+  EXPECT_NEAR(readout.percent, 50, 2);
+  EXPECT_NEAR(readout.raw_fraction, 0.5, 0.02);
+}
+
+TEST(BatteryServiceTest, NoEstimatesWithoutLoadSamples) {
+  Rig rig;
+  BatteryService service(&*rig.runtime);
+  BatteryReadout readout = service.Read();
+  EXPECT_FALSE(readout.time_to_empty.has_value());
+  EXPECT_FALSE(readout.time_to_full.has_value());
+}
+
+TEST(BatteryServiceTest, TimeToEmptyTracksLoad) {
+  Rig rig(1.0);
+  BatteryService service(&*rig.runtime);
+  for (int k = 0; k < 50; ++k) {
+    service.Observe(Watts(10.0), Seconds(1.0));
+  }
+  BatteryReadout readout = service.Read();
+  ASSERT_TRUE(readout.time_to_empty.has_value());
+  // ~2x 14.8 Wh at 10 W: about 3 hours.
+  EXPECT_NEAR(ToHours(*readout.time_to_empty), 3.0, 0.5);
+  EXPECT_FALSE(readout.time_to_full.has_value());
+}
+
+TEST(BatteryServiceTest, TimeToFullWhileCharging) {
+  Rig rig(0.5);
+  BatteryService service(&*rig.runtime);
+  for (int k = 0; k < 50; ++k) {
+    service.Observe(Watts(-20.0), Seconds(1.0));  // Net 20 W into the pack.
+  }
+  BatteryReadout readout = service.Read();
+  ASSERT_TRUE(readout.time_to_full.has_value());
+  // ~14.8 Wh missing at 20 W: ~45 minutes.
+  EXPECT_NEAR(ToMinutes(*readout.time_to_full), 45.0, 12.0);
+  EXPECT_FALSE(readout.time_to_empty.has_value());
+}
+
+TEST(BatteryServiceTest, DisplayHysteresisSuppressesJitter) {
+  Rig rig(0.8);
+  BatteryService service(&*rig.runtime);
+  int shown = service.Read().percent;
+  // Tiny drain: raw fraction moves < 1%, display must not.
+  rig.micro->Step(Watts(2.0), Watts(0.0), Seconds(30.0));
+  EXPECT_EQ(service.Read().percent, shown);
+  // A real drain moves it.
+  for (int k = 0; k < 400; ++k) {
+    rig.micro->Step(Watts(15.0), Watts(0.0), Seconds(10.0));
+  }
+  EXPECT_LT(service.Read().percent, shown);
+}
+
+TEST(BatteryServiceTest, AdaptiveChargeGentleWithSlack) {
+  Rig rig(0.3);
+  BatteryService service(&*rig.runtime);
+  auto plan = service.ScheduleAdaptiveCharge(Hours(10.0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->meets_deadline);
+  // Slack night: the charging directive stays low (gentle).
+  EXPECT_LT(rig.runtime->directives().charging, 0.5);
+}
+
+TEST(BatteryServiceTest, AdaptiveChargeAggressiveWhenTight) {
+  Rig rig(0.1);
+  BatteryService service(&*rig.runtime);
+  auto plan = service.ScheduleAdaptiveCharge(Hours(1.2));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(rig.runtime->directives().charging, 0.5);
+}
+
+TEST(BatteryServiceTest, AdaptiveChargeRespectsTargetSoc) {
+  Rig rig(0.4);
+  BatteryService service(&*rig.runtime);
+  auto plan = service.ScheduleAdaptiveCharge(Hours(6.0), /*target_soc=*/0.8);
+  ASSERT_TRUE(plan.ok());
+  // Charging 40% of capacity takes under half the time of a full top-up at
+  // the same rate ladder.
+  EXPECT_LT(ToHours(plan->completion), 6.0);
+}
+
+}  // namespace
+}  // namespace sdb

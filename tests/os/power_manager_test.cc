@@ -1,0 +1,75 @@
+#include "src/os/power_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+
+namespace sdb {
+namespace {
+
+struct Rig {
+  Rig() {
+    std::vector<Cell> cells;
+    cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+    cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+    micro.emplace(MakeDefaultMicrocontroller(std::move(cells), 31));
+    runtime.emplace(&*micro);
+  }
+
+  std::optional<SdbMicrocontroller> micro;
+  std::optional<SdbRuntime> runtime;
+};
+
+TEST(PowerManagerTest, StartsInInteractiveSituation) {
+  Rig rig;
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), nullptr);
+  EXPECT_EQ(manager.current_situation(), "interactive");
+}
+
+TEST(PowerManagerTest, SetSituationAppliesDirectives) {
+  Rig rig;
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), nullptr);
+  ASSERT_TRUE(manager.SetSituation("preflight").ok());
+  EXPECT_EQ(manager.current_situation(), "preflight");
+  EXPECT_DOUBLE_EQ(rig.runtime->directives().charging, 1.0);
+  ASSERT_TRUE(manager.SetSituation("overnight").ok());
+  EXPECT_LT(rig.runtime->directives().charging, 0.2);
+}
+
+TEST(PowerManagerTest, UnknownSituationRejected) {
+  Rig rig;
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), nullptr);
+  EXPECT_EQ(manager.SetSituation("disco").code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.current_situation(), "interactive");
+}
+
+TEST(PowerManagerTest, PerfLevelByTaskClass) {
+  Rig rig;
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), nullptr);
+  EXPECT_EQ(manager.ChoosePerfLevel(Task{"mail", 1.5, 8.0}), PerfLevel::kLow);
+  EXPECT_EQ(manager.ChoosePerfLevel(Task{"math", 200.0, 0.0}), PerfLevel::kHigh);
+}
+
+TEST(PowerManagerTest, PollPredictorForwardsHints) {
+  Rig rig;
+  UserSchedulePredictor predictor;
+  for (int day = 0; day < 3; ++day) {
+    std::vector<Power> d(24, Watts(0.05));
+    d[18] = Watts(6.0);
+    predictor.ObserveDay(d);
+  }
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), &predictor);
+  manager.PollPredictor(Hours(16.0));
+  ASSERT_TRUE(rig.runtime->workload_hint().has_value());
+  EXPECT_NEAR(ToHours(rig.runtime->workload_hint()->time_until), 2.0, 1e-9);
+}
+
+TEST(PowerManagerTest, PollWithoutPredictorIsNoOp) {
+  Rig rig;
+  OsPowerManager manager(&*rig.runtime, MakeDefaultPolicyDatabase(), nullptr);
+  manager.PollPredictor(Hours(10.0));
+  EXPECT_FALSE(rig.runtime->workload_hint().has_value());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,90 @@
+#include "src/os/predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+std::vector<Power> QuietDay() { return std::vector<Power>(24, Watts(0.05)); }
+
+std::vector<Power> DayWithRunAt(int hour, double watts = 0.9) {
+  auto day = QuietDay();
+  day[hour] = Watts(watts);
+  return day;
+}
+
+TEST(PredictorTest, NoObservationsNoPrediction) {
+  UserSchedulePredictor predictor;
+  EXPECT_FALSE(predictor.PredictNext(Hours(8.0)).has_value());
+}
+
+TEST(PredictorTest, LearnsRecurringHour) {
+  UserSchedulePredictor predictor;
+  for (int day = 0; day < 5; ++day) {
+    predictor.ObserveDay(DayWithRunAt(18));
+  }
+  auto recurring = predictor.RecurringHours();
+  ASSERT_EQ(recurring.size(), 1u);
+  EXPECT_EQ(recurring[0], 18);
+}
+
+TEST(PredictorTest, OneOffEventBelowThresholdIgnored) {
+  UserSchedulePredictor predictor;
+  predictor.ObserveDay(DayWithRunAt(18));
+  for (int day = 0; day < 4; ++day) {
+    predictor.ObserveDay(QuietDay());
+  }
+  EXPECT_TRUE(predictor.RecurringHours().empty());
+  EXPECT_FALSE(predictor.PredictNext(Hours(8.0)).has_value());
+}
+
+TEST(PredictorTest, HintTimingAndPower) {
+  UserSchedulePredictor predictor;
+  for (int day = 0; day < 3; ++day) {
+    predictor.ObserveDay(DayWithRunAt(18, 0.9));
+  }
+  auto hint = predictor.PredictNext(Hours(10.0));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_NEAR(ToHours(hint->time_until), 8.0, 1e-9);
+  EXPECT_NEAR(hint->expected_power.value(), 0.9, 1e-9);
+}
+
+TEST(PredictorTest, WrapsPastMidnight) {
+  UserSchedulePredictor predictor;
+  PredictorConfig config;
+  config.lookahead = Hours(24.0);
+  UserSchedulePredictor wrap(config);
+  for (int day = 0; day < 3; ++day) {
+    wrap.ObserveDay(DayWithRunAt(6));
+  }
+  auto hint = wrap.PredictNext(Hours(23.0));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_NEAR(ToHours(hint->time_until), 7.0, 1e-9);
+}
+
+TEST(PredictorTest, LookaheadLimitsHints) {
+  PredictorConfig config;
+  config.lookahead = Hours(2.0);
+  UserSchedulePredictor predictor(config);
+  for (int day = 0; day < 3; ++day) {
+    predictor.ObserveDay(DayWithRunAt(18));
+  }
+  EXPECT_FALSE(predictor.PredictNext(Hours(8.0)).has_value());  // 10 h away.
+  EXPECT_TRUE(predictor.PredictNext(Hours(17.0)).has_value());  // 1 h away.
+}
+
+TEST(PredictorTest, PicksNearestOfSeveralHours) {
+  UserSchedulePredictor predictor;
+  for (int day = 0; day < 3; ++day) {
+    auto d = QuietDay();
+    d[9] = Watts(0.9);
+    d[18] = Watts(0.8);
+    predictor.ObserveDay(d);
+  }
+  auto hint = predictor.PredictNext(Hours(10.0));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_NEAR(ToHours(hint->time_until), 8.0, 1e-9);  // 18:00 is next.
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,102 @@
+#include "src/os/workload_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/os/power_manager.h"
+#include "src/util/rng.h"
+
+namespace sdb {
+namespace {
+
+TEST(WorkloadClassifierTest, StartsIdle) {
+  WorkloadClassifier classifier;
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kIdle);
+  EXPECT_DOUBLE_EQ(classifier.MeanPowerW(), 0.0);
+}
+
+TEST(WorkloadClassifierTest, IdleRegime) {
+  WorkloadClassifier classifier;
+  for (int k = 0; k < 30; ++k) {
+    classifier.Observe(Watts(0.1));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kIdle);
+  EXPECT_EQ(classifier.SuggestedSituation(), "overnight");
+}
+
+TEST(WorkloadClassifierTest, BurstyMediumIsInteractive) {
+  WorkloadClassifier classifier;
+  Rng rng(4);
+  for (int k = 0; k < 60; ++k) {
+    // Alternate idle and screen-on bursts: mean ~3 W, high variance.
+    classifier.Observe(Watts(rng.NextDouble() < 0.5 ? 0.5 : 6.0));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kInteractive);
+  EXPECT_GT(classifier.PowerCv(), 0.5);
+}
+
+TEST(WorkloadClassifierTest, FlatHighIsSustained) {
+  WorkloadClassifier classifier;
+  for (int k = 0; k < 60; ++k) {
+    classifier.Observe(Watts(9.0));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kSustained);
+  EXPECT_LT(classifier.PowerCv(), 0.1);
+  EXPECT_EQ(classifier.SuggestedSituation(), "low-battery");
+}
+
+TEST(WorkloadClassifierTest, NearCeilingIsPeak) {
+  WorkloadClassifier classifier;
+  for (int k = 0; k < 60; ++k) {
+    classifier.Observe(Watts(22.0));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kPeak);
+  EXPECT_EQ(classifier.SuggestedSituation(), "performance");
+}
+
+TEST(WorkloadClassifierTest, WindowForgetsOldRegime) {
+  WorkloadClassifierConfig config;
+  config.window = 20;
+  WorkloadClassifier classifier(config);
+  for (int k = 0; k < 20; ++k) {
+    classifier.Observe(Watts(22.0));
+  }
+  ASSERT_EQ(classifier.Classify(), WorkloadClass::kPeak);
+  for (int k = 0; k < 20; ++k) {
+    classifier.Observe(Watts(0.1));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadClass::kIdle);
+}
+
+TEST(WorkloadClassifierTest, ClassNames) {
+  EXPECT_EQ(WorkloadClassName(WorkloadClass::kIdle), "idle");
+  EXPECT_EQ(WorkloadClassName(WorkloadClass::kPeak), "peak");
+}
+
+TEST(PowerManagerAutoTuneTest, RegimeChangeSwitchesSituation) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 91);
+  SdbRuntime runtime(&micro);
+  OsPowerManager manager(&runtime, MakeDefaultPolicyDatabase(), nullptr);
+  EXPECT_EQ(manager.current_situation(), "interactive");
+
+  // Sustained gaming-level draw flips the manager to performance mode (the
+  // switch is debounced, so the regime must persist for a while).
+  manager.set_situation_debounce(10);
+  for (int k = 0; k < 80; ++k) {
+    manager.ObservePower(Watts(20.0));
+  }
+  EXPECT_EQ(manager.current_situation(), "performance");
+  EXPECT_GT(runtime.directives().discharging, 0.8);
+
+  // Back to standby: overnight wear protection.
+  for (int k = 0; k < 80; ++k) {
+    manager.ObservePower(Watts(0.1));
+  }
+  EXPECT_EQ(manager.current_situation(), "overnight");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,45 @@
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  SDB_CHECK(1 + 1 == 2);
+  SDB_CHECK(true);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithLocation) {
+  EXPECT_DEATH(SDB_CHECK(2 + 2 == 5), "CHECK failed: 2 \\+ 2 == 5");
+  EXPECT_DEATH(SDB_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckTest, CheckEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto bump = [&]() {
+    ++calls;
+    return true;
+  };
+  SDB_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DCheckTest, DisabledInReleaseEnabledInDebug) {
+#ifdef NDEBUG
+  // Release build: the expression must not even be evaluated.
+  int calls = 0;
+  auto bump = [&]() {
+    ++calls;
+    return false;
+  };
+  SDB_DCHECK(bump());
+  (void)bump;  // The release macro discards its argument entirely.
+  EXPECT_EQ(calls, 0);
+#else
+  EXPECT_DEATH(SDB_DCHECK(false), "CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace sdb

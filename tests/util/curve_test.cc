@@ -1,0 +1,107 @@
+#include "src/util/curve.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+PiecewiseLinearCurve Ramp() {
+  return PiecewiseLinearCurve::FromTable({{0.0, 0.0}, {1.0, 10.0}});
+}
+
+TEST(CurveTest, CreateRejectsTooFewPoints) {
+  auto curve = PiecewiseLinearCurve::Create({{0.0, 1.0}});
+  EXPECT_FALSE(curve.ok());
+  EXPECT_EQ(curve.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CurveTest, CreateRejectsNonIncreasingX) {
+  auto curve = PiecewiseLinearCurve::Create({{0.0, 1.0}, {0.0, 2.0}});
+  EXPECT_FALSE(curve.ok());
+  auto curve2 = PiecewiseLinearCurve::Create({{1.0, 1.0}, {0.5, 2.0}});
+  EXPECT_FALSE(curve2.ok());
+}
+
+TEST(CurveTest, CreateRejectsNonFinite) {
+  auto curve = PiecewiseLinearCurve::Create({{0.0, 1.0}, {1.0, 1.0 / 0.0}});
+  EXPECT_FALSE(curve.ok());
+}
+
+TEST(CurveTest, InterpolatesLinearly) {
+  auto c = Ramp();
+  EXPECT_DOUBLE_EQ(c.Evaluate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Evaluate(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(c.Evaluate(1.0), 10.0);
+}
+
+TEST(CurveTest, ClampsOutsideRange) {
+  auto c = Ramp();
+  EXPECT_DOUBLE_EQ(c.Evaluate(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Evaluate(5.0), 10.0);
+}
+
+TEST(CurveTest, MultiSegmentInterpolation) {
+  auto c = PiecewiseLinearCurve::FromTable({{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}, {4.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.Evaluate(1.5), 2.5);
+  EXPECT_DOUBLE_EQ(c.Evaluate(3.0), 4.0);
+}
+
+TEST(CurveTest, Derivative) {
+  auto c = PiecewiseLinearCurve::FromTable({{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.Derivative(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(c.Derivative(1.5), 3.0);
+  // End segments are used outside the range.
+  EXPECT_DOUBLE_EQ(c.Derivative(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Derivative(9.0), 3.0);
+}
+
+TEST(CurveTest, Monotonicity) {
+  EXPECT_TRUE(Ramp().IsMonotoneIncreasing());
+  EXPECT_FALSE(Ramp().IsMonotoneDecreasing());
+  auto down = PiecewiseLinearCurve::FromTable({{0.0, 5.0}, {1.0, 1.0}});
+  EXPECT_TRUE(down.IsMonotoneDecreasing());
+  auto humped = PiecewiseLinearCurve::FromTable({{0.0, 0.0}, {1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_FALSE(humped.IsMonotoneIncreasing());
+  EXPECT_FALSE(humped.IsMonotoneDecreasing());
+}
+
+TEST(CurveTest, SolveForXOnIncreasingCurve) {
+  auto c = Ramp();
+  auto x = c.SolveForX(2.5);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 0.25);
+}
+
+TEST(CurveTest, SolveForXOnDecreasingCurve) {
+  auto c = PiecewiseLinearCurve::FromTable({{0.0, 10.0}, {2.0, 0.0}});
+  auto x = c.SolveForX(5.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 1.0);
+}
+
+TEST(CurveTest, SolveForXRejectsNonMonotone) {
+  auto humped = PiecewiseLinearCurve::FromTable({{0.0, 0.0}, {1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_EQ(humped.SolveForX(1.5).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CurveTest, SolveForXRejectsOutOfRange) {
+  EXPECT_EQ(Ramp().SolveForX(11.0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CurveTest, MinMaxAccessors) {
+  auto c = PiecewiseLinearCurve::FromTable({{0.0, 3.0}, {1.0, -1.0}, {2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(c.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max_x(), 2.0);
+  EXPECT_DOUBLE_EQ(c.min_y(), -1.0);
+  EXPECT_DOUBLE_EQ(c.max_y(), 7.0);
+}
+
+TEST(CurveTest, ScaledAndShifted) {
+  auto c = Ramp().ScaledY(2.0);
+  EXPECT_DOUBLE_EQ(c.Evaluate(0.5), 10.0);
+  auto d = Ramp().ShiftedY(1.0);
+  EXPECT_DOUBLE_EQ(d.Evaluate(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace sdb

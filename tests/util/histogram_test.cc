@@ -1,0 +1,81 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(RunningStatsDeathTest, MinOnEmptyAborts) {
+  RunningStats s;
+  EXPECT_DEATH((void)s.min(), "CHECK failed");
+}
+
+TEST(HistogramTest, BinsSamples) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(3.0);   // bin 1
+  h.Add(9.9);   // bin 4
+  EXPECT_EQ(h.BinCount(0), 1u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(4), 1u);
+  EXPECT_EQ(h.BinCount(2), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.BinCount(0), 1u);
+  EXPECT_EQ(h.BinCount(3), 1u);
+}
+
+TEST(HistogramTest, BinLowEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(3), 6.0);
+}
+
+TEST(HistogramTest, CarriesStats) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(2.0);
+  h.Add(4.0);
+  EXPECT_EQ(h.stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(h.stats().mean(), 3.0);
+}
+
+TEST(HistogramDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 0.0, 5), "CHECK failed");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sdb

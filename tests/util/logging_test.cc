@@ -1,0 +1,57 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The suite may have changed it; assert the setter/getter round-trips.
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetLevels) {
+  for (LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning, LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, MacroStreamsValues) {
+  SetLogLevel(LogLevel::kError);  // Suppress output during the test run.
+  // Must compile and not crash with mixed stream arguments.
+  SDB_LOG(Debug) << "value " << 42 << " and " << 3.14;
+  SDB_LOG(Info) << "info message";
+  SDB_LOG(Warning) << "warning message";
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEmit) {
+  // Capture stderr around a suppressed message.
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SDB_LOG(Debug) << "should not appear";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EnabledMessagesEmitWithTag) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  SDB_LOG(Error) << "boom";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdb

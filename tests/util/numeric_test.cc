@@ -1,0 +1,106 @@
+#include "src/util/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(AlmostEqualTest, AbsoluteAndRelative) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ClampDeathTest, RejectsInvertedBounds) {
+  EXPECT_DEATH(Clamp(0.0, 1.0, 0.0), "CHECK failed");
+}
+
+TEST(LerpTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 10.0, 0.3), 3.0);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 0.0, 0.5), 5.0);
+}
+
+TEST(QuadraticTest, TwoRealRoots) {
+  // x^2 - 3x + 2 = 0 -> {1, 2}.
+  QuadraticRoots r = SolveQuadratic(1.0, -3.0, 2.0);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_NEAR(r.lo, 1.0, 1e-12);
+  EXPECT_NEAR(r.hi, 2.0, 1e-12);
+}
+
+TEST(QuadraticTest, NoRealRoots) {
+  QuadraticRoots r = SolveQuadratic(1.0, 0.0, 1.0);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(QuadraticTest, LinearDegenerate) {
+  QuadraticRoots r = SolveQuadratic(0.0, 2.0, -4.0);
+  ASSERT_EQ(r.count, 1);
+  EXPECT_DOUBLE_EQ(r.lo, 2.0);
+}
+
+TEST(QuadraticTest, NumericallyStableForSmallA) {
+  // Catastrophic cancellation case: tiny a, large b.
+  QuadraticRoots r = SolveQuadratic(1e-10, -1.0, 1.0);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_NEAR(r.lo, 1.0, 1e-6);
+}
+
+TEST(QuadraticTest, BatteryLoadEquation) {
+  // R*I^2 - E*I + P = 0 with R=0.05, E=3.7, P=5: the stable branch.
+  QuadraticRoots r = SolveQuadratic(0.05, -3.7, 5.0);
+  ASSERT_EQ(r.count, 2);
+  double i = r.lo;
+  EXPECT_NEAR((3.7 - 0.05 * i) * i, 5.0, 1e-9);
+  EXPECT_LT(i, 3.7 / (2 * 0.05));  // Below the max-power current.
+}
+
+TEST(BisectTest, FindsRoot) {
+  auto root = Bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NEAR(*root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectTest, EndpointRoot) {
+  auto root = Bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_DOUBLE_EQ(*root, 0.0);
+}
+
+TEST(BisectTest, RejectsNonBracketing) {
+  auto root = Bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(root.ok());
+  EXPECT_EQ(root.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BisectTest, RejectsInvertedInterval) {
+  auto root = Bisect([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_FALSE(root.ok());
+}
+
+TEST(SolveMonotoneTest, FindsTarget) {
+  auto x = SolveMonotone([](double v) { return 3.0 * v; }, 6.0, 0.0, 10.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(*x, 2.0, 1e-9);
+}
+
+TEST(IntegrateTrapezoidTest, ExactForLinear) {
+  double integral = IntegrateTrapezoid([](double x) { return 2.0 * x; }, 0.0, 1.0, 4);
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(IntegrateTrapezoidTest, ConvergesForQuadratic) {
+  double integral = IntegrateTrapezoid([](double x) { return x * x; }, 0.0, 1.0, 1000);
+  EXPECT_NEAR(integral, 1.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sdb

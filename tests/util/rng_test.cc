@@ -1,0 +1,107 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int kN = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScalesMeanAndStddev) {
+  Rng rng(17);
+  const int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Gaussian(5.0, 0.1);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(21);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngDeathTest, BoundedRejectsZero) {
+  Rng rng(23);
+  EXPECT_DEATH(rng.NextBounded(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,49 @@
+#include "src/util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(1.0, 0), "1");
+  EXPECT_EQ(TextTable::Num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableDeathTest, RowArityMustMatch) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(BannerTest, PrintsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 1");
+  EXPECT_EQ(os.str(), "\n== Figure 1 ==\n");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,88 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(UnitsTest, OhmsLawDimensionsCompose) {
+  Voltage v = Volts(3.7);
+  Current i = Amps(2.0);
+  Power p = v * i;
+  EXPECT_DOUBLE_EQ(p.value(), 7.4);
+  Resistance r = v / i;
+  EXPECT_DOUBLE_EQ(r.value(), 1.85);
+  Voltage back = Voltage(i * r);
+  EXPECT_DOUBLE_EQ(back.value(), 3.7);
+}
+
+TEST(UnitsTest, EnergyIsPowerTimesTime) {
+  Energy e = Watts(10.0) * Seconds(60.0);
+  EXPECT_DOUBLE_EQ(e.value(), 600.0);
+  EXPECT_DOUBLE_EQ(ToWattHours(e), 600.0 / 3600.0);
+}
+
+TEST(UnitsTest, ChargeIsCurrentTimesTime) {
+  Charge q = Amps(2.0) * Hours(1.0);
+  EXPECT_DOUBLE_EQ(ToAmpHours(q), 2.0);
+  EXPECT_DOUBLE_EQ(ToMilliAmpHours(q), 2000.0);
+}
+
+TEST(UnitsTest, FactoryConversions) {
+  EXPECT_DOUBLE_EQ(Minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(Hours(1.5).value(), 5400.0);
+  EXPECT_DOUBLE_EQ(MilliAmps(250.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(MilliAmpHours(1000.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(MilliVolts(3700.0).value(), 3.7);
+  EXPECT_DOUBLE_EQ(MilliOhms(50.0).value(), 0.05);
+  EXPECT_DOUBLE_EQ(MilliWatts(1500.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(WattHours(1.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(Grams(500.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ToLitres(Litres(0.25)), 0.25);
+  EXPECT_NEAR(CubicMillimetres(1e6).value(), 1e-3, 1e-12);
+}
+
+TEST(UnitsTest, TemperatureConversions) {
+  EXPECT_DOUBLE_EQ(Celsius(25.0).value(), 298.15);
+  EXPECT_DOUBLE_EQ(ToCelsius(Kelvin(298.15)), 25.0);
+}
+
+TEST(UnitsTest, ArithmeticOperators) {
+  Power p = Watts(5.0);
+  p += Watts(3.0);
+  EXPECT_DOUBLE_EQ(p.value(), 8.0);
+  p -= Watts(2.0);
+  EXPECT_DOUBLE_EQ(p.value(), 6.0);
+  p *= 2.0;
+  EXPECT_DOUBLE_EQ(p.value(), 12.0);
+  p /= 4.0;
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * p).value(), 6.0);
+  EXPECT_DOUBLE_EQ((-p).value(), -3.0);
+}
+
+TEST(UnitsTest, Comparisons) {
+  EXPECT_LT(Watts(1.0), Watts(2.0));
+  EXPECT_GE(Volts(3.7), Volts(3.7));
+  EXPECT_EQ(Min(Amps(1.0), Amps(2.0)), Amps(1.0));
+  EXPECT_EQ(Max(Amps(1.0), Amps(2.0)), Amps(2.0));
+  EXPECT_EQ(Abs(Amps(-1.5)), Amps(1.5));
+}
+
+TEST(UnitsTest, RatioOfLikeQuantities) {
+  EXPECT_DOUBLE_EQ(Ratio(Hours(2.0), Hours(1.0)), 2.0);
+}
+
+TEST(UnitsTest, EnergyDensityHelper) {
+  // 10 Wh in 20 ml -> 500 Wh/l.
+  EXPECT_NEAR(WattHoursPerLitre(WattHours(10.0), Litres(0.02)), 500.0, 1e-9);
+}
+
+TEST(UnitsTest, CapacitorDimension) {
+  // tau = R * C has time dimension.
+  Duration tau = Duration(Ohms(10.0) * Farads(3.0));
+  EXPECT_DOUBLE_EQ(tau.value(), 30.0);
+}
+
+}  // namespace
+}  // namespace sdb

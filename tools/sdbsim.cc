@@ -1,0 +1,414 @@
+// sdbsim — command-line driver for the SDB stack.
+//
+// Lets a user assemble a heterogeneous pack from the battery library, play
+// a constant load or a recorded CSV power trace through the SDB runtime,
+// and inspect the outcome — without writing any C++.
+//
+// Examples:
+//   sdbsim list
+//   sdbsim simulate --battery fast:4000 --battery high-energy:4000 \
+//          --load-watts 8 --hours 4 --discharge-directive 0.9
+//   sdbsim simulate --battery watch:200 --battery bendable:200 \
+//          --trace day.csv --tick 5 --hourly-csv out.csv
+//   sdbsim plan-charge --battery high-energy:4000 --soc 0.2 --deadline-hours 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chem/library.h"
+#include "src/core/charge_planner.h"
+#include "src/core/optimizer.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/trace_io.h"
+#include "src/hw/microcontroller.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace sdb;
+
+// --- Battery registry --------------------------------------------------------
+
+using Factory = BatteryParams (*)(Charge);
+
+BatteryParams MakeType2Default(Charge c) { return MakeType2Standard(c, 0); }
+BatteryParams MakeType3Default(Charge c) { return MakeType3FastCharge(c, 0); }
+BatteryParams MakeType4Default(Charge c) { return MakeType4Bendable(c, 0); }
+
+const std::map<std::string, Factory>& Registry() {
+  static const std::map<std::string, Factory> kRegistry = {
+      {"type1", MakeType1PowerCell},     {"type2", MakeType2Default},
+      {"type3", MakeType3Default},       {"type4", MakeType4Default},
+      {"fast", MakeFastChargeTablet},    {"high-energy", MakeHighEnergyTablet},
+      {"watch", MakeWatchLiIon},         {"bendable", MakeType4Default},
+      {"2in1-internal", MakeTwoInOneInternal}, {"2in1-external", MakeTwoInOneExternal},
+  };
+  return kRegistry;
+}
+
+// Parses "name:mah" into battery params.
+std::optional<BatteryParams> ParseBatterySpec(const std::string& spec) {
+  size_t colon = spec.find(':');
+  std::string name = colon == std::string::npos ? spec : spec.substr(0, colon);
+  double mah = 3000.0;
+  if (colon != std::string::npos) {
+    mah = std::atof(spec.substr(colon + 1).c_str());
+    if (mah <= 0.0) {
+      std::fprintf(stderr, "sdbsim: invalid capacity in '%s'\n", spec.c_str());
+      return std::nullopt;
+    }
+  }
+  auto it = Registry().find(name);
+  if (it == Registry().end()) {
+    std::fprintf(stderr, "sdbsim: unknown battery '%s' (try `sdbsim list`)\n", name.c_str());
+    return std::nullopt;
+  }
+  return it->second(MilliAmpHours(mah));
+}
+
+// --- Flag parsing -------------------------------------------------------------
+
+struct Args {
+  std::string command;
+  std::vector<std::string> batteries;
+  std::vector<double> battery_socs;  // Parallel to `batteries`; -1 = default.
+  double load_watts = 0.0;
+  double hours = 0.0;
+  std::string trace_path;
+  double supply_watts = 0.0;
+  double tick_s = 1.0;
+  double discharge_directive = 0.5;
+  double charge_directive = 0.5;
+  double deadline_hours = 8.0;
+  double target_soc = 1.0;
+  double soc = -1.0;  // Uniform initial SoC shortcut.
+  std::string hourly_csv;
+  uint64_t seed = 42;
+};
+
+std::optional<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 2) {
+    return std::nullopt;
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sdbsim: %s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if (flag == "--battery") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.batteries.push_back(value);
+      args.battery_socs.push_back(-1.0);
+    } else if (flag == "--pack") {
+      // Pack file: one battery per line, "name[:mah][:soc]"; '#' comments.
+      if ((value = next()) == nullptr) return std::nullopt;
+      std::ifstream in(value);
+      if (!in) {
+        std::fprintf(stderr, "sdbsim: cannot open pack file '%s'\n", value);
+        return std::nullopt;
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') {
+          continue;
+        }
+        line = line.substr(start);
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+          line.pop_back();
+        }
+        // Split off an optional trailing :soc (second colon).
+        double soc = -1.0;
+        size_t first = line.find(':');
+        size_t second = first == std::string::npos ? std::string::npos
+                                                   : line.find(':', first + 1);
+        if (second != std::string::npos) {
+          soc = std::atof(line.substr(second + 1).c_str());
+          line = line.substr(0, second);
+        }
+        args.batteries.push_back(line);
+        args.battery_socs.push_back(soc);
+      }
+    } else if (flag == "--soc") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.soc = std::atof(value);
+    } else if (flag == "--load-watts") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.load_watts = std::atof(value);
+    } else if (flag == "--hours") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.hours = std::atof(value);
+    } else if (flag == "--trace") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.trace_path = value;
+    } else if (flag == "--supply-watts") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.supply_watts = std::atof(value);
+    } else if (flag == "--tick") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.tick_s = std::atof(value);
+    } else if (flag == "--discharge-directive") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.discharge_directive = std::atof(value);
+    } else if (flag == "--charge-directive") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.charge_directive = std::atof(value);
+    } else if (flag == "--deadline-hours") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.deadline_hours = std::atof(value);
+    } else if (flag == "--target-soc") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.target_soc = std::atof(value);
+    } else if (flag == "--hourly-csv") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.hourly_csv = value;
+    } else if (flag == "--seed") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.seed = static_cast<uint64_t>(std::atoll(value));
+    } else {
+      std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sdbsim list\n"
+               "  sdbsim simulate (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+               "         (--load-watts W --hours H | --trace FILE.csv)\n"
+               "         [--supply-watts W] [--soc F] [--tick S]\n"
+               "         [--discharge-directive F] [--charge-directive F]\n"
+               "         [--hourly-csv OUT.csv] [--seed N]\n"
+               "  sdbsim plan-charge --battery NAME[:MAH] [--battery ...]\n"
+               "         --soc F --deadline-hours H [--target-soc F]\n"
+               "  sdbsim plan-discharge --battery A --battery B\n"
+               "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n");
+}
+
+// --- Commands -----------------------------------------------------------------
+
+int CmdList() {
+  TextTable table({"name", "chemistry", "default character"});
+  table.AddRow({"type1", "LiFePO4", "power-tool cell: 10C discharge, 2000 cycles"});
+  table.AddRow({"type2", "CoO2 standard", "everyday mobile cell"});
+  table.AddRow({"type3", "CoO2 fast-charge", "3C charge, lower energy density"});
+  table.AddRow({"type4", "ceramic bendable", "flexible, ohm-scale resistance"});
+  table.AddRow({"fast", "CoO2 fast-charge", "tablet fast-charging cell (Fig. 11)"});
+  table.AddRow({"high-energy", "CoO2 standard", "595 Wh/l tablet cell (Fig. 11)"});
+  table.AddRow({"watch", "CoO2 standard", "small rigid watch cell (Fig. 13)"});
+  table.AddRow({"bendable", "ceramic bendable", "strap battery (Fig. 13)"});
+  table.AddRow({"2in1-internal", "CoO2 standard", "tablet-side battery (Fig. 14)"});
+  table.AddRow({"2in1-external", "CoO2 standard", "keyboard-base battery (Fig. 14)"});
+  table.Print(std::cout);
+  std::cout << "capacity suffix: NAME:MAH, e.g. fast:4000\n";
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  if (args.batteries.empty()) {
+    std::fprintf(stderr, "sdbsim: simulate needs at least one --battery\n");
+    return 2;
+  }
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < args.batteries.size(); ++i) {
+    auto params = ParseBatterySpec(args.batteries[i]);
+    if (!params.has_value()) {
+      return 2;
+    }
+    // Per-battery SoC from the pack file wins; then --soc; then full.
+    double soc = 1.0;
+    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
+      soc = args.battery_socs[i];
+    } else if (args.soc >= 0.0) {
+      soc = args.soc;
+    }
+    cells.emplace_back(std::move(*params), soc);
+  }
+
+  PowerTrace load;
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    load = *trace;
+  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
+    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
+  } else {
+    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+    return 2;
+  }
+
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), args.seed);
+  RuntimeConfig config;
+  config.directives.discharging = args.discharge_directive;
+  config.directives.charging = args.charge_directive;
+  SdbRuntime runtime(&micro, config);
+
+  SimConfig sim_config;
+  sim_config.tick = Seconds(args.tick_s);
+  sim_config.runtime_period = Seconds(std::max(30.0, args.tick_s));
+  sim_config.stop_on_shortfall = false;
+  Simulator sim(&runtime, sim_config);
+  PowerTrace supply = args.supply_watts > 0.0
+                          ? PowerTrace::Constant(Watts(args.supply_watts), load.TotalDuration())
+                          : PowerTrace();
+  SimResult result = sim.Run(load, supply);
+
+  std::printf("simulated %.2f h; delivered %.1f kJ; losses %.1f J battery + %.1f J circuit\n",
+              ToHours(result.elapsed), result.delivered.value() / 1000.0,
+              result.battery_loss.value(), result.circuit_loss.value());
+  if (result.first_shortfall.has_value()) {
+    std::printf("load first unmet at %.2f h\n", ToHours(*result.first_shortfall));
+  } else {
+    std::printf("load fully served\n");
+  }
+  for (size_t i = 0; i < result.final_soc.size(); ++i) {
+    const Cell& cell = micro.pack().cell(i);
+    std::printf("battery %zu (%s): SoC %.1f%%, %.1f cycles, %.2f C cell temperature\n", i,
+                cell.params().name.c_str(), 100.0 * result.final_soc[i],
+                cell.aging().cycle_count(), ToCelsius(cell.thermal().temperature()));
+  }
+
+  if (!args.hourly_csv.empty()) {
+    std::ofstream out(args.hourly_csv);
+    if (!out) {
+      std::fprintf(stderr, "sdbsim: cannot write %s\n", args.hourly_csv.c_str());
+      return 2;
+    }
+    out << "hour,load_j,battery_loss_j,circuit_loss_j\n";
+    for (size_t h = 0; h < result.hourly.size(); ++h) {
+      out << (h + 1) << "," << result.hourly[h].load_energy.value() << ","
+          << result.hourly[h].battery_loss.value() << ","
+          << result.hourly[h].circuit_loss.value() << "\n";
+    }
+    std::printf("hourly breakdown written to %s\n", args.hourly_csv.c_str());
+  }
+  return result.first_shortfall.has_value() ? 1 : 0;
+}
+
+int CmdPlanCharge(const Args& args) {
+  if (args.batteries.empty()) {
+    std::fprintf(stderr, "sdbsim: plan-charge needs at least one --battery\n");
+    return 2;
+  }
+  std::vector<BatteryParams> params;
+  for (const std::string& spec : args.batteries) {
+    auto p = ParseBatterySpec(spec);
+    if (!p.has_value()) {
+      return 2;
+    }
+    params.push_back(std::move(*p));
+  }
+  std::vector<ChargeGoal> goals;
+  for (const BatteryParams& p : params) {
+    goals.push_back(ChargeGoal{&p, args.soc >= 0.0 ? args.soc : 0.0, args.target_soc});
+  }
+  auto plan = PlanCharge(goals, Hours(args.deadline_hours));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "sdbsim: %s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+  TextTable table({"battery", "rate (C)", "current (A)", "time (min)", "fade (ppm)"});
+  for (size_t i = 0; i < plan->entries.size(); ++i) {
+    const ChargePlanEntry& e = plan->entries[i];
+    table.AddRow({params[i].name, TextTable::Num(e.c_rate, 3),
+                  TextTable::Num(e.current.value(), 2),
+                  TextTable::Num(ToMinutes(e.time_to_target), 0),
+                  TextTable::Num(1e6 * e.predicted_fade, 1)});
+  }
+  table.Print(std::cout);
+  std::printf("completion in %.0f min; needs %.1f W at the wall; %s the %.1f h deadline\n",
+              ToMinutes(plan->completion), plan->peak_supply.value(),
+              plan->meets_deadline ? "meets" : "MISSES", args.deadline_hours);
+  return plan->meets_deadline ? 0 : 1;
+}
+
+int CmdPlanDischarge(const Args& args) {
+  if (args.batteries.size() != 2) {
+    std::fprintf(stderr, "sdbsim: plan-discharge needs exactly two --battery specs\n");
+    return 2;
+  }
+  PowerTrace load;
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    load = *trace;
+  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
+    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
+  } else {
+    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+    return 2;
+  }
+  auto p0 = ParseBatterySpec(args.batteries[0]);
+  auto p1 = ParseBatterySpec(args.batteries[1]);
+  if (!p0.has_value() || !p1.has_value()) {
+    return 2;
+  }
+  double soc = args.soc >= 0.0 ? args.soc : 1.0;
+  PlanResult plan = PlanOptimalDischarge({&*p0, soc}, {&*p1, soc}, load);
+  std::printf("offline-optimal plan: %.2f h serviced (%s), predicted loss %.1f J\n",
+              ToHours(plan.serviced), plan.full_trace_served ? "full trace" : "partial",
+              plan.predicted_loss.value());
+  // Summarise the schedule in quarters of the serviced window.
+  if (!plan.share_schedule.empty()) {
+    size_t n = plan.share_schedule.size();
+    for (int q = 0; q < 4; ++q) {
+      size_t lo = q * n / 4;
+      size_t hi = std::max(lo + 1, (q + 1) * n / 4);
+      double sum = 0.0;
+      for (size_t i = lo; i < hi; ++i) {
+        sum += plan.share_schedule[i];
+      }
+      std::printf("  quarter %d: battery A carries %.0f%% of the load\n", q + 1,
+                  100.0 * sum / static_cast<double>(hi - lo));
+    }
+  }
+  return plan.full_trace_served ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> args = ParseArgs(argc, argv);
+  if (!args.has_value()) {
+    PrintUsage();
+    return 2;
+  }
+  if (args->command == "list") {
+    return CmdList();
+  }
+  if (args->command == "simulate") {
+    return CmdSimulate(*args);
+  }
+  if (args->command == "plan-charge") {
+    return CmdPlanCharge(*args);
+  }
+  if (args->command == "plan-discharge") {
+    return CmdPlanDischarge(*args);
+  }
+  std::fprintf(stderr, "sdbsim: unknown command '%s'\n", args->command.c_str());
+  PrintUsage();
+  return 2;
+}
