@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fastcharge.dir/bench/bench_fig11_fastcharge.cc.o"
+  "CMakeFiles/bench_fig11_fastcharge.dir/bench/bench_fig11_fastcharge.cc.o.d"
+  "bench/bench_fig11_fastcharge"
+  "bench/bench_fig11_fastcharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fastcharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

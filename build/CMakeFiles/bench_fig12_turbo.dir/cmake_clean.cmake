@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_turbo.dir/bench/bench_fig12_turbo.cc.o"
+  "CMakeFiles/bench_fig12_turbo.dir/bench/bench_fig12_turbo.cc.o.d"
+  "bench/bench_fig12_turbo"
+  "bench/bench_fig12_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

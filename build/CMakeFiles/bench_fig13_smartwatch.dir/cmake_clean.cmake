@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_smartwatch.dir/bench/bench_fig13_smartwatch.cc.o"
+  "CMakeFiles/bench_fig13_smartwatch.dir/bench/bench_fig13_smartwatch.cc.o.d"
+  "bench/bench_fig13_smartwatch"
+  "bench/bench_fig13_smartwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_smartwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_twoin1.dir/bench/bench_fig14_twoin1.cc.o"
+  "CMakeFiles/bench_fig14_twoin1.dir/bench/bench_fig14_twoin1.cc.o.d"
+  "bench/bench_fig14_twoin1"
+  "bench/bench_fig14_twoin1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_twoin1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_radar.dir/bench/bench_fig1a_radar.cc.o"
+  "CMakeFiles/bench_fig1a_radar.dir/bench/bench_fig1a_radar.cc.o.d"
+  "bench/bench_fig1a_radar"
+  "bench/bench_fig1a_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

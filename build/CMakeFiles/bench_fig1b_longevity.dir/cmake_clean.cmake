@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_longevity.dir/bench/bench_fig1b_longevity.cc.o"
+  "CMakeFiles/bench_fig1b_longevity.dir/bench/bench_fig1b_longevity.cc.o.d"
+  "bench/bench_fig1b_longevity"
+  "bench/bench_fig1b_longevity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_longevity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

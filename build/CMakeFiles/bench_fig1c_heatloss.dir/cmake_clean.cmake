@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_heatloss.dir/bench/bench_fig1c_heatloss.cc.o"
+  "CMakeFiles/bench_fig1c_heatloss.dir/bench/bench_fig1c_heatloss.cc.o.d"
+  "bench/bench_fig1c_heatloss"
+  "bench/bench_fig1c_heatloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_heatloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

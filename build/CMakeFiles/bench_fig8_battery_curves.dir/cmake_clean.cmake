@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_battery_curves.dir/bench/bench_fig8_battery_curves.cc.o"
+  "CMakeFiles/bench_fig8_battery_curves.dir/bench/bench_fig8_battery_curves.cc.o.d"
+  "bench/bench_fig8_battery_curves"
+  "bench/bench_fig8_battery_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_battery_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_optimal_vs_myopic.cc" "CMakeFiles/bench_optimal_vs_myopic.dir/bench/bench_optimal_vs_myopic.cc.o" "gcc" "CMakeFiles/bench_optimal_vs_myopic.dir/bench/bench_optimal_vs_myopic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

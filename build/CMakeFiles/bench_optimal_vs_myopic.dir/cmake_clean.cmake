@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_vs_myopic.dir/bench/bench_optimal_vs_myopic.cc.o"
+  "CMakeFiles/bench_optimal_vs_myopic.dir/bench/bench_optimal_vs_myopic.cc.o.d"
+  "bench/bench_optimal_vs_myopic"
+  "bench/bench_optimal_vs_myopic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_vs_myopic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tradeoffs.dir/bench/bench_table2_tradeoffs.cc.o"
+  "CMakeFiles/bench_table2_tradeoffs.dir/bench/bench_table2_tradeoffs.cc.o.d"
+  "bench/bench_table2_tradeoffs"
+  "bench/bench_table2_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weekly_wear.dir/bench/bench_weekly_wear.cc.o"
+  "CMakeFiles/bench_weekly_wear.dir/bench/bench_weekly_wear.cc.o.d"
+  "bench/bench_weekly_wear"
+  "bench/bench_weekly_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weekly_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

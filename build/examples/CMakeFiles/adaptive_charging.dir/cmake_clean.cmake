@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_charging.dir/adaptive_charging.cpp.o"
+  "CMakeFiles/adaptive_charging.dir/adaptive_charging.cpp.o.d"
+  "adaptive_charging"
+  "adaptive_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

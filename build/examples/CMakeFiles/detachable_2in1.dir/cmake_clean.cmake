@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detachable_2in1.dir/detachable_2in1.cpp.o"
+  "CMakeFiles/detachable_2in1.dir/detachable_2in1.cpp.o.d"
+  "detachable_2in1"
+  "detachable_2in1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detachable_2in1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

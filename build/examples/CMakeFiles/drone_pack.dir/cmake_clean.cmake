@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_pack.dir/drone_pack.cpp.o"
+  "CMakeFiles/drone_pack.dir/drone_pack.cpp.o.d"
+  "drone_pack"
+  "drone_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_route.dir/ev_route.cpp.o"
+  "CMakeFiles/ev_route.dir/ev_route.cpp.o.d"
+  "ev_route"
+  "ev_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

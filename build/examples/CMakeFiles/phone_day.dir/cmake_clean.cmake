@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_day.dir/phone_day.cpp.o"
+  "CMakeFiles/phone_day.dir/phone_day.cpp.o.d"
+  "phone_day"
+  "phone_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

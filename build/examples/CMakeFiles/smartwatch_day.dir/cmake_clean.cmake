@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartwatch_day.dir/smartwatch_day.cpp.o"
+  "CMakeFiles/smartwatch_day.dir/smartwatch_day.cpp.o.d"
+  "smartwatch_day"
+  "smartwatch_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartwatch_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

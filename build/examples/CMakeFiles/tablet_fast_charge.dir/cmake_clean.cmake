@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablet_fast_charge.dir/tablet_fast_charge.cpp.o"
+  "CMakeFiles/tablet_fast_charge.dir/tablet_fast_charge.cpp.o.d"
+  "tablet_fast_charge"
+  "tablet_fast_charge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablet_fast_charge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

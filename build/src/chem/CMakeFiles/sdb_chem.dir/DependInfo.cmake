@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/aging.cc" "src/chem/CMakeFiles/sdb_chem.dir/aging.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/aging.cc.o.d"
+  "/root/repo/src/chem/battery_params.cc" "src/chem/CMakeFiles/sdb_chem.dir/battery_params.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/battery_params.cc.o.d"
+  "/root/repo/src/chem/cell.cc" "src/chem/CMakeFiles/sdb_chem.dir/cell.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/cell.cc.o.d"
+  "/root/repo/src/chem/library.cc" "src/chem/CMakeFiles/sdb_chem.dir/library.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/library.cc.o.d"
+  "/root/repo/src/chem/pack.cc" "src/chem/CMakeFiles/sdb_chem.dir/pack.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/pack.cc.o.d"
+  "/root/repo/src/chem/reference_cell.cc" "src/chem/CMakeFiles/sdb_chem.dir/reference_cell.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/reference_cell.cc.o.d"
+  "/root/repo/src/chem/soc_estimator.cc" "src/chem/CMakeFiles/sdb_chem.dir/soc_estimator.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/soc_estimator.cc.o.d"
+  "/root/repo/src/chem/thermal.cc" "src/chem/CMakeFiles/sdb_chem.dir/thermal.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/thermal.cc.o.d"
+  "/root/repo/src/chem/thevenin.cc" "src/chem/CMakeFiles/sdb_chem.dir/thevenin.cc.o" "gcc" "src/chem/CMakeFiles/sdb_chem.dir/thevenin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

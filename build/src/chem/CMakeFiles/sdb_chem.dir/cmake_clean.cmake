@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_chem.dir/aging.cc.o"
+  "CMakeFiles/sdb_chem.dir/aging.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/battery_params.cc.o"
+  "CMakeFiles/sdb_chem.dir/battery_params.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/cell.cc.o"
+  "CMakeFiles/sdb_chem.dir/cell.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/library.cc.o"
+  "CMakeFiles/sdb_chem.dir/library.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/pack.cc.o"
+  "CMakeFiles/sdb_chem.dir/pack.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/reference_cell.cc.o"
+  "CMakeFiles/sdb_chem.dir/reference_cell.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/soc_estimator.cc.o"
+  "CMakeFiles/sdb_chem.dir/soc_estimator.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/thermal.cc.o"
+  "CMakeFiles/sdb_chem.dir/thermal.cc.o.d"
+  "CMakeFiles/sdb_chem.dir/thevenin.cc.o"
+  "CMakeFiles/sdb_chem.dir/thevenin.cc.o.d"
+  "libsdb_chem.a"
+  "libsdb_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/sdb_core.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/allocator.cc.o.d"
+  "/root/repo/src/core/blended_policy.cc" "src/core/CMakeFiles/sdb_core.dir/blended_policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/blended_policy.cc.o.d"
+  "/root/repo/src/core/ccb_policy.cc" "src/core/CMakeFiles/sdb_core.dir/ccb_policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/ccb_policy.cc.o.d"
+  "/root/repo/src/core/charge_planner.cc" "src/core/CMakeFiles/sdb_core.dir/charge_planner.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/charge_planner.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/sdb_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/mpc_policy.cc" "src/core/CMakeFiles/sdb_core.dir/mpc_policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/mpc_policy.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/sdb_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/sdb_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_db.cc" "src/core/CMakeFiles/sdb_core.dir/policy_db.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/policy_db.cc.o.d"
+  "/root/repo/src/core/rbl_policy.cc" "src/core/CMakeFiles/sdb_core.dir/rbl_policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/rbl_policy.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/sdb_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/schedule_policy.cc" "src/core/CMakeFiles/sdb_core.dir/schedule_policy.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/schedule_policy.cc.o.d"
+  "/root/repo/src/core/telemetry.cc" "src/core/CMakeFiles/sdb_core.dir/telemetry.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/telemetry.cc.o.d"
+  "/root/repo/src/core/workload_aware.cc" "src/core/CMakeFiles/sdb_core.dir/workload_aware.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/workload_aware.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

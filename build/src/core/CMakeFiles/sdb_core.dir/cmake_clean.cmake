@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_core.dir/allocator.cc.o"
+  "CMakeFiles/sdb_core.dir/allocator.cc.o.d"
+  "CMakeFiles/sdb_core.dir/blended_policy.cc.o"
+  "CMakeFiles/sdb_core.dir/blended_policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/ccb_policy.cc.o"
+  "CMakeFiles/sdb_core.dir/ccb_policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/charge_planner.cc.o"
+  "CMakeFiles/sdb_core.dir/charge_planner.cc.o.d"
+  "CMakeFiles/sdb_core.dir/metrics.cc.o"
+  "CMakeFiles/sdb_core.dir/metrics.cc.o.d"
+  "CMakeFiles/sdb_core.dir/mpc_policy.cc.o"
+  "CMakeFiles/sdb_core.dir/mpc_policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/optimizer.cc.o"
+  "CMakeFiles/sdb_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/sdb_core.dir/policy.cc.o"
+  "CMakeFiles/sdb_core.dir/policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/policy_db.cc.o"
+  "CMakeFiles/sdb_core.dir/policy_db.cc.o.d"
+  "CMakeFiles/sdb_core.dir/rbl_policy.cc.o"
+  "CMakeFiles/sdb_core.dir/rbl_policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/runtime.cc.o"
+  "CMakeFiles/sdb_core.dir/runtime.cc.o.d"
+  "CMakeFiles/sdb_core.dir/schedule_policy.cc.o"
+  "CMakeFiles/sdb_core.dir/schedule_policy.cc.o.d"
+  "CMakeFiles/sdb_core.dir/telemetry.cc.o"
+  "CMakeFiles/sdb_core.dir/telemetry.cc.o.d"
+  "CMakeFiles/sdb_core.dir/workload_aware.cc.o"
+  "CMakeFiles/sdb_core.dir/workload_aware.cc.o.d"
+  "libsdb_core.a"
+  "libsdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

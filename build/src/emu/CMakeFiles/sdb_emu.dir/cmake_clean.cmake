@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_emu.dir/device.cc.o"
+  "CMakeFiles/sdb_emu.dir/device.cc.o.d"
+  "CMakeFiles/sdb_emu.dir/monte_carlo.cc.o"
+  "CMakeFiles/sdb_emu.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/sdb_emu.dir/simulator.cc.o"
+  "CMakeFiles/sdb_emu.dir/simulator.cc.o.d"
+  "CMakeFiles/sdb_emu.dir/workload.cc.o"
+  "CMakeFiles/sdb_emu.dir/workload.cc.o.d"
+  "libsdb_emu.a"
+  "libsdb_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_trace.dir/trace.cc.o"
+  "CMakeFiles/sdb_trace.dir/trace.cc.o.d"
+  "CMakeFiles/sdb_trace.dir/trace_io.cc.o"
+  "CMakeFiles/sdb_trace.dir/trace_io.cc.o.d"
+  "libsdb_trace.a"
+  "libsdb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

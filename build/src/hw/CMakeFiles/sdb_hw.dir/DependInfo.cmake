@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/acpi.cc" "src/hw/CMakeFiles/sdb_hw.dir/acpi.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/acpi.cc.o.d"
+  "/root/repo/src/hw/charge_circuit.cc" "src/hw/CMakeFiles/sdb_hw.dir/charge_circuit.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/charge_circuit.cc.o.d"
+  "/root/repo/src/hw/charge_profile.cc" "src/hw/CMakeFiles/sdb_hw.dir/charge_profile.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/charge_profile.cc.o.d"
+  "/root/repo/src/hw/command_link.cc" "src/hw/CMakeFiles/sdb_hw.dir/command_link.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/command_link.cc.o.d"
+  "/root/repo/src/hw/discharge_circuit.cc" "src/hw/CMakeFiles/sdb_hw.dir/discharge_circuit.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/discharge_circuit.cc.o.d"
+  "/root/repo/src/hw/fuel_gauge.cc" "src/hw/CMakeFiles/sdb_hw.dir/fuel_gauge.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/fuel_gauge.cc.o.d"
+  "/root/repo/src/hw/microcontroller.cc" "src/hw/CMakeFiles/sdb_hw.dir/microcontroller.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/microcontroller.cc.o.d"
+  "/root/repo/src/hw/pmic.cc" "src/hw/CMakeFiles/sdb_hw.dir/pmic.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/pmic.cc.o.d"
+  "/root/repo/src/hw/regulator.cc" "src/hw/CMakeFiles/sdb_hw.dir/regulator.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/regulator.cc.o.d"
+  "/root/repo/src/hw/safety.cc" "src/hw/CMakeFiles/sdb_hw.dir/safety.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/safety.cc.o.d"
+  "/root/repo/src/hw/switching_sim.cc" "src/hw/CMakeFiles/sdb_hw.dir/switching_sim.cc.o" "gcc" "src/hw/CMakeFiles/sdb_hw.dir/switching_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

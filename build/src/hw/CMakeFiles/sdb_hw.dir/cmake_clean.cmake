@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_hw.dir/acpi.cc.o"
+  "CMakeFiles/sdb_hw.dir/acpi.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/charge_circuit.cc.o"
+  "CMakeFiles/sdb_hw.dir/charge_circuit.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/charge_profile.cc.o"
+  "CMakeFiles/sdb_hw.dir/charge_profile.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/command_link.cc.o"
+  "CMakeFiles/sdb_hw.dir/command_link.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/discharge_circuit.cc.o"
+  "CMakeFiles/sdb_hw.dir/discharge_circuit.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/fuel_gauge.cc.o"
+  "CMakeFiles/sdb_hw.dir/fuel_gauge.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/microcontroller.cc.o"
+  "CMakeFiles/sdb_hw.dir/microcontroller.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/pmic.cc.o"
+  "CMakeFiles/sdb_hw.dir/pmic.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/regulator.cc.o"
+  "CMakeFiles/sdb_hw.dir/regulator.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/safety.cc.o"
+  "CMakeFiles/sdb_hw.dir/safety.cc.o.d"
+  "CMakeFiles/sdb_hw.dir/switching_sim.cc.o"
+  "CMakeFiles/sdb_hw.dir/switching_sim.cc.o.d"
+  "libsdb_hw.a"
+  "libsdb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

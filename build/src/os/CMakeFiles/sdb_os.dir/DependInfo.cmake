@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/battery_service.cc" "src/os/CMakeFiles/sdb_os.dir/battery_service.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/battery_service.cc.o.d"
+  "/root/repo/src/os/cpu_model.cc" "src/os/CMakeFiles/sdb_os.dir/cpu_model.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/cpu_model.cc.o.d"
+  "/root/repo/src/os/power_manager.cc" "src/os/CMakeFiles/sdb_os.dir/power_manager.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/power_manager.cc.o.d"
+  "/root/repo/src/os/predictor.cc" "src/os/CMakeFiles/sdb_os.dir/predictor.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/predictor.cc.o.d"
+  "/root/repo/src/os/task.cc" "src/os/CMakeFiles/sdb_os.dir/task.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/task.cc.o.d"
+  "/root/repo/src/os/workload_classifier.cc" "src/os/CMakeFiles/sdb_os.dir/workload_classifier.cc.o" "gcc" "src/os/CMakeFiles/sdb_os.dir/workload_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_os.dir/battery_service.cc.o"
+  "CMakeFiles/sdb_os.dir/battery_service.cc.o.d"
+  "CMakeFiles/sdb_os.dir/cpu_model.cc.o"
+  "CMakeFiles/sdb_os.dir/cpu_model.cc.o.d"
+  "CMakeFiles/sdb_os.dir/power_manager.cc.o"
+  "CMakeFiles/sdb_os.dir/power_manager.cc.o.d"
+  "CMakeFiles/sdb_os.dir/predictor.cc.o"
+  "CMakeFiles/sdb_os.dir/predictor.cc.o.d"
+  "CMakeFiles/sdb_os.dir/task.cc.o"
+  "CMakeFiles/sdb_os.dir/task.cc.o.d"
+  "CMakeFiles/sdb_os.dir/workload_classifier.cc.o"
+  "CMakeFiles/sdb_os.dir/workload_classifier.cc.o.d"
+  "libsdb_os.a"
+  "libsdb_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

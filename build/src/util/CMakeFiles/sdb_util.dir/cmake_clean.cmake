@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_util.dir/curve.cc.o"
+  "CMakeFiles/sdb_util.dir/curve.cc.o.d"
+  "CMakeFiles/sdb_util.dir/logging.cc.o"
+  "CMakeFiles/sdb_util.dir/logging.cc.o.d"
+  "CMakeFiles/sdb_util.dir/numeric.cc.o"
+  "CMakeFiles/sdb_util.dir/numeric.cc.o.d"
+  "CMakeFiles/sdb_util.dir/rng.cc.o"
+  "CMakeFiles/sdb_util.dir/rng.cc.o.d"
+  "CMakeFiles/sdb_util.dir/status.cc.o"
+  "CMakeFiles/sdb_util.dir/status.cc.o.d"
+  "CMakeFiles/sdb_util.dir/table.cc.o"
+  "CMakeFiles/sdb_util.dir/table.cc.o.d"
+  "libsdb_util.a"
+  "libsdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

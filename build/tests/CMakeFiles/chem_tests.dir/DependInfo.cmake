@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chem/aging_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/aging_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/aging_test.cc.o.d"
+  "/root/repo/tests/chem/battery_params_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/battery_params_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/battery_params_test.cc.o.d"
+  "/root/repo/tests/chem/calendar_aging_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/calendar_aging_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/calendar_aging_test.cc.o.d"
+  "/root/repo/tests/chem/cell_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/cell_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/cell_test.cc.o.d"
+  "/root/repo/tests/chem/library_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/library_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/library_test.cc.o.d"
+  "/root/repo/tests/chem/pack_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/pack_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/pack_test.cc.o.d"
+  "/root/repo/tests/chem/reference_cell_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/reference_cell_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/reference_cell_test.cc.o.d"
+  "/root/repo/tests/chem/soc_estimator_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/soc_estimator_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/soc_estimator_test.cc.o.d"
+  "/root/repo/tests/chem/thermal_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/thermal_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/thermal_test.cc.o.d"
+  "/root/repo/tests/chem/thevenin_test.cc" "tests/CMakeFiles/chem_tests.dir/chem/thevenin_test.cc.o" "gcc" "tests/CMakeFiles/chem_tests.dir/chem/thevenin_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

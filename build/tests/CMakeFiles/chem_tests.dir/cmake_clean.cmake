@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_tests.dir/chem/aging_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/aging_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/battery_params_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/battery_params_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/calendar_aging_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/calendar_aging_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/cell_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/cell_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/library_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/library_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/pack_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/pack_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/reference_cell_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/reference_cell_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/soc_estimator_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/soc_estimator_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/thermal_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/thermal_test.cc.o.d"
+  "CMakeFiles/chem_tests.dir/chem/thevenin_test.cc.o"
+  "CMakeFiles/chem_tests.dir/chem/thevenin_test.cc.o.d"
+  "chem_tests"
+  "chem_tests.pdb"
+  "chem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

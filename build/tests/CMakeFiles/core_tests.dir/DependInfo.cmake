@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocator_fuzz_test.cc" "tests/CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/allocator_test.cc" "tests/CMakeFiles/core_tests.dir/core/allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/allocator_test.cc.o.d"
+  "/root/repo/tests/core/charge_planner_test.cc" "tests/CMakeFiles/core_tests.dir/core/charge_planner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/charge_planner_test.cc.o.d"
+  "/root/repo/tests/core/metrics_test.cc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "/root/repo/tests/core/mpc_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/mpc_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mpc_policy_test.cc.o.d"
+  "/root/repo/tests/core/optimizer3_test.cc" "tests/CMakeFiles/core_tests.dir/core/optimizer3_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimizer3_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/policies_test.cc" "tests/CMakeFiles/core_tests.dir/core/policies_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policies_test.cc.o.d"
+  "/root/repo/tests/core/policy_db_test.cc" "tests/CMakeFiles/core_tests.dir/core/policy_db_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_db_test.cc.o.d"
+  "/root/repo/tests/core/runtime_test.cc" "tests/CMakeFiles/core_tests.dir/core/runtime_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/runtime_test.cc.o.d"
+  "/root/repo/tests/core/schedule_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/schedule_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/schedule_policy_test.cc.o.d"
+  "/root/repo/tests/core/telemetry_test.cc" "tests/CMakeFiles/core_tests.dir/core/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/telemetry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

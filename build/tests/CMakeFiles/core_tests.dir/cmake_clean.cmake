@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/allocator_fuzz_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/allocator_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/allocator_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/charge_planner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/charge_planner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mpc_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mpc_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/optimizer3_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/optimizer3_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policies_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policies_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_db_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policy_db_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/runtime_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/runtime_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/schedule_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/schedule_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/telemetry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/telemetry_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_tests.dir/emu/device_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/device_test.cc.o.d"
+  "CMakeFiles/emu_tests.dir/emu/monte_carlo_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/monte_carlo_test.cc.o.d"
+  "CMakeFiles/emu_tests.dir/emu/simulator_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/simulator_test.cc.o.d"
+  "CMakeFiles/emu_tests.dir/emu/trace_io_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/trace_io_test.cc.o.d"
+  "CMakeFiles/emu_tests.dir/emu/trace_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/trace_test.cc.o.d"
+  "CMakeFiles/emu_tests.dir/emu/workload_test.cc.o"
+  "CMakeFiles/emu_tests.dir/emu/workload_test.cc.o.d"
+  "emu_tests"
+  "emu_tests.pdb"
+  "emu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/acpi_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/acpi_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/acpi_test.cc.o.d"
+  "/root/repo/tests/hw/charge_circuit_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/charge_circuit_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/charge_circuit_test.cc.o.d"
+  "/root/repo/tests/hw/charge_profile_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/charge_profile_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/charge_profile_test.cc.o.d"
+  "/root/repo/tests/hw/circuit_edge_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/circuit_edge_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/circuit_edge_test.cc.o.d"
+  "/root/repo/tests/hw/command_link_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/command_link_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/command_link_test.cc.o.d"
+  "/root/repo/tests/hw/discharge_circuit_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/discharge_circuit_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/discharge_circuit_test.cc.o.d"
+  "/root/repo/tests/hw/fuel_gauge_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/fuel_gauge_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/fuel_gauge_test.cc.o.d"
+  "/root/repo/tests/hw/microcontroller_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/microcontroller_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/microcontroller_test.cc.o.d"
+  "/root/repo/tests/hw/pmic_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/pmic_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/pmic_test.cc.o.d"
+  "/root/repo/tests/hw/regulator_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/regulator_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/regulator_test.cc.o.d"
+  "/root/repo/tests/hw/safety_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/safety_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/safety_test.cc.o.d"
+  "/root/repo/tests/hw/switching_sim_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/switching_sim_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/switching_sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/acpi_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/acpi_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/charge_circuit_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/charge_circuit_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/charge_profile_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/charge_profile_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/circuit_edge_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/circuit_edge_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/command_link_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/command_link_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/discharge_circuit_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/discharge_circuit_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/fuel_gauge_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/fuel_gauge_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/microcontroller_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/microcontroller_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/pmic_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/pmic_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/regulator_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/regulator_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/safety_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/safety_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/switching_sim_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/switching_sim_test.cc.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_tests.dir/os/battery_service_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/battery_service_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/cpu_model_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/cpu_model_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/power_manager_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/power_manager_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/predictor_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/predictor_test.cc.o.d"
+  "CMakeFiles/os_tests.dir/os/workload_classifier_test.cc.o"
+  "CMakeFiles/os_tests.dir/os/workload_classifier_test.cc.o.d"
+  "os_tests"
+  "os_tests.pdb"
+  "os_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

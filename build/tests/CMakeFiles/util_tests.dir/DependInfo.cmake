@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/check_test.cc" "tests/CMakeFiles/util_tests.dir/util/check_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/check_test.cc.o.d"
+  "/root/repo/tests/util/curve_test.cc" "tests/CMakeFiles/util_tests.dir/util/curve_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/curve_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/numeric_test.cc" "tests/CMakeFiles/util_tests.dir/util/numeric_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/numeric_test.cc.o.d"
+  "/root/repo/tests/util/ring_buffer_test.cc" "tests/CMakeFiles/util_tests.dir/util/ring_buffer_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o.d"
+  "/root/repo/tests/util/units_test.cc" "tests/CMakeFiles/util_tests.dir/util/units_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sdb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/sdb_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sdb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/chem_tests[1]_include.cmake")
+include("/root/repo/build/tests/hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/emu_tests[1]_include.cmake")
+include("/root/repo/build/tests/os_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

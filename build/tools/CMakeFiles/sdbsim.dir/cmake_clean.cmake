@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbsim.dir/sdbsim.cc.o"
+  "CMakeFiles/sdbsim.dir/sdbsim.cc.o.d"
+  "sdbsim"
+  "sdbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sdbsim_list "/root/repo/build/tools/sdbsim" "list")
+set_tests_properties(sdbsim_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_simulate "/root/repo/build/tools/sdbsim" "simulate" "--battery" "fast:3000" "--battery" "high-energy:3000" "--load-watts" "5" "--hours" "1" "--tick" "5")
+set_tests_properties(sdbsim_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_plan_charge "/root/repo/build/tools/sdbsim" "plan-charge" "--battery" "high-energy:4000" "--soc" "0.3" "--deadline-hours" "6")
+set_tests_properties(sdbsim_plan_charge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_rejects_unknown_battery "/root/repo/build/tools/sdbsim" "simulate" "--battery" "unobtainium" "--load-watts" "1" "--hours" "1")
+set_tests_properties(sdbsim_rejects_unknown_battery PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_pack_file "/root/repo/build/tools/sdbsim" "simulate" "--pack" "/root/repo/build/test_pack.txt" "--load-watts" "4" "--hours" "1" "--tick" "5")
+set_tests_properties(sdbsim_pack_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_trace_file "/root/repo/build/tools/sdbsim" "simulate" "--battery" "fast:3000" "--battery" "high-energy:3000" "--trace" "/root/repo/build/test_trace.csv" "--tick" "5")
+set_tests_properties(sdbsim_trace_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sdbsim_plan_discharge "/root/repo/build/tools/sdbsim" "plan-discharge" "--battery" "watch:200" "--battery" "bendable:200" "--load-watts" "0.1" "--hours" "4")
+set_tests_properties(sdbsim_plan_discharge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
