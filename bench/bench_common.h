@@ -4,6 +4,10 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -11,9 +15,11 @@
 
 #include "src/chem/library.h"
 #include "src/core/runtime.h"
+#include "src/core/telemetry.h"
 #include "src/emu/simulator.h"
 #include "src/hw/microcontroller.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace sdb {
 namespace bench {
@@ -66,6 +72,46 @@ inline std::vector<Cell> MakeTwoInOneCells(double initial_soc = 1.0) {
 }
 
 inline void PrintNote(const std::string& note) { std::cout << "  note: " << note << "\n"; }
+
+// Worker count for the sweep harnesses: `--jobs N` flag, else the
+// SDB_THREADS env override, else hardware concurrency (via the pool's
+// resolution rules). Unknown flags are ignored so every bench keeps
+// accepting its other arguments (today: none).
+inline int ParseJobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      int n = std::atoi(argv[i + 1]);
+      if (n > 0) {
+        return n;
+      }
+    }
+  }
+  return ThreadPool::DefaultThreadCount();
+}
+
+// ParallelFor that also lands in the global SweepCounters, so bench sweeps
+// show up in the telemetry dump alongside RunMonteCarlo's own records.
+inline void SweepParallelFor(ThreadPool* pool, int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  double wait_before = pool != nullptr ? pool->stats().worker_wait_s : 0.0;
+  ParallelFor(pool, n, fn);
+  double wait_after = pool != nullptr ? pool->stats().worker_wait_s : 0.0;
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  SweepCounters::Global().RecordSweep(static_cast<uint64_t>(n), static_cast<uint64_t>(n),
+                                      wait_after - wait_before, wall_s);
+}
+
+// Dumps the engine counters accumulated so far (tasks, pool wait, wall
+// clock) so sweep speedups show up in the bench output itself.
+inline void PrintSweepTelemetry(std::ostream& os, int jobs) {
+  SweepCounterSnapshot snap = SweepCounters::Global().Snapshot();
+  os << "  sweep engine: " << jobs << " jobs, " << snap.sweeps << " sweeps, "
+     << snap.runs_executed << " runs in " << snap.tasks_executed << " shard tasks; wall "
+     << TextTable::Num(snap.wall_s, 2) << " s, worker wait "
+     << TextTable::Num(snap.worker_wait_s, 2) << " s\n";
+}
 
 }  // namespace bench
 }  // namespace sdb

@@ -77,4 +77,29 @@ void TelemetryRecorder::Clear() {
   dropped_ = 0;
 }
 
+SweepCounters& SweepCounters::Global() {
+  static SweepCounters* counters = new SweepCounters();
+  return *counters;
+}
+
+void SweepCounters::RecordSweep(uint64_t tasks, uint64_t runs, double worker_wait_s,
+                                double wall_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.sweeps;
+  totals_.tasks_executed += tasks;
+  totals_.runs_executed += runs;
+  totals_.worker_wait_s += worker_wait_s;
+  totals_.wall_s += wall_s;
+}
+
+SweepCounterSnapshot SweepCounters::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+void SweepCounters::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_ = SweepCounterSnapshot{};
+}
+
 }  // namespace sdb

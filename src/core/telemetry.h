@@ -6,6 +6,8 @@
 #ifndef SRC_CORE_TELEMETRY_H_
 #define SRC_CORE_TELEMETRY_H_
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,32 @@ class TelemetryRecorder {
   size_t capacity_;
   size_t dropped_ = 0;
   std::vector<TelemetrySample> samples_;
+};
+
+// Aggregate counters for the parallel sweep engine (RunMonteCarlo and the
+// bench harnesses' ParallelFor loops). Unlike TelemetrySample — which logs
+// per-decision policy state — these measure the execution engine itself, so
+// a claimed sweep speedup is observable, not asserted.
+struct SweepCounterSnapshot {
+  uint64_t sweeps = 0;          // Sweep invocations recorded.
+  uint64_t tasks_executed = 0;  // Shard tasks dispatched to the pool.
+  uint64_t runs_executed = 0;   // Individual seeded simulations.
+  double worker_wait_s = 0.0;   // Pool workers blocked on an empty queue.
+  double wall_s = 0.0;          // Wall clock summed across sweeps.
+};
+
+// Process-wide, thread-safe; sweeps running on different pools all land here.
+class SweepCounters {
+ public:
+  static SweepCounters& Global();
+
+  void RecordSweep(uint64_t tasks, uint64_t runs, double worker_wait_s, double wall_s);
+  SweepCounterSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  SweepCounterSnapshot totals_;
 };
 
 }  // namespace sdb

@@ -1,26 +1,86 @@
 #include "src/emu/monte_carlo.h"
 
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/core/telemetry.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace sdb {
 
-MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs, uint64_t base_seed) {
-  SDB_CHECK(runs > 0);
-  SDB_CHECK(scenario != nullptr);
-  MonteCarloResult result;
-  for (int r = 0; r < runs; ++r) {
+namespace {
+
+// Accumulates one shard's seeds serially, in seed order.
+MonteCarloResult RunShard(const ScenarioFn& scenario, uint64_t base_seed, int first_run,
+                          int last_run) {
+  MonteCarloResult shard;
+  for (int r = first_run; r < last_run; ++r) {
     SimResult sim = scenario(base_seed + static_cast<uint64_t>(r));
     double life_h = sim.first_shortfall.has_value() ? ToHours(*sim.first_shortfall)
                                                     : ToHours(sim.elapsed);
-    result.battery_life_h.Add(life_h);
-    result.total_loss_j.Add(sim.TotalLoss().value());
-    result.delivered_j.Add(sim.delivered.value());
+    shard.battery_life_h.Add(life_h);
+    shard.total_loss_j.Add(sim.TotalLoss().value());
+    shard.delivered_j.Add(sim.delivered.value());
     if (sim.first_shortfall.has_value()) {
-      ++result.shortfall_runs;
+      ++shard.shortfall_runs;
     }
-    ++result.runs;
+    ++shard.runs;
   }
+  return shard;
+}
+
+}  // namespace
+
+MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
+                               const MonteCarloOptions& options) {
+  SDB_CHECK(runs > 0);
+  SDB_CHECK(scenario != nullptr);
+  auto wall_start = std::chrono::steady_clock::now();
+
+  int num_shards = (runs + kMonteCarloShardSize - 1) / kMonteCarloShardSize;
+  std::vector<MonteCarloResult> shards(static_cast<size_t>(num_shards));
+
+  int jobs = options.jobs > 0 ? options.jobs : ThreadPool::DefaultThreadCount();
+  double worker_wait_s = 0.0;
+  auto run_shard = [&](int64_t s) {
+    int first = static_cast<int>(s) * kMonteCarloShardSize;
+    int last = std::min(runs, first + kMonteCarloShardSize);
+    shards[static_cast<size_t>(s)] = RunShard(scenario, options.base_seed, first, last);
+  };
+  if (jobs <= 1 || num_shards <= 1) {
+    for (int64_t s = 0; s < num_shards; ++s) {
+      run_shard(s);
+    }
+  } else {
+    ThreadPool pool(jobs);
+    ParallelFor(&pool, num_shards, run_shard);
+    worker_wait_s = pool.stats().worker_wait_s;
+  }
+
+  // Seed-ordered reduction: shard s covers seeds strictly before shard s+1,
+  // so folding in index order reproduces one fixed reduction tree.
+  MonteCarloResult result;
+  for (const MonteCarloResult& shard : shards) {
+    result.battery_life_h.Merge(shard.battery_life_h);
+    result.total_loss_j.Merge(shard.total_loss_j);
+    result.delivered_j.Merge(shard.delivered_j);
+    result.shortfall_runs += shard.shortfall_runs;
+    result.runs += shard.runs;
+  }
+
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  SweepCounters::Global().RecordSweep(static_cast<uint64_t>(num_shards),
+                                      static_cast<uint64_t>(runs), worker_wait_s, wall_s);
   return result;
+}
+
+MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs, uint64_t base_seed) {
+  MonteCarloOptions options;
+  options.base_seed = base_seed;
+  return RunMonteCarlo(scenario, runs, options);
 }
 
 }  // namespace sdb

@@ -2,6 +2,14 @@
 // workload variations and reports distributional statistics, so policy
 // comparisons (Fig. 13-style claims) come with spread, not just a single
 // trace. Everything stays deterministic given the base seed.
+//
+// Parallel execution model: the seed range is cut into fixed-size shards
+// (kMonteCarloShardSize seeds each, independent of the worker count). Each
+// shard accumulates its RunningStats serially in seed order; shard
+// accumulators are then merged in shard order with RunningStats::Merge.
+// Because both the shard boundaries and the merge order are functions of
+// `runs` alone, the result is bit-identical for any `jobs` value — 1 worker
+// and 64 workers produce the same doubles.
 #ifndef SRC_EMU_MONTE_CARLO_H_
 #define SRC_EMU_MONTE_CARLO_H_
 
@@ -22,10 +30,27 @@ struct MonteCarloResult {
 
 // One experiment instance: given a per-run seed, build the rig + trace and
 // run it, returning the SimResult. The callback owns all state; the harness
-// only aggregates.
+// only aggregates. Under jobs > 1 the callback is invoked concurrently, so
+// it must not touch shared mutable state.
 using ScenarioFn = std::function<SimResult(uint64_t seed)>;
 
+// Seeds per shard task. Fixed so the reduction tree never depends on the
+// worker count (see the determinism note above); small enough that a
+// 4-thread pool load-balances a 24-run sweep.
+inline constexpr int kMonteCarloShardSize = 4;
+
+struct MonteCarloOptions {
+  uint64_t base_seed = 1;
+  // Worker threads: 1 = serial in the calling thread; 0 = auto
+  // (SDB_THREADS env override, else hardware concurrency).
+  int jobs = 1;
+};
+
 // Runs `scenario` for seeds base_seed .. base_seed + runs - 1.
+MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
+                               const MonteCarloOptions& options);
+
+// Serial-compatible shorthand (jobs = 1).
 MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs, uint64_t base_seed = 1);
 
 }  // namespace sdb

@@ -26,6 +26,32 @@ class RunningStats {
     }
   }
 
+  // Folds `other` into this accumulator (Chan et al. pairwise update).
+  // Merging shard accumulators in a fixed order yields the same result
+  // regardless of how many threads produced them — the basis of the
+  // parallel Monte-Carlo determinism guarantee.
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+  }
+
   size_t count() const { return count_; }
   double mean() const { return mean_; }
   // Sample variance (n-1); zero for fewer than two samples.
@@ -67,6 +93,16 @@ class Histogram {
       bin = static_cast<int>(counts_.size()) - 1;
     }
     ++counts_[bin];
+  }
+
+  // Folds `other` into this histogram; bin layouts must match exactly.
+  void Merge(const Histogram& other) {
+    SDB_CHECK(lo_ == other.lo_ && hi_ == other.hi_);
+    SDB_CHECK(counts_.size() == other.counts_.size());
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    stats_.Merge(other.stats_);
   }
 
   size_t BinCount(int bin) const {

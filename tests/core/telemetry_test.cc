@@ -64,6 +64,24 @@ TEST(TelemetryRecorderTest, ClearResets) {
   EXPECT_TRUE(recorder.empty());
 }
 
+TEST(SweepCountersTest, RecordsAndResets) {
+  SweepCounters& counters = SweepCounters::Global();
+  counters.Reset();
+  EXPECT_EQ(counters.Snapshot().sweeps, 0u);
+
+  counters.RecordSweep(/*tasks=*/4, /*runs=*/16, /*worker_wait_s=*/0.25, /*wall_s=*/1.5);
+  counters.RecordSweep(/*tasks=*/2, /*runs=*/8, /*worker_wait_s=*/0.5, /*wall_s=*/0.5);
+  SweepCounterSnapshot snap = counters.Snapshot();
+  EXPECT_EQ(snap.sweeps, 2u);
+  EXPECT_EQ(snap.tasks_executed, 6u);
+  EXPECT_EQ(snap.runs_executed, 24u);
+  EXPECT_DOUBLE_EQ(snap.worker_wait_s, 0.75);
+  EXPECT_DOUBLE_EQ(snap.wall_s, 2.0);
+
+  counters.Reset();
+  EXPECT_EQ(counters.Snapshot().tasks_executed, 0u);
+}
+
 TEST(TelemetryIntegrationTest, RuntimeFeedsRecorderDuringSimulation) {
   std::vector<Cell> cells;
   cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 1.0);

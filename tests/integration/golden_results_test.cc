@@ -1,0 +1,116 @@
+// Golden-trace regression tests: the end-to-end SimResult for two canonical
+// scenarios is pinned to checked-in values, so a policy or performance
+// change that silently drifts the paper's numbers fails loudly here.
+//
+// The stack is deterministic by construction (explicitly seeded xoshiro
+// RNGs, no wall-clock or address-dependent behaviour), so the tolerances
+// are tight: 1e-9 relative, there only to absorb compiler/libm rounding
+// differences across toolchains.
+//
+// To regenerate after an *intentional* behaviour change:
+//   SDB_PRINT_GOLDEN=1 ./integration_tests \
+//       --gtest_filter='GoldenResults*' 2>&1 | grep GOLDEN
+// and paste the printed values below — in the same PR that changes them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/chem/library.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/workload.h"
+#include "src/hw/microcontroller.h"
+
+namespace sdb {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void ExpectGolden(const char* name, double actual, double golden) {
+  if (std::getenv("SDB_PRINT_GOLDEN") != nullptr) {
+    std::printf("GOLDEN %s = %.17g\n", name, actual);
+  }
+  double tol = kRelTol * std::max(1.0, std::abs(golden));
+  EXPECT_NEAR(actual, golden, tol) << name;
+}
+
+// §5.1 fast-charge tablet: an empty fast-charge + high-energy pack on a
+// 30 W wall brick, with a light 2 W foreground load, for 3 hours.
+TEST(GoldenResultsTest, FastChargeTablet) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.05);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.05);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), /*seed=*/11);
+  SdbRuntime runtime(&micro);
+  runtime.SetChargingDirective(0.8);
+  runtime.SetDischargingDirective(0.8);
+
+  SimConfig config;
+  config.tick = Seconds(5.0);
+  config.runtime_period = Minutes(1.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&runtime, config);
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(2.0), Hours(3.0)),
+                             PowerTrace::Constant(Watts(30.0), Hours(3.0)));
+
+  EXPECT_FALSE(result.first_shortfall.has_value());
+  ExpectGolden("tablet.elapsed_s", result.elapsed.value(), 10800);
+  ExpectGolden("tablet.delivered_j", result.delivered.value(), 21600);
+  ExpectGolden("tablet.charged_j", result.charged.value(), 104395.62033006133);
+  ExpectGolden("tablet.battery_loss_j", result.battery_loss.value(), 2655.8761601163751);
+  ExpectGolden("tablet.circuit_loss_j", result.circuit_loss.value(), 12645.186941345466);
+  ExpectGolden("tablet.final_soc0", result.final_soc[0], 0.99999716282281481);
+  ExpectGolden("tablet.final_soc1", result.final_soc[1], 1.0);
+}
+
+// §5.2 smart-watch week: seven consecutive smartwatch days on the rigid +
+// bendable pack, recharging on a 2.5 W pad each night. Aging carries over
+// from day to day, so this pins the whole stack including wear.
+TEST(GoldenResultsTest, SmartwatchWeek) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), /*seed=*/13);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+  runtime.SetWorkloadHint(WorkloadHint{Hours(9.0), Watts(0.70), Hours(1.0)});
+
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  Simulator sim(&runtime, config);
+
+  double elapsed_s = 0.0;
+  double first_day_shortfall_s = -1.0;
+  double delivered_j = 0.0;
+  double battery_loss_j = 0.0;
+  double circuit_loss_j = 0.0;
+  for (int day = 0; day < 7; ++day) {
+    SmartwatchDayConfig day_config;
+    day_config.seed = 100 + static_cast<uint64_t>(day);
+    SimResult use = sim.Run(MakeSmartwatchDayTrace(day_config));
+    elapsed_s += use.elapsed.value();
+    if (day == 0 && use.first_shortfall.has_value()) {
+      first_day_shortfall_s = use.first_shortfall->value();
+    }
+    delivered_j += use.delivered.value();
+    battery_loss_j += use.battery_loss.value();
+    circuit_loss_j += use.circuit_loss.value();
+
+    SimResult charge = sim.RunChargeOnly(Watts(2.5), Hours(3.0));
+    battery_loss_j += charge.battery_loss.value();
+    circuit_loss_j += charge.circuit_loss.value();
+  }
+
+  ExpectGolden("week.elapsed_s", elapsed_s, 254620);
+  ExpectGolden("week.first_day_shortfall_s", first_day_shortfall_s, 42480);
+  ExpectGolden("week.delivered_j", delivered_j, 30408.29627223271);
+  ExpectGolden("week.battery_loss_j", battery_loss_j, 3017.1276743110611);
+  ExpectGolden("week.circuit_loss_j", circuit_loss_j, 1615.6450881637204);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -39,6 +39,67 @@ TEST(RunningStatsDeathTest, MinOnEmptyAborts) {
   EXPECT_DEATH((void)s.min(), "CHECK failed");
 }
 
+TEST(RunningStatsMergeTest, MatchesSerialAccumulation) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.0, 12.5};
+  RunningStats serial;
+  for (double x : xs) {
+    serial.Add(x);
+  }
+  RunningStats left, right;
+  for (int i = 0; i < 6; ++i) {
+    left.Add(xs[i]);
+  }
+  for (int i = 6; i < 10; ++i) {
+    right.Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), serial.count());
+  EXPECT_NEAR(left.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), serial.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), serial.min());
+  EXPECT_DOUBLE_EQ(left.max(), serial.max());
+}
+
+TEST(RunningStatsMergeTest, EmptySidesAreIdentity) {
+  RunningStats filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+
+  RunningStats target;
+  target.Merge(filled);  // Empty target adopts the source outright.
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+
+  RunningStats empty;
+  target.Merge(empty);  // Merging an empty source changes nothing.
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(RunningStatsMergeTest, FixedMergeOrderIsReproducible) {
+  // Same shards merged twice in the same order: identical bits — the
+  // property the parallel Monte-Carlo reduction rests on.
+  auto build = [] {
+    RunningStats total;
+    for (int shard = 0; shard < 5; ++shard) {
+      RunningStats s;
+      for (int i = 0; i < 7; ++i) {
+        s.Add(0.1 * shard + 1.7 * i - 3.0);
+      }
+      total.Merge(s);
+    }
+    return total;
+  };
+  RunningStats a = build();
+  RunningStats b = build();
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
 TEST(HistogramTest, BinsSamples) {
   Histogram h(0.0, 10.0, 5);
   h.Add(0.5);   // bin 0
@@ -75,6 +136,27 @@ TEST(HistogramTest, CarriesStats) {
 TEST(HistogramDeathTest, InvalidConstruction) {
   EXPECT_DEATH(Histogram(1.0, 0.0, 5), "CHECK failed");
   EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
+}
+
+TEST(HistogramMergeTest, AddsBinCountsAndStats) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.Add(1.0);
+  a.Add(3.0);
+  b.Add(3.5);
+  b.Add(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.BinCount(0), 1u);
+  EXPECT_EQ(a.BinCount(1), 2u);
+  EXPECT_EQ(a.BinCount(4), 1u);
+  EXPECT_EQ(a.stats().count(), 4u);
+  EXPECT_DOUBLE_EQ(a.stats().max(), 9.0);
+}
+
+TEST(HistogramMergeDeathTest, MismatchedLayoutsAbort) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 4);
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
 }
 
 }  // namespace

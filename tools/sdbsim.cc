@@ -11,6 +11,8 @@
 //   sdbsim simulate --battery watch:200 --battery bendable:200 \
 //          --trace day.csv --tick 5 --hourly-csv out.csv
 //   sdbsim plan-charge --battery high-energy:4000 --soc 0.2 --deadline-hours 8
+//   sdbsim sweep --battery fast:4000 --battery high-energy:4000 \
+//          --load-watts 8 --hours 4 --runs 64 --jobs 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,8 @@
 #include "src/core/charge_planner.h"
 #include "src/core/optimizer.h"
 #include "src/core/runtime.h"
+#include "src/core/telemetry.h"
+#include "src/emu/monte_carlo.h"
 #include "src/emu/simulator.h"
 #include "src/emu/trace_io.h"
 #include "src/hw/microcontroller.h"
@@ -91,6 +95,8 @@ struct Args {
   double soc = -1.0;  // Uniform initial SoC shortcut.
   std::string hourly_csv;
   uint64_t seed = 42;
+  int runs = 32;  // Sweep width for `sweep`.
+  int jobs = 0;   // Sweep workers: 0 = auto (SDB_THREADS / hardware).
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv) {
@@ -179,6 +185,12 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--seed") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--runs") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.runs = std::atoi(value);
+    } else if (flag == "--jobs") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.jobs = std::atoi(value);
     } else {
       std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -199,7 +211,11 @@ void PrintUsage() {
                "  sdbsim plan-charge --battery NAME[:MAH] [--battery ...]\n"
                "         --soc F --deadline-hours H [--target-soc F]\n"
                "  sdbsim plan-discharge --battery A --battery B\n"
-               "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n");
+               "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n"
+               "  sdbsim sweep (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+               "         (--load-watts W --hours H | --trace FILE.csv)\n"
+               "         [--runs N] [--jobs N] [--seed N] [--soc F] [--tick S]\n"
+               "         [--discharge-directive F] [--charge-directive F]\n");
 }
 
 // --- Commands -----------------------------------------------------------------
@@ -305,6 +321,91 @@ int CmdSimulate(const Args& args) {
   return result.first_shortfall.has_value() ? 1 : 0;
 }
 
+// Monte-Carlo sweep over per-run seeds: same pack and load, `--runs`
+// variations of measurement noise and workload jitter, executed by the
+// parallel sweep engine. Results are bit-identical for any --jobs value.
+int CmdSweep(const Args& args) {
+  if (args.batteries.empty()) {
+    std::fprintf(stderr, "sdbsim: sweep needs at least one --battery\n");
+    return 2;
+  }
+  if (args.runs <= 0) {
+    std::fprintf(stderr, "sdbsim: --runs must be positive\n");
+    return 2;
+  }
+  // Validate specs once up front so a typo fails before the sweep starts.
+  std::vector<BatteryParams> params;
+  std::vector<double> socs;
+  for (size_t i = 0; i < args.batteries.size(); ++i) {
+    auto p = ParseBatterySpec(args.batteries[i]);
+    if (!p.has_value()) {
+      return 2;
+    }
+    double soc = 1.0;
+    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
+      soc = args.battery_socs[i];
+    } else if (args.soc >= 0.0) {
+      soc = args.soc;
+    }
+    params.push_back(std::move(*p));
+    socs.push_back(soc);
+  }
+
+  PowerTrace load;
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    load = *trace;
+  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
+    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
+  } else {
+    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+    return 2;
+  }
+
+  ScenarioFn scenario = [&params, &socs, &load, &args](uint64_t seed) {
+    std::vector<Cell> cells;
+    for (size_t i = 0; i < params.size(); ++i) {
+      cells.emplace_back(params[i], socs[i]);
+    }
+    SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), seed);
+    RuntimeConfig config;
+    config.directives.discharging = args.discharge_directive;
+    config.directives.charging = args.charge_directive;
+    SdbRuntime runtime(&micro, config);
+    SimConfig sim_config;
+    sim_config.tick = Seconds(args.tick_s);
+    sim_config.runtime_period = Seconds(std::max(30.0, args.tick_s));
+    Simulator sim(&runtime, sim_config);
+    return sim.Run(load);
+  };
+
+  MonteCarloOptions options;
+  options.base_seed = args.seed;
+  options.jobs = args.jobs;
+  MonteCarloResult result = RunMonteCarlo(scenario, args.runs, options);
+
+  TextTable table({"metric", "mean", "sigma", "min", "max"});
+  auto add_stats = [&table](const char* name, const RunningStats& s, int digits) {
+    table.AddRow({name, TextTable::Num(s.mean(), digits), TextTable::Num(s.stddev(), digits),
+                  TextTable::Num(s.min(), digits), TextTable::Num(s.max(), digits)});
+  };
+  add_stats("battery life (h)", result.battery_life_h, 3);
+  add_stats("delivered (J)", result.delivered_j, 1);
+  add_stats("total losses (J)", result.total_loss_j, 1);
+  table.Print(std::cout);
+  std::printf("%d/%d runs hit a shortfall\n", result.shortfall_runs, result.runs);
+
+  SweepCounterSnapshot snap = SweepCounters::Global().Snapshot();
+  std::printf("sweep engine: %d runs in %llu shard tasks, wall %.2f s, worker wait %.2f s\n",
+              result.runs, static_cast<unsigned long long>(snap.tasks_executed), snap.wall_s,
+              snap.worker_wait_s);
+  return 0;
+}
+
 int CmdPlanCharge(const Args& args) {
   if (args.batteries.empty()) {
     std::fprintf(stderr, "sdbsim: plan-charge needs at least one --battery\n");
@@ -401,6 +502,9 @@ int main(int argc, char** argv) {
   }
   if (args->command == "simulate") {
     return CmdSimulate(*args);
+  }
+  if (args->command == "sweep") {
+    return CmdSweep(*args);
   }
   if (args->command == "plan-charge") {
     return CmdPlanCharge(*args);
