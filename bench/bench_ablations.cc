@@ -25,7 +25,7 @@ struct WatchRun {
 
 // A demanding watch day: heavy tracking load that sweeps both cells through
 // their steep low-SoC resistance region, where the policy split matters.
-WatchRun RunWatch(double directive, double delta_horizon_s, FuelGaugeConfig gauge,
+WatchRun RunWatch(double directive, Duration delta_horizon, FuelGaugeConfig gauge,
                   uint64_t seed) {
   std::vector<Cell> cells = bench::MakeWatchScenarioCells(1.0);
   BatteryPack pack;
@@ -35,7 +35,7 @@ WatchRun RunWatch(double directive, double delta_horizon_s, FuelGaugeConfig gaug
   SdbMicrocontroller micro(std::move(pack), DischargeCircuitConfig{}, ChargeCircuitConfig{},
                            gauge, seed);
   RuntimeConfig config;
-  config.rbl.delta_horizon_s = delta_horizon_s;
+  config.rbl.delta_horizon = delta_horizon;
   SdbRuntime runtime(&micro, config);
   runtime.SetDischargingDirective(directive);
   SimConfig sim_config;
@@ -57,10 +57,10 @@ int main(int argc, char** argv) {
 
   PrintBanner(std::cout, "Ablation 1: RBL delta-correction horizon (0.3 W tracking load)");
   {
-    const std::vector<double> horizons = {0.0, 60.0, 600.0, 3600.0};
+    const std::vector<double> horizons = {0.0, 60.0, 600.0, Hours(1.0).value()};
     std::vector<WatchRun> runs(horizons.size());
     bench::SweepParallelFor(&pool, static_cast<int64_t>(horizons.size()), [&](int64_t i) {
-      runs[i] = RunWatch(1.0, horizons[i], FuelGaugeConfig{}, 91);
+      runs[i] = RunWatch(1.0, Seconds(horizons[i]), FuelGaugeConfig{}, 91);
     });
     TextTable table({"horizon (s)", "battery life (h)", "total losses (J)"});
     for (size_t i = 0; i < horizons.size(); ++i) {
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     const std::vector<double> directives = {0.0, 0.25, 0.5, 0.75, 1.0};
     std::vector<WatchRun> runs(directives.size());
     bench::SweepParallelFor(&pool, static_cast<int64_t>(directives.size()), [&](int64_t i) {
-      runs[i] = RunWatch(directives[i], 600.0, FuelGaugeConfig{}, 92);
+      runs[i] = RunWatch(directives[i], Seconds(600.0), FuelGaugeConfig{}, 92);
     });
     TextTable table({"directive", "battery life (h)", "total losses (J)"});
     for (size_t i = 0; i < directives.size(); ++i) {
@@ -106,9 +106,9 @@ int main(int argc, char** argv) {
     std::vector<WatchRun> runs(specs.size());
     bench::SweepParallelFor(&pool, static_cast<int64_t>(specs.size()), [&](int64_t i) {
       FuelGaugeConfig gauge;
-      gauge.current_noise_a = specs[i].noise_a;
+      gauge.current_noise = Amps(specs[i].noise_a);
       gauge.soc_drift_per_hour = specs[i].drift;
-      runs[i] = RunWatch(1.0, 600.0, gauge, 93);
+      runs[i] = RunWatch(1.0, Seconds(600.0), gauge, 93);
     });
     TextTable table({"noise (mA, 1 sigma)", "drift (%/h)", "battery life (h)", "losses (J)"});
     for (size_t i = 0; i < specs.size(); ++i) {

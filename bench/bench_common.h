@@ -94,13 +94,13 @@ inline int ParseJobs(int argc, char** argv) {
 inline void SweepParallelFor(ThreadPool* pool, int64_t n,
                              const std::function<void(int64_t)>& fn) {
   auto start = std::chrono::steady_clock::now();
-  double wait_before = pool != nullptr ? pool->stats().worker_wait_s : 0.0;
+  Duration wait_before = pool != nullptr ? pool->stats().worker_wait : Seconds(0.0);
   ParallelFor(pool, n, fn);
-  double wait_after = pool != nullptr ? pool->stats().worker_wait_s : 0.0;
-  double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  Duration wait_after = pool != nullptr ? pool->stats().worker_wait : Seconds(0.0);
+  Duration wall = Seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
   SweepCounters::Global().RecordSweep(static_cast<uint64_t>(n), static_cast<uint64_t>(n),
-                                      wait_after - wait_before, wall_s);
+                                      wait_after - wait_before, wall);
 }
 
 // Dumps the engine counters accumulated so far (tasks, pool wait, wall
@@ -109,8 +109,8 @@ inline void PrintSweepTelemetry(std::ostream& os, int jobs) {
   SweepCounterSnapshot snap = SweepCounters::Global().Snapshot();
   os << "  sweep engine: " << jobs << " jobs, " << snap.sweeps << " sweeps, "
      << snap.runs_executed << " runs in " << snap.tasks_executed << " shard tasks; wall "
-     << TextTable::Num(snap.wall_s, 2) << " s, worker wait "
-     << TextTable::Num(snap.worker_wait_s, 2) << " s\n";
+     << TextTable::Num(snap.wall.value(), 2) << " s, worker wait "
+     << TextTable::Num(snap.worker_wait.value(), 2) << " s\n";
 }
 
 }  // namespace bench

@@ -30,7 +30,7 @@ std::map<int, double> ChargeTimeCurve(double fast_fraction, uint64_t seed) {
   double t = 0.0;
   int next_pct = 15;
   double next_replan = 0.0;
-  while (t < 4.0 * 3600.0 && next_pct <= 85) {
+  while (t < Hours(4.0).value() && next_pct <= 85) {
     if (t >= next_replan) {
       rig.runtime().Update(Watts(0.0), Watts(60.0));
       next_replan = t + 30.0;

@@ -59,7 +59,7 @@ double ChargeThroughLifeHours(const PowerTrace& workload, uint64_t seed) {
       (void)rig.micro().ChargeOneFromAnother(1, 0, Watts(kTransferW), Hours(100.0));
     }
   }
-  return t / 3600.0;
+  return ToHours(Seconds(t));
 }
 
 }  // namespace

@@ -105,8 +105,8 @@ int main() {
         continue;
       }
       table.AddRow({TextTable::Num(share, 2), TextTable::Num(sim->realised_shares[0], 3),
-                    TextTable::Num(1000.0 * sim->ripple_pp_v, 2),
-                    TextTable::Num(1e6 * sim->settling_time_s, 0),
+                    TextTable::Num(1000.0 * sim->ripple_pp.value(), 2),
+                    TextTable::Num(1e6 * sim->settling_time.value(), 0),
                     sim->regulated ? "yes" : "NO"});
     }
     table.Print(std::cout);

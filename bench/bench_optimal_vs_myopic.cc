@@ -65,7 +65,7 @@ Outcome ReplayPlan(const PlanResult& plan, uint64_t seed) {
       first_shortfall = t;
     }
   }
-  double life = first_shortfall.has_value() ? *first_shortfall / 3600.0 : t / 3600.0;
+  double life = ToHours(Seconds(first_shortfall.value_or(t)));
   return Outcome{life, losses};
 }
 
@@ -109,7 +109,7 @@ Outcome RunMpc(const BatteryParams& liion, const BatteryParams& bendable, uint64
       first_shortfall = t;
     }
   }
-  double life = first_shortfall.has_value() ? *first_shortfall / 3600.0 : t / 3600.0;
+  double life = ToHours(Seconds(first_shortfall.value_or(t)));
   return Outcome{life, losses};
 }
 

@@ -57,11 +57,11 @@ void BM_MarginalCostAllocator(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   MarginalCostProblem problem;
   for (int i = 0; i < n; ++i) {
-    problem.resistance_ohm.push_back(0.02 + 0.01 * (i % 5));
-    problem.dcir_growth_per_c.push_back(1e-6 * (i % 3));
-    problem.current_cap_a.push_back(4.0);
+    problem.resistance.push_back(Ohms(0.02 + 0.01 * (i % 5)));
+    problem.dcir_growth.push_back(ResistancePerCharge(1e-6 * (i % 3)));
+    problem.current_cap.push_back(Amps(4.0));
   }
-  problem.total_current_a = n * 1.0;
+  problem.total_current = Amps(n * 1.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SolveMarginalCostAllocation(problem));
   }

@@ -54,8 +54,8 @@ void AgingModel::RecordDischarge(Charge charge, Current current) {
 
 void AgingModel::AdvanceCalendar(Duration dt) {
   SDB_CHECK(dt.value() >= 0.0);
-  constexpr double kSecondsPerMonth = 30.0 * 24.0 * 3600.0;
-  double fade = params_->calendar_fade_per_month * dt.value() / kSecondsPerMonth;
+  const double seconds_per_month = Days(30.0).value();
+  double fade = params_->calendar_fade_per_month * dt.value() / seconds_per_month;
   capacity_factor_ = std::max(kMinCapacityFactor, capacity_factor_ - fade);
 }
 

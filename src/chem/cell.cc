@@ -83,8 +83,8 @@ Power Cell::MaxChargePower() const {
 
 void Cell::AdvanceIdle(Duration dt) {
   SDB_CHECK(dt.value() >= 0.0);
-  constexpr double kSecondsPerMonth = 30.0 * 24.0 * 3600.0;
-  double leak = params_->self_discharge_per_month * dt.value() / kSecondsPerMonth;
+  const double seconds_per_month = Days(30.0).value();
+  double leak = params_->self_discharge_per_month * dt.value() / seconds_per_month;
   electrical_.set_soc(electrical_.soc() * (1.0 - leak));
   aging_.AdvanceCalendar(dt);
   SyncAging();

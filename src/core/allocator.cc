@@ -25,38 +25,45 @@ double CurrentAtMultiplier(double r, double hg3, double lambda) {
 
 }  // namespace
 
-std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& problem) {
-  const size_t n = problem.resistance_ohm.size();
-  SDB_CHECK(problem.dcir_growth_per_c.size() == n);
-  SDB_CHECK(problem.current_cap_a.size() == n);
-  std::vector<double> result(n, 0.0);
-  double total = problem.total_current_a;
+std::vector<Current> SolveMarginalCostAllocation(const MarginalCostProblem& problem) {
+  // Numeric-kernel entry: unwrap the typed problem into raw SI magnitudes
+  // once, run the bisection on doubles, and re-wrap the solution.
+  const size_t n = problem.resistance.size();
+  SDB_CHECK(problem.dcir_growth.size() == n);
+  SDB_CHECK(problem.current_cap.size() == n);
+  std::vector<Current> result(n, Amps(0.0));
+  const double total = problem.total_current.value();
+  const double horizon = problem.horizon.value();
   if (total <= 0.0 || n == 0) {
     return result;
   }
 
+  std::vector<double> resistance(n), growth(n), cap(n);
   double cap_sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    SDB_CHECK(problem.current_cap_a[i] >= 0.0);
-    if (problem.current_cap_a[i] > 0.0) {
-      SDB_CHECK(problem.resistance_ohm[i] > 0.0);
-      SDB_CHECK(problem.dcir_growth_per_c[i] >= 0.0);
+    resistance[i] = problem.resistance[i].value();
+    growth[i] = problem.dcir_growth[i].value();
+    cap[i] = problem.current_cap[i].value();
+    SDB_CHECK(cap[i] >= 0.0);
+    if (cap[i] > 0.0) {
+      SDB_CHECK(resistance[i] > 0.0);
+      SDB_CHECK(growth[i] >= 0.0);
     }
-    cap_sum += problem.current_cap_a[i];
+    cap_sum += cap[i];
   }
   if (cap_sum <= total) {
-    return problem.current_cap_a;  // Everything is saturated.
+    return problem.current_cap;  // Everything is saturated.
   }
 
-  auto hg3 = [&](size_t i) { return 3.0 * problem.horizon_s * problem.dcir_growth_per_c[i]; };
+  auto hg3 = [&](size_t i) { return 3.0 * horizon * growth[i]; };
   auto total_at = [&](double lambda) {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      if (problem.current_cap_a[i] <= 0.0) {
+      if (cap[i] <= 0.0) {
         continue;
       }
-      double y = CurrentAtMultiplier(problem.resistance_ohm[i], hg3(i), lambda);
-      sum += std::min(y, problem.current_cap_a[i]);
+      double y = CurrentAtMultiplier(resistance[i], hg3(i), lambda);
+      sum += std::min(y, cap[i]);
     }
     return sum;
   };
@@ -64,11 +71,10 @@ std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& probl
   // Bracket lambda: above lambda_hi every eligible battery is saturated.
   double lambda_hi = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    double cap = problem.current_cap_a[i];
-    if (cap <= 0.0) {
+    if (cap[i] <= 0.0) {
       continue;
     }
-    double mc = 2.0 * problem.resistance_ohm[i] * cap + hg3(i) * cap * cap;
+    double mc = 2.0 * resistance[i] * cap[i] + hg3(i) * cap[i] * cap[i];
     lambda_hi = std::max(lambda_hi, mc);
   }
   lambda_hi *= 1.0 + 1e-9;
@@ -85,11 +91,11 @@ std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& probl
   }
   double lambda = 0.5 * (lo + hi);
   for (size_t i = 0; i < n; ++i) {
-    if (problem.current_cap_a[i] <= 0.0) {
+    if (cap[i] <= 0.0) {
       continue;
     }
-    double y = CurrentAtMultiplier(problem.resistance_ohm[i], hg3(i), lambda);
-    result[i] = std::min(y, problem.current_cap_a[i]);
+    double y = CurrentAtMultiplier(resistance[i], hg3(i), lambda);
+    result[i] = Amps(std::min(y, cap[i]));
   }
   return result;
 }

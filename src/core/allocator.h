@@ -19,19 +19,21 @@
 
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace sdb {
 
 struct MarginalCostProblem {
-  std::vector<double> resistance_ohm;      // R_i > 0 for eligible batteries.
-  std::vector<double> dcir_growth_per_c;   // g_i >= 0 (ohm per coulomb drawn).
-  std::vector<double> current_cap_a;       // y_max_i >= 0.
-  double total_current_a = 0.0;            // Target sum of y_i.
-  double horizon_s = 600.0;                // H in the future-loss term.
+  std::vector<Resistance> resistance;            // R_i > 0 for eligible batteries.
+  std::vector<ResistancePerCharge> dcir_growth;  // g_i >= 0 (ohm per coulomb drawn).
+  std::vector<Current> current_cap;              // y_max_i >= 0.
+  Current total_current;                         // Target sum of y_i.
+  Duration horizon = Seconds(600.0);             // H in the future-loss term.
 };
 
 // Returns currents y_i >= 0 with sum == min(total, sum of caps), equalising
 // marginal costs among uncapped batteries. Batteries with zero cap get zero.
-std::vector<double> SolveMarginalCostAllocation(const MarginalCostProblem& problem);
+std::vector<Current> SolveMarginalCostAllocation(const MarginalCostProblem& problem);
 
 // Normalises a non-negative vector to sum to 1; all-zero input becomes a
 // uniform vector over entries whose `eligible` flag is set (or truly uniform

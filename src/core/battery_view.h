@@ -3,6 +3,9 @@
 // power values ... based on the DCIR-SoC curves given by the manufacturer",
 // §3.3). Policies never touch Cell objects directly — only these views —
 // so they run identically against hardware, the emulator, or test fixtures.
+//
+// Every physical quantity is carried as an sdb::Quantity type; only SoC,
+// wear and cycle counts are raw doubles (they are dimensionless).
 #ifndef SRC_CORE_BATTERY_VIEW_H_
 #define SRC_CORE_BATTERY_VIEW_H_
 
@@ -17,29 +20,29 @@ struct BatteryView {
   size_t index = 0;
   std::string name;
 
-  double soc = 0.0;              // Gauge estimate.
-  double ocv_v = 0.0;            // From the manufacturer OCV curve at `soc`.
-  double dcir_ohm = 0.0;         // From the manufacturer DCIR curve at `soc`.
-  double dcir_slope = 0.0;       // d(DCIR)/d(SoC) at `soc` (typically < 0).
-  double capacity_c = 0.0;       // Full-charge capacity estimate (coulombs).
-  double remaining_energy_j = 0.0;
+  double soc = 0.0;              // Gauge estimate (dimensionless fraction).
+  Voltage ocv;                   // From the manufacturer OCV curve at `soc`.
+  Resistance dcir;               // From the manufacturer DCIR curve at `soc`.
+  Resistance dcir_slope;         // d(DCIR)/d(SoC) at `soc` (typically < 0).
+  Charge capacity;               // Full-charge capacity estimate.
+  Energy remaining_energy;
   double wear_ratio = 0.0;       // lambda_i = cc_i / chi_i.
   double rated_cycles = 0.0;     // chi_i.
-  double max_discharge_a = 0.0;  // Datasheet sustained limit.
-  double max_charge_a = 0.0;     // Current charge acceptance (profile-limited).
-  double temperature_k = 298.15;
+  Current max_discharge;         // Datasheet sustained limit.
+  Current max_charge;            // Current charge acceptance (profile-limited).
+  Temperature temperature = Kelvin(298.15);
   bool is_empty = false;
   bool is_full = false;
 
   // Resistance growth per coulomb drawn: |dR/dSoC| / capacity when draining
   // raises resistance; zero otherwise. This is the delta_i of the paper's
   // RBL derivation, normalised to charge units.
-  double DischargeDcirGrowthPerCoulomb() const {
-    if (capacity_c <= 0.0) {
-      return 0.0;
+  ResistancePerCharge DischargeDcirGrowthPerCoulomb() const {
+    if (capacity.value() <= 0.0) {
+      return ResistancePerCharge(0.0);
     }
-    double growth = -dcir_slope;  // Draining lowers SoC; R rises when slope < 0.
-    return growth > 0.0 ? growth / capacity_c : 0.0;
+    Resistance growth = -dcir_slope;  // Draining lowers SoC; R rises when slope < 0.
+    return growth.value() > 0.0 ? growth / capacity : ResistancePerCharge(0.0);
   }
 };
 

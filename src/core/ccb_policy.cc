@@ -22,8 +22,8 @@ std::vector<double> WearHeadroomShares(const BatteryViews& views, double band,
   }
   for (size_t i = 0; i < views.size(); ++i) {
     const BatteryView& v = views[i];
-    bool available = for_charge ? (!v.is_full && v.max_charge_a > 0.0)
-                                : (!v.is_empty && v.max_discharge_a > 0.0);
+    bool available = for_charge ? (!v.is_full && v.max_charge.value() > 0.0)
+                                : (!v.is_empty && v.max_discharge.value() > 0.0);
     eligible[i] = available;
     if (available) {
       weights[i] = max_wear - v.wear_ratio + band;

@@ -44,54 +44,54 @@ WearSpread ComputeWearSpread(const BatteryViews& views) {
 }
 
 Energy EstimateRbl(const BatteryViews& views, Power anticipated_load) {
-  double total_energy = 0.0;
-  double v_sum = 0.0;
+  Energy total_energy;
+  Voltage v_sum;
   int live = 0;
   for (const auto& v : views) {
-    total_energy += v.remaining_energy_j;
+    total_energy += v.remaining_energy;
     if (!v.is_empty) {
-      v_sum += v.ocv_v;
+      v_sum += v.ocv;
       ++live;
     }
   }
   double p = anticipated_load.value();
-  if (p <= 0.0 || live == 0 || total_energy <= 0.0) {
-    return Joules(total_energy);
+  if (p <= 0.0 || live == 0 || total_energy.value() <= 0.0) {
+    return total_energy;
   }
-  double v_bus = v_sum / live;
+  Voltage v_bus = v_sum / live;
 
   // Split the anticipated load to minimise instantaneous loss and discount
   // the remaining energy by the resulting loss fraction.
   MarginalCostProblem problem;
-  problem.total_current_a = p / v_bus;
-  problem.horizon_s = 0.0;  // Instantaneous discount.
+  problem.total_current = anticipated_load / v_bus;
+  problem.horizon = Seconds(0.0);  // Instantaneous discount.
   for (const auto& v : views) {
-    problem.resistance_ohm.push_back(std::max(v.dcir_ohm, 1e-6));
-    problem.dcir_growth_per_c.push_back(0.0);
-    problem.current_cap_a.push_back(v.is_empty ? 0.0 : v.max_discharge_a);
+    problem.resistance.push_back(Max(v.dcir, Ohms(1e-6)));
+    problem.dcir_growth.push_back(ResistancePerCharge(0.0));
+    problem.current_cap.push_back(v.is_empty ? Amps(0.0) : v.max_discharge);
   }
-  std::vector<double> currents = SolveMarginalCostAllocation(problem);
+  std::vector<Current> currents = SolveMarginalCostAllocation(problem);
   double loss_w = 0.0;
   for (size_t i = 0; i < views.size(); ++i) {
-    loss_w += problem.resistance_ohm[i] * currents[i] * currents[i];
+    loss_w += (problem.resistance[i] * currents[i] * currents[i]).value();
   }
   double useful_fraction = p / (p + loss_w);
-  return Joules(total_energy * useful_fraction);
+  return total_energy * useful_fraction;
 }
 
-double InstantaneousLossW(const BatteryViews& views, const std::vector<double>& shares,
-                          Power load) {
+Power InstantaneousLoss(const BatteryViews& views, const std::vector<double>& shares,
+                        Power load) {
   SDB_CHECK(shares.size() == views.size());
   double loss = 0.0;
   for (size_t i = 0; i < views.size(); ++i) {
     double p_i = shares[i] * load.value();
-    if (p_i <= 0.0 || views[i].ocv_v <= 0.0) {
+    if (p_i <= 0.0 || views[i].ocv.value() <= 0.0) {
       continue;
     }
-    double y = p_i / views[i].ocv_v;
-    loss += views[i].dcir_ohm * y * y;
+    double y = p_i / views[i].ocv.value();
+    loss += views[i].dcir.value() * y * y;
   }
-  return loss;
+  return Watts(loss);
 }
 
 }  // namespace sdb

@@ -32,10 +32,10 @@ WearSpread ComputeWearSpread(const BatteryViews& views);
 // energy (joules).
 Energy EstimateRbl(const BatteryViews& views, Power anticipated_load);
 
-// Instantaneous resistive loss (watts) if `load` is split across the views
-// with the given power shares — the objective RBL-Discharge minimises.
-double InstantaneousLossW(const BatteryViews& views, const std::vector<double>& shares,
-                          Power load);
+// Instantaneous resistive loss if `load` is split across the views with the
+// given power shares — the objective RBL-Discharge minimises.
+Power InstantaneousLoss(const BatteryViews& views, const std::vector<double>& shares,
+                        Power load);
 
 }  // namespace sdb
 

@@ -11,26 +11,26 @@ namespace {
 
 // Mean OCV across available batteries; used to turn a power request into a
 // target total current.
-double BusVoltage(const BatteryViews& views, bool for_charge) {
-  double sum = 0.0;
+Voltage BusVoltage(const BatteryViews& views, bool for_charge) {
+  Voltage sum;
   int count = 0;
   for (const auto& v : views) {
     bool available = for_charge ? !v.is_full : !v.is_empty;
-    if (available && v.ocv_v > 0.0) {
-      sum += v.ocv_v;
+    if (available && v.ocv.value() > 0.0) {
+      sum += v.ocv;
       ++count;
     }
   }
-  return count > 0 ? sum / count : 0.0;
+  return count > 0 ? sum / count : Volts(0.0);
 }
 
 // Converts a current allocation into power fractions at each battery's OCV.
 std::vector<double> CurrentsToPowerShares(const BatteryViews& views,
-                                          const std::vector<double>& currents) {
+                                          const std::vector<Current>& currents) {
   std::vector<double> shares(views.size(), 0.0);
   double total = 0.0;
   for (size_t i = 0; i < views.size(); ++i) {
-    shares[i] = currents[i] * views[i].ocv_v;
+    shares[i] = (currents[i] * views[i].ocv).value();
     total += shares[i];
   }
   if (total <= 0.0) {
@@ -45,54 +45,55 @@ std::vector<double> CurrentsToPowerShares(const BatteryViews& views,
 }  // namespace
 
 RblDischargePolicy::RblDischargePolicy(RblPolicyConfig config) : config_(config) {
-  SDB_CHECK(config_.delta_horizon_s >= 0.0);
+  SDB_CHECK(config_.delta_horizon.value() >= 0.0);
   SDB_CHECK(config_.current_margin > 0.0 && config_.current_margin <= 1.0);
 }
 
 std::vector<double> RblDischargePolicy::Allocate(const BatteryViews& views, Power load) {
-  double v_bus = BusVoltage(views, /*for_charge=*/false);
-  if (views.empty() || v_bus <= 0.0) {
+  Voltage v_bus = BusVoltage(views, /*for_charge=*/false);
+  if (views.empty() || v_bus.value() <= 0.0) {
     return std::vector<double>(views.size(), 0.0);
   }
   MarginalCostProblem problem;
-  problem.total_current_a = std::max(load.value(), 0.0) / v_bus;
-  problem.horizon_s = config_.delta_horizon_s;
+  problem.total_current = Max(load, Watts(0.0)) / v_bus;
+  problem.horizon = config_.delta_horizon;
   for (const auto& v : views) {
-    problem.resistance_ohm.push_back(std::max(v.dcir_ohm, 1e-6));
-    problem.dcir_growth_per_c.push_back(v.DischargeDcirGrowthPerCoulomb());
-    problem.current_cap_a.push_back(v.is_empty ? 0.0 : v.max_discharge_a * config_.current_margin);
+    problem.resistance.push_back(Max(v.dcir, Ohms(1e-6)));
+    problem.dcir_growth.push_back(v.DischargeDcirGrowthPerCoulomb());
+    problem.current_cap.push_back(v.is_empty ? Amps(0.0)
+                                             : v.max_discharge * config_.current_margin);
   }
-  if (problem.total_current_a <= 0.0) {
+  if (problem.total_current.value() <= 0.0) {
     // Nothing to draw: fall back to the loss-optimal proportions so callers
     // always get a meaningful ratio vector to program.
-    problem.total_current_a = 1.0;
+    problem.total_current = Amps(1.0);
   }
-  std::vector<double> currents = SolveMarginalCostAllocation(problem);
+  std::vector<Current> currents = SolveMarginalCostAllocation(problem);
   return CurrentsToPowerShares(views, currents);
 }
 
 RblChargePolicy::RblChargePolicy(RblPolicyConfig config) : config_(config) {}
 
 std::vector<double> RblChargePolicy::Allocate(const BatteryViews& views, Power supply) {
-  double v_bus = BusVoltage(views, /*for_charge=*/true);
-  if (views.empty() || v_bus <= 0.0) {
+  Voltage v_bus = BusVoltage(views, /*for_charge=*/true);
+  if (views.empty() || v_bus.value() <= 0.0) {
     return std::vector<double>(views.size(), 0.0);
   }
   MarginalCostProblem problem;
-  problem.total_current_a = std::max(supply.value(), 0.0) / v_bus;
+  problem.total_current = Max(supply, Watts(0.0)) / v_bus;
   // Charging toward full *lowers* DCIR (slope < 0 means resistance falls as
   // SoC rises), so the future-loss term does not apply; RBL-Charge is the
   // pure instantaneous-loss minimiser over charge acceptance limits.
-  problem.horizon_s = 0.0;
+  problem.horizon = Seconds(0.0);
   for (const auto& v : views) {
-    problem.resistance_ohm.push_back(std::max(v.dcir_ohm, 1e-6));
-    problem.dcir_growth_per_c.push_back(0.0);
-    problem.current_cap_a.push_back(v.is_full ? 0.0 : v.max_charge_a);
+    problem.resistance.push_back(Max(v.dcir, Ohms(1e-6)));
+    problem.dcir_growth.push_back(ResistancePerCharge(0.0));
+    problem.current_cap.push_back(v.is_full ? Amps(0.0) : v.max_charge);
   }
-  if (problem.total_current_a <= 0.0) {
-    problem.total_current_a = 1.0;
+  if (problem.total_current.value() <= 0.0) {
+    problem.total_current = Amps(1.0);
   }
-  std::vector<double> currents = SolveMarginalCostAllocation(problem);
+  std::vector<Current> currents = SolveMarginalCostAllocation(problem);
   return CurrentsToPowerShares(views, currents);
 }
 

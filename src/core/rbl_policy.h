@@ -11,9 +11,9 @@
 namespace sdb {
 
 struct RblPolicyConfig {
-  // Horizon of the future-loss (delta) term, seconds. Zero recovers the
-  // classic instantaneous y_i ∝ 1/R_i split; the ablation bench sweeps this.
-  double delta_horizon_s = 600.0;
+  // Horizon of the future-loss (delta) term. Zero recovers the classic
+  // instantaneous y_i ∝ 1/R_i split; the ablation bench sweeps this.
+  Duration delta_horizon = Seconds(600.0);
   // Fraction of a battery's max current the policy will plan to (headroom
   // for the hardware's own clamping).
   double current_margin = 0.95;

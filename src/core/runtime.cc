@@ -10,9 +10,9 @@ namespace sdb {
 namespace {
 
 // Chemical energy still extractable at `soc` per the manufacturer OCV curve.
-double RemainingEnergyJ(const BatteryParams& params, double soc, double capacity_c) {
+Energy RemainingEnergy(const BatteryParams& params, double soc, Charge capacity) {
   if (soc <= 0.0) {
-    return 0.0;
+    return Joules(0.0);
   }
   constexpr int kPanels = 16;
   double h = soc / kPanels;
@@ -21,7 +21,7 @@ double RemainingEnergyJ(const BatteryParams& params, double soc, double capacity
     double weight = (i == 0 || i == kPanels) ? 0.5 : 1.0;
     sum += weight * params.ocv_vs_soc.Evaluate(i * h);
   }
-  return sum * h * capacity_c;
+  return Joules(sum * h * capacity.value());
 }
 
 }  // namespace
@@ -94,29 +94,29 @@ BatteryViews SdbRuntime::BuildViews() const {
     v.index = i;
     v.name = params.name;
     v.soc = status.soc;
-    v.ocv_v = params.ocv_vs_soc.Evaluate(v.soc);
-    v.dcir_ohm = params.dcir_vs_soc.Evaluate(v.soc);
-    v.dcir_slope = params.dcir_vs_soc.Derivative(v.soc);
-    v.capacity_c = status.full_capacity.value();
-    v.remaining_energy_j = RemainingEnergyJ(params, v.soc, v.capacity_c);
+    v.ocv = Volts(params.ocv_vs_soc.Evaluate(v.soc));
+    v.dcir = Ohms(params.dcir_vs_soc.Evaluate(v.soc));
+    v.dcir_slope = Ohms(params.dcir_vs_soc.Derivative(v.soc));
+    v.capacity = status.full_capacity;
+    v.remaining_energy = RemainingEnergy(params, v.soc, v.capacity);
     v.rated_cycles = params.rated_cycle_count;
     v.wear_ratio = params.rated_cycle_count > 0.0
                        ? status.cycle_count / params.rated_cycle_count
                        : 0.0;
-    v.max_discharge_a = params.max_discharge_current.value();
+    v.max_discharge = params.max_discharge_current;
     // Charge acceptance tapers above 80% SoC (the profile's trickle rule).
-    v.max_charge_a = params.max_charge_current.value();
+    v.max_charge = params.max_charge_current;
     if (v.soc >= 0.8) {
-      v.max_charge_a = std::min(v.max_charge_a, params.CRate(0.3).value());
+      v.max_charge = Min(v.max_charge, params.CRate(0.3));
     }
     // Thermal derating: a hot battery is throttled and finally excluded.
-    v.temperature_k = status.temperature.value();
+    v.temperature = status.temperature;
     double t_lo = config_.derate_start.value();
     double t_hi = config_.derate_cutoff.value();
-    if (v.temperature_k > t_lo) {
-      double scale = Clamp((t_hi - v.temperature_k) / (t_hi - t_lo), 0.0, 1.0);
-      v.max_discharge_a *= scale;
-      v.max_charge_a *= scale;
+    if (v.temperature.value() > t_lo) {
+      double scale = Clamp((t_hi - v.temperature.value()) / (t_hi - t_lo), 0.0, 1.0);
+      v.max_discharge *= scale;
+      v.max_charge *= scale;
     }
     v.is_empty = v.soc <= 1e-3;
     v.is_full = v.soc >= 1.0 - 1e-3;

@@ -82,14 +82,14 @@ SweepCounters& SweepCounters::Global() {
   return *counters;
 }
 
-void SweepCounters::RecordSweep(uint64_t tasks, uint64_t runs, double worker_wait_s,
-                                double wall_s) {
+void SweepCounters::RecordSweep(uint64_t tasks, uint64_t runs, Duration worker_wait,
+                                Duration wall) {
   std::lock_guard<std::mutex> lock(mu_);
   ++totals_.sweeps;
   totals_.tasks_executed += tasks;
   totals_.runs_executed += runs;
-  totals_.worker_wait_s += worker_wait_s;
-  totals_.wall_s += wall_s;
+  totals_.worker_wait += worker_wait;
+  totals_.wall += wall;
 }
 
 SweepCounterSnapshot SweepCounters::Snapshot() const {

@@ -64,8 +64,8 @@ struct SweepCounterSnapshot {
   uint64_t sweeps = 0;          // Sweep invocations recorded.
   uint64_t tasks_executed = 0;  // Shard tasks dispatched to the pool.
   uint64_t runs_executed = 0;   // Individual seeded simulations.
-  double worker_wait_s = 0.0;   // Pool workers blocked on an empty queue.
-  double wall_s = 0.0;          // Wall clock summed across sweeps.
+  Duration worker_wait;         // Pool workers blocked on an empty queue.
+  Duration wall;                // Wall clock summed across sweeps.
 };
 
 // Process-wide, thread-safe; sweeps running on different pools all land here.
@@ -73,7 +73,7 @@ class SweepCounters {
  public:
   static SweepCounters& Global();
 
-  void RecordSweep(uint64_t tasks, uint64_t runs, double worker_wait_s, double wall_s);
+  void RecordSweep(uint64_t tasks, uint64_t runs, Duration worker_wait, Duration wall);
   SweepCounterSnapshot Snapshot() const;
   void Reset();
 

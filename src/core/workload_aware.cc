@@ -26,11 +26,11 @@ int ReserveDischargePolicy::ReservedIndex(const BatteryViews& views, Power load)
   double total_deliverable = 0.0;
   for (size_t i = 0; i < views.size(); ++i) {
     const BatteryView& v = views[i];
-    if (v.is_empty || v.ocv_v <= 0.0) {
+    if (v.is_empty || v.ocv.value() <= 0.0) {
       continue;
     }
     deliverable[i] =
-        std::max(0.0, (v.ocv_v - v.dcir_ohm * v.max_discharge_a) * v.max_discharge_a);
+        std::max(0.0, ((v.ocv - v.dcir * v.max_discharge) * v.max_discharge).value());
     total_deliverable += deliverable[i];
   }
 
@@ -44,8 +44,8 @@ int ReserveDischargePolicy::ReservedIndex(const BatteryViews& views, Power load)
       continue;
     }
     const BatteryView& v = views[i];
-    double y = need_w / v.ocv_v;
-    double loss_fraction = y * v.dcir_ohm / v.ocv_v;
+    double y = need_w / v.ocv.value();
+    double loss_fraction = y * v.dcir.value() / v.ocv.value();
     if (best < 0 || loss_fraction < best_loss_fraction) {
       best = static_cast<int>(i);
       best_loss_fraction = loss_fraction;
@@ -70,7 +70,7 @@ int ReserveDischargePolicy::ReservedIndex(const BatteryViews& views, Power load)
     if (total_deliverable - deliverable[i] < need_w) {
       // Among critical batteries, protect the scarcest one — the others are
       // big enough to be drawn on in the meantime.
-      if (critical < 0 || views[i].remaining_energy_j < views[critical].remaining_energy_j) {
+      if (critical < 0 || views[i].remaining_energy < views[critical].remaining_energy) {
         critical = static_cast<int>(i);
       }
     }
@@ -93,9 +93,8 @@ std::vector<double> ReserveDischargePolicy::Allocate(const BatteryViews& views, 
 
   // Energy the hinted workload will need from the reserved battery,
   // inflated by the margin and by that battery's own loss fraction.
-  double need_j =
-      hint_->expected_power.value() * hint_->duration.value() * config_.reserve_margin;
-  if (r.remaining_energy_j >= need_j * 1.5) {
+  Energy need = hint_->expected_power * hint_->duration * config_.reserve_margin;
+  if (r.remaining_energy >= need * 1.5) {
     // Comfortably above the reserve; no need to distort the split.
     return base;
   }
@@ -104,7 +103,7 @@ std::vector<double> ReserveDischargePolicy::Allocate(const BatteryViews& views, 
   // cannot carry any load, keep the original split.
   BatteryViews masked = views;
   masked[reserved].is_empty = true;
-  masked[reserved].max_discharge_a = 0.0;
+  masked[reserved].max_discharge = Amps(0.0);
   std::vector<double> shifted = fallback_->Allocate(masked, load);
   double shifted_sum = 0.0;
   for (double s : shifted) {

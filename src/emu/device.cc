@@ -49,7 +49,7 @@ std::unique_ptr<Device> MakePhoneDevice(double initial_soc, uint64_t seed) {
   cpu.long_term_limit = Watts(2.5);   // Snapdragon 800 class.
   cpu.burst_limit = Watts(4.5);
   cpu.protection_limit = Watts(6.5);
-  cpu.ref_freq_ghz = 2.3;
+  cpu.ref_freq = GigaHertz(2.3);
   cpu.ref_cpu_power = Watts(2.0);
   return std::make_unique<Device>("phone-sd800", std::move(cells), cpu, seed);
 }
@@ -64,7 +64,7 @@ std::unique_ptr<Device> MakeWatchDevice(double initial_soc, uint64_t seed) {
   cpu.long_term_limit = Watts(0.25);  // Snapdragon 200 class.
   cpu.burst_limit = Watts(0.5);
   cpu.protection_limit = Watts(0.9);
-  cpu.ref_freq_ghz = 1.2;
+  cpu.ref_freq = GigaHertz(1.2);
   cpu.ref_cpu_power = Watts(0.2);
   return std::make_unique<Device>("watch-sd200", std::move(cells), cpu, seed);
 }

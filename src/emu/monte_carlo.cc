@@ -43,7 +43,7 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
   std::vector<MonteCarloResult> shards(static_cast<size_t>(num_shards));
 
   int jobs = options.jobs > 0 ? options.jobs : ThreadPool::DefaultThreadCount();
-  double worker_wait_s = 0.0;
+  Duration worker_wait;
   auto run_shard = [&](int64_t s) {
     int first = static_cast<int>(s) * kMonteCarloShardSize;
     int last = std::min(runs, first + kMonteCarloShardSize);
@@ -56,7 +56,7 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
   } else {
     ThreadPool pool(jobs);
     ParallelFor(&pool, num_shards, run_shard);
-    worker_wait_s = pool.stats().worker_wait_s;
+    worker_wait = pool.stats().worker_wait;
   }
 
   // Seed-ordered reduction: shard s covers seeds strictly before shard s+1,
@@ -70,10 +70,10 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
     result.runs += shard.runs;
   }
 
-  double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  Duration wall = Seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count());
   SweepCounters::Global().RecordSweep(static_cast<uint64_t>(num_shards),
-                                      static_cast<uint64_t>(runs), worker_wait_s, wall_s);
+                                      static_cast<uint64_t>(runs), worker_wait, wall);
   return result;
 }
 

@@ -60,7 +60,7 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
     result.circuit_loss += Joules(circuit_loss_j);
     result.charged += Joules(tick.charge.absorbed.value() * tick_s);
 
-    size_t hour = static_cast<size_t>(t / 3600.0);
+    size_t hour = static_cast<size_t>(ToHours(Seconds(t)));
     if (result.hourly.size() <= hour) {
       result.hourly.resize(hour + 1,
                            HourlyStats{Joules(0.0), Joules(0.0), Joules(0.0)});

@@ -13,7 +13,7 @@ PowerTrace MakeSmartwatchDayTrace(const SmartwatchDayConfig& config) {
   Rng rng(config.seed);
   PowerTrace trace;
 
-  double run_start_s = config.run_start_hour * 3600.0;
+  double run_start_s = Hours(config.run_start_hour).value();
   double run_end_s = run_start_s + config.run_duration.value();
 
   // Build minute-resolution segments over 24 hours.
@@ -24,16 +24,16 @@ PowerTrace MakeSmartwatchDayTrace(const SmartwatchDayConfig& config) {
   for (int hour = 0; hour < 24; ++hour) {
     for (int k = 0; k < config.checks_per_hour; ++k) {
       int minute = hour * 60 + static_cast<int>(rng.NextBounded(60));
-      double burst = config.check_w * (1.0 + rng.Uniform(-config.jitter, config.jitter));
+      double burst = config.check.value() * (1.0 + rng.Uniform(-config.jitter, config.jitter));
       double fraction = std::min(1.0, config.check_duration.value() / kStep);
       check_power[minute] = std::max(check_power[minute], burst * fraction);
     }
   }
   for (int m = 0; m < kMinutes; ++m) {
     double t0 = m * kStep;
-    double p = config.idle_w + check_power[m];
+    double p = config.idle.value() + check_power[m];
     if (t0 >= run_start_s && t0 < run_end_s) {
-      p += config.run_w * (1.0 + rng.Uniform(-config.jitter / 2.0, config.jitter / 2.0));
+      p += config.run.value() * (1.0 + rng.Uniform(-config.jitter / 2.0, config.jitter / 2.0));
     }
     trace.Append(Seconds(kStep), Watts(p));
   }

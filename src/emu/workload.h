@@ -16,11 +16,11 @@ namespace sdb {
 // --- Smart watch (paper §5.2, Fig. 13) --------------------------------------
 
 struct SmartwatchDayConfig {
-  double idle_w = 0.050;            // Always-on display + sensors.
-  double check_w = 0.15;            // Screen-on message checking burst.
+  Power idle = Watts(0.050);        // Always-on display + sensors.
+  Power check = Watts(0.15);        // Screen-on message checking burst.
   Duration check_duration = Seconds(45.0);
   int checks_per_hour = 6;          // "spends the entire day checking messages".
-  double run_w = 0.70;              // GPS + HR tracking while running.
+  Power run = Watts(0.70);          // GPS + HR tracking while running.
   double run_start_hour = 9.0;      // Fig. 13: the run starts at hour 9.
   Duration run_duration = Hours(1.0);
   uint64_t seed = 7;

@@ -25,9 +25,9 @@ namespace sdb {
 struct ChargeCircuitConfig {
   // Loss terms calibrated to Fig. 6(c): ~100% of typical efficiency at
   // 0.8 A falling to ~94% at 2.2 A.
-  RegulatorConfig regulator{.quiescent_w = 0.008,
+  RegulatorConfig regulator{.quiescent = Watts(0.008),
                             .proportional = 0.006,
-                            .series_resistance = 0.15,
+                            .series_resistance = Ohms(0.15),
                             .reverse_penalty = 1.35,
                             .typical_efficiency = 0.97};
   // Charge-current setpoint error bounds (fraction of setpoint, Fig. 6d):

@@ -23,9 +23,9 @@ namespace sdb {
 
 struct DischargeCircuitConfig {
   // Loss terms calibrated to Fig. 6(a): ~1.0% loss at 0.1-2 W, ~1.6% at 10 W.
-  RegulatorConfig regulator{.quiescent_w = 2.0e-5,
+  RegulatorConfig regulator{.quiescent = Watts(2.0e-5),
                             .proportional = 0.0097,
-                            .series_resistance = 0.0086,
+                            .series_resistance = Ohms(0.0086),
                             .reverse_penalty = 1.35,
                             .typical_efficiency = 0.96};
   // Proportion error envelope (fraction of the setting): worst at the edges

@@ -9,9 +9,9 @@ namespace sdb {
 
 FuelGauge::FuelGauge(FuelGaugeConfig config, uint64_t seed, double initial_soc_estimate)
     : config_(config), rng_(seed), soc_estimate_(Clamp(initial_soc_estimate, 0.0, 1.0)) {
-  SDB_CHECK(config_.current_lsb_a >= 0.0);
-  SDB_CHECK(config_.voltage_lsb_v >= 0.0);
-  SDB_CHECK(config_.current_noise_a >= 0.0);
+  SDB_CHECK(config_.current_lsb.value() >= 0.0);
+  SDB_CHECK(config_.voltage_lsb.value() >= 0.0);
+  SDB_CHECK(config_.current_noise.value() >= 0.0);
 }
 
 double FuelGauge::Quantise(double value, double lsb) const {
@@ -25,14 +25,14 @@ void FuelGauge::Observe(Current true_current, Voltage true_voltage, Charge true_
                         Duration dt) {
   double dt_s = dt.value();
   SDB_CHECK(dt_s > 0.0);
-  double noisy_i = true_current.value() + rng_.Gaussian(0.0, config_.current_noise_a);
-  last_current_a_ = Quantise(noisy_i, config_.current_lsb_a);
-  last_voltage_v_ = Quantise(true_voltage.value(), config_.voltage_lsb_v);
+  double noisy_i = true_current.value() + rng_.Gaussian(0.0, config_.current_noise.value());
+  last_current_ = Amps(Quantise(noisy_i, config_.current_lsb.value()));
+  last_voltage_ = Volts(Quantise(true_voltage.value(), config_.voltage_lsb.value()));
 
   double cap = true_capacity.value();
   SDB_CHECK(cap > 0.0);
-  double delta = last_current_a_ * dt_s / cap;
-  double drift = config_.soc_drift_per_hour * dt_s / 3600.0;
+  double delta = last_current_.value() * dt_s / cap;
+  double drift = config_.soc_drift_per_hour * ToHours(dt);
   soc_estimate_ = Clamp(soc_estimate_ - delta - drift, 0.0, 1.0);
 }
 

@@ -15,10 +15,10 @@
 namespace sdb {
 
 struct FuelGaugeConfig {
-  double current_lsb_a = 0.001;     // Current ADC quantisation step.
-  double voltage_lsb_v = 0.002;     // Voltage ADC quantisation step.
-  double current_noise_a = 0.0005;  // Gaussian sensing noise (1 sigma).
-  double soc_drift_per_hour = 0.0;  // Integrator drift (fraction of capacity).
+  Current current_lsb = Amps(0.001);     // Current ADC quantisation step.
+  Voltage voltage_lsb = Volts(0.002);    // Voltage ADC quantisation step.
+  Current current_noise = Amps(0.0005);  // Gaussian sensing noise (1 sigma).
+  double soc_drift_per_hour = 0.0;       // Integrator drift (fraction of capacity).
 };
 
 class FuelGauge {
@@ -31,8 +31,8 @@ class FuelGauge {
 
   // Latest estimates.
   double EstimatedSoc() const { return soc_estimate_; }
-  Current MeasuredCurrent() const { return Current(last_current_a_); }
-  Voltage MeasuredVoltage() const { return Voltage(last_voltage_v_); }
+  Current MeasuredCurrent() const { return last_current_; }
+  Voltage MeasuredVoltage() const { return last_voltage_; }
 
   // Re-anchors the integrator (e.g. at a charge-complete event, like real
   // gauges re-learning full capacity).
@@ -44,8 +44,8 @@ class FuelGauge {
   FuelGaugeConfig config_;
   Rng rng_;
   double soc_estimate_;
-  double last_current_a_ = 0.0;
-  double last_voltage_v_ = 0.0;
+  Current last_current_;
+  Voltage last_voltage_;
 };
 
 }  // namespace sdb

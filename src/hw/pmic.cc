@@ -10,9 +10,9 @@ namespace {
 // Same charger-chip loss surface the SDB charge circuit uses, so baseline
 // comparisons isolate policy, not component quality.
 RegulatorConfig PmicChargerConfig() {
-  return RegulatorConfig{.quiescent_w = 0.008,
+  return RegulatorConfig{.quiescent = Watts(0.008),
                          .proportional = 0.006,
-                         .series_resistance = 0.15,
+                         .series_resistance = Ohms(0.15),
                          .reverse_penalty = 1.35,
                          .typical_efficiency = 0.97};
 }

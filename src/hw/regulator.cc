@@ -7,9 +7,9 @@
 namespace sdb {
 
 RegulatorModel::RegulatorModel(RegulatorConfig config) : config_(config) {
-  SDB_CHECK(config_.quiescent_w >= 0.0);
+  SDB_CHECK(config_.quiescent.value() >= 0.0);
   SDB_CHECK(config_.proportional >= 0.0 && config_.proportional < 1.0);
-  SDB_CHECK(config_.series_resistance >= 0.0);
+  SDB_CHECK(config_.series_resistance.value() >= 0.0);
   SDB_CHECK(config_.reverse_penalty >= 1.0);
 }
 
@@ -21,8 +21,8 @@ Power RegulatorModel::LossAt(Power output, Voltage bus_voltage, RegulatorMode mo
   SDB_CHECK(v > 0.0);
   double p = output.value();
   double i = p / v;
-  double loss =
-      config_.quiescent_w + config_.proportional * p + config_.series_resistance * i * i;
+  double loss = config_.quiescent.value() + config_.proportional * p +
+                config_.series_resistance.value() * i * i;
   if (mode == RegulatorMode::kReverseBuck) {
     loss *= config_.reverse_penalty;
   }

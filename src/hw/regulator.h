@@ -27,9 +27,9 @@ enum class RegulatorMode {
 };
 
 struct RegulatorConfig {
-  double quiescent_w = 0.008;   // Controller + gate-drive overhead.
-  double proportional = 0.006;  // Switching losses that scale with power.
-  double series_resistance = 0.012;  // FET + inductor resistance (ohm).
+  Power quiescent = Watts(0.008);  // Controller + gate-drive overhead.
+  double proportional = 0.006;     // Switching losses that scale with power.
+  Resistance series_resistance = Ohms(0.012);  // FET + inductor resistance.
   // Reverse operation is slightly less efficient (body-diode conduction
   // intervals); multiplier on the total loss in reverse-buck mode.
   double reverse_penalty = 1.35;

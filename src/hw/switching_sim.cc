@@ -40,17 +40,19 @@ StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>&
   if (load_resistance.value() <= 0.0 || duration.value() <= 0.0) {
     return InvalidArgumentError("load resistance and duration must be positive");
   }
-  if (config.switching_frequency_hz <= 0.0 || config.substeps_per_period < 8) {
+  if (config.switching_frequency.value() <= 0.0 || config.substeps_per_period < 8) {
     return InvalidArgumentError("invalid switching configuration");
   }
 
-  const double t_period = 1.0 / config.switching_frequency_hz;
+  // Numeric-kernel entry: unwrap the typed configuration once; the tight
+  // waveform loop below runs on raw doubles.
+  const double t_period = 1.0 / config.switching_frequency.value();
   const double dt = t_period / config.substeps_per_period;
   const double v_ref = config.output_setpoint.value();
   const double r_load = load_resistance.value();
   const double r_on = config.switch_on_resistance.value();
-  const double inductance = config.inductance_h;
-  const double capacitance = config.capacitance_f;
+  const double inductance = config.inductance.value();
+  const double capacitance = config.capacitance.value();
   const int periods = static_cast<int>(duration.value() / t_period);
   SDB_CHECK(periods > 1);
 
@@ -64,7 +66,10 @@ StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>&
 
   SwitchingSimResult result;
   result.commanded_shares = shares;
-  result.settling_time_s = -1.0;
+  double settling_time_s = -1.0;
+  double output_energy_j = 0.0;
+  double input_energy_j = 0.0;
+  double conduction_loss_j = 0.0;
 
   const int settled_start = periods / 2;
   double v_min = 1e9, v_max = -1e9, v_sum = 0.0;
@@ -131,14 +136,14 @@ StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>&
 
       if (counting) {
         double out_p = v_c * v_c / r_load;
-        result.output_energy_j += out_p * dt;
+        output_energy_j += out_p * dt;
         if (on) {
           double in_p = emf * i_l;  // Energy leaving the source EMF.
-          result.input_energy_j += in_p * dt;
+          input_energy_j += in_p * dt;
           per_source_energy[active] += in_p * dt;
-          result.conduction_loss_j += i_l * i_l * r_src * dt;
+          conduction_loss_j += i_l * i_l * r_src * dt;
         } else if (i_l > 0.0) {
-          result.conduction_loss_j += config.diode_drop.value() * i_l * dt;
+          conduction_loss_j += config.diode_drop.value() * i_l * dt;
         }
         v_min = std::min(v_min, v_c);
         v_max = std::max(v_max, v_c);
@@ -149,16 +154,20 @@ StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>&
       v_c = v_next;
     }
 
-    if (result.settling_time_s < 0.0 && std::fabs(v_c - v_ref) < 0.02 * v_ref) {
-      result.settling_time_s = (period + 1) * t_period;
+    if (settling_time_s < 0.0 && std::fabs(v_c - v_ref) < 0.02 * v_ref) {
+      settling_time_s = (period + 1) * t_period;
     }
   }
 
   SDB_CHECK(v_samples > 0);
-  result.mean_output_v = v_sum / v_samples;
-  result.ripple_pp_v = v_max - v_min;
-  result.regulated = std::fabs(result.mean_output_v - v_ref) < 0.03 * v_ref &&
-                     result.ripple_pp_v < 0.05 * v_ref && result.settling_time_s >= 0.0;
+  result.mean_output = Volts(v_sum / v_samples);
+  result.ripple_pp = Volts(v_max - v_min);
+  result.settling_time = Seconds(settling_time_s);
+  result.output_energy = Joules(output_energy_j);
+  result.input_energy = Joules(input_energy_j);
+  result.conduction_loss = Joules(conduction_loss_j);
+  result.regulated = std::fabs(result.mean_output.value() - v_ref) < 0.03 * v_ref &&
+                     result.ripple_pp.value() < 0.05 * v_ref && settling_time_s >= 0.0;
 
   result.realised_shares.assign(n, 0.0);
   double total_in = 0.0;
@@ -170,8 +179,7 @@ StatusOr<SwitchingSimResult> RunSwitchingSim(const std::vector<SwitchingSource>&
     result.worst_share_error =
         std::max(result.worst_share_error, std::fabs(result.realised_shares[i] - shares[i]));
   }
-  result.efficiency =
-      result.input_energy_j > 0.0 ? result.output_energy_j / result.input_energy_j : 0.0;
+  result.efficiency = input_energy_j > 0.0 ? output_energy_j / input_energy_j : 0.0;
   return result;
 }
 

@@ -30,9 +30,9 @@ struct SwitchingSource {
 };
 
 struct SwitchingSimConfig {
-  double switching_frequency_hz = 500e3;  // PWM frequency.
-  double inductance_h = 4.7e-6;
-  double capacitance_f = 100e-6;
+  Frequency switching_frequency = KiloHertz(500.0);  // PWM frequency.
+  Inductance inductance = MicroHenries(4.7);
+  Capacitance capacitance = Farads(100e-6);
   Voltage output_setpoint = Volts(1.1);   // Core rail.
   Resistance switch_on_resistance = MilliOhms(12.0);
   Voltage diode_drop = Volts(0.35);       // Freewheel path.
@@ -44,18 +44,18 @@ struct SwitchingSimConfig {
 
 struct SwitchingSimResult {
   // Regulation quality.
-  double mean_output_v = 0.0;
-  double ripple_pp_v = 0.0;         // Peak-to-peak over the settled window.
-  double settling_time_s = 0.0;     // Time to stay within 2% of setpoint.
+  Voltage mean_output;
+  Voltage ripple_pp;                // Peak-to-peak over the settled window.
+  Duration settling_time;           // Time to stay within 2% of setpoint.
   bool regulated = false;           // Output held near the setpoint.
   // Multiplexing accuracy.
   std::vector<double> commanded_shares;
   std::vector<double> realised_shares;  // Fraction of input energy per battery.
   double worst_share_error = 0.0;       // Max |realised - commanded|.
   // Energy ledger over the settled window.
-  double output_energy_j = 0.0;
-  double input_energy_j = 0.0;
-  double conduction_loss_j = 0.0;
+  Energy output_energy;
+  Energy input_energy;
+  Energy conduction_loss;
   double efficiency = 0.0;
 };
 

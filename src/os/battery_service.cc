@@ -16,26 +16,25 @@ BatteryService::BatteryService(SdbRuntime* runtime, BatteryServiceConfig config)
 
 void BatteryService::Observe(Power net_load, Duration dt) {
   SDB_CHECK(dt.value() > 0.0);
-  double w = net_load.value();
-  charging_ = w < 0.0;
-  double magnitude = std::fabs(w);
+  charging_ = net_load.value() < 0.0;
+  Power magnitude = Abs(net_load);
   if (!has_load_sample_) {
-    load_ewma_w_ = magnitude;
+    load_ewma_ = magnitude;
     has_load_sample_ = true;
   } else {
-    load_ewma_w_ += config_.load_ewma_alpha * (magnitude - load_ewma_w_);
+    load_ewma_ += (magnitude - load_ewma_) * config_.load_ewma_alpha;
   }
 }
 
 double BatteryService::StoredFraction() const {
   BatteryViews views = runtime_->BuildViews();
-  double stored = 0.0;
-  double total = 0.0;
+  Charge stored;
+  Charge total;
   for (const BatteryView& v : views) {
-    stored += v.soc * v.capacity_c;
-    total += v.capacity_c;
+    stored += v.capacity * v.soc;
+    total += v.capacity;
   }
-  return total > 0.0 ? stored / total : 0.0;
+  return total.value() > 0.0 ? Ratio(stored, total) : 0.0;
 }
 
 BatteryReadout BatteryService::Read() const {
@@ -56,20 +55,20 @@ BatteryReadout BatteryService::Read() const {
   }
   readout.percent = shown_percent_;
 
-  if (has_load_sample_ && load_ewma_w_ > 1e-6) {
+  if (has_load_sample_ && load_ewma_.value() > 1e-6) {
     BatteryViews views = runtime_->BuildViews();
     if (charging_) {
-      double missing_j = 0.0;
+      Energy missing;
       for (const BatteryView& v : views) {
-        missing_j += (1.0 - v.soc) * v.capacity_c * v.ocv_v;
+        missing += v.capacity * v.ocv * (1.0 - v.soc);
       }
-      readout.time_to_full = Seconds(missing_j / load_ewma_w_);
+      readout.time_to_full = missing / load_ewma_;
     } else {
-      double remaining_j = 0.0;
+      Energy remaining;
       for (const BatteryView& v : views) {
-        remaining_j += v.remaining_energy_j;
+        remaining += v.remaining_energy;
       }
-      readout.time_to_empty = Seconds(remaining_j / load_ewma_w_);
+      readout.time_to_empty = remaining / load_ewma_;
     }
   }
   return readout;

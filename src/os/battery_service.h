@@ -52,7 +52,7 @@ class BatteryService {
 
   SdbRuntime* runtime_;
   BatteryServiceConfig config_;
-  double load_ewma_w_ = 0.0;
+  Power load_ewma_;
   bool has_load_sample_ = false;
   bool charging_ = false;
   mutable int shown_percent_ = -1;

@@ -20,14 +20,14 @@ std::string_view PerfLevelName(PerfLevel level) {
 }
 
 CpuModel::CpuModel(CpuConfig config) : config_(config) {
-  SDB_CHECK(config_.ref_freq_ghz > 0.0);
+  SDB_CHECK(config_.ref_freq.value() > 0.0);
   SDB_CHECK(config_.ref_cpu_power.value() > 0.0);
   SDB_CHECK(config_.freq_exponent > 0.0 && config_.freq_exponent <= 1.0);
 }
 
-double CpuModel::FrequencyAt(Power cpu_power) const {
+Frequency CpuModel::FrequencyAt(Power cpu_power) const {
   double p = std::max(cpu_power.value(), 0.1);
-  return config_.ref_freq_ghz *
+  return config_.ref_freq *
          std::pow(p / config_.ref_cpu_power.value(), config_.freq_exponent);
 }
 
@@ -54,8 +54,8 @@ TaskRun CpuModel::Execute(const Task& task, Power device_power_cap, Power sustai
   TaskRun run;
   double idle_w = config_.platform_idle.value();
   double cpu_w = std::max(device_power_cap.value() - idle_w, 1.0);
-  double freq = FrequencyAt(Watts(cpu_w));
-  run.frequency_ghz = freq;
+  double freq = ToGigaHertz(FrequencyAt(Watts(cpu_w)));
+  run.frequency = GigaHertz(freq);
 
   double cpu_time_s = task.compute_gcycles / freq;
   // Burst-budget throttling: past the budget the package falls back to the
@@ -66,10 +66,10 @@ TaskRun CpuModel::Execute(const Task& task, Power device_power_cap, Power sustai
   if (cpu_time_s > config_.burst_budget.value() && sustained_w < cpu_w) {
     double burst_s = config_.burst_budget.value();
     double cycles_done = burst_s * freq;
-    double freq_sustained = FrequencyAt(Watts(sustained_w));
+    double freq_sustained = ToGigaHertz(FrequencyAt(Watts(sustained_w)));
     double remaining_s = std::max(0.0, task.compute_gcycles - cycles_done) / freq_sustained;
     // Rebuild the compute phase as burst + sustained segments.
-    run.frequency_ghz = freq_sustained;
+    run.frequency = GigaHertz(freq_sustained);
     double network_s2 = task.network_seconds;
     constexpr double kOverlap2 = 0.25;
     double total_cpu_s = burst_s + remaining_s;

@@ -33,8 +33,8 @@ struct CpuConfig {
   Power burst_limit = Watts(25.0);
   Power protection_limit = Watts(38.0);
   Duration burst_budget = Minutes(3.0);  // Max time at burst before thermals.
-  // Frequency curve anchor: `ref_freq_ghz` at `ref_cpu_power`.
-  double ref_freq_ghz = 2.0;
+  // Frequency curve anchor: `ref_freq` at `ref_cpu_power`.
+  Frequency ref_freq = GigaHertz(2.0);
   Power ref_cpu_power = Watts(10.0);
   // f ∝ P^exponent; ~1/4 reflects diminishing returns past nominal voltage.
   double freq_exponent = 0.25;
@@ -44,7 +44,7 @@ struct TaskRun {
   Duration latency;
   Energy energy;           // Platform + CPU energy at the device level.
   PowerTrace power_profile;  // What the batteries see.
-  double frequency_ghz = 0.0;
+  Frequency frequency;       // Realised clock (lowest segment when throttled).
 };
 
 class CpuModel {
@@ -52,7 +52,7 @@ class CpuModel {
   explicit CpuModel(CpuConfig config = {});
 
   // Clock frequency when the CPU package may draw `cpu_power`.
-  double FrequencyAt(Power cpu_power) const;
+  Frequency FrequencyAt(Power cpu_power) const;
 
   // The package power cap for a perf level, given what the battery system
   // can actually sustain (`battery_peak`). Low ignores the high-power

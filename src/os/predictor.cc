@@ -14,7 +14,7 @@ void UserSchedulePredictor::ObserveDay(const std::vector<Power>& hourly_mean_pow
   for (int h = 0; h < 24; ++h) {
     if (hourly_mean_power[h] >= config_.high_power_threshold) {
       hours_[h].high_days += 1;
-      hours_[h].power_sum_w += hourly_mean_power[h].value();
+      hours_[h].power_sum += hourly_mean_power[h];
     }
   }
 }
@@ -55,13 +55,13 @@ std::optional<WorkloadHint> UserSchedulePredictor::PredictNext(Duration time_of_
   if (best_hour < 0 || Hours(best_delta) > config_.lookahead) {
     return std::nullopt;
   }
-  double mean_power =
+  Power mean_power =
       hours_[best_hour].high_days > 0
-          ? hours_[best_hour].power_sum_w / hours_[best_hour].high_days
-          : config_.high_power_threshold.value();
+          ? hours_[best_hour].power_sum / static_cast<double>(hours_[best_hour].high_days)
+          : config_.high_power_threshold;
   WorkloadHint hint;
   hint.time_until = Hours(best_delta);
-  hint.expected_power = Watts(mean_power);
+  hint.expected_power = mean_power;
   hint.duration = Hours(1.0);
   return hint;
 }

@@ -49,7 +49,7 @@ class UserSchedulePredictor {
   // power on those days.
   struct HourStats {
     int high_days = 0;
-    double power_sum_w = 0.0;
+    Power power_sum;
   };
   HourStats hours_[24] = {};
 };

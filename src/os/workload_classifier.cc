@@ -32,18 +32,18 @@ void WorkloadClassifier::Observe(Power power) {
   window_.Push(power.value());
 }
 
-double WorkloadClassifier::MeanPowerW() const {
+Power WorkloadClassifier::MeanPower() const {
   if (window_.empty()) {
-    return 0.0;
+    return Watts(0.0);
   }
-  return Mean(window_);
+  return Watts(Mean(window_));
 }
 
 double WorkloadClassifier::PowerCv() const {
   if (window_.size() < 2) {
     return 0.0;
   }
-  double mean = MeanPowerW();
+  double mean = MeanPower().value();
   if (mean <= 0.0) {
     return 0.0;
   }
@@ -57,7 +57,7 @@ double WorkloadClassifier::PowerCv() const {
 }
 
 WorkloadClass WorkloadClassifier::Classify() const {
-  double mean = MeanPowerW();
+  double mean = MeanPower().value();
   if (mean >= config_.peak_threshold.value()) {
     return WorkloadClass::kPeak;
   }

@@ -44,7 +44,7 @@ class WorkloadClassifier {
   WorkloadClass Classify() const;
 
   // Window statistics backing the classification.
-  double MeanPowerW() const;
+  Power MeanPower() const;
   double PowerCv() const;  // Coefficient of variation (stddev / mean).
 
   size_t samples() const { return window_.size(); }

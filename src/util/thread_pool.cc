@@ -48,7 +48,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   if (queue_.size() >= queue_capacity_) {
     auto start = std::chrono::steady_clock::now();
     space_ready_.wait(lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
-    stats_.submit_block_s += SecondsSince(start);
+    stats_.submit_block += Seconds(SecondsSince(start));
     SDB_CHECK(!stopping_);
   }
   queue_.push_back(std::move(task));
@@ -89,7 +89,7 @@ void ThreadPool::WorkerLoop() {
       }
       auto start = std::chrono::steady_clock::now();
       task_ready_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      stats_.worker_wait_s += SecondsSince(start);
+      stats_.worker_wait += Seconds(SecondsSince(start));
       continue;
     }
     std::function<void()> task = std::move(queue_.front());

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace sdb {
 
 class ThreadPool {
@@ -30,8 +32,8 @@ class ThreadPool {
   // Aggregate counters for observability; snapshot via stats().
   struct Stats {
     uint64_t tasks_executed = 0;
-    double worker_wait_s = 0.0;   // Time workers spent blocked on an empty queue.
-    double submit_block_s = 0.0;  // Time submitters spent blocked on a full queue.
+    Duration worker_wait;   // Time workers spent blocked on an empty queue.
+    Duration submit_block;  // Time submitters spent blocked on a full queue.
   };
 
   // `threads` <= 0 means DefaultThreadCount(). The queue holds at most

@@ -16,6 +16,7 @@
 #ifndef SRC_UTIL_UNITS_H_
 #define SRC_UTIL_UNITS_H_
 
+#include <cassert>
 #include <cmath>
 #include <compare>
 
@@ -43,12 +44,18 @@ class Quantity {
     return *this;
   }
   constexpr Quantity operator*(double scalar) const { return Quantity(value_ * scalar); }
-  constexpr Quantity operator/(double scalar) const { return Quantity(value_ / scalar); }
+  // Dividing by zero is a caller bug (asserted in !NDEBUG builds; Release
+  // keeps IEEE inf/nan semantics). Guard or clamp the denominator first.
+  constexpr Quantity operator/(double scalar) const {
+    assert(scalar != 0.0 && "Quantity::operator/: zero scalar denominator");
+    return Quantity(value_ / scalar);
+  }
   constexpr Quantity& operator*=(double scalar) {
     value_ *= scalar;
     return *this;
   }
   constexpr Quantity& operator/=(double scalar) {
+    assert(scalar != 0.0 && "Quantity::operator/=: zero scalar denominator");
     value_ /= scalar;
     return *this;
   }
@@ -70,15 +77,23 @@ constexpr Quantity<L1 + L2, M1 + M2, T1 + T2, I1 + I2, K1 + K2> operator*(
   return Quantity<L1 + L2, M1 + M2, T1 + T2, I1 + I2, K1 + K2>(a.value() * b.value());
 }
 
+// Dividing by a zero-magnitude quantity (empty capacity, zero duration, ...)
+// is a caller bug: asserted in !NDEBUG builds, IEEE inf/nan in Release.
+// Callers that can legitimately see a zero denominator (e.g. an empty
+// battery's capacity) must guard before dividing.
 template <int L1, int M1, int T1, int I1, int K1, int L2, int M2, int T2, int I2, int K2>
 constexpr Quantity<L1 - L2, M1 - M2, T1 - T2, I1 - I2, K1 - K2> operator/(
     Quantity<L1, M1, T1, I1, K1> a, Quantity<L2, M2, T2, I2, K2> b) {
+  assert(b.value() != 0.0 && "Quantity operator/: zero-magnitude denominator");
   return Quantity<L1 - L2, M1 - M2, T1 - T2, I1 - I2, K1 - K2>(a.value() / b.value());
 }
 
-// Dividing two like-dimensioned quantities yields a plain ratio.
+// Dividing two like-dimensioned quantities yields a plain ratio. A zero
+// denominator is asserted in !NDEBUG builds (inf/nan in Release) — guard at
+// the call site when the denominator can be empty/zero.
 template <int L, int M, int T, int I, int K>
 constexpr double Ratio(Quantity<L, M, T, I, K> a, Quantity<L, M, T, I, K> b) {
+  assert(b.value() != 0.0 && "Ratio: zero-magnitude denominator");
   return a.value() / b.value();
 }
 
@@ -95,11 +110,18 @@ using Energy = Quantity<2, 1, -2, 0, 0>;        // joules
 using Temperature = Quantity<0, 0, 0, 0, 1>;    // kelvin
 using Mass = Quantity<0, 1, 0, 0, 0>;           // kilograms
 using Volume = Quantity<3, 0, 0, 0, 0>;         // cubic metres
+using Frequency = Quantity<0, 0, -1, 0, 0>;     // hertz
+using Inductance = Quantity<2, 1, -2, -2, 0>;   // henries
+
+// DCIR growth per coulomb drawn — the delta_i of the paper's RBL derivation
+// (ohms per coulomb), produced by Resistance / Charge.
+using ResistancePerCharge = Quantity<2, 1, -4, -3, 0>;
 
 // Factory helpers in the units people actually quote.
 constexpr Duration Seconds(double s) { return Duration(s); }
 constexpr Duration Minutes(double m) { return Duration(m * 60.0); }
 constexpr Duration Hours(double h) { return Duration(h * 3600.0); }
+constexpr Duration Days(double d) { return Duration(d * 86400.0); }
 constexpr Current Amps(double a) { return Current(a); }
 constexpr Current MilliAmps(double ma) { return Current(ma * 1e-3); }
 constexpr Charge Coulombs(double c) { return Charge(c); }
@@ -120,6 +142,11 @@ constexpr Mass Kilograms(double kg) { return Mass(kg); }
 constexpr Mass Grams(double g) { return Mass(g * 1e-3); }
 constexpr Volume Litres(double l) { return Volume(l * 1e-3); }
 constexpr Volume CubicMillimetres(double mm3) { return Volume(mm3 * 1e-9); }
+constexpr Frequency Hertz(double hz) { return Frequency(hz); }
+constexpr Frequency KiloHertz(double khz) { return Frequency(khz * 1e3); }
+constexpr Frequency GigaHertz(double ghz) { return Frequency(ghz * 1e9); }
+constexpr Inductance Henries(double h) { return Inductance(h); }
+constexpr Inductance MicroHenries(double uh) { return Inductance(uh * 1e-6); }
 
 // Readbacks in quoted units.
 constexpr double ToHours(Duration d) { return d.value() / 3600.0; }
@@ -129,6 +156,7 @@ constexpr double ToAmpHours(Charge q) { return q.value() / 3600.0; }
 constexpr double ToWattHours(Energy e) { return e.value() / 3600.0; }
 constexpr double ToCelsius(Temperature t) { return t.value() - 273.15; }
 constexpr double ToLitres(Volume v) { return v.value() * 1e3; }
+constexpr double ToGigaHertz(Frequency f) { return f.value() / 1e9; }
 
 // Energy density in Wh/l — the unit the paper quotes in Figure 11(a).
 constexpr double WattHoursPerLitre(Energy e, Volume v) { return ToWattHours(e) / ToLitres(v); }

@@ -18,30 +18,31 @@ TEST(AllocatorFuzzTest, InvariantsHoldAcrossRandomProblems) {
     size_t n = 1 + rng.NextBounded(6);
     double cap_sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      problem.resistance_ohm.push_back(rng.Uniform(0.005, 2.0));
-      problem.dcir_growth_per_c.push_back(rng.Bernoulli(0.5) ? rng.Uniform(0.0, 1e-3) : 0.0);
+      problem.resistance.push_back(Ohms(rng.Uniform(0.005, 2.0)));
+      problem.dcir_growth.push_back(
+          ResistancePerCharge(rng.Bernoulli(0.5) ? rng.Uniform(0.0, 1e-3) : 0.0));
       double cap = rng.Bernoulli(0.1) ? 0.0 : rng.Uniform(0.1, 12.0);
-      problem.current_cap_a.push_back(cap);
+      problem.current_cap.push_back(Amps(cap));
       cap_sum += cap;
     }
-    problem.total_current_a = rng.Uniform(0.0, cap_sum * 1.5 + 0.5);
-    problem.horizon_s = rng.Uniform(0.0, 3600.0);
+    problem.total_current = Amps(rng.Uniform(0.0, cap_sum * 1.5 + 0.5));
+    problem.horizon = Seconds(rng.Uniform(0.0, 3600.0));
 
-    std::vector<double> y = SolveMarginalCostAllocation(problem);
+    std::vector<Current> y = SolveMarginalCostAllocation(problem);
     ASSERT_EQ(y.size(), n);
 
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       // Non-negative and within caps.
-      EXPECT_GE(y[i], -1e-12) << "episode " << episode;
-      EXPECT_LE(y[i], problem.current_cap_a[i] + 1e-9) << "episode " << episode;
-      if (problem.current_cap_a[i] <= 0.0) {
-        EXPECT_DOUBLE_EQ(y[i], 0.0) << "episode " << episode;
+      EXPECT_GE(y[i].value(), -1e-12) << "episode " << episode;
+      EXPECT_LE(y[i].value(), problem.current_cap[i].value() + 1e-9) << "episode " << episode;
+      if (problem.current_cap[i].value() <= 0.0) {
+        EXPECT_DOUBLE_EQ(y[i].value(), 0.0) << "episode " << episode;
       }
-      sum += y[i];
+      sum += y[i].value();
     }
     // Sum equals min(target, total capability).
-    double expected = std::min(problem.total_current_a, cap_sum);
+    double expected = std::min(problem.total_current.value(), cap_sum);
     EXPECT_NEAR(sum, expected, std::max(1e-6, expected * 1e-4)) << "episode " << episode;
   }
 }
@@ -52,23 +53,24 @@ TEST(AllocatorFuzzTest, MarginalCostsEqualisedAmongInteriorBatteries) {
     MarginalCostProblem problem;
     size_t n = 2 + rng.NextBounded(4);
     for (size_t i = 0; i < n; ++i) {
-      problem.resistance_ohm.push_back(rng.Uniform(0.01, 0.5));
-      problem.dcir_growth_per_c.push_back(rng.Uniform(0.0, 5e-4));
-      problem.current_cap_a.push_back(rng.Uniform(2.0, 10.0));
+      problem.resistance.push_back(Ohms(rng.Uniform(0.01, 0.5)));
+      problem.dcir_growth.push_back(ResistancePerCharge(rng.Uniform(0.0, 5e-4)));
+      problem.current_cap.push_back(Amps(rng.Uniform(2.0, 10.0)));
     }
-    problem.horizon_s = 600.0;
+    problem.horizon = Seconds(600.0);
     // Keep the target low enough that several batteries stay interior.
-    problem.total_current_a = rng.Uniform(0.5, 2.0);
+    problem.total_current = Amps(rng.Uniform(0.5, 2.0));
 
-    std::vector<double> y = SolveMarginalCostAllocation(problem);
+    std::vector<Current> y = SolveMarginalCostAllocation(problem);
     auto marginal = [&](size_t i) {
-      double hg3 = 3.0 * problem.horizon_s * problem.dcir_growth_per_c[i];
-      return 2.0 * problem.resistance_ohm[i] * y[i] + hg3 * y[i] * y[i];
+      double hg3 = 3.0 * problem.horizon.value() * problem.dcir_growth[i].value();
+      return 2.0 * problem.resistance[i].value() * y[i].value() +
+             hg3 * y[i].value() * y[i].value();
     };
     // Collect marginal costs of interior (uncapped, active) batteries.
     std::vector<double> interior;
     for (size_t i = 0; i < n; ++i) {
-      if (y[i] > 1e-9 && y[i] < problem.current_cap_a[i] - 1e-6) {
+      if (y[i].value() > 1e-9 && y[i].value() < problem.current_cap[i].value() - 1e-6) {
         interior.push_back(marginal(i));
       }
     }
@@ -87,17 +89,18 @@ TEST(AllocatorFuzzTest, MonotoneInTarget) {
     MarginalCostProblem problem;
     size_t n = 2 + rng.NextBounded(3);
     for (size_t i = 0; i < n; ++i) {
-      problem.resistance_ohm.push_back(rng.Uniform(0.01, 0.5));
-      problem.dcir_growth_per_c.push_back(rng.Uniform(0.0, 2e-4));
-      problem.current_cap_a.push_back(rng.Uniform(1.0, 8.0));
+      problem.resistance.push_back(Ohms(rng.Uniform(0.01, 0.5)));
+      problem.dcir_growth.push_back(ResistancePerCharge(rng.Uniform(0.0, 2e-4)));
+      problem.current_cap.push_back(Amps(rng.Uniform(1.0, 8.0)));
     }
-    problem.horizon_s = 600.0;
-    problem.total_current_a = rng.Uniform(0.2, 3.0);
-    std::vector<double> y_low = SolveMarginalCostAllocation(problem);
-    problem.total_current_a *= rng.Uniform(1.1, 2.0);
-    std::vector<double> y_high = SolveMarginalCostAllocation(problem);
+    problem.horizon = Seconds(600.0);
+    problem.total_current = Amps(rng.Uniform(0.2, 3.0));
+    std::vector<Current> y_low = SolveMarginalCostAllocation(problem);
+    problem.total_current *= rng.Uniform(1.1, 2.0);
+    std::vector<Current> y_high = SolveMarginalCostAllocation(problem);
     for (size_t i = 0; i < n; ++i) {
-      EXPECT_GE(y_high[i], y_low[i] - 1e-6) << "episode " << episode << " battery " << i;
+      EXPECT_GE(y_high[i].value(), y_low[i].value() - 1e-6)
+          << "episode " << episode << " battery " << i;
     }
   }
 }

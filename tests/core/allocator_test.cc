@@ -8,57 +8,64 @@
 namespace sdb {
 namespace {
 
-double Sum(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+double Sum(const std::vector<Current>& v) {
+  double total = 0.0;
+  for (Current c : v) {
+    total += c.value();
+  }
+  return total;
+}
 
 TEST(AllocatorTest, ZeroTargetGivesZeros) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.05, 0.05};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {5.0, 5.0};
-  p.total_current_a = 0.0;
+  p.resistance = {Ohms(0.05), Ohms(0.05)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(5.0), Amps(5.0)};
+  p.total_current = Amps(0.0);
   auto y = SolveMarginalCostAllocation(p);
   EXPECT_DOUBLE_EQ(Sum(y), 0.0);
 }
 
 TEST(AllocatorTest, EqualResistancesSplitEvenly) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.05, 0.05};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {10.0, 10.0};
-  p.total_current_a = 4.0;
+  p.resistance = {Ohms(0.05), Ohms(0.05)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(10.0), Amps(10.0)};
+  p.total_current = Amps(4.0);
   auto y = SolveMarginalCostAllocation(p);
-  EXPECT_NEAR(y[0], 2.0, 1e-6);
-  EXPECT_NEAR(y[1], 2.0, 1e-6);
+  EXPECT_NEAR(y[0].value(), 2.0, 1e-6);
+  EXPECT_NEAR(y[1].value(), 2.0, 1e-6);
 }
 
 TEST(AllocatorTest, ClassicInverseResistanceSplit) {
   // With no growth term, currents split as 1/R (loss-minimising).
   MarginalCostProblem p;
-  p.resistance_ohm = {0.03, 0.06};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {100.0, 100.0};
-  p.total_current_a = 3.0;
+  p.resistance = {Ohms(0.03), Ohms(0.06)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(100.0), Amps(100.0)};
+  p.total_current = Amps(3.0);
   auto y = SolveMarginalCostAllocation(p);
   EXPECT_NEAR(Sum(y), 3.0, 1e-6);
-  EXPECT_NEAR(y[0] / y[1], 2.0, 1e-3);
+  EXPECT_NEAR(Ratio(y[0], y[1]), 2.0, 1e-3);
 }
 
 TEST(AllocatorTest, MatchesBruteForceLossMinimum) {
   // Grid-search the loss over all splits and check the allocator matches.
   MarginalCostProblem p;
-  p.resistance_ohm = {0.04, 0.09, 0.15};
-  p.dcir_growth_per_c = {0.0, 0.0, 0.0};
-  p.current_cap_a = {100.0, 100.0, 100.0};
-  p.total_current_a = 6.0;
+  p.resistance = {Ohms(0.04), Ohms(0.09), Ohms(0.15)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0),
+                   ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(100.0), Amps(100.0), Amps(100.0)};
+  p.total_current = Amps(6.0);
   auto y = SolveMarginalCostAllocation(p);
 
   auto loss = [&](double a, double b) {
-    double c = p.total_current_a - a - b;
+    double c = p.total_current.value() - a - b;
     if (c < 0.0) {
       return 1e18;
     }
-    return p.resistance_ohm[0] * a * a + p.resistance_ohm[1] * b * b +
-           p.resistance_ohm[2] * c * c;
+    return p.resistance[0].value() * a * a + p.resistance[1].value() * b * b +
+           p.resistance[2].value() * c * c;
   };
   double best = 1e18;
   double best_a = 0.0, best_b = 0.0;
@@ -72,70 +79,70 @@ TEST(AllocatorTest, MatchesBruteForceLossMinimum) {
       }
     }
   }
-  EXPECT_NEAR(y[0], best_a, 0.05);
-  EXPECT_NEAR(y[1], best_b, 0.05);
-  double allocator_loss = loss(y[0], y[1]);
+  EXPECT_NEAR(y[0].value(), best_a, 0.05);
+  EXPECT_NEAR(y[1].value(), best_b, 0.05);
+  double allocator_loss = loss(y[0].value(), y[1].value());
   EXPECT_LE(allocator_loss, best * 1.001);
 }
 
 TEST(AllocatorTest, CapsAreRespected) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.01, 0.10};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {1.0, 100.0};
-  p.total_current_a = 5.0;
+  p.resistance = {Ohms(0.01), Ohms(0.10)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(1.0), Amps(100.0)};
+  p.total_current = Amps(5.0);
   auto y = SolveMarginalCostAllocation(p);
-  EXPECT_LE(y[0], 1.0 + 1e-9);
+  EXPECT_LE(y[0].value(), 1.0 + 1e-9);
   EXPECT_NEAR(Sum(y), 5.0, 1e-6);
 }
 
 TEST(AllocatorTest, SaturatedCapsReturnCaps) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.05, 0.05};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {1.0, 1.0};
-  p.total_current_a = 5.0;
+  p.resistance = {Ohms(0.05), Ohms(0.05)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(1.0), Amps(1.0)};
+  p.total_current = Amps(5.0);
   auto y = SolveMarginalCostAllocation(p);
-  EXPECT_DOUBLE_EQ(y[0], 1.0);
-  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[0].value(), 1.0);
+  EXPECT_DOUBLE_EQ(y[1].value(), 1.0);
 }
 
 TEST(AllocatorTest, ZeroCapBatteryGetsNothing) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.05, 0.05};
-  p.dcir_growth_per_c = {0.0, 0.0};
-  p.current_cap_a = {0.0, 10.0};
-  p.total_current_a = 2.0;
+  p.resistance = {Ohms(0.05), Ohms(0.05)};
+  p.dcir_growth = {ResistancePerCharge(0.0), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(0.0), Amps(10.0)};
+  p.total_current = Amps(2.0);
   auto y = SolveMarginalCostAllocation(p);
-  EXPECT_DOUBLE_EQ(y[0], 0.0);
-  EXPECT_NEAR(y[1], 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(y[0].value(), 0.0);
+  EXPECT_NEAR(y[1].value(), 2.0, 1e-6);
 }
 
 TEST(AllocatorTest, GrowthTermShiftsLoadAway) {
   // Two equal resistances, but battery 0's DCIR grows as it drains: the
   // delta-corrected split favours battery 1.
   MarginalCostProblem p;
-  p.resistance_ohm = {0.05, 0.05};
-  p.dcir_growth_per_c = {1e-4, 0.0};
-  p.current_cap_a = {100.0, 100.0};
-  p.total_current_a = 4.0;
-  p.horizon_s = 600.0;
+  p.resistance = {Ohms(0.05), Ohms(0.05)};
+  p.dcir_growth = {ResistancePerCharge(1e-4), ResistancePerCharge(0.0)};
+  p.current_cap = {Amps(100.0), Amps(100.0)};
+  p.total_current = Amps(4.0);
+  p.horizon = Seconds(600.0);
   auto y = SolveMarginalCostAllocation(p);
-  EXPECT_LT(y[0], y[1]);
+  EXPECT_LT(y[0].value(), y[1].value());
   EXPECT_NEAR(Sum(y), 4.0, 1e-6);
 }
 
 TEST(AllocatorTest, MarginalCostsEqualAtOptimum) {
   MarginalCostProblem p;
-  p.resistance_ohm = {0.03, 0.07};
-  p.dcir_growth_per_c = {5e-5, 2e-5};
-  p.current_cap_a = {100.0, 100.0};
-  p.total_current_a = 5.0;
-  p.horizon_s = 600.0;
+  p.resistance = {Ohms(0.03), Ohms(0.07)};
+  p.dcir_growth = {ResistancePerCharge(5e-5), ResistancePerCharge(2e-5)};
+  p.current_cap = {Amps(100.0), Amps(100.0)};
+  p.total_current = Amps(5.0);
+  p.horizon = Seconds(600.0);
   auto y = SolveMarginalCostAllocation(p);
   auto mc = [&](size_t i) {
-    double hg3 = 3.0 * p.horizon_s * p.dcir_growth_per_c[i];
-    return 2.0 * p.resistance_ohm[i] * y[i] + hg3 * y[i] * y[i];
+    double hg3 = 3.0 * p.horizon.value() * p.dcir_growth[i].value();
+    return 2.0 * p.resistance[i].value() * y[i].value() + hg3 * y[i].value() * y[i].value();
   };
   EXPECT_NEAR(mc(0), mc(1), 1e-3 * mc(0));
 }

@@ -37,13 +37,13 @@ TEST(WearSpreadTest, ComputesStatistics) {
 
 TEST(RblTest, ZeroLoadReturnsTotalEnergy) {
   BatteryViews views = {MakeView(0, 0.5, 0.05), MakeView(1, 1.0, 0.05)};
-  double total = views[0].remaining_energy_j + views[1].remaining_energy_j;
+  double total = (views[0].remaining_energy + views[1].remaining_energy).value();
   EXPECT_NEAR(EstimateRbl(views, Watts(0.0)).value(), total, 1e-9);
 }
 
 TEST(RblTest, LoadDiscountsEnergy) {
   BatteryViews views = {MakeView(0, 1.0, 0.08), MakeView(1, 1.0, 0.08)};
-  double total = views[0].remaining_energy_j + views[1].remaining_energy_j;
+  double total = (views[0].remaining_energy + views[1].remaining_energy).value();
   Energy rbl = EstimateRbl(views, Watts(8.0));
   EXPECT_LT(rbl.value(), total);
   EXPECT_GT(rbl.value(), 0.9 * total);
@@ -68,13 +68,13 @@ TEST(RblTest, AllEmptyGivesZero) {
 
 TEST(InstantaneousLossTest, ZeroSharesZeroLoss) {
   BatteryViews views = {MakeView(0, 0.5, 0.05), MakeView(1, 0.5, 0.05)};
-  EXPECT_DOUBLE_EQ(InstantaneousLossW(views, {0.0, 0.0}, Watts(5.0)), 0.0);
+  EXPECT_DOUBLE_EQ(InstantaneousLoss(views, {0.0, 0.0}, Watts(5.0)).value(), 0.0);
 }
 
 TEST(InstantaneousLossTest, SingleBatteryCarriesQuadraticLoss) {
   BatteryViews views = {MakeView(0, 1.0, 0.1), MakeView(1, 1.0, 0.1)};
-  double all_on_one = InstantaneousLossW(views, {1.0, 0.0}, Watts(8.0));
-  double split = InstantaneousLossW(views, {0.5, 0.5}, Watts(8.0));
+  double all_on_one = InstantaneousLoss(views, {1.0, 0.0}, Watts(8.0)).value();
+  double split = InstantaneousLoss(views, {0.5, 0.5}, Watts(8.0)).value();
   EXPECT_NEAR(all_on_one / split, 2.0, 1e-9);  // I^2R: (1)^2 vs 2*(1/2)^2.
 }
 

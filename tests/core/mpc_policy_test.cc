@@ -19,8 +19,8 @@ class MpcPolicyTest : public ::testing::Test {
   BatteryViews WatchViews(double soc0 = 1.0, double soc1 = 1.0) {
     BatteryViews views = {MakeView(0, soc0, 0.45, 0.0, 200.0),
                           MakeView(1, soc1, 1.70, 0.0, 200.0)};
-    views[0].max_discharge_a = 0.4;
-    views[1].max_discharge_a = 0.4;
+    views[0].max_discharge = Amps(0.4);
+    views[1].max_discharge = Amps(0.4);
     return views;
   }
 

@@ -26,7 +26,7 @@ TEST(RblDischargeTest, SharesSumToOne) {
 }
 
 TEST(RblDischargeTest, FavoursLowResistanceBattery) {
-  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
   BatteryViews views = {MakeView(0, 1.0, 0.03), MakeView(1, 1.0, 0.09)};
   auto d = policy.Allocate(views, Watts(5.0));
   EXPECT_GT(d[0], d[1]);
@@ -51,12 +51,12 @@ TEST(RblDischargeTest, AllEmptyGivesZeros) {
 }
 
 TEST(RblDischargeTest, MinimisesInstantaneousLossAmongSplits) {
-  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy policy(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
   BatteryViews views = {MakeView(0, 0.9, 0.05), MakeView(1, 0.9, 0.12)};
   auto d = policy.Allocate(views, Watts(6.0));
-  double policy_loss = InstantaneousLossW(views, d, Watts(6.0));
+  double policy_loss = InstantaneousLoss(views, d, Watts(6.0)).value();
   for (double s = 0.0; s <= 1.0; s += 0.01) {
-    double l = InstantaneousLossW(views, {s, 1.0 - s}, Watts(6.0));
+    double l = InstantaneousLoss(views, {s, 1.0 - s}, Watts(6.0)).value();
     EXPECT_LE(policy_loss, l + 1e-9) << "beaten at s=" << s;
   }
 }
@@ -65,10 +65,10 @@ TEST(RblDischargeTest, DeltaCorrectionShiftsLoadToStableBattery) {
   // Battery 0's DCIR climbs steeply as it drains; with the delta term on,
   // it carries less than the pure instantaneous optimum would give it.
   BatteryViews views = {MakeView(0, 0.3, 0.05), MakeView(1, 0.3, 0.05)};
-  views[0].dcir_slope = -2.0;  // Steep growth toward empty.
-  views[1].dcir_slope = -0.01;
-  RblDischargePolicy instant(RblPolicyConfig{.delta_horizon_s = 0.0});
-  RblDischargePolicy horizon(RblPolicyConfig{.delta_horizon_s = 3600.0});
+  views[0].dcir_slope = Ohms(-2.0);  // Steep growth toward empty.
+  views[1].dcir_slope = Ohms(-0.01);
+  RblDischargePolicy instant(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
+  RblDischargePolicy horizon(RblPolicyConfig{.delta_horizon = Seconds(3600.0)});
   auto d_instant = instant.Allocate(views, Watts(4.0));
   auto d_horizon = horizon.Allocate(views, Watts(4.0));
   EXPECT_LT(d_horizon[0], d_instant[0]);
@@ -86,8 +86,8 @@ TEST(RblDischargeTest, ZeroLoadStillYieldsProportions) {
 TEST(RblChargeTest, SharesSumToOneAndRespectAcceptance) {
   RblChargePolicy policy;
   BatteryViews views = {MakeView(0, 0.2, 0.03), MakeView(1, 0.2, 0.09)};
-  views[0].max_charge_a = 12.0;  // Fast-charge battery.
-  views[1].max_charge_a = 2.8;
+  views[0].max_charge = Amps(12.0);  // Fast-charge battery.
+  views[1].max_charge = Amps(2.8);
   auto c = policy.Allocate(views, Watts(40.0));
   EXPECT_NEAR(Sum(c), 1.0, 1e-9);
   EXPECT_GT(c[0], c[1]);
@@ -149,7 +149,7 @@ TEST(CcbConvergenceTest, RepeatedAllocationBalancesWear) {
 // ---------- Blending ----------
 
 TEST(BlendTest, WeightOneIsPureA) {
-  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
   CcbDischargePolicy ccb;
   BlendedDischargePolicy blend(&rbl, &ccb, 1.0);
   BatteryViews views = {MakeView(0, 1.0, 0.03, 0.5), MakeView(1, 1.0, 0.09, 0.0)};
@@ -169,7 +169,7 @@ TEST(BlendTest, WeightZeroIsPureB) {
 }
 
 TEST(BlendTest, MidWeightInterpolates) {
-  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
   CcbDischargePolicy ccb;
   BlendedDischargePolicy blend(&rbl, &ccb, 0.5);
   BatteryViews views = {MakeView(0, 1.0, 0.03, 0.5), MakeView(1, 1.0, 0.09, 0.0)};

@@ -35,17 +35,17 @@ TEST(RuntimeTest, ViewsReflectGaugeState) {
   ASSERT_EQ(views.size(), 2u);
   EXPECT_NEAR(views[0].soc, 0.7, 0.02);
   EXPECT_NEAR(views[1].soc, 0.4, 0.02);
-  EXPECT_GT(views[0].ocv_v, 3.0);
-  EXPECT_GT(views[0].dcir_ohm, 0.0);
-  EXPECT_GT(views[0].max_discharge_a, 0.0);
+  EXPECT_GT(views[0].ocv.value(), 3.0);
+  EXPECT_GT(views[0].dcir.value(), 0.0);
+  EXPECT_GT(views[0].max_discharge.value(), 0.0);
 }
 
 TEST(RuntimeTest, ChargeAcceptanceTapersAboveEighty) {
   SdbMicrocontroller micro = MakeMicro(0.9, 0.5);
   SdbRuntime runtime(&micro);
   BatteryViews views = runtime.BuildViews();
-  EXPECT_LT(views[0].max_charge_a, micro.pack().cell(0).params().max_charge_current.value());
-  EXPECT_NEAR(views[1].max_charge_a, micro.pack().cell(1).params().max_charge_current.value(),
+  EXPECT_LT(views[0].max_charge.value(), micro.pack().cell(0).params().max_charge_current.value());
+  EXPECT_NEAR(views[1].max_charge.value(), micro.pack().cell(1).params().max_charge_current.value(),
               1e-6);
 }
 

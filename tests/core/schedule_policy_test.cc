@@ -46,7 +46,7 @@ TEST(SchedulePolicyTest, HoldsLastShareWithoutFallback) {
 }
 
 TEST(SchedulePolicyTest, FallsBackPastTheSchedule) {
-  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon_s = 0.0});
+  RblDischargePolicy rbl(RblPolicyConfig{.delta_horizon = Seconds(0.0)});
   ScheduleDischargePolicy policy(MakePlan({0.25}), &rbl);
   BatteryViews views = TwoViews();
   policy.Advance(Minutes(5.0));

@@ -69,14 +69,14 @@ TEST(SweepCountersTest, RecordsAndResets) {
   counters.Reset();
   EXPECT_EQ(counters.Snapshot().sweeps, 0u);
 
-  counters.RecordSweep(/*tasks=*/4, /*runs=*/16, /*worker_wait_s=*/0.25, /*wall_s=*/1.5);
-  counters.RecordSweep(/*tasks=*/2, /*runs=*/8, /*worker_wait_s=*/0.5, /*wall_s=*/0.5);
+  counters.RecordSweep(/*tasks=*/4, /*runs=*/16, /*worker_wait=*/Seconds(0.25), /*wall=*/Seconds(1.5));
+  counters.RecordSweep(/*tasks=*/2, /*runs=*/8, /*worker_wait=*/Seconds(0.5), /*wall=*/Seconds(0.5));
   SweepCounterSnapshot snap = counters.Snapshot();
   EXPECT_EQ(snap.sweeps, 2u);
   EXPECT_EQ(snap.tasks_executed, 6u);
   EXPECT_EQ(snap.runs_executed, 24u);
-  EXPECT_DOUBLE_EQ(snap.worker_wait_s, 0.75);
-  EXPECT_DOUBLE_EQ(snap.wall_s, 2.0);
+  EXPECT_DOUBLE_EQ(snap.worker_wait.value(), 0.75);
+  EXPECT_DOUBLE_EQ(snap.wall.value(), 2.0);
 
   counters.Reset();
   EXPECT_EQ(counters.Snapshot().tasks_executed, 0u);

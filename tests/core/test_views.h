@@ -16,15 +16,15 @@ inline BatteryView MakeView(size_t index, double soc, double dcir_ohm, double we
   v.index = index;
   v.name = "B" + std::to_string(index);
   v.soc = soc;
-  v.ocv_v = 3.4 + 0.8 * soc;
-  v.dcir_ohm = dcir_ohm;
-  v.dcir_slope = -dcir_ohm;  // Resistance roughly doubles toward empty.
-  v.capacity_c = capacity_mah * 3.6;
-  v.remaining_energy_j = v.capacity_c * soc * 3.7;
+  v.ocv = Volts(3.4 + 0.8 * soc);
+  v.dcir = Ohms(dcir_ohm);
+  v.dcir_slope = Ohms(-dcir_ohm);  // Resistance roughly doubles toward empty.
+  v.capacity = MilliAmpHours(capacity_mah);
+  v.remaining_energy = v.capacity * Volts(3.7) * soc;
   v.wear_ratio = wear_ratio;
   v.rated_cycles = 800.0;
-  v.max_discharge_a = 2.0 * capacity_mah / 1000.0;
-  v.max_charge_a = 0.7 * capacity_mah / 1000.0;
+  v.max_discharge = Amps(2.0 * capacity_mah / 1000.0);
+  v.max_charge = Amps(0.7 * capacity_mah / 1000.0);
   v.is_empty = soc <= 1e-3;
   v.is_full = soc >= 1.0 - 1e-3;
   return v;

@@ -97,7 +97,7 @@ TEST(ParallelMonteCarloTest, SweepCountersObserveTheRun) {
   EXPECT_EQ(after.runs_executed, before.runs_executed + 16);
   EXPECT_EQ(after.tasks_executed,
             before.tasks_executed + (16 + kMonteCarloShardSize - 1) / kMonteCarloShardSize);
-  EXPECT_GT(after.wall_s, before.wall_s);
+  EXPECT_GT(after.wall.value(), before.wall.value());
 }
 
 }  // namespace

@@ -22,9 +22,9 @@ TEST(SmartwatchTest, RunHourDominatesEnergy) {
 TEST(SmartwatchTest, BaselineIsIdlePower) {
   SmartwatchDayConfig config;
   config.checks_per_hour = 0;
-  config.run_w = 0.0;
+  config.run = Watts(0.0);
   PowerTrace trace = MakeSmartwatchDayTrace(config);
-  EXPECT_NEAR(trace.Sample(Hours(2.0)).value(), config.idle_w, 1e-9);
+  EXPECT_NEAR(trace.Sample(Hours(2.0)).value(), config.idle.value(), 1e-9);
 }
 
 TEST(SmartwatchTest, DeterministicForSeed) {

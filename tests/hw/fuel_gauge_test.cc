@@ -9,8 +9,8 @@ namespace {
 
 TEST(FuelGaugeTest, TracksCoulombCountedSoc) {
   FuelGaugeConfig config;
-  config.current_noise_a = 0.0;
-  config.current_lsb_a = 0.0;
+  config.current_noise = Amps(0.0);
+  config.current_lsb = Amps(0.0);
   FuelGauge gauge(config, 1, 1.0);
   Charge cap = MilliAmpHours(1000.0);
   // Drain 1 A for 0.5 h out of 1 Ah -> SoC 0.5.
@@ -22,7 +22,7 @@ TEST(FuelGaugeTest, TracksCoulombCountedSoc) {
 
 TEST(FuelGaugeTest, ChargingRaisesEstimate) {
   FuelGaugeConfig config;
-  config.current_noise_a = 0.0;
+  config.current_noise = Amps(0.0);
   FuelGauge gauge(config, 1, 0.2);
   Charge cap = MilliAmpHours(1000.0);
   for (int k = 0; k < 720; ++k) {
@@ -33,9 +33,9 @@ TEST(FuelGaugeTest, ChargingRaisesEstimate) {
 
 TEST(FuelGaugeTest, QuantisationRoundsReadings) {
   FuelGaugeConfig config;
-  config.current_noise_a = 0.0;
-  config.current_lsb_a = 0.01;
-  config.voltage_lsb_v = 0.01;
+  config.current_noise = Amps(0.0);
+  config.current_lsb = Amps(0.01);
+  config.voltage_lsb = Volts(0.01);
   FuelGauge gauge(config, 1, 1.0);
   gauge.Observe(Amps(0.1234), Volts(3.696), MilliAmpHours(1000.0), Seconds(1.0));
   EXPECT_NEAR(gauge.MeasuredCurrent().value(), 0.12, 1e-12);
@@ -44,8 +44,8 @@ TEST(FuelGaugeTest, QuantisationRoundsReadings) {
 
 TEST(FuelGaugeTest, NoiseAveragesOut) {
   FuelGaugeConfig config;
-  config.current_noise_a = 0.01;
-  config.current_lsb_a = 0.0;
+  config.current_noise = Amps(0.01);
+  config.current_lsb = Amps(0.0);
   FuelGauge gauge(config, 42, 1.0);
   Charge cap = MilliAmpHours(2000.0);
   for (int k = 0; k < 3600; ++k) {
@@ -57,7 +57,7 @@ TEST(FuelGaugeTest, NoiseAveragesOut) {
 
 TEST(FuelGaugeTest, DriftAccumulates) {
   FuelGaugeConfig config;
-  config.current_noise_a = 0.0;
+  config.current_noise = Amps(0.0);
   config.soc_drift_per_hour = 0.01;
   FuelGauge gauge(config, 1, 0.8);
   for (int k = 0; k < 3600; ++k) {

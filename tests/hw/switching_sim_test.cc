@@ -24,10 +24,10 @@ TEST(SwitchingSimTest, RegulatesToSetpointWithSmallRipple) {
   auto result = RunSwitchingSim(TwoSources(), {0.5, 0.5}, Ohms(2.0), Seconds(10e-3));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->regulated);
-  EXPECT_NEAR(result->mean_output_v, 1.1, 0.033);
-  EXPECT_LT(result->ripple_pp_v, 0.05 * 1.1);
-  EXPECT_GT(result->settling_time_s, 0.0);
-  EXPECT_LT(result->settling_time_s, 5e-3);
+  EXPECT_NEAR(result->mean_output.value(), 1.1, 0.033);
+  EXPECT_LT(result->ripple_pp.value(), 0.05 * 1.1);
+  EXPECT_GT(result->settling_time.value(), 0.0);
+  EXPECT_LT(result->settling_time.value(), 5e-3);
 }
 
 TEST(SwitchingSimTest, WeightedRoundRobinHitsCommandedShares) {
@@ -55,9 +55,9 @@ TEST(SwitchingSimTest, EnergyLedgerBalances) {
   ASSERT_TRUE(result.ok());
   // input ~= output + conduction losses (capacitor/inductor storage drift is
   // small over the settled window).
-  EXPECT_NEAR(result->input_energy_j,
-              result->output_energy_j + result->conduction_loss_j,
-              0.05 * result->input_energy_j);
+  EXPECT_NEAR(result->input_energy.value(),
+              (result->output_energy + result->conduction_loss).value(),
+              0.05 * result->input_energy.value());
   EXPECT_GT(result->efficiency, 0.5);
   EXPECT_LT(result->efficiency, 1.0);
 }

@@ -8,8 +8,8 @@
 // differences across toolchains.
 //
 // To regenerate after an *intentional* behaviour change:
-//   SDB_PRINT_GOLDEN=1 ./integration_tests \
-//       --gtest_filter='GoldenResults*' 2>&1 | grep GOLDEN
+//   SDB_PRINT_GOLDEN=1 ./integration_tests --gtest_filter='GoldenResults*'
+//       2>&1 | grep GOLDEN
 // and paste the printed values below — in the same PR that changes them.
 #include <gtest/gtest.h>
 

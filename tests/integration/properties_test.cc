@@ -185,7 +185,7 @@ TEST(ThermalDeratingTest, HotBatteryIsThrottledOut) {
 
   // Views expose the thermistor reading.
   BatteryViews views = runtime.BuildViews();
-  EXPECT_NEAR(ToCelsius(Temperature(views[0].temperature_k)), 50.0, 0.1);
+  EXPECT_NEAR(ToCelsius(views[0].temperature), 50.0, 0.1);
 }
 
 // Three heterogeneous batteries: everything scales past N=2.

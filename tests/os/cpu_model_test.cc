@@ -7,13 +7,13 @@ namespace {
 
 TEST(CpuModelTest, FrequencyGrowsSublinearlyWithPower) {
   CpuModel cpu;
-  double f10 = cpu.FrequencyAt(Watts(10.0));
-  double f20 = cpu.FrequencyAt(Watts(20.0));
-  double f40 = cpu.FrequencyAt(Watts(40.0));
-  EXPECT_LT(f10, f20);
-  EXPECT_LT(f20, f40);
-  EXPECT_LT(f40 / f10, 4.0);  // Far from linear.
-  EXPECT_NEAR(f10, cpu.config().ref_freq_ghz, 1e-9);
+  Frequency f10 = cpu.FrequencyAt(Watts(10.0));
+  Frequency f20 = cpu.FrequencyAt(Watts(20.0));
+  Frequency f40 = cpu.FrequencyAt(Watts(40.0));
+  EXPECT_LT(f10.value(), f20.value());
+  EXPECT_LT(f20.value(), f40.value());
+  EXPECT_LT(Ratio(f40, f10), 4.0);  // Far from linear.
+  EXPECT_NEAR(ToGigaHertz(f10), ToGigaHertz(cpu.config().ref_freq), 1e-9);
 }
 
 TEST(CpuModelTest, PowerCapsFollowLevels) {

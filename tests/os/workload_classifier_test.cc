@@ -12,7 +12,7 @@ namespace {
 TEST(WorkloadClassifierTest, StartsIdle) {
   WorkloadClassifier classifier;
   EXPECT_EQ(classifier.Classify(), WorkloadClass::kIdle);
-  EXPECT_DOUBLE_EQ(classifier.MeanPowerW(), 0.0);
+  EXPECT_DOUBLE_EQ(classifier.MeanPower().value(), 0.0);
 }
 
 TEST(WorkloadClassifierTest, IdleRegime) {

@@ -127,7 +127,7 @@ TEST(ThreadPoolTest, StatsTrackWaitTime) {
   ParallelFor(&pool, 4, [&count](int64_t) { ++count; });
   ThreadPool::Stats stats = pool.stats();
   EXPECT_EQ(count.load(), 4);
-  EXPECT_GT(stats.worker_wait_s, 0.0);
+  EXPECT_GT(stats.worker_wait.value(), 0.0);
 }
 
 }  // namespace

@@ -84,5 +84,83 @@ TEST(UnitsTest, CapacitorDimension) {
   EXPECT_DOUBLE_EQ(tau.value(), 30.0);
 }
 
+TEST(UnitsTest, ChargeRoundTrips) {
+  // mAh -> C -> mAh is exact for representable values.
+  EXPECT_DOUBLE_EQ(ToMilliAmpHours(MilliAmpHours(3000.0)), 3000.0);
+  EXPECT_DOUBLE_EQ(ToAmpHours(AmpHours(2.5)), 2.5);
+  // 1 Ah == 3600 C == 1000 mAh.
+  EXPECT_DOUBLE_EQ(AmpHours(1.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(ToMilliAmpHours(AmpHours(1.0)), 1000.0);
+}
+
+TEST(UnitsTest, EnergyRoundTrips) {
+  EXPECT_DOUBLE_EQ(ToWattHours(WattHours(12.4)), 12.4);
+  EXPECT_DOUBLE_EQ(WattHours(1.0).value(), Joules(3600.0).value());
+}
+
+TEST(UnitsTest, TemperatureRoundTrips) {
+  EXPECT_DOUBLE_EQ(ToCelsius(Celsius(-40.0)), -40.0);
+  EXPECT_DOUBLE_EQ(ToCelsius(Celsius(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(Celsius(0.0).value(), 273.15);
+}
+
+TEST(UnitsTest, DurationRoundTrips) {
+  EXPECT_DOUBLE_EQ(ToMinutes(Minutes(90.0)), 90.0);
+  EXPECT_DOUBLE_EQ(ToHours(Hours(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(Days(1.0).value(), Hours(24.0).value());
+  EXPECT_DOUBLE_EQ(Days(30.0).value(), 30.0 * 24.0 * 3600.0);
+}
+
+TEST(UnitsTest, DerivedDimensionIdentities) {
+  // W * s -> J.
+  Energy e = Energy(Watts(3.0) * Seconds(4.0));
+  EXPECT_DOUBLE_EQ(e.value(), 12.0);
+  // V / A -> Ohm.
+  Resistance r = Resistance(Volts(5.0) / Amps(2.0));
+  EXPECT_DOUBLE_EQ(r.value(), 2.5);
+  // Ohm / C -> the RBL growth dimension; times charge recovers resistance.
+  ResistancePerCharge g = ResistancePerCharge(Ohms(0.1) / Coulombs(100.0));
+  EXPECT_DOUBLE_EQ(Resistance(g * Coulombs(100.0)).value(), 0.1);
+}
+
+TEST(UnitsTest, FrequencyHelpers) {
+  EXPECT_DOUBLE_EQ(Hertz(50.0).value(), 50.0);
+  EXPECT_DOUBLE_EQ(KiloHertz(500.0).value(), 5e5);
+  EXPECT_DOUBLE_EQ(GigaHertz(2.3).value(), 2.3e9);
+  EXPECT_DOUBLE_EQ(ToGigaHertz(GigaHertz(1.8)), 1.8);
+  // f = 1 / t has frequency dimension.
+  Frequency f = Frequency(Dimensionless(1.0) / Seconds(0.02));
+  EXPECT_DOUBLE_EQ(f.value(), 50.0);
+}
+
+TEST(UnitsTest, InductanceHelpers) {
+  EXPECT_DOUBLE_EQ(Henries(0.5).value(), 0.5);
+  EXPECT_DOUBLE_EQ(MicroHenries(4.7).value(), 4.7e-6);
+  // tau = L / R has time dimension.
+  Duration tau = Duration(Henries(2.0) / Ohms(4.0));
+  EXPECT_DOUBLE_EQ(tau.value(), 0.5);
+}
+
+TEST(UnitsTest, MinMaxAbsOnDerivedTypes) {
+  EXPECT_EQ(Min(Seconds(1.0), Minutes(1.0)), Seconds(1.0));
+  EXPECT_EQ(Max(WattHours(1.0), Joules(1.0)), WattHours(1.0));
+  EXPECT_EQ(Abs(Volts(-3.7)), Volts(3.7));
+  EXPECT_EQ(Abs(Volts(3.7)), Volts(3.7));
+}
+
+TEST(UnitsTest, RatioAndScalarOps) {
+  EXPECT_DOUBLE_EQ(Ratio(MilliAmpHours(500.0), MilliAmpHours(1000.0)), 0.5);
+  EXPECT_DOUBLE_EQ(Ratio(Days(1.0), Hours(12.0)), 2.0);
+  Charge q = AmpHours(2.0);
+  q /= 2.0;
+  EXPECT_DOUBLE_EQ(ToAmpHours(q), 1.0);
+}
+
+TEST(UnitsTest, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Power().value(), 0.0);
+  EXPECT_DOUBLE_EQ(Duration().value(), 0.0);
+  EXPECT_EQ(Charge(), Coulombs(0.0));
+}
+
 }  // namespace
 }  // namespace sdb

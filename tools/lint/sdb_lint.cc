@@ -1,0 +1,483 @@
+// sdb_lint: the repository's dimensional-safety linter.
+//
+// The units doctrine (DESIGN.md "Unit conventions & dimensional safety"):
+// public APIs carry sdb::Quantity types; raw doubles tagged with a unit
+// suffix are only allowed inside numeric kernels, behind an explicit
+// allowlist entry. This tool enforces the doctrine as a ratchet — every
+// finding must be allowlisted, and every allowlist entry must still be
+// live, so the list can only shrink.
+//
+// Rules:
+//   R1  raw double/float declaration in a public header (src/**/*.h) whose
+//       identifier carries a unit suffix (_v, _a, _w, _s, _c, _j, _k, _f,
+//       _h, _hz, _wh, _mah, _ohm, _ghz, _uh; trailing '_' of members is
+//       stripped first) or a physical-quantity token (voltage, current,
+//       power, ...). Identifiers with a dimensionless-modifier token
+//       (fraction, factor, margin, ratio, soc, ...) are exempt.
+//   R2  unit-suffixed local double assigned from a Quantity .value() call
+//       in a file not marked as a numeric kernel ("kernel:<file>" in the
+//       allowlist) — the round-trip that reintroduces unit confusion.
+//   R3  the magic literals 3600 and 273.15 anywhere under src/ outside
+//       src/util/units.h — unit conversions belong in the units header.
+//
+// Allowlist grammar (tools/lint/allowlist.txt): one entry per line,
+//   <file>:<identifier>   tolerate an R1 finding
+//   kernel:<file>         mark <file> as a numeric kernel (R2 exempt)
+// '#' starts a comment. Unused (stale) entries fail the run.
+//
+// Usage:
+//   sdb_lint [--repo-root DIR] [--allowlist FILE] [--self-test]
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // Repo-relative path.
+  int line = 0;
+  std::string rule;
+  std::string identifier;  // Empty for R3.
+  std::string message;
+};
+
+const char* const kUnitSuffixes[] = {"_v",  "_a",   "_w",   "_s",  "_c",   "_j",  "_k",  "_f",
+                                     "_h",  "_hz",  "_wh",  "_mah", "_ohm", "_ghz", "_uh"};
+
+const char* const kQuantityTokens[] = {"voltage", "current",     "resistance", "inductance",
+                                       "watts",   "volts",       "amps",       "joules",
+                                       "ohms",    "temperature", "frequency"};
+
+// Tokens that mark an identifier as dimensionless even when a quantity word
+// or unit suffix appears (current_soc, power_margin, capacity_factor, ...).
+const char* const kDimensionlessTokens[] = {
+    "fraction", "frac",       "factor", "margin", "error",  "ratio",  "weight",
+    "scale",    "share",      "soc",    "efficiency", "penalty", "coeff", "count",
+    "duty",     "exponent",   "cv",     "alpha",  "jitter", "index",  "percent",
+    "threshold"};
+
+std::vector<std::string> Tokenize(const std::string& identifier) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (char c : identifier) {
+    if (c == '_') {
+      if (!token.empty()) {
+        tokens.push_back(token);
+        token.clear();
+      }
+    } else {
+      token.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!token.empty()) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool HasToken(const std::string& identifier, const char* const* list, size_t n) {
+  std::vector<std::string> tokens = Tokenize(identifier);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::find(tokens.begin(), tokens.end(), list[i]) != tokens.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsDimensionlessName(const std::string& identifier) {
+  return HasToken(identifier, kDimensionlessTokens,
+                  sizeof(kDimensionlessTokens) / sizeof(kDimensionlessTokens[0]));
+}
+
+bool HasUnitSuffix(std::string identifier) {
+  while (!identifier.empty() && identifier.back() == '_') {
+    identifier.pop_back();
+  }
+  std::transform(identifier.begin(), identifier.end(), identifier.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const char* suffix : kUnitSuffixes) {
+    size_t len = std::strlen(suffix);
+    if (identifier.size() > len &&
+        identifier.compare(identifier.size() - len, len, suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasQuantityToken(const std::string& identifier) {
+  return HasToken(identifier, kQuantityTokens,
+                  sizeof(kQuantityTokens) / sizeof(kQuantityTokens[0]));
+}
+
+// Strips // and /* */ comments and the contents of string literals, keeping
+// the line structure intact so reported line numbers stay correct.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum { kCode, kLineComment, kBlockComment, kString, kChar } state = kCode;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case kCode:
+        if (c == '/' && next == '/') {
+          state = kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = kString;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = kChar;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case kLineComment:
+        if (c == '\n') {
+          state = kCode;
+          out.push_back(c);
+        }
+        break;
+      case kBlockComment:
+        if (c == '*' && next == '/') {
+          state = kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = kCode;
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// R1: double/float declarations with dimensional identifiers.
+void ScanHeaderDecls(const std::string& file, const std::string& text,
+                     std::vector<Finding>* findings) {
+  static const std::regex decl_re(
+      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:=|;|,|\)))");
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    auto begin = std::sregex_iterator(line.begin(), line.end(), decl_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::string identifier = (*it)[1].str();
+      if (IsDimensionlessName(identifier)) {
+        continue;
+      }
+      if (HasUnitSuffix(identifier) || HasQuantityToken(identifier)) {
+        findings->push_back(
+            {file, line_no, "R1", identifier,
+             "raw double '" + identifier +
+                 "' carries a physical dimension; use an sdb::Quantity type"});
+      }
+    }
+  }
+}
+
+// R2: unit-suffixed double assigned from a .value() unwrap.
+void ScanValueRoundTrips(const std::string& file, const std::string& text,
+                         std::vector<Finding>* findings) {
+  static const std::regex roundtrip_re(
+      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*=[^;]*\.value\(\))");
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::smatch m;
+    if (std::regex_search(line, m, roundtrip_re)) {
+      std::string identifier = m[1].str();
+      if (!IsDimensionlessName(identifier) && HasUnitSuffix(identifier)) {
+        findings->push_back({file, line_no, "R2", identifier,
+                             "unit-suffixed double '" + identifier +
+                                 "' unwraps a Quantity outside a numeric kernel"});
+      }
+    }
+  }
+}
+
+// R3: magic unit-conversion literals.
+void ScanMagicLiterals(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings) {
+  static const std::regex magic_re(R"((?:^|[^\w.])(3600(?:\.0*)?|273\.15)(?:[^\w.]|$))");
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::smatch m;
+    if (std::regex_search(line, m, magic_re)) {
+      findings->push_back({file, line_no, "R3", "",
+                           "magic literal " + m[1].str() +
+                               "; use the unit helpers in src/util/units.h"});
+    }
+  }
+}
+
+struct Allowlist {
+  std::set<std::string> entries;       // "<file>:<identifier>"
+  std::set<std::string> kernel_files;  // R2-exempt files.
+};
+
+bool LoadAllowlist(const fs::path& path, Allowlist* allowlist, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open allowlist " + path.string();
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    size_t start = 0;
+    while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("kernel:", 0) == 0) {
+      allowlist->kernel_files.insert(line.substr(7));
+    } else if (line.find(':') != std::string::npos) {
+      allowlist->entries.insert(line);
+    } else {
+      *error = path.string() + ":" + std::to_string(line_no) + ": malformed entry '" + line +
+               "' (want <file>:<identifier> or kernel:<file>)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> ScanTree(const fs::path& root) {
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    std::string rel = fs::relative(path, root).generic_string();
+    std::string text = StripCommentsAndStrings(ReadFile(path));
+    if (path.extension() == ".h") {
+      ScanHeaderDecls(rel, text, &findings);
+    }
+    ScanValueRoundTrips(rel, text, &findings);
+    if (rel != "src/util/units.h") {
+      ScanMagicLiterals(rel, text, &findings);
+    }
+  }
+  return findings;
+}
+
+int RunLint(const fs::path& root, const fs::path& allowlist_path) {
+  Allowlist allowlist;
+  std::string error;
+  if (!LoadAllowlist(allowlist_path, &allowlist, &error)) {
+    std::fprintf(stderr, "sdb_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings = ScanTree(root);
+  std::set<std::string> used_entries;
+  std::set<std::string> used_kernels;
+  int violations = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == "R1") {
+      std::string key = f.file + ":" + f.identifier;
+      if (allowlist.entries.count(key)) {
+        used_entries.insert(key);
+        continue;
+      }
+    } else if (f.rule == "R2") {
+      if (allowlist.kernel_files.count(f.file)) {
+        used_kernels.insert(f.file);
+        continue;
+      }
+      std::string key = f.file + ":" + f.identifier;
+      if (allowlist.entries.count(key)) {
+        used_entries.insert(key);
+        continue;
+      }
+    }
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                 f.message.c_str());
+    ++violations;
+  }
+
+  // Ratchet: stale allowlist entries are themselves failures, so the list
+  // can only ever shrink.
+  int stale = 0;
+  for (const std::string& entry : allowlist.entries) {
+    if (!used_entries.count(entry)) {
+      std::fprintf(stderr, "allowlist: stale entry '%s' — the finding is gone, remove it\n",
+                   entry.c_str());
+      ++stale;
+    }
+  }
+  for (const std::string& kernel : allowlist.kernel_files) {
+    if (!used_kernels.count(kernel)) {
+      std::fprintf(stderr,
+                   "allowlist: stale kernel directive 'kernel:%s' — no unwraps left, remove it\n",
+                   kernel.c_str());
+      ++stale;
+    }
+  }
+
+  if (violations > 0 || stale > 0) {
+    std::fprintf(stderr, "sdb_lint: %d violation(s), %d stale allowlist entr%s\n", violations,
+                 stale, stale == 1 ? "y" : "ies");
+    return 1;
+  }
+  std::printf("sdb_lint: clean (%zu finding(s), all allowlisted; allowlist fully live)\n",
+              findings.size());
+  return 0;
+}
+
+// Proves the scanner catches seeded violations of every rule, and that the
+// dimensionless exemptions hold. Run in CI before the real scan so a broken
+// regex cannot silently pass the repo.
+int RunSelfTest() {
+  const std::string seeded_header =
+      "struct Bad {\n"
+      "  double bus_voltage_v = 3.7;\n"        // R1: suffix.
+      "  double pack_current = 0.0;\n"         // R1: quantity token.
+      "  double power_margin = 0.98;\n"        // Exempt: margin.
+      "  double current_soc = 0.5;\n"          // Exempt: soc.
+      "  // double commented_out_v = 1.0;\n"   // Comment-stripped.
+      "};\n";
+  const std::string seeded_source =
+      "void f() {\n"
+      "  double load_w = p.value();\n"              // R2: round-trip.
+      "  double seconds_per_hour = 3600.0;\n"       // R3: magic literal.
+      "  double fade = soc_fraction.value();\n"     // Exempt: fraction.
+      "}\n";
+
+  std::vector<Finding> findings;
+  ScanHeaderDecls("seed.h", StripCommentsAndStrings(seeded_header), &findings);
+  ScanValueRoundTrips("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
+  ScanMagicLiterals("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
+
+  auto has = [&](const std::string& rule, const std::string& identifier, int line) {
+    return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+      return f.rule == rule && f.identifier == identifier && f.line == line;
+    });
+  };
+  bool ok = true;
+  auto expect = [&](bool condition, const char* what) {
+    if (!condition) {
+      std::fprintf(stderr, "sdb_lint self-test FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  expect(has("R1", "bus_voltage_v", 2), "R1 misses unit-suffixed field");
+  expect(has("R1", "pack_current", 3), "R1 misses quantity-token field");
+  expect(has("R2", "load_w", 2), "R2 misses .value() round-trip");
+  expect(std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.rule == "R3"; }),
+         "R3 misses magic 3600.0");
+  expect(!has("R1", "power_margin", 4), "dimensionless 'margin' exemption broken");
+  expect(!has("R1", "current_soc", 5), "dimensionless 'soc' exemption broken");
+  expect(!has("R1", "commented_out_v", 6), "comment stripping broken");
+  expect(std::none_of(findings.begin(), findings.end(),
+                      [](const Finding& f) { return f.identifier == "fade"; }),
+         "R2 flags non-suffixed local");
+  if (ok) {
+    std::printf("sdb_lint: self-test passed (%zu seeded findings)\n", findings.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path allowlist_path;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--repo-root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: sdb_lint [--repo-root DIR] [--allowlist FILE] [--self-test]\n");
+      return 2;
+    }
+  }
+  if (self_test) {
+    return RunSelfTest();
+  }
+  if (allowlist_path.empty()) {
+    allowlist_path = root / "tools" / "lint" / "allowlist.txt";
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "sdb_lint: no src/ under %s (use --repo-root)\n",
+                 root.string().c_str());
+    return 2;
+  }
+  return RunLint(root, allowlist_path);
+}

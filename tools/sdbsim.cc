@@ -6,12 +6,12 @@
 //
 // Examples:
 //   sdbsim list
-//   sdbsim simulate --battery fast:4000 --battery high-energy:4000 \
+//   sdbsim simulate --battery fast:4000 --battery high-energy:4000
 //          --load-watts 8 --hours 4 --discharge-directive 0.9
-//   sdbsim simulate --battery watch:200 --battery bendable:200 \
+//   sdbsim simulate --battery watch:200 --battery bendable:200
 //          --trace day.csv --tick 5 --hourly-csv out.csv
 //   sdbsim plan-charge --battery high-energy:4000 --soc 0.2 --deadline-hours 8
-//   sdbsim sweep --battery fast:4000 --battery high-energy:4000 \
+//   sdbsim sweep --battery fast:4000 --battery high-energy:4000
 //          --load-watts 8 --hours 4 --runs 64 --jobs 4
 #include <cstdio>
 #include <cstdlib>
@@ -401,8 +401,8 @@ int CmdSweep(const Args& args) {
 
   SweepCounterSnapshot snap = SweepCounters::Global().Snapshot();
   std::printf("sweep engine: %d runs in %llu shard tasks, wall %.2f s, worker wait %.2f s\n",
-              result.runs, static_cast<unsigned long long>(snap.tasks_executed), snap.wall_s,
-              snap.worker_wait_s);
+              result.runs, static_cast<unsigned long long>(snap.tasks_executed),
+              snap.wall.value(), snap.worker_wait.value());
   return 0;
 }
 
