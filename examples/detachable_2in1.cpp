@@ -52,7 +52,9 @@ int main() {
   SdbMicrocontroller micro_b = MakeMicro(302);
   SdbRuntime runtime_b(&micro_b);
   runtime_b.SetDischargingDirective(1.0);
-  Simulator sim(&runtime_b, SimConfig{.tick = Seconds(2.0)});
+  SimConfig sim_config_b;
+  sim_config_b.tick = Seconds(2.0);
+  Simulator sim(&runtime_b, sim_config_b);
   SimResult b = sim.Run(office);
   double life_b =
       b.first_shortfall.has_value() ? b.first_shortfall->value() : b.elapsed.value();
@@ -68,7 +70,9 @@ int main() {
   micro_c.mutable_pack().cell(0).set_soc(0.35);
   micro_c.mutable_pack().cell(1).set_soc(0.0);  // Base left at the office.
   SdbRuntime runtime_c(&micro_c);
-  Simulator sim_c(&runtime_c, SimConfig{.tick = Seconds(2.0)});
+  SimConfig sim_config_c;
+  sim_config_c.tick = Seconds(2.0);
+  Simulator sim_c(&runtime_c, sim_config_c);
   SimResult commute = sim_c.Run(PowerTrace::Constant(Watts(7.0), Hours(3.0)));
   double commute_h = commute.first_shortfall.has_value() ? ToHours(*commute.first_shortfall)
                                                          : ToHours(commute.elapsed);

@@ -37,7 +37,10 @@ int main() {
   std::printf("20-minute sortie: peak %.0f W, total %.1f kJ demanded.\n",
               flight.PeakPower().value(), flight.TotalEnergy().value() / 1000.0);
 
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(10.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(1.0);
+  sim_config.runtime_period = Seconds(10.0);
+  Simulator sim(&runtime, sim_config);
   SimResult result = sim.Run(flight);
 
   if (result.first_shortfall.has_value()) {

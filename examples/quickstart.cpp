@@ -34,7 +34,10 @@ int main() {
   // 4. Run a 4-hour bursty tablet load through the emulator.
   PowerTrace load = MakeBurstyTrace(Watts(4.0), Watts(14.0), /*burst_fraction=*/0.25,
                                     Hours(4.0), Minutes(1.0), /*seed=*/99);
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(30.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(1.0);
+  sim_config.runtime_period = Seconds(30.0);
+  Simulator sim(&runtime, sim_config);
   SimResult result = sim.Run(load);
 
   std::printf("Simulated %.2f h of load (%.1f kJ delivered)\n", ToHours(result.elapsed),

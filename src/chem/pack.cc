@@ -8,7 +8,29 @@
 
 namespace sdb {
 
-void BatteryPack::AddCell(Cell cell) { cells_.push_back(std::move(cell)); }
+void BatteryPack::AddCell(Cell cell) {
+  cells_.push_back(std::move(cell));
+  open_circuit_.push_back(false);
+}
+
+void BatteryPack::SetOpenCircuit(size_t i, bool open) {
+  SDB_CHECK(i < open_circuit_.size());
+  open_circuit_[i] = open;
+}
+
+bool BatteryPack::IsOpenCircuit(size_t i) const {
+  SDB_CHECK(i < open_circuit_.size());
+  return open_circuit_[i];
+}
+
+bool BatteryPack::AnyOpenCircuit() const {
+  for (bool open : open_circuit_) {
+    if (open) {
+      return true;
+    }
+  }
+  return false;
+}
 
 Cell& BatteryPack::cell(size_t i) {
   SDB_CHECK(i < cells_.size());
@@ -77,7 +99,7 @@ PackStepResult BatteryPack::StepParallelDischarge(Power power, Duration dt) {
   std::vector<Branch> branches;
   double e_max = 0.0;
   for (size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].IsEmpty()) {
+    if (cells_[i].IsEmpty() || open_circuit_[i]) {
       continue;
     }
     Branch b{i, cells_[i].NoLoadVoltage().value(), cells_[i].InternalResistance().value()};
@@ -152,9 +174,10 @@ PackStepResult BatteryPack::StepSeriesDischarge(Power power, Duration dt) {
 
   double e_sum = 0.0;
   double r_sum = 0.0;
-  for (const auto& c : cells_) {
-    if (c.IsEmpty()) {
-      // A series chain with a dead cell cannot conduct.
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (c.IsEmpty() || open_circuit_[i]) {
+      // A series chain with a dead (or disconnected) cell cannot conduct.
       result.delivered = Watts(0.0);
       result.energy_lost = Joules(0.0);
       result.shortfall = power.value() > 0.0;
@@ -195,7 +218,7 @@ PackStepResult BatteryPack::StepEitherOrDischarge(Power power, Duration dt) {
   result.cell_currents.assign(cells_.size(), Amps(0.0));
 
   for (size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].IsEmpty()) {
+    if (cells_[i].IsEmpty() || open_circuit_[i]) {
       continue;
     }
     StepResult step = cells_[i].StepDischargePower(power, dt);

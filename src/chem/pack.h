@@ -45,6 +45,14 @@ class BatteryPack {
   bool AllEmpty(double threshold = 1e-4) const;
   bool AllFull(double threshold = 1.0 - 1e-4) const;
 
+  // Open-circuit dropout (fault injection): an open battery is electrically
+  // disconnected — it neither sources nor accepts power — until the flag
+  // clears. The hw layer drives these from its FaultInjector; chem stays
+  // free of hw dependencies by holding plain flags.
+  void SetOpenCircuit(size_t i, bool open);
+  bool IsOpenCircuit(size_t i) const;
+  bool AnyOpenCircuit() const;
+
   // --- Traditional interconnect baselines -----------------------------------
 
   // Parallel chain: solves the shared terminal voltage V such that the cell
@@ -62,6 +70,7 @@ class BatteryPack {
 
  private:
   std::vector<Cell> cells_;
+  std::vector<bool> open_circuit_;
 };
 
 }  // namespace sdb

@@ -132,4 +132,16 @@ std::vector<double> NormalizeShares(std::vector<double> weights,
   return weights;
 }
 
+std::vector<double> ApplyDegradedExclusion(std::vector<double> shares,
+                                           const std::vector<bool>& excluded) {
+  SDB_CHECK(shares.size() == excluded.size());
+  std::vector<bool> eligible(excluded.size());
+  for (size_t i = 0; i < excluded.size(); ++i) {
+    eligible[i] = !excluded[i];
+    // Tolerate policy rounding: tiny negative shares are treated as zero.
+    shares[i] = std::max(0.0, shares[i]);
+  }
+  return NormalizeShares(std::move(shares), &eligible);
+}
+
 }  // namespace sdb

@@ -41,6 +41,13 @@ std::vector<Current> SolveMarginalCostAllocation(const MarginalCostProblem& prob
 std::vector<double> NormalizeShares(std::vector<double> weights,
                                     const std::vector<bool>* eligible = nullptr);
 
+// Degraded-mode exclusion: zeroes the shares of excluded batteries and
+// renormalises the rest to sum to 1. When every surviving share is zero the
+// result is uniform over the non-excluded batteries; when every battery is
+// excluded the result is all zeros (the caller must not program ratios).
+std::vector<double> ApplyDegradedExclusion(std::vector<double> shares,
+                                           const std::vector<bool>& excluded);
+
 }  // namespace sdb
 
 #endif  // SRC_CORE_ALLOCATOR_H_

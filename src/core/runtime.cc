@@ -1,7 +1,10 @@
 #include "src/core/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/core/allocator.h"
+#include "src/hw/command_link.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -83,7 +86,10 @@ void SdbRuntime::AdvanceTime(Duration dt) {
 }
 
 BatteryViews SdbRuntime::BuildViews() const {
-  std::vector<BatteryStatus> statuses = micro_->QueryBatteryStatus();
+  return BuildViewsFrom(micro_->QueryBatteryStatus());
+}
+
+BatteryViews SdbRuntime::BuildViewsFrom(const std::vector<BatteryStatus>& statuses) const {
   BatteryViews views;
   views.reserve(statuses.size());
   for (size_t i = 0; i < statuses.size(); ++i) {
@@ -125,8 +131,41 @@ BatteryViews SdbRuntime::BuildViews() const {
   return views;
 }
 
+StatusOr<std::vector<BatteryStatus>> SdbRuntime::QueryStatusWithRetry() {
+  if (link_ == nullptr) {
+    return micro_->QueryBatteryStatus();
+  }
+  StatusOr<std::vector<BatteryStatus>> result = link_->QueryBatteryStatus();
+  Duration backoff = config_.retry_backoff_base;
+  for (int attempt = 0; !result.ok() && attempt < config_.link_retries; ++attempt) {
+    ++resilience_.link_retries;
+    resilience_.backoff_total += backoff;
+    backoff = Min(backoff + backoff, config_.retry_backoff_cap);
+    result = link_->QueryBatteryStatus();
+  }
+  if (!result.ok()) {
+    ++resilience_.link_failures;
+  }
+  return result;
+}
+
 Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
-  BatteryViews views = BuildViews();
+  // Query the battery status, retrying over a flaky link; while the link
+  // stays down, plan from the last good status rather than crashing the
+  // scheduling step. (The error path used to be silently ignored here.)
+  StatusOr<std::vector<BatteryStatus>> statuses = QueryStatusWithRetry();
+  if (statuses.ok()) {
+    last_statuses_ = std::move(*statuses);
+    consecutive_stale_ = 0;
+  } else if (last_statuses_.empty()) {
+    // No status has ever been seen: there is nothing to plan from.
+    return statuses.status();
+  } else {
+    ++consecutive_stale_;
+    ++resilience_.stale_updates;
+  }
+
+  BatteryViews views = BuildViewsFrom(last_statuses_);
   if (views.empty()) {
     return FailedPreconditionError("no batteries");
   }
@@ -134,9 +173,37 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   last_ccb_ = ComputeCcb(views);
   last_rbl_ = EstimateRbl(views, config_.anticipated_load);
 
+  // Degraded mode: exclude batteries the supervisor latched, ones whose
+  // status is implausible, and ones past the thermal cutoff.
+  excluded_.assign(views.size(), false);
+  size_t masked = 0;
+  const SafetySupervisor* safety = micro_->safety();
+  for (size_t i = 0; i < views.size(); ++i) {
+    const BatteryView& v = views[i];
+    bool implausible = !std::isfinite(v.soc) || v.soc < 0.0 || v.soc > 1.0 ||
+                       !(v.ocv.value() > 0.0);
+    bool tripped = !(v.temperature < config_.derate_cutoff);
+    if ((safety != nullptr && safety->IsFaulted(i)) || implausible || tripped) {
+      excluded_[i] = true;
+      ++masked;
+    }
+  }
+  resilience_.masked_faults += masked;
+  bool now_degraded =
+      masked > 0 || consecutive_stale_ > config_.stale_updates_tolerated;
+  if (now_degraded && !degraded_) {
+    ++resilience_.degraded_entries;
+  } else if (!now_degraded && degraded_) {
+    ++resilience_.degraded_exits;
+  }
+  degraded_ = now_degraded;
+
   std::vector<double> d = discharge_override_ != nullptr
                               ? discharge_override_->Allocate(views, expected_load)
                               : reserve_.Allocate(views, expected_load);
+  if (masked > 0) {
+    d = ApplyDegradedExclusion(std::move(d), excluded_);
+  }
   double d_sum = 0.0;
   for (double x : d) {
     d_sum += x;
@@ -145,11 +212,22 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     for (auto& x : d) {
       x /= d_sum;
     }
-    SDB_RETURN_IF_ERROR(micro_->SetDischargeRatios(d));
-    last_discharge_ratios_ = d;
+    if (link_ != nullptr) {
+      if (link_->SetDischargeRatios(d).ok()) {
+        last_discharge_ratios_ = d;
+      }
+      // A failed set keeps the previous ratios programmed; the next healthy
+      // Update reprograms them.
+    } else {
+      SDB_RETURN_IF_ERROR(micro_->SetDischargeRatios(d));
+      last_discharge_ratios_ = d;
+    }
   }
 
   std::vector<double> c = blended_charge_.Allocate(views, expected_supply);
+  if (masked > 0) {
+    c = ApplyDegradedExclusion(std::move(c), excluded_);
+  }
   double c_sum = 0.0;
   for (double x : c) {
     c_sum += x;
@@ -158,8 +236,14 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     for (auto& x : c) {
       x /= c_sum;
     }
-    SDB_RETURN_IF_ERROR(micro_->SetChargeRatios(c));
-    last_charge_ratios_ = c;
+    if (link_ != nullptr) {
+      if (link_->SetChargeRatios(c).ok()) {
+        last_charge_ratios_ = c;
+      }
+    } else {
+      SDB_RETURN_IF_ERROR(micro_->SetChargeRatios(c));
+      last_charge_ratios_ = c;
+    }
   }
 
   if (telemetry_ != nullptr) {
@@ -174,6 +258,7 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     for (const BatteryView& v : views) {
       sample.soc.push_back(v.soc);
     }
+    sample.degraded = degraded_;
     telemetry_->Record(std::move(sample));
   }
   return Status::Ok();

@@ -21,6 +21,8 @@
 
 namespace sdb {
 
+class CommandLinkClient;
+
 struct RuntimeConfig {
   DirectiveParameters directives;  // Initial charge/discharge directives.
   RblPolicyConfig rbl;
@@ -33,6 +35,15 @@ struct RuntimeConfig {
   // usable current ramps linearly down to zero.
   Temperature derate_start = Celsius(45.0);
   Temperature derate_cutoff = Celsius(60.0);
+  // Fault resilience: a failed QueryBatteryStatus over the command link is
+  // retried up to `link_retries` times with doubling backoff (simulated
+  // time, accumulated in ResilienceCounters::backoff_total). While the link
+  // stays down the runtime plans from its last good status for up to
+  // `stale_updates_tolerated` updates before declaring itself degraded.
+  int link_retries = 3;
+  Duration retry_backoff_base = Seconds(0.01);
+  Duration retry_backoff_cap = Seconds(0.08);
+  int stale_updates_tolerated = 5;
 };
 
 class SdbRuntime {
@@ -72,6 +83,13 @@ class SdbRuntime {
   // runtime or be detached with nullptr.
   void AttachTelemetry(TelemetryRecorder* recorder) { telemetry_ = recorder; }
 
+  // Routes the four SDB APIs over a serial command link instead of direct
+  // calls, which brings the link's failure modes (timeouts, corrupt
+  // replies) into scope: queries retry with backoff and fall back to the
+  // last good status, and setter failures keep the previous ratios. `link`
+  // must outlive the runtime or be detached with nullptr.
+  void AttachLink(CommandLinkClient* link) { link_ = link; }
+
   // Replaces the built-in reserve(blend(RBL, CCB)) discharge scheduling with
   // an arbitrary policy (an MPC or schedule-replay policy, say). The policy
   // must outlive the runtime or be detached with nullptr. `on_advance`, when
@@ -91,9 +109,20 @@ class SdbRuntime {
   const std::vector<double>& last_discharge_ratios() const { return last_discharge_ratios_; }
   const std::vector<double>& last_charge_ratios() const { return last_charge_ratios_; }
 
+  // Degraded mode: true while any battery is masked from the allocator or
+  // the status feed has been stale past the configured tolerance.
+  bool degraded() const { return degraded_; }
+  const std::vector<bool>& excluded_batteries() const { return excluded_; }
+  const ResilienceCounters& resilience() const { return resilience_; }
+
   SdbMicrocontroller* microcontroller() { return micro_; }
 
  private:
+  // QueryBatteryStatus with retry-with-backoff over the attached link (or a
+  // direct, infallible microcontroller call when no link is attached).
+  StatusOr<std::vector<BatteryStatus>> QueryStatusWithRetry();
+  BatteryViews BuildViewsFrom(const std::vector<BatteryStatus>& statuses) const;
+
   SdbMicrocontroller* micro_;
   RuntimeConfig config_;
 
@@ -113,6 +142,13 @@ class SdbRuntime {
   Duration elapsed_ = Seconds(0.0);
   std::vector<double> last_discharge_ratios_;
   std::vector<double> last_charge_ratios_;
+
+  CommandLinkClient* link_ = nullptr;
+  std::vector<BatteryStatus> last_statuses_;  // Last good query result.
+  int consecutive_stale_ = 0;
+  bool degraded_ = false;
+  std::vector<bool> excluded_;
+  ResilienceCounters resilience_;
 };
 
 }  // namespace sdb

@@ -42,7 +42,7 @@ std::string TelemetryRecorder::ToCsv() const {
   for (size_t i = 0; i < n; ++i) {
     os << ",soc" << i;
   }
-  os << "\n";
+  os << ",degraded\n";
   for (const TelemetrySample& s : samples_) {
     os << s.time.value() << "," << s.directives.charging << "," << s.directives.discharging
        << "," << s.ccb << "," << s.rbl.value();
@@ -55,7 +55,7 @@ std::string TelemetryRecorder::ToCsv() const {
     for (double soc : s.soc) {
       os << "," << soc;
     }
-    os << "\n";
+    os << "," << (s.degraded ? 1 : 0) << "\n";
   }
   return os.str();
 }

@@ -25,6 +25,23 @@ struct TelemetrySample {
   double ccb = 1.0;
   Energy rbl;
   std::vector<double> soc;
+  // True when the runtime took this decision in degraded mode (batteries
+  // masked from the allocator, or the status feed gone stale).
+  bool degraded = false;
+};
+
+// Counters for the runtime's fault-resilience machinery. Unlike the
+// per-decision TelemetrySample stream these are cumulative over the
+// runtime's lifetime, so a test (or an OS health daemon) can assert "the
+// link flaked N times and we recovered" without replaying the log.
+struct ResilienceCounters {
+  uint64_t link_retries = 0;     // Query retries attempted after a link error.
+  uint64_t link_failures = 0;    // Roundtrips that exhausted every retry.
+  uint64_t stale_updates = 0;    // Updates planned from cached status.
+  uint64_t degraded_entries = 0; // Transitions healthy -> degraded.
+  uint64_t degraded_exits = 0;   // Transitions degraded -> healthy.
+  uint64_t masked_faults = 0;    // Battery-updates with a fault masked out.
+  Duration backoff_total;        // Simulated time spent in retry backoff.
 };
 
 class TelemetryRecorder {

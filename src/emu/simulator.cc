@@ -17,6 +17,9 @@ Simulator::Simulator(SdbRuntime* runtime, SimConfig config)
 SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
   SdbMicrocontroller* micro = runtime_->microcontroller();
   const size_t n = micro->battery_count();
+  if (!config_.faults.empty()) {
+    micro->InstallFaults(config_.faults);
+  }
 
   SimResult result;
   result.delivered = Joules(0.0);

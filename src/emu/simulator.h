@@ -11,6 +11,7 @@
 
 #include "src/core/runtime.h"
 #include "src/emu/trace.h"
+#include "src/hw/fault.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -22,6 +23,11 @@ struct SimConfig {
   bool stop_on_shortfall = true;
   // Hard wall-clock cap regardless of the trace length.
   Duration max_duration = Hours(72.0);
+  // Fault schedule, installed on the microcontroller at the start of each
+  // Run (event times are relative to that Run). An empty plan leaves any
+  // injector installed by the caller untouched, so scenarios that wire
+  // their own link faults keep a single injector across the whole run.
+  FaultPlan faults;
 };
 
 enum class SimEventKind {

@@ -86,6 +86,10 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
   std::vector<double> supply_cap(n, 0.0);
   std::vector<double> profile_j(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
+    if (pack.IsOpenCircuit(i)) {
+      // Disconnected: accepts no charge, and spill-over routes around it.
+      continue;
+    }
     Cell& cell = pack.cell(i);
     double j = banks_[i].selected().CommandedCurrent(cell).value();
     if (j > 0.0) {
@@ -190,11 +194,11 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
   }
   Cell& src = pack.cell(from);
   Cell& dst = pack.cell(to);
-  if (src.IsEmpty()) {
+  if (src.IsEmpty() || pack.IsOpenCircuit(from)) {
     tick.source_exhausted = true;
     return tick;
   }
-  if (dst.IsFull()) {
+  if (dst.IsFull() || pack.IsOpenCircuit(to)) {
     tick.destination_full = true;
     return tick;
   }

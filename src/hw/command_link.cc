@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/hw/fault.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -205,7 +206,13 @@ CommandLinkClient::CommandLinkClient(Transport transport) : transport_(std::move
 }
 
 StatusOr<Frame> CommandLinkClient::Roundtrip(const Frame& request) {
+  if (fault_ != nullptr && fault_->DropQuery()) {
+    return UnavailableError("link timeout (injected)");
+  }
   std::vector<uint8_t> response_bytes = transport_(EncodeFrame(request));
+  if (fault_ != nullptr) {
+    fault_->MaybeCorruptReply(response_bytes);
+  }
   std::vector<Frame> frames;
   decoder_.Feed(response_bytes, frames);
   if (frames.empty()) {

@@ -22,6 +22,8 @@
 
 namespace sdb {
 
+class FaultInjector;
+
 enum class MessageType : uint8_t {
   kSetDischargeRatios = 0x01,
   kSetChargeRatios = 0x02,
@@ -103,6 +105,11 @@ class CommandLinkClient {
   StatusOr<std::vector<BatteryStatus>> QueryBatteryStatus();
   Status SelectChargeProfile(uint8_t battery, uint8_t profile);
 
+  // Attaches a fault injector (non-owning; detach with nullptr). While
+  // attached, every roundtrip may be dropped (injected timeout) or have its
+  // reply corrupted before decoding.
+  void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   // Sends a frame and decodes the single expected response frame.
   StatusOr<Frame> Roundtrip(const Frame& request);
@@ -110,6 +117,7 @@ class CommandLinkClient {
 
   Transport transport_;
   FrameDecoder decoder_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace sdb

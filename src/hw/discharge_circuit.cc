@@ -63,7 +63,7 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   double bus_v = 0.0;
   int live = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (!pack.cell(i).IsEmpty()) {
+    if (!pack.cell(i).IsEmpty() && !pack.IsOpenCircuit(i)) {
       bus_v += pack.cell(i).NoLoadVoltage().value();
       ++live;
     }
@@ -103,7 +103,8 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   // redistribute the excess across unclamped batteries.
   std::vector<double> avail(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    avail[i] = AvailablePower(pack.cell(i), dt).value();
+    // A disconnected battery offers nothing, so spill-over routes around it.
+    avail[i] = pack.IsOpenCircuit(i) ? 0.0 : AvailablePower(pack.cell(i), dt).value();
   }
   std::vector<double> request(n, 0.0);
   for (size_t i = 0; i < n; ++i) {

@@ -1,0 +1,118 @@
+#include "src/hw/fault.h"
+
+#include "src/util/check.h"
+
+namespace sdb {
+
+std::string_view FaultClassName(FaultClass kind) {
+  switch (kind) {
+    case FaultClass::kLinkTimeout:
+      return "link-timeout";
+    case FaultClass::kLinkCorruptReply:
+      return "link-corrupt-reply";
+    case FaultClass::kGaugeBias:
+      return "gauge-bias";
+    case FaultClass::kGaugeNoise:
+      return "gauge-noise";
+    case FaultClass::kGaugeStuck:
+      return "gauge-stuck";
+    case FaultClass::kRegulatorCollapse:
+      return "regulator-collapse";
+    case FaultClass::kOpenCircuit:
+      return "open-circuit";
+    case FaultClass::kThermalTrip:
+      return "thermal-trip";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed ^ 0xFA017EC7ED5EEDULL), now_(Seconds(0.0)) {
+  for (const FaultEvent& event : plan_.events) {
+    SDB_CHECK(!(event.end < event.start));
+    SDB_CHECK(event.probability >= 0.0 && event.probability <= 1.0);
+  }
+}
+
+void FaultInjector::Advance(Duration dt) {
+  SDB_CHECK(dt.value() >= 0.0);
+  now_ += dt;
+}
+
+const FaultEvent* FaultInjector::Active(FaultClass kind, int battery) const {
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind != kind) {
+      continue;
+    }
+    if (event.battery != -1 && battery != -1 && event.battery != battery) {
+      continue;
+    }
+    if (!(now_ < event.start) && now_ < event.end) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::DropQuery() {
+  const FaultEvent* event = Active(FaultClass::kLinkTimeout, -1);
+  if (event == nullptr) {
+    return false;
+  }
+  if (!rng_.Bernoulli(event->probability)) {
+    return false;
+  }
+  ++dropped_queries_;
+  return true;
+}
+
+void FaultInjector::MaybeCorruptReply(std::vector<uint8_t>& bytes) {
+  const FaultEvent* event = Active(FaultClass::kLinkCorruptReply, -1);
+  if (event == nullptr || bytes.empty()) {
+    return;
+  }
+  if (!rng_.Bernoulli(event->probability)) {
+    return;
+  }
+  size_t byte_index = static_cast<size_t>(rng_.NextBounded(bytes.size()));
+  uint8_t bit = static_cast<uint8_t>(1u << rng_.NextBounded(8));
+  bytes[byte_index] ^= bit;
+  ++corrupted_replies_;
+}
+
+double FaultInjector::GaugeSocBias(size_t battery) const {
+  const FaultEvent* event = Active(FaultClass::kGaugeBias, static_cast<int>(battery));
+  return event != nullptr ? event->magnitude : 0.0;
+}
+
+double FaultInjector::GaugeNoiseScale(size_t battery) const {
+  const FaultEvent* event = Active(FaultClass::kGaugeNoise, static_cast<int>(battery));
+  return event != nullptr ? event->magnitude : 1.0;
+}
+
+bool FaultInjector::GaugeStuck(size_t battery) const {
+  return Active(FaultClass::kGaugeStuck, static_cast<int>(battery)) != nullptr;
+}
+
+double FaultInjector::DischargeEfficiencyFactor() const {
+  const FaultEvent* event = Active(FaultClass::kRegulatorCollapse, -1);
+  if (event == nullptr) {
+    return 1.0;
+  }
+  SDB_CHECK(event->magnitude > 0.0 && event->magnitude <= 1.0);
+  return event->magnitude;
+}
+
+bool FaultInjector::OpenCircuit(size_t battery) const {
+  return Active(FaultClass::kOpenCircuit, static_cast<int>(battery)) != nullptr;
+}
+
+std::optional<Temperature> FaultInjector::ReportedTemperatureFloor(size_t battery) const {
+  const FaultEvent* event = Active(FaultClass::kThermalTrip, static_cast<int>(battery));
+  if (event == nullptr) {
+    return std::nullopt;
+  }
+  return Kelvin(event->magnitude);
+}
+
+}  // namespace sdb

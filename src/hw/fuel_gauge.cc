@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/hw/fault.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -25,7 +26,16 @@ void FuelGauge::Observe(Current true_current, Voltage true_voltage, Charge true_
                         Duration dt) {
   double dt_s = dt.value();
   SDB_CHECK(dt_s > 0.0);
-  double noisy_i = true_current.value() + rng_.Gaussian(0.0, config_.current_noise.value());
+  if (fault_ != nullptr && fault_->GaugeStuck(battery_)) {
+    // A stuck gauge freezes its readings and its integrator; the skipped
+    // RNG draw is fine — the stream stays a pure function of the plan.
+    return;
+  }
+  double sigma = config_.current_noise.value();
+  if (fault_ != nullptr) {
+    sigma *= fault_->GaugeNoiseScale(battery_);
+  }
+  double noisy_i = true_current.value() + rng_.Gaussian(0.0, sigma);
   last_current_ = Amps(Quantise(noisy_i, config_.current_lsb.value()));
   last_voltage_ = Volts(Quantise(true_voltage.value(), config_.voltage_lsb.value()));
 
@@ -36,6 +46,23 @@ void FuelGauge::Observe(Current true_current, Voltage true_voltage, Charge true_
   soc_estimate_ = Clamp(soc_estimate_ - delta - drift, 0.0, 1.0);
 }
 
-void FuelGauge::AnchorSoc(double soc) { soc_estimate_ = Clamp(soc, 0.0, 1.0); }
+double FuelGauge::EstimatedSoc() const {
+  if (fault_ == nullptr) {
+    return soc_estimate_;
+  }
+  return Clamp(soc_estimate_ + fault_->GaugeSocBias(battery_), 0.0, 1.0);
+}
+
+void FuelGauge::AnchorSoc(double soc) {
+  if (fault_ != nullptr && fault_->GaugeStuck(battery_)) {
+    return;
+  }
+  soc_estimate_ = Clamp(soc, 0.0, 1.0);
+}
+
+void FuelGauge::AttachFaultInjector(const FaultInjector* injector, size_t battery) {
+  fault_ = injector;
+  battery_ = battery;
+}
 
 }  // namespace sdb

@@ -14,6 +14,8 @@
 
 namespace sdb {
 
+class FaultInjector;
+
 struct FuelGaugeConfig {
   Current current_lsb = Amps(0.001);     // Current ADC quantisation step.
   Voltage voltage_lsb = Volts(0.002);    // Voltage ADC quantisation step.
@@ -29,14 +31,19 @@ class FuelGauge {
   // voltage; the gauge quantises, adds noise and integrates.
   void Observe(Current true_current, Voltage true_voltage, Charge true_capacity, Duration dt);
 
-  // Latest estimates.
-  double EstimatedSoc() const { return soc_estimate_; }
+  // Latest estimates. EstimatedSoc folds in any injected bias.
+  double EstimatedSoc() const;
   Current MeasuredCurrent() const { return last_current_; }
   Voltage MeasuredVoltage() const { return last_voltage_; }
 
   // Re-anchors the integrator (e.g. at a charge-complete event, like real
   // gauges re-learning full capacity).
   void AnchorSoc(double soc);
+
+  // Attaches the fault injector (non-owning; detach with nullptr) and this
+  // gauge's battery index within the pack. While attached, Observe and
+  // EstimatedSoc consult the injector for bias/noise/stuck windows.
+  void AttachFaultInjector(const FaultInjector* injector, size_t battery);
 
  private:
   double Quantise(double value, double lsb) const;
@@ -46,6 +53,8 @@ class FuelGauge {
   double soc_estimate_;
   Current last_current_;
   Voltage last_voltage_;
+  const FaultInjector* fault_ = nullptr;
+  size_t battery_ = 0;
 };
 
 }  // namespace sdb

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/numeric.h"
 
 namespace sdb {
 
@@ -93,6 +94,11 @@ std::vector<BatteryStatus> SdbMicrocontroller::QueryBatteryStatus() const {
     s.cycle_count = cell.aging().cycle_count();
     s.full_capacity = cell.EffectiveCapacity();
     s.temperature = cell.thermal().temperature();
+    if (fault_.has_value()) {
+      if (std::optional<Temperature> floor = fault_->ReportedTemperatureFloor(i)) {
+        s.temperature = Max(s.temperature, *floor);
+      }
+    }
     statuses.push_back(s);
   }
   return statuses;
@@ -102,16 +108,24 @@ Status SdbMicrocontroller::SelectChargeProfile(size_t battery, size_t profile_in
   return charge_circuit_.SelectProfile(battery, profile_index);
 }
 
+void SdbMicrocontroller::InstallFaults(FaultPlan plan) {
+  fault_.emplace(std::move(plan));
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    gauges_[i].AttachFaultInjector(&*fault_, i);
+  }
+}
+
 void SdbMicrocontroller::CancelTransfer() { transfer_.reset(); }
 
 std::vector<double> SdbMicrocontroller::MaskFaulted(const std::vector<double>& ratios) const {
-  if (safety_ == nullptr || !safety_->AnyFaulted()) {
+  bool safety_active = safety_ != nullptr && safety_->AnyFaulted();
+  if (!safety_active && !pack_.AnyOpenCircuit()) {
     return ratios;
   }
   std::vector<double> masked = ratios;
   double sum = 0.0;
   for (size_t i = 0; i < masked.size(); ++i) {
-    if (safety_->IsFaulted(i)) {
+    if ((safety_active && safety_->IsFaulted(i)) || pack_.IsOpenCircuit(i)) {
       masked[i] = 0.0;
     }
     sum += masked[i];
@@ -130,6 +144,14 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
   tick.dt = dt;
   const size_t n = pack_.size();
 
+  // Sync the pack's open-circuit flags with the fault plan before any
+  // electrical step sees them.
+  if (fault_.has_value()) {
+    for (size_t i = 0; i < n; ++i) {
+      pack_.SetOpenCircuit(i, fault_->OpenCircuit(i));
+    }
+  }
+
   // External supply covers the load first; the surplus charges the pack.
   double supply_w = std::max(0.0, external_supply.value());
   double load_w = std::max(0.0, load.value());
@@ -139,8 +161,18 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
 
   if (load_from_pack > 0.0) {
     std::vector<double> d_ratios = MaskFaulted(discharge_ratios_);
+    // A collapsed regulator wastes a fraction of everything it converts:
+    // the batteries must source load/eff, and the surplus is circuit loss.
+    double eff = fault_.has_value() ? fault_->DischargeEfficiencyFactor() : 1.0;
     tick.discharge =
-        discharge_circuit_.Step(pack_, d_ratios, Watts(load_from_pack), dt);
+        discharge_circuit_.Step(pack_, d_ratios, Watts(load_from_pack / eff), dt);
+    if (eff < 1.0) {
+      double gross_w = tick.discharge.delivered.value();
+      double net_w = gross_w * eff;
+      tick.discharge.circuit_loss += Joules((gross_w - net_w) * dt.value());
+      tick.discharge.delivered = Watts(net_w);
+      tick.discharge.shortfall = net_w < load_from_pack * 0.995;
+    }
     // Power the external source fed straight to the load still counts as
     // delivered to the load.
     tick.discharge.delivered += Watts(supply_to_load);
@@ -167,7 +199,12 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
     tick.charge.currents.assign(n, Amps(0.0));
   }
 
-  if (transfer_.has_value()) {
+  // An open-circuit end idles an active transfer (without cancelling it):
+  // the schedule resumes if the dropout clears before the window ends.
+  bool transfer_blocked =
+      transfer_.has_value() &&
+      (pack_.IsOpenCircuit(transfer_->from) || pack_.IsOpenCircuit(transfer_->to));
+  if (transfer_.has_value() && !transfer_blocked) {
     tick.transfer =
         charge_circuit_.StepTransfer(pack_, transfer_->from, transfer_->to, transfer_->power, dt);
     tick.transfer_active = true;
@@ -218,6 +255,12 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
     } else if (cell.IsEmpty()) {
       gauges_[i].AnchorSoc(0.0);
     }
+  }
+
+  // Advance the fault clock last so a runtime Update() between Steps sees
+  // the injector at exactly the simulated time it has reached.
+  if (fault_.has_value()) {
+    fault_->Advance(dt);
   }
   return tick;
 }

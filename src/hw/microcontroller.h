@@ -18,6 +18,7 @@
 #include "src/chem/pack.h"
 #include "src/hw/charge_circuit.h"
 #include "src/hw/discharge_circuit.h"
+#include "src/hw/fault.h"
 #include "src/hw/fuel_gauge.h"
 #include "src/hw/safety.h"
 #include "src/util/status.h"
@@ -82,6 +83,16 @@ class SdbMicrocontroller {
   SafetySupervisor* safety() { return safety_; }
   bool transfer_active() const { return transfer_.has_value(); }
 
+  // Installs a fault plan: the microcontroller owns the injector, advances
+  // its clock once per Step, and re-attaches every fuel gauge to it.
+  // Replaces any previously installed plan — pointers handed out by
+  // fault_injector() before this call are invalidated.
+  void InstallFaults(FaultPlan plan);
+
+  // The active injector (nullptr when no plan is installed). Attach link
+  // clients to this so wire faults share the plan's clock and RNG stream.
+  FaultInjector* fault_injector() { return fault_.has_value() ? &*fault_ : nullptr; }
+
   const std::vector<double>& charge_ratios() const { return charge_ratios_; }
   const std::vector<double>& discharge_ratios() const { return discharge_ratios_; }
 
@@ -118,6 +129,7 @@ class SdbMicrocontroller {
   std::vector<double> discharge_ratios_;
   std::optional<ActiveTransfer> transfer_;
   SafetySupervisor* safety_ = nullptr;
+  std::optional<FaultInjector> fault_;
 };
 
 // Convenience: builds a microcontroller with default circuit/gauge configs

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+
 namespace sdb {
 namespace {
 
@@ -171,6 +173,86 @@ TEST(NormalizeSharesTest, NoEligibleEntriesReturnsZeros) {
   auto s = NormalizeShares({0.0, 0.0}, &eligible);
   EXPECT_DOUBLE_EQ(s[0], 0.0);
   EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+// --- Degraded-mode exclusion (runtime fault resilience) ---------------------
+
+TEST(ApplyDegradedExclusionTest, ExcludedBatteriesGetExactlyZero) {
+  std::vector<bool> excluded = {false, true, false, true};
+  auto d = ApplyDegradedExclusion({0.4, 0.3, 0.2, 0.1}, excluded);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[3], 0.0);
+  EXPECT_NEAR(d[0] + d[2], 1.0, 1e-12);
+  EXPECT_NEAR(d[0] / d[2], 2.0, 1e-12);  // Survivors keep their proportions.
+}
+
+TEST(ApplyDegradedExclusionTest, SurvivorsWithZeroWeightGoUniform) {
+  std::vector<bool> excluded = {true, false, false};
+  auto d = ApplyDegradedExclusion({1.0, 0.0, 0.0}, excluded);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_NEAR(d[1], 0.5, 1e-12);
+  EXPECT_NEAR(d[2], 0.5, 1e-12);
+}
+
+TEST(ApplyDegradedExclusionTest, AllExcludedYieldsAllZeros) {
+  std::vector<bool> excluded = {true, true};
+  auto d = ApplyDegradedExclusion({0.5, 0.5}, excluded);
+  EXPECT_DOUBLE_EQ(d[0] + d[1], 0.0);
+}
+
+// Property sweep: for random share vectors and every single-battery
+// exclusion, the degraded vector still sums to 1, stays non-negative, and
+// zeroes exactly the excluded battery.
+TEST(ApplyDegradedExclusionTest, PropertySweepSingleExclusion) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 2 + rng.NextBounded(5);  // 2..6 batteries.
+    std::vector<double> shares(n);
+    for (auto& s : shares) {
+      s = rng.NextDouble();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<bool> excluded(n, false);
+      excluded[i] = true;
+      auto d = ApplyDegradedExclusion(shares, excluded);
+      EXPECT_DOUBLE_EQ(d[i], 0.0);
+      double sum = 0.0;
+      for (size_t b = 0; b < n; ++b) {
+        EXPECT_GE(d[b], 0.0);
+        sum += d[b];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ApplyDegradedExclusionTest, PropertySweepMultiExclusion) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 3 + rng.NextBounded(4);  // 3..6 batteries.
+    std::vector<double> shares(n);
+    std::vector<bool> excluded(n, false);
+    size_t excluded_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      shares[i] = rng.NextDouble();
+      excluded[i] = rng.Bernoulli(0.4);
+      excluded_count += excluded[i] ? 1 : 0;
+    }
+    auto d = ApplyDegradedExclusion(shares, excluded);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(d[i], 0.0);
+      if (excluded[i]) {
+        EXPECT_DOUBLE_EQ(d[i], 0.0);
+      }
+      sum += d[i];
+    }
+    if (excluded_count == n) {
+      EXPECT_DOUBLE_EQ(sum, 0.0);
+    } else {
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include "src/chem/library.h"
 #include "src/core/mpc_policy.h"
 #include "src/emu/simulator.h"
+#include "src/hw/command_link.h"
+#include "src/hw/safety.h"
 
 namespace sdb {
 namespace {
@@ -166,11 +168,139 @@ TEST(RuntimeOverrideTest, MpcRunsInsideTheSimulator) {
                          config);
   runtime.OverrideDischargePolicy(&mpc, [&mpc](Duration dt) { mpc.Advance(dt); });
 
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(10.0), .runtime_period = Minutes(5.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(10.0);
+  sim_config.runtime_period = Minutes(5.0);
+  Simulator sim(&runtime, sim_config);
   SimResult result = sim.Run(PowerTrace::Constant(Watts(0.1), Hours(2.0)));
   EXPECT_FALSE(result.first_shortfall.has_value());
   EXPECT_GT(mpc.replans(), 10);  // The advance hook kept the clock moving.
   EXPECT_NEAR(ToHours(mpc.elapsed()), 2.0, 0.05);
+}
+
+// --- Fault resilience: retries, stale status, degraded mode ---------------
+
+// A link whose transport can be switched between healthy passthrough and
+// dropping everything (the client sees "no response frame").
+struct FlakyLink {
+  explicit FlakyLink(SdbMicrocontroller* micro)
+      : server(micro),
+        client([this](const std::vector<uint8_t>& bytes) -> std::vector<uint8_t> {
+          ++roundtrips;
+          if (fail_all || fail_next > 0) {
+            if (fail_next > 0) {
+              --fail_next;
+            }
+            return {};
+          }
+          return server.Receive(bytes);
+        }) {}
+
+  CommandLinkServer server;
+  CommandLinkClient client;
+  bool fail_all = false;
+  int fail_next = 0;
+  int roundtrips = 0;
+};
+
+// Regression: a failed QueryBatteryStatus used to be silently ignored; with
+// no cached status there is nothing to plan from and Update must say so.
+TEST(RuntimeResilienceTest, LinkErrorPropagatesWhenNoCachedStatus) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  FlakyLink link(&micro);
+  link.fail_all = true;
+  runtime.AttachLink(&link.client);
+
+  Status status = runtime.Update(Watts(5.0), Watts(0.0));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(runtime.resilience().link_failures, 1u);
+  // The query was attempted 1 + link_retries times before giving up.
+  EXPECT_EQ(link.roundtrips, 1 + RuntimeConfig{}.link_retries);
+}
+
+TEST(RuntimeResilienceTest, RetriesMaskATransientFailure) {
+  SdbMicrocontroller micro = MakeMicro();
+  SdbRuntime runtime(&micro);
+  FlakyLink link(&micro);
+  runtime.AttachLink(&link.client);
+
+  link.fail_next = 2;  // First query and first retry fail; second retry works.
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  const ResilienceCounters& res = runtime.resilience();
+  EXPECT_EQ(res.link_retries, 2u);
+  EXPECT_EQ(res.link_failures, 0u);
+  EXPECT_EQ(res.stale_updates, 0u);
+  // Doubling backoff from the default base: 10ms + 20ms.
+  EXPECT_NEAR(res.backoff_total.value(), 0.03, 1e-9);
+  // The recovered query still programmed valid ratios.
+  double sum = std::accumulate(runtime.last_discharge_ratios().begin(),
+                               runtime.last_discharge_ratios().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RuntimeResilienceTest, StaleStatusServesFromCacheThenDegrades) {
+  SdbMicrocontroller micro = MakeMicro(0.8, 0.8);
+  RuntimeConfig config;
+  config.stale_updates_tolerated = 2;
+  SdbRuntime runtime(&micro, config);
+  FlakyLink link(&micro);
+  runtime.AttachLink(&link.client);
+  TelemetryRecorder telemetry;
+  runtime.AttachTelemetry(&telemetry);
+
+  // One healthy update seeds the cache. Capture what the link actually
+  // programmed (the wire encoding quantises, so compare against the
+  // microcontroller's own copy).
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  auto healthy_ratios = micro.discharge_ratios();
+
+  // The link goes down: updates keep succeeding from the cached status.
+  link.fail_all = true;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+    EXPECT_FALSE(runtime.degraded());
+  }
+  // A third stale update crosses the tolerance: degraded mode.
+  EXPECT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_TRUE(runtime.degraded());
+  EXPECT_TRUE(telemetry.latest().degraded);
+  const ResilienceCounters& res = runtime.resilience();
+  EXPECT_EQ(res.stale_updates, 3u);
+  EXPECT_EQ(res.degraded_entries, 1u);
+  // Failed setter roundtrips kept the last healthy ratios programmed.
+  EXPECT_EQ(micro.discharge_ratios(), healthy_ratios);
+
+  // The link comes back: fresh status, degraded mode exits.
+  link.fail_all = false;
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_FALSE(runtime.degraded());
+  EXPECT_EQ(runtime.resilience().degraded_exits, 1u);
+  EXPECT_FALSE(telemetry.latest().degraded);
+}
+
+TEST(RuntimeResilienceTest, SafetyFaultedBatteryIsExcludedFromTheSplit) {
+  SdbMicrocontroller micro = MakeMicro(0.8, 0.8);
+  std::vector<SafetyLimits> limits = {DeriveLimits(micro.pack().cell(0).params()),
+                                      DeriveLimits(micro.pack().cell(1).params())};
+  SafetySupervisor safety(limits);
+  micro.AttachSafety(&safety);
+  SdbRuntime runtime(&micro);
+
+  // Trip battery 0 thermally; the supervisor latches on the next step.
+  micro.mutable_pack().cell(0).mutable_thermal().set_temperature(Celsius(70.0));
+  micro.Step(Watts(5.0), Watts(0.0), Seconds(1.0));
+  ASSERT_TRUE(safety.IsFaulted(0));
+
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_TRUE(runtime.degraded());
+  ASSERT_EQ(runtime.excluded_batteries().size(), 2u);
+  EXPECT_TRUE(runtime.excluded_batteries()[0]);
+  EXPECT_FALSE(runtime.excluded_batteries()[1]);
+  EXPECT_DOUBLE_EQ(runtime.last_discharge_ratios()[0], 0.0);
+  EXPECT_NEAR(runtime.last_discharge_ratios()[1], 1.0, 1e-9);
+  EXPECT_GE(runtime.resilience().masked_faults, 1u);
+  EXPECT_EQ(runtime.resilience().degraded_entries, 1u);
 }
 
 }  // namespace

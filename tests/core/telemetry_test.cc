@@ -91,7 +91,10 @@ TEST(TelemetryIntegrationTest, RuntimeFeedsRecorderDuringSimulation) {
   TelemetryRecorder recorder;
   runtime.AttachTelemetry(&recorder);
 
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(5.0), .runtime_period = Minutes(1.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(5.0);
+  sim_config.runtime_period = Minutes(1.0);
+  Simulator sim(&runtime, sim_config);
   sim.Run(PowerTrace::Constant(Watts(6.0), Minutes(30.0)));
 
   // One sample per re-plan: 30 minutes at 1-minute periods.

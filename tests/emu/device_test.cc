@@ -36,7 +36,9 @@ TEST(DeviceTest, DevicePowerScalesAcrossPlatforms) {
 
 TEST(DeviceTest, PhoneSurvivesItsDayTrace) {
   auto phone = MakePhoneDevice(1.0);
-  Simulator sim(&phone->runtime(), SimConfig{.tick = Seconds(5.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(5.0);
+  Simulator sim(&phone->runtime(), sim_config);
   SimResult result = sim.Run(MakePhoneDayTrace());
   EXPECT_FALSE(result.first_shortfall.has_value());
   EXPECT_GT(phone->StoredFraction(), 0.1);
@@ -63,7 +65,9 @@ TEST(DeviceTest, TabletTurboTaskWithinBatteryCapability) {
   // The tablet pack comfortably feeds the protection level.
   EXPECT_NEAR(cap.value(), tablet->cpu().config().protection_limit.value(), 1e-9);
   TaskRun run = tablet->cpu().Execute(Task{"render", 300.0, 0.0}, cap);
-  Simulator sim(&tablet->runtime(), SimConfig{.tick = Seconds(1.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(1.0);
+  Simulator sim(&tablet->runtime(), sim_config);
   SimResult result = sim.Run(run.power_profile);
   EXPECT_FALSE(result.first_shortfall.has_value());
 }

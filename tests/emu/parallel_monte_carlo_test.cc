@@ -8,6 +8,7 @@
 #include "src/core/telemetry.h"
 #include "src/emu/monte_carlo.h"
 #include "src/emu/workload.h"
+#include "src/hw/fault.h"
 
 namespace sdb {
 namespace {
@@ -24,6 +25,41 @@ SimResult BurstyWatchScenario(uint64_t seed) {
   SimConfig config;
   config.tick = Seconds(30.0);
   config.runtime_period = Minutes(10.0);
+  Simulator sim(&runtime, config);
+  PowerTrace load = MakeBurstyTrace(Watts(0.08), Watts(0.6), 0.25, Hours(4.0),
+                                    Minutes(5.0), seed);
+  return sim.Run(load);
+}
+
+// The bursty scenario with a seed-keyed fault schedule layered on top:
+// gauge noise on battery 0, a mid-run open-circuit dropout of battery 1,
+// and a regulator collapse window. Fault randomness comes from the same
+// seed, so the whole faulted run is a pure function of it.
+SimResult FaultedWatchScenario(uint64_t seed) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(120.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(120.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), seed);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+  SimConfig config;
+  config.tick = Seconds(30.0);
+  config.runtime_period = Minutes(10.0);
+  config.faults.seed = seed;
+  config.faults
+      .Add(FaultEvent{.kind = FaultClass::kGaugeNoise,
+                      .start = Minutes(20.0),
+                      .end = Hours(3.0),
+                      .battery = 0,
+                      .magnitude = 15.0})
+      .Add(FaultEvent{.kind = FaultClass::kOpenCircuit,
+                      .start = Hours(1.0),
+                      .end = Hours(2.0),
+                      .battery = 1})
+      .Add(FaultEvent{.kind = FaultClass::kRegulatorCollapse,
+                      .start = Hours(2.5),
+                      .end = Hours(3.5),
+                      .magnitude = 0.7});
   Simulator sim(&runtime, config);
   PowerTrace load = MakeBurstyTrace(Watts(0.08), Watts(0.6), 0.25, Hours(4.0),
                                     Minutes(5.0), seed);
@@ -87,6 +123,25 @@ TEST(ParallelMonteCarloTest, AutoJobsMatchesExplicitJobs) {
   auto_jobs.base_seed = 42;
   auto_jobs.jobs = 0;  // SDB_THREADS / hardware concurrency.
   ExpectBitIdentical(RunMonteCarlo(BurstyWatchScenario, 16, auto_jobs), Sweep(16, 2));
+}
+
+TEST(ParallelMonteCarloTest, FaultInjectionStaysBitIdenticalAcrossJobs) {
+  // The acceptance bar for the fault layer: injected faults draw from the
+  // same seeded streams as everything else, so a faulted sweep is exactly
+  // as shardable as a healthy one.
+  MonteCarloOptions options;
+  options.base_seed = 42;
+  auto sweep = [&options](int jobs) {
+    options.jobs = jobs;
+    return RunMonteCarlo(FaultedWatchScenario, 24, options);
+  };
+  MonteCarloResult serial = sweep(1);
+  ExpectBitIdentical(serial, sweep(2));
+  ExpectBitIdentical(serial, sweep(8));
+  // The faults actually bit: the faulted sweep differs from the healthy one.
+  options.jobs = 1;
+  MonteCarloResult healthy = RunMonteCarlo(BurstyWatchScenario, 24, options);
+  EXPECT_NE(serial.delivered_j.mean(), healthy.delivered_j.mean());
 }
 
 TEST(ParallelMonteCarloTest, SweepCountersObserveTheRun) {

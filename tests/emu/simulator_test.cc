@@ -22,7 +22,10 @@ struct Rig {
 
 TEST(SimulatorTest, RunsTraceToCompletion) {
   Rig rig;
-  Simulator sim(&*rig.runtime, SimConfig{.tick = Seconds(1.0), .runtime_period = Seconds(60.0)});
+  SimConfig config;
+  config.tick = Seconds(1.0);
+  config.runtime_period = Seconds(60.0);
+  Simulator sim(&*rig.runtime, config);
   SimResult result = sim.Run(PowerTrace::Constant(Watts(5.0), Hours(1.0)));
   EXPECT_NEAR(ToHours(result.elapsed), 1.0, 0.01);
   EXPECT_FALSE(result.first_shortfall.has_value());
@@ -85,7 +88,9 @@ TEST(SimulatorTest, SupplyKeepsPackCharged) {
 
 TEST(SimulatorTest, RunChargeOnlyFillsThePack) {
   Rig rig(0.1, 0.1);
-  Simulator sim(&*rig.runtime, SimConfig{.tick = Seconds(2.0)});
+  SimConfig config;
+  config.tick = Seconds(2.0);
+  Simulator sim(&*rig.runtime, config);
   SimResult result = sim.RunChargeOnly(Watts(30.0), Hours(6.0));
   EXPECT_GT(result.final_soc[0], 0.97);
   EXPECT_GT(result.final_soc[1], 0.97);

@@ -1,0 +1,321 @@
+// The fault-injection subsystem: window activation, battery targeting,
+// RNG-stream determinism, and the end-to-end effect of each fault class on
+// the microcontroller and the command link.
+#include "src/hw/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chem/library.h"
+#include "src/hw/command_link.h"
+#include "src/hw/microcontroller.h"
+
+namespace sdb {
+namespace {
+
+SdbMicrocontroller MakeTwoBatteryMicro(uint64_t seed = 7) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+  return MakeDefaultMicrocontroller(std::move(cells), seed);
+}
+
+TEST(FaultInjectorTest, EventsActivateOverTheirWindowOnly) {
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kGaugeBias,
+            .start = Seconds(10.0),
+            .end = Seconds(20.0),
+            .battery = 0,
+            .magnitude = 0.25});
+  FaultInjector injector(plan);
+  EXPECT_DOUBLE_EQ(injector.GaugeSocBias(0), 0.0);
+  injector.Advance(Seconds(10.0));  // [start, end) is closed at the left.
+  EXPECT_DOUBLE_EQ(injector.GaugeSocBias(0), 0.25);
+  injector.Advance(Seconds(9.999));
+  EXPECT_DOUBLE_EQ(injector.GaugeSocBias(0), 0.25);
+  injector.Advance(Seconds(0.001));  // Clock reaches `end`: window closes.
+  EXPECT_DOUBLE_EQ(injector.GaugeSocBias(0), 0.0);
+}
+
+TEST(FaultInjectorTest, EventsTargetOneBatteryOrAll) {
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kOpenCircuit,
+            .start = Seconds(0.0),
+            .end = Seconds(10.0),
+            .battery = 1});
+  plan.Add({.kind = FaultClass::kGaugeStuck,
+            .start = Seconds(0.0),
+            .end = Seconds(10.0),
+            .battery = -1});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.OpenCircuit(0));
+  EXPECT_TRUE(injector.OpenCircuit(1));
+  // battery == -1 matches every battery.
+  EXPECT_TRUE(injector.GaugeStuck(0));
+  EXPECT_TRUE(injector.GaugeStuck(1));
+  EXPECT_TRUE(injector.GaugeStuck(7));
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanIsBitReproducible) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.Add({.kind = FaultClass::kLinkTimeout,
+            .start = Seconds(0.0),
+            .end = Seconds(100.0),
+            .probability = 0.5});
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  int drops = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool drop_a = a.DropQuery();
+    EXPECT_EQ(drop_a, b.DropQuery());
+    drops += drop_a ? 1 : 0;
+  }
+  // p=0.5 over 200 draws: both outcomes must actually occur.
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 200);
+  EXPECT_EQ(a.dropped_queries(), b.dropped_queries());
+}
+
+TEST(FaultInjectorTest, InactiveWindowsConsumeNoRandomDraws) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.Add({.kind = FaultClass::kLinkTimeout,
+            .start = Seconds(50.0),
+            .end = Seconds(60.0),
+            .probability = 0.5});
+  FaultInjector polled(plan);
+  FaultInjector idle(plan);
+  // Poll one injector heavily outside the window; its stream must not move.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(polled.DropQuery());
+  }
+  polled.Advance(Seconds(50.0));
+  idle.Advance(Seconds(50.0));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(polled.DropQuery(), idle.DropQuery());
+  }
+}
+
+TEST(FaultInjectorTest, CorruptReplyFlipsExactlyOneBit) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.Add({.kind = FaultClass::kLinkCorruptReply,
+            .start = Seconds(0.0),
+            .end = Seconds(10.0),
+            .probability = 1.0});
+  FaultInjector injector(plan);
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{MessageType::kAck, {0}});
+  std::vector<uint8_t> original = bytes;
+  injector.MaybeCorruptReply(bytes);
+  EXPECT_EQ(injector.corrupted_replies(), 1u);
+  ASSERT_EQ(bytes.size(), original.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    uint8_t diff = bytes[i] ^ original[i];
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  // The CRC rejects the damaged frame, so corruption surfaces as a missing
+  // reply rather than as garbage data.
+  FrameDecoder decoder;
+  std::vector<Frame> decoded;
+  decoder.Feed(bytes, decoded);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(FaultMicroTest, OpenCircuitDropsBatteryFromDischargeAndRestores) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kOpenCircuit,
+            .start = Seconds(0.0),
+            .end = Seconds(30.0),
+            .battery = 0});
+  micro.InstallFaults(plan);
+
+  // During the window battery 0 is disconnected: no current, load carried
+  // entirely by battery 1.
+  MicroTick faulted = micro.Step(Watts(5.0), Watts(0.0), Seconds(10.0));
+  EXPECT_TRUE(micro.pack().IsOpenCircuit(0));
+  EXPECT_DOUBLE_EQ(faulted.discharge.currents[0].value(), 0.0);
+  EXPECT_GT(faulted.discharge.currents[1].value(), 0.0);
+  EXPECT_NEAR(faulted.discharge.delivered.value(), 5.0, 0.1);
+
+  micro.Step(Watts(5.0), Watts(0.0), Seconds(10.0));
+  micro.Step(Watts(5.0), Watts(0.0), Seconds(10.0));
+  // The window has elapsed: the battery reconnects and shares load again.
+  MicroTick healthy = micro.Step(Watts(5.0), Watts(0.0), Seconds(10.0));
+  EXPECT_FALSE(micro.pack().IsOpenCircuit(0));
+  EXPECT_GT(healthy.discharge.currents[0].value(), 0.0);
+}
+
+TEST(FaultMicroTest, OpenCircuitBatteryAcceptsNoCharge) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.2);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.2);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 7);
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kOpenCircuit,
+            .start = Seconds(0.0),
+            .end = Hours(1.0),
+            .battery = 1});
+  micro.InstallFaults(plan);
+  MicroTick tick = micro.Step(Watts(0.0), Watts(20.0), Seconds(10.0));
+  EXPECT_DOUBLE_EQ(tick.charge.currents[1].value(), 0.0);
+  EXPECT_LT(tick.charge.currents[0].value(), 0.0);  // Negative = charging.
+}
+
+TEST(FaultMicroTest, OpenCircuitEndIdlesATransfer) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kOpenCircuit,
+            .start = Seconds(0.0),
+            .end = Hours(1.0),
+            .battery = 1});
+  micro.InstallFaults(plan);
+  ASSERT_TRUE(micro.ChargeOneFromAnother(0, 1, Watts(2.0), Minutes(5.0)).ok());
+  MicroTick tick = micro.Step(Watts(0.0), Watts(0.0), Seconds(10.0));
+  // The transfer stays scheduled but moves no energy while an end is open.
+  EXPECT_TRUE(micro.transfer_active());
+  EXPECT_FALSE(tick.transfer_active);
+  EXPECT_DOUBLE_EQ(tick.transfer.moved.value(), 0.0);
+}
+
+TEST(FaultMicroTest, StuckGaugeFreezesItsEstimate) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kGaugeStuck,
+            .start = Seconds(0.0),
+            .end = Hours(2.0),
+            .battery = 0});
+  micro.InstallFaults(plan);
+  double stuck_before = micro.QueryBatteryStatus()[0].soc;
+  double live_before = micro.QueryBatteryStatus()[1].soc;
+  for (int i = 0; i < 360; ++i) {
+    micro.Step(Watts(12.0), Watts(0.0), Seconds(10.0));
+  }
+  std::vector<BatteryStatus> after = micro.QueryBatteryStatus();
+  EXPECT_DOUBLE_EQ(after[0].soc, stuck_before);  // Frozen.
+  EXPECT_LT(after[1].soc, live_before - 0.01);   // Tracking the discharge.
+}
+
+TEST(FaultMicroTest, GaugeBiasShiftsReportedSocOnly) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  double true_soc = micro.pack().cell(0).soc();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kGaugeBias,
+            .start = Seconds(0.0),
+            .end = Hours(1.0),
+            .battery = 0,
+            .magnitude = -0.3});
+  micro.InstallFaults(plan);
+  std::vector<BatteryStatus> statuses = micro.QueryBatteryStatus();
+  EXPECT_NEAR(statuses[0].soc, true_soc - 0.3, 0.02);
+  // Ground truth is untouched — only the report is wrong.
+  EXPECT_NEAR(micro.pack().cell(0).soc(), true_soc, 1e-12);
+}
+
+TEST(FaultMicroTest, ThermalTripRaisesReportedTemperature) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kThermalTrip,
+            .start = Seconds(0.0),
+            .end = Hours(1.0),
+            .battery = 1,
+            .magnitude = Celsius(70.0).value()});
+  micro.InstallFaults(plan);
+  std::vector<BatteryStatus> statuses = micro.QueryBatteryStatus();
+  EXPECT_LT(ToCelsius(statuses[0].temperature), 45.0);
+  EXPECT_GE(ToCelsius(statuses[1].temperature), 70.0 - 1e-9);
+}
+
+TEST(FaultMicroTest, RegulatorCollapseConservesEnergyAsCircuitLoss) {
+  SdbMicrocontroller healthy_micro = MakeTwoBatteryMicro(11);
+  SdbMicrocontroller faulted_micro = MakeTwoBatteryMicro(11);
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kRegulatorCollapse,
+            .start = Seconds(0.0),
+            .end = Hours(1.0),
+            .magnitude = 0.6});
+  faulted_micro.InstallFaults(plan);
+
+  MicroTick healthy = healthy_micro.Step(Watts(4.0), Watts(0.0), Seconds(10.0));
+  MicroTick faulted = faulted_micro.Step(Watts(4.0), Watts(0.0), Seconds(10.0));
+
+  // The collapsed path still serves the load but wastes ~40% of the gross
+  // conversion as circuit loss, drawing more from the batteries.
+  EXPECT_NEAR(faulted.discharge.delivered.value(), 4.0, 0.05);
+  EXPECT_GT(faulted.discharge.circuit_loss.value(),
+            healthy.discharge.circuit_loss.value() * 10.0);
+  double drawn_w = 0.0;
+  for (const Power& p : faulted.discharge.battery_power) {
+    drawn_w += p.value();
+  }
+  // Energy conservation at the tick level: terminal draw == delivered +
+  // circuit loss (battery-internal loss is booked separately).
+  EXPECT_NEAR(drawn_w,
+              faulted.discharge.delivered.value() +
+                  faulted.discharge.circuit_loss.value() / 10.0,
+              0.05);
+}
+
+TEST(FaultLinkTest, TimeoutWindowFailsRoundtripsThenRecovers) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kLinkTimeout,
+            .start = Seconds(0.0),
+            .end = Seconds(30.0),
+            .probability = 1.0});
+  micro.InstallFaults(plan);
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+
+  StatusOr<std::vector<BatteryStatus>> during = client.QueryBatteryStatus();
+  EXPECT_FALSE(during.ok());
+  EXPECT_EQ(during.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(micro.fault_injector()->dropped_queries(), 1u);
+
+  for (int i = 0; i < 3; ++i) {
+    micro.Step(Watts(1.0), Watts(0.0), Seconds(10.0));
+  }
+  StatusOr<std::vector<BatteryStatus>> after = client.QueryBatteryStatus();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);
+}
+
+TEST(FaultLinkTest, CorruptionWindowIsCaughtByTheCrc) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.Add({.kind = FaultClass::kLinkCorruptReply,
+            .start = Seconds(0.0),
+            .end = Seconds(30.0),
+            .probability = 1.0});
+  micro.InstallFaults(plan);
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+
+  StatusOr<std::vector<BatteryStatus>> during = client.QueryBatteryStatus();
+  EXPECT_FALSE(during.ok());
+  EXPECT_EQ(micro.fault_injector()->corrupted_replies(), 1u);
+}
+
+TEST(FaultPlanTest, NamesCoverTheTaxonomy) {
+  EXPECT_EQ(FaultClassName(FaultClass::kLinkTimeout), "link-timeout");
+  EXPECT_EQ(FaultClassName(FaultClass::kLinkCorruptReply), "link-corrupt-reply");
+  EXPECT_EQ(FaultClassName(FaultClass::kGaugeBias), "gauge-bias");
+  EXPECT_EQ(FaultClassName(FaultClass::kGaugeNoise), "gauge-noise");
+  EXPECT_EQ(FaultClassName(FaultClass::kGaugeStuck), "gauge-stuck");
+  EXPECT_EQ(FaultClassName(FaultClass::kRegulatorCollapse), "regulator-collapse");
+  EXPECT_EQ(FaultClassName(FaultClass::kOpenCircuit), "open-circuit");
+  EXPECT_EQ(FaultClassName(FaultClass::kThermalTrip), "thermal-trip");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -141,7 +141,9 @@ TEST(EndToEndTest, FullDayLifecycle) {
 
   // Morning use on battery.
   ASSERT_TRUE(manager.SetSituation("interactive").ok());
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(2.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(2.0);
+  Simulator sim(&runtime, sim_config);
   SimResult morning = sim.Run(PowerTrace::Constant(Watts(8.0), Hours(3.0)));
   EXPECT_FALSE(morning.first_shortfall.has_value());
 
@@ -177,7 +179,10 @@ TEST(EndToEndTest, CcbDirectiveBalancesWearAcrossCycles) {
   // The charge budget must be scarce for the CCB split to matter (a full
   // nightly recharge would give every battery one cycle per day no matter
   // how the ratios steer it).
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(10.0), .runtime_period = Minutes(5.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(10.0);
+  sim_config.runtime_period = Minutes(5.0);
+  Simulator sim(&runtime, sim_config);
   for (int day = 0; day < 12; ++day) {
     sim.Run(PowerTrace::Constant(Watts(10.0), Hours(3.0)));
     sim.RunChargeOnly(Watts(10.0), Hours(1.2));

@@ -22,6 +22,7 @@
 #include "src/core/runtime.h"
 #include "src/emu/simulator.h"
 #include "src/emu/workload.h"
+#include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
 
 namespace sdb {
@@ -110,6 +111,52 @@ TEST(GoldenResultsTest, SmartwatchWeek) {
   ExpectGolden("week.delivered_j", delivered_j, 30408.29627223271);
   ExpectGolden("week.battery_loss_j", battery_loss_j, 3017.1276743110611);
   ExpectGolden("week.circuit_loss_j", circuit_loss_j, 1615.6450881637204);
+}
+
+// Fault-injected smartwatch day: the §5.2 rig with a seeded fault schedule
+// (gauge noise, a mid-day open-circuit dropout, a thermal-trip window).
+// Pins the fault layer end to end: injected randomness comes from the same
+// deterministic streams as everything else, so the numbers are exact.
+TEST(GoldenResultsTest, SmartwatchDayWithFaults) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), /*seed=*/13);
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(1.0);
+
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  config.stop_on_shortfall = false;
+  config.faults.seed = 13;
+  config.faults
+      .Add(FaultEvent{.kind = FaultClass::kGaugeNoise,
+                      .start = Hours(1.0),
+                      .end = Hours(8.0),
+                      .battery = 0,
+                      .magnitude = 10.0})
+      .Add(FaultEvent{.kind = FaultClass::kOpenCircuit,
+                      .start = Hours(4.0),
+                      .end = Hours(6.0),
+                      .battery = 1})
+      .Add(FaultEvent{.kind = FaultClass::kThermalTrip,
+                      .start = Hours(7.0),
+                      .end = Hours(9.0),
+                      .battery = 0,
+                      .magnitude = Celsius(70.0).value()});
+  Simulator sim(&runtime, config);
+
+  SmartwatchDayConfig day_config;
+  day_config.seed = 100;
+  SimResult result = sim.Run(MakeSmartwatchDayTrace(day_config));
+
+  ExpectGolden("faultday.elapsed_s", result.elapsed.value(), 86400);
+  ExpectGolden("faultday.delivered_j", result.delivered.value(), 4806.7933223486953);
+  ExpectGolden("faultday.battery_loss_j", result.battery_loss.value(), 425.35274398749613);
+  ExpectGolden("faultday.circuit_loss_j", result.circuit_loss.value(), 48.948000944153378);
+  ExpectGolden("faultday.final_soc0", result.final_soc[0], 2.3664711936683932e-05);
+  ExpectGolden("faultday.final_soc1", result.final_soc[1], 2.2060642747981834e-06);
 }
 
 }  // namespace

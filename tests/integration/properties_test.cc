@@ -46,7 +46,10 @@ class SystemPropertyTest : public ::testing::TestWithParam<PropertyCase> {
 TEST_P(SystemPropertyTest, EnergyLedgerBalancesAndSocStaysBounded) {
   const PropertyCase& param = GetParam();
   double e0 = micro->pack().TotalRemainingEnergy().value();
-  Simulator sim(&*runtime, SimConfig{.tick = Seconds(2.0), .stop_on_shortfall = false});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(2.0);
+  sim_config.stop_on_shortfall = false;
+  Simulator sim(&*runtime, sim_config);
   SimResult result = sim.Run(PowerTrace::Constant(Watts(param.load_w), Hours(1.5)));
   double e1 = micro->pack().TotalRemainingEnergy().value();
 
@@ -72,7 +75,10 @@ TEST_P(SystemPropertyTest, EnergyLedgerBalancesAndSocStaysBounded) {
 
 TEST_P(SystemPropertyTest, ProgrammedRatiosAlwaysValid) {
   const PropertyCase& param = GetParam();
-  Simulator sim(&*runtime, SimConfig{.tick = Seconds(5.0), .stop_on_shortfall = false});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(5.0);
+  sim_config.stop_on_shortfall = false;
+  Simulator sim(&*runtime, sim_config);
   sim.Run(PowerTrace::Constant(Watts(param.load_w), Minutes(20.0)));
   const auto& d = runtime->last_discharge_ratios();
   double sum = std::accumulate(d.begin(), d.end(), 0.0);
@@ -198,7 +204,9 @@ TEST(ThreeBatteryTest, PoliciesAndHardwareHandleThreeChemistries) {
   SdbRuntime runtime(&micro);
   runtime.SetDischargingDirective(1.0);
 
-  Simulator sim(&runtime, SimConfig{.tick = Seconds(2.0)});
+  SimConfig sim_config;
+  sim_config.tick = Seconds(2.0);
+  Simulator sim(&runtime, sim_config);
   SimResult result = sim.Run(PowerTrace::Constant(Watts(12.0), Hours(2.0)));
   EXPECT_FALSE(result.first_shortfall.has_value());
   // All three carried some of the load.

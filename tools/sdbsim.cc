@@ -31,6 +31,8 @@
 #include "src/emu/monte_carlo.h"
 #include "src/emu/simulator.h"
 #include "src/emu/trace_io.h"
+#include "src/hw/command_link.h"
+#include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
 #include "src/util/table.h"
 
@@ -77,6 +79,66 @@ std::optional<BatteryParams> ParseBatterySpec(const std::string& spec) {
   return it->second(MilliAmpHours(mah));
 }
 
+// --- Fault specs --------------------------------------------------------------
+
+// Parses "kind:start_h:end_h[:battery[:magnitude[:probability]]]".
+// Kinds are the taxonomy's kebab-case names (see FaultClassName); the
+// thermal-trip magnitude is given in degrees Celsius for convenience.
+std::optional<FaultEvent> ParseFaultSpec(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 6) {
+    std::fprintf(stderr, "sdbsim: bad fault spec '%s'\n", spec.c_str());
+    return std::nullopt;
+  }
+  const FaultClass kKinds[] = {
+      FaultClass::kLinkTimeout,      FaultClass::kLinkCorruptReply,
+      FaultClass::kGaugeBias,        FaultClass::kGaugeNoise,
+      FaultClass::kGaugeStuck,       FaultClass::kRegulatorCollapse,
+      FaultClass::kOpenCircuit,      FaultClass::kThermalTrip,
+  };
+  std::optional<FaultClass> kind;
+  for (FaultClass candidate : kKinds) {
+    if (FaultClassName(candidate) == parts[0]) {
+      kind = candidate;
+    }
+  }
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "sdbsim: unknown fault kind '%s'\n", parts[0].c_str());
+    return std::nullopt;
+  }
+  FaultEvent event;
+  event.kind = *kind;
+  event.start = Hours(std::atof(parts[1].c_str()));
+  event.end = Hours(std::atof(parts[2].c_str()));
+  if (parts.size() > 3) {
+    event.battery = std::atoi(parts[3].c_str());
+  }
+  if (parts.size() > 4) {
+    event.magnitude = std::atof(parts[4].c_str());
+    if (event.kind == FaultClass::kThermalTrip) {
+      event.magnitude = Celsius(event.magnitude).value();
+    }
+  }
+  if (parts.size() > 5) {
+    event.probability = std::atof(parts[5].c_str());
+  }
+  if (event.end < event.start) {
+    std::fprintf(stderr, "sdbsim: fault '%s' ends before it starts\n", spec.c_str());
+    return std::nullopt;
+  }
+  return event;
+}
+
 // --- Flag parsing -------------------------------------------------------------
 
 struct Args {
@@ -97,6 +159,7 @@ struct Args {
   uint64_t seed = 42;
   int runs = 32;  // Sweep width for `sweep`.
   int jobs = 0;   // Sweep workers: 0 = auto (SDB_THREADS / hardware).
+  std::vector<std::string> faults;  // Fault specs for `faults`.
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv) {
@@ -191,6 +254,9 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--jobs") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.jobs = std::atoi(value);
+    } else if (flag == "--fault") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.faults.push_back(value);
     } else {
       std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -215,7 +281,15 @@ void PrintUsage() {
                "  sdbsim sweep (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
                "         (--load-watts W --hours H | --trace FILE.csv)\n"
                "         [--runs N] [--jobs N] [--seed N] [--soc F] [--tick S]\n"
-               "         [--discharge-directive F] [--charge-directive F]\n");
+               "         [--discharge-directive F] [--charge-directive F]\n"
+               "  sdbsim faults (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+               "         (--load-watts W --hours H | --trace FILE.csv)\n"
+               "         --fault KIND:START_H:END_H[:BATTERY[:MAGNITUDE[:PROB]]] [--fault ...]\n"
+               "         [--supply-watts W] [--soc F] [--tick S] [--seed N]\n"
+               "         [--discharge-directive F] [--charge-directive F]\n"
+               "         kinds: link-timeout link-corrupt-reply gauge-bias gauge-noise\n"
+               "                gauge-stuck regulator-collapse open-circuit thermal-trip\n"
+               "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n");
 }
 
 // --- Commands -----------------------------------------------------------------
@@ -406,6 +480,119 @@ int CmdSweep(const Args& args) {
   return 0;
 }
 
+// Fault-injection run: the `simulate` rig with a fault schedule installed
+// on the microcontroller and the runtime talking to it over the framed
+// command link (so link faults actually bite). Prints the usual simulation
+// summary plus the runtime's resilience counters and the injector's view.
+int CmdFaults(const Args& args) {
+  if (args.batteries.empty()) {
+    std::fprintf(stderr, "sdbsim: faults needs at least one --battery\n");
+    return 2;
+  }
+  if (args.faults.empty()) {
+    std::fprintf(stderr, "sdbsim: faults needs at least one --fault spec\n");
+    return 2;
+  }
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < args.batteries.size(); ++i) {
+    auto params = ParseBatterySpec(args.batteries[i]);
+    if (!params.has_value()) {
+      return 2;
+    }
+    double soc = 1.0;
+    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
+      soc = args.battery_socs[i];
+    } else if (args.soc >= 0.0) {
+      soc = args.soc;
+    }
+    cells.emplace_back(std::move(*params), soc);
+  }
+
+  PowerTrace load;
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    load = *trace;
+  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
+    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
+  } else {
+    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+    return 2;
+  }
+
+  FaultPlan plan;
+  plan.seed = args.seed;
+  for (const std::string& spec : args.faults) {
+    auto event = ParseFaultSpec(spec);
+    if (!event.has_value()) {
+      return 2;
+    }
+    plan.Add(*event);
+  }
+
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), args.seed);
+  // Install before wiring the link: the client attaches the injector that
+  // must survive the whole run (so SimConfig.faults stays empty).
+  micro.InstallFaults(std::move(plan));
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+
+  RuntimeConfig config;
+  config.directives.discharging = args.discharge_directive;
+  config.directives.charging = args.charge_directive;
+  SdbRuntime runtime(&micro, config);
+  runtime.AttachLink(&client);
+
+  SimConfig sim_config;
+  sim_config.tick = Seconds(args.tick_s);
+  sim_config.runtime_period = Seconds(std::max(30.0, args.tick_s));
+  sim_config.stop_on_shortfall = false;
+  Simulator sim(&runtime, sim_config);
+  PowerTrace supply = args.supply_watts > 0.0
+                          ? PowerTrace::Constant(Watts(args.supply_watts), load.TotalDuration())
+                          : PowerTrace();
+  std::printf("fault plan: %zu event(s), seed %llu\n", args.faults.size(),
+              static_cast<unsigned long long>(args.seed));
+  SimResult result = sim.Run(load, supply);
+
+  std::printf("simulated %.2f h; delivered %.1f kJ; losses %.1f J battery + %.1f J circuit\n",
+              ToHours(result.elapsed), result.delivered.value() / 1000.0,
+              result.battery_loss.value(), result.circuit_loss.value());
+  if (result.first_shortfall.has_value()) {
+    std::printf("load first unmet at %.2f h\n", ToHours(*result.first_shortfall));
+  } else {
+    std::printf("load fully served\n");
+  }
+  for (size_t i = 0; i < result.final_soc.size(); ++i) {
+    const Cell& cell = micro.pack().cell(i);
+    std::printf("battery %zu (%s): SoC %.1f%%, %.1f cycles, %.2f C cell temperature\n", i,
+                cell.params().name.c_str(), 100.0 * result.final_soc[i],
+                cell.aging().cycle_count(), ToCelsius(cell.thermal().temperature()));
+  }
+
+  const ResilienceCounters& res = runtime.resilience();
+  std::printf("resilience: %llu retries (%.2f s backoff), %llu hard failures, "
+              "%llu stale updates, %llu masked, degraded %llu in / %llu out%s\n",
+              static_cast<unsigned long long>(res.link_retries),
+              res.backoff_total.value(),
+              static_cast<unsigned long long>(res.link_failures),
+              static_cast<unsigned long long>(res.stale_updates),
+              static_cast<unsigned long long>(res.masked_faults),
+              static_cast<unsigned long long>(res.degraded_entries),
+              static_cast<unsigned long long>(res.degraded_exits),
+              runtime.degraded() ? " (still degraded)" : "");
+  const FaultInjector* injector = micro.fault_injector();
+  std::printf("injector: %llu queries dropped, %llu replies corrupted\n",
+              static_cast<unsigned long long>(injector->dropped_queries()),
+              static_cast<unsigned long long>(injector->corrupted_replies()));
+  return result.first_shortfall.has_value() ? 1 : 0;
+}
+
 int CmdPlanCharge(const Args& args) {
   if (args.batteries.empty()) {
     std::fprintf(stderr, "sdbsim: plan-charge needs at least one --battery\n");
@@ -505,6 +692,9 @@ int main(int argc, char** argv) {
   }
   if (args->command == "sweep") {
     return CmdSweep(*args);
+  }
+  if (args->command == "faults") {
+    return CmdFaults(*args);
   }
   if (args->command == "plan-charge") {
     return CmdPlanCharge(*args);
