@@ -146,5 +146,5 @@ int main(int argc, char** argv) {
         "wastes energy relative to simultaneous draw.");
   }
   sdb::bench::PrintSweepTelemetry(std::cout, jobs);
-  return 0;
+  return sdb::bench::WriteMetricsJson(sdb::bench::ParseMetricsOut(argc, argv));
 }

@@ -4,9 +4,9 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <optional>
@@ -18,6 +18,8 @@
 #include "src/core/telemetry.h"
 #include "src/emu/simulator.h"
 #include "src/hw/microcontroller.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
 
@@ -93,14 +95,13 @@ inline int ParseJobs(int argc, char** argv) {
 // show up in the telemetry dump alongside RunMonteCarlo's own records.
 inline void SweepParallelFor(ThreadPool* pool, int64_t n,
                              const std::function<void(int64_t)>& fn) {
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch stopwatch;
   Duration wait_before = pool != nullptr ? pool->stats().worker_wait : Seconds(0.0);
   ParallelFor(pool, n, fn);
   Duration wait_after = pool != nullptr ? pool->stats().worker_wait : Seconds(0.0);
-  Duration wall = Seconds(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
   SweepCounters::Global().RecordSweep(static_cast<uint64_t>(n), static_cast<uint64_t>(n),
-                                      wait_after - wait_before, wall);
+                                      wait_after - wait_before,
+                                      Seconds(stopwatch.ElapsedSeconds()));
 }
 
 // Dumps the engine counters accumulated so far (tasks, pool wait, wall
@@ -111,6 +112,33 @@ inline void PrintSweepTelemetry(std::ostream& os, int jobs) {
      << snap.runs_executed << " runs in " << snap.tasks_executed << " shard tasks; wall "
      << TextTable::Num(snap.wall.value(), 2) << " s, worker wait "
      << TextTable::Num(snap.worker_wait.value(), 2) << " s\n";
+}
+
+// `--metrics-out PATH` flag: where to dump the process-wide metrics
+// registry as JSON when the bench exits (empty = don't).
+inline std::string ParseMetricsOut(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Writes MetricsRegistry::Global() as JSON; no-op on an empty path. Call at
+// the end of main so the snapshot covers the whole bench.
+inline int WriteMetricsJson(const std::string& path) {
+  if (path.empty()) {
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return 1;
+  }
+  out << obs::MetricsRegistry::Global().ToJson() << "\n";
+  std::cout << "  metrics written to " << path << "\n";
+  return 0;
 }
 
 }  // namespace bench

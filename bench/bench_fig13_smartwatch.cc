@@ -103,5 +103,5 @@ int main(int argc, char** argv) {
   sdb::bench::PrintNote(
       "paper: the preserve-Li-ion policy minimises total losses and lives over an "
       "hour longer (19.2 h vs 18 h); without the run, policy 1 would win.");
-  return 0;
+  return sdb::bench::WriteMetricsJson(sdb::bench::ParseMetricsOut(argc, argv));
 }

@@ -6,13 +6,13 @@
 // Flags: --runs N (default 24), --jobs N (default SDB_THREADS / hardware),
 // --speedup (time one sweep serially and with --jobs workers and print the
 // ratio — the engine's determinism means both produce identical stats).
-#include <chrono>
 #include <cstring>
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "src/emu/monte_carlo.h"
 #include "src/emu/workload.h"
+#include "src/obs/trace.h"
 #include "src/util/histogram.h"
 #include "src/util/thread_pool.h"
 
@@ -45,9 +45,9 @@ MonteCarloResult RunPolicy(double directive, bool hint, int runs, int jobs) {
 }
 
 double TimeSweep(int runs, int jobs) {
-  auto start = std::chrono::steady_clock::now();
+  sdb::obs::Stopwatch stopwatch;
   (void)RunPolicy(1.0, true, runs, jobs);
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stopwatch.ElapsedSeconds();
 }
 
 }  // namespace
@@ -126,5 +126,5 @@ int main(int argc, char** argv) {
   sdb::bench::PrintNote(
       "the Fig. 13 ordering holds in expectation, not just on one trace: the "
       "hinted policy leads on mean and worst-case battery life.");
-  return 0;
+  return sdb::bench::WriteMetricsJson(sdb::bench::ParseMetricsOut(argc, argv));
 }

@@ -110,5 +110,5 @@ int main(int argc, char** argv) {
       "daily battery life, CCB-heavy settings protect the short-lived "
       "battery's cycle budget (lower wear A, CCB near 1) at a cost per day — "
       "exactly why the OS must own the directive parameters.");
-  return 0;
+  return sdb::bench::WriteMetricsJson(sdb::bench::ParseMetricsOut(argc, argv));
 }

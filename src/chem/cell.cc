@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -91,6 +92,7 @@ void Cell::AdvanceIdle(Duration dt) {
 }
 
 StepResult Cell::StepDischargePower(Power power, Duration dt) {
+  SDB_TRACE_SPAN("chem", "cell.step_discharge_power");
   SyncAging();
   StepResult result = electrical_.StepWithDischargePower(power, dt, EffectiveCapacity());
   Account(result, dt);
@@ -107,6 +109,7 @@ StepResult Cell::StepDischargeCurrent(Current current, Duration dt) {
 }
 
 StepResult Cell::StepChargePower(Power power, Duration dt) {
+  SDB_TRACE_SPAN("chem", "cell.step_charge_power");
   SyncAging();
   StepResult result = electrical_.StepWithChargePower(power, dt, EffectiveCapacity());
   Account(result, dt);

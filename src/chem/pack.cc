@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -85,6 +86,7 @@ bool BatteryPack::AllFull(double threshold) const {
 }
 
 PackStepResult BatteryPack::StepParallelDischarge(Power power, Duration dt) {
+  SDB_TRACE_SPAN("chem", "pack.step_parallel_discharge");
   SDB_CHECK(!cells_.empty());
   PackStepResult result;
   result.requested = power;
@@ -167,6 +169,7 @@ PackStepResult BatteryPack::StepParallelDischarge(Power power, Duration dt) {
 }
 
 PackStepResult BatteryPack::StepSeriesDischarge(Power power, Duration dt) {
+  SDB_TRACE_SPAN("chem", "pack.step_series_discharge");
   SDB_CHECK(!cells_.empty());
   PackStepResult result;
   result.requested = power;
@@ -212,6 +215,7 @@ PackStepResult BatteryPack::StepSeriesDischarge(Power power, Duration dt) {
 }
 
 PackStepResult BatteryPack::StepEitherOrDischarge(Power power, Duration dt) {
+  SDB_TRACE_SPAN("chem", "pack.step_either_or_discharge");
   SDB_CHECK(!cells_.empty());
   PackStepResult result;
   result.requested = power;

@@ -5,12 +5,41 @@
 
 #include "src/core/allocator.h"
 #include "src/hw/command_link.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
 namespace sdb {
 
 namespace {
+
+// Registry mirrors of ResilienceCounters: every increment of the per-runtime
+// struct also lands on the process-wide "sdb.runtime.*" metrics, so health
+// is visible through MetricsRegistry::Snapshot() without holding a runtime
+// pointer. The legacy struct stays the per-instance view.
+struct ResilienceMetrics {
+  obs::Counter* link_retries;
+  obs::Counter* link_failures;
+  obs::Counter* stale_updates;
+  obs::Counter* degraded_entries;
+  obs::Counter* degraded_exits;
+  obs::Counter* masked_faults;
+  obs::Gauge* backoff_total_s;
+};
+
+ResilienceMetrics& GlobalResilienceMetrics() {
+  static ResilienceMetrics* metrics = new ResilienceMetrics{
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.link_retries"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.link_failures"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.stale_updates"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.degraded_entries"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.degraded_exits"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.masked_faults"),
+      obs::MetricsRegistry::Global().GetGauge("sdb.runtime.backoff_total_s"),
+  };
+  return *metrics;
+}
 
 // Chemical energy still extractable at `soc` per the manufacturer OCV curve.
 Energy RemainingEnergy(const BatteryParams& params, double soc, Charge capacity) {
@@ -135,21 +164,27 @@ StatusOr<std::vector<BatteryStatus>> SdbRuntime::QueryStatusWithRetry() {
   if (link_ == nullptr) {
     return micro_->QueryBatteryStatus();
   }
+  SDB_TRACE_SPAN("core", "runtime.query_status");
   StatusOr<std::vector<BatteryStatus>> result = link_->QueryBatteryStatus();
   Duration backoff = config_.retry_backoff_base;
   for (int attempt = 0; !result.ok() && attempt < config_.link_retries; ++attempt) {
+    SDB_TRACE_SPAN("core", "runtime.link_retry");
     ++resilience_.link_retries;
     resilience_.backoff_total += backoff;
+    GlobalResilienceMetrics().link_retries->Increment();
+    GlobalResilienceMetrics().backoff_total_s->Add(backoff.value());
     backoff = Min(backoff + backoff, config_.retry_backoff_cap);
     result = link_->QueryBatteryStatus();
   }
   if (!result.ok()) {
     ++resilience_.link_failures;
+    GlobalResilienceMetrics().link_failures->Increment();
   }
   return result;
 }
 
 Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
+  SDB_TRACE_SPAN("core", "runtime.update");
   // Query the battery status, retrying over a flaky link; while the link
   // stays down, plan from the last good status rather than crashing the
   // scheduling step. (The error path used to be silently ignored here.)
@@ -163,6 +198,7 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   } else {
     ++consecutive_stale_;
     ++resilience_.stale_updates;
+    GlobalResilienceMetrics().stale_updates->Increment();
   }
 
   BatteryViews views = BuildViewsFrom(last_statuses_);
@@ -170,8 +206,11 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     return FailedPreconditionError("no batteries");
   }
 
-  last_ccb_ = ComputeCcb(views);
-  last_rbl_ = EstimateRbl(views, config_.anticipated_load);
+  {
+    SDB_TRACE_SPAN("core", "runtime.policy_eval");
+    last_ccb_ = ComputeCcb(views);
+    last_rbl_ = EstimateRbl(views, config_.anticipated_load);
+  }
 
   // Degraded mode: exclude batteries the supervisor latched, ones whose
   // status is implausible, and ones past the thermal cutoff.
@@ -189,15 +228,19 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     }
   }
   resilience_.masked_faults += masked;
+  GlobalResilienceMetrics().masked_faults->Increment(masked);
   bool now_degraded =
       masked > 0 || consecutive_stale_ > config_.stale_updates_tolerated;
   if (now_degraded && !degraded_) {
     ++resilience_.degraded_entries;
+    GlobalResilienceMetrics().degraded_entries->Increment();
   } else if (!now_degraded && degraded_) {
     ++resilience_.degraded_exits;
+    GlobalResilienceMetrics().degraded_exits->Increment();
   }
   degraded_ = now_degraded;
 
+  SDB_TRACE_SPAN("core", "runtime.allocate");
   std::vector<double> d = discharge_override_ != nullptr
                               ? discharge_override_->Allocate(views, expected_load)
                               : reserve_.Allocate(views, expected_load);

@@ -77,6 +77,15 @@ void TelemetryRecorder::Clear() {
   dropped_ = 0;
 }
 
+SweepCounters::SweepCounters() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  sweeps_ = registry.GetCounter("sdb.sweep.sweeps");
+  tasks_executed_ = registry.GetCounter("sdb.sweep.tasks_executed");
+  runs_executed_ = registry.GetCounter("sdb.sweep.runs_executed");
+  worker_wait_s_ = registry.GetGauge("sdb.sweep.worker_wait_s");
+  wall_s_ = registry.GetGauge("sdb.sweep.wall_s");
+}
+
 SweepCounters& SweepCounters::Global() {
   static SweepCounters* counters = new SweepCounters();
   return *counters;
@@ -84,22 +93,29 @@ SweepCounters& SweepCounters::Global() {
 
 void SweepCounters::RecordSweep(uint64_t tasks, uint64_t runs, Duration worker_wait,
                                 Duration wall) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++totals_.sweeps;
-  totals_.tasks_executed += tasks;
-  totals_.runs_executed += runs;
-  totals_.worker_wait += worker_wait;
-  totals_.wall += wall;
+  sweeps_->Increment();
+  tasks_executed_->Increment(tasks);
+  runs_executed_->Increment(runs);
+  worker_wait_s_->Add(worker_wait.value());
+  wall_s_->Add(wall.value());
 }
 
 SweepCounterSnapshot SweepCounters::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return totals_;
+  SweepCounterSnapshot snap;
+  snap.sweeps = sweeps_->value();
+  snap.tasks_executed = tasks_executed_->value();
+  snap.runs_executed = runs_executed_->value();
+  snap.worker_wait = Seconds(worker_wait_s_->value());
+  snap.wall = Seconds(wall_s_->value());
+  return snap;
 }
 
 void SweepCounters::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  totals_ = SweepCounterSnapshot{};
+  sweeps_->Reset();
+  tasks_executed_->Reset();
+  runs_executed_->Reset();
+  worker_wait_s_->Reset();
+  wall_s_->Reset();
 }
 
 }  // namespace sdb

@@ -7,12 +7,12 @@
 #define SRC_CORE_TELEMETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/battery_view.h"
 #include "src/core/policy_db.h"
+#include "src/obs/metrics.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -53,6 +53,9 @@ class TelemetryRecorder {
 
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  // Samples evicted since construction (or the last Clear) because the
+  // buffer was full; nonzero means ToCsv() is missing the start of the run.
+  size_t dropped() const { return dropped_; }
   const TelemetrySample& sample(size_t i) const;
   const TelemetrySample& latest() const;
 
@@ -86,6 +89,9 @@ struct SweepCounterSnapshot {
 };
 
 // Process-wide, thread-safe; sweeps running on different pools all land here.
+// Since the obs migration this is a facade over MetricsRegistry::Global()
+// ("sdb.sweep.*" metrics) — the legacy API stays so existing callers and
+// tests are untouched, but the registry is the single source of truth.
 class SweepCounters {
  public:
   static SweepCounters& Global();
@@ -95,8 +101,13 @@ class SweepCounters {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  SweepCounterSnapshot totals_;
+  SweepCounters();
+
+  obs::Counter* sweeps_;
+  obs::Counter* tasks_executed_;
+  obs::Counter* runs_executed_;
+  obs::Gauge* worker_wait_s_;
+  obs::Gauge* wall_s_;
 };
 
 }  // namespace sdb

@@ -1,10 +1,11 @@
 #include "src/emu/monte_carlo.h"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
 
 #include "src/core/telemetry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -12,9 +13,18 @@ namespace sdb {
 
 namespace {
 
+// Battery-life distribution across sweep runs, in hours. Bounds cover the
+// scenarios we sweep (smartwatch days up to multi-day tablet runs).
+obs::HistogramMetric* BatteryLifeHistogram() {
+  static obs::HistogramMetric* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "sdb.mc.battery_life_h", {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 36.0, 48.0, 72.0});
+  return histogram;
+}
+
 // Accumulates one shard's seeds serially, in seed order.
 MonteCarloResult RunShard(const ScenarioFn& scenario, uint64_t base_seed, int first_run,
                           int last_run) {
+  SDB_TRACE_SPAN("mc", "mc.shard");
   MonteCarloResult shard;
   for (int r = first_run; r < last_run; ++r) {
     SimResult sim = scenario(base_seed + static_cast<uint64_t>(r));
@@ -23,6 +33,7 @@ MonteCarloResult RunShard(const ScenarioFn& scenario, uint64_t base_seed, int fi
     shard.battery_life_h.Add(life_h);
     shard.total_loss_j.Add(sim.TotalLoss().value());
     shard.delivered_j.Add(sim.delivered.value());
+    BatteryLifeHistogram()->Observe(life_h);
     if (sim.first_shortfall.has_value()) {
       ++shard.shortfall_runs;
     }
@@ -37,7 +48,8 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
                                const MonteCarloOptions& options) {
   SDB_CHECK(runs > 0);
   SDB_CHECK(scenario != nullptr);
-  auto wall_start = std::chrono::steady_clock::now();
+  SDB_TRACE_SPAN("mc", "mc.sweep");
+  obs::Stopwatch stopwatch;
 
   int num_shards = (runs + kMonteCarloShardSize - 1) / kMonteCarloShardSize;
   std::vector<MonteCarloResult> shards(static_cast<size_t>(num_shards));
@@ -62,16 +74,18 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
   // Seed-ordered reduction: shard s covers seeds strictly before shard s+1,
   // so folding in index order reproduces one fixed reduction tree.
   MonteCarloResult result;
-  for (const MonteCarloResult& shard : shards) {
-    result.battery_life_h.Merge(shard.battery_life_h);
-    result.total_loss_j.Merge(shard.total_loss_j);
-    result.delivered_j.Merge(shard.delivered_j);
-    result.shortfall_runs += shard.shortfall_runs;
-    result.runs += shard.runs;
+  {
+    SDB_TRACE_SPAN("mc", "mc.merge");
+    for (const MonteCarloResult& shard : shards) {
+      result.battery_life_h.Merge(shard.battery_life_h);
+      result.total_loss_j.Merge(shard.total_loss_j);
+      result.delivered_j.Merge(shard.delivered_j);
+      result.shortfall_runs += shard.shortfall_runs;
+      result.runs += shard.runs;
+    }
   }
 
-  Duration wall = Seconds(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count());
+  Duration wall = Seconds(stopwatch.ElapsedSeconds());
   SweepCounters::Global().RecordSweep(static_cast<uint64_t>(num_shards),
                                       static_cast<uint64_t>(runs), worker_wait, wall);
   return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -15,6 +16,7 @@ Simulator::Simulator(SdbRuntime* runtime, SimConfig config)
 }
 
 SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
+  SDB_TRACE_SPAN("emu", "sim.run");
   SdbMicrocontroller* micro = runtime_->microcontroller();
   const size_t n = micro->battery_count();
   if (!config_.faults.empty()) {
@@ -38,6 +40,9 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
 
   double t = 0.0;
   while (t < horizon_s) {
+    // Publish the simulated clock so spans opened below carry it; tracing
+    // only ever reads this — it never feeds back into the simulation.
+    SDB_TRACE_SET_SIM_TIME(Seconds(t));
     Power p_load = load.Sample(Seconds(t));
     Power p_supply = supply.Sample(Seconds(t));
 
@@ -68,9 +73,17 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
       result.hourly.resize(hour + 1,
                            HourlyStats{Joules(0.0), Joules(0.0), Joules(0.0)});
     }
-    result.hourly[hour].load_energy += Joules(delivered_j);
-    result.hourly[hour].battery_loss += Joules(battery_loss_j);
-    result.hourly[hour].circuit_loss += Joules(circuit_loss_j);
+    HourlyStats& hourly = result.hourly[hour];
+    hourly.load_energy += Joules(delivered_j);
+    hourly.battery_loss += Joules(battery_loss_j);
+    hourly.circuit_loss += Joules(circuit_loss_j);
+    // Health snapshot: latch `degraded` if the runtime spent any tick of the
+    // hour degraded; counters overwrite so the row holds hour-end values.
+    const ResilienceCounters& resilience = runtime_->resilience();
+    hourly.degraded = hourly.degraded || runtime_->degraded();
+    hourly.link_retries = resilience.link_retries;
+    hourly.link_failures = resilience.link_failures;
+    hourly.stale_updates = resilience.stale_updates;
 
     // Events.
     for (size_t i = 0; i < n; ++i) {
@@ -97,6 +110,7 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
     }
   }
 
+  SDB_TRACE_CLEAR_SIM_TIME();
   result.elapsed = Seconds(t);
   for (size_t i = 0; i < n; ++i) {
     result.final_soc[i] = micro->pack().cell(i).soc();
@@ -105,6 +119,7 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
 }
 
 SimResult Simulator::RunChargeOnly(Power supply, Duration timeout) {
+  SDB_TRACE_SPAN("emu", "sim.run_charge_only");
   SdbMicrocontroller* micro = runtime_->microcontroller();
   const size_t n = micro->battery_count();
   SimResult result;
@@ -119,6 +134,7 @@ SimResult Simulator::RunChargeOnly(Power supply, Duration timeout) {
   double next_replan = 0.0;
   double t = 0.0;
   while (t < timeout.value()) {
+    SDB_TRACE_SET_SIM_TIME(Seconds(t));
     if (micro->pack().AllFull(1.0 - 1e-3)) {
       break;
     }
@@ -137,6 +153,7 @@ SimResult Simulator::RunChargeOnly(Power supply, Duration timeout) {
       break;
     }
   }
+  SDB_TRACE_CLEAR_SIM_TIME();
   result.elapsed = Seconds(t);
   for (size_t i = 0; i < n; ++i) {
     result.final_soc[i] = micro->pack().cell(i).soc();

@@ -5,6 +5,7 @@
 #ifndef SRC_EMU_SIMULATOR_H_
 #define SRC_EMU_SIMULATOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,11 +44,18 @@ struct SimEvent {
   int battery = -1;  // For per-battery events.
 };
 
-// Per-hour energy buckets (Fig. 13 plots hour-by-hour energy and losses).
+// Per-hour energy buckets (Fig. 13 plots hour-by-hour energy and losses),
+// plus the runtime's health over the hour so fault replays are plottable
+// straight from the hourly export.
 struct HourlyStats {
   Energy load_energy;     // Energy the load consumed.
   Energy battery_loss;    // Resistive losses inside batteries.
   Energy circuit_loss;    // Conversion losses.
+  bool degraded = false;  // Runtime spent any part of the hour degraded.
+  // Cumulative ResilienceCounters values as of the end of the hour.
+  uint64_t link_retries = 0;
+  uint64_t link_failures = 0;
+  uint64_t stale_updates = 0;
 };
 
 struct SimResult {

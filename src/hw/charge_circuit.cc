@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -67,6 +68,7 @@ double SdbChargeCircuit::EfficiencyVsTypical(Current charge_current, Voltage bus
 
 ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& shares,
                                   Power supply, Duration dt) {
+  SDB_TRACE_SPAN("hw", "circuit.charge_step");
   const size_t n = pack.size();
   SDB_CHECK(shares.size() == n);
   SDB_CHECK(n == banks_.size());
@@ -181,6 +183,7 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
 
 TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size_t to,
                                             Power power, Duration dt) {
+  SDB_TRACE_SPAN("hw", "circuit.transfer_step");
   SDB_CHECK(from < pack.size());
   SDB_CHECK(to < pack.size());
   SDB_CHECK(from != to);

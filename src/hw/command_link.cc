@@ -3,11 +3,31 @@
 #include <cstring>
 
 #include "src/hw/fault.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sdb {
 
 namespace {
+
+// Span names must be string literals (the tracer stores pointers), so map
+// each wire message type to its own literal.
+const char* RoundtripSpanName(MessageType type) {
+  switch (type) {
+    case MessageType::kSetDischargeRatios:
+      return "link.set_discharge_ratios";
+    case MessageType::kSetChargeRatios:
+      return "link.set_charge_ratios";
+    case MessageType::kChargeOneFromAnother:
+      return "link.charge_one_from_another";
+    case MessageType::kQueryStatus:
+      return "link.query_status";
+    case MessageType::kSelectProfile:
+      return "link.select_profile";
+    default:
+      return "link.roundtrip";
+  }
+}
 
 constexpr uint8_t kStartByte = 0xA5;
 // Per-battery record size in a kStatusReport payload.
@@ -206,6 +226,7 @@ CommandLinkClient::CommandLinkClient(Transport transport) : transport_(std::move
 }
 
 StatusOr<Frame> CommandLinkClient::Roundtrip(const Frame& request) {
+  SDB_TRACE_SPAN("hw", RoundtripSpanName(request.type));
   if (fault_ != nullptr && fault_->DropQuery()) {
     return UnavailableError("link timeout (injected)");
   }

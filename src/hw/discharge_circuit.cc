@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -45,6 +46,7 @@ Power SdbDischargeCircuit::AvailablePower(const Cell& cell, Duration dt) const {
 
 DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<double>& shares,
                                         Power load, Duration dt) {
+  SDB_TRACE_SPAN("hw", "circuit.discharge_step");
   SDB_CHECK(shares.size() == pack.size());
   const size_t n = pack.size();
   DischargeTick tick;

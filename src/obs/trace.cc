@@ -1,0 +1,79 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+namespace sdb {
+namespace obs {
+
+namespace {
+
+constexpr size_t kDefaultCapacity = 65536;
+
+thread_local double tls_sim_time_s = -1.0;
+
+std::atomic<uint32_t> next_trace_tid{0};
+thread_local uint32_t tls_trace_tid = 0;
+thread_local bool tls_trace_tid_set = false;
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void SetSimTime(Duration sim_time) { tls_sim_time_s = sim_time.value(); }
+
+void ClearSimTime() { tls_sim_time_s = -1.0; }
+
+double CurrentSimTimeSeconds() { return tls_sim_time_s; }
+
+uint32_t CurrentTraceTid() {
+  if (!tls_trace_tid_set) {
+    tls_trace_tid = next_trace_tid.fetch_add(1, std::memory_order_relaxed);
+    tls_trace_tid_set = true;
+  }
+  return tls_trace_tid;
+}
+
+Tracer::Tracer() : events_(kDefaultCapacity) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = RingBuffer<TraceEvent>(capacity);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.Clear();
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.full()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_.Push(event);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_.At(i));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sdb

@@ -1,0 +1,42 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace sdb {
+namespace obs {
+
+void ExportChromeTrace(const Tracer& tracer, std::ostream& os) {
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  std::stable_sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.wall_start_ns != b.wall_start_ns) {
+      return a.wall_start_ns < b.wall_start_ns;
+    }
+    return a.tid < b.tid;
+  });
+  // Re-base timestamps so the trace starts near zero (viewers cope better
+  // with small numbers than with nanoseconds-since-boot).
+  uint64_t base_ns = events.empty() ? 0 : events.front().wall_start_ns;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "" : ",");
+    first = false;
+    double ts_us = static_cast<double>(e.wall_start_ns - base_ns) * 1e-3;
+    double dur_us = static_cast<double>(e.wall_dur_ns) * 1e-3;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.category)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << JsonNumber(ts_us)
+       << ",\"dur\":" << JsonNumber(dur_us);
+    if (e.sim_t_s >= 0.0) {
+      os << ",\"args\":{\"sim_t_s\":" << JsonNumber(e.sim_t_s) << "}";
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace obs
+}  // namespace sdb

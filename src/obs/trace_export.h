@@ -1,0 +1,24 @@
+// Chrome trace-event JSON exporter: turns the tracer's span buffer into a
+// file loadable by Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <ostream>
+
+#include "src/obs/trace.h"
+
+namespace sdb {
+namespace obs {
+
+// Writes the tracer's buffered spans as complete ("ph":"X") trace events.
+// Timestamps/durations are wall microseconds (the only monotonic axis shared
+// by every layer); each event carries the simulated time at which it closed
+// as args.sim_t_s (absent when the span ran outside a simulated timeline).
+// Events are emitted sorted by (wall_start, tid) so output is stable for a
+// given buffer.
+void ExportChromeTrace(const Tracer& tracer, std::ostream& os);
+
+}  // namespace obs
+}  // namespace sdb
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

@@ -1,10 +1,10 @@
 #include "src/util/thread_pool.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -12,10 +12,6 @@ namespace sdb {
 namespace {
 
 thread_local bool t_in_worker = false;
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
 
 }  // namespace
 
@@ -46,9 +42,9 @@ void ThreadPool::Submit(std::function<void()> task) {
   std::unique_lock<std::mutex> lock(mu_);
   SDB_CHECK(!stopping_);
   if (queue_.size() >= queue_capacity_) {
-    auto start = std::chrono::steady_clock::now();
+    obs::Stopwatch blocked;
     space_ready_.wait(lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
-    stats_.submit_block += Seconds(SecondsSince(start));
+    stats_.submit_block += Seconds(blocked.ElapsedSeconds());
     SDB_CHECK(!stopping_);
   }
   queue_.push_back(std::move(task));
@@ -87,9 +83,9 @@ void ThreadPool::WorkerLoop() {
       if (stopping_) {
         return;
       }
-      auto start = std::chrono::steady_clock::now();
+      obs::Stopwatch idle;
       task_ready_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      stats_.worker_wait += Seconds(SecondsSince(start));
+      stats_.worker_wait += Seconds(idle.ElapsedSeconds());
       continue;
     }
     std::function<void()> task = std::move(queue_.front());

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/chem/library.h"
 #include "src/core/runtime.h"
 #include "src/emu/simulator.h"
@@ -64,6 +68,22 @@ TEST(TelemetryRecorderTest, ClearResets) {
   EXPECT_TRUE(recorder.empty());
 }
 
+TEST(TelemetryRecorderTest, DroppedCountsEvictions) {
+  TelemetryRecorder recorder(3);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record(MakeSample(i, 0.5));
+  }
+  // Five records into a three-slot buffer: the first two were evicted, and
+  // dropped() says so — a CSV consumer can tell the start of the run is gone.
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.dropped(), 0u);
+  recorder.Record(MakeSample(9.0, 0.5));
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
 TEST(SweepCountersTest, RecordsAndResets) {
   SweepCounters& counters = SweepCounters::Global();
   counters.Reset();
@@ -80,6 +100,50 @@ TEST(SweepCountersTest, RecordsAndResets) {
 
   counters.Reset();
   EXPECT_EQ(counters.Snapshot().tasks_executed, 0u);
+}
+
+// Sweeps on different pools all report into the process-wide counters while
+// health consumers snapshot them; this races writers against a reader so
+// the TSan CI job proves the facade's registry handles are data-race free.
+TEST(SweepCountersTest, ConcurrentRecordSweepAndSnapshot) {
+  SweepCounters& counters = SweepCounters::Global();
+  counters.Reset();
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&counters, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      SweepCounterSnapshot snap = counters.Snapshot();
+      // The five metrics are independent relaxed atomics, so mid-record
+      // snapshots may be skewed across fields; per-field bounds still hold.
+      EXPECT_LE(snap.sweeps, static_cast<uint64_t>(kWriters) * kPerWriter);
+      EXPECT_LE(snap.tasks_executed, static_cast<uint64_t>(kWriters) * kPerWriter * 2);
+      EXPECT_GE(snap.worker_wait.value(), 0.0);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&counters] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        counters.RecordSweep(/*tasks=*/2, /*runs=*/8, /*worker_wait=*/Seconds(1e-4),
+                             /*wall=*/Seconds(2e-4));
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  SweepCounterSnapshot snap = counters.Snapshot();
+  EXPECT_EQ(snap.sweeps, static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(snap.tasks_executed, snap.sweeps * 2);
+  EXPECT_EQ(snap.runs_executed, snap.sweeps * 8);
+  EXPECT_NEAR(snap.worker_wait.value(), snap.sweeps * 1e-4, 1e-6);
+  counters.Reset();
 }
 
 TEST(TelemetryIntegrationTest, RuntimeFeedsRecorderDuringSimulation) {

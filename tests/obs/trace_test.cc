@@ -1,0 +1,171 @@
+// Span tracer: runtime toggle, ring eviction accounting, sim-time stamping,
+// per-thread track ids, and the Chrome trace-event exporter.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace_export.h"
+
+namespace sdb {
+namespace obs {
+namespace {
+
+// Every test drives the process-global tracer; reset it to a known state so
+// tests stay order-independent within one process.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().SetCapacity(1024);
+    ClearSimTime();
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+    ClearSimTime();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  uint64_t before = Tracer::Global().recorded();
+  { TraceSpan span("test", "disabled_span"); }
+  EXPECT_EQ(Tracer::Global().recorded(), before);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TracerTest, EnabledSpanRecordsNameCategoryAndWallTime) {
+  Tracer::Global().SetEnabled(true);
+  { TraceSpan span("test", "unit_span"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GT(events[0].wall_start_ns, 0u);
+  EXPECT_EQ(events[0].sim_t_s, -1.0);  // No simulated timeline published.
+}
+
+TEST_F(TracerTest, SpanStampsPublishedSimTime) {
+  Tracer::Global().SetEnabled(true);
+  SetSimTime(Seconds(42.5));
+  { TraceSpan span("test", "sim_span"); }
+  ClearSimTime();
+  { TraceSpan span("test", "wall_span"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].sim_t_s, 42.5);
+  EXPECT_EQ(events[1].sim_t_s, -1.0);
+}
+
+TEST_F(TracerTest, RingKeepsMostRecentAndCountsDrops) {
+  Tracer::Global().SetCapacity(4);
+  Tracer::Global().SetEnabled(true);
+  uint64_t dropped_before = Tracer::Global().dropped();
+  static const char* const kNames[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+  for (const char* name : kNames) {
+    TraceSpan span("test", name);
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the oldest two were evicted.
+  EXPECT_STREQ(events[0].name, "s2");
+  EXPECT_STREQ(events[3].name, "s5");
+  EXPECT_EQ(Tracer::Global().dropped() - dropped_before, 2u);
+}
+
+TEST_F(TracerTest, ToggleMidStreamOnlyKeepsEnabledWindow) {
+  Tracer::Global().SetEnabled(true);
+  { TraceSpan span("test", "kept"); }
+  Tracer::Global().SetEnabled(false);
+  { TraceSpan span("test", "skipped"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "kept");
+}
+
+TEST_F(TracerTest, TraceTidIsStablePerThreadAndDistinctAcrossThreads) {
+  uint32_t main_tid = CurrentTraceTid();
+  EXPECT_EQ(CurrentTraceTid(), main_tid);
+  std::set<uint32_t> tids{main_tid};
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&tids, &mu] {
+      uint32_t tid = CurrentTraceTid();
+      std::lock_guard<std::mutex> lock(mu);
+      tids.insert(tid);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(tids.size(), 5u);  // Main + 4 workers, all distinct.
+}
+
+TEST_F(TracerTest, StopwatchMeasuresForwardTime) {
+  Stopwatch stopwatch;
+  double first = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(stopwatch.ElapsedSeconds(), first);
+  stopwatch.Reset();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 1.0);
+}
+
+TEST_F(TracerTest, ChromeExportIsWellFormedAndCarriesSimTime) {
+  Tracer::Global().SetEnabled(true);
+  SetSimTime(Seconds(7.0));
+  { TraceSpan span("core", "with_sim_time"); }
+  ClearSimTime();
+  { TraceSpan span("hw", "without_sim_time"); }
+  Tracer::Global().SetEnabled(false);
+
+  std::ostringstream os;
+  ExportChromeTrace(Tracer::Global(), os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"with_sim_time\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"hw\""), std::string::npos) << json;
+  // sim_t_s rides in args only for spans inside a simulated timeline.
+  EXPECT_NE(json.find("\"sim_t_s\":7"), std::string::npos) << json;
+  size_t args = 0;
+  for (size_t pos = json.find("\"sim_t_s\""); pos != std::string::npos;
+       pos = json.find("\"sim_t_s\"", pos + 1)) {
+    ++args;
+  }
+  EXPECT_EQ(args, 1u) << json;
+}
+
+TEST_F(TracerTest, ChromeExportOfEmptyBufferIsValid) {
+  std::ostringstream os;
+  ExportChromeTrace(Tracer::Global(), os);
+  EXPECT_NE(os.str().find("\"traceEvents\":[]"), std::string::npos) << os.str();
+}
+
+#if SDB_TRACING
+TEST_F(TracerTest, SpanMacroRecordsUnderItsOwnName) {
+  Tracer::Global().SetEnabled(true);
+  { SDB_TRACE_SPAN("test", "macro_span"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "macro_span");
+}
+#else
+TEST_F(TracerTest, SpanMacroCompilesOutCompletely) {
+  Tracer::Global().SetEnabled(true);
+  { SDB_TRACE_SPAN("test", "macro_span"); }
+  SDB_TRACE_SET_SIM_TIME(Seconds(1.0));
+  SDB_TRACE_CLEAR_SIM_TIME();
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+#endif  // SDB_TRACING
+
+}  // namespace
+}  // namespace obs
+}  // namespace sdb

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate the cost of compiled-in-but-disabled tracing.
+
+Compares two google-benchmark JSON files from bench_policy_overhead:
+
+  baseline  built with -DSDB_TRACING=OFF (span macros compiled out)
+  candidate built with tracing compiled in, tracer runtime-disabled
+
+For each benchmark the min real_time across repetitions is used (min of
+repetitions is the standard noise filter for shared CI runners). The gate
+fails when the geometric-mean slowdown of candidate over baseline exceeds
+the threshold (default 5%); per-benchmark numbers are printed either way so
+a regression is attributable from the CI log alone.
+
+Usage:
+  check_overhead.py BASELINE.json CANDIDATE.json [--threshold 0.05]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def min_times(path):
+    """Return {benchmark name: min real_time over repetitions}."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # With --benchmark_repetitions, aggregate rows (mean/median/stddev)
+        # carry run_type "aggregate"; keep only the raw iterations.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench["name"]
+        t = float(bench["real_time"])
+        if name not in times or t < times[name]:
+            times[name] = t
+    if not times:
+        sys.exit(f"error: no iteration rows in {path}")
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="JSON from the -DSDB_TRACING=OFF build")
+    parser.add_argument("candidate", help="JSON from the tracing-compiled-in build")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max allowed geomean slowdown (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    base = min_times(args.baseline)
+    cand = min_times(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        sys.exit("error: baseline and candidate share no benchmark names")
+    missing = sorted(set(base) ^ set(cand))
+    if missing:
+        print(f"warning: benchmarks present in only one file: {', '.join(missing)}")
+
+    log_sum = 0.0
+    print(f"{'benchmark':<40} {'baseline':>12} {'candidate':>12} {'ratio':>8}")
+    for name in common:
+        ratio = cand[name] / base[name]
+        log_sum += math.log(ratio)
+        print(f"{name:<40} {base[name]:>12.1f} {cand[name]:>12.1f} {ratio:>8.3f}")
+    geomean = math.exp(log_sum / len(common))
+    overhead = geomean - 1.0
+    print(f"\ngeomean slowdown: {overhead * 100:+.2f}% "
+          f"(threshold {args.threshold * 100:.1f}%)")
+    if overhead > args.threshold:
+        sys.exit("FAIL: disabled-tracing overhead exceeds the threshold")
+    print("OK: disabled tracing is within the overhead budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,10 +19,16 @@
 //       allowlist) — the round-trip that reintroduces unit confusion.
 //   R3  the magic literals 3600 and 273.15 anywhere under src/ outside
 //       src/util/units.h — unit conversions belong in the units header.
+//   R4  a raw std::chrono::steady_clock read anywhere under src/, bench/
+//       or tools/ outside src/obs/ — wall-clock access goes through
+//       sdb::obs (Stopwatch / MonotonicNanos) so the tracer, benches and
+//       thread pool all share one sanctioned clock site (DESIGN.md
+//       "Observability").
 //
 // Allowlist grammar (tools/lint/allowlist.txt): one entry per line,
 //   <file>:<identifier>   tolerate an R1 finding
 //   kernel:<file>         mark <file> as a numeric kernel (R2 exempt)
+//   clock:<file>          tolerate R4 raw-clock reads in <file>
 // '#' starts a comment. Unused (stale) entries fail the run.
 //
 // Usage:
@@ -252,9 +258,28 @@ void ScanMagicLiterals(const std::string& file, const std::string& text,
   }
 }
 
+// R4: raw monotonic-clock reads outside the sanctioned src/obs/ site.
+void ScanRawClockReads(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings) {
+  static const std::regex clock_re(R"((?:^|[^\w])steady_clock(?:[^\w]|$))");
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::smatch m;
+    if (std::regex_search(line, m, clock_re)) {
+      findings->push_back({file, line_no, "R4", "",
+                           "raw steady_clock read; use sdb::obs::Stopwatch or "
+                           "sdb::obs::MonotonicNanos (src/obs/trace.h)"});
+    }
+  }
+}
+
 struct Allowlist {
   std::set<std::string> entries;       // "<file>:<identifier>"
   std::set<std::string> kernel_files;  // R2-exempt files.
+  std::set<std::string> clock_files;   // R4-exempt files.
 };
 
 bool LoadAllowlist(const fs::path& path, Allowlist* allowlist, std::string* error) {
@@ -284,11 +309,13 @@ bool LoadAllowlist(const fs::path& path, Allowlist* allowlist, std::string* erro
     }
     if (line.rfind("kernel:", 0) == 0) {
       allowlist->kernel_files.insert(line.substr(7));
+    } else if (line.rfind("clock:", 0) == 0) {
+      allowlist->clock_files.insert(line.substr(6));
     } else if (line.find(':') != std::string::npos) {
       allowlist->entries.insert(line);
     } else {
       *error = path.string() + ":" + std::to_string(line_no) + ": malformed entry '" + line +
-               "' (want <file>:<identifier> or kernel:<file>)";
+               "' (want <file>:<identifier>, kernel:<file> or clock:<file>)";
       return false;
     }
   }
@@ -305,25 +332,38 @@ std::string ReadFile(const fs::path& path) {
 std::vector<Finding> ScanTree(const fs::path& root) {
   std::vector<Finding> findings;
   std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
-    if (!entry.is_regular_file()) {
+  // R1–R3 police src/ only; R4 also covers bench/ and tools/ so harnesses
+  // cannot quietly grow their own timing paths.
+  for (const char* dir : {"src", "bench", "tools"}) {
+    if (!fs::exists(root / dir)) {
       continue;
     }
-    std::string ext = entry.path().extension().string();
-    if (ext == ".h" || ext == ".cc") {
-      files.push_back(entry.path());
+    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
     }
   }
   std::sort(files.begin(), files.end());
   for (const fs::path& path : files) {
     std::string rel = fs::relative(path, root).generic_string();
     std::string text = StripCommentsAndStrings(ReadFile(path));
-    if (path.extension() == ".h") {
-      ScanHeaderDecls(rel, text, &findings);
+    bool in_src = rel.rfind("src/", 0) == 0;
+    if (in_src) {
+      if (path.extension() == ".h") {
+        ScanHeaderDecls(rel, text, &findings);
+      }
+      ScanValueRoundTrips(rel, text, &findings);
+      if (rel != "src/util/units.h") {
+        ScanMagicLiterals(rel, text, &findings);
+      }
     }
-    ScanValueRoundTrips(rel, text, &findings);
-    if (rel != "src/util/units.h") {
-      ScanMagicLiterals(rel, text, &findings);
+    if (rel.rfind("src/obs/", 0) != 0) {
+      ScanRawClockReads(rel, text, &findings);
     }
   }
   return findings;
@@ -340,6 +380,7 @@ int RunLint(const fs::path& root, const fs::path& allowlist_path) {
   std::vector<Finding> findings = ScanTree(root);
   std::set<std::string> used_entries;
   std::set<std::string> used_kernels;
+  std::set<std::string> used_clocks;
   int violations = 0;
   for (const Finding& f : findings) {
     if (f.rule == "R1") {
@@ -356,6 +397,11 @@ int RunLint(const fs::path& root, const fs::path& allowlist_path) {
       std::string key = f.file + ":" + f.identifier;
       if (allowlist.entries.count(key)) {
         used_entries.insert(key);
+        continue;
+      }
+    } else if (f.rule == "R4") {
+      if (allowlist.clock_files.count(f.file)) {
+        used_clocks.insert(f.file);
         continue;
       }
     }
@@ -379,6 +425,14 @@ int RunLint(const fs::path& root, const fs::path& allowlist_path) {
       std::fprintf(stderr,
                    "allowlist: stale kernel directive 'kernel:%s' — no unwraps left, remove it\n",
                    kernel.c_str());
+      ++stale;
+    }
+  }
+  for (const std::string& clock : allowlist.clock_files) {
+    if (!used_clocks.count(clock)) {
+      std::fprintf(stderr,
+                   "allowlist: stale clock directive 'clock:%s' — no raw reads left, remove it\n",
+                   clock.c_str());
       ++stale;
     }
   }
@@ -411,11 +465,18 @@ int RunSelfTest() {
       "  double seconds_per_hour = 3600.0;\n"       // R3: magic literal.
       "  double fade = soc_fraction.value();\n"     // Exempt: fraction.
       "}\n";
+  const std::string seeded_clock =
+      "void g() {\n"
+      "  auto t0 = std::chrono::steady_clock::now();\n"   // R4: raw read.
+      "  // steady_clock::now() in a comment is fine.\n"  // Comment-stripped.
+      "  auto clock_steady = 0;\n"                        // Not the token.
+      "}\n";
 
   std::vector<Finding> findings;
   ScanHeaderDecls("seed.h", StripCommentsAndStrings(seeded_header), &findings);
   ScanValueRoundTrips("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
   ScanMagicLiterals("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
+  ScanRawClockReads("seed_clock.cc", StripCommentsAndStrings(seeded_clock), &findings);
 
   auto has = [&](const std::string& rule, const std::string& identifier, int line) {
     return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
@@ -441,6 +502,10 @@ int RunSelfTest() {
   expect(std::none_of(findings.begin(), findings.end(),
                       [](const Finding& f) { return f.identifier == "fade"; }),
          "R2 flags non-suffixed local");
+  expect(std::count_if(findings.begin(), findings.end(),
+                       [](const Finding& f) { return f.rule == "R4"; }) == 1,
+         "R4 misses raw steady_clock read (or flags comments / lookalikes)");
+  expect(has("R4", "", 2), "R4 reports the wrong line");
   if (ok) {
     std::printf("sdb_lint: self-test passed (%zu seeded findings)\n", findings.size());
     return 0;

@@ -31,9 +31,13 @@
 #include "src/emu/monte_carlo.h"
 #include "src/emu/simulator.h"
 #include "src/emu/trace_io.h"
+#include "src/emu/workload.h"
 #include "src/hw/command_link.h"
 #include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/util/table.h"
 
 namespace {
@@ -160,6 +164,8 @@ struct Args {
   int runs = 32;  // Sweep width for `sweep`.
   int jobs = 0;   // Sweep workers: 0 = auto (SDB_THREADS / hardware).
   std::vector<std::string> faults;  // Fault specs for `faults`.
+  std::string trace_out;    // Chrome trace JSON (for `trace`).
+  std::string metrics_out;  // MetricsRegistry JSON, written by any command.
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv) {
@@ -257,6 +263,12 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--fault") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.faults.push_back(value);
+    } else if (flag == "--trace-out") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.trace_out = value;
+    } else if (flag == "--metrics-out") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.metrics_out = value;
     } else {
       std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -289,7 +301,79 @@ void PrintUsage() {
                "         [--discharge-directive F] [--charge-directive F]\n"
                "         kinds: link-timeout link-corrupt-reply gauge-bias gauge-noise\n"
                "                gauge-stuck regulator-collapse open-circuit thermal-trip\n"
-               "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n");
+               "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n"
+               "  sdbsim trace --trace-out RUN.json [--metrics-out METRICS.json]\n"
+               "         [--battery NAME[:MAH] ... | --pack FILE]\n"
+               "         [--load-watts W --hours H | --trace FILE.csv]\n"
+               "         [--soc F] [--tick S] [--seed N] [--runs N] [--jobs N]\n"
+               "         (defaults: smartwatch pack + synthetic watch day;\n"
+               "          open RUN.json in https://ui.perfetto.dev)\n"
+               "  any command also accepts --metrics-out METRICS.json\n");
+}
+
+// --- Shared rig assembly ------------------------------------------------------
+
+// Builds the pack from --battery/--pack specs (per-battery SoC wins over
+// --soc, which wins over full). Empty optional on a bad spec.
+std::optional<std::vector<Cell>> BuildCells(const Args& args) {
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < args.batteries.size(); ++i) {
+    auto params = ParseBatterySpec(args.batteries[i]);
+    if (!params.has_value()) {
+      return std::nullopt;
+    }
+    double soc = 1.0;
+    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
+      soc = args.battery_socs[i];
+    } else if (args.soc >= 0.0) {
+      soc = args.soc;
+    }
+    cells.emplace_back(std::move(*params), soc);
+  }
+  return cells;
+}
+
+// Builds the load from --trace or --load-watts/--hours.
+std::optional<PowerTrace> BuildLoad(const Args& args) {
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return *trace;
+  }
+  if (args.load_watts > 0.0 && args.hours > 0.0) {
+    return PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
+  }
+  std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+  return std::nullopt;
+}
+
+// Per-hour table: energy buckets plus the runtime-health columns, so fault
+// replays are plottable straight from the hourly export.
+bool WriteHourlyCsv(const std::string& path, const SimResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "sdbsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "hour,load_j,battery_loss_j,circuit_loss_j,degraded,link_retries,"
+         "link_failures,stale_updates\n";
+  for (size_t h = 0; h < result.hourly.size(); ++h) {
+    const HourlyStats& stats = result.hourly[h];
+    out << (h + 1) << "," << stats.load_energy.value() << "," << stats.battery_loss.value()
+        << "," << stats.circuit_loss.value() << "," << (stats.degraded ? 1 : 0) << ","
+        << stats.link_retries << "," << stats.link_failures << "," << stats.stale_updates
+        << "\n";
+  }
+  std::printf("hourly breakdown written to %s\n", path.c_str());
+  return true;
+}
+
+void PrintTelemetrySummary(const TelemetryRecorder& telemetry) {
+  std::printf("telemetry: %zu decision samples buffered, %zu dropped\n", telemetry.size(),
+              telemetry.dropped());
 }
 
 // --- Commands -----------------------------------------------------------------
@@ -316,42 +400,23 @@ int CmdSimulate(const Args& args) {
     std::fprintf(stderr, "sdbsim: simulate needs at least one --battery\n");
     return 2;
   }
-  std::vector<Cell> cells;
-  for (size_t i = 0; i < args.batteries.size(); ++i) {
-    auto params = ParseBatterySpec(args.batteries[i]);
-    if (!params.has_value()) {
-      return 2;
-    }
-    // Per-battery SoC from the pack file wins; then --soc; then full.
-    double soc = 1.0;
-    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
-      soc = args.battery_socs[i];
-    } else if (args.soc >= 0.0) {
-      soc = args.soc;
-    }
-    cells.emplace_back(std::move(*params), soc);
-  }
-
-  PowerTrace load;
-  if (!args.trace_path.empty()) {
-    auto trace = ReadPowerTraceFile(args.trace_path);
-    if (!trace.ok()) {
-      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
-      return 2;
-    }
-    load = *trace;
-  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
-    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
-  } else {
-    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+  std::optional<std::vector<Cell>> cells = BuildCells(args);
+  if (!cells.has_value()) {
     return 2;
   }
+  std::optional<PowerTrace> load_opt = BuildLoad(args);
+  if (!load_opt.has_value()) {
+    return 2;
+  }
+  PowerTrace load = std::move(*load_opt);
 
-  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), args.seed);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(*cells), args.seed);
   RuntimeConfig config;
   config.directives.discharging = args.discharge_directive;
   config.directives.charging = args.charge_directive;
   SdbRuntime runtime(&micro, config);
+  TelemetryRecorder telemetry;
+  runtime.AttachTelemetry(&telemetry);
 
   SimConfig sim_config;
   sim_config.tick = Seconds(args.tick_s);
@@ -377,20 +442,10 @@ int CmdSimulate(const Args& args) {
                 cell.params().name.c_str(), 100.0 * result.final_soc[i],
                 cell.aging().cycle_count(), ToCelsius(cell.thermal().temperature()));
   }
+  PrintTelemetrySummary(telemetry);
 
-  if (!args.hourly_csv.empty()) {
-    std::ofstream out(args.hourly_csv);
-    if (!out) {
-      std::fprintf(stderr, "sdbsim: cannot write %s\n", args.hourly_csv.c_str());
-      return 2;
-    }
-    out << "hour,load_j,battery_loss_j,circuit_loss_j\n";
-    for (size_t h = 0; h < result.hourly.size(); ++h) {
-      out << (h + 1) << "," << result.hourly[h].load_energy.value() << ","
-          << result.hourly[h].battery_loss.value() << ","
-          << result.hourly[h].circuit_loss.value() << "\n";
-    }
-    std::printf("hourly breakdown written to %s\n", args.hourly_csv.c_str());
+  if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
+    return 2;
   }
   return result.first_shortfall.has_value() ? 1 : 0;
 }
@@ -493,35 +548,15 @@ int CmdFaults(const Args& args) {
     std::fprintf(stderr, "sdbsim: faults needs at least one --fault spec\n");
     return 2;
   }
-  std::vector<Cell> cells;
-  for (size_t i = 0; i < args.batteries.size(); ++i) {
-    auto params = ParseBatterySpec(args.batteries[i]);
-    if (!params.has_value()) {
-      return 2;
-    }
-    double soc = 1.0;
-    if (i < args.battery_socs.size() && args.battery_socs[i] >= 0.0) {
-      soc = args.battery_socs[i];
-    } else if (args.soc >= 0.0) {
-      soc = args.soc;
-    }
-    cells.emplace_back(std::move(*params), soc);
-  }
-
-  PowerTrace load;
-  if (!args.trace_path.empty()) {
-    auto trace = ReadPowerTraceFile(args.trace_path);
-    if (!trace.ok()) {
-      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
-      return 2;
-    }
-    load = *trace;
-  } else if (args.load_watts > 0.0 && args.hours > 0.0) {
-    load = PowerTrace::Constant(Watts(args.load_watts), Hours(args.hours));
-  } else {
-    std::fprintf(stderr, "sdbsim: need --trace or --load-watts + --hours\n");
+  std::optional<std::vector<Cell>> cells = BuildCells(args);
+  if (!cells.has_value()) {
     return 2;
   }
+  std::optional<PowerTrace> load_opt = BuildLoad(args);
+  if (!load_opt.has_value()) {
+    return 2;
+  }
+  PowerTrace load = std::move(*load_opt);
 
   FaultPlan plan;
   plan.seed = args.seed;
@@ -533,7 +568,7 @@ int CmdFaults(const Args& args) {
     plan.Add(*event);
   }
 
-  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), args.seed);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(*cells), args.seed);
   // Install before wiring the link: the client attaches the injector that
   // must survive the whole run (so SimConfig.faults stays empty).
   micro.InstallFaults(std::move(plan));
@@ -547,6 +582,8 @@ int CmdFaults(const Args& args) {
   config.directives.charging = args.charge_directive;
   SdbRuntime runtime(&micro, config);
   runtime.AttachLink(&client);
+  TelemetryRecorder telemetry;
+  runtime.AttachTelemetry(&telemetry);
 
   SimConfig sim_config;
   sim_config.tick = Seconds(args.tick_s);
@@ -590,7 +627,121 @@ int CmdFaults(const Args& args) {
   std::printf("injector: %llu queries dropped, %llu replies corrupted\n",
               static_cast<unsigned long long>(injector->dropped_queries()),
               static_cast<unsigned long long>(injector->corrupted_replies()));
+  PrintTelemetrySummary(telemetry);
+  if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
+    return 2;
+  }
   return result.first_shortfall.has_value() ? 1 : 0;
+}
+
+// Traced run: plays a scenario with span tracing enabled and exports the
+// buffer as Chrome trace-event JSON (loadable in Perfetto/chrome://tracing).
+// Phase 1 drives the runtime over the framed command link so hw-layer spans
+// fire; phase 2 runs a small Monte-Carlo sweep so shard spans land too.
+// Defaults to the paper's §5.2 smartwatch day on the watch pack.
+int CmdTrace(const Args& args) {
+  if (args.trace_out.empty()) {
+    std::fprintf(stderr, "sdbsim: trace needs --trace-out FILE.json\n");
+    return 2;
+  }
+
+  // Pack: flags win; default is the smartwatch pack (200 mAh rigid Li-ion +
+  // 200 mAh bendable).
+  Args rig = args;
+  if (rig.batteries.empty()) {
+    rig.batteries = {"watch:200", "bendable:200"};
+    rig.battery_socs = {-1.0, -1.0};
+  }
+  std::optional<std::vector<Cell>> cells = BuildCells(rig);
+  if (!cells.has_value()) {
+    return 2;
+  }
+  // Load: flags win; default is the synthetic smartwatch day.
+  PowerTrace load;
+  if (!rig.trace_path.empty() || (rig.load_watts > 0.0 && rig.hours > 0.0)) {
+    std::optional<PowerTrace> load_opt = BuildLoad(rig);
+    if (!load_opt.has_value()) {
+      return 2;
+    }
+    load = std::move(*load_opt);
+  } else {
+    SmartwatchDayConfig day;
+    day.seed = rig.seed;
+    load = MakeSmartwatchDayTrace(day);
+  }
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  // Phase 1: a small parallel sweep of the scenario — mc spans. Runs first
+  // so the linked run's spans (the interesting per-layer detail) are the
+  // most recent when the ring evicts.
+  int sweep_runs = std::max(1, std::min(rig.runs, 8));
+  ScenarioFn scenario = [&rig, &load](uint64_t seed) {
+    std::optional<std::vector<Cell>> sweep_cells = BuildCells(rig);
+    SdbMicrocontroller sweep_micro =
+        MakeDefaultMicrocontroller(std::move(*sweep_cells), seed);
+    RuntimeConfig sweep_config;
+    sweep_config.directives.discharging = rig.discharge_directive;
+    sweep_config.directives.charging = rig.charge_directive;
+    SdbRuntime sweep_runtime(&sweep_micro, sweep_config);
+    SimConfig sweep_sim;
+    sweep_sim.tick = Seconds(rig.tick_s);
+    sweep_sim.runtime_period = Seconds(std::max(30.0, rig.tick_s));
+    Simulator sweep_simulator(&sweep_runtime, sweep_sim);
+    return sweep_simulator.Run(load);
+  };
+  MonteCarloOptions options;
+  options.base_seed = rig.seed;
+  options.jobs = rig.jobs;
+  RunMonteCarlo(scenario, sweep_runs, options);
+
+  // Phase 2: a single run over the framed command link — core, hw-link and
+  // chem spans.
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(*cells), rig.seed);
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  RuntimeConfig config;
+  config.directives.discharging = rig.discharge_directive;
+  config.directives.charging = rig.charge_directive;
+  SdbRuntime runtime(&micro, config);
+  runtime.AttachLink(&client);
+  TelemetryRecorder telemetry;
+  runtime.AttachTelemetry(&telemetry);
+
+  SimConfig sim_config;
+  sim_config.tick = Seconds(rig.tick_s);
+  sim_config.runtime_period = Seconds(std::max(30.0, rig.tick_s));
+  sim_config.stop_on_shortfall = false;
+  Simulator sim(&runtime, sim_config);
+  SimResult result = sim.Run(load);
+  std::printf("traced run: %.2f h simulated; delivered %.1f kJ\n", ToHours(result.elapsed),
+              result.delivered.value() / 1000.0);
+  PrintTelemetrySummary(telemetry);
+
+  tracer.SetEnabled(false);
+
+  // Export, with a per-layer count so the user can see the trace is whole.
+  std::ofstream out(args.trace_out);
+  if (!out) {
+    std::fprintf(stderr, "sdbsim: cannot write %s\n", args.trace_out.c_str());
+    return 2;
+  }
+  ExportChromeTrace(tracer, out);
+  std::map<std::string, uint64_t> per_layer;
+  for (const obs::TraceEvent& event : tracer.Snapshot()) {
+    ++per_layer[event.category];
+  }
+  std::printf("trace written to %s: %llu spans buffered (%llu evicted from ring)\n",
+              args.trace_out.c_str(), static_cast<unsigned long long>(tracer.Snapshot().size()),
+              static_cast<unsigned long long>(tracer.dropped()));
+  for (const auto& [layer, count] : per_layer) {
+    std::printf("  layer %-5s %llu spans\n", layer.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
 }
 
 int CmdPlanCharge(const Args& args) {
@@ -684,25 +835,35 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  int rc = -1;
   if (args->command == "list") {
-    return CmdList();
+    rc = CmdList();
+  } else if (args->command == "simulate") {
+    rc = CmdSimulate(*args);
+  } else if (args->command == "sweep") {
+    rc = CmdSweep(*args);
+  } else if (args->command == "faults") {
+    rc = CmdFaults(*args);
+  } else if (args->command == "trace") {
+    rc = CmdTrace(*args);
+  } else if (args->command == "plan-charge") {
+    rc = CmdPlanCharge(*args);
+  } else if (args->command == "plan-discharge") {
+    rc = CmdPlanDischarge(*args);
+  } else {
+    std::fprintf(stderr, "sdbsim: unknown command '%s'\n", args->command.c_str());
+    PrintUsage();
+    return 2;
   }
-  if (args->command == "simulate") {
-    return CmdSimulate(*args);
+  // Any command can dump the process-wide metrics registry on exit.
+  if (!args->metrics_out.empty()) {
+    std::ofstream out(args->metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "sdbsim: cannot write %s\n", args->metrics_out.c_str());
+      return 2;
+    }
+    out << sdb::obs::MetricsRegistry::Global().ToJson() << "\n";
+    std::printf("metrics written to %s\n", args->metrics_out.c_str());
   }
-  if (args->command == "sweep") {
-    return CmdSweep(*args);
-  }
-  if (args->command == "faults") {
-    return CmdFaults(*args);
-  }
-  if (args->command == "plan-charge") {
-    return CmdPlanCharge(*args);
-  }
-  if (args->command == "plan-discharge") {
-    return CmdPlanDischarge(*args);
-  }
-  std::fprintf(stderr, "sdbsim: unknown command '%s'\n", args->command.c_str());
-  PrintUsage();
-  return 2;
+  return rc;
 }
