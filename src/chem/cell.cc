@@ -30,14 +30,14 @@ Cell::Cell(Cell&& other) noexcept
       electrical_(other.electrical_),
       aging_(other.aging_),
       thermal_(other.thermal_),
-      total_loss_j_(other.total_loss_j_) {}
+      total_loss_(other.total_loss_) {}
 
 Cell& Cell::operator=(Cell&& other) noexcept {
   params_ = std::move(other.params_);
   electrical_ = other.electrical_;
   aging_ = other.aging_;
   thermal_ = other.thermal_;
-  total_loss_j_ = other.total_loss_j_;
+  total_loss_ = other.total_loss_;
   return *this;
 }
 
@@ -134,7 +134,7 @@ void Cell::Account(const StepResult& result, Duration dt) {
     aging_.RecordDischarge(Charge(moved_c), Amps(i));
   }
   double loss = result.energy_lost.value();
-  total_loss_j_ += loss;
+  total_loss_ += Joules(loss);
   thermal_.Step(Joules(std::max(0.0, loss)), dt);
   SyncAging();
 }

@@ -87,7 +87,7 @@ class Cell {
   ThermalModel& mutable_thermal() { return thermal_; }
 
   // Cumulative resistive losses across the cell's lifetime.
-  Energy total_loss() const { return Joules(total_loss_j_); }
+  Energy total_loss() const { return total_loss_; }
 
  private:
   // Feeds a completed step into aging/thermal bookkeeping.
@@ -99,7 +99,7 @@ class Cell {
   TheveninModel electrical_;
   AgingModel aging_;
   ThermalModel thermal_;
-  double total_loss_j_ = 0.0;
+  Energy total_loss_ = Joules(0.0);
 };
 
 }  // namespace sdb

@@ -144,4 +144,23 @@ std::vector<double> ApplyDegradedExclusion(std::vector<double> shares,
   return NormalizeShares(std::move(shares), &eligible);
 }
 
+std::vector<double> ApplyReintegrationRamp(std::vector<double> shares,
+                                           const std::vector<double>& ramp) {
+  SDB_CHECK(shares.size() == ramp.size());
+  bool all_full = true;
+  for (double r : ramp) {
+    SDB_CHECK(r >= 0.0 && r <= 1.0);
+    all_full = all_full && r == 1.0;
+  }
+  if (all_full) {
+    return shares;  // Bit-identical pass-through when nothing is ramping.
+  }
+  std::vector<bool> eligible(ramp.size());
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    eligible[i] = ramp[i] > 0.0;
+    shares[i] = std::max(0.0, shares[i]) * ramp[i];
+  }
+  return NormalizeShares(std::move(shares), &eligible);
+}
+
 }  // namespace sdb

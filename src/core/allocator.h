@@ -48,6 +48,13 @@ std::vector<double> NormalizeShares(std::vector<double> weights,
 std::vector<double> ApplyDegradedExclusion(std::vector<double> shares,
                                            const std::vector<bool>& excluded);
 
+// Reintegration ramp: scales each share by ramp[i] in [0, 1] and
+// renormalises over batteries with ramp > 0, so a battery returning from a
+// fault re-enters the split gradually instead of at full share. When every
+// ramp is exactly 1 the shares are returned bit-identically unchanged.
+std::vector<double> ApplyReintegrationRamp(std::vector<double> shares,
+                                           const std::vector<double>& ramp);
+
 }  // namespace sdb
 
 #endif  // SRC_CORE_ALLOCATOR_H_

@@ -25,6 +25,9 @@ struct ResilienceMetrics {
   obs::Counter* degraded_entries;
   obs::Counter* degraded_exits;
   obs::Counter* masked_faults;
+  obs::Counter* quarantines;
+  obs::Counter* reintegrations;
+  obs::Counter* resyncs;
   obs::Gauge* backoff_total_s;
 };
 
@@ -36,6 +39,9 @@ ResilienceMetrics& GlobalResilienceMetrics() {
       obs::MetricsRegistry::Global().GetCounter("sdb.runtime.degraded_entries"),
       obs::MetricsRegistry::Global().GetCounter("sdb.runtime.degraded_exits"),
       obs::MetricsRegistry::Global().GetCounter("sdb.runtime.masked_faults"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.quarantines"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.reintegrations"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.resyncs"),
       obs::MetricsRegistry::Global().GetGauge("sdb.runtime.backoff_total_s"),
   };
   return *metrics;
@@ -71,6 +77,8 @@ SdbRuntime::SdbRuntime(SdbMicrocontroller* micro, RuntimeConfig config)
   SDB_CHECK(micro_ != nullptr);
   last_discharge_ratios_.assign(micro_->battery_count(), 0.0);
   last_charge_ratios_.assign(micro_->battery_count(), 0.0);
+  prev_excluded_.assign(micro_->battery_count(), false);
+  ramp_.assign(micro_->battery_count(), 1.0);
 }
 
 void SdbRuntime::SetChargingDirective(double value) {
@@ -99,6 +107,16 @@ void SdbRuntime::AdvanceTime(Duration dt) {
   elapsed_ += dt;
   if (override_advance_ != nullptr) {
     override_advance_(dt);
+  }
+  // Grow the reintegration ramp of every battery that is back in the
+  // allocation but not yet at full share.
+  if (config_.reintegration_horizon.value() > 0.0) {
+    const double step = dt.value() / config_.reintegration_horizon.value();
+    for (size_t i = 0; i < ramp_.size(); ++i) {
+      if (ramp_[i] < 1.0 && !(i < excluded_.size() && excluded_[i])) {
+        ramp_[i] = Clamp(ramp_[i] + step, 0.0, 1.0);
+      }
+    }
   }
   const auto& hint = reserve_.hint();
   if (!hint.has_value()) {
@@ -185,6 +203,15 @@ StatusOr<std::vector<BatteryStatus>> SdbRuntime::QueryStatusWithRetry() {
 
 Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   SDB_TRACE_SPAN("core", "runtime.update");
+  // Direct-wired controllers surface a reboot as awaiting_resync; complete
+  // the handshake before issuing commands. (Link-attached runtimes resync
+  // transparently inside the client; the count is absorbed below.)
+  if (link_ == nullptr && micro_->awaiting_resync() && !micro_->in_reset()) {
+    SDB_TRACE_SPAN("core", "runtime.resync");
+    micro_->Resync();
+    ++resilience_.resyncs;
+    GlobalResilienceMetrics().resyncs->Increment();
+  }
   // Query the battery status, retrying over a flaky link; while the link
   // stays down, plan from the last good status rather than crashing the
   // scheduling step. (The error path used to be silently ignored here.)
@@ -229,6 +256,29 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   }
   resilience_.masked_faults += masked;
   GlobalResilienceMetrics().masked_faults->Increment(masked);
+
+  // Quarantine / reintegration edges against the previous Update's mask.
+  const bool ramping = config_.reintegration_horizon.value() > 0.0;
+  for (size_t i = 0; i < excluded_.size(); ++i) {
+    const bool was = i < prev_excluded_.size() && prev_excluded_[i];
+    if (excluded_[i] && !was) {
+      SDB_TRACE_SPAN("core", "runtime.quarantine");
+      ++resilience_.quarantines;
+      GlobalResilienceMetrics().quarantines->Increment();
+      if (ramping) {
+        ramp_[i] = 0.0;  // A future return starts from zero share.
+      }
+    } else if (!excluded_[i] && was) {
+      SDB_TRACE_SPAN("core", "runtime.reintegrate");
+      ++resilience_.reintegrations;
+      GlobalResilienceMetrics().reintegrations->Increment();
+      if (!ramping) {
+        ramp_[i] = 1.0;  // No ramp: rejoin at full share immediately.
+      }
+    }
+  }
+  prev_excluded_ = excluded_;
+
   bool now_degraded =
       masked > 0 || consecutive_stale_ > config_.stale_updates_tolerated;
   if (now_degraded && !degraded_) {
@@ -246,6 +296,9 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
                               : reserve_.Allocate(views, expected_load);
   if (masked > 0) {
     d = ApplyDegradedExclusion(std::move(d), excluded_);
+  }
+  if (ramping) {
+    d = ApplyReintegrationRamp(std::move(d), ramp_);
   }
   double d_sum = 0.0;
   for (double x : d) {
@@ -270,6 +323,9 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   std::vector<double> c = blended_charge_.Allocate(views, expected_supply);
   if (masked > 0) {
     c = ApplyDegradedExclusion(std::move(c), excluded_);
+  }
+  if (ramping) {
+    c = ApplyReintegrationRamp(std::move(c), ramp_);
   }
   double c_sum = 0.0;
   for (double x : c) {
@@ -303,6 +359,14 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     }
     sample.degraded = degraded_;
     telemetry_->Record(std::move(sample));
+  }
+
+  // Absorb resync handshakes the link client ran transparently this Update.
+  if (link_ != nullptr && link_->resyncs() > last_link_resyncs_) {
+    uint64_t fresh = link_->resyncs() - last_link_resyncs_;
+    last_link_resyncs_ = link_->resyncs();
+    resilience_.resyncs += fresh;
+    GlobalResilienceMetrics().resyncs->Increment(fresh);
   }
   return Status::Ok();
 }

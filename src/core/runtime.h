@@ -44,6 +44,11 @@ struct RuntimeConfig {
   Duration retry_backoff_base = Seconds(0.01);
   Duration retry_backoff_cap = Seconds(0.08);
   int stale_updates_tolerated = 5;
+  // Reintegration ramp: when a quarantined battery returns, its share of
+  // the splits grows linearly from zero over this horizon (of simulated
+  // time advanced through AdvanceTime) instead of snapping back to full.
+  // Zero disables ramping — a returning battery rejoins at full share.
+  Duration reintegration_horizon = Seconds(0.0);
 };
 
 class SdbRuntime {
@@ -113,6 +118,9 @@ class SdbRuntime {
   // the status feed has been stale past the configured tolerance.
   bool degraded() const { return degraded_; }
   const std::vector<bool>& excluded_batteries() const { return excluded_; }
+  // Per-battery reintegration ramp in [0, 1]: 1 = full participant, < 1 =
+  // recently returned from quarantine and still ramping back in.
+  const std::vector<double>& reintegration_ramp() const { return ramp_; }
   const ResilienceCounters& resilience() const { return resilience_; }
 
   SdbMicrocontroller* microcontroller() { return micro_; }
@@ -148,6 +156,9 @@ class SdbRuntime {
   int consecutive_stale_ = 0;
   bool degraded_ = false;
   std::vector<bool> excluded_;
+  std::vector<bool> prev_excluded_;   // Exclusion mask from the last Update.
+  std::vector<double> ramp_;          // Reintegration ramp, 1.0 = full share.
+  uint64_t last_link_resyncs_ = 0;    // Client resync count already absorbed.
   ResilienceCounters resilience_;
 };
 

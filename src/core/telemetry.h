@@ -41,6 +41,9 @@ struct ResilienceCounters {
   uint64_t degraded_entries = 0; // Transitions healthy -> degraded.
   uint64_t degraded_exits = 0;   // Transitions degraded -> healthy.
   uint64_t masked_faults = 0;    // Battery-updates with a fault masked out.
+  uint64_t quarantines = 0;      // Batteries newly excluded from planning.
+  uint64_t reintegrations = 0;   // Batteries returned to the allocation.
+  uint64_t resyncs = 0;          // Post-reboot handshakes completed.
   Duration backoff_total;        // Simulated time spent in retry backoff.
 };
 

@@ -54,6 +54,9 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
     MicroTick tick = micro->Step(p_load, p_supply, Seconds(tick_s));
     runtime_->AdvanceTime(Seconds(tick_s));
     t += tick_s;
+    if (config_.on_tick != nullptr) {
+      config_.on_tick(tick, Seconds(t));
+    }
 
     // Energy ledger.
     double delivered_j = tick.discharge.delivered.value() * tick_s;

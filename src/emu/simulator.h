@@ -6,6 +6,7 @@
 #define SRC_EMU_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,10 @@ struct SimConfig {
   // injector installed by the caller untouched, so scenarios that wire
   // their own link faults keep a single injector across the whole run.
   FaultPlan faults;
+  // Per-tick observer, called after every hardware step with the tick's
+  // outcome and the post-step simulated time. Lets harnesses (the soak
+  // invariant checker) audit every tick without forking the driver loop.
+  std::function<void(const MicroTick&, Duration now)> on_tick;
 };
 
 enum class SimEventKind {

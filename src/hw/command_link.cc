@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/hw/fault.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 
@@ -24,6 +25,8 @@ const char* RoundtripSpanName(MessageType type) {
       return "link.query_status";
     case MessageType::kSelectProfile:
       return "link.select_profile";
+    case MessageType::kResync:
+      return "link.resync";
     default:
       return "link.roundtrip";
   }
@@ -71,6 +74,22 @@ std::vector<uint8_t> EncodeRatios(const std::vector<double>& ratios) {
     PutF32(payload, static_cast<float>(r));
   }
   return payload;
+}
+
+std::vector<uint8_t> AckFrame(StatusCode code) {
+  return EncodeFrame(Frame{MessageType::kAck, {static_cast<uint8_t>(code)}});
+}
+
+bool IsMutatingCommand(MessageType type) {
+  switch (type) {
+    case MessageType::kSetDischargeRatios:
+    case MessageType::kSetChargeRatios:
+    case MessageType::kChargeOneFromAnother:
+    case MessageType::kSelectProfile:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -173,36 +192,20 @@ std::vector<uint8_t> CommandLinkServer::Receive(const std::vector<uint8_t>& byte
 }
 
 std::vector<uint8_t> CommandLinkServer::Execute(const Frame& frame) {
+  // A reboot since the last frame invalidates the replay cache: sequence
+  // numbers from the previous boot must not suppress fresh commands.
+  if (micro_->boot_count() != known_boot_) {
+    known_boot_ = micro_->boot_count();
+    have_last_ = false;
+  }
+  if (IsMutatingCommand(frame.type)) {
+    return ExecuteCommand(frame);
+  }
   switch (frame.type) {
-    case MessageType::kSetDischargeRatios: {
-      Status status = micro_->SetDischargeRatios(DecodeRatios(frame.payload));
-      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
-    }
-    case MessageType::kSetChargeRatios: {
-      Status status = micro_->SetChargeRatios(DecodeRatios(frame.payload));
-      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
-    }
-    case MessageType::kChargeOneFromAnother: {
-      if (frame.payload.size() != 10) {
-        return EncodeFrame(Frame{
-            MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
-      }
-      uint8_t from = frame.payload[0];
-      uint8_t to = frame.payload[1];
-      float power = GetF32(frame.payload.data() + 2);
-      float duration = GetF32(frame.payload.data() + 6);
-      Status status = micro_->ChargeOneFromAnother(from, to, Watts(power), Seconds(duration));
-      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
-    }
-    case MessageType::kSelectProfile: {
-      if (frame.payload.size() != 2) {
-        return EncodeFrame(Frame{
-            MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
-      }
-      Status status = micro_->SelectChargeProfile(frame.payload[0], frame.payload[1]);
-      return EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
-    }
     case MessageType::kQueryStatus: {
+      if (micro_->in_reset()) {
+        return AckFrame(StatusCode::kUnavailable);
+      }
       std::vector<BatteryStatus> statuses = micro_->QueryBatteryStatus();
       Frame report{MessageType::kStatusReport, {}};
       for (const BatteryStatus& s : statuses) {
@@ -215,10 +218,82 @@ std::vector<uint8_t> CommandLinkServer::Execute(const Frame& frame) {
       }
       return EncodeFrame(report);
     }
+    case MessageType::kResync: {
+      if (micro_->in_reset()) {
+        return AckFrame(StatusCode::kUnavailable);
+      }
+      uint32_t boot = micro_->Resync();
+      have_last_ = false;
+      Frame ack{MessageType::kResyncAck, {}};
+      ack.payload.push_back(static_cast<uint8_t>(boot & 0xFF));
+      ack.payload.push_back(static_cast<uint8_t>((boot >> 8) & 0xFF));
+      ack.payload.push_back(static_cast<uint8_t>((boot >> 16) & 0xFF));
+      ack.payload.push_back(static_cast<uint8_t>((boot >> 24) & 0xFF));
+      return EncodeFrame(ack);
+    }
     default:
-      return EncodeFrame(Frame{
-          MessageType::kAck, {static_cast<uint8_t>(StatusCode::kInvalidArgument)}});
+      return AckFrame(StatusCode::kInvalidArgument);
   }
+}
+
+std::vector<uint8_t> CommandLinkServer::ExecuteCommand(const Frame& frame) {
+  if (frame.payload.size() < 2) {
+    return AckFrame(StatusCode::kInvalidArgument);
+  }
+  const uint16_t seq =
+      static_cast<uint16_t>(frame.payload[0] | (frame.payload[1] << 8));
+  if (have_last_ && seq == last_seq_ && frame.type == last_type_ &&
+      frame.payload == last_payload_) {
+    // Idempotent replay: the command was already applied and the reply was
+    // lost; answer from the cache without re-applying.
+    ++replayed_commands_;
+    return last_response_;
+  }
+  const std::vector<uint8_t> body(frame.payload.begin() + 2, frame.payload.end());
+  Status status = Status::Ok();
+  switch (frame.type) {
+    case MessageType::kSetDischargeRatios:
+      status = micro_->SetDischargeRatios(DecodeRatios(body));
+      break;
+    case MessageType::kSetChargeRatios:
+      status = micro_->SetChargeRatios(DecodeRatios(body));
+      break;
+    case MessageType::kChargeOneFromAnother: {
+      if (body.size() != 10) {
+        status = InvalidArgumentError("bad transfer payload");
+        break;
+      }
+      uint8_t from = body[0];
+      uint8_t to = body[1];
+      float power = GetF32(body.data() + 2);
+      float duration = GetF32(body.data() + 6);
+      status = micro_->ChargeOneFromAnother(from, to, Watts(power), Seconds(duration));
+      break;
+    }
+    case MessageType::kSelectProfile: {
+      if (body.size() != 2) {
+        status = InvalidArgumentError("bad profile payload");
+        break;
+      }
+      status = micro_->SelectChargeProfile(body[0], body[1]);
+      break;
+    }
+    default:
+      status = InvalidArgumentError("not a command");
+      break;
+  }
+  std::vector<uint8_t> reply = EncodeFrame(Frame{MessageType::kAck, {StatusToWireCode(status)}});
+  // Resync-required and in-reset rejections are not cached: after the
+  // handshake the same sequence number must execute, not replay the refusal.
+  if (status.code() != StatusCode::kFailedPrecondition &&
+      status.code() != StatusCode::kUnavailable) {
+    have_last_ = true;
+    last_seq_ = seq;
+    last_type_ = frame.type;
+    last_payload_ = frame.payload;
+    last_response_ = reply;
+  }
+  return reply;
 }
 
 CommandLinkClient::CommandLinkClient(Transport transport) : transport_(std::move(transport)) {
@@ -253,12 +328,61 @@ Status CommandLinkClient::RoundtripAck(const Frame& request) {
   return WireCodeToStatus(response->payload[0]);
 }
 
+Status CommandLinkClient::SendCommand(Frame request) {
+  const uint16_t seq = next_seq_;
+  request.payload.insert(request.payload.begin(),
+                         {static_cast<uint8_t>(seq & 0xFF),
+                          static_cast<uint8_t>((seq >> 8) & 0xFF)});
+  Status status = RoundtripAck(request);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    // The controller rebooted and refuses commands until the handshake
+    // completes; resync and replay the refused command once.
+    Status resync = Resync();
+    if (!resync.ok()) {
+      return resync;
+    }
+    status = RoundtripAck(request);
+  }
+  if (status.code() != StatusCode::kUnavailable) {
+    // The server consumed this sequence number (applied or rejected the
+    // command). On a transport failure the reply may have been lost after
+    // the command applied, so the seq is reused and the retry hits the
+    // server's idempotent-replay cache.
+    ++next_seq_;
+  }
+  return status;
+}
+
+Status CommandLinkClient::Resync() {
+  StatusOr<Frame> response = Roundtrip(Frame{MessageType::kResync, {}});
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->type == MessageType::kAck && response->payload.size() == 1) {
+    Status status = WireCodeToStatus(response->payload[0]);
+    return status.ok() ? InternalError("malformed resync ack") : status;
+  }
+  if (response->type != MessageType::kResyncAck || response->payload.size() != 4) {
+    return InternalError("malformed resync ack");
+  }
+  last_boot_count_ = static_cast<uint32_t>(response->payload[0]) |
+                     (static_cast<uint32_t>(response->payload[1]) << 8) |
+                     (static_cast<uint32_t>(response->payload[2]) << 16) |
+                     (static_cast<uint32_t>(response->payload[3]) << 24);
+  next_seq_ = 1;
+  ++resyncs_;
+  static obs::Counter* resync_counter =
+      obs::MetricsRegistry::Global().GetCounter("sdb.hw.link_resyncs");
+  resync_counter->Increment();
+  return Status::Ok();
+}
+
 Status CommandLinkClient::SetDischargeRatios(const std::vector<double>& ratios) {
-  return RoundtripAck(Frame{MessageType::kSetDischargeRatios, EncodeRatios(ratios)});
+  return SendCommand(Frame{MessageType::kSetDischargeRatios, EncodeRatios(ratios)});
 }
 
 Status CommandLinkClient::SetChargeRatios(const std::vector<double>& ratios) {
-  return RoundtripAck(Frame{MessageType::kSetChargeRatios, EncodeRatios(ratios)});
+  return SendCommand(Frame{MessageType::kSetChargeRatios, EncodeRatios(ratios)});
 }
 
 Status CommandLinkClient::ChargeOneFromAnother(uint8_t from, uint8_t to, Power power,
@@ -266,17 +390,22 @@ Status CommandLinkClient::ChargeOneFromAnother(uint8_t from, uint8_t to, Power p
   Frame request{MessageType::kChargeOneFromAnother, {from, to}};
   PutF32(request.payload, static_cast<float>(power.value()));
   PutF32(request.payload, static_cast<float>(duration.value()));
-  return RoundtripAck(request);
+  return SendCommand(std::move(request));
 }
 
 Status CommandLinkClient::SelectChargeProfile(uint8_t battery, uint8_t profile) {
-  return RoundtripAck(Frame{MessageType::kSelectProfile, {battery, profile}});
+  return SendCommand(Frame{MessageType::kSelectProfile, {battery, profile}});
 }
 
 StatusOr<std::vector<BatteryStatus>> CommandLinkClient::QueryBatteryStatus() {
   StatusOr<Frame> response = Roundtrip(Frame{MessageType::kQueryStatus, {}});
   if (!response.ok()) {
     return response.status();
+  }
+  if (response->type == MessageType::kAck && response->payload.size() == 1) {
+    // Queries fail with an error ack while the controller is held in reset.
+    Status status = WireCodeToStatus(response->payload[0]);
+    return status.ok() ? InternalError("malformed status report") : status;
   }
   if (response->type != MessageType::kStatusReport ||
       response->payload.size() % kStatusRecordSize != 0) {

@@ -9,6 +9,15 @@
 // Frame layout (little-endian payloads):
 //   0xA5 | length (1 byte, payload size) | type (1 byte) | payload | crc16 (2 bytes)
 // The CRC (CCITT-FALSE) covers length, type and payload.
+//
+// Mutating commands (the setters, transfers and profile selection) carry a
+// 2-byte sequence number as the first payload bytes. The server keeps the
+// last applied (sequence, request, response) and replays the cached
+// response when the same command arrives again, so a retry after a lost
+// reply is never double-applied. Reads (kQueryStatus) are sequence-free.
+// After a microcontroller reboot every mutating command is refused until
+// the client runs the kResync handshake (the client does this
+// transparently and replays the refused command once).
 #ifndef SRC_HW_COMMAND_LINK_H_
 #define SRC_HW_COMMAND_LINK_H_
 
@@ -30,8 +39,10 @@ enum class MessageType : uint8_t {
   kChargeOneFromAnother = 0x03,
   kQueryStatus = 0x04,
   kSelectProfile = 0x05,
+  kResync = 0x06,        // Post-reboot handshake; empty payload.
   kAck = 0x80,           // Payload: 1 status byte (0 == OK).
   kStatusReport = 0x81,  // Payload: per-battery status records.
+  kResyncAck = 0x82,     // Payload: 4-byte boot count (LE).
 };
 
 struct Frame {
@@ -82,12 +93,26 @@ class CommandLinkServer {
   std::vector<uint8_t> Receive(const std::vector<uint8_t>& bytes);
 
   size_t crc_errors() const { return decoder_.crc_errors(); }
+  // Commands answered from the idempotent-replay cache instead of being
+  // applied a second time.
+  uint64_t replayed_commands() const { return replayed_commands_; }
 
  private:
   std::vector<uint8_t> Execute(const Frame& frame);
+  // Sequence-checked execution of the mutating command types.
+  std::vector<uint8_t> ExecuteCommand(const Frame& frame);
 
   SdbMicrocontroller* micro_;
   FrameDecoder decoder_;
+  // Idempotent-replay cache: the last applied command and its response.
+  // A reboot (observed through the micro's boot counter) invalidates it.
+  uint32_t known_boot_ = 0;
+  bool have_last_ = false;
+  uint16_t last_seq_ = 0;
+  MessageType last_type_ = MessageType::kAck;
+  std::vector<uint8_t> last_payload_;
+  std::vector<uint8_t> last_response_;
+  uint64_t replayed_commands_ = 0;
 };
 
 // OS-side endpoint: the four APIs as serialised calls. `transport` delivers
@@ -110,14 +135,27 @@ class CommandLinkClient {
   // reply corrupted before decoding.
   void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  // Post-reboot handshake: resets the sequence stream and records the
+  // controller's boot count. Run transparently when a command is refused
+  // with FailedPrecondition, but callable directly.
+  Status Resync();
+  uint32_t last_boot_count() const { return last_boot_count_; }
+  uint64_t resyncs() const { return resyncs_; }
+
  private:
   // Sends a frame and decodes the single expected response frame.
   StatusOr<Frame> Roundtrip(const Frame& request);
   Status RoundtripAck(const Frame& request);
+  // Prefixes the sequence number, sends, and transparently resyncs +
+  // replays once when the controller reports a pending reboot.
+  Status SendCommand(Frame request);
 
   Transport transport_;
   FrameDecoder decoder_;
   FaultInjector* fault_ = nullptr;
+  uint16_t next_seq_ = 1;
+  uint32_t last_boot_count_ = 0;
+  uint64_t resyncs_ = 0;
 };
 
 }  // namespace sdb

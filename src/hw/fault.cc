@@ -22,12 +22,19 @@ std::string_view FaultClassName(FaultClass kind) {
       return "open-circuit";
     case FaultClass::kThermalTrip:
       return "thermal-trip";
+    case FaultClass::kMicroCrash:
+      return "micro-crash";
+    case FaultClass::kMicroBrownout:
+      return "micro-brownout";
   }
   return "unknown";
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed ^ 0xFA017EC7ED5EEDULL), now_(Seconds(0.0)) {
+    : plan_(std::move(plan)),
+      rng_(plan_.seed ^ 0xFA017EC7ED5EEDULL),
+      now_(Seconds(0.0)),
+      reboot_fired_(plan_.events.size(), false) {
   for (const FaultEvent& event : plan_.events) {
     SDB_CHECK(!(event.end < event.start));
     SDB_CHECK(event.probability >= 0.0 && event.probability <= 1.0);
@@ -105,6 +112,29 @@ double FaultInjector::DischargeEfficiencyFactor() const {
 
 bool FaultInjector::OpenCircuit(size_t battery) const {
   return Active(FaultClass::kOpenCircuit, static_cast<int>(battery)) != nullptr;
+}
+
+bool FaultInjector::MicroRebootEdge() {
+  bool fired = false;
+  for (size_t k = 0; k < plan_.events.size(); ++k) {
+    const FaultEvent& event = plan_.events[k];
+    if (event.kind != FaultClass::kMicroCrash && event.kind != FaultClass::kMicroBrownout) {
+      continue;
+    }
+    if (now_ < event.start || !(now_ < event.end) || reboot_fired_[k]) {
+      continue;
+    }
+    reboot_fired_[k] = true;
+    fired = true;
+  }
+  if (fired) {
+    ++micro_reboots_;
+  }
+  return fired;
+}
+
+bool FaultInjector::MicroHeldInReset() const {
+  return Active(FaultClass::kMicroBrownout, -1) != nullptr;
 }
 
 std::optional<Temperature> FaultInjector::ReportedTemperatureFloor(size_t battery) const {

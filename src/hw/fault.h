@@ -37,6 +37,8 @@ enum class FaultClass {
   kRegulatorCollapse,  // Discharge efficiency multiplied by `magnitude` < 1.
   kOpenCircuit,        // Battery terminal disconnects (no charge/discharge).
   kThermalTrip,        // Pack thermistor reports at least `magnitude` kelvin.
+  kMicroCrash,         // Controller watchdog-reboots once at window start.
+  kMicroBrownout,      // Controller held in reset for the whole window.
 };
 
 std::string_view FaultClassName(FaultClass kind);
@@ -106,10 +108,23 @@ class FaultInjector {
   // a kThermalTrip window is active.
   std::optional<Temperature> ReportedTemperatureFloor(size_t battery) const;
 
+  // --- Microcontroller ------------------------------------------------------
+
+  // True exactly once per crash/brownout event, on the first call at or
+  // after the event's start: the microcontroller polls this every Step and
+  // reboots when it fires. Stateful but RNG-free, so plans without these
+  // kinds stay bit-identical.
+  bool MicroRebootEdge();
+
+  // True while a kMicroBrownout window is active: the controller is held in
+  // reset and refuses every command until the window ends.
+  bool MicroHeldInReset() const;
+
   // --- Counters (for tests and the sdbsim faults report) --------------------
 
   uint64_t dropped_queries() const { return dropped_queries_; }
   uint64_t corrupted_replies() const { return corrupted_replies_; }
+  uint64_t micro_reboots() const { return micro_reboots_; }
 
  private:
   // First active event of `kind` matching `battery` (events targeting -1
@@ -121,6 +136,9 @@ class FaultInjector {
   Duration now_;
   uint64_t dropped_queries_ = 0;
   uint64_t corrupted_replies_ = 0;
+  uint64_t micro_reboots_ = 0;
+  // One fired flag per plan event, so each crash/brownout reboots once.
+  std::vector<bool> reboot_fired_;
 };
 
 }  // namespace sdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -55,13 +56,42 @@ Status SdbMicrocontroller::ValidateRatios(const std::vector<double>& ratios) con
   return Status::Ok();
 }
 
+Status SdbMicrocontroller::CheckCommandGate() const {
+  if (in_reset_) {
+    return UnavailableError("microcontroller held in reset (brownout)");
+  }
+  if (awaiting_resync_) {
+    return FailedPreconditionError("microcontroller rebooted: resync required");
+  }
+  return Status::Ok();
+}
+
+void SdbMicrocontroller::Reboot() {
+  transfer_.reset();
+  const size_t n = pack_.size();
+  charge_ratios_.assign(n, 1.0 / static_cast<double>(n));
+  discharge_ratios_.assign(n, 1.0 / static_cast<double>(n));
+  awaiting_resync_ = true;
+  ++boot_count_;
+  static obs::Counter* reboots =
+      obs::MetricsRegistry::Global().GetCounter("sdb.hw.micro_reboots");
+  reboots->Increment();
+}
+
+uint32_t SdbMicrocontroller::Resync() {
+  awaiting_resync_ = false;
+  return boot_count_;
+}
+
 Status SdbMicrocontroller::SetChargeRatios(const std::vector<double>& ratios) {
+  SDB_RETURN_IF_ERROR(CheckCommandGate());
   SDB_RETURN_IF_ERROR(ValidateRatios(ratios));
   charge_ratios_ = ratios;
   return Status::Ok();
 }
 
 Status SdbMicrocontroller::SetDischargeRatios(const std::vector<double>& ratios) {
+  SDB_RETURN_IF_ERROR(CheckCommandGate());
   SDB_RETURN_IF_ERROR(ValidateRatios(ratios));
   discharge_ratios_ = ratios;
   return Status::Ok();
@@ -69,6 +99,7 @@ Status SdbMicrocontroller::SetDischargeRatios(const std::vector<double>& ratios)
 
 Status SdbMicrocontroller::ChargeOneFromAnother(size_t from, size_t to, Power power,
                                                 Duration duration) {
+  SDB_RETURN_IF_ERROR(CheckCommandGate());
   if (from >= pack_.size() || to >= pack_.size()) {
     return OutOfRangeError("battery index out of range");
   }
@@ -105,6 +136,7 @@ std::vector<BatteryStatus> SdbMicrocontroller::QueryBatteryStatus() const {
 }
 
 Status SdbMicrocontroller::SelectChargeProfile(size_t battery, size_t profile_index) {
+  SDB_RETURN_IF_ERROR(CheckCommandGate());
   return charge_circuit_.SelectProfile(battery, profile_index);
 }
 
@@ -118,7 +150,7 @@ void SdbMicrocontroller::InstallFaults(FaultPlan plan) {
 void SdbMicrocontroller::CancelTransfer() { transfer_.reset(); }
 
 std::vector<double> SdbMicrocontroller::MaskFaulted(const std::vector<double>& ratios) const {
-  bool safety_active = safety_ != nullptr && safety_->AnyFaulted();
+  bool safety_active = safety_ != nullptr && safety_->AnyUnhealthy();
   if (!safety_active && !pack_.AnyOpenCircuit()) {
     return ratios;
   }
@@ -135,6 +167,29 @@ std::vector<double> SdbMicrocontroller::MaskFaulted(const std::vector<double>& r
       r /= sum;
     }
   }
+  if (!safety_active) {
+    return masked;
+  }
+  // Probation cap: a probing battery carries at most the configured share;
+  // the excess spills onto the unconstrained batteries pro rata.
+  const double cap = safety_->probe_share_cap();
+  double excess = 0.0;
+  double unclamped = 0.0;
+  for (size_t i = 0; i < masked.size(); ++i) {
+    if (safety_->IsProbing(i) && masked[i] > cap) {
+      excess += masked[i] - cap;
+      masked[i] = cap;
+    } else if (!safety_->IsProbing(i)) {
+      unclamped += masked[i];
+    }
+  }
+  if (excess > 0.0 && unclamped > 0.0) {
+    for (size_t i = 0; i < masked.size(); ++i) {
+      if (!safety_->IsProbing(i)) {
+        masked[i] += excess * (masked[i] / unclamped);
+      }
+    }
+  }
   return masked;
 }
 
@@ -144,9 +199,14 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
   tick.dt = dt;
   const size_t n = pack_.size();
 
-  // Sync the pack's open-circuit flags with the fault plan before any
-  // electrical step sees them.
+  // Watchdog: a crash or brownout window starting this tick reboots the
+  // controller before anything else happens. Sync the pack's open-circuit
+  // flags with the fault plan before any electrical step sees them.
   if (fault_.has_value()) {
+    if (fault_->MicroRebootEdge()) {
+      Reboot();
+    }
+    in_reset_ = fault_->MicroHeldInReset();
     for (size_t i = 0; i < n; ++i) {
       pack_.SetOpenCircuit(i, fault_->OpenCircuit(i));
     }
@@ -234,6 +294,8 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
           Volts(cell.NoLoadVoltage().value() - i_net * cell.InternalResistance().value());
       safety_->Inspect(i, cell, observed);
     }
+    // Run the recovery lifecycle timers (no-op for latch-only supervisors).
+    safety_->Advance(dt);
   }
 
   // Feed the fuel gauges with the net per-battery currents.

@@ -75,6 +75,26 @@ class SdbMicrocontroller {
   Status SelectChargeProfile(size_t battery, size_t profile_index);
   void CancelTransfer();
 
+  // --- Watchdog / reboot model ----------------------------------------------
+  //
+  // A kMicroCrash or kMicroBrownout fault reboots the controller: the
+  // in-flight transfer is dropped, the volatile ratio tuples reset to the
+  // uniform safe default, and mutating commands are refused with
+  // FailedPrecondition until the OS completes the resync handshake (Resync()
+  // directly, or the sequence-numbered handshake over CommandLink).
+
+  bool awaiting_resync() const { return awaiting_resync_; }
+  // True while a brownout window holds the controller in reset: every
+  // command (queries included) fails, while the power circuits keep running
+  // the safe-default split.
+  bool in_reset() const { return in_reset_; }
+  // Increments on every reboot; the link server uses it to invalidate its
+  // idempotent-replay cache across reboots.
+  uint32_t boot_count() const { return boot_count_; }
+  // Completes the resync handshake and re-opens the command surface.
+  // Returns the boot counter the OS should record.
+  uint32_t Resync();
+
   // Attaches a protection supervisor (non-owning; must outlive the
   // microcontroller, or detach with nullptr). While attached, every tick's
   // per-battery outcome is inspected and faulted batteries are removed from
@@ -117,8 +137,14 @@ class SdbMicrocontroller {
   };
 
   Status ValidateRatios(const std::vector<double>& ratios) const;
-  // Zeroes faulted batteries' shares and renormalises; all-zero when every
-  // battery is faulted.
+  // Refuses mutating commands while in reset or awaiting resync.
+  Status CheckCommandGate() const;
+  // Watchdog reboot: drops in-flight commands, resets volatile state to the
+  // safe defaults and demands a resync before new commands are accepted.
+  void Reboot();
+  // Zeroes faulted batteries' shares and renormalises (all-zero when every
+  // battery is faulted); caps probing batteries at the supervisor's probe
+  // share, spilling the excess onto the unconstrained batteries.
   std::vector<double> MaskFaulted(const std::vector<double>& ratios) const;
 
   BatteryPack pack_;
@@ -130,6 +156,9 @@ class SdbMicrocontroller {
   std::optional<ActiveTransfer> transfer_;
   SafetySupervisor* safety_ = nullptr;
   std::optional<FaultInjector> fault_;
+  bool awaiting_resync_ = false;
+  bool in_reset_ = false;
+  uint32_t boot_count_ = 0;
 };
 
 // Convenience: builds a microcontroller with default circuit/gauge configs

@@ -6,6 +6,13 @@
 
 namespace sdb {
 
+namespace {
+
+// Bounds the transition log so multi-day soaks cannot grow it unboundedly.
+constexpr size_t kMaxTransitions = 4096;
+
+}  // namespace
+
 std::string_view FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNone:
@@ -24,54 +31,189 @@ std::string_view FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+std::string_view BatteryHealthName(BatteryHealth health) {
+  switch (health) {
+    case BatteryHealth::kHealthy:
+      return "healthy";
+    case BatteryHealth::kTripped:
+      return "tripped";
+    case BatteryHealth::kCoolDown:
+      return "cool-down";
+    case BatteryHealth::kProbing:
+      return "probing";
+  }
+  return "unknown";
+}
+
+double ReadingValue(const SafetyReading& reading) {
+  return std::visit(
+      [](const auto& r) -> double {
+        if constexpr (std::is_same_v<std::decay_t<decltype(r)>, std::monostate>) {
+          return 0.0;
+        } else {
+          return r.value();
+        }
+      },
+      reading);
+}
+
 SafetyLimits DeriveLimits(const BatteryParams& params) {
   SafetyLimits limits;
-  limits.max_discharge = Amps(params.max_discharge_current.value() * 1.25);
-  limits.max_charge = Amps(params.max_charge_current.value() * 1.25);
+  limits.max_discharge = params.max_discharge_current * 1.25;
+  limits.max_charge = params.max_charge_current * 1.25;
   limits.min_voltage = Volts(params.ocv_vs_soc.min_y() - 0.15);
-  limits.max_voltage = Volts(params.charge_cutoff_voltage.value() + 0.15);
+  limits.max_voltage = params.charge_cutoff_voltage + Volts(0.15);
   limits.max_temperature = Celsius(60.0);
   return limits;
 }
 
-SafetySupervisor::SafetySupervisor(std::vector<SafetyLimits> limits)
-    : limits_(std::move(limits)), faults_(limits_.size()) {
+SafetySupervisor::SafetySupervisor(std::vector<SafetyLimits> limits, RecoveryConfig recovery)
+    : limits_(std::move(limits)),
+      faults_(limits_.size()),
+      recovery_(recovery),
+      state_(limits_.size()),
+      clock_(Seconds(0.0)) {
   SDB_CHECK(!limits_.empty());
+  SDB_CHECK(recovery_.dwell_backoff >= 1.0);
+  SDB_CHECK(recovery_.probe_share_cap > 0.0 && recovery_.probe_share_cap <= 1.0);
+  for (auto& s : state_) {
+    s.next_dwell = recovery_.base_dwell;
+  }
+}
+
+void SafetySupervisor::SetHealth(size_t index, BatteryHealth to) {
+  LifecycleState& s = state_[index];
+  if (s.health == to) {
+    return;
+  }
+  if (transitions_.size() < kMaxTransitions) {
+    transitions_.push_back(Transition{index, s.health, to, clock_, faults_[index].kind});
+  } else {
+    ++transitions_dropped_;
+  }
+  s.health = to;
 }
 
 FaultKind SafetySupervisor::Inspect(size_t index, const Cell& cell, const StepResult& step) {
   SDB_CHECK(index < limits_.size());
-  if (faults_[index].kind != FaultKind::kNone) {
+  LifecycleState& s = state_[index];
+  if (faults_[index].kind != FaultKind::kNone && s.health != BatteryHealth::kProbing) {
+    // Latched (Tripped or CoolDown): re-evaluate the hysteresis condition
+    // for Advance() to act on, but stay faulted.
+    s.condition_clear = recovery_.enabled && ConditionCleared(index, cell, step);
     return faults_[index].kind;
   }
   const SafetyLimits& lim = limits_[index];
-  double i = step.current.value();
-  double v = step.terminal_voltage.value();
-  double temp = cell.thermal().temperature().value();
+  const Current i = step.current;
+  const Voltage v = step.terminal_voltage;
+  const Temperature temp = cell.thermal().temperature();
 
   FaultRecord record;
-  if (i > lim.max_discharge.value()) {
-    record = {FaultKind::kOverCurrentDischarge, i, lim.max_discharge.value()};
-  } else if (-i > lim.max_charge.value()) {
-    record = {FaultKind::kOverCurrentCharge, -i, lim.max_charge.value()};
-  } else if (v > lim.max_voltage.value()) {
-    record = {FaultKind::kOverVoltage, v, lim.max_voltage.value()};
-  } else if (v < lim.min_voltage.value() && !cell.IsEmpty()) {
+  if (i > lim.max_discharge) {
+    record = {FaultKind::kOverCurrentDischarge, i, lim.max_discharge};
+  } else if (-i > lim.max_charge) {
+    record = {FaultKind::kOverCurrentCharge, -i, lim.max_charge};
+  } else if (v > lim.max_voltage) {
+    record = {FaultKind::kOverVoltage, v, lim.max_voltage};
+  } else if (v < lim.min_voltage && !cell.IsEmpty()) {
     // An empty cell resting at its floor voltage is not a fault; a loaded
     // cell collapsing below the floor is.
-    record = {FaultKind::kUnderVoltage, v, lim.min_voltage.value()};
-  } else if (temp > lim.max_temperature.value()) {
-    record = {FaultKind::kOverTemperature, temp, lim.max_temperature.value()};
+    record = {FaultKind::kUnderVoltage, v, lim.min_voltage};
+  } else if (temp > lim.max_temperature) {
+    record = {FaultKind::kOverTemperature, temp, lim.max_temperature};
   } else {
     return FaultKind::kNone;
   }
+  if (s.health == BatteryHealth::kProbing) {
+    // Re-trip on probation: the next cool-down dwells longer (capped).
+    s.next_dwell = Min(s.next_dwell * recovery_.dwell_backoff, recovery_.max_dwell);
+  }
   faults_[index] = record;
+  s.condition_clear = false;
+  ++s.trips;
+  SetHealth(index, BatteryHealth::kTripped);
   return record.kind;
+}
+
+bool SafetySupervisor::ConditionCleared(size_t index, const Cell& cell,
+                                        const StepResult& step) const {
+  const SafetyLimits& lim = limits_[index];
+  const double f = 1.0 - recovery_.current_margin_fraction;
+  switch (faults_[index].kind) {
+    case FaultKind::kOverCurrentDischarge:
+      return step.current <= lim.max_discharge * f;
+    case FaultKind::kOverCurrentCharge:
+      return -step.current <= lim.max_charge * f;
+    case FaultKind::kOverVoltage:
+      return step.terminal_voltage <= lim.max_voltage - recovery_.voltage_margin;
+    case FaultKind::kUnderVoltage:
+      return cell.IsEmpty() ||
+             step.terminal_voltage >= lim.min_voltage + recovery_.voltage_margin;
+    case FaultKind::kOverTemperature:
+      return cell.thermal().temperature() <=
+             lim.max_temperature - recovery_.temperature_margin;
+    case FaultKind::kNone:
+      return true;
+  }
+  return false;
+}
+
+void SafetySupervisor::Advance(Duration dt) {
+  if (!recovery_.enabled) {
+    return;
+  }
+  SDB_CHECK(dt.value() >= 0.0);
+  clock_ += dt;
+  for (size_t i = 0; i < state_.size(); ++i) {
+    LifecycleState& s = state_[i];
+    switch (s.health) {
+      case BatteryHealth::kHealthy:
+        break;
+      case BatteryHealth::kTripped:
+        if (s.condition_clear) {
+          s.dwell_remaining = s.next_dwell;
+          SetHealth(i, BatteryHealth::kCoolDown);
+        }
+        break;
+      case BatteryHealth::kCoolDown:
+        if (!s.condition_clear) {
+          // Hysteresis excursion: the dwell restarts from Tripped.
+          SetHealth(i, BatteryHealth::kTripped);
+          break;
+        }
+        s.dwell_remaining -= dt;
+        if (s.dwell_remaining.value() <= 0.0) {
+          s.probe_remaining = recovery_.probe_duration;
+          SetHealth(i, BatteryHealth::kProbing);
+        }
+        break;
+      case BatteryHealth::kProbing:
+        s.probe_remaining -= dt;
+        if (s.probe_remaining.value() <= 0.0) {
+          faults_[i] = FaultRecord{};
+          s.next_dwell = recovery_.base_dwell;
+          ++s.recoveries;
+          SetHealth(i, BatteryHealth::kHealthy);
+        }
+        break;
+    }
+  }
 }
 
 bool SafetySupervisor::IsFaulted(size_t index) const {
   SDB_CHECK(index < faults_.size());
-  return faults_[index].kind != FaultKind::kNone;
+  return state_[index].health == BatteryHealth::kTripped ||
+         state_[index].health == BatteryHealth::kCoolDown;
+}
+
+bool SafetySupervisor::IsProbing(size_t index) const {
+  SDB_CHECK(index < state_.size());
+  return state_[index].health == BatteryHealth::kProbing;
+}
+
+BatteryHealth SafetySupervisor::health(size_t index) const {
+  SDB_CHECK(index < state_.size());
+  return state_[index].health;
 }
 
 const FaultRecord& SafetySupervisor::fault(size_t index) const {
@@ -80,26 +222,49 @@ const FaultRecord& SafetySupervisor::fault(size_t index) const {
 }
 
 bool SafetySupervisor::AnyFaulted() const {
-  for (const auto& f : faults_) {
-    if (f.kind != FaultKind::kNone) {
+  for (size_t i = 0; i < state_.size(); ++i) {
+    if (IsFaulted(i)) {
       return true;
     }
   }
   return false;
 }
 
+bool SafetySupervisor::AnyUnhealthy() const {
+  for (const auto& s : state_) {
+    if (s.health != BatteryHealth::kHealthy) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t SafetySupervisor::trip_count(size_t index) const {
+  SDB_CHECK(index < state_.size());
+  return state_[index].trips;
+}
+
+uint64_t SafetySupervisor::recovery_count(size_t index) const {
+  SDB_CHECK(index < state_.size());
+  return state_[index].recoveries;
+}
+
 bool SafetySupervisor::ClearFault(size_t index, const Cell& cell) {
   SDB_CHECK(index < faults_.size());
-  if (faults_[index].kind == FaultKind::kNone) {
+  if (faults_[index].kind == FaultKind::kNone &&
+      state_[index].health == BatteryHealth::kHealthy) {
     return true;
   }
   // The thermal condition must have passed before a thermal fault clears;
   // electrical faults clear once no current flows (the latch removed it).
   if (faults_[index].kind == FaultKind::kOverTemperature &&
-      cell.thermal().temperature().value() > limits_[index].max_temperature.value()) {
+      cell.thermal().temperature() > limits_[index].max_temperature) {
     return false;
   }
   faults_[index] = FaultRecord{};
+  state_[index].next_dwell = recovery_.base_dwell;
+  state_[index].condition_clear = false;
+  SetHealth(index, BatteryHealth::kHealthy);
   return true;
 }
 

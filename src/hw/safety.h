@@ -2,11 +2,25 @@
 // management system carries underneath whatever scheduling policy runs
 // above it (the paper's PMIC context, §2.2). Monitors each cell for
 // over-current, terminal over/under-voltage and over-temperature; trips a
-// latched fault that removes the battery from scheduling until cleared.
+// latched fault that removes the battery from scheduling.
+//
+// With recovery enabled (DESIGN.md §9) each battery runs a lifecycle state
+// machine instead of latching forever:
+//
+//   Healthy -> Tripped -> CoolDown -> Probing -> Healthy
+//
+// Tripped batteries carry no current. Once the tripped condition re-enters
+// its limit minus a hysteresis margin, a dwell timer runs (CoolDown); any
+// excursion restarts it. After the dwell the battery reintegrates at a
+// capped share (Probing); a re-trip during the probe escalates the next
+// dwell with capped exponential backoff. Recovery is disabled by default,
+// which reproduces the original latch-only behaviour exactly.
 #ifndef SRC_HW_SAFETY_H_
 #define SRC_HW_SAFETY_H_
 
+#include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "src/chem/cell.h"
@@ -25,6 +39,16 @@ enum class FaultKind {
 
 std::string_view FaultKindName(FaultKind kind);
 
+// Lifecycle stage of one battery under supervision.
+enum class BatteryHealth {
+  kHealthy = 0,
+  kTripped,   // Fault latched; the battery is out of the schedulable set.
+  kCoolDown,  // Condition cleared with margin; dwell timer running.
+  kProbing,   // Reintegrated at a capped share; a re-trip escalates dwell.
+};
+
+std::string_view BatteryHealthName(BatteryHealth health);
+
 struct SafetyLimits {
   Current max_discharge;    // Hard ceiling, above the datasheet rating.
   Current max_charge;
@@ -37,35 +61,116 @@ struct SafetyLimits {
 // margins (current +25%, voltage window widened by 150 mV, 60 C thermal).
 SafetyLimits DeriveLimits(const BatteryParams& params);
 
+// One observed-or-limit reading; the active alternative is determined by
+// the FaultKind that tripped (currents for the over-current kinds, voltages
+// for the voltage window, temperature for thermal).
+using SafetyReading = std::variant<std::monostate, Current, Voltage, Temperature>;
+
+// Raw SI magnitude of a reading (0 when empty) — for reports and logs.
+double ReadingValue(const SafetyReading& reading);
+
 struct FaultRecord {
   FaultKind kind = FaultKind::kNone;
-  double observed_value = 0.0;
-  double limit_value = 0.0;
+  SafetyReading observed;
+  SafetyReading limit;
+};
+
+// Recovery doctrine. Disabled by default: faults latch until ClearFault().
+struct RecoveryConfig {
+  bool enabled = false;
+  // Hysteresis margins: a tripped condition only counts as cleared once the
+  // value re-enters the limit minus a margin (fractional for currents,
+  // absolute for the voltage window and temperature).
+  double current_margin_fraction = 0.05;
+  Voltage voltage_margin = Volts(0.05);
+  Temperature temperature_margin = Kelvin(3.0);
+  // CoolDown dwell: how long the cleared condition must hold before the
+  // battery probes. Re-tripping during a probe multiplies the next dwell by
+  // `dwell_backoff`, capped at `max_dwell`; a completed probe resets it.
+  Duration base_dwell = Minutes(5.0);
+  double dwell_backoff = 2.0;
+  Duration max_dwell = Minutes(40.0);
+  // Probing: largest share of the pack split the battery may carry while on
+  // probation, and how long the probe lasts before it counts as recovered.
+  double probe_share_cap = 0.25;
+  Duration probe_duration = Minutes(2.0);
 };
 
 class SafetySupervisor {
  public:
-  // One limit set per battery.
-  explicit SafetySupervisor(std::vector<SafetyLimits> limits);
+  // One lifecycle transition, for reports and tests. `at` is the supervisor
+  // clock (the sum of Advance deltas) when the transition was taken.
+  struct Transition {
+    size_t battery = 0;
+    BatteryHealth from = BatteryHealth::kHealthy;
+    BatteryHealth to = BatteryHealth::kHealthy;
+    Duration at;
+    FaultKind kind = FaultKind::kNone;
+  };
+
+  // One limit set per battery. Default recovery config = latch-only.
+  explicit SafetySupervisor(std::vector<SafetyLimits> limits,
+                            RecoveryConfig recovery = {});
 
   size_t battery_count() const { return limits_.size(); }
 
   // Checks one tick's electrical outcome for battery `index`; trips and
   // latches a fault if any limit is violated. Returns the fault observed
-  // this call (kNone if healthy). Already-faulted batteries stay faulted.
+  // this call (kNone if healthy). Tripped/cooling batteries stay faulted
+  // and have their hysteresis condition re-evaluated; probing batteries are
+  // inspected against the full limits again.
   FaultKind Inspect(size_t index, const Cell& cell, const StepResult& step);
 
+  // Advances the lifecycle timers one hardware tick; the microcontroller
+  // calls this after inspecting every battery. No-op while recovery is
+  // disabled, so latch-only supervisors behave exactly as before.
+  void Advance(Duration dt);
+
+  // Tripped or cooling down: out of the schedulable set.
   bool IsFaulted(size_t index) const;
+  bool IsProbing(size_t index) const;
+  BatteryHealth health(size_t index) const;
   const FaultRecord& fault(size_t index) const;
   bool AnyFaulted() const;
+  // Any battery not kHealthy — includes probing batteries, whose share must
+  // still be capped even though they are back in the split.
+  bool AnyUnhealthy() const;
+  double probe_share_cap() const { return recovery_.probe_share_cap; }
 
   // Operator/OS intervention: clear a latched fault after the condition
-  // passes. Refuses (returns false) while the condition persists.
+  // passes. Refuses (returns false) while the condition persists. Resets
+  // the lifecycle (including dwell escalation) to Healthy.
   bool ClearFault(size_t index, const Cell& cell);
 
+  // Lifecycle bookkeeping.
+  uint64_t trip_count(size_t index) const;
+  uint64_t recovery_count(size_t index) const;
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  uint64_t transitions_dropped() const { return transitions_dropped_; }
+
  private:
+  struct LifecycleState {
+    BatteryHealth health = BatteryHealth::kHealthy;
+    Duration dwell_remaining;
+    Duration probe_remaining;
+    Duration next_dwell;           // Escalates on probe re-trips.
+    bool condition_clear = false;  // Hysteresis check from the last Inspect.
+    uint64_t trips = 0;
+    uint64_t recoveries = 0;
+  };
+
+  // Hysteresis: true when the latched condition for `index` has re-entered
+  // its limit minus the configured margin.
+  bool ConditionCleared(size_t index, const Cell& cell, const StepResult& step) const;
+  void SetHealth(size_t index, BatteryHealth to);
+
   std::vector<SafetyLimits> limits_;
   std::vector<FaultRecord> faults_;
+  RecoveryConfig recovery_;
+  std::vector<LifecycleState> state_;
+  std::vector<Transition> transitions_;
+  uint64_t transitions_dropped_ = 0;
+  Duration clock_;
 };
 
 }  // namespace sdb

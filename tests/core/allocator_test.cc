@@ -255,5 +255,27 @@ TEST(ApplyDegradedExclusionTest, PropertySweepMultiExclusion) {
   }
 }
 
+TEST(ReintegrationRampTest, AllFullRampIsBitIdenticalPassThrough) {
+  std::vector<double> shares = {0.3141592653589793, 0.6858407346410207};
+  std::vector<double> out = ApplyReintegrationRamp(shares, {1.0, 1.0});
+  // Exact equality, not NEAR: the no-op path must not renormalise.
+  EXPECT_DOUBLE_EQ(out[0], shares[0]);
+  EXPECT_DOUBLE_EQ(out[1], shares[1]);
+}
+
+TEST(ReintegrationRampTest, PartialRampScalesThenRenormalises) {
+  std::vector<double> out = ApplyReintegrationRamp({0.5, 0.5}, {0.2, 1.0});
+  // Scaled to {0.1, 0.5}, renormalised to sum 1.
+  EXPECT_NEAR(out[0], 0.1 / 0.6, 1e-12);
+  EXPECT_NEAR(out[1], 0.5 / 0.6, 1e-12);
+  EXPECT_NEAR(out[0] + out[1], 1.0, 1e-12);
+}
+
+TEST(ReintegrationRampTest, ZeroRampExcludesTheReturningBattery) {
+  std::vector<double> out = ApplyReintegrationRamp({0.4, 0.6}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(out[1], 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace sdb

@@ -303,5 +303,53 @@ TEST(RuntimeResilienceTest, SafetyFaultedBatteryIsExcludedFromTheSplit) {
   EXPECT_EQ(runtime.resilience().degraded_entries, 1u);
 }
 
+TEST(RuntimeResilienceTest, ReintegrationRampsShareOverHorizon) {
+  SdbMicrocontroller micro = MakeMicro(0.8, 0.8);
+  std::vector<SafetyLimits> limits = {DeriveLimits(micro.pack().cell(0).params()),
+                                      DeriveLimits(micro.pack().cell(1).params())};
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  recovery.base_dwell = Seconds(30.0);
+  recovery.probe_duration = Seconds(10.0);
+  SafetySupervisor safety(limits, recovery);
+  micro.AttachSafety(&safety);
+  RuntimeConfig config;
+  config.reintegration_horizon = Seconds(100.0);
+  SdbRuntime runtime(&micro, config);
+
+  // Trip battery 0 thermally, then quarantine it.
+  micro.mutable_pack().cell(0).mutable_thermal().set_temperature(Celsius(70.0));
+  micro.Step(Watts(5.0), Watts(0.0), Seconds(1.0));
+  ASSERT_TRUE(safety.IsFaulted(0));
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_EQ(runtime.resilience().quarantines, 1u);
+  EXPECT_DOUBLE_EQ(runtime.last_discharge_ratios()[0], 0.0);
+
+  // Cool the cell and walk the supervisor through cool-down and probing.
+  micro.mutable_pack().cell(0).mutable_thermal().set_temperature(Celsius(25.0));
+  for (int i = 0; i < 60 && safety.health(0) != BatteryHealth::kHealthy; ++i) {
+    micro.Step(Watts(5.0), Watts(0.0), Seconds(1.0));
+  }
+  ASSERT_EQ(safety.health(0), BatteryHealth::kHealthy);
+
+  // The battery rejoins at (near) zero share and ramps up over the horizon.
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  EXPECT_EQ(runtime.resilience().reintegrations, 1u);
+  double early = runtime.last_discharge_ratios()[0];
+  EXPECT_LT(early, 0.05);
+
+  runtime.AdvanceTime(Seconds(50.0));
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  double mid = runtime.last_discharge_ratios()[0];
+  EXPECT_GT(mid, early);
+
+  runtime.AdvanceTime(Seconds(100.0));
+  ASSERT_TRUE(runtime.Update(Watts(5.0), Watts(0.0)).ok());
+  ASSERT_EQ(runtime.reintegration_ramp().size(), 2u);
+  EXPECT_DOUBLE_EQ(runtime.reintegration_ramp()[0], 1.0);
+  EXPECT_GT(runtime.last_discharge_ratios()[0], 0.1);
+  EXPECT_FALSE(runtime.degraded());
+}
+
 }  // namespace
 }  // namespace sdb

@@ -165,5 +165,123 @@ TEST(LossyLinkTest, CorruptionYieldsErrorNotWrongState) {
   EXPECT_NEAR(sum, 1.0, 1e-6);
 }
 
+TEST(LinkResyncTest, ExplicitResyncReportsBootCount) {
+  SdbMicrocontroller micro = MakeMicro();
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  ASSERT_TRUE(client.Resync().ok());
+  EXPECT_EQ(client.resyncs(), 1u);
+  EXPECT_EQ(client.last_boot_count(), 0u);
+}
+
+TEST(LinkResyncTest, RebootTriggersHandshakeAndRetry) {
+  SdbMicrocontroller micro = MakeMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroCrash,
+            .start = Seconds(0.0),
+            .end = Seconds(1.0)});
+  micro.InstallFaults(plan);
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+
+  micro.Step(Watts(1.0), Watts(0.0), Seconds(1.0));  // Crash window at t=0.
+  ASSERT_TRUE(micro.awaiting_resync());
+
+  // One API call: the client sees FailedPrecondition, runs the handshake
+  // and retries — the caller only sees the final success.
+  ASSERT_TRUE(client.SetDischargeRatios({0.25, 0.75}).ok());
+  EXPECT_EQ(client.resyncs(), 1u);
+  EXPECT_EQ(client.last_boot_count(), 1u);
+  EXPECT_FALSE(micro.awaiting_resync());
+  EXPECT_NEAR(micro.discharge_ratios()[0], 0.25, 1e-6);
+}
+
+TEST(LinkResyncTest, BrownoutYieldsUnavailableThenRecovers) {
+  SdbMicrocontroller micro = MakeMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroBrownout,
+            .start = Seconds(0.0),
+            .end = Seconds(10.0)});
+  micro.InstallFaults(plan);
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+
+  micro.Step(Watts(1.0), Watts(0.0), Seconds(1.0));
+  ASSERT_TRUE(micro.in_reset());
+  // While held in reset everything fails, queries included.
+  EXPECT_EQ(client.SetDischargeRatios({0.25, 0.75}).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.QueryBatteryStatus().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.Resync().code(), StatusCode::kUnavailable);
+
+  // Power returns: the first mutating command resyncs and lands.
+  for (int i = 0; i < 10; ++i) {
+    micro.Step(Watts(1.0), Watts(0.0), Seconds(1.0));
+  }
+  ASSERT_FALSE(micro.in_reset());
+  ASSERT_TRUE(micro.awaiting_resync());
+  ASSERT_TRUE(client.SetDischargeRatios({0.25, 0.75}).ok());
+  EXPECT_EQ(client.resyncs(), 1u);
+  EXPECT_NEAR(micro.discharge_ratios()[0], 0.25, 1e-6);
+}
+
+TEST(LinkReplayTest, DuplicateDeliveryAnswersFromCache) {
+  SdbMicrocontroller micro = MakeMicro();
+  CommandLinkServer server(&micro);
+  std::vector<uint8_t> last_request;
+  CommandLinkClient client([&](const std::vector<uint8_t>& bytes) {
+    last_request = bytes;
+    return server.Receive(bytes);
+  });
+  ASSERT_TRUE(client.ChargeOneFromAnother(0, 1, Watts(5.0), Minutes(2.0)).ok());
+  EXPECT_TRUE(micro.transfer_active());
+
+  // The reply was "lost" and the same request bytes arrive again: the
+  // server must answer from its replay cache with identical bytes instead
+  // of re-running the command.
+  std::vector<uint8_t> request = last_request;
+  std::vector<uint8_t> replay_a = server.Receive(request);
+  std::vector<uint8_t> replay_b = server.Receive(request);
+  EXPECT_EQ(server.replayed_commands(), 2u);
+  EXPECT_EQ(replay_a, replay_b);
+  EXPECT_TRUE(micro.transfer_active());
+}
+
+TEST(LinkReplayTest, RebootInvalidatesTheReplayCache) {
+  SdbMicrocontroller micro = MakeMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroCrash,
+            .start = Seconds(5.0),
+            .end = Seconds(6.0)});
+  micro.InstallFaults(plan);
+  CommandLinkServer server(&micro);
+  std::vector<uint8_t> last_request;
+  CommandLinkClient client([&](const std::vector<uint8_t>& bytes) {
+    last_request = bytes;
+    return server.Receive(bytes);
+  });
+  ASSERT_TRUE(client.ChargeOneFromAnother(0, 1, Watts(5.0), Minutes(2.0)).ok());
+  std::vector<uint8_t> request = last_request;
+
+  micro.Step(Watts(1.0), Watts(0.0), Seconds(5.0));
+  micro.Step(Watts(1.0), Watts(0.0), Seconds(0.5));  // Reboot fires here.
+  ASSERT_TRUE(micro.awaiting_resync());
+
+  // A stale pre-reboot duplicate must NOT be served from the cache: the
+  // boot count changed, so the server re-evaluates and the gate refuses it.
+  std::vector<uint8_t> reply = server.Receive(request);
+  EXPECT_EQ(server.replayed_commands(), 0u);
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  decoder.Feed(reply, frames);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, MessageType::kAck);
+  ASSERT_EQ(frames[0].payload.size(), 1u);
+  EXPECT_EQ(static_cast<StatusCode>(frames[0].payload[0]),
+            StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace sdb

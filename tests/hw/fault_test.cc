@@ -315,6 +315,70 @@ TEST(FaultPlanTest, NamesCoverTheTaxonomy) {
   EXPECT_EQ(FaultClassName(FaultClass::kRegulatorCollapse), "regulator-collapse");
   EXPECT_EQ(FaultClassName(FaultClass::kOpenCircuit), "open-circuit");
   EXPECT_EQ(FaultClassName(FaultClass::kThermalTrip), "thermal-trip");
+  EXPECT_EQ(FaultClassName(FaultClass::kMicroCrash), "micro-crash");
+  EXPECT_EQ(FaultClassName(FaultClass::kMicroBrownout), "micro-brownout");
+}
+
+TEST(FaultRebootTest, CrashEdgeFiresOncePerEvent) {
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroCrash,
+            .start = Seconds(10.0),
+            .end = Seconds(20.0)});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.MicroRebootEdge());
+  injector.Advance(Seconds(10.0));
+  EXPECT_TRUE(injector.MicroRebootEdge());
+  // The edge is one-shot: polling again inside the window must not re-fire.
+  EXPECT_FALSE(injector.MicroRebootEdge());
+  injector.Advance(Seconds(5.0));
+  EXPECT_FALSE(injector.MicroRebootEdge());
+  EXPECT_EQ(injector.micro_reboots(), 1u);
+}
+
+TEST(FaultRebootTest, BrownoutHoldsResetForTheWholeWindow) {
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroBrownout,
+            .start = Seconds(10.0),
+            .end = Seconds(20.0)});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.MicroHeldInReset());
+  injector.Advance(Seconds(10.0));
+  EXPECT_TRUE(injector.MicroHeldInReset());
+  EXPECT_TRUE(injector.MicroRebootEdge());  // Entering reset reboots once.
+  injector.Advance(Seconds(9.0));
+  EXPECT_TRUE(injector.MicroHeldInReset());
+  injector.Advance(Seconds(1.0));
+  EXPECT_FALSE(injector.MicroHeldInReset());
+}
+
+TEST(FaultRebootTest, RebootDropsStateAndDemandsResync) {
+  SdbMicrocontroller micro = MakeTwoBatteryMicro();
+  FaultPlan plan;
+  plan.Add({.kind = FaultClass::kMicroCrash,
+            .start = Seconds(5.0),
+            .end = Seconds(6.0)});
+  micro.InstallFaults(plan);
+  ASSERT_TRUE(micro.SetDischargeRatios({0.3, 0.7}).ok());
+  ASSERT_TRUE(micro.ChargeOneFromAnother(0, 1, Watts(2.0), Minutes(5.0)).ok());
+  EXPECT_TRUE(micro.transfer_active());
+
+  // First step ends with the injector clock at 5 s, so the reboot edge
+  // fires at the start of the second step.
+  micro.Step(Watts(3.0), Watts(0.0), Seconds(5.0));
+  EXPECT_FALSE(micro.awaiting_resync());
+  micro.Step(Watts(3.0), Watts(0.0), Seconds(0.5));
+  EXPECT_TRUE(micro.awaiting_resync());
+  EXPECT_EQ(micro.boot_count(), 1u);
+  EXPECT_FALSE(micro.transfer_active());  // In-flight command dropped.
+  EXPECT_DOUBLE_EQ(micro.discharge_ratios()[0], 0.5);  // Safe default.
+  EXPECT_DOUBLE_EQ(micro.discharge_ratios()[1], 0.5);
+
+  // Mutating commands are refused until the OS resyncs.
+  EXPECT_EQ(micro.SetDischargeRatios({0.3, 0.7}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(micro.Resync(), 1u);
+  EXPECT_FALSE(micro.awaiting_resync());
+  EXPECT_TRUE(micro.SetDischargeRatios({0.3, 0.7}).ok());
 }
 
 }  // namespace

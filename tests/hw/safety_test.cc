@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <variant>
+
 #include "src/chem/library.h"
 
 namespace sdb {
@@ -47,7 +50,9 @@ TEST_F(SafetyTest, OverCurrentDischargeTrips) {
   FaultKind kind = supervisor_.Inspect(0, cell_, MakeStep(limit * 1.2, 3.4));
   EXPECT_EQ(kind, FaultKind::kOverCurrentDischarge);
   EXPECT_TRUE(supervisor_.IsFaulted(0));
-  EXPECT_DOUBLE_EQ(supervisor_.fault(0).limit_value, limit);
+  EXPECT_DOUBLE_EQ(ReadingValue(supervisor_.fault(0).limit), limit);
+  EXPECT_TRUE(std::holds_alternative<Current>(supervisor_.fault(0).limit));
+  EXPECT_DOUBLE_EQ(ReadingValue(supervisor_.fault(0).observed), limit * 1.2);
 }
 
 TEST_F(SafetyTest, OverCurrentChargeTrips) {
@@ -131,6 +136,179 @@ TEST_F(SafetyTest, PerBatteryIsolation) {
   EXPECT_TRUE(supervisor.IsFaulted(0));
   EXPECT_FALSE(supervisor.IsFaulted(1));
   EXPECT_TRUE(supervisor.AnyFaulted());
+}
+
+TEST_F(SafetyTest, ValueExactlyAtLimitDoesNotTrip) {
+  SafetyLimits limits = DeriveLimits(cell_.params());
+  // The limit itself is inside the safe region; only strict excess trips.
+  EXPECT_EQ(supervisor_.Inspect(0, cell_, MakeStep(limits.max_discharge.value(), 3.4)),
+            FaultKind::kNone);
+  EXPECT_EQ(supervisor_.Inspect(0, cell_, MakeStep(-limits.max_charge.value(), 4.0)),
+            FaultKind::kNone);
+  EXPECT_EQ(supervisor_.Inspect(0, cell_, MakeStep(1.0, limits.max_voltage.value())),
+            FaultKind::kNone);
+  EXPECT_EQ(supervisor_.Inspect(0, cell_, MakeStep(1.0, limits.min_voltage.value())),
+            FaultKind::kNone);
+  EXPECT_FALSE(supervisor_.IsFaulted(0));
+}
+
+TEST_F(SafetyTest, TwoViolationsSameTickFirstCheckedWins) {
+  // Over-current-discharge is checked before over-voltage; when one reading
+  // violates both, the record carries the current fault. Pinned so reports
+  // and goldens cannot flap between kinds.
+  SafetyLimits limits = DeriveLimits(cell_.params());
+  FaultKind kind = supervisor_.Inspect(
+      0, cell_, MakeStep(limits.max_discharge.value() * 2.0, limits.max_voltage.value() + 1.0));
+  EXPECT_EQ(kind, FaultKind::kOverCurrentDischarge);
+  EXPECT_EQ(supervisor_.fault(0).kind, FaultKind::kOverCurrentDischarge);
+}
+
+TEST_F(SafetyTest, DeriveLimitsMarginMath) {
+  const BatteryParams& params = cell_.params();
+  SafetyLimits limits = DeriveLimits(params);
+  EXPECT_DOUBLE_EQ(limits.max_discharge.value(), params.max_discharge_current.value() * 1.25);
+  EXPECT_DOUBLE_EQ(limits.max_charge.value(), params.max_charge_current.value() * 1.25);
+  EXPECT_DOUBLE_EQ(limits.min_voltage.value(), params.ocv_vs_soc.min_y() - 0.15);
+  EXPECT_DOUBLE_EQ(limits.max_voltage.value(),
+                   params.charge_cutoff_voltage.value() + 0.15);
+  EXPECT_DOUBLE_EQ(limits.max_temperature.value(), Celsius(60.0).value());
+}
+
+// --- Recovery lifecycle -----------------------------------------------------
+
+class SafetyRecoveryTest : public SafetyTest {
+ protected:
+  SafetyRecoveryTest() {
+    RecoveryConfig recovery;
+    recovery.enabled = true;
+    recovery.base_dwell = Seconds(60.0);
+    recovery.dwell_backoff = 2.0;
+    recovery.max_dwell = Seconds(180.0);
+    recovery.probe_duration = Seconds(20.0);
+    recovery_supervisor_.emplace(
+        std::vector<SafetyLimits>{DeriveLimits(cell_.params())}, recovery);
+  }
+
+  // Trips battery 0 with an over-current reading.
+  void Trip() {
+    double limit = DeriveLimits(cell_.params()).max_discharge.value();
+    recovery_supervisor_->Inspect(0, cell_, MakeStep(limit * 1.5, 3.4));
+    ASSERT_EQ(recovery_supervisor_->health(0), BatteryHealth::kTripped);
+  }
+
+  // One quiescent tick: healthy reading + timer advance.
+  void QuietTick(Duration dt) {
+    recovery_supervisor_->Inspect(0, cell_, MakeStep(0.5, 3.8));
+    recovery_supervisor_->Advance(dt);
+  }
+
+  std::optional<SafetySupervisor> recovery_supervisor_;
+};
+
+TEST_F(SafetyRecoveryTest, FullLifecycleRecovers) {
+  Trip();
+  EXPECT_TRUE(recovery_supervisor_->IsFaulted(0));
+  QuietTick(Seconds(1.0));
+  EXPECT_EQ(recovery_supervisor_->health(0), BatteryHealth::kCoolDown);
+  for (int k = 0; k < 60; ++k) {
+    QuietTick(Seconds(1.0));
+  }
+  EXPECT_EQ(recovery_supervisor_->health(0), BatteryHealth::kProbing);
+  EXPECT_FALSE(recovery_supervisor_->IsFaulted(0));
+  EXPECT_TRUE(recovery_supervisor_->IsProbing(0));
+  EXPECT_TRUE(recovery_supervisor_->AnyUnhealthy());
+  for (int k = 0; k < 20; ++k) {
+    QuietTick(Seconds(1.0));
+  }
+  EXPECT_EQ(recovery_supervisor_->health(0), BatteryHealth::kHealthy);
+  EXPECT_EQ(recovery_supervisor_->fault(0).kind, FaultKind::kNone);
+  EXPECT_EQ(recovery_supervisor_->trip_count(0), 1u);
+  EXPECT_EQ(recovery_supervisor_->recovery_count(0), 1u);
+  EXPECT_FALSE(recovery_supervisor_->AnyUnhealthy());
+}
+
+TEST_F(SafetyRecoveryTest, HysteresisExcursionRestartsDwell) {
+  Trip();
+  QuietTick(Seconds(1.0));
+  ASSERT_EQ(recovery_supervisor_->health(0), BatteryHealth::kCoolDown);
+  for (int k = 0; k < 30; ++k) {
+    QuietTick(Seconds(1.0));
+  }
+  // Still cooling; a reading back above limit-minus-margin drops to Tripped.
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  recovery_supervisor_->Inspect(0, cell_, MakeStep(limit * 0.99, 3.4));
+  recovery_supervisor_->Advance(Seconds(1.0));
+  EXPECT_EQ(recovery_supervisor_->health(0), BatteryHealth::kTripped);
+  // The dwell restarts in full: 30 s of cooling is not enough again.
+  QuietTick(Seconds(1.0));
+  ASSERT_EQ(recovery_supervisor_->health(0), BatteryHealth::kCoolDown);
+  for (int k = 0; k < 35; ++k) {
+    QuietTick(Seconds(1.0));
+  }
+  EXPECT_EQ(recovery_supervisor_->health(0), BatteryHealth::kCoolDown);
+}
+
+TEST_F(SafetyRecoveryTest, ProbeReTripEscalatesDwellWithCap) {
+  auto run_to_probe = [&]() {
+    QuietTick(Seconds(1.0));
+    for (int k = 0; k < 1000 && recovery_supervisor_->health(0) != BatteryHealth::kProbing;
+         ++k) {
+      QuietTick(Seconds(1.0));
+    }
+    ASSERT_EQ(recovery_supervisor_->health(0), BatteryHealth::kProbing);
+  };
+  auto seconds_to_probe = [&]() {
+    int ticks = 0;
+    QuietTick(Seconds(1.0));
+    for (; ticks < 1000 && recovery_supervisor_->health(0) != BatteryHealth::kProbing;
+         ++ticks) {
+      QuietTick(Seconds(1.0));
+    }
+    return ticks;
+  };
+  Trip();
+  run_to_probe();
+  Trip();  // Re-trip during probe: next dwell doubles to 120 s.
+  int second = seconds_to_probe();
+  EXPECT_GE(second, 119);
+  Trip();  // Again: 240 s would exceed max_dwell, so capped at 180 s.
+  int third = seconds_to_probe();
+  EXPECT_GE(third, 179);
+  EXPECT_LE(third, 185);
+  // Completing the probe resets the escalation to the base dwell.
+  for (int k = 0; k < 25; ++k) {
+    QuietTick(Seconds(1.0));
+  }
+  ASSERT_EQ(recovery_supervisor_->health(0), BatteryHealth::kHealthy);
+  Trip();
+  int fresh = seconds_to_probe();
+  EXPECT_LE(fresh, 65);
+}
+
+TEST_F(SafetyRecoveryTest, TransitionsAreRecorded) {
+  Trip();
+  QuietTick(Seconds(1.0));
+  const auto& transitions = recovery_supervisor_->transitions();
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, BatteryHealth::kHealthy);
+  EXPECT_EQ(transitions[0].to, BatteryHealth::kTripped);
+  EXPECT_EQ(transitions[0].kind, FaultKind::kOverCurrentDischarge);
+  EXPECT_EQ(transitions[1].from, BatteryHealth::kTripped);
+  EXPECT_EQ(transitions[1].to, BatteryHealth::kCoolDown);
+  EXPECT_EQ(recovery_supervisor_->transitions_dropped(), 0u);
+}
+
+TEST_F(SafetyRecoveryTest, LatchOnlyDefaultNeverRecovers) {
+  // The member supervisor_ has recovery disabled: Advance is a no-op and the
+  // fault latches forever.
+  double limit = DeriveLimits(cell_.params()).max_discharge.value();
+  supervisor_.Inspect(0, cell_, MakeStep(limit * 1.5, 3.4));
+  for (int k = 0; k < 500; ++k) {
+    supervisor_.Inspect(0, cell_, MakeStep(0.5, 3.8));
+    supervisor_.Advance(Minutes(1.0));
+  }
+  EXPECT_TRUE(supervisor_.IsFaulted(0));
+  EXPECT_EQ(supervisor_.health(0), BatteryHealth::kTripped);
 }
 
 }  // namespace

@@ -195,5 +195,131 @@ TEST_P(FaultMatrixTest, RuntimeSurvivesTheFault) {
 INSTANTIATE_TEST_SUITE_P(Grid, FaultMatrixTest, ::testing::ValuesIn(MakeGrid()),
                          CaseName);
 
+// --- Recovery variants -------------------------------------------------------
+//
+// The same rig with the full recovery stack switched on: a recovery-enabled
+// supervisor (trip → cool-down → probe lifecycle), the runtime's
+// reintegration ramp, and the controller reboot kinds in the grid. The fault
+// window closes at 40 min of a 2 h run, so every cell asserts that the
+// system is fully healthy again at the end — not merely that it survived.
+
+std::vector<MatrixCase> MakeRecoveryGrid() {
+  const FaultClass kinds[] = {
+      FaultClass::kMicroCrash,
+      FaultClass::kMicroBrownout,
+      FaultClass::kThermalTrip,
+      FaultClass::kOpenCircuit,
+  };
+  const double directives[] = {0.0, 1.0, 0.5};
+  std::vector<MatrixCase> grid;
+  for (FaultClass kind : kinds) {
+    bool link_wide = kind == FaultClass::kMicroCrash || kind == FaultClass::kMicroBrownout;
+    for (double directive : directives) {
+      for (int count = 1; count <= (link_wide ? 1 : 2); ++count) {
+        grid.push_back(MatrixCase{kind, directive, count});
+      }
+    }
+  }
+  return grid;
+}
+
+class FaultRecoveryMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FaultRecoveryMatrixTest, RecoversAndReintegrates) {
+  const MatrixCase& param = GetParam();
+  const bool micro_fault = param.kind == FaultClass::kMicroCrash ||
+                           param.kind == FaultClass::kMicroBrownout;
+
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 97);
+
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  recovery.base_dwell = Minutes(3.0);
+  recovery.max_dwell = Minutes(12.0);
+  recovery.probe_duration = Minutes(2.0);
+  SafetySupervisor safety(limits, recovery);
+  micro.AttachSafety(&safety);
+
+  FaultPlan plan;
+  plan.seed = 0xFA317u + static_cast<uint64_t>(param.kind);
+  if (micro_fault) {
+    plan.Add(FaultEvent{.kind = param.kind,
+                        .start = Minutes(10.0),
+                        .end = Minutes(40.0),
+                        .battery = -1});
+  } else {
+    for (int b = 0; b < param.faulted_count; ++b) {
+      plan.Add(FaultEvent{.kind = param.kind,
+                          .start = Minutes(10.0),
+                          .end = Minutes(40.0),
+                          .battery = b,
+                          .magnitude = MagnitudeFor(param.kind)});
+    }
+  }
+  micro.InstallFaults(std::move(plan));
+
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+
+  RuntimeConfig runtime_config;
+  runtime_config.reintegration_horizon = Minutes(10.0);
+  SdbRuntime runtime(&micro, runtime_config);
+  runtime.SetDischargingDirective(param.directive);
+  runtime.AttachLink(&client);
+
+  double e0 = micro.pack().TotalRemainingEnergy().value();
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&runtime, config);
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(6.0), Hours(2.0)));
+  double e1 = micro.pack().TotalRemainingEnergy().value();
+
+  // Survival invariants, same as the base matrix.
+  EXPECT_GE(result.elapsed.value(), Hours(2.0).value() - config.tick.value());
+  double drawn = e0 - e1;
+  double accounted = result.delivered.value() + result.TotalLoss().value();
+  EXPECT_NEAR(drawn, accounted, std::max(2.0, drawn * 0.03));
+
+  // Recovery invariants: 80 minutes after the window closed, every layer is
+  // healthy again and the returning batteries carry real share.
+  EXPECT_FALSE(safety.AnyUnhealthy());
+  EXPECT_FALSE(runtime.degraded());
+  EXPECT_FALSE(micro.awaiting_resync());
+  EXPECT_FALSE(micro.in_reset());
+  for (double ramp : runtime.reintegration_ramp()) {
+    EXPECT_DOUBLE_EQ(ramp, 1.0);
+  }
+
+  if (micro_fault) {
+    // The controller rebooted and the OS completed the resync handshake.
+    EXPECT_GE(micro.boot_count(), 1u);
+    EXPECT_GE(client.resyncs(), 1u);
+    EXPECT_GE(runtime.resilience().resyncs, 1u);
+  }
+  if (param.kind == FaultClass::kThermalTrip) {
+    // Quarantined on the reported-temperature floor, then reintegrated.
+    EXPECT_GE(runtime.resilience().quarantines,
+              static_cast<uint64_t>(param.faulted_count));
+    EXPECT_EQ(runtime.resilience().quarantines, runtime.resilience().reintegrations);
+    EXPECT_GT(runtime.last_discharge_ratios()[0], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Recovery, FaultRecoveryMatrixTest,
+                         ::testing::ValuesIn(MakeRecoveryGrid()), CaseName);
+
 }  // namespace
 }  // namespace sdb

@@ -24,6 +24,7 @@
 #include "src/emu/workload.h"
 #include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
+#include "src/hw/safety.h"
 
 namespace sdb {
 namespace {
@@ -157,6 +158,74 @@ TEST(GoldenResultsTest, SmartwatchDayWithFaults) {
   ExpectGolden("faultday.circuit_loss_j", result.circuit_loss.value(), 48.948000944153378);
   ExpectGolden("faultday.final_soc0", result.final_soc[0], 2.3664711936683932e-05);
   ExpectGolden("faultday.final_soc1", result.final_soc[1], 2.2060642747981834e-06);
+}
+
+// Recovered smartwatch day: the fault-day rig with the full recovery stack
+// on — recovery-enabled supervisor, reintegration ramp, and a controller
+// crash mid-day whose resync the runtime performs directly. Pins the
+// recovery layer end to end, including the transition counters.
+TEST(GoldenResultsTest, RecoveredSmartwatchDay) {
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeWatchLiIon(MilliAmpHours(200.0)), 1.0);
+  cells.emplace_back(MakeType4Bendable(MilliAmpHours(200.0)), 1.0);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), /*seed=*/13);
+
+  std::vector<SafetyLimits> limits = {DeriveLimits(micro.pack().cell(0).params()),
+                                      DeriveLimits(micro.pack().cell(1).params())};
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  SafetySupervisor safety(limits, recovery);
+  micro.AttachSafety(&safety);
+
+  RuntimeConfig runtime_config;
+  runtime_config.reintegration_horizon = Minutes(20.0);
+  SdbRuntime runtime(&micro, runtime_config);
+  runtime.SetDischargingDirective(1.0);
+
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  config.stop_on_shortfall = false;
+  config.faults.seed = 13;
+  config.faults
+      .Add(FaultEvent{.kind = FaultClass::kThermalTrip,
+                      .start = Hours(2.0),
+                      .end = Hours(4.0),
+                      .battery = 0,
+                      .magnitude = Celsius(70.0).value()})
+      .Add(FaultEvent{.kind = FaultClass::kMicroCrash,
+                      .start = Hours(5.0),
+                      .end = Hours(5.1),
+                      .battery = -1})
+      .Add(FaultEvent{.kind = FaultClass::kGaugeBias,
+                      .start = Hours(6.0),
+                      .end = Hours(7.0),
+                      .battery = 1,
+                      .magnitude = 0.2});
+  Simulator sim(&runtime, config);
+
+  SmartwatchDayConfig day_config;
+  day_config.seed = 100;
+  SimResult result = sim.Run(MakeSmartwatchDayTrace(day_config));
+
+  // The recovery layer did its job: crash resynced, quarantine lifted,
+  // ramp completed, and the supervisor ended the day healthy.
+  EXPECT_EQ(micro.boot_count(), 1u);
+  EXPECT_EQ(runtime.resilience().resyncs, 1u);
+  // At least the thermal quarantine; late-day empty-battery exclusions also
+  // count edges, so these are lower bounds.
+  EXPECT_GE(runtime.resilience().quarantines, 1u);
+  EXPECT_GE(runtime.resilience().reintegrations, 1u);
+  EXPECT_FALSE(safety.AnyUnhealthy());
+  EXPECT_FALSE(runtime.degraded());
+  EXPECT_FALSE(micro.awaiting_resync());
+
+  ExpectGolden("recovered.elapsed_s", result.elapsed.value(), 86400);
+  ExpectGolden("recovered.delivered_j", result.delivered.value(), 4861.6346368019549);
+  ExpectGolden("recovered.battery_loss_j", result.battery_loss.value(), 369.95049915889666);
+  ExpectGolden("recovered.circuit_loss_j", result.circuit_loss.value(), 49.524055975684021);
+  ExpectGolden("recovered.final_soc0", result.final_soc[0], 1.5997280192715183e-05);
+  ExpectGolden("recovered.final_soc1", result.final_soc[1], 4.6666983007259038e-06);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "src/chem/library.h"
@@ -30,11 +31,13 @@
 #include "src/core/telemetry.h"
 #include "src/emu/monte_carlo.h"
 #include "src/emu/simulator.h"
+#include "src/emu/soak.h"
 #include "src/emu/trace_io.h"
 #include "src/emu/workload.h"
 #include "src/hw/command_link.h"
 #include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
+#include "src/hw/safety.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_export.h"
@@ -109,6 +112,7 @@ std::optional<FaultEvent> ParseFaultSpec(const std::string& spec) {
       FaultClass::kGaugeBias,        FaultClass::kGaugeNoise,
       FaultClass::kGaugeStuck,       FaultClass::kRegulatorCollapse,
       FaultClass::kOpenCircuit,      FaultClass::kThermalTrip,
+      FaultClass::kMicroCrash,       FaultClass::kMicroBrownout,
   };
   std::optional<FaultClass> kind;
   for (FaultClass candidate : kKinds) {
@@ -163,6 +167,8 @@ struct Args {
   uint64_t seed = 42;
   int runs = 32;  // Sweep width for `sweep`.
   int jobs = 0;   // Sweep workers: 0 = auto (SDB_THREADS / hardware).
+  int schedules = 20;       // Randomized fault schedules for `soak`.
+  double period_min = 10.0; // Runtime replan period for `soak`, minutes.
   std::vector<std::string> faults;  // Fault specs for `faults`.
   std::string trace_out;    // Chrome trace JSON (for `trace`).
   std::string metrics_out;  // MetricsRegistry JSON, written by any command.
@@ -260,6 +266,12 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--jobs") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.jobs = std::atoi(value);
+    } else if (flag == "--schedules") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.schedules = std::atoi(value);
+    } else if (flag == "--period") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.period_min = std::atof(value);
     } else if (flag == "--fault") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.faults.push_back(value);
@@ -301,7 +313,12 @@ void PrintUsage() {
                "         [--discharge-directive F] [--charge-directive F]\n"
                "         kinds: link-timeout link-corrupt-reply gauge-bias gauge-noise\n"
                "                gauge-stuck regulator-collapse open-circuit thermal-trip\n"
+               "                micro-crash micro-brownout\n"
                "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n"
+               "  sdbsim soak [--seed N] [--schedules N] [--hours H] [--jobs N]\n"
+               "         [--tick S] [--period MIN]\n"
+               "         (randomized fault schedules on the recovery rig;\n"
+               "          per-tick invariants; exit 1 on any violation)\n"
                "  sdbsim trace --trace-out RUN.json [--metrics-out METRICS.json]\n"
                "         [--battery NAME[:MAH] ... | --pack FILE]\n"
                "         [--load-watts W --hours H | --trace FILE.csv]\n"
@@ -569,6 +586,17 @@ int CmdFaults(const Args& args) {
   }
 
   SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(*cells), args.seed);
+  // Recovery-enabled supervision: trips walk the trip → cool-down → probe
+  // lifecycle instead of latching forever, and the report below prints
+  // every transition.
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  SafetySupervisor safety(limits, recovery);
+  micro.AttachSafety(&safety);
   // Install before wiring the link: the client attaches the injector that
   // must survive the whole run (so SimConfig.faults stays empty).
   micro.InstallFaults(std::move(plan));
@@ -623,15 +651,113 @@ int CmdFaults(const Args& args) {
               static_cast<unsigned long long>(res.degraded_entries),
               static_cast<unsigned long long>(res.degraded_exits),
               runtime.degraded() ? " (still degraded)" : "");
-  const FaultInjector* injector = micro.fault_injector();
-  std::printf("injector: %llu queries dropped, %llu replies corrupted\n",
+  FaultInjector* injector = micro.fault_injector();
+  std::printf("injector: %llu queries dropped, %llu replies corrupted, "
+              "%llu controller reboots\n",
               static_cast<unsigned long long>(injector->dropped_queries()),
-              static_cast<unsigned long long>(injector->corrupted_replies()));
+              static_cast<unsigned long long>(injector->corrupted_replies()),
+              static_cast<unsigned long long>(injector->micro_reboots()));
+  std::printf("link: %llu resyncs (boot count %u), %llu replayed commands%s\n",
+              static_cast<unsigned long long>(client.resyncs()),
+              client.last_boot_count(),
+              static_cast<unsigned long long>(server.replayed_commands()),
+              micro.awaiting_resync() ? " (still awaiting resync)" : "");
+
+  // Per-battery safety lifecycle: health, typed fault record, counters.
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    std::printf("safety %zu: %s, %llu trip(s), %llu recover(ies)",
+                i, std::string(BatteryHealthName(safety.health(i))).c_str(),
+                static_cast<unsigned long long>(safety.trip_count(i)),
+                static_cast<unsigned long long>(safety.recovery_count(i)));
+    const FaultRecord& record = safety.fault(i);
+    if (record.kind != FaultKind::kNone) {
+      const char* unit = std::holds_alternative<Current>(record.observed)   ? "A"
+                         : std::holds_alternative<Voltage>(record.observed) ? "V"
+                                                                            : "K";
+      std::printf("; active fault %s: observed %.3f %s vs limit %.3f %s",
+                  std::string(FaultKindName(record.kind)).c_str(),
+                  ReadingValue(record.observed), unit, ReadingValue(record.limit),
+                  unit);
+    }
+    std::printf("\n");
+  }
+  if (!safety.transitions().empty()) {
+    std::printf("lifecycle transitions (%zu, %llu dropped):\n",
+                safety.transitions().size(),
+                static_cast<unsigned long long>(safety.transitions_dropped()));
+    for (const SafetySupervisor::Transition& t : safety.transitions()) {
+      std::printf("  %8.1f s  battery %zu  %s -> %s  (%s)\n", t.at.value(), t.battery,
+                  std::string(BatteryHealthName(t.from)).c_str(),
+                  std::string(BatteryHealthName(t.to)).c_str(),
+                  std::string(FaultKindName(t.kind)).c_str());
+    }
+  }
   PrintTelemetrySummary(telemetry);
   if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
     return 2;
   }
   return result.first_shortfall.has_value() ? 1 : 0;
+}
+
+// Seeded soak: randomized fault schedules against the recovery rig, with
+// the per-tick invariants from src/emu/soak.h checked throughout. Prints a
+// per-schedule summary (seeds included, so any line can be replayed with
+// --seed) and exits nonzero if any invariant was violated.
+int CmdSoak(const Args& args) {
+  if (args.schedules <= 0) {
+    std::fprintf(stderr, "sdbsim: --schedules must be positive\n");
+    return 2;
+  }
+  SoakConfig config;
+  config.base_seed = args.seed;
+  config.schedules = args.schedules;
+  config.jobs = args.jobs;
+  if (args.hours > 0.0) {
+    config.horizon = Hours(args.hours);
+  }
+  config.tick = Seconds(args.tick_s > 0.0 ? args.tick_s : 10.0);
+  config.runtime_period = Minutes(args.period_min);
+
+  std::printf("soak: %d schedule(s), seeds %llu..%llu, horizon %.2f h, "
+              "tick %.0f s, jobs %d\n",
+              config.schedules, static_cast<unsigned long long>(config.base_seed),
+              static_cast<unsigned long long>(config.base_seed + config.schedules - 1),
+              ToHours(config.horizon), config.tick.value(), config.jobs);
+  SoakReport report = RunSoak(config);
+
+  TextTable table({"seed", "events", "trips", "recov", "reboots", "resyncs",
+                   "replays", "share-delta", "violations", "status"});
+  for (const SoakScheduleReport& s : report.schedules) {
+    uint64_t violations = s.violations.size() + s.violations_dropped;
+    std::string status = !s.completed    ? "INCOMPLETE"
+                         : violations > 0 ? "VIOLATED"
+                         : s.recovered    ? "recovered"
+                                          : "UNRECOVERED";
+    table.AddRow({std::to_string(s.seed), std::to_string(s.events),
+                  std::to_string(s.trips), std::to_string(s.recoveries),
+                  std::to_string(s.reboots), std::to_string(s.resyncs),
+                  std::to_string(s.replayed_commands),
+                  TextTable::Num(s.max_share_delta, 3), std::to_string(violations),
+                  status});
+  }
+  table.Print(std::cout);
+
+  for (const SoakScheduleReport& s : report.schedules) {
+    for (const SoakViolation& v : s.violations) {
+      std::printf("violation: seed %llu at %.1f s [%s] %s\n",
+                  static_cast<unsigned long long>(v.seed), v.time.value(),
+                  v.invariant.c_str(), v.detail.c_str());
+    }
+    if (s.violations_dropped > 0) {
+      std::printf("violation: seed %llu: %llu further violation(s) dropped\n",
+                  static_cast<unsigned long long>(s.seed),
+                  static_cast<unsigned long long>(s.violations_dropped));
+    }
+  }
+  std::printf("soak fingerprint: %016llx (%llu violation(s))\n",
+              static_cast<unsigned long long>(report.fingerprint),
+              static_cast<unsigned long long>(report.total_violations));
+  return report.ok() ? 0 : 1;
 }
 
 // Traced run: plays a scenario with span tracing enabled and exports the
@@ -844,6 +970,8 @@ int main(int argc, char** argv) {
     rc = CmdSweep(*args);
   } else if (args->command == "faults") {
     rc = CmdFaults(*args);
+  } else if (args->command == "soak") {
+    rc = CmdSoak(*args);
   } else if (args->command == "trace") {
     rc = CmdTrace(*args);
   } else if (args->command == "plan-charge") {
