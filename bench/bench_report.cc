@@ -1,0 +1,138 @@
+#include "bench/bench_report.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace sdb {
+namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // JSON has no Inf/NaN literals; a bench metric that produced one is a bug
+  // worth surfacing as 0 plus an obviously-wrong report, not invalid JSON.
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void BenchReport::AddMetric(const std::string& name, double value) {
+  for (auto& [existing, v] : metrics) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+double BenchReport::Metric(const std::string& name, double fallback) const {
+  for (const auto& [existing, v] : metrics) {
+    if (existing == name) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+std::string ToJson(const BenchReport& report) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << JsonEscape(report.bench) << "\""
+     << ",\"git_sha\":\"" << JsonEscape(report.git_sha) << "\""
+     << ",\"jobs\":" << report.jobs << ",\"runs\":" << report.runs
+     << ",\"reps\":" << report.reps << ",\"wall_s\":" << JsonNumber(report.wall_s)
+     << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : report.metrics) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << JsonNumber(value);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+Status WriteBenchReport(const BenchReport& report, const std::string& path) {
+  if (path.empty()) {
+    return Status::Ok();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return UnavailableError("cannot open bench report path: " + path);
+  }
+  out << ToJson(report) << "\n";
+  if (!out) {
+    return UnavailableError("short write to bench report path: " + path);
+  }
+  return Status::Ok();
+}
+
+double MinOfReps(int reps, const std::function<double()>& timed_run) {
+  SDB_CHECK(timed_run != nullptr);
+  if (reps < 1) {
+    reps = 1;
+  }
+  double best = timed_run();
+  for (int r = 1; r < reps; ++r) {
+    best = std::min(best, timed_run());
+  }
+  return best;
+}
+
+std::string GitShaFromEnv() {
+  for (const char* var : {"SDB_GIT_SHA", "GITHUB_SHA"}) {
+    const char* sha = std::getenv(var);
+    if (sha != nullptr && sha[0] != '\0') {
+      return sha;
+    }
+  }
+  return "unknown";
+}
+
+std::string ParseBenchOut(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-out") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+int ParseIntFlag(int argc, char** argv, const std::string& name, int fallback) {
+  std::string flag = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) {
+      int n = std::atoi(argv[i + 1]);
+      if (n > 0) {
+        return n;
+      }
+    }
+  }
+  return fallback;
+}
+
+}  // namespace bench
+}  // namespace sdb

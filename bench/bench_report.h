@@ -1,0 +1,64 @@
+// Machine-readable bench reports: every perf-bearing harness can emit a
+// small BENCH_<name>.json next to its human-readable table so CI (and the
+// checked-in baselines under bench/baselines/) can gate on throughput
+// without scraping stdout. The schema is deliberately flat:
+//
+//   {"bench": "monte_carlo", "git_sha": "...", "jobs": 8, "runs": 24,
+//    "reps": 3, "wall_s": 0.7, "metrics": {"cell_steps_per_s": 4.2e7, ...}}
+//
+// Timing doctrine (same as tools `check_overhead.py`): report the MINIMUM
+// wall time across reps, never the mean — the minimum is the run least
+// disturbed by the machine, and every other rep only adds noise on top.
+#ifndef BENCH_BENCH_REPORT_H_
+#define BENCH_BENCH_REPORT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sdb {
+namespace bench {
+
+struct BenchReport {
+  std::string bench;              // Short bench id, e.g. "monte_carlo".
+  std::string git_sha = "unknown";
+  int jobs = 1;
+  int runs = 0;                   // Scenario seeds per sweep (bench-defined).
+  int reps = 0;                   // Timing repetitions folded by min-of-reps.
+  double wall_s = 0.0;            // Headline min-of-reps wall time.
+  // Named scalar metrics, serialized in insertion order so reports diff
+  // cleanly. Use AddMetric; duplicate names overwrite in place.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void AddMetric(const std::string& name, double value);
+  // Returns the metric value, or `fallback` when absent.
+  double Metric(const std::string& name, double fallback = 0.0) const;
+};
+
+// Serializes the report as a single-line JSON object (schema above).
+std::string ToJson(const BenchReport& report);
+
+// Writes ToJson(report) + newline to `path`. Empty path is a no-op (Ok).
+Status WriteBenchReport(const BenchReport& report, const std::string& path);
+
+// Runs `timed_run` `reps` times and returns the minimum of the returned
+// wall times. `reps` is clamped to at least 1.
+double MinOfReps(int reps, const std::function<double()>& timed_run);
+
+// Build identifier for the report: SDB_GIT_SHA env, else GITHUB_SHA, else
+// "unknown". Benches run from tarballs must still produce valid reports.
+std::string GitShaFromEnv();
+
+// `--bench-out PATH` flag: where to write the BENCH_*.json (empty = don't).
+std::string ParseBenchOut(int argc, char** argv);
+
+// Generic `--<name> N` integer flag with a default (ignores junk / missing).
+int ParseIntFlag(int argc, char** argv, const std::string& name, int fallback);
+
+}  // namespace bench
+}  // namespace sdb
+
+#endif  // BENCH_BENCH_REPORT_H_

@@ -10,6 +10,7 @@
 #include <iterator>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 #include "src/util/thread_pool.h"
 
 namespace {
@@ -93,9 +94,11 @@ int main(int argc, char** argv) {
   const int64_t kSettings = static_cast<int64_t>(std::size(settings));
   WearOutcome outcomes[std::size(settings)];
   ThreadPool pool(jobs);
+  sdb::obs::Stopwatch stopwatch;
   sdb::bench::SweepParallelFor(&pool, kSettings, [&](int64_t i) {
     outcomes[i] = RunSixtyDays(settings[i].discharge, settings[i].charge, 2024);
   });
+  double sweep_wall_s = stopwatch.ElapsedSeconds();
   for (int64_t i = 0; i < kSettings; ++i) {
     const WearOutcome& o = outcomes[i];
     table.AddRow({settings[i].label, TextTable::Num(o.mean_daily_life_h, 2),
@@ -110,5 +113,22 @@ int main(int argc, char** argv) {
       "daily battery life, CCB-heavy settings protect the short-lived "
       "battery's cycle budget (lower wear A, CCB near 1) at a cost per day — "
       "exactly why the OS must own the directive parameters.");
+  sdb::bench::BenchReport report;
+  report.bench = "weekly_wear";
+  report.git_sha = sdb::bench::GitShaFromEnv();
+  report.jobs = jobs;
+  report.runs = static_cast<int>(kSettings);
+  report.reps = 1;
+  report.wall_s = sweep_wall_s;
+  const char* prefixes[] = {"rbl_heavy", "balanced", "ccb_heavy"};
+  for (int64_t i = 0; i < kSettings; ++i) {
+    report.AddMetric(std::string(prefixes[i]) + "_life_h", outcomes[i].mean_daily_life_h);
+    report.AddMetric(std::string(prefixes[i]) + "_ccb", outcomes[i].ccb);
+  }
+  sdb::Status wrote = sdb::bench::WriteBenchReport(report, sdb::bench::ParseBenchOut(argc, argv));
+  if (!wrote.ok()) {
+    std::cerr << wrote.message() << "\n";
+    return 1;
+  }
   return sdb::bench::WriteMetricsJson(sdb::bench::ParseMetricsOut(argc, argv));
 }

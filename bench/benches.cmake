@@ -1,9 +1,16 @@
 # Benchmark harnesses: one binary per paper table/figure, emitted into
 # build/bench/ (kept free of CMake bookkeeping so `for b in build/bench/*`
 # runs them all).
+
+# Machine-readable BENCH_*.json report writer, shared by the harnesses and
+# unit-tested from tests/bench/.
+add_library(sdb_bench_report STATIC ${CMAKE_SOURCE_DIR}/bench/bench_report.cc)
+target_link_libraries(sdb_bench_report PUBLIC sdb_util)
+
 function(sdb_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
-  target_link_libraries(${name} PRIVATE sdb_os sdb_emu sdb_core sdb_hw sdb_chem sdb_util)
+  target_link_libraries(${name} PRIVATE sdb_os sdb_emu sdb_core sdb_hw sdb_chem sdb_util
+    sdb_bench_report)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   # Smoke-test every harness so the figure generators cannot bit-rot.
   add_test(NAME smoke_${name} COMMAND ${name})
@@ -33,3 +40,16 @@ set_property(TEST smoke_bench_policy_overhead PROPERTY TIMEOUT 120)
 sdb_bench(bench_optimal_vs_myopic)
 sdb_bench(bench_monte_carlo)
 sdb_bench(bench_weekly_wear)
+
+# The MC bench doubles as the report-schema smoke: a tiny run emits
+# BENCH_monte_carlo.json, then the CI checker validates the schema (no
+# baseline gate here — perf gating runs in the perf-smoke CI job, where the
+# build is not sanitizer-skewed). Fixtures order the pair.
+add_test(NAME bench_monte_carlo_json
+  COMMAND bench_monte_carlo --runs 2 --reps 1 --lanes 64 --steps 200
+          --bench-out ${CMAKE_BINARY_DIR}/bench/BENCH_monte_carlo.json)
+set_tests_properties(bench_monte_carlo_json PROPERTIES FIXTURES_SETUP bench_mc_json)
+add_test(NAME bench_monte_carlo_json_schema
+  COMMAND python3 ${CMAKE_SOURCE_DIR}/tools/ci/check_bench_json.py
+          ${CMAKE_BINARY_DIR}/bench/BENCH_monte_carlo.json)
+set_tests_properties(bench_monte_carlo_json_schema PROPERTIES FIXTURES_REQUIRED bench_mc_json)

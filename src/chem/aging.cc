@@ -7,69 +7,35 @@
 
 namespace sdb {
 
-namespace {
-// Below this health the battery is considered end-of-life; fade stops
-// compounding below it to keep long ablation runs numerically sane.
-constexpr double kMinCapacityFactor = 0.05;
-// Paper §5.1: the cumulative charge counter trips at 80% of current capacity.
-constexpr double kCycleThresholdFraction = 0.8;
-}  // namespace
-
 AgingModel::AgingModel(const BatteryParams* params) : params_(params) {
   SDB_CHECK(params_ != nullptr);
 }
 
 void AgingModel::RecordCharge(Charge charge, Current current) {
-  double dose = charge.value();
-  SDB_CHECK(dose >= 0.0);
-  total_charge_in_c_ += dose;
-  double i_a = std::fabs(current.value());
-
-  while (dose > 0.0) {
-    double threshold =
-        kCycleThresholdFraction * params_->nominal_capacity.value() * capacity_factor_;
-    double room = threshold - cumulative_charge_c_;
-    double step = std::min(dose, room);
-    cumulative_charge_c_ += step;
-    weighted_current_sum_ += i_a * step;
-    weighted_charge_sum_ += step;
-    dose -= step;
-    if (cumulative_charge_c_ >= threshold) {
-      double avg_current =
-          weighted_charge_sum_ > 0.0 ? weighted_current_sum_ / weighted_charge_sum_ : i_a;
-      ApplyCycleFade(avg_current);
-      cycle_count_ += 1.0;
-      cumulative_charge_c_ = 0.0;
-      weighted_current_sum_ = 0.0;
-      weighted_charge_sum_ = 0.0;
-    }
-  }
+  SDB_CHECK(charge.value() >= 0.0);
+  soa::AgingRecordCharge(soa::MakeAgingParamsView(*params_), state_, charge.value(),
+                         current.value());
 }
 
 void AgingModel::RecordDischarge(Charge charge, Current current) {
   (void)current;
   SDB_CHECK(charge.value() >= 0.0);
-  total_charge_out_c_ += charge.value();
+  soa::AgingRecordDischarge(state_, charge.value());
 }
 
 void AgingModel::AdvanceCalendar(Duration dt) {
   SDB_CHECK(dt.value() >= 0.0);
   const double seconds_per_month = Days(30.0).value();
   double fade = params_->calendar_fade_per_month * dt.value() / seconds_per_month;
-  capacity_factor_ = std::max(kMinCapacityFactor, capacity_factor_ - fade);
+  state_.capacity_factor = std::max(soa::kMinCapacityFactor, state_.capacity_factor - fade);
 }
 
 double AgingModel::partial_cycle_fraction() const {
-  double threshold =
-      kCycleThresholdFraction * params_->nominal_capacity.value() * capacity_factor_;
-  return threshold > 0.0 ? cumulative_charge_c_ / threshold * kCycleThresholdFraction : 0.0;
-}
-
-void AgingModel::ApplyCycleFade(double i_a) {
-  double ratio = i_a / params_->fade_reference_current.value();
-  double fade =
-      params_->base_fade_per_cycle * (1.0 + params_->fade_current_stress * ratio * ratio);
-  capacity_factor_ = std::max(kMinCapacityFactor, capacity_factor_ - fade);
+  double threshold = soa::kCycleThresholdFraction * params_->nominal_capacity.value() *
+                     state_.capacity_factor;
+  return threshold > 0.0
+             ? state_.cumulative_charge_c / threshold * soa::kCycleThresholdFraction
+             : 0.0;
 }
 
 }  // namespace sdb

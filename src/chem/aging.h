@@ -15,10 +15,13 @@
 #define SRC_CHEM_AGING_H_
 
 #include "src/chem/battery_params.h"
+#include "src/chem/soa_kernel.h"
 #include "src/util/units.h"
 
 namespace sdb {
 
+// Facade over the soa kernel's aging primitives (soa_kernel.h): throughput
+// recording delegates to the same inline code the batch lanes run.
 class AgingModel {
  public:
   explicit AgingModel(const BatteryParams* params);
@@ -36,44 +39,38 @@ class AgingModel {
   void AdvanceCalendar(Duration dt);
 
   // Fraction of original capacity still available, in (0, 1].
-  double capacity_factor() const { return capacity_factor_; }
+  double capacity_factor() const { return state_.capacity_factor; }
 
   // Multiplier on the fresh DCIR curve, >= 1.
   double resistance_factor() const {
-    return 1.0 + params_->resistance_growth * (1.0 - capacity_factor_);
+    return 1.0 + params_->resistance_growth * (1.0 - state_.capacity_factor);
   }
 
   // Completed charge cycles (paper's cc_i).
-  double cycle_count() const { return cycle_count_; }
+  double cycle_count() const { return state_.cycle_count; }
 
   // Wear ratio lambda_i = cc_i / chi_i (paper §3.3).
-  double wear_ratio() const { return cycle_count_ / params_->rated_cycle_count; }
+  double wear_ratio() const { return state_.cycle_count / params_->rated_cycle_count; }
 
   // Cumulative charged fraction toward the next cycle increment, in [0, 0.8).
   double partial_cycle_fraction() const;
 
   // Lifetime throughput statistics (coulombs).
-  Charge total_charge_in() const { return Charge(total_charge_in_c_); }
-  Charge total_charge_out() const { return Charge(total_charge_out_c_); }
+  Charge total_charge_in() const { return Charge(state_.total_charge_in_c); }
+  Charge total_charge_out() const { return Charge(state_.total_charge_out_c); }
 
   // Longevity score as the paper reports it: % of original capacity.
-  double longevity_percent() const { return 100.0 * capacity_factor_; }
+  double longevity_percent() const { return 100.0 * state_.capacity_factor; }
 
   const BatteryParams& params() const { return *params_; }
 
- private:
-  // Applies the fade for one completed cycle charged at average current `i_a`.
-  void ApplyCycleFade(double i_a);
+  // SoA-lane access for the Cell facade and gather/scatter (soa_kernel.h).
+  soa::AgingState& kernel_state() { return state_; }
+  const soa::AgingState& kernel_state() const { return state_; }
 
+ private:
   const BatteryParams* params_;
-  double capacity_factor_ = 1.0;
-  double cycle_count_ = 0.0;
-  double cumulative_charge_c_ = 0.0;  // Toward the next 80% threshold.
-  // Charge-weighted current accumulator for the in-progress cycle.
-  double weighted_current_sum_ = 0.0;
-  double weighted_charge_sum_ = 0.0;
-  double total_charge_in_c_ = 0.0;
-  double total_charge_out_c_ = 0.0;
+  soa::AgingState state_;
 };
 
 }  // namespace sdb

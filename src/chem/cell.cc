@@ -20,7 +20,9 @@ Cell::Cell(BatteryParams params, double initial_soc)
     : params_(std::make_unique<BatteryParams>(std::move(params))),
       electrical_(params_.get(), initial_soc),
       aging_(params_.get()),
-      thermal_(kHeatCapacityJPerK, kConductanceWPerK, Celsius(25.0)) {
+      thermal_(kHeatCapacityJPerK, kConductanceWPerK, Celsius(25.0)),
+      lane_params_(soa::MakeLaneParams(*params_, kHeatCapacityJPerK, kConductanceWPerK,
+                                       Celsius(25.0).value())) {
   ::sdb::Status valid = params_->Validate();
   SDB_CHECK(valid.ok());
 }
@@ -30,14 +32,16 @@ Cell::Cell(Cell&& other) noexcept
       electrical_(other.electrical_),
       aging_(other.aging_),
       thermal_(other.thermal_),
-      total_loss_(other.total_loss_) {}
+      lane_params_(other.lane_params_),
+      total_loss_j_(other.total_loss_j_) {}
 
 Cell& Cell::operator=(Cell&& other) noexcept {
   params_ = std::move(other.params_);
   electrical_ = other.electrical_;
   aging_ = other.aging_;
   thermal_ = other.thermal_;
-  total_loss_ = other.total_loss_;
+  lane_params_ = other.lane_params_;
+  total_loss_j_ = other.total_loss_j_;
   return *this;
 }
 
@@ -93,60 +97,54 @@ void Cell::AdvanceIdle(Duration dt) {
 
 StepResult Cell::StepDischargePower(Power power, Duration dt) {
   SDB_TRACE_SPAN("chem", "cell.step_discharge_power");
-  SyncAging();
-  StepResult result = electrical_.StepWithDischargePower(power, dt, EffectiveCapacity());
-  Account(result, dt);
-  return result;
+  return RunLaneOp(soa::LaneOp::kDischargePower, power.value(), dt);
 }
 
 StepResult Cell::StepDischargeCurrent(Current current, Duration dt) {
   SDB_CHECK(current.value() >= 0.0);
-  SyncAging();
-  double i = std::min(current.value(), params_->max_discharge_current.value());
-  StepResult result = electrical_.StepWithCurrent(Amps(i), dt, EffectiveCapacity());
-  Account(result, dt);
-  return result;
+  return RunLaneOp(soa::LaneOp::kDischargeCurrent, current.value(), dt);
 }
 
 StepResult Cell::StepChargePower(Power power, Duration dt) {
   SDB_TRACE_SPAN("chem", "cell.step_charge_power");
-  SyncAging();
-  StepResult result = electrical_.StepWithChargePower(power, dt, EffectiveCapacity());
-  Account(result, dt);
-  return result;
+  return RunLaneOp(soa::LaneOp::kChargePower, power.value(), dt);
 }
 
 StepResult Cell::StepChargeCurrent(Current current, Duration dt) {
   SDB_CHECK(current.value() >= 0.0);
-  SyncAging();
-  double j = std::min(current.value(), params_->max_charge_current.value());
-  StepResult result = electrical_.StepWithCurrent(Amps(-j), dt, EffectiveCapacity());
-  Account(result, dt);
-  return result;
+  return RunLaneOp(soa::LaneOp::kChargeCurrent, current.value(), dt);
 }
 
-void Cell::Account(const StepResult& result, Duration dt) {
-  double i = result.current.value();
-  double moved_c = std::fabs(i) * dt.value();
-  if (i < 0.0) {
-    aging_.RecordCharge(Charge(moved_c), Amps(std::fabs(i)));
-  } else if (i > 0.0) {
-    aging_.RecordDischarge(Charge(moved_c), Amps(i));
-  }
-  double loss = result.energy_lost.value();
-  total_loss_ += Joules(loss);
-  thermal_.Step(Joules(std::max(0.0, loss)), dt);
-  SyncAging();
+StepResult Cell::RunLaneOp(soa::LaneOp op, double magnitude, Duration dt) {
+  soa::RawStepResult raw =
+      soa::StepLaneOnce(lane_params_, electrical_.kernel_state(), aging_.kernel_state(),
+                        thermal_.kernel_state(), total_loss_j_, op, magnitude, dt.value());
+  soa::AddCellSteps(1);
+  return ToStepResult(raw);
 }
 
 void Cell::SyncAging() {
   // DCIR grows with age and with cold: both multiply the fresh curve.
-  double cold = 1.0;
-  double below_25 = 298.15 - thermal_.temperature().value();
-  if (below_25 > 0.0) {
-    cold += params_->cold_resistance_per_k * below_25;
-  }
-  electrical_.set_resistance_scale(aging_.resistance_factor() * cold);
+  electrical_.set_resistance_scale(
+      aging_.resistance_factor() *
+      soa::ColdResistanceMultiplier(params_->cold_resistance_per_k,
+                                    thermal_.temperature().value()));
+}
+
+soa::LaneState Cell::ExportLaneState() const {
+  soa::LaneState state;
+  state.electrical = electrical_.kernel_state();
+  state.aging = aging_.kernel_state();
+  state.thermal = thermal_.kernel_state();
+  state.total_loss_j = total_loss_j_;
+  return state;
+}
+
+void Cell::ImportLaneState(const soa::LaneState& state) {
+  electrical_.kernel_state() = state.electrical;
+  aging_.kernel_state() = state.aging;
+  thermal_.kernel_state() = state.thermal;
+  total_loss_j_ = state.total_loss_j;
 }
 
 CellStatus Cell::GetStatus() const {

@@ -9,6 +9,7 @@
 
 #include "src/chem/aging.h"
 #include "src/chem/battery_params.h"
+#include "src/chem/soa_kernel.h"
 #include "src/chem/thermal.h"
 #include "src/chem/thevenin.h"
 #include "src/util/units.h"
@@ -87,11 +88,20 @@ class Cell {
   ThermalModel& mutable_thermal() { return thermal_; }
 
   // Cumulative resistive losses across the cell's lifetime.
-  Energy total_loss() const { return total_loss_; }
+  Energy total_loss() const { return Joules(total_loss_j_); }
+
+  // --- SoA kernel access (soa_kernel.h) -------------------------------------
+  // The step methods above are a single-lane facade over soa::StepLaneOnce;
+  // these hooks let CellLanes gather/scatter the same state, so batch and
+  // facade stepping are bit-identical and round-trips are lossless.
+  const soa::LaneParams& lane_params() const { return lane_params_; }
+  soa::LaneState ExportLaneState() const;
+  void ImportLaneState(const soa::LaneState& state);
 
  private:
-  // Feeds a completed step into aging/thermal bookkeeping.
-  void Account(const StepResult& result, Duration dt);
+  // One facade step through the shared kernel (SyncAging + electrical step
+  // + accounting, exactly as StepLaneOnce orders them).
+  StepResult RunLaneOp(soa::LaneOp op, double magnitude, Duration dt);
   // Re-syncs the electrical model's resistance multiplier from aging.
   void SyncAging();
 
@@ -99,7 +109,8 @@ class Cell {
   TheveninModel electrical_;
   AgingModel aging_;
   ThermalModel thermal_;
-  Energy total_loss_ = Joules(0.0);
+  soa::LaneParams lane_params_;  // Curve pointers target *params_ (stable).
+  double total_loss_j_ = 0.0;
 };
 
 }  // namespace sdb

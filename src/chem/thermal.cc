@@ -10,31 +10,22 @@ ThermalModel::ThermalModel(double heat_capacity_j_per_k, double thermal_conducta
                            Temperature ambient)
     : heat_capacity_(heat_capacity_j_per_k),
       conductance_(thermal_conductance_w_per_k),
-      ambient_k_(ambient.value()),
-      temp_k_(ambient.value()) {
+      ambient_k_(ambient.value()) {
   SDB_CHECK(heat_capacity_ > 0.0);
   SDB_CHECK(conductance_ >= 0.0);
+  state_.temp_k = ambient.value();
 }
 
 void ThermalModel::Step(Energy heat, Duration dt) {
-  double dt_s = dt.value();
-  SDB_CHECK(dt_s > 0.0);
-  double heat_j = heat.value();
-  if (heat_j > 0.0) {
-    total_heat_j_ += heat_j;
-  }
-  // Exact solution of C dT/dt = P_heat - G (T - T_amb) for constant P_heat.
-  double p_heat = heat_j / dt_s;
-  if (conductance_ > 0.0) {
-    double t_inf = ambient_k_ + p_heat / conductance_;
-    double tau = heat_capacity_ / conductance_;
-    temp_k_ = t_inf + (temp_k_ - t_inf) * std::exp(-dt_s / tau);
-  } else {
-    temp_k_ += heat_j / heat_capacity_;
-  }
+  SDB_CHECK(dt.value() > 0.0);
+  soa::ThermalParamsView view;
+  view.heat_capacity_j_per_k = heat_capacity_;
+  view.conductance_w_per_k = conductance_;
+  view.ambient_k = ambient_k_;
+  soa::ThermalStep(view, state_, heat.value(), dt.value());
 }
 
-void ThermalModel::ResetTemperature() { temp_k_ = ambient_k_; }
+void ThermalModel::ResetTemperature() { state_.temp_k = ambient_k_; }
 
 double HeatLossPercentAtCRate(const BatteryParams& params, double c_rate, double soc) {
   SDB_CHECK(c_rate >= 0.0);

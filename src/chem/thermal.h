@@ -8,10 +8,13 @@
 #define SRC_CHEM_THERMAL_H_
 
 #include "src/chem/battery_params.h"
+#include "src/chem/soa_kernel.h"
 #include "src/util/units.h"
 
 namespace sdb {
 
+// Facade over the soa kernel's thermal primitive (soa_kernel.h): Step runs
+// the same inline code the batch lanes run.
 class ThermalModel {
  public:
   // heat_capacity: J/K of the cell; thermal_conductance: W/K to ambient.
@@ -21,23 +24,29 @@ class ThermalModel {
   // Integrates one step with `heat` joules of resistive dissipation.
   void Step(Energy heat, Duration dt);
 
-  Temperature temperature() const { return Temperature(temp_k_); }
+  Temperature temperature() const { return Temperature(state_.temp_k); }
   Temperature ambient() const { return Temperature(ambient_k_); }
 
+  double heat_capacity_j_per_k() const { return heat_capacity_; }
+  double conductance_w_per_k() const { return conductance_; }
+
   // Total heat absorbed so far.
-  Energy total_heat() const { return Joules(total_heat_j_); }
+  Energy total_heat() const { return Joules(state_.total_heat_j); }
 
   void ResetTemperature();
 
   // Test/fault-injection hook: force the cell temperature.
-  void set_temperature(Temperature t) { temp_k_ = t.value(); }
+  void set_temperature(Temperature t) { state_.temp_k = t.value(); }
+
+  // SoA-lane access for the Cell facade and gather/scatter (soa_kernel.h).
+  soa::ThermalState& kernel_state() { return state_; }
+  const soa::ThermalState& kernel_state() const { return state_; }
 
  private:
   double heat_capacity_;
   double conductance_;
   double ambient_k_;
-  double temp_k_;
-  double total_heat_j_ = 0.0;
+  soa::ThermalState state_;
 };
 
 // Steady-state internal heat-loss percentage when the battery described by

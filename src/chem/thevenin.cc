@@ -10,36 +10,37 @@ namespace sdb {
 
 TheveninModel::TheveninModel(const BatteryParams* params, double initial_soc) : params_(params) {
   SDB_CHECK(params_ != nullptr);
-  soc_ = Clamp(initial_soc, 0.0, 1.0);
+  state_.soc = Clamp(initial_soc, 0.0, 1.0);
 }
 
-void TheveninModel::set_soc(double soc) { soc_ = Clamp(soc, 0.0, 1.0); }
+void TheveninModel::set_soc(double soc) { state_.soc = Clamp(soc, 0.0, 1.0); }
 
 void TheveninModel::set_resistance_scale(double scale) {
   SDB_CHECK(scale > 0.0);
-  resistance_scale_ = scale;
+  state_.resistance_scale = scale;
 }
 
 Voltage TheveninModel::OpenCircuitVoltage() const {
-  return Volts(params_->ocv_vs_soc.Evaluate(soc_));
+  return Volts(params_->ocv_vs_soc.Evaluate(state_.soc));
 }
 
 Resistance TheveninModel::InternalResistance() const {
-  return Ohms(resistance_scale_ * params_->dcir_vs_soc.Evaluate(soc_));
+  return Ohms(state_.resistance_scale * params_->dcir_vs_soc.Evaluate(state_.soc));
 }
 
 double TheveninModel::DcirSlope() const {
-  return resistance_scale_ * params_->dcir_vs_soc.Derivative(soc_);
+  return state_.resistance_scale * params_->dcir_vs_soc.Derivative(state_.soc);
 }
 
 Voltage TheveninModel::TerminalVoltageAt(Current current) const {
-  double v = OpenCircuitVoltage().value() - current.value() * InternalResistance().value() - v_rc_;
+  double v = OpenCircuitVoltage().value() - current.value() * InternalResistance().value() -
+             state_.v_rc_v;
   return Volts(v);
 }
 
 Power TheveninModel::MaxDischargePower() const {
   // P(I) = (E - R0*I) * I peaks at I = E / (2 R0) with P_max = E^2 / (4 R0).
-  double e = OpenCircuitVoltage().value() - v_rc_;
+  double e = OpenCircuitVoltage().value() - state_.v_rc_v;
   double r0 = InternalResistance().value();
   if (e <= 0.0) {
     return Watts(0.0);
@@ -47,101 +48,27 @@ Power TheveninModel::MaxDischargePower() const {
   return Watts(e * e / (4.0 * r0));
 }
 
-StepResult TheveninModel::Integrate(double current_a, double dt_s, double capacity_c) {
-  SDB_DCHECK(dt_s > 0.0);
-  SDB_DCHECK(capacity_c > 0.0);
-  StepResult result;
-
-  // Clamp so SoC stays within [0, 1] over the step.
-  double max_discharge_a = soc_ * capacity_c / dt_s;
-  double max_charge_a = (1.0 - soc_) * capacity_c / dt_s;
-  double clamped = Clamp(current_a, -max_charge_a, max_discharge_a);
-  if (clamped != current_a) {
-    result.limited = true;
-  }
-  current_a = clamped;
-
-  double ocv_start = params_->ocv_vs_soc.Evaluate(soc_);
-  double r0 = resistance_scale_ * params_->dcir_vs_soc.Evaluate(soc_);
-  double v_rc_start = v_rc_;
-
-  // Exact update of the RC branch for constant current over the step.
-  double rc = params_->concentration_resistance.value();
-  double cp = params_->plate_capacitance.value();
-  if (rc > 0.0) {
-    double v_inf = current_a * rc;
-    double tau = rc * cp;
-    v_rc_ = v_inf + (v_rc_start - v_inf) * std::exp(-dt_s / tau);
-  } else {
-    v_rc_ = 0.0;
-  }
-
-  soc_ = Clamp(soc_ - current_a * dt_s / capacity_c, 0.0, 1.0);
-
-  double ocv_end = params_->ocv_vs_soc.Evaluate(soc_);
-  double ocv_avg = 0.5 * (ocv_start + ocv_end);
-  double v_rc_avg = 0.5 * (v_rc_start + v_rc_);
-
-  double e_chem = ocv_avg * current_a * dt_s;
-  double e_loss = current_a * current_a * r0 * dt_s + current_a * v_rc_avg * dt_s;
-  result.current = Amps(current_a);
-  result.terminal_voltage = Volts(ocv_end - current_a * r0 - v_rc_);
-  result.energy_chemical = Joules(e_chem);
-  result.energy_lost = Joules(e_loss);
-  result.energy_at_terminals = Joules(e_chem - e_loss);
-  return result;
-}
-
 StepResult TheveninModel::StepWithCurrent(Current current, Duration dt, Charge capacity) {
-  return Integrate(current.value(), dt.value(), capacity.value());
+  soa::ElectricalParamsView view = soa::MakeElectricalParamsView(*params_);
+  double ocv0 = view.ocv_curve->EvaluateHinted(state_.soc, &state_.ocv_hint);
+  double r0 = state_.resistance_scale * view.dcir_curve->EvaluateHinted(state_.soc,
+                                                                        &state_.dcir_hint);
+  return ToStepResult(soa::ElectricalIntegrate(view, state_, current.value(), dt.value(),
+                                               capacity.value(), ocv0, r0));
 }
 
 StepResult TheveninModel::StepWithDischargePower(Power power, Duration dt, Charge capacity) {
   SDB_DCHECK(power.value() >= 0.0);
-  double e = OpenCircuitVoltage().value() - v_rc_;
-  double r0 = InternalResistance().value();
-  double i_req;
-  bool limited = false;
-  if (e <= 0.0) {
-    i_req = 0.0;
-    limited = power.value() > 0.0;
-  } else {
-    // Stable branch of R0*I^2 - E*I + P = 0 (the smaller root).
-    QuadraticRoots roots = SolveQuadratic(r0, -e, power.value());
-    if (roots.count == 0) {
-      // Request exceeds the max-power point; deliver the most we can.
-      i_req = e / (2.0 * r0);
-      limited = true;
-    } else {
-      i_req = roots.lo;
-    }
-  }
-  double i_max = params_->max_discharge_current.value();
-  if (i_req > i_max) {
-    i_req = i_max;
-    limited = true;
-  }
-  StepResult result = Integrate(i_req, dt.value(), capacity.value());
-  result.limited = result.limited || limited;
-  return result;
+  return ToStepResult(soa::ElectricalStep(soa::MakeElectricalParamsView(*params_), state_,
+                                          soa::LaneOp::kDischargePower, power.value(), dt.value(),
+                                          capacity.value()));
 }
 
 StepResult TheveninModel::StepWithChargePower(Power power, Duration dt, Charge capacity) {
   SDB_DCHECK(power.value() >= 0.0);
-  double e = OpenCircuitVoltage().value() - v_rc_;
-  double r0 = InternalResistance().value();
-  // Absorbed power P = (E + R0*J) * J for charge current J = -I > 0.
-  QuadraticRoots roots = SolveQuadratic(r0, e, -power.value());
-  double j = roots.count > 0 ? std::max(roots.hi, 0.0) : 0.0;
-  bool limited = false;
-  double j_max = params_->max_charge_current.value();
-  if (j > j_max) {
-    j = j_max;
-    limited = true;
-  }
-  StepResult result = Integrate(-j, dt.value(), capacity.value());
-  result.limited = result.limited || limited;
-  return result;
+  return ToStepResult(soa::ElectricalStep(soa::MakeElectricalParamsView(*params_), state_,
+                                          soa::LaneOp::kChargePower, power.value(), dt.value(),
+                                          capacity.value()));
 }
 
 }  // namespace sdb

@@ -13,6 +13,7 @@
 #define SRC_CHEM_THEVENIN_H_
 
 #include "src/chem/battery_params.h"
+#include "src/chem/soa_kernel.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
 
@@ -29,25 +30,40 @@ struct StepResult {
   bool limited = false;        // True if the request was clamped (empty/full/over-power).
 };
 
+// Wraps a kernel-layer result in the typed StepResult the rest of the repo
+// consumes. Pure re-labelling; the doubles pass through untouched.
+inline StepResult ToStepResult(const soa::RawStepResult& raw) {
+  StepResult result;
+  result.current = Amps(raw.current_a);
+  result.terminal_voltage = Volts(raw.terminal_v);
+  result.energy_at_terminals = Joules(raw.energy_terminals_j);
+  result.energy_chemical = Joules(raw.energy_chemical_j);
+  result.energy_lost = Joules(raw.energy_lost_j);
+  result.limited = raw.limited;
+  return result;
+}
+
 // Dynamic electrical state of one cell. Aging is layered on top by
 // sdb::Cell; this class treats capacity as externally supplied so the same
-// solver serves both fresh and degraded cells.
+// solver serves both fresh and degraded cells. The step methods are a
+// single-lane facade over the soa kernel primitives (soa_kernel.h), so this
+// class and CellLanes::AdvanceBatch produce bit-identical state.
 class TheveninModel {
  public:
   // `params` must outlive the model and be valid (see BatteryParams::Validate).
   TheveninModel(const BatteryParams* params, double initial_soc);
 
   // State of charge in [0, 1].
-  double soc() const { return soc_; }
+  double soc() const { return state_.soc; }
   void set_soc(double soc);
 
   // Multiplier (>= 1) applied to the fresh DCIR curve; set by the aging
   // layer as capacity fades.
-  double resistance_scale() const { return resistance_scale_; }
+  double resistance_scale() const { return state_.resistance_scale; }
   void set_resistance_scale(double scale);
 
   // Voltage across the RC (concentration) element.
-  Voltage rc_voltage() const { return Voltage(v_rc_); }
+  Voltage rc_voltage() const { return Voltage(state_.v_rc_v); }
 
   Voltage OpenCircuitVoltage() const;
   Resistance InternalResistance() const;
@@ -78,14 +94,13 @@ class TheveninModel {
 
   const BatteryParams& params() const { return *params_; }
 
- private:
-  // Shared integration core once the current has been decided.
-  StepResult Integrate(double current_a, double dt_s, double capacity_c);
+  // SoA-lane access for the Cell facade and gather/scatter (soa_kernel.h).
+  soa::ElectricalState& kernel_state() { return state_; }
+  const soa::ElectricalState& kernel_state() const { return state_; }
 
+ private:
   const BatteryParams* params_;
-  double soc_;
-  double v_rc_ = 0.0;  // Volts.
-  double resistance_scale_ = 1.0;
+  soa::ElectricalState state_;
 };
 
 }  // namespace sdb

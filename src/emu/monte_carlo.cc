@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/chem/soa_kernel.h"
 #include "src/core/telemetry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -50,6 +51,7 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
   SDB_CHECK(scenario != nullptr);
   SDB_TRACE_SPAN("mc", "mc.sweep");
   obs::Stopwatch stopwatch;
+  uint64_t cell_steps_before = soa::TotalCellSteps();
 
   int num_shards = (runs + kMonteCarloShardSize - 1) / kMonteCarloShardSize;
   std::vector<MonteCarloResult> shards(static_cast<size_t>(num_shards));
@@ -86,6 +88,9 @@ MonteCarloResult RunMonteCarlo(const ScenarioFn& scenario, int runs,
   }
 
   Duration wall = Seconds(stopwatch.ElapsedSeconds());
+  result.cell_steps = soa::TotalCellSteps() - cell_steps_before;
+  result.cell_steps_per_s =
+      wall.value() > 0.0 ? static_cast<double>(result.cell_steps) / wall.value() : 0.0;
   SweepCounters::Global().RecordSweep(static_cast<uint64_t>(num_shards),
                                       static_cast<uint64_t>(runs), worker_wait, wall);
   return result;

@@ -26,6 +26,12 @@ struct MonteCarloResult {
   RunningStats delivered_j;
   int shortfall_runs = 0;  // Runs that hit a shortfall before the trace ended.
   int runs = 0;
+  // Throughput accounting for the sweep window (from the process-wide
+  // "sdb.chem.cell_steps" counter): kernel cell-steps executed during the
+  // sweep and the resulting rate. Concurrent sweeps in other threads would
+  // both be counted; the bench harnesses run one sweep at a time.
+  uint64_t cell_steps = 0;
+  double cell_steps_per_s = 0.0;
 };
 
 // One experiment instance: given a per-run seed, build the rig + trace and

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/chem/soa_kernel.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
@@ -142,10 +143,12 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
   }
 
   // Convert supply-side power to battery-terminal power and step the cells.
-  double absorbed_j = 0.0;
-  double used_w = 0.0;
-  double circuit_loss_j = 0.0;
-  double battery_loss_j = 0.0;
+  // Every cell's bus voltage and fixed-point inversion read only pre-step
+  // state of that same cell, so all terminal powers can be computed before
+  // any cell steps — which is what lets the batch path advance all lanes in
+  // one kernel call, bit-identical to the scalar loop.
+  std::vector<double> bus_v(n, 0.0);
+  std::vector<double> p_batt(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     if (alloc[i] <= 0.0) {
       continue;
@@ -158,7 +161,30 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
       p = alloc[i] - regulator_.LossAt(Watts(p), Volts(bus)).value();
       p = std::max(0.0, p);
     }
-    StepResult step = cell.StepChargePower(Watts(p), dt);
+    bus_v[i] = bus;
+    p_batt[i] = p;
+  }
+
+  double absorbed_j = 0.0;
+  double used_w = 0.0;
+  double circuit_loss_j = 0.0;
+  double battery_loss_j = 0.0;
+  const bool batched = soa::BatchStepping();
+  if (batched) {
+    std::vector<soa::LaneRequest> lane_requests(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (alloc[i] > 0.0) {
+        lane_requests[i] = {soa::LaneOp::kChargePower, p_batt[i]};
+      }
+    }
+    pack.StepLanes(lane_requests, dt);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (alloc[i] <= 0.0) {
+      continue;
+    }
+    StepResult step = batched ? ToStepResult(pack.lane_result(i))
+                              : pack.cell(i).StepChargePower(Watts(p_batt[i]), dt);
     double absorbed_w = -step.energy_at_terminals.value() / dt.value();
     if (absorbed_w <= 0.0) {
       continue;
@@ -166,7 +192,7 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
     tick.currents[i] = step.current;
     tick.any_charging = true;
     absorbed_j += absorbed_w * dt.value();
-    double loss_w = regulator_.LossAt(Watts(absorbed_w), Volts(bus)).value();
+    double loss_w = regulator_.LossAt(Watts(absorbed_w), Volts(bus_v[i])).value();
     // The fixed-point inversion can overshoot the allocation by a hair;
     // never bill more than the supply share actually granted.
     double used_i = std::min(alloc[i], absorbed_w + loss_w);

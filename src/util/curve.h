@@ -3,10 +3,12 @@
 #ifndef SRC_UTIL_CURVE_H_
 #define SRC_UTIL_CURVE_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <utility>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/status.h"
 
 namespace sdb {
@@ -28,6 +30,32 @@ class PiecewiseLinearCurve {
 
   // Linear interpolation with end-clamping.
   double Evaluate(double x) const;
+
+  // Evaluate with a caller-held segment hint. Bit-identical to Evaluate():
+  // the containing segment (points_[i].x <= x < points_[i+1].x) is unique,
+  // and the interpolation expression is the same — only the segment *search*
+  // is skipped when the hint still holds, which is the common case for SoC
+  // moving a fraction of a segment per step. Any stale hint value is safe
+  // (it is range-clamped and falls back to the binary search on a miss).
+  double EvaluateHinted(double x, uint32_t* hint) const {
+    SDB_DCHECK(points_.size() >= 2);
+    if (x <= points_.front().first) {
+      return points_.front().second;
+    }
+    if (x >= points_.back().first) {
+      return points_.back().second;
+    }
+    size_t i = *hint;
+    const size_t last_segment = points_.size() - 2;
+    if (i > last_segment || !(points_[i].first <= x && x < points_[i + 1].first)) {
+      i = SegmentIndex(x);
+      *hint = static_cast<uint32_t>(i);
+    }
+    const auto& [x0, y0] = points_[i];
+    const auto& [x1, y1] = points_[i + 1];
+    double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+  }
 
   // Slope dy/dx of the segment containing x (end segments for out-of-range x).
   double Derivative(double x) const;

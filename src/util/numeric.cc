@@ -15,43 +15,6 @@ bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
   return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
 }
 
-double Clamp(double x, double lo, double hi) {
-  SDB_CHECK(lo <= hi);
-  return std::min(std::max(x, lo), hi);
-}
-
-double Lerp(double a, double b, double t) { return a + t * (b - a); }
-
-QuadraticRoots SolveQuadratic(double a, double b, double c) {
-  QuadraticRoots roots;
-  if (a == 0.0) {
-    if (b == 0.0) {
-      return roots;  // Constant equation: no roots (or all x; callers treat as none).
-    }
-    roots.count = 1;
-    roots.lo = roots.hi = -c / b;
-    return roots;
-  }
-  double disc = b * b - 4.0 * a * c;
-  if (disc < 0.0) {
-    return roots;
-  }
-  if (disc == 0.0) {
-    roots.count = 1;
-    roots.lo = roots.hi = -b / (2.0 * a);
-    return roots;
-  }
-  // Numerically stable form: compute the larger-magnitude root first.
-  double sq = std::sqrt(disc);
-  double q = -0.5 * (b + std::copysign(sq, b));
-  double r1 = q / a;
-  double r2 = (q != 0.0) ? c / q : -b / a - r1;
-  roots.count = 2;
-  roots.lo = std::min(r1, r2);
-  roots.hi = std::max(r1, r2);
-  return roots;
-}
-
 StatusOr<double> Bisect(const std::function<double(double)>& f, double lo, double hi, double tol,
                         int max_iters) {
   if (!(lo <= hi)) {

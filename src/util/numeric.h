@@ -4,6 +4,8 @@
 #ifndef SRC_UTIL_NUMERIC_H_
 #define SRC_UTIL_NUMERIC_H_
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "src/util/status.h"
@@ -13,11 +15,15 @@ namespace sdb {
 // Approximate equality with combined absolute/relative tolerance.
 bool AlmostEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
 
-// Clamps x into [lo, hi]; aborts if lo > hi.
-double Clamp(double x, double lo, double hi);
+// Clamps x into [lo, hi]; aborts if lo > hi. Inline: called on the
+// per-cell-step hot path (src/chem/soa_kernel.h).
+inline double Clamp(double x, double lo, double hi) {
+  SDB_CHECK(lo <= hi);
+  return std::min(std::max(x, lo), hi);
+}
 
 // Linear interpolation: a + t * (b - a).
-double Lerp(double a, double b, double t);
+inline double Lerp(double a, double b, double t) { return a + t * (b - a); }
 
 // Solutions of a*x^2 + b*x + c = 0.
 struct QuadraticRoots {
@@ -27,8 +33,37 @@ struct QuadraticRoots {
 };
 
 // Solves the quadratic; handles the degenerate linear case (a == 0). Roots
-// are ordered lo <= hi.
-QuadraticRoots SolveQuadratic(double a, double b, double c);
+// are ordered lo <= hi. Inline: this sits on the per-cell-step hot path of
+// the SoA kernel (src/chem/soa_kernel.h).
+inline QuadraticRoots SolveQuadratic(double a, double b, double c) {
+  QuadraticRoots roots;
+  if (a == 0.0) {
+    if (b == 0.0) {
+      return roots;  // Constant equation: no roots (or all x; callers treat as none).
+    }
+    roots.count = 1;
+    roots.lo = roots.hi = -c / b;
+    return roots;
+  }
+  double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) {
+    return roots;
+  }
+  if (disc == 0.0) {
+    roots.count = 1;
+    roots.lo = roots.hi = -b / (2.0 * a);
+    return roots;
+  }
+  // Numerically stable form: compute the larger-magnitude root first.
+  double sq = std::sqrt(disc);
+  double q = -0.5 * (b + std::copysign(sq, b));
+  double r1 = q / a;
+  double r2 = (q != 0.0) ? c / q : -b / a - r1;
+  roots.count = 2;
+  roots.lo = std::min(r1, r2);
+  roots.hi = std::max(r1, r2);
+  return roots;
+}
 
 // Finds x in [lo, hi] with f(x) == 0 by bisection. Requires f(lo) and f(hi)
 // to bracket the root (opposite signs or one endpoint exactly zero).

@@ -1,0 +1,314 @@
+// Property-style differential suite for the batched SoA kernel: for every
+// chemistry x temperature x dt x load mix, a cell stepped through the
+// scalar facade and the same cell advanced through CellLanes::AdvanceBatch
+// must produce bit-identical state and step results. Exact `==` on doubles
+// is deliberate — the kernel's contract is bit-identity, not closeness
+// (DESIGN.md §12), and any tolerance would mask a divergence that breaks
+// the pinned goldens.
+#include "src/chem/soa_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chem/cell.h"
+#include "src/chem/library.h"
+#include "src/chem/thevenin.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace sdb {
+namespace {
+
+// Applies one request to a cell through the public scalar facade.
+StepResult ScalarStep(Cell& cell, soa::LaneOp op, double magnitude, double dt_s) {
+  switch (op) {
+    case soa::LaneOp::kDischargePower:
+      return cell.StepDischargePower(Watts(magnitude), Seconds(dt_s));
+    case soa::LaneOp::kDischargeCurrent:
+      return cell.StepDischargeCurrent(Amps(magnitude), Seconds(dt_s));
+    case soa::LaneOp::kChargePower:
+      return cell.StepChargePower(Watts(magnitude), Seconds(dt_s));
+    case soa::LaneOp::kChargeCurrent:
+      return cell.StepChargeCurrent(Amps(magnitude), Seconds(dt_s));
+    case soa::LaneOp::kIdle:
+      break;
+  }
+  return StepResult{};
+}
+
+// Bitwise equality that treats NaN-free doubles exactly; any mismatch
+// reports the differing field by name.
+::testing::AssertionResult BitEqual(const char* field, double scalar, double batch) {
+  if (scalar == batch) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << field << " diverged: scalar=" << scalar << " batch=" << batch
+         << " (delta=" << (batch - scalar) << ")";
+}
+
+// Compares the full exported lane state of two cells bit for bit.
+void ExpectLaneStateEqual(const Cell& scalar_cell, const Cell& batch_cell,
+                          const std::string& context) {
+  soa::LaneState a = scalar_cell.ExportLaneState();
+  soa::LaneState b = batch_cell.ExportLaneState();
+  SCOPED_TRACE(context);
+  EXPECT_TRUE(BitEqual("soc", a.electrical.soc, b.electrical.soc));
+  EXPECT_TRUE(BitEqual("v_rc_v", a.electrical.v_rc_v, b.electrical.v_rc_v));
+  EXPECT_TRUE(
+      BitEqual("resistance_scale", a.electrical.resistance_scale, b.electrical.resistance_scale));
+  EXPECT_TRUE(BitEqual("capacity_factor", a.aging.capacity_factor, b.aging.capacity_factor));
+  EXPECT_TRUE(BitEqual("cycle_count", a.aging.cycle_count, b.aging.cycle_count));
+  EXPECT_TRUE(
+      BitEqual("cumulative_charge_c", a.aging.cumulative_charge_c, b.aging.cumulative_charge_c));
+  EXPECT_TRUE(BitEqual("weighted_current_sum", a.aging.weighted_current_sum,
+                       b.aging.weighted_current_sum));
+  EXPECT_TRUE(
+      BitEqual("weighted_charge_sum", a.aging.weighted_charge_sum, b.aging.weighted_charge_sum));
+  EXPECT_TRUE(BitEqual("total_charge_in_c", a.aging.total_charge_in_c, b.aging.total_charge_in_c));
+  EXPECT_TRUE(
+      BitEqual("total_charge_out_c", a.aging.total_charge_out_c, b.aging.total_charge_out_c));
+  EXPECT_TRUE(BitEqual("temp_k", a.thermal.temp_k, b.thermal.temp_k));
+  EXPECT_TRUE(BitEqual("total_heat_j", a.thermal.total_heat_j, b.thermal.total_heat_j));
+  EXPECT_TRUE(BitEqual("total_loss_j", a.total_loss_j, b.total_loss_j));
+}
+
+// Compares the facade's typed StepResult with the batch RawStepResult.
+void ExpectStepResultEqual(const StepResult& scalar, const soa::RawStepResult& batch,
+                           const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_TRUE(BitEqual("current_a", scalar.current.value(), batch.current_a));
+  EXPECT_TRUE(BitEqual("terminal_v", scalar.terminal_voltage.value(), batch.terminal_v));
+  EXPECT_TRUE(
+      BitEqual("energy_terminals_j", scalar.energy_at_terminals.value(), batch.energy_terminals_j));
+  EXPECT_TRUE(
+      BitEqual("energy_chemical_j", scalar.energy_chemical.value(), batch.energy_chemical_j));
+  EXPECT_TRUE(BitEqual("energy_lost_j", scalar.energy_lost.value(), batch.energy_lost_j));
+  EXPECT_EQ(scalar.limited, batch.limited) << context;
+}
+
+struct GridPoint {
+  int chemistry = 0;       // Index into MakeBatteryLibrary().
+  double initial_soc = 0.5;
+  double temp_k = 298.15;  // Forced initial cell temperature.
+  double dt_s = 1.0;
+  bool charge_heavy = false;  // Biases the random op mix toward charging.
+};
+
+// Drives one grid point: two identical cells, one through the scalar
+// facade, one through an AdvanceBatch lane, over `steps` seeded random
+// requests. State is compared after every step so the FIRST divergent
+// step is reported, not a downstream casualty.
+void RunDifferential(const GridPoint& g, uint64_t seed, int steps) {
+  std::vector<BatteryParams> library = MakeBatteryLibrary();
+  ASSERT_LT(g.chemistry, static_cast<int>(library.size()));
+  Cell scalar_cell(library[g.chemistry], g.initial_soc);
+  Cell batch_cell(library[g.chemistry], g.initial_soc);
+  scalar_cell.mutable_thermal().set_temperature(Kelvin(g.temp_k));
+  batch_cell.mutable_thermal().set_temperature(Kelvin(g.temp_k));
+
+  soa::CellLanes lanes;
+  size_t lane = lanes.AddLane(batch_cell);
+
+  Rng rng(seed);
+  constexpr soa::LaneOp kOps[] = {soa::LaneOp::kDischargePower, soa::LaneOp::kDischargeCurrent,
+                                  soa::LaneOp::kChargePower, soa::LaneOp::kChargeCurrent};
+  for (int step = 0; step < steps; ++step) {
+    // Pick an op; charge_heavy grids draw charging ops 3x as often.
+    uint64_t pick = rng.NextBounded(g.charge_heavy ? 8 : 4);
+    soa::LaneOp op = kOps[g.charge_heavy ? (pick < 2 ? pick : 2 + (pick & 1)) : pick];
+    // Magnitudes span gentle loads through requests far beyond the
+    // datasheet limits, so the clamp branches are exercised too.
+    bool power_op = op == soa::LaneOp::kDischargePower || op == soa::LaneOp::kChargePower;
+    double magnitude =
+        power_op ? rng.Uniform(0.0, 30.0) : rng.Uniform(0.0, 12.0);
+
+    StepResult scalar_result = ScalarStep(scalar_cell, op, magnitude, g.dt_s);
+    lanes.SetRequest(lane, op, magnitude);
+    lanes.AdvanceBatch(g.dt_s);
+    lanes.Scatter(lane, &batch_cell);
+
+    std::string context = "chemistry=" + std::to_string(g.chemistry) +
+                          " temp_k=" + std::to_string(g.temp_k) +
+                          " dt_s=" + std::to_string(g.dt_s) + " step=" + std::to_string(step) +
+                          " op=" + std::to_string(static_cast<int>(op)) +
+                          " magnitude=" + std::to_string(magnitude);
+    ExpectStepResultEqual(scalar_result, lanes.result(lane), context);
+    ExpectLaneStateEqual(scalar_cell, batch_cell, context);
+    if (::testing::Test::HasFailure()) {
+      return;  // First divergence is the interesting one.
+    }
+  }
+}
+
+TEST(SoaKernelDiffTest, AllChemistriesRandomizedMixedLoad) {
+  std::vector<BatteryParams> library = MakeBatteryLibrary();
+  for (int chem = 0; chem < static_cast<int>(library.size()); ++chem) {
+    GridPoint g;
+    g.chemistry = chem;
+    g.initial_soc = 0.6;
+    RunDifferential(g, /*seed=*/0x5d0a0001u + static_cast<uint64_t>(chem), /*steps=*/200);
+  }
+}
+
+TEST(SoaKernelDiffTest, TemperatureGrid) {
+  // Cold cells grow DCIR (cold_resistance_per_k) and hot cells age the
+  // thermal ledger differently; both must track bit for bit.
+  for (double temp_k : {263.15, 283.15, 298.15, 318.15}) {
+    for (int chem : {0, 5, 8}) {
+      GridPoint g;
+      g.chemistry = chem;
+      g.temp_k = temp_k;
+      RunDifferential(g, /*seed=*/0x5d0a1000u + static_cast<uint64_t>(temp_k), /*steps=*/150);
+    }
+  }
+}
+
+TEST(SoaKernelDiffTest, DtGrid) {
+  // Sub-second through half-minute steps: the dt-keyed decay memos and the
+  // SoC clamp fast path must stay exact at every step size.
+  for (double dt_s : {0.1, 0.5, 1.0, 5.0, 30.0}) {
+    for (int chem : {1, 6}) {
+      GridPoint g;
+      g.chemistry = chem;
+      g.dt_s = dt_s;
+      RunDifferential(g, /*seed=*/0x5d0a2000u + static_cast<uint64_t>(dt_s * 10.0),
+                      /*steps=*/150);
+    }
+  }
+}
+
+TEST(SoaKernelDiffTest, ChargeHeavyMix) {
+  // Charging drives the cycle-counting fade loop (AgingRecordCharge) hard.
+  for (int chem : {2, 7, 12}) {
+    GridPoint g;
+    g.chemistry = chem;
+    g.initial_soc = 0.2;
+    g.charge_heavy = true;
+    RunDifferential(g, /*seed=*/0x5d0a3000u + static_cast<uint64_t>(chem), /*steps=*/300);
+  }
+}
+
+TEST(SoaKernelDiffTest, EmptyCellClampEdge) {
+  // Draining an empty cell: the clamp must zero the current identically on
+  // both paths (this is the slow path of the SoC-clamp fast path).
+  for (int chem : {0, 9}) {
+    GridPoint g;
+    g.chemistry = chem;
+    g.initial_soc = 0.002;
+    RunDifferential(g, /*seed=*/0x5d0a4000u + static_cast<uint64_t>(chem), /*steps=*/120);
+  }
+}
+
+TEST(SoaKernelDiffTest, FullCellClampEdge) {
+  // Charging a full cell: the charge-side clamp engages immediately.
+  for (int chem : {3, 10}) {
+    GridPoint g;
+    g.chemistry = chem;
+    g.initial_soc = 0.999;
+    g.charge_heavy = true;
+    RunDifferential(g, /*seed=*/0x5d0a5000u + static_cast<uint64_t>(chem), /*steps=*/120);
+  }
+}
+
+TEST(SoaKernelDiffTest, CurrentLimitClamp) {
+  // Requests far beyond the datasheet current limits: the limited flag and
+  // the clamped current must agree exactly.
+  std::vector<BatteryParams> library = MakeBatteryLibrary();
+  Cell scalar_cell(library[4], 0.5);
+  Cell batch_cell(library[4], 0.5);
+  soa::CellLanes lanes;
+  size_t lane = lanes.AddLane(batch_cell);
+  for (int step = 0; step < 50; ++step) {
+    soa::LaneOp op =
+        (step % 2 == 0) ? soa::LaneOp::kDischargeCurrent : soa::LaneOp::kChargeCurrent;
+    double magnitude = 1.0e4;  // Far beyond any datasheet limit.
+    StepResult scalar_result = ScalarStep(scalar_cell, op, magnitude, 1.0);
+    lanes.SetRequest(lane, op, magnitude);
+    lanes.AdvanceBatch(1.0);
+    lanes.Scatter(lane, &batch_cell);
+    ExpectStepResultEqual(scalar_result, lanes.result(lane), "current-limit step");
+    ExpectLaneStateEqual(scalar_cell, batch_cell, "current-limit step");
+  }
+}
+
+TEST(SoaKernelDiffTest, IdleLaneIsUntouched) {
+  // A kIdle lane must not move at all — no electrical, aging, or thermal
+  // drift — exactly like a scalar cell that is never stepped. This is the
+  // masking contract the fault paths rely on.
+  std::vector<BatteryParams> library = MakeBatteryLibrary();
+  Cell active(library[0], 0.7);
+  Cell masked(library[0], 0.7);
+  soa::CellLanes lanes;
+  size_t active_lane = lanes.AddLane(active);
+  size_t masked_lane = lanes.AddLane(masked);
+
+  soa::LaneState before = masked.ExportLaneState();
+  for (int step = 0; step < 100; ++step) {
+    lanes.ClearRequests();
+    lanes.SetRequest(active_lane, soa::LaneOp::kDischargePower, 2.0);
+    // masked_lane stays kIdle.
+    lanes.AdvanceBatch(1.0);
+  }
+  lanes.Scatter(masked_lane, &masked);
+  soa::LaneState after = masked.ExportLaneState();
+  EXPECT_TRUE(BitEqual("soc", before.electrical.soc, after.electrical.soc));
+  EXPECT_TRUE(BitEqual("v_rc_v", before.electrical.v_rc_v, after.electrical.v_rc_v));
+  EXPECT_TRUE(BitEqual("temp_k", before.thermal.temp_k, after.thermal.temp_k));
+  EXPECT_TRUE(BitEqual("total_loss_j", before.total_loss_j, after.total_loss_j));
+  EXPECT_TRUE(
+      BitEqual("capacity_factor", before.aging.capacity_factor, after.aging.capacity_factor));
+  // The idle lane's result reads all-zero.
+  EXPECT_EQ(lanes.result(masked_lane).current_a, 0.0);
+  EXPECT_EQ(lanes.result(masked_lane).terminal_v, 0.0);
+  EXPECT_FALSE(lanes.result(masked_lane).limited);
+  // The active lane did move.
+  EXPECT_NE(lanes.soc(active_lane), 0.7);
+}
+
+TEST(SoaKernelDiffTest, ManyLanesMatchManyScalarCells) {
+  // 32 mixed-chemistry lanes advanced in one batch vs 32 facade cells
+  // stepped one by one: order independence and per-lane isolation.
+  std::vector<BatteryParams> library = MakeBatteryLibrary();
+  constexpr int kLanes = 32;
+  std::vector<Cell> scalar_cells;
+  std::vector<Cell> batch_cells;
+  scalar_cells.reserve(kLanes);
+  batch_cells.reserve(kLanes);
+  soa::CellLanes lanes;
+  for (int i = 0; i < kLanes; ++i) {
+    const BatteryParams& params = library[i % library.size()];
+    double soc = 0.1 + 0.8 * static_cast<double>(i) / kLanes;
+    scalar_cells.emplace_back(params, soc);
+    batch_cells.emplace_back(params, soc);
+    lanes.AddLane(batch_cells[i]);
+  }
+  Rng rng(0x5d0a6000u);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<soa::LaneOp> ops(kLanes);
+    std::vector<double> mags(kLanes);
+    for (int i = 0; i < kLanes; ++i) {
+      ops[i] = (rng.NextBounded(2) == 0) ? soa::LaneOp::kDischargePower : soa::LaneOp::kChargePower;
+      mags[i] = rng.Uniform(0.0, 8.0);
+      lanes.SetRequest(i, ops[i], mags[i]);
+    }
+    lanes.AdvanceBatch(1.0);
+    for (int i = 0; i < kLanes; ++i) {
+      StepResult scalar_result = ScalarStep(scalar_cells[i], ops[i], mags[i], 1.0);
+      lanes.Scatter(i, &batch_cells[i]);
+      std::string context = "lane=" + std::to_string(i) + " step=" + std::to_string(step);
+      ExpectStepResultEqual(scalar_result, lanes.result(i), context);
+      ExpectLaneStateEqual(scalar_cells[i], batch_cells[i], context);
+    }
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdb

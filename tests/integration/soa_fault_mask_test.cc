@@ -1,0 +1,250 @@
+// Fault-path coverage for the batched SoA kernel: faulted cells must be
+// masked out of the batch — zero current into the faulted lane, state
+// untouched — exactly as the scalar per-cell loops mask them. Each case
+// runs once with batch stepping on and once with it off and compares the
+// outcomes bit for bit (exact `==`), because the two paths share one
+// kernel (soa::StepLaneOnce) and any drift means the masking diverged.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chem/cell.h"
+#include "src/chem/library.h"
+#include "src/chem/pack.h"
+#include "src/chem/soa_kernel.h"
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/hw/charge_circuit.h"
+#include "src/hw/command_link.h"
+#include "src/hw/discharge_circuit.h"
+#include "src/hw/fault.h"
+#include "src/hw/microcontroller.h"
+#include "src/hw/safety.h"
+
+namespace sdb {
+namespace {
+
+// Restores the process-wide batch switch no matter how the test exits.
+class BatchSteppingGuard {
+ public:
+  explicit BatchSteppingGuard(bool enabled) : previous_(soa::BatchStepping()) {
+    soa::SetBatchStepping(enabled);
+  }
+  ~BatchSteppingGuard() { soa::SetBatchStepping(previous_); }
+
+ private:
+  bool previous_;
+};
+
+BatteryPack MakeThreeCellPack() {
+  BatteryPack pack;
+  pack.AddCell(Cell(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.6));
+  pack.AddCell(Cell(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.6));
+  pack.AddCell(Cell(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.6));
+  return pack;
+}
+
+void ExpectCellStatesBitEqual(const BatteryPack& a, const BatteryPack& b,
+                              const std::string& context) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    soa::LaneState sa = a.cell(i).ExportLaneState();
+    soa::LaneState sb = b.cell(i).ExportLaneState();
+    SCOPED_TRACE(context + " cell=" + std::to_string(i));
+    EXPECT_EQ(sa.electrical.soc, sb.electrical.soc);
+    EXPECT_EQ(sa.electrical.v_rc_v, sb.electrical.v_rc_v);
+    EXPECT_EQ(sa.aging.capacity_factor, sb.aging.capacity_factor);
+    EXPECT_EQ(sa.aging.total_charge_in_c, sb.aging.total_charge_in_c);
+    EXPECT_EQ(sa.aging.total_charge_out_c, sb.aging.total_charge_out_c);
+    EXPECT_EQ(sa.thermal.temp_k, sb.thermal.temp_k);
+    EXPECT_EQ(sa.thermal.total_heat_j, sb.thermal.total_heat_j);
+    EXPECT_EQ(sa.total_loss_j, sb.total_loss_j);
+  }
+}
+
+TEST(SoaFaultMaskTest, DischargeOpenCircuitLaneCarriesNoCurrent) {
+  for (bool batched : {true, false}) {
+    BatchSteppingGuard guard(batched);
+    BatteryPack pack = MakeThreeCellPack();
+    pack.SetOpenCircuit(1, true);
+    soa::LaneState before = pack.cell(1).ExportLaneState();
+
+    SdbDischargeCircuit circuit(DischargeCircuitConfig{}, 7);
+    for (int step = 0; step < 20; ++step) {
+      DischargeTick tick = circuit.Step(pack, {1.0 / 3, 1.0 / 3, 1.0 / 3}, Watts(6.0),
+                                        Seconds(1.0));
+      // The faulted lane carries exactly zero current; the survivors carry
+      // the load.
+      EXPECT_EQ(tick.currents[1].value(), 0.0) << "batched=" << batched << " step=" << step;
+      EXPECT_GT(tick.currents[0].value(), 0.0);
+      EXPECT_GT(tick.currents[2].value(), 0.0);
+    }
+    // The masked cell is bit-for-bit untouched: no charge moved, no heat
+    // deposited, no aging recorded.
+    soa::LaneState after = pack.cell(1).ExportLaneState();
+    EXPECT_EQ(before.electrical.soc, after.electrical.soc) << "batched=" << batched;
+    EXPECT_EQ(before.thermal.temp_k, after.thermal.temp_k) << "batched=" << batched;
+    EXPECT_EQ(before.total_loss_j, after.total_loss_j) << "batched=" << batched;
+    EXPECT_EQ(before.aging.total_charge_out_c, after.aging.total_charge_out_c)
+        << "batched=" << batched;
+  }
+}
+
+TEST(SoaFaultMaskTest, DischargeBatchMatchesScalarWithOpenCircuit) {
+  BatteryPack batch_pack = MakeThreeCellPack();
+  BatteryPack scalar_pack = MakeThreeCellPack();
+  batch_pack.SetOpenCircuit(0, true);
+  scalar_pack.SetOpenCircuit(0, true);
+  SdbDischargeCircuit batch_circuit(DischargeCircuitConfig{}, 7);
+  SdbDischargeCircuit scalar_circuit(DischargeCircuitConfig{}, 7);
+
+  for (int step = 0; step < 50; ++step) {
+    DischargeTick batch_tick;
+    DischargeTick scalar_tick;
+    {
+      BatchSteppingGuard guard(true);
+      batch_tick = batch_circuit.Step(batch_pack, {0.5, 0.3, 0.2}, Watts(5.0), Seconds(1.0));
+    }
+    {
+      BatchSteppingGuard guard(false);
+      scalar_tick = scalar_circuit.Step(scalar_pack, {0.5, 0.3, 0.2}, Watts(5.0), Seconds(1.0));
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(batch_tick.currents[i].value(), scalar_tick.currents[i].value())
+          << "step=" << step << " cell=" << i;
+    }
+    EXPECT_EQ(batch_tick.delivered.value(), scalar_tick.delivered.value()) << "step=" << step;
+    EXPECT_EQ(batch_tick.battery_loss.value(), scalar_tick.battery_loss.value())
+        << "step=" << step;
+  }
+  ExpectCellStatesBitEqual(batch_pack, scalar_pack, "discharge open-circuit");
+}
+
+TEST(SoaFaultMaskTest, ChargeBatchMatchesScalarWithOpenCircuit) {
+  BatteryPack batch_pack = MakeThreeCellPack();
+  BatteryPack scalar_pack = MakeThreeCellPack();
+  batch_pack.SetOpenCircuit(2, true);
+  scalar_pack.SetOpenCircuit(2, true);
+  std::vector<const BatteryParams*> params{&batch_pack.cell(0).params(),
+                                           &batch_pack.cell(1).params(),
+                                           &batch_pack.cell(2).params()};
+  SdbChargeCircuit batch_circuit(ChargeCircuitConfig{}, params, 11);
+  std::vector<const BatteryParams*> scalar_params{&scalar_pack.cell(0).params(),
+                                                  &scalar_pack.cell(1).params(),
+                                                  &scalar_pack.cell(2).params()};
+  SdbChargeCircuit scalar_circuit(ChargeCircuitConfig{}, scalar_params, 11);
+
+  for (int step = 0; step < 50; ++step) {
+    ChargeTick batch_tick;
+    ChargeTick scalar_tick;
+    {
+      BatchSteppingGuard guard(true);
+      batch_tick = batch_circuit.Step(batch_pack, {0.4, 0.4, 0.2}, Watts(10.0), Seconds(1.0));
+    }
+    {
+      BatchSteppingGuard guard(false);
+      scalar_tick = scalar_circuit.Step(scalar_pack, {0.4, 0.4, 0.2}, Watts(10.0), Seconds(1.0));
+    }
+    // The open lane absorbs nothing on either path.
+    EXPECT_EQ(batch_tick.currents[2].value(), 0.0) << "step=" << step;
+    EXPECT_EQ(scalar_tick.currents[2].value(), 0.0) << "step=" << step;
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(batch_tick.currents[i].value(), scalar_tick.currents[i].value())
+          << "step=" << step << " cell=" << i;
+    }
+    EXPECT_EQ(batch_tick.absorbed.value(), scalar_tick.absorbed.value()) << "step=" << step;
+  }
+  ExpectCellStatesBitEqual(batch_pack, scalar_pack, "charge open-circuit");
+}
+
+// End-to-end: the full fault-matrix rig (microcontroller + safety + serial
+// link + runtime + simulator) under an active fault window, run once
+// batched and once scalar. Every battery's final state must agree bit for
+// bit, proving the batch path masks faulted cells exactly like the scalar
+// loops even when the masking is driven by the safety supervisor and
+// degraded-mode runtime rather than a circuit-level check.
+SimResult RunFaultScenario(FaultClass kind, double magnitude, bool batched,
+                           std::vector<soa::LaneState>* final_states) {
+  BatchSteppingGuard guard(batched);
+
+  std::vector<Cell> cells;
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeHighEnergyTablet(MilliAmpHours(4000.0)), 0.8);
+  cells.emplace_back(MakeFastChargeTablet(MilliAmpHours(4000.0)), 0.8);
+  SdbMicrocontroller micro = MakeDefaultMicrocontroller(std::move(cells), 97);
+
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  SafetySupervisor safety(limits);
+  micro.AttachSafety(&safety);
+
+  FaultPlan plan;
+  plan.seed = 0x50AFA17u;
+  plan.Add(FaultEvent{.kind = kind,
+                      .start = Minutes(5.0),
+                      .end = Minutes(30.0),
+                      .battery = 0,
+                      .magnitude = magnitude,
+                      .probability = 1.0});
+  micro.InstallFaults(std::move(plan));
+
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&server](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+
+  SdbRuntime runtime(&micro);
+  runtime.SetDischargingDirective(0.5);
+  runtime.AttachLink(&client);
+
+  SimConfig config;
+  config.tick = Seconds(10.0);
+  config.runtime_period = Minutes(10.0);
+  config.stop_on_shortfall = false;
+  Simulator sim(&runtime, config);
+  SimResult result = sim.Run(PowerTrace::Constant(Watts(5.0), Hours(1.0)));
+
+  final_states->clear();
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    final_states->push_back(micro.pack().cell(i).ExportLaneState());
+  }
+  return result;
+}
+
+void ExpectScenarioBitIdentical(FaultClass kind, double magnitude) {
+  std::vector<soa::LaneState> batch_states;
+  std::vector<soa::LaneState> scalar_states;
+  SimResult batch_result = RunFaultScenario(kind, magnitude, /*batched=*/true, &batch_states);
+  SimResult scalar_result = RunFaultScenario(kind, magnitude, /*batched=*/false, &scalar_states);
+
+  ASSERT_EQ(batch_states.size(), scalar_states.size());
+  for (size_t i = 0; i < batch_states.size(); ++i) {
+    SCOPED_TRACE("battery=" + std::to_string(i));
+    EXPECT_EQ(batch_states[i].electrical.soc, scalar_states[i].electrical.soc);
+    EXPECT_EQ(batch_states[i].electrical.v_rc_v, scalar_states[i].electrical.v_rc_v);
+    EXPECT_EQ(batch_states[i].aging.capacity_factor, scalar_states[i].aging.capacity_factor);
+    EXPECT_EQ(batch_states[i].thermal.temp_k, scalar_states[i].thermal.temp_k);
+    EXPECT_EQ(batch_states[i].total_loss_j, scalar_states[i].total_loss_j);
+  }
+  EXPECT_EQ(batch_result.delivered.value(), scalar_result.delivered.value());
+  EXPECT_EQ(batch_result.TotalLoss().value(), scalar_result.TotalLoss().value());
+  ASSERT_EQ(batch_result.final_soc.size(), scalar_result.final_soc.size());
+  for (size_t i = 0; i < batch_result.final_soc.size(); ++i) {
+    EXPECT_EQ(batch_result.final_soc[i], scalar_result.final_soc[i]) << "battery=" << i;
+  }
+}
+
+TEST(SoaFaultMaskTest, EndToEndOpenCircuitBatchMatchesScalar) {
+  ExpectScenarioBitIdentical(FaultClass::kOpenCircuit, 0.0);
+}
+
+TEST(SoaFaultMaskTest, EndToEndThermalTripBatchMatchesScalar) {
+  ExpectScenarioBitIdentical(FaultClass::kThermalTrip, Celsius(70.0).value());
+}
+
+}  // namespace
+}  // namespace sdb

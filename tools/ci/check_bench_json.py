@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json reports and gate throughput regressions.
+
+Every perf-bearing bench emits a flat JSON report via bench/bench_report.h:
+
+  {"bench": "monte_carlo", "git_sha": "...", "jobs": 2, "runs": 8,
+   "reps": 3, "wall_s": 0.7, "metrics": {"cell_steps_per_s": 3.1e7, ...}}
+
+Schema mode (no --baseline) checks the report is well-formed: every
+top-level key present with the right type, every metric a finite number,
+and — for benches that declare required metrics below — the headline
+metrics present and positive.
+
+Gate mode (--baseline) additionally compares the candidate against a
+checked-in baseline report (bench/baselines/): for each gated metric the
+candidate must reach at least (1 - threshold) of the baseline value.
+The default gated metric is `batch_speedup`, the in-process batch/scalar
+ratio, because it is machine-portable: both sides of the ratio are
+measured in the same process on the same machine, so a CI runner that is
+2x slower than the baseline machine still reproduces the ratio, while
+absolute cell-steps/s would flag every hardware change as a regression
+(DESIGN.md section 12). Gate absolute metrics with --gate only when the
+baseline was produced on the same hardware.
+
+Usage:
+  check_bench_json.py BENCH_monte_carlo.json
+  check_bench_json.py BENCH_monte_carlo.json --baseline bench/baselines/BENCH_monte_carlo.json \
+      [--threshold 0.10] [--gate batch_speedup] [--gate cell_steps_per_s]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Metrics that must be present and strictly positive, per bench id.
+REQUIRED_METRICS = {
+    "monte_carlo": ["cell_steps_per_s", "scalar_cell_steps_per_s", "batch_speedup",
+                    "mc_cell_steps_per_s"],
+    "weekly_wear": [],
+    "fig13_smartwatch": [],
+}
+
+
+def fail(msg):
+    sys.exit(f"check_bench_json: FAIL: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot parse: {e}")
+
+
+def check_schema(doc, path):
+    for key, kind in (("bench", str), ("git_sha", str), ("jobs", int), ("runs", int),
+                      ("reps", int), ("wall_s", (int, float)), ("metrics", dict)):
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+        if not isinstance(doc[key], kind):
+            fail(f"{path}: key '{key}' has type {type(doc[key]).__name__}")
+    if not doc["bench"]:
+        fail(f"{path}: empty bench id")
+    if doc["jobs"] < 1:
+        fail(f"{path}: jobs must be >= 1, got {doc['jobs']}")
+    if not math.isfinite(doc["wall_s"]) or doc["wall_s"] < 0.0:
+        fail(f"{path}: wall_s must be finite and >= 0, got {doc['wall_s']}")
+    for name, value in doc["metrics"].items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            fail(f"{path}: metric '{name}' is not a finite number: {value!r}")
+    for name in REQUIRED_METRICS.get(doc["bench"], []):
+        if name not in doc["metrics"]:
+            fail(f"{path}: bench '{doc['bench']}' missing required metric '{name}'")
+        if doc["metrics"][name] <= 0.0:
+            fail(f"{path}: required metric '{name}' must be > 0, got {doc['metrics'][name]}")
+    print(f"check_bench_json: {path}: schema OK "
+          f"(bench={doc['bench']}, {len(doc['metrics'])} metrics)")
+
+
+def check_gates(candidate, baseline, gates, threshold, cand_path, base_path):
+    if candidate["bench"] != baseline["bench"]:
+        fail(f"bench mismatch: candidate '{candidate['bench']}' vs "
+             f"baseline '{baseline['bench']}'")
+    failed = []
+    for gate in gates:
+        base = baseline["metrics"].get(gate)
+        cand = candidate["metrics"].get(gate)
+        if base is None:
+            fail(f"{base_path}: baseline has no metric '{gate}'")
+        if cand is None:
+            fail(f"{cand_path}: candidate has no metric '{gate}'")
+        floor = base * (1.0 - threshold)
+        verdict = "OK" if cand >= floor else "REGRESSED"
+        print(f"check_bench_json: {gate}: candidate {cand:.6g} vs baseline {base:.6g} "
+              f"(floor {floor:.6g}, threshold {threshold:.0%}) {verdict}")
+        if cand < floor:
+            failed.append(gate)
+    if failed:
+        fail(f"regressed metrics: {', '.join(failed)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="candidate BENCH_*.json")
+    parser.add_argument("--baseline", help="checked-in baseline BENCH_*.json to gate against")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional drop vs baseline (default 0.10)")
+    parser.add_argument("--gate", action="append", default=[],
+                        help="metric to gate (repeatable; default: batch_speedup)")
+    args = parser.parse_args()
+
+    candidate = load(args.report)
+    check_schema(candidate, args.report)
+    if args.baseline:
+        baseline = load(args.baseline)
+        check_schema(baseline, args.baseline)
+        gates = args.gate or ["batch_speedup"]
+        check_gates(candidate, baseline, gates, args.threshold, args.report, args.baseline)
+    print("check_bench_json: PASS")
+
+
+if __name__ == "__main__":
+    main()
