@@ -8,6 +8,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "src/util/check.h"
 #include "src/chem/aging.h"
 
 namespace {
@@ -32,7 +33,7 @@ std::map<int, double> ChargeTimeCurve(double fast_fraction, uint64_t seed) {
   double next_replan = 0.0;
   while (t < Hours(4.0).value() && next_pct <= 85) {
     if (t >= next_replan) {
-      rig.runtime().Update(Watts(0.0), Watts(60.0));
+      SDB_CHECK(rig.runtime().Update(Watts(0.0), Watts(60.0)).ok());
       next_replan = t + 30.0;
     }
     rig.micro().Step(Watts(0.0), Watts(60.0), Seconds(kTick));

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/util/check.h"
 #include "src/os/cpu_model.h"
 #include "src/os/task.h"
 
@@ -57,7 +58,7 @@ LevelResult RunMix(const std::vector<Task>& tasks, PerfLevel level, uint64_t see
     bool replanned = false;
     while (t < horizon) {
       if (level != PerfLevel::kLow && !replanned) {
-        rig.runtime().Update(run.power_profile.Sample(Seconds(t)), Watts(0.0));
+        SDB_CHECK(rig.runtime().Update(run.power_profile.Sample(Seconds(t)), Watts(0.0)).ok());
         replanned = true;
       }
       rig.micro().Step(run.power_profile.Sample(Seconds(t)), Watts(0.0), Seconds(1.0));

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/emu/device.h"
+#include "src/util/check.h"
 #include "src/emu/simulator.h"
 #include "src/emu/workload.h"
 
@@ -36,7 +37,7 @@ int main() {
       last_situation = phone->power_manager().current_situation();
     }
     if (t >= next_replan) {
-      phone->runtime().Update(load, Watts(0.0));
+      SDB_CHECK(phone->runtime().Update(load, Watts(0.0)).ok());
       next_replan = t + 60.0;
     }
     phone->micro().Step(load, Watts(0.0), Seconds(kTick));

@@ -78,10 +78,10 @@ class SdbRuntime {
   // recomputes both ratio vectors for the expected load/supply, and programs
   // the microcontroller. Call at coarse time steps (the paper's runtime
   // "calculates these power values at coarse granular time steps").
-  Status Update(Power expected_load, Power expected_supply);
+  [[nodiscard]] Status Update(Power expected_load, Power expected_supply);
 
   // Passthrough for battery-to-battery transfers.
-  Status RequestTransfer(size_t from, size_t to, Power power, Duration duration);
+  [[nodiscard]] Status RequestTransfer(size_t from, size_t to, Power power, Duration duration);
 
   // Optional observability: when attached, every Update() appends a sample
   // (timestamped by AdvanceTime's clock). `recorder` must outlive the
@@ -128,7 +128,7 @@ class SdbRuntime {
  private:
   // QueryBatteryStatus with retry-with-backoff over the attached link (or a
   // direct, infallible microcontroller call when no link is attached).
-  StatusOr<std::vector<BatteryStatus>> QueryStatusWithRetry();
+  [[nodiscard]] StatusOr<std::vector<BatteryStatus>> QueryStatusWithRetry();
   BatteryViews BuildViewsFrom(const std::vector<BatteryStatus>& statuses) const;
 
   SdbMicrocontroller* micro_;

@@ -47,7 +47,12 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
     Power p_supply = supply.Sample(Seconds(t));
 
     if (t >= next_replan) {
-      runtime_->Update(p_load, p_supply);
+      // A failed update is survivable — the runtime keeps the previous
+      // ratios — but never silent: the result carries the count.
+      Status update_status = runtime_->Update(p_load, p_supply);
+      if (!update_status.ok()) {
+        ++result.update_failures;
+      }
       next_replan = t + config_.runtime_period.value();
     }
 
@@ -142,7 +147,10 @@ SimResult Simulator::RunChargeOnly(Power supply, Duration timeout) {
       break;
     }
     if (t >= next_replan) {
-      runtime_->Update(Watts(0.0), supply);
+      Status update_status = runtime_->Update(Watts(0.0), supply);
+      if (!update_status.ok()) {
+        ++result.update_failures;
+      }
       next_replan = t + config_.runtime_period.value();
     }
     MicroTick tick = micro->Step(Watts(0.0), supply, Seconds(tick_s));

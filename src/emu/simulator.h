@@ -74,6 +74,9 @@ struct SimResult {
   std::vector<std::optional<Duration>> depletion_time;  // Per battery.
   std::vector<SimEvent> events;
   std::vector<HourlyStats> hourly;
+  // Runtime Update() calls that returned non-OK and were absorbed (the
+  // runtime keeps the previous ratios; common during link-fault windows).
+  int update_failures = 0;
 
   Energy TotalLoss() const { return battery_loss + circuit_loss; }
 };

@@ -32,8 +32,11 @@ enum class StatusCode {
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-// A success-or-error result. Cheap to copy on the OK path.
-class Status {
+// A success-or-error result. Cheap to copy on the OK path. [[nodiscard]]
+// on the type makes every function returning Status by value a must-check
+// API: dropping the return is a compile error under -Werror and lint rule
+// R7 (DESIGN.md "Static-analysis doctrine").
+class [[nodiscard]] Status {
  public:
   // Default: OK.
   Status() = default;
@@ -67,8 +70,11 @@ Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 
 // A value or an error. Access to the value when holding an error aborts.
+// [[nodiscard]] for the same reason as Status: an ignored StatusOr is an
+// ignored error (exactly the silently-dropped path fixed in the runtime's
+// Update, see CHANGES.md PR 3).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit from value and from error status, mirroring absl.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

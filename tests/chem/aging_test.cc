@@ -58,7 +58,7 @@ TEST_F(AgingTest, CapacityFadesWithCycles) {
   for (int i = 0; i < 100; ++i) {
     ChargeOneCycle(model, 0.5);
   }
-  EXPECT_EQ(model.cycle_count(), 100.0);
+  EXPECT_DOUBLE_EQ(model.cycle_count(), 100.0);
   EXPECT_LT(model.capacity_factor(), 1.0);
   EXPECT_GT(model.capacity_factor(), 0.9);
 }

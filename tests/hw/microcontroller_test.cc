@@ -25,7 +25,7 @@ TEST(MicroTest, RatioValidationSum) {
   SdbMicrocontroller micro = MakeMicro();
   EXPECT_EQ(micro.SetDischargeRatios({0.5, 0.6}).code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(micro.SetDischargeRatios({0.25, 0.75}).ok());
-  EXPECT_EQ(micro.discharge_ratios()[1], 0.75);
+  EXPECT_DOUBLE_EQ(micro.discharge_ratios()[1], 0.75);
 }
 
 TEST(MicroTest, RatioValidationNegative) {

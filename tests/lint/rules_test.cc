@@ -1,0 +1,246 @@
+// Unit tests for the sdb_lint rule families (tools/lint/rules.h), driven by
+// the seeded-violation fixtures under tools/lint/testdata/ (path injected as
+// LINT_TESTDATA_DIR), plus allowlist-grammar and SARIF-shape coverage.
+#include "tools/lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/sarif.h"
+#include "tools/lint/scanner.h"
+
+namespace sdb_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFixture(const std::string& name) {
+  fs::path path = fs::path(LINT_TESTDATA_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Has(const std::vector<Finding>& findings, const std::string& rule,
+         const std::string& identifier, int line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.identifier == identifier && f.line == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RulesTest, R1HeaderDecls) {
+  std::vector<Finding> findings;
+  ScanHeaderDecls("r1_header.h", StripCommentsAndStrings(ReadFixture("r1_header.h")),
+                  &findings);
+  EXPECT_TRUE(Has(findings, "R1", "bus_voltage_v", 8));
+  EXPECT_TRUE(Has(findings, "R1", "pack_current", 9));
+  EXPECT_TRUE(Has(findings, "R1", "rail_volts", 14))
+      << "digit separator derailed the scanner";
+  EXPECT_EQ(CountRule(findings, "R1"), 3)
+      << "dimensionless/commented declarations must stay exempt";
+}
+
+TEST(RulesTest, R2ValueRoundTrips) {
+  std::vector<Finding> findings;
+  ScanValueRoundTrips("r2_roundtrip.cc", StripCommentsAndStrings(ReadFixture("r2_roundtrip.cc")),
+                      &findings);
+  EXPECT_TRUE(Has(findings, "R2", "load_w", 6));
+  EXPECT_TRUE(Has(findings, "R2", "drop_v", 7));
+  EXPECT_EQ(CountRule(findings, "R2"), 2);
+}
+
+TEST(RulesTest, R3MagicLiterals) {
+  std::vector<Finding> findings;
+  ScanMagicLiterals("r3_magic.cc", StripCommentsAndStrings(ReadFixture("r3_magic.cc")),
+                    &findings);
+  EXPECT_TRUE(Has(findings, "R3", "", 4));
+  EXPECT_TRUE(Has(findings, "R3", "", 5));
+  EXPECT_EQ(CountRule(findings, "R3"), 2) << "36000.0 must not match via substring";
+}
+
+TEST(RulesTest, R4RawClockReads) {
+  std::vector<Finding> findings;
+  ScanRawClockReads("r4_clock.cc", StripCommentsAndStrings(ReadFixture("r4_clock.cc")),
+                    &findings);
+  EXPECT_TRUE(Has(findings, "R4", "", 4));
+  EXPECT_EQ(CountRule(findings, "R4"), 1)
+      << "comments, strings, raw strings and lookalikes must stay exempt";
+}
+
+TEST(RulesTest, R5Randomness) {
+  std::vector<Finding> findings;
+  ScanNondeterministicRandomness("r5_rng.cc", StripCommentsAndStrings(ReadFixture("r5_rng.cc")),
+                                 &findings);
+  EXPECT_TRUE(Has(findings, "R5", "mt19937", 4));
+  EXPECT_TRUE(Has(findings, "R5", "random_device", 4));
+  EXPECT_TRUE(Has(findings, "R5", "srand", 5));
+  EXPECT_TRUE(Has(findings, "R5", "time", 5));
+  EXPECT_TRUE(Has(findings, "R5", "rand", 6));
+  EXPECT_EQ(CountRule(findings, "R5"), 5)
+      << "strand_count / randomize lookalikes must stay exempt";
+}
+
+TEST(RulesTest, R6UnorderedContainers) {
+  std::vector<Finding> findings;
+  ScanUnorderedContainers("r6_unordered.cc",
+                          StripCommentsAndStrings(ReadFixture("r6_unordered.cc")), &findings);
+  EXPECT_TRUE(Has(findings, "R6", "unordered_map", 3));  // The #include line.
+  EXPECT_TRUE(Has(findings, "R6", "unordered_map", 5));
+  EXPECT_TRUE(Has(findings, "R6", "unordered_set", 6));
+  EXPECT_EQ(CountRule(findings, "R6"), 3)
+      << "std::map and unordered_mapping_count must stay exempt";
+}
+
+TEST(RulesTest, R7MustUseHarvestAndDiscards) {
+  MustUseIndex index;
+  HarvestMustUse(StripCommentsAndStrings(ReadFixture("r7_api.h")), &index);
+  EXPECT_TRUE(index.names.count("ApplyPlan"));
+  EXPECT_TRUE(index.names.count("FetchReadings"));
+  // Refresh has a non-Status overload, so it is harvested but ambiguous.
+  EXPECT_TRUE(index.names.count("Refresh"));
+  EXPECT_TRUE(index.ambiguous.count("Refresh"));
+
+  std::vector<Finding> findings;
+  ScanDiscardedStatus("r7_discard.cc", Lex(ReadFixture("r7_discard.cc")), index, &findings);
+  EXPECT_TRUE(Has(findings, "R7", "ApplyPlan", 4));
+  EXPECT_TRUE(Has(findings, "R7", "FetchReadings", 8)) << "qualifier chain missed";
+  EXPECT_TRUE(Has(findings, "R7", "ApplyPlan", 10)) << "if-branch body missed";
+  EXPECT_EQ(CountRule(findings, "R7"), 3)
+      << "(void) discards, consumed results and ambiguous names must stay exempt";
+}
+
+TEST(RulesTest, R8FloatEquality) {
+  std::vector<Finding> findings;
+  ScanFloatEquality("r8_floatcmp.cc", Lex(ReadFixture("r8_floatcmp.cc")), &findings);
+  EXPECT_TRUE(Has(findings, "R8", "==", 4));
+  EXPECT_TRUE(Has(findings, "R8", "!=", 5));
+  EXPECT_TRUE(Has(findings, "R8", "EXPECT_EQ", 6));
+  EXPECT_EQ(CountRule(findings, "R8"), 3)
+      << "nested literals, int compares, dimensionless names and nullptr "
+         "compares must stay exempt";
+}
+
+TEST(RulesTest, IdentifierHeuristics) {
+  EXPECT_TRUE(HasUnitSuffix("terminal_v"));
+  EXPECT_TRUE(HasUnitSuffix("battery_a_"));  // Trailing underscore stripped.
+  EXPECT_FALSE(HasUnitSuffix("count"));
+  EXPECT_TRUE(HasQuantityToken("pack_current"));
+  EXPECT_FALSE(HasQuantityToken("currently"));  // Token match, not substring.
+  EXPECT_TRUE(IsDimensionlessName("soc_fraction"));
+  EXPECT_TRUE(IsDimensionlessName("power_margin"));
+  EXPECT_FALSE(IsDimensionlessName("bus_voltage_v"));
+}
+
+// --- Allowlist grammar ----------------------------------------------------
+
+class AllowlistTest : public ::testing::Test {
+ protected:
+  fs::path WriteAllowlist(const std::string& contents) {
+    fs::path path = fs::temp_directory_path() /
+                    ("sdb_lint_allowlist_" +
+                     std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                     ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const fs::path& path : paths_) {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  }
+
+  std::vector<fs::path> paths_;
+};
+
+TEST_F(AllowlistTest, ParsesEveryDirectiveWithLineNumbers) {
+  fs::path path = WriteAllowlist(
+      "# comment\n"
+      "src/a.h:field_v\n"
+      "kernel:src/k.cc\n"
+      "clock:src/c.cc\n"
+      "rng:tests/r.cc\n"
+      "unordered:src/u.cc\n"
+      "floatcmp:tests/f.cc\n");
+  Allowlist allowlist;
+  std::string error;
+  ASSERT_TRUE(LoadAllowlist(path, &allowlist, &error)) << error;
+  EXPECT_EQ(allowlist.entries.at("src/a.h:field_v"), 2);
+  EXPECT_EQ(allowlist.kernel_files.at("src/k.cc"), 3);
+  EXPECT_EQ(allowlist.clock_files.at("src/c.cc"), 4);
+  EXPECT_EQ(allowlist.rng_files.at("tests/r.cc"), 5);
+  EXPECT_EQ(allowlist.unordered_files.at("src/u.cc"), 6);
+  EXPECT_EQ(allowlist.floatcmp_files.at("tests/f.cc"), 7);
+}
+
+TEST_F(AllowlistTest, RejectsMalformedEntryNamingTheLine) {
+  fs::path path = WriteAllowlist("src/a.h:field_v\nnot_an_entry\n");
+  Allowlist allowlist;
+  std::string error;
+  EXPECT_FALSE(LoadAllowlist(path, &allowlist, &error));
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("not_an_entry"), std::string::npos) << error;
+}
+
+TEST_F(AllowlistTest, TrailingCommentsAndWhitespaceStripped) {
+  fs::path path = WriteAllowlist("  floatcmp:tests/f.cc   # why: bit-exact\n");
+  Allowlist allowlist;
+  std::string error;
+  ASSERT_TRUE(LoadAllowlist(path, &allowlist, &error)) << error;
+  EXPECT_EQ(allowlist.floatcmp_files.at("tests/f.cc"), 1);
+}
+
+// --- SARIF shape ----------------------------------------------------------
+
+TEST(SarifTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(SarifTest, ReportContainsRulesResultsAndStaleEntries) {
+  std::vector<Finding> violations = {
+      {"src/x.cc", 12, "R5", "rand", "nondeterministic rand()"}};
+  std::vector<StaleEntry> stale = {{"kernel:src/gone.cc", 96}};
+  std::string sarif = SarifReport(violations, stale, "tools/lint/allowlist.txt");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"sdb_lint\""), std::string::npos);
+  // All eight rule ids plus the stale-allowlist synthetic rule are declared.
+  for (const char* id : {"\"R1\"", "\"R2\"", "\"R3\"", "\"R4\"", "\"R5\"", "\"R6\"", "\"R7\"",
+                         "\"R8\"", "\"stale-allowlist\""}) {
+    EXPECT_NE(sarif.find(id), std::string::npos) << id;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"R5\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/x.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("tools/lint/allowlist.txt:96"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdb_lint

@@ -1,0 +1,161 @@
+// Unit tests for the sdb_lint lexical core (tools/lint/scanner.h): comment
+// and string elision, raw strings, digit separators, float-literal
+// classification, and token depth tracking.
+#include "tools/lint/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace sdb_lint {
+namespace {
+
+TEST(StripTest, LineCommentElided) {
+  std::string out = StripCommentsAndStrings("int a; // steady_clock\nint b;\n");
+  EXPECT_EQ(out.find("steady_clock"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, BlockCommentPreservesLineStructure) {
+  std::string out = StripCommentsAndStrings("int a; /* rand()\n rand() */ int b;\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  // The newline inside the comment survives so later lines keep their numbers.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, StringContentsElidedQuotesSurvive) {
+  std::string out = StripCommentsAndStrings("const char* s = \"std::mt19937 // x\"; int b;\n");
+  EXPECT_EQ(out.find("mt19937"), std::string::npos);
+  // The // inside the string must not start a comment.
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  EXPECT_NE(out.find('"'), std::string::npos);
+}
+
+TEST(StripTest, EscapedQuoteDoesNotEndString) {
+  std::string out = StripCommentsAndStrings("const char* s = \"a\\\"rand()\"; int b;\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringElidedIncludingFakeTerminator) {
+  std::string out = StripCommentsAndStrings(
+      "auto s = R\"delim(steady_clock )\" still inside)delim\"; int b;\n");
+  EXPECT_EQ(out.find("steady_clock"), std::string::npos);
+  EXPECT_EQ(out.find("still inside"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, MultilineRawStringKeepsLineCount) {
+  std::string out = StripCommentsAndStrings("auto s = R\"(line1\nrand()\nline3)\";\nint b;\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(StripTest, IdentifierRPrefixIsNotARawString) {
+  // `FooR"x"` is identifier + ordinary string, not a raw string.
+  std::string out = StripCommentsAndStrings("auto v = FooR\"(not raw)\"; int b;\n");
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, CharLiteralElided) {
+  std::string out = StripCommentsAndStrings("char c = '\\''; int rand_guard = 0;\n");
+  EXPECT_NE(out.find("rand_guard"), std::string::npos);
+}
+
+TEST(StripTest, DigitSeparatorIsNotACharLiteral) {
+  // The old scanner treated the ' in 1'000'000 as a char-literal opener and
+  // swallowed everything to the next apostrophe.
+  std::string out = StripCommentsAndStrings("int big = 1'000'000; double rail_volts = 5.0;\n");
+  EXPECT_NE(out.find("rail_volts"), std::string::npos);
+}
+
+TEST(LexTest, IdentifiersNumbersAndTwoCharOps) {
+  std::vector<Token> tokens = Lex("a == 0.5 && b != c;\n");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "==");
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kPunct);
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kNumber);
+  EXPECT_EQ(tokens[2].text, "0.5");
+  EXPECT_EQ(tokens[3].text, "&&");
+  EXPECT_EQ(tokens[5].text, "!=");
+}
+
+TEST(LexTest, CommentsVanishStringsCollapse) {
+  std::vector<Token> tokens = Lex("x = \"a == b\"; // y == z\n");
+  bool saw_eq_op = false;
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.text, "==");
+    if (t.kind == Token::Kind::kString) {
+      saw_eq_op = true;
+      EXPECT_EQ(t.text, "\"\"");
+    }
+  }
+  EXPECT_TRUE(saw_eq_op);
+}
+
+TEST(LexTest, LineNumbersAreOneBasedAndTrackNewlines) {
+  std::vector<Token> tokens = Lex("a;\nb;\n\nc;\n");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].line, 1);  // a
+  EXPECT_EQ(tokens[2].line, 2);  // b
+  EXPECT_EQ(tokens[4].line, 4);  // c
+}
+
+TEST(LexTest, DigitSeparatorStaysOneNumberToken) {
+  std::vector<Token> tokens = Lex("n = 1'000'000;\n");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kNumber);
+  EXPECT_EQ(tokens[2].text, "1'000'000");
+}
+
+TEST(LexTest, FloatWithExponentIsOneToken) {
+  std::vector<Token> tokens = Lex("x = 1.5e-3;\n");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kNumber);
+  EXPECT_EQ(tokens[2].text, "1.5e-3");
+}
+
+TEST(LexTest, DepthTracking) {
+  std::vector<Token> tokens = Lex("f(a, (b)); { g(); }\n");
+  for (const Token& t : tokens) {
+    if (t.text == "a") {
+      EXPECT_EQ(t.paren_depth, 1);
+      EXPECT_EQ(t.brace_depth, 0);
+    }
+    if (t.text == "b") {
+      EXPECT_EQ(t.paren_depth, 2);
+    }
+    if (t.text == "g") {
+      EXPECT_EQ(t.brace_depth, 1);
+      EXPECT_EQ(t.paren_depth, 0);
+    }
+  }
+}
+
+TEST(LexTest, ArrowAndScopeAreSingleTokens) {
+  std::vector<Token> tokens = Lex("a->b::c;\n");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].text, "->");
+  EXPECT_EQ(tokens[3].text, "::");
+}
+
+TEST(IsFloatLiteralTest, Classification) {
+  EXPECT_TRUE(IsFloatLiteral("0.5"));
+  EXPECT_TRUE(IsFloatLiteral("1e9"));
+  EXPECT_TRUE(IsFloatLiteral("2.5f"));
+  EXPECT_TRUE(IsFloatLiteral("1'000.5"));
+  EXPECT_TRUE(IsFloatLiteral("0x1p3"));   // Hex float: p exponent.
+  EXPECT_FALSE(IsFloatLiteral("3"));
+  EXPECT_FALSE(IsFloatLiteral("1'000'000"));
+  EXPECT_FALSE(IsFloatLiteral("0x1F"));   // Hex int: F is a digit, not a suffix.
+  EXPECT_FALSE(IsFloatLiteral("42u"));
+}
+
+}  // namespace
+}  // namespace sdb_lint

@@ -23,9 +23,13 @@ absolute cell-steps/s would flag every hardware change as a regression
 baseline was produced on the same hardware.
 
 Usage:
-  check_bench_json.py BENCH_monte_carlo.json
+  check_bench_json.py BENCH_monte_carlo.json --schema-only
   check_bench_json.py BENCH_monte_carlo.json --baseline bench/baselines/BENCH_monte_carlo.json \
       [--threshold 0.10] [--gate batch_speedup] [--gate cell_steps_per_s]
+
+--schema-only makes schema mode explicit (fixture smoke tests use it) and
+refuses to combine with --baseline so a gating invocation cannot silently
+degrade into a schema check.
 """
 
 import argparse
@@ -110,8 +114,12 @@ def main():
                         help="allowed fractional drop vs baseline (default 0.10)")
     parser.add_argument("--gate", action="append", default=[],
                         help="metric to gate (repeatable; default: batch_speedup)")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the report shape only; rejects --baseline")
     args = parser.parse_args()
 
+    if args.schema_only and args.baseline:
+        parser.error("--schema-only and --baseline are mutually exclusive")
     candidate = load(args.report)
     check_schema(candidate, args.report)
     if args.baseline:

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates an sdb_lint SARIF log against the SARIF 2.1.0 structure CI
+relies on (stdlib only — no jsonschema in the image).
+
+Checks the invariants the upload pipeline and code-scanning UI need:
+  * version == "2.1.0" and a sarif-2.1.0 $schema reference,
+  * exactly one run, driver name "sdb_lint", non-empty rule catalogue with
+    unique ids and shortDescription text,
+  * every result references a declared rule (ruleId and, when present, a
+    consistent ruleIndex), has message.text, an allowed level, and at least
+    one physical location with a uri and a startLine >= 1.
+
+Usage: check_sarif.py REPORT.sarif
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+ALLOWED_LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_sarif: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            log = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_sarif: cannot read {argv[1]}: {exc}", file=sys.stderr)
+        return 2
+
+    if log.get("version") != "2.1.0":
+        fail(f"version is {log.get('version')!r}, want '2.1.0'")
+    if "sarif-2.1.0" not in log.get("$schema", ""):
+        fail(f"$schema {log.get('$schema')!r} does not reference sarif-2.1.0")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("runs must be a list with exactly one run")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "sdb_lint":
+        fail(f"tool.driver.name is {driver.get('name')!r}, want 'sdb_lint'")
+    rules = driver.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("tool.driver.rules must be a non-empty list")
+    rule_ids = []
+    for i, rule in enumerate(rules):
+        rule_id = rule.get("id")
+        if not rule_id:
+            fail(f"rules[{i}] has no id")
+        if rule_id in rule_ids:
+            fail(f"duplicate rule id {rule_id!r}")
+        rule_ids.append(rule_id)
+        if not rule.get("shortDescription", {}).get("text"):
+            fail(f"rule {rule_id!r} has no shortDescription.text")
+
+    results = run.get("results")
+    if not isinstance(results, list):
+        fail("run.results must be a list (empty on a clean run)")
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        rule_id = result.get("ruleId")
+        if rule_id not in rule_ids:
+            fail(f"{where}: ruleId {rule_id!r} not in the rule catalogue")
+        if "ruleIndex" in result and rule_ids[result["ruleIndex"]] != rule_id:
+            fail(f"{where}: ruleIndex {result['ruleIndex']} does not match {rule_id!r}")
+        if result.get("level") not in ALLOWED_LEVELS:
+            fail(f"{where}: level {result.get('level')!r} not in {sorted(ALLOWED_LEVELS)}")
+        if not result.get("message", {}).get("text"):
+            fail(f"{where}: missing message.text")
+        locations = result.get("locations")
+        if not isinstance(locations, list) or not locations:
+            fail(f"{where}: missing locations")
+        physical = locations[0].get("physicalLocation", {})
+        if not physical.get("artifactLocation", {}).get("uri"):
+            fail(f"{where}: missing physicalLocation.artifactLocation.uri")
+        start_line = physical.get("region", {}).get("startLine")
+        if not isinstance(start_line, int) or start_line < 1:
+            fail(f"{where}: region.startLine must be an int >= 1, got {start_line!r}")
+
+    print(
+        f"check_sarif: OK ({len(rule_ids)} rules, {len(results)} results)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,19 @@
+# ctest driver for the SARIF pipeline: run sdb_lint in --format=sarif mode
+# and validate the emitted log with the same checker CI uses on the upload.
+# Invoked as:
+#   cmake -DLINT_BIN=<sdb_lint> -DREPO=<repo root> -P check_sarif_test.cmake
+execute_process(
+  COMMAND ${LINT_BIN} --repo-root ${REPO} --format=sarif
+          --output ${CMAKE_CURRENT_BINARY_DIR}/sdb_lint_test.sarif
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "sdb_lint --format=sarif failed (rc=${lint_rc})")
+endif()
+find_program(PYTHON3 python3 REQUIRED)
+execute_process(
+  COMMAND ${PYTHON3} ${REPO}/tools/ci/check_sarif.py
+          ${CMAKE_CURRENT_BINARY_DIR}/sdb_lint_test.sarif
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_sarif.py rejected the SARIF log (rc=${check_rc})")
+endif()

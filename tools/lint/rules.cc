@@ -1,0 +1,512 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace sdb_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kUnitSuffixes[] = {"_v",  "_a",   "_w",   "_s",   "_c",   "_j",  "_k",  "_f",
+                                     "_h",  "_hz",  "_wh",  "_mah", "_ohm", "_ghz", "_uh"};
+
+const char* const kQuantityTokens[] = {"voltage", "current",     "resistance", "inductance",
+                                       "watts",   "volts",       "amps",       "joules",
+                                       "ohms",    "temperature", "frequency"};
+
+// Tokens that mark an identifier as dimensionless even when a quantity word
+// or unit suffix appears (current_soc, power_margin, capacity_factor, ...).
+const char* const kDimensionlessTokens[] = {
+    "fraction", "frac",       "factor", "margin", "error",  "ratio",  "weight",
+    "scale",    "share",      "soc",    "efficiency", "penalty", "coeff", "count",
+    "duty",     "exponent",   "cv",     "alpha",  "jitter", "index",  "percent",
+    "threshold"};
+
+std::vector<std::string> TokenizeIdentifier(const std::string& identifier) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (char c : identifier) {
+    if (c == '_') {
+      if (!token.empty()) {
+        tokens.push_back(token);
+        token.clear();
+      }
+    } else {
+      token.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!token.empty()) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool HasToken(const std::string& identifier, const char* const* list, size_t n) {
+  std::vector<std::string> tokens = TokenizeIdentifier(identifier);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::find(tokens.begin(), tokens.end(), list[i]) != tokens.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Applies `re` to every line of `text`, invoking `fn(line_no, match)` per
+// match. Shared driver for all the line-regex rules.
+template <typename Fn>
+void ForEachLineMatch(const std::string& text, const std::regex& re, Fn fn) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      fn(line_no, *it);
+    }
+  }
+}
+
+}  // namespace
+
+bool IsDimensionlessName(const std::string& identifier) {
+  return HasToken(identifier, kDimensionlessTokens,
+                  sizeof(kDimensionlessTokens) / sizeof(kDimensionlessTokens[0]));
+}
+
+bool HasUnitSuffix(std::string identifier) {
+  while (!identifier.empty() && identifier.back() == '_') {
+    identifier.pop_back();
+  }
+  std::transform(identifier.begin(), identifier.end(), identifier.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const char* suffix : kUnitSuffixes) {
+    size_t len = std::strlen(suffix);
+    if (identifier.size() > len &&
+        identifier.compare(identifier.size() - len, len, suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasQuantityToken(const std::string& identifier) {
+  return HasToken(identifier, kQuantityTokens,
+                  sizeof(kQuantityTokens) / sizeof(kQuantityTokens[0]));
+}
+
+// R1: double/float declarations with dimensional identifiers.
+void ScanHeaderDecls(const std::string& file, const std::string& text,
+                     std::vector<Finding>* findings) {
+  static const std::regex decl_re(
+      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:=|;|,|\)))");
+  ForEachLineMatch(text, decl_re, [&](int line_no, const std::smatch& m) {
+    std::string identifier = m[1].str();
+    if (IsDimensionlessName(identifier)) {
+      return;
+    }
+    if (HasUnitSuffix(identifier) || HasQuantityToken(identifier)) {
+      findings->push_back(
+          {file, line_no, "R1", identifier,
+           "raw double '" + identifier +
+               "' carries a physical dimension; use an sdb::Quantity type"});
+    }
+  });
+}
+
+// R2: unit-suffixed double assigned from a .value() unwrap.
+void ScanValueRoundTrips(const std::string& file, const std::string& text,
+                         std::vector<Finding>* findings) {
+  static const std::regex roundtrip_re(
+      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*=[^;]*\.value\(\))");
+  ForEachLineMatch(text, roundtrip_re, [&](int line_no, const std::smatch& m) {
+    std::string identifier = m[1].str();
+    if (!IsDimensionlessName(identifier) && HasUnitSuffix(identifier)) {
+      findings->push_back({file, line_no, "R2", identifier,
+                           "unit-suffixed double '" + identifier +
+                               "' unwraps a Quantity outside a numeric kernel"});
+    }
+  });
+}
+
+// R3: magic unit-conversion literals.
+void ScanMagicLiterals(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings) {
+  static const std::regex magic_re(R"((?:^|[^\w.])(3600(?:\.0*)?|273\.15)(?:[^\w.]|$))");
+  ForEachLineMatch(text, magic_re, [&](int line_no, const std::smatch& m) {
+    findings->push_back({file, line_no, "R3", "",
+                         "magic literal " + m[1].str() +
+                             "; use the unit helpers in src/util/units.h"});
+  });
+}
+
+// R4: raw monotonic-clock reads outside the sanctioned src/obs/ site.
+void ScanRawClockReads(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings) {
+  static const std::regex clock_re(R"((?:^|[^\w])steady_clock(?:[^\w]|$))");
+  ForEachLineMatch(text, clock_re, [&](int line_no, const std::smatch&) {
+    findings->push_back({file, line_no, "R4", "",
+                         "raw steady_clock read; use sdb::obs::Stopwatch or "
+                         "sdb::obs::MonotonicNanos (src/obs/trace.h)"});
+  });
+}
+
+// R5: nondeterministic randomness sources. Seeded runs must be bit-identical
+// at any --jobs; a single std::random_device or wall-clock seed breaks the
+// goldens and the soak fingerprints without any test noticing.
+void ScanNondeterministicRandomness(const std::string& file, const std::string& text,
+                                    std::vector<Finding>* findings) {
+  static const std::regex engine_re(
+      R"((?:^|[^\w])(?:std\s*::\s*)?(random_device|mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b)(?:[^\w]|$))");
+  static const std::regex rand_re(R"((?:^|[^\w])(s?rand)\s*\()");
+  static const std::regex time_seed_re(R"((?:^|[^\w])(time)\s*\(\s*(?:nullptr|NULL|0)\s*\))");
+  ForEachLineMatch(text, engine_re, [&](int line_no, const std::smatch& m) {
+    findings->push_back({file, line_no, "R5", m[1].str(),
+                         "nondeterministic/unsanctioned RNG '" + m[1].str() +
+                             "'; draw from an explicitly seeded sdb::Rng (src/util/rng.h)"});
+  });
+  ForEachLineMatch(text, rand_re, [&](int line_no, const std::smatch& m) {
+    findings->push_back({file, line_no, "R5", m[1].str(),
+                         "C library " + m[1].str() +
+                             "() is hidden global state; draw from an explicitly seeded "
+                             "sdb::Rng (src/util/rng.h)"});
+  });
+  ForEachLineMatch(text, time_seed_re, [&](int line_no, const std::smatch& m) {
+    findings->push_back({file, line_no, "R5", m[1].str(),
+                         "wall-clock seed time(...) makes runs unreproducible; seed "
+                         "sdb::Rng from configuration instead"});
+  });
+}
+
+// R6: unordered associative containers in src/. Iteration order is
+// unspecified and differs across standard libraries, so any result-affecting
+// loop over one silently breaks bit-identity (the doctrine every golden pin
+// and soak fingerprint rests on).
+void ScanUnorderedContainers(const std::string& file, const std::string& text,
+                             std::vector<Finding>* findings) {
+  static const std::regex unordered_re(
+      R"((?:^|[^\w])(?:std\s*::\s*)?(unordered_(?:map|set|multimap|multiset))(?:[^\w]|$))");
+  ForEachLineMatch(text, unordered_re, [&](int line_no, const std::smatch& m) {
+    findings->push_back({file, line_no, "R6", m[1].str(),
+                         "std::" + m[1].str() +
+                             " iteration order is unspecified; use an ordered container "
+                             "or a sorted snapshot (allowlist 'unordered:<file>' only for "
+                             "proven-commutative use)"});
+  });
+}
+
+void HarvestMustUse(const std::string& sanitized_header, MustUseIndex* index) {
+  static const std::regex status_decl_re(
+      R"((?:^|[^\w:])(?:sdb\s*::\s*)?Status(?:Or<.*>)?\s+([A-Za-z_]\w*)\s*\()");
+  static const std::regex other_decl_re(
+      R"((?:^|[^\w])(?:void|bool|int|unsigned|long|float|double|auto|char|size_t|u?int(?:8|16|32|64)_t)\s+([A-Za-z_]\w*)\s*\()");
+  ForEachLineMatch(sanitized_header, status_decl_re,
+                   [&](int, const std::smatch& m) { index->names.insert(m[1].str()); });
+  ForEachLineMatch(sanitized_header, other_decl_re,
+                   [&](int, const std::smatch& m) { index->ambiguous.insert(m[1].str()); });
+}
+
+namespace {
+
+// Skips backward over a balanced (...) group; on entry tokens[j] is the
+// closing ')'. Returns the index of the token before the matching '('.
+int SkipParenGroupBackward(const std::vector<Token>& tokens, int j) {
+  int depth = 0;
+  while (j >= 0) {
+    if (tokens[j].text == ")") {
+      ++depth;
+    } else if (tokens[j].text == "(") {
+      --depth;
+      if (depth == 0) {
+        return j - 1;
+      }
+    }
+    --j;
+  }
+  return -1;
+}
+
+// Walks backward from the must-use identifier at `i` over its qualifier
+// chain (obj. link-> ns:: chained().calls()) and returns the index of the
+// token just before the whole chain, or -1 at start of file.
+int ChainStart(const std::vector<Token>& tokens, int i) {
+  int j = i - 1;
+  while (j >= 0) {
+    const std::string& t = tokens[j].text;
+    if (t != "::" && t != "." && t != "->") {
+      break;
+    }
+    --j;  // Onto the qualifier itself.
+    if (j >= 0 && tokens[j].text == ")") {
+      j = SkipParenGroupBackward(tokens, j);
+    }
+    if (j >= 0 && tokens[j].kind == Token::Kind::kIdentifier) {
+      --j;
+    } else {
+      break;
+    }
+  }
+  return j;
+}
+
+}  // namespace
+
+void ScanDiscardedStatus(const std::string& file, const std::vector<Token>& tokens,
+                         const MustUseIndex& index, std::vector<Finding>* findings) {
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdentifier || !index.names.count(tok.text) ||
+        index.ambiguous.count(tok.text)) {
+      continue;
+    }
+    if (i + 1 >= n || tokens[i + 1].text != "(") {
+      continue;
+    }
+    // Find the call's closing paren; the statement must end right after it.
+    int depth = 0;
+    int k = i + 1;
+    for (; k < n; ++k) {
+      if (tokens[k].text == "(") {
+        ++depth;
+      } else if (tokens[k].text == ")") {
+        --depth;
+        if (depth == 0) {
+          break;
+        }
+      }
+    }
+    if (k + 1 >= n || tokens[k + 1].text != ";") {
+      continue;  // Result feeds into a larger expression (or ran off the file).
+    }
+    // The call (with any obj./ptr->/ns:: qualifiers) must start a statement.
+    int j = ChainStart(tokens, i);
+    bool statement_start;
+    if (j < 0) {
+      statement_start = true;
+    } else {
+      const std::string& before = tokens[j].text;
+      if (before == ")") {
+        // `(void)Call();` is the sanctioned explicit discard.
+        bool void_cast = j >= 2 && tokens[j - 1].text == "void" && tokens[j - 2].text == "(";
+        statement_start = !void_cast;  // e.g. `if (...) Call();`
+      } else {
+        statement_start = before == ";" || before == "{" || before == "}" ||
+                          before == "else" || before == "do";
+      }
+    }
+    if (!statement_start) {
+      continue;
+    }
+    findings->push_back({file, tok.line, "R7", tok.text,
+                         "result of must-check API '" + tok.text +
+                             "' is discarded; handle the Status (or cast to (void) with a "
+                             "comment saying why failure is impossible)"});
+  }
+}
+
+void ScanFloatEquality(const std::string& file, const std::vector<Token>& tokens,
+                       std::vector<Finding>* findings) {
+  const int n = static_cast<int>(tokens.size());
+  auto is_float_operand = [](const Token& t) {
+    if (t.kind == Token::Kind::kNumber) {
+      return IsFloatLiteral(t.text);
+    }
+    if (t.kind == Token::Kind::kIdentifier) {
+      return HasUnitSuffix(t.text) && !IsDimensionlessName(t.text);
+    }
+    return false;
+  };
+  auto is_non_float_marker = [](const Token& t) {
+    // A pointer/bool compare is never a float compare, whatever the other
+    // operand's name looks like (battery_a_ != nullptr).
+    return t.text == "nullptr" || t.text == "NULL" || t.text == "true" || t.text == "false";
+  };
+  for (int i = 0; i < n; ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind == Token::Kind::kPunct && (tok.text == "==" || tok.text == "!=")) {
+      if ((i > 0 && is_non_float_marker(tokens[i - 1])) ||
+          (i + 1 < n && is_non_float_marker(tokens[i + 1]))) {
+        continue;
+      }
+      bool flagged = false;
+      if (i > 0 && is_float_operand(tokens[i - 1])) {
+        flagged = true;
+      }
+      if (i + 1 < n && is_float_operand(tokens[i + 1])) {
+        flagged = true;
+      }
+      if (flagged) {
+        findings->push_back({file, tok.line, "R8", tok.text,
+                             "exact floating-point '" + tok.text +
+                                 "' comparison; compare with a tolerance, or allowlist "
+                                 "'floatcmp:<file>' for an intentionally bit-exact check"});
+      }
+      continue;
+    }
+    // EXPECT_EQ/ASSERT_EQ/EXPECT_NE/ASSERT_NE with a top-level
+    // float-literal argument is the same defect through a macro.
+    if (tok.kind == Token::Kind::kIdentifier &&
+        (tok.text == "EXPECT_EQ" || tok.text == "ASSERT_EQ" || tok.text == "EXPECT_NE" ||
+         tok.text == "ASSERT_NE") &&
+        i + 1 < n && tokens[i + 1].text == "(") {
+      int open_depth = tokens[i + 1].paren_depth;
+      for (int k = i + 2; k < n; ++k) {
+        if (tokens[k].text == ")" && tokens[k].paren_depth == open_depth) {
+          break;
+        }
+        if (tokens[k].kind == Token::Kind::kNumber && IsFloatLiteral(tokens[k].text) &&
+            tokens[k].paren_depth == open_depth + 1) {
+          findings->push_back(
+              {file, tok.line, "R8", tok.text,
+               "exact floating-point equality via " + tok.text +
+                   " with a float literal; use EXPECT_NEAR/EXPECT_DOUBLE_EQ, or "
+                   "allowlist 'floatcmp:<file>' for an intentionally bit-exact check"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool LoadAllowlist(const fs::path& path, Allowlist* allowlist, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open allowlist " + path.string();
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    size_t start = 0;
+    while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (line.empty()) {
+      continue;
+    }
+    struct Directive {
+      const char* prefix;
+      std::map<std::string, int> Allowlist::* field;
+    };
+    static const Directive kDirectives[] = {
+        {"kernel:", &Allowlist::kernel_files},       {"clock:", &Allowlist::clock_files},
+        {"rng:", &Allowlist::rng_files},             {"unordered:", &Allowlist::unordered_files},
+        {"floatcmp:", &Allowlist::floatcmp_files},
+    };
+    bool matched = false;
+    for (const Directive& d : kDirectives) {
+      size_t len = std::strlen(d.prefix);
+      if (line.rfind(d.prefix, 0) == 0) {
+        (allowlist->*(d.field))[line.substr(len)] = line_no;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    if (line.find(':') != std::string::npos) {
+      allowlist->entries[line] = line_no;
+    } else {
+      *error = path.string() + ":" + std::to_string(line_no) + ": malformed entry '" + line +
+               "' (want <file>:<identifier> or a directive: kernel:/clock:/rng:/unordered:/"
+               "floatcmp:<file>)";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<Finding> ScanTree(const fs::path& root) {
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  // R1–R3 and R6 police src/ only; R4/R5/R7/R8 also cover tests/, bench/
+  // and tools/ so harnesses cannot quietly grow their own timing, RNG or
+  // exact-compare paths. tools/lint/testdata/ holds seeded-violation
+  // fixtures for tests/lint/ and is never part of the repo scan.
+  for (const char* dir : {"src", "bench", "tools", "tests"}) {
+    if (!fs::exists(root / dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") {
+        continue;
+      }
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.rfind("tools/lint/testdata/", 0) == 0) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: harvest the must-use API index from every src/ header.
+  MustUseIndex must_use;
+  for (const fs::path& path : files) {
+    std::string rel = fs::relative(path, root).generic_string();
+    if (rel.rfind("src/", 0) == 0 && path.extension() == ".h") {
+      HarvestMustUse(StripCommentsAndStrings(ReadFile(path)), &must_use);
+    }
+  }
+
+  // Pass 2: run every rule in scope over each file.
+  for (const fs::path& path : files) {
+    std::string rel = fs::relative(path, root).generic_string();
+    std::string raw = ReadFile(path);
+    std::string text = StripCommentsAndStrings(raw);
+    bool in_src = rel.rfind("src/", 0) == 0;
+    if (in_src) {
+      if (path.extension() == ".h") {
+        ScanHeaderDecls(rel, text, &findings);
+      }
+      ScanValueRoundTrips(rel, text, &findings);
+      if (rel != "src/util/units.h") {
+        ScanMagicLiterals(rel, text, &findings);
+      }
+      ScanUnorderedContainers(rel, text, &findings);
+    }
+    if (rel.rfind("src/obs/", 0) != 0) {
+      ScanRawClockReads(rel, text, &findings);
+    }
+    if (rel != "src/util/rng.h" && rel != "src/util/rng.cc") {
+      ScanNondeterministicRandomness(rel, text, &findings);
+    }
+    std::vector<Token> tokens = Lex(raw);
+    ScanDiscardedStatus(rel, tokens, must_use, &findings);
+    ScanFloatEquality(rel, tokens, &findings);
+  }
+  return findings;
+}
+
+}  // namespace sdb_lint

@@ -1,0 +1,126 @@
+// Rule catalogue and allowlist for sdb_lint, the repository's static
+// analyzer. The scanner core (tools/lint/scanner.h) provides sanitized
+// text and a token stream; each Scan* function here implements one rule
+// family over them. sdb_lint.cc orchestrates, tests/lint/ unit-tests the
+// pieces directly.
+//
+// Rules (DESIGN.md "Static-analysis doctrine" for the rationale):
+//   R1  raw double/float declaration carrying a physical dimension in a
+//       public header (src/**/*.h).
+//   R2  unit-suffixed local double assigned from a Quantity .value() call
+//       outside a declared numeric kernel.
+//   R3  magic 3600 / 273.15 literals outside src/util/units.h.
+//   R4  raw std::chrono::steady_clock reads outside src/obs/.
+//   R5  nondeterministic randomness: std::random_device, rand()/srand(),
+//       time(nullptr)-style seeds, raw std::mt19937 et al. outside
+//       src/util/rng.* — every stochastic draw must come from the seeded
+//       sdb::Rng stream or goldens/soak fingerprints rot.
+//   R6  std::unordered_map/set in src/ — iteration order is unspecified
+//       and a single result-affecting loop breaks bit-identity across
+//       standard libraries; use an ordered container or a sorted snapshot.
+//   R7  discarded sdb::Status / StatusOr returns. Ground truth is
+//       [[nodiscard]] on the types (src/util/status.h) under -Werror; the
+//       lint rule catches the same defect in code paths a build might not
+//       compile (generated, ifdef'd) and gives SARIF-visible locations.
+//   R8  raw == / != on floating-point values: an operand that is a float
+//       literal or a unit-suffixed identifier, or an EXPECT_EQ/ASSERT_EQ
+//       with a top-level float-literal argument. Bit-exact differential
+//       suites opt in per file with a floatcmp: directive.
+//
+// Allowlist grammar (tools/lint/allowlist.txt), one entry per line:
+//   <file>:<identifier>   tolerate an R1/R2 finding for one identifier
+//   kernel:<file>         mark a numeric kernel (R2 exempt)
+//   clock:<file>          tolerate R4 raw-clock reads in <file>
+//   rng:<file>            tolerate R5 randomness sources in <file>
+//   unordered:<file>      tolerate R6 unordered containers in <file>
+//   floatcmp:<file>       tolerate R8 exact float compares in <file>
+// '#' starts a comment. Stale (unused) entries fail the run, so the list
+// can only shrink. R7 deliberately has no directive: discarded Status is
+// always a bug — fix the call site.
+#ifndef TOOLS_LINT_RULES_H_
+#define TOOLS_LINT_RULES_H_
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/scanner.h"
+
+namespace sdb_lint {
+
+struct Finding {
+  std::string file;  // Repo-relative path.
+  int line = 0;
+  std::string rule;
+  std::string identifier;  // Empty where the rule has no identifier.
+  std::string message;
+};
+
+// Parsed allowlist; every map value is the 1-based allowlist line number so
+// stale-entry diagnostics can name the exact line to delete.
+struct Allowlist {
+  std::map<std::string, int> entries;          // "<file>:<identifier>"
+  std::map<std::string, int> kernel_files;     // R2-exempt files.
+  std::map<std::string, int> clock_files;      // R4-exempt files.
+  std::map<std::string, int> rng_files;        // R5-exempt files.
+  std::map<std::string, int> unordered_files;  // R6-exempt files.
+  std::map<std::string, int> floatcmp_files;   // R8-exempt files.
+};
+
+bool LoadAllowlist(const std::filesystem::path& path, Allowlist* allowlist,
+                   std::string* error);
+
+// Identifier heuristics shared by R1/R2/R8 (exported for tests/lint/).
+bool HasUnitSuffix(std::string identifier);
+bool HasQuantityToken(const std::string& identifier);
+bool IsDimensionlessName(const std::string& identifier);
+
+// --- Line-regex rules over sanitized text (StripCommentsAndStrings) ------
+void ScanHeaderDecls(const std::string& file, const std::string& text,
+                     std::vector<Finding>* findings);  // R1
+void ScanValueRoundTrips(const std::string& file, const std::string& text,
+                         std::vector<Finding>* findings);  // R2
+void ScanMagicLiterals(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings);  // R3
+void ScanRawClockReads(const std::string& file, const std::string& text,
+                       std::vector<Finding>* findings);  // R4
+void ScanNondeterministicRandomness(const std::string& file, const std::string& text,
+                                    std::vector<Finding>* findings);  // R5
+void ScanUnorderedContainers(const std::string& file, const std::string& text,
+                             std::vector<Finding>* findings);  // R6
+
+// --- Token rules ----------------------------------------------------------
+
+// Must-use API index for R7, harvested from src/ headers: `names` holds
+// every function declared to return Status/StatusOr; `ambiguous` holds
+// names that are *also* declared with a non-Status return type somewhere
+// (e.g. a void Update(...) next to Status Update(...)) and are therefore
+// skipped — the [[nodiscard]] compile check still covers them.
+struct MustUseIndex {
+  std::set<std::string> names;
+  std::set<std::string> ambiguous;
+};
+
+// Harvests declarations from one sanitized header into `index`.
+void HarvestMustUse(const std::string& sanitized_header, MustUseIndex* index);
+
+// R7: statement-position calls of a must-use API whose result is neither
+// consumed nor explicitly discarded with a (void) cast.
+void ScanDiscardedStatus(const std::string& file, const std::vector<Token>& tokens,
+                         const MustUseIndex& index, std::vector<Finding>* findings);
+
+// R8: exact floating-point equality (see catalogue above).
+void ScanFloatEquality(const std::string& file, const std::vector<Token>& tokens,
+                       std::vector<Finding>* findings);
+
+// Runs every rule over the repo tree rooted at `root` (src/, tests/,
+// bench/, tools/ — minus tools/lint/testdata/, which holds seeded-violation
+// fixtures for tests/lint/). Returns raw findings; allowlist filtering is
+// the caller's job.
+std::vector<Finding> ScanTree(const std::filesystem::path& root);
+
+}  // namespace sdb_lint
+
+#endif  // TOOLS_LINT_RULES_H_

@@ -1,0 +1,130 @@
+#include "tools/lint/sarif.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace sdb_lint {
+namespace {
+
+struct RuleMeta {
+  const char* id;
+  const char* short_description;
+};
+
+// Index order here defines each result's ruleIndex; keep in sync with
+// RuleIndexOf below.
+const RuleMeta kRules[] = {
+    {"R1", "raw double/float declaration carrying a physical dimension in a public header"},
+    {"R2", "unit-suffixed double assigned from a Quantity .value() outside a numeric kernel"},
+    {"R3", "magic 3600/273.15 unit-conversion literal outside src/util/units.h"},
+    {"R4", "raw std::chrono::steady_clock read outside src/obs/"},
+    {"R5", "nondeterministic randomness source outside src/util/rng.*"},
+    {"R6", "std::unordered_map/set in src/ (unspecified iteration order)"},
+    {"R7", "discarded sdb::Status / StatusOr return"},
+    {"R8", "exact floating-point ==/!= comparison outside a sanctioned differential test"},
+    {"stale-allowlist", "allowlist entry whose finding is gone; delete the listed line"},
+};
+
+int RuleIndexOf(const std::string& rule) {
+  for (size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    if (rule == kRules[i].id) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void AppendResult(std::ostringstream* out, bool* first, const std::string& rule,
+                  const std::string& level, const std::string& message,
+                  const std::string& uri, int line) {
+  if (!*first) {
+    *out << ",";
+  }
+  *first = false;
+  *out << "\n      {\"ruleId\": \"" << JsonEscape(rule) << "\"";
+  int index = RuleIndexOf(rule);
+  if (index >= 0) {
+    *out << ", \"ruleIndex\": " << index;
+  }
+  *out << ", \"level\": \"" << level << "\","
+       << "\n       \"message\": {\"text\": \"" << JsonEscape(message) << "\"},"
+       << "\n       \"locations\": [{\"physicalLocation\": {"
+       << "\"artifactLocation\": {\"uri\": \"" << JsonEscape(uri) << "\"}, "
+       << "\"region\": {\"startLine\": " << (line > 0 ? line : 1) << "}}}]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string SarifReport(const std::vector<Finding>& violations,
+                        const std::vector<StaleEntry>& stale,
+                        const std::string& allowlist_uri) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"sdb_lint\",\n"
+      << "      \"informationUri\": \"https://example.invalid/sdb/tools/lint\",\n"
+      << "      \"rules\": [";
+  for (size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n        {\"id\": \"" << kRules[i].id << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(kRules[i].short_description) << "\"}}";
+  }
+  out << "\n      ]\n"
+      << "    }},\n"
+      << "    \"results\": [";
+  bool first = true;
+  for (const Finding& f : violations) {
+    AppendResult(&out, &first, f.rule, "error", f.message, f.file, f.line);
+  }
+  for (const StaleEntry& e : stale) {
+    AppendResult(&out, &first, "stale-allowlist", "warning",
+                 "stale allowlist entry '" + e.entry + "' — the finding is gone; delete " +
+                     allowlist_uri + ":" + std::to_string(e.line),
+                 allowlist_uri, e.line);
+  }
+  out << "\n    ]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace sdb_lint

@@ -1,0 +1,37 @@
+// SARIF 2.1.0 emitter for sdb_lint. One run, one driver ("sdb_lint"),
+// the full R1–R8 rule catalogue in tool.driver.rules, and one result per
+// violation (plus one per stale allowlist entry under the synthetic rule
+// id "stale-allowlist", located at the allowlist line to delete). The CI
+// lint job uploads the file so findings surface as inline annotations;
+// tools/ci/check_sarif.py validates the structure.
+#ifndef TOOLS_LINT_SARIF_H_
+#define TOOLS_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+
+namespace sdb_lint {
+
+// A stale allowlist entry, reported as a SARIF result against the
+// allowlist file itself.
+struct StaleEntry {
+  std::string entry;  // The allowlist line's text.
+  int line = 0;       // 1-based line in the allowlist file.
+};
+
+// Serializes violations + stale entries as a SARIF 2.1.0 log. `allowlist
+// uri` is the repo-relative path of the allowlist file stale entries point
+// at (e.g. "tools/lint/allowlist.txt").
+std::string SarifReport(const std::vector<Finding>& violations,
+                        const std::vector<StaleEntry>& stale,
+                        const std::string& allowlist_uri);
+
+// Escapes a string for embedding in a JSON string literal (exported for
+// tests/lint/).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace sdb_lint
+
+#endif  // TOOLS_LINT_SARIF_H_

@@ -1,0 +1,270 @@
+#include "tools/lint/scanner.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace sdb_lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// One shared state machine drives both entry points. `emit` receives every
+// surviving code character (space-substituted where elided); `token` is
+// called for each string/char literal so Lex() can keep a placeholder.
+//
+// States are handled inline rather than as an enum so the raw-string scan
+// (which needs the delimiter) stays local.
+template <typename EmitChar, typename EmitLiteral>
+void Scan(const std::string& text, EmitChar emit, EmitLiteral literal) {
+  size_t i = 0;
+  const size_t n = text.size();
+  auto at = [&](size_t k) { return k < n ? text[k] : '\0'; };
+  char prev_code = '\0';  // Last non-elided, non-space code character.
+  while (i < n) {
+    char c = text[i];
+    char next = at(i + 1);
+    if (c == '/' && next == '/') {  // Line comment.
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;  // The '\n' itself is emitted by the main loop.
+    }
+    if (c == '/' && next == '*') {  // Block comment.
+      i += 2;
+      while (i < n && !(text[i] == '*' && at(i + 1) == '/')) {
+        if (text[i] == '\n') {
+          emit('\n');
+        }
+        ++i;
+      }
+      i = i < n ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: [encoding-prefix] R"delim( ... )delim". The
+    // prefix characters (u8, u, U, L) were already emitted as identifier
+    // text by the time we see R" — that is fine, they lex as part of an
+    // identifier token which no rule matches.
+    if (c == 'R' && next == '"' && !IsIdentChar(prev_code)) {
+      size_t delim_start = i + 2;
+      size_t paren = text.find('(', delim_start);
+      if (paren != std::string::npos && paren - delim_start <= 16) {
+        std::string delim = text.substr(delim_start, paren - delim_start);
+        std::string closer = ")" + delim + "\"";
+        size_t end = text.find(closer, paren + 1);
+        size_t stop = end == std::string::npos ? n : end + closer.size();
+        int start_line_breaks = 0;
+        for (size_t k = i; k < stop; ++k) {
+          if (text[k] == '\n') {
+            ++start_line_breaks;
+          }
+        }
+        literal("\"\"");
+        emit('"');
+        emit('"');
+        for (int k = 0; k < start_line_breaks; ++k) {
+          emit('\n');
+        }
+        i = stop;
+        prev_code = '"';
+        continue;
+      }
+      // No opening paren in range: fall through and treat as ordinary code.
+    }
+    if (c == '"') {  // Ordinary string literal.
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\') {
+          ++i;
+        } else if (text[i] == '\n') {
+          emit('\n');
+        }
+        ++i;
+      }
+      i = i < n ? i + 1 : n;
+      literal("\"\"");
+      emit('"');
+      emit('"');
+      prev_code = '"';
+      continue;
+    }
+    // Char literal — but a '\'' directly after an identifier/number
+    // character is a digit separator (1'000'000), not a literal opener.
+    if (c == '\'' && !IsIdentChar(prev_code)) {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\') {
+          ++i;
+        } else if (text[i] == '\n') {
+          emit('\n');
+        }
+        ++i;
+      }
+      i = i < n ? i + 1 : n;
+      literal("''");
+      emit('\'');
+      emit('\'');
+      prev_code = '\'';
+      continue;
+    }
+    emit(c);
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      prev_code = c;
+    }
+    ++i;
+  }
+}
+
+// Two-character operators kept as single tokens.
+const char* const kTwoCharOps[] = {"==", "!=", "->", "::", "<=", ">=",
+                                   "&&", "||", "<<", ">>"};
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t emitted_since_literal = 0;
+  Scan(
+      text,
+      [&](char c) {
+        out.push_back(c);
+        ++emitted_since_literal;
+      },
+      [&](const char*) { emitted_since_literal = 0; });
+  (void)emitted_since_literal;
+  return out;
+}
+
+std::vector<Token> Lex(const std::string& text) {
+  // Sanitize first (string literals collapse to "" / ''), then split into
+  // tokens. Sanitizing up front means the tokenizer below never has to
+  // re-handle comments or literal contents.
+  std::string code = StripCommentsAndStrings(text);
+  std::vector<Token> tokens;
+  int line = 1;
+  int brace = 0;
+  int paren = 0;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.line = line;
+    t.brace_depth = brace;
+    t.paren_depth = paren;
+    if (c == '"' || c == '\'') {
+      // Collapsed literal placeholder from StripCommentsAndStrings.
+      t.kind = Token::Kind::kString;
+      t.text = (c == '"') ? "\"\"" : "''";
+      i += 2;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(code[i + 1])))) {
+      // pp-number: digits, identifier chars, separators, '.', and a sign
+      // directly after a decimal/hex exponent marker.
+      size_t start = i;
+      while (i < n) {
+        char d = code[i];
+        if (IsIdentChar(d) || d == '\'' || d == '.') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > start) {
+          char e = code[i - 1];
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = code.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(code[i])) {
+        ++i;
+      }
+      t.kind = Token::Kind::kIdentifier;
+      t.text = code.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation. Track depths; the token records the depth *outside*
+    // itself, so '(' and its matching ')' carry the same paren_depth.
+    if (i + 1 < n) {
+      char pair[3] = {c, code[i + 1], '\0'};
+      bool two = false;
+      for (const char* op : kTwoCharOps) {
+        if (std::strcmp(pair, op) == 0) {
+          two = true;
+          break;
+        }
+      }
+      if (two) {
+        t.text = pair;
+        i += 2;
+        tokens.push_back(std::move(t));
+        continue;
+      }
+    }
+    t.text = std::string(1, c);
+    if (c == '{') {
+      ++brace;
+    } else if (c == '}') {
+      brace = brace > 0 ? brace - 1 : 0;
+      t.brace_depth = brace;
+    } else if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      paren = paren > 0 ? paren - 1 : 0;
+      t.paren_depth = paren;
+    }
+    ++i;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+bool IsFloatLiteral(const std::string& text) {
+  std::string s;
+  s.reserve(text.size());
+  for (char c : text) {
+    if (c != '\'') {
+      s.push_back(c);
+    }
+  }
+  if (s.empty()) {
+    return false;
+  }
+  bool hex = s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  if (hex) {
+    return s.find('p') != std::string::npos || s.find('P') != std::string::npos;
+  }
+  if (s.find('.') != std::string::npos) {
+    return true;
+  }
+  if (s.find('e') != std::string::npos || s.find('E') != std::string::npos) {
+    return true;
+  }
+  char last = s.back();
+  return last == 'f' || last == 'F';
+}
+
+}  // namespace sdb_lint

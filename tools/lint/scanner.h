@@ -1,0 +1,62 @@
+// Shared lexical core for sdb_lint (tools/lint/sdb_lint.cc).
+//
+// The analyzer does not parse C++ — every rule is a lexical pattern — but
+// all rules need the same three guarantees before they can pattern-match
+// safely:
+//   1. comments and the contents of string/char literals never produce
+//      findings (including raw strings, R"delim(...)delim"),
+//   2. reported line numbers refer to the original file,
+//   3. rules that reason about statement shape (R7 discarded Status, R8
+//      float equality) see a token stream with brace/paren depth, not raw
+//      characters.
+//
+// Two entry points share one state machine:
+//   StripCommentsAndStrings()  — sanitized text for the line-regex rules
+//                                (R1–R6), line structure preserved.
+//   Lex()                      — token stream for the token rules (R7/R8).
+//
+// The scanner understands digit separators (1'000'000): a '\'' preceded by
+// an identifier/number character is never a char-literal opener. The old
+// line-regex scanner got this wrong and silently swallowed everything up to
+// the next apostrophe.
+#ifndef TOOLS_LINT_SCANNER_H_
+#define TOOLS_LINT_SCANNER_H_
+
+#include <string>
+#include <vector>
+
+namespace sdb_lint {
+
+struct Token {
+  enum class Kind {
+    kIdentifier,  // Identifiers and keywords.
+    kNumber,      // Integer or floating literal (separators kept verbatim).
+    kString,      // A whole string or char literal (contents elided).
+    kPunct,       // Operators and punctuation; multi-char ops are one token.
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;         // 1-based line of the token's first character.
+  int brace_depth = 0;  // {}-nesting outside the token itself.
+  int paren_depth = 0;  // ()-nesting outside the token itself.
+};
+
+// Elides comments and the contents of string/char literals (the delimiter
+// quotes survive), keeping the line structure intact so downstream regexes
+// report correct lines.
+std::string StripCommentsAndStrings(const std::string& text);
+
+// Tokenizes raw source text. Comments disappear; each string/char literal
+// collapses to a single kString token (text "\"\"" / "''"). Two-character
+// operators that rules care about (== != -> :: <= >= && || << >>) lex as
+// one token; everything else is single-character punctuation.
+std::vector<Token> Lex(const std::string& text);
+
+// True when `text` (a kNumber token) is a floating-point literal: it has a
+// decimal point, a decimal exponent, an f/F suffix, or — for hex literals —
+// a p/P exponent. Digit separators are ignored.
+bool IsFloatLiteral(const std::string& text);
+
+}  // namespace sdb_lint
+
+#endif  // TOOLS_LINT_SCANNER_H_

@@ -1,387 +1,69 @@
-// sdb_lint: the repository's dimensional-safety linter.
+// sdb_lint: the repository's determinism, concurrency and dimensional-safety
+// static analyzer.
 //
-// The units doctrine (DESIGN.md "Unit conventions & dimensional safety"):
-// public APIs carry sdb::Quantity types; raw doubles tagged with a unit
-// suffix are only allowed inside numeric kernels, behind an explicit
-// allowlist entry. This tool enforces the doctrine as a ratchet — every
-// finding must be allowlisted, and every allowlist entry must still be
-// live, so the list can only shrink.
+// Grown from a single-file dimensional linter (R1–R3) into a multi-pass
+// analyzer: tools/lint/scanner.{h,cc} is the shared comment/string-aware
+// lexical core, tools/lint/rules.{h,cc} holds the R1–R8 rule catalogue and
+// the allowlist ratchet, tools/lint/sarif.{h,cc} emits SARIF 2.1.0 for CI
+// annotation upload. See rules.h for the catalogue and allowlist grammar,
+// DESIGN.md "Static-analysis doctrine" for the rationale.
 //
-// Rules:
-//   R1  raw double/float declaration in a public header (src/**/*.h) whose
-//       identifier carries a unit suffix (_v, _a, _w, _s, _c, _j, _k, _f,
-//       _h, _hz, _wh, _mah, _ohm, _ghz, _uh; trailing '_' of members is
-//       stripped first) or a physical-quantity token (voltage, current,
-//       power, ...). Identifiers with a dimensionless-modifier token
-//       (fraction, factor, margin, ratio, soc, ...) are exempt.
-//   R2  unit-suffixed local double assigned from a Quantity .value() call
-//       in a file not marked as a numeric kernel ("kernel:<file>" in the
-//       allowlist) — the round-trip that reintroduces unit confusion.
-//   R3  the magic literals 3600 and 273.15 anywhere under src/ outside
-//       src/util/units.h — unit conversions belong in the units header.
-//   R4  a raw std::chrono::steady_clock read anywhere under src/, bench/
-//       or tools/ outside src/obs/ — wall-clock access goes through
-//       sdb::obs (Stopwatch / MonotonicNanos) so the tracer, benches and
-//       thread pool all share one sanctioned clock site (DESIGN.md
-//       "Observability").
-//
-// Allowlist grammar (tools/lint/allowlist.txt): one entry per line,
-//   <file>:<identifier>   tolerate an R1 finding
-//   kernel:<file>         mark <file> as a numeric kernel (R2 exempt)
-//   clock:<file>          tolerate R4 raw-clock reads in <file>
-// '#' starts a comment. Unused (stale) entries fail the run.
+// The allowlist is a ratchet: every finding must be allowlisted, and every
+// allowlist entry must still be live (stale entries fail the run and the
+// diagnostic names the exact allowlist line to delete), so the list can
+// only shrink.
 //
 // Usage:
 //   sdb_lint [--repo-root DIR] [--allowlist FILE] [--self-test]
-#include <algorithm>
-#include <cctype>
+//            [--format=stderr|sarif] [--output FILE]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/sarif.h"
+#include "tools/lint/scanner.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;  // Repo-relative path.
-  int line = 0;
-  std::string rule;
-  std::string identifier;  // Empty for R3.
-  std::string message;
+using sdb_lint::Allowlist;
+using sdb_lint::Finding;
+using sdb_lint::Lex;
+using sdb_lint::MustUseIndex;
+using sdb_lint::StaleEntry;
+using sdb_lint::StripCommentsAndStrings;
+
+struct Options {
+  fs::path root = ".";
+  fs::path allowlist_path;
+  std::string allowlist_uri;  // Repo-relative display path for diagnostics.
+  bool self_test = false;
+  bool sarif = false;
+  std::string output;  // SARIF destination; empty = stdout.
 };
 
-const char* const kUnitSuffixes[] = {"_v",  "_a",   "_w",   "_s",  "_c",   "_j",  "_k",  "_f",
-                                     "_h",  "_hz",  "_wh",  "_mah", "_ohm", "_ghz", "_uh"};
-
-const char* const kQuantityTokens[] = {"voltage", "current",     "resistance", "inductance",
-                                       "watts",   "volts",       "amps",       "joules",
-                                       "ohms",    "temperature", "frequency"};
-
-// Tokens that mark an identifier as dimensionless even when a quantity word
-// or unit suffix appears (current_soc, power_margin, capacity_factor, ...).
-const char* const kDimensionlessTokens[] = {
-    "fraction", "frac",       "factor", "margin", "error",  "ratio",  "weight",
-    "scale",    "share",      "soc",    "efficiency", "penalty", "coeff", "count",
-    "duty",     "exponent",   "cv",     "alpha",  "jitter", "index",  "percent",
-    "threshold"};
-
-std::vector<std::string> Tokenize(const std::string& identifier) {
-  std::vector<std::string> tokens;
-  std::string token;
-  for (char c : identifier) {
-    if (c == '_') {
-      if (!token.empty()) {
-        tokens.push_back(token);
-        token.clear();
-      }
-    } else {
-      token.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    }
-  }
-  if (!token.empty()) {
-    tokens.push_back(token);
-  }
-  return tokens;
-}
-
-bool HasToken(const std::string& identifier, const char* const* list, size_t n) {
-  std::vector<std::string> tokens = Tokenize(identifier);
-  for (size_t i = 0; i < n; ++i) {
-    if (std::find(tokens.begin(), tokens.end(), list[i]) != tokens.end()) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool IsDimensionlessName(const std::string& identifier) {
-  return HasToken(identifier, kDimensionlessTokens,
-                  sizeof(kDimensionlessTokens) / sizeof(kDimensionlessTokens[0]));
-}
-
-bool HasUnitSuffix(std::string identifier) {
-  while (!identifier.empty() && identifier.back() == '_') {
-    identifier.pop_back();
-  }
-  std::transform(identifier.begin(), identifier.end(), identifier.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  for (const char* suffix : kUnitSuffixes) {
-    size_t len = std::strlen(suffix);
-    if (identifier.size() > len &&
-        identifier.compare(identifier.size() - len, len, suffix) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool HasQuantityToken(const std::string& identifier) {
-  return HasToken(identifier, kQuantityTokens,
-                  sizeof(kQuantityTokens) / sizeof(kQuantityTokens[0]));
-}
-
-// Strips // and /* */ comments and the contents of string literals, keeping
-// the line structure intact so reported line numbers stay correct.
-std::string StripCommentsAndStrings(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum { kCode, kLineComment, kBlockComment, kString, kChar } state = kCode;
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case kCode:
-        if (c == '/' && next == '/') {
-          state = kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          state = kString;
-          out.push_back(c);
-        } else if (c == '\'') {
-          state = kChar;
-          out.push_back(c);
-        } else {
-          out.push_back(c);
-        }
-        break;
-      case kLineComment:
-        if (c == '\n') {
-          state = kCode;
-          out.push_back(c);
-        }
-        break;
-      case kBlockComment:
-        if (c == '*' && next == '/') {
-          state = kCode;
-          ++i;
-        } else if (c == '\n') {
-          out.push_back(c);
-        }
-        break;
-      case kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = kCode;
-          out.push_back(c);
-        } else if (c == '\n') {
-          out.push_back(c);
-        }
-        break;
-      case kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = kCode;
-          out.push_back(c);
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// R1: double/float declarations with dimensional identifiers.
-void ScanHeaderDecls(const std::string& file, const std::string& text,
-                     std::vector<Finding>* findings) {
-  static const std::regex decl_re(
-      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:=|;|,|\)))");
-  std::istringstream stream(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    auto begin = std::sregex_iterator(line.begin(), line.end(), decl_re);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      std::string identifier = (*it)[1].str();
-      if (IsDimensionlessName(identifier)) {
-        continue;
-      }
-      if (HasUnitSuffix(identifier) || HasQuantityToken(identifier)) {
-        findings->push_back(
-            {file, line_no, "R1", identifier,
-             "raw double '" + identifier +
-                 "' carries a physical dimension; use an sdb::Quantity type"});
-      }
-    }
-  }
-}
-
-// R2: unit-suffixed double assigned from a .value() unwrap.
-void ScanValueRoundTrips(const std::string& file, const std::string& text,
-                         std::vector<Finding>* findings) {
-  static const std::regex roundtrip_re(
-      R"((?:^|[^\w])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)\s*=[^;]*\.value\(\))");
-  std::istringstream stream(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    std::smatch m;
-    if (std::regex_search(line, m, roundtrip_re)) {
-      std::string identifier = m[1].str();
-      if (!IsDimensionlessName(identifier) && HasUnitSuffix(identifier)) {
-        findings->push_back({file, line_no, "R2", identifier,
-                             "unit-suffixed double '" + identifier +
-                                 "' unwraps a Quantity outside a numeric kernel"});
-      }
-    }
-  }
-}
-
-// R3: magic unit-conversion literals.
-void ScanMagicLiterals(const std::string& file, const std::string& text,
-                       std::vector<Finding>* findings) {
-  static const std::regex magic_re(R"((?:^|[^\w.])(3600(?:\.0*)?|273\.15)(?:[^\w.]|$))");
-  std::istringstream stream(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    std::smatch m;
-    if (std::regex_search(line, m, magic_re)) {
-      findings->push_back({file, line_no, "R3", "",
-                           "magic literal " + m[1].str() +
-                               "; use the unit helpers in src/util/units.h"});
-    }
-  }
-}
-
-// R4: raw monotonic-clock reads outside the sanctioned src/obs/ site.
-void ScanRawClockReads(const std::string& file, const std::string& text,
-                       std::vector<Finding>* findings) {
-  static const std::regex clock_re(R"((?:^|[^\w])steady_clock(?:[^\w]|$))");
-  std::istringstream stream(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    std::smatch m;
-    if (std::regex_search(line, m, clock_re)) {
-      findings->push_back({file, line_no, "R4", "",
-                           "raw steady_clock read; use sdb::obs::Stopwatch or "
-                           "sdb::obs::MonotonicNanos (src/obs/trace.h)"});
-    }
-  }
-}
-
-struct Allowlist {
-  std::set<std::string> entries;       // "<file>:<identifier>"
-  std::set<std::string> kernel_files;  // R2-exempt files.
-  std::set<std::string> clock_files;   // R4-exempt files.
+// Splits raw findings into allowlisted and violating, tracking which
+// allowlist entries were exercised so the ratchet can flag the rest.
+struct LintResult {
+  std::vector<Finding> violations;
+  std::vector<StaleEntry> stale;
 };
 
-bool LoadAllowlist(const fs::path& path, Allowlist* allowlist, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open allowlist " + path.string();
-    return false;
-  }
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) {
-      line.resize(hash);
-    }
-    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
-      line.pop_back();
-    }
-    size_t start = 0;
-    while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start]))) {
-      ++start;
-    }
-    line = line.substr(start);
-    if (line.empty()) {
-      continue;
-    }
-    if (line.rfind("kernel:", 0) == 0) {
-      allowlist->kernel_files.insert(line.substr(7));
-    } else if (line.rfind("clock:", 0) == 0) {
-      allowlist->clock_files.insert(line.substr(6));
-    } else if (line.find(':') != std::string::npos) {
-      allowlist->entries.insert(line);
-    } else {
-      *error = path.string() + ":" + std::to_string(line_no) + ": malformed entry '" + line +
-               "' (want <file>:<identifier>, kernel:<file> or clock:<file>)";
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string ReadFile(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-std::vector<Finding> ScanTree(const fs::path& root) {
-  std::vector<Finding> findings;
-  std::vector<fs::path> files;
-  // R1–R3 police src/ only; R4 also covers bench/ and tools/ so harnesses
-  // cannot quietly grow their own timing paths.
-  for (const char* dir : {"src", "bench", "tools"}) {
-    if (!fs::exists(root / dir)) {
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
-      if (!entry.is_regular_file()) {
-        continue;
-      }
-      std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cc") {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& path : files) {
-    std::string rel = fs::relative(path, root).generic_string();
-    std::string text = StripCommentsAndStrings(ReadFile(path));
-    bool in_src = rel.rfind("src/", 0) == 0;
-    if (in_src) {
-      if (path.extension() == ".h") {
-        ScanHeaderDecls(rel, text, &findings);
-      }
-      ScanValueRoundTrips(rel, text, &findings);
-      if (rel != "src/util/units.h") {
-        ScanMagicLiterals(rel, text, &findings);
-      }
-    }
-    if (rel.rfind("src/obs/", 0) != 0) {
-      ScanRawClockReads(rel, text, &findings);
-    }
-  }
-  return findings;
-}
-
-int RunLint(const fs::path& root, const fs::path& allowlist_path) {
-  Allowlist allowlist;
-  std::string error;
-  if (!LoadAllowlist(allowlist_path, &allowlist, &error)) {
-    std::fprintf(stderr, "sdb_lint: %s\n", error.c_str());
-    return 2;
-  }
-
-  std::vector<Finding> findings = ScanTree(root);
+LintResult ApplyAllowlist(const std::vector<Finding>& findings, const Allowlist& allowlist) {
+  LintResult result;
   std::set<std::string> used_entries;
   std::set<std::string> used_kernels;
   std::set<std::string> used_clocks;
-  int violations = 0;
+  std::set<std::string> used_rng;
+  std::set<std::string> used_unordered;
+  std::set<std::string> used_floatcmp;
   for (const Finding& f : findings) {
     if (f.rule == "R1") {
       std::string key = f.file + ":" + f.identifier;
@@ -404,84 +86,201 @@ int RunLint(const fs::path& root, const fs::path& allowlist_path) {
         used_clocks.insert(f.file);
         continue;
       }
+    } else if (f.rule == "R5") {
+      if (allowlist.rng_files.count(f.file)) {
+        used_rng.insert(f.file);
+        continue;
+      }
+    } else if (f.rule == "R6") {
+      if (allowlist.unordered_files.count(f.file)) {
+        used_unordered.insert(f.file);
+        continue;
+      }
+    } else if (f.rule == "R8") {
+      if (allowlist.floatcmp_files.count(f.file)) {
+        used_floatcmp.insert(f.file);
+        continue;
+      }
     }
+    // R3 and R7 are never allowlisted: conversion constants belong in
+    // units.h, and a discarded Status is always a bug.
+    result.violations.push_back(f);
+  }
+
+  auto collect_stale = [&result](const std::map<std::string, int>& entries,
+                                 const std::set<std::string>& used, const char* prefix) {
+    for (const auto& [value, line] : entries) {
+      if (!used.count(value)) {
+        result.stale.push_back({std::string(prefix) + value, line});
+      }
+    }
+  };
+  collect_stale(allowlist.entries, used_entries, "");
+  collect_stale(allowlist.kernel_files, used_kernels, "kernel:");
+  collect_stale(allowlist.clock_files, used_clocks, "clock:");
+  collect_stale(allowlist.rng_files, used_rng, "rng:");
+  collect_stale(allowlist.unordered_files, used_unordered, "unordered:");
+  collect_stale(allowlist.floatcmp_files, used_floatcmp, "floatcmp:");
+  return result;
+}
+
+int RunLint(const Options& opt) {
+  Allowlist allowlist;
+  std::string error;
+  if (!sdb_lint::LoadAllowlist(opt.allowlist_path, &allowlist, &error)) {
+    std::fprintf(stderr, "sdb_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  LintResult result = ApplyAllowlist(sdb_lint::ScanTree(opt.root), allowlist);
+  for (const Finding& f : result.violations) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                  f.message.c_str());
-    ++violations;
   }
-
   // Ratchet: stale allowlist entries are themselves failures, so the list
-  // can only ever shrink.
-  int stale = 0;
-  for (const std::string& entry : allowlist.entries) {
-    if (!used_entries.count(entry)) {
-      std::fprintf(stderr, "allowlist: stale entry '%s' — the finding is gone, remove it\n",
-                   entry.c_str());
-      ++stale;
-    }
+  // can only ever shrink. The message names the exact line to delete.
+  for (const StaleEntry& e : result.stale) {
+    std::fprintf(stderr, "allowlist: stale entry '%s' — the finding is gone, delete %s:%d\n",
+                 e.entry.c_str(), opt.allowlist_uri.c_str(), e.line);
   }
-  for (const std::string& kernel : allowlist.kernel_files) {
-    if (!used_kernels.count(kernel)) {
-      std::fprintf(stderr,
-                   "allowlist: stale kernel directive 'kernel:%s' — no unwraps left, remove it\n",
-                   kernel.c_str());
-      ++stale;
-    }
-  }
-  for (const std::string& clock : allowlist.clock_files) {
-    if (!used_clocks.count(clock)) {
-      std::fprintf(stderr,
-                   "allowlist: stale clock directive 'clock:%s' — no raw reads left, remove it\n",
-                   clock.c_str());
-      ++stale;
+
+  if (opt.sarif) {
+    std::string sarif = sdb_lint::SarifReport(result.violations, result.stale, opt.allowlist_uri);
+    if (opt.output.empty()) {
+      std::fwrite(sarif.data(), 1, sarif.size(), stdout);
+    } else {
+      std::ofstream out(opt.output, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "sdb_lint: cannot write %s\n", opt.output.c_str());
+        return 2;
+      }
+      out << sarif;
     }
   }
 
+  int violations = static_cast<int>(result.violations.size());
+  int stale = static_cast<int>(result.stale.size());
   if (violations > 0 || stale > 0) {
     std::fprintf(stderr, "sdb_lint: %d violation(s), %d stale allowlist entr%s\n", violations,
                  stale, stale == 1 ? "y" : "ies");
     return 1;
   }
-  std::printf("sdb_lint: clean (%zu finding(s), all allowlisted; allowlist fully live)\n",
-              findings.size());
+  std::fprintf(stderr, "sdb_lint: clean (allowlist fully live)\n");
   return 0;
 }
 
-// Proves the scanner catches seeded violations of every rule, and that the
-// dimensionless exemptions hold. Run in CI before the real scan so a broken
-// regex cannot silently pass the repo.
+// Proves the scanner core and every rule R1–R8 catch seeded violations, and
+// that the exemptions (comments, strings, raw strings, digit separators,
+// dimensionless names, (void) discards, ambiguous must-use names) hold. Run
+// in CI before the real scan so a broken pattern cannot silently pass the
+// repo.
 int RunSelfTest() {
+  std::vector<Finding> findings;
+
+  // --- R1–R3 + scanner fundamentals --------------------------------------
   const std::string seeded_header =
       "struct Bad {\n"
-      "  double bus_voltage_v = 3.7;\n"        // R1: suffix.
-      "  double pack_current = 0.0;\n"         // R1: quantity token.
+      "  double bus_voltage_v = 3.7;\n"        // R1: suffix (line 2).
+      "  double pack_current = 0.0;\n"         // R1: quantity token (line 3).
       "  double power_margin = 0.98;\n"        // Exempt: margin.
       "  double current_soc = 0.5;\n"          // Exempt: soc.
       "  // double commented_out_v = 1.0;\n"   // Comment-stripped.
+      "  int big = 1'000'000;\n"               // Digit separator is not a char literal...
+      "  double rail_volts = 5.0;\n"           // ...so R1 still fires here (line 8).
       "};\n";
   const std::string seeded_source =
       "void f() {\n"
-      "  double load_w = p.value();\n"              // R2: round-trip.
-      "  double seconds_per_hour = 3600.0;\n"       // R3: magic literal.
+      "  double load_w = p.value();\n"              // R2: round-trip (line 2).
+      "  double seconds_per_hour = 3600.0;\n"       // R3: magic literal (line 3).
       "  double fade = soc_fraction.value();\n"     // Exempt: fraction.
       "}\n";
   const std::string seeded_clock =
       "void g() {\n"
-      "  auto t0 = std::chrono::steady_clock::now();\n"   // R4: raw read.
+      "  auto t0 = std::chrono::steady_clock::now();\n"   // R4: raw read (line 2).
       "  // steady_clock::now() in a comment is fine.\n"  // Comment-stripped.
+      "  auto banner = R\"(steady_clock in a raw string)\";\n"  // String-stripped.
       "  auto clock_steady = 0;\n"                        // Not the token.
       "}\n";
+  sdb_lint::ScanHeaderDecls("seed.h", StripCommentsAndStrings(seeded_header), &findings);
+  sdb_lint::ScanValueRoundTrips("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
+  sdb_lint::ScanMagicLiterals("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
+  sdb_lint::ScanRawClockReads("seed_clock.cc", StripCommentsAndStrings(seeded_clock), &findings);
 
-  std::vector<Finding> findings;
-  ScanHeaderDecls("seed.h", StripCommentsAndStrings(seeded_header), &findings);
-  ScanValueRoundTrips("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
-  ScanMagicLiterals("seed.cc", StripCommentsAndStrings(seeded_source), &findings);
-  ScanRawClockReads("seed_clock.cc", StripCommentsAndStrings(seeded_clock), &findings);
+  // --- R5: nondeterministic randomness ------------------------------------
+  const std::string seeded_rng =
+      "void h() {\n"
+      "  std::mt19937 gen(std::random_device{}());\n"  // R5 x2 (line 2).
+      "  srand(static_cast<unsigned>(time(nullptr)));\n"  // R5 x2 (line 3).
+      "  int noise = rand() % 6;\n"                       // R5 (line 4).
+      "  // std::mt19937 in a comment is fine.\n"
+      "  const char* doc = \"std::random_device\";\n"     // String-stripped.
+      "  double strand_count = 2.0; randomize();\n"     // Lookalikes.
+      "}\n";
+  sdb_lint::ScanNondeterministicRandomness("seed_rng.cc", StripCommentsAndStrings(seeded_rng),
+                                           &findings);
 
-  auto has = [&](const std::string& rule, const std::string& identifier, int line) {
-    return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
-      return f.rule == rule && f.identifier == identifier && f.line == line;
-    });
+  // --- R6: unordered containers -------------------------------------------
+  const std::string seeded_unordered =
+      "#include <unordered_map>\n"  // Include line: also a finding — the
+                                    // directive covers the whole file anyway.
+      "std::unordered_map<int, double> shares;\n"  // R6 (line 2).
+      "std::map<int, double> ordered;\n"           // Exempt.
+      "int unordered_mapping = 0;\n"               // Lookalike identifier.
+      "";
+  sdb_lint::ScanUnorderedContainers("seed_unordered.cc",
+                                    StripCommentsAndStrings(seeded_unordered), &findings);
+
+  // --- R7: discarded Status -----------------------------------------------
+  const std::string seeded_api_header =
+      "namespace sdb {\n"
+      "Status Frobnicate(int x);\n"
+      "StatusOr<std::vector<int>> LoadThing();\n"
+      "Status Update(int x);\n"
+      "void Update(double x);\n"  // Same name, void return: ambiguous.
+      "}\n";
+  MustUseIndex must_use;
+  sdb_lint::HarvestMustUse(StripCommentsAndStrings(seeded_api_header), &must_use);
+  const std::string seeded_discard =
+      "void f(Thing& obj) {\n"
+      "  Frobnicate(1);\n"                      // R7 (line 2).
+      "  (void)Frobnicate(2);\n"                // Sanctioned explicit discard.
+      "  Status s = Frobnicate(3);\n"           // Consumed.
+      "  if (!Frobnicate(4).ok()) { return; }\n"  // Consumed.
+      "  obj.link()->LoadThing();\n"            // R7 through a chain (line 6).
+      "  Update(5);\n"                          // Ambiguous name: exempt.
+      "  if (cond) Frobnicate(6);\n"            // R7 as a branch body (line 8).
+      "}\n";
+  sdb_lint::ScanDiscardedStatus("seed_discard.cc", Lex(seeded_discard), must_use, &findings);
+
+  // --- R8: exact float equality -------------------------------------------
+  const std::string seeded_floatcmp =
+      "void g() {\n"
+      "  if (x == 0.5) { y = 1; }\n"             // R8: literal operand (line 2).
+      "  bool hit = result.current_a != 0;\n"    // R8: unit-suffixed operand (line 3).
+      "  EXPECT_EQ(r.terminal_v, 0.0);\n"        // R8: macro + literal (line 4).
+      "  EXPECT_EQ(Amps(1.0), q);\n"             // Exempt: literal is nested.
+      "  if (n == 3) { y = 2; }\n"               // Exempt: integer literal.
+      "  bool same = count == other_count;\n"    // Exempt: dimensionless.
+      "}\n";
+  sdb_lint::ScanFloatEquality("seed_floatcmp.cc", Lex(seeded_floatcmp), &findings);
+
+  auto has = [&](const std::string& rule, const std::string& identifier, int line,
+                 const std::string& file) {
+    for (const Finding& f : findings) {
+      if (f.rule == rule && f.identifier == identifier && f.line == line && f.file == file) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto count_rule = [&](const std::string& rule, const std::string& file) {
+    int n = 0;
+    for (const Finding& f : findings) {
+      if (f.rule == rule && f.file == file) {
+        ++n;
+      }
+    }
+    return n;
   };
   bool ok = true;
   auto expect = [&](bool condition, const char* what) {
@@ -490,22 +289,50 @@ int RunSelfTest() {
       ok = false;
     }
   };
-  expect(has("R1", "bus_voltage_v", 2), "R1 misses unit-suffixed field");
-  expect(has("R1", "pack_current", 3), "R1 misses quantity-token field");
-  expect(has("R2", "load_w", 2), "R2 misses .value() round-trip");
-  expect(std::any_of(findings.begin(), findings.end(),
-                     [](const Finding& f) { return f.rule == "R3"; }),
-         "R3 misses magic 3600.0");
-  expect(!has("R1", "power_margin", 4), "dimensionless 'margin' exemption broken");
-  expect(!has("R1", "current_soc", 5), "dimensionless 'soc' exemption broken");
-  expect(!has("R1", "commented_out_v", 6), "comment stripping broken");
-  expect(std::none_of(findings.begin(), findings.end(),
-                      [](const Finding& f) { return f.identifier == "fade"; }),
-         "R2 flags non-suffixed local");
-  expect(std::count_if(findings.begin(), findings.end(),
-                       [](const Finding& f) { return f.rule == "R4"; }) == 1,
-         "R4 misses raw steady_clock read (or flags comments / lookalikes)");
-  expect(has("R4", "", 2), "R4 reports the wrong line");
+
+  expect(has("R1", "bus_voltage_v", 2, "seed.h"), "R1 misses unit-suffixed field");
+  expect(has("R1", "pack_current", 3, "seed.h"), "R1 misses quantity-token field");
+  expect(has("R1", "rail_volts", 8, "seed.h"),
+         "digit separator broke the scanner (R1 after 1'000'000 missed)");
+  expect(!has("R1", "power_margin", 4, "seed.h"), "dimensionless 'margin' exemption broken");
+  expect(!has("R1", "current_soc", 5, "seed.h"), "dimensionless 'soc' exemption broken");
+  expect(!has("R1", "commented_out_v", 6, "seed.h"), "comment stripping broken");
+  expect(has("R2", "load_w", 2, "seed.cc"), "R2 misses .value() round-trip");
+  expect(count_rule("R3", "seed.cc") == 1, "R3 misses magic 3600.0");
+  for (const Finding& f : findings) {
+    expect(f.identifier != "fade", "R2 flags non-suffixed local");
+  }
+  expect(count_rule("R4", "seed_clock.cc") == 1,
+         "R4 misses raw steady_clock read (or flags comments / raw strings / lookalikes)");
+  expect(has("R4", "", 2, "seed_clock.cc"), "R4 reports the wrong line");
+
+  expect(has("R5", "mt19937", 2, "seed_rng.cc"), "R5 misses raw std::mt19937");
+  expect(has("R5", "random_device", 2, "seed_rng.cc"), "R5 misses std::random_device");
+  expect(has("R5", "srand", 3, "seed_rng.cc"), "R5 misses srand()");
+  expect(has("R5", "time", 3, "seed_rng.cc"), "R5 misses time(nullptr) seed");
+  expect(has("R5", "rand", 4, "seed_rng.cc"), "R5 misses rand()");
+  expect(count_rule("R5", "seed_rng.cc") == 5,
+         "R5 flags comments, strings or lookalikes (strand_count / randomize)");
+
+  expect(has("R6", "unordered_map", 2, "seed_unordered.cc"), "R6 misses std::unordered_map");
+  expect(count_rule("R6", "seed_unordered.cc") == 2,
+         "R6 flags lookalikes or ordered containers (want include + decl only)");
+
+  expect(has("R7", "Frobnicate", 2, "seed_discard.cc"), "R7 misses a bare discarded call");
+  expect(has("R7", "LoadThing", 6, "seed_discard.cc"),
+         "R7 misses a discarded call behind an obj.link()-> chain");
+  expect(has("R7", "Frobnicate", 8, "seed_discard.cc"),
+         "R7 misses a discarded call as an if-branch body");
+  expect(count_rule("R7", "seed_discard.cc") == 3,
+         "R7 flags (void) discards, consumed results or ambiguous names");
+
+  expect(has("R8", "==", 2, "seed_floatcmp.cc"), "R8 misses == with a float literal");
+  expect(has("R8", "!=", 3, "seed_floatcmp.cc"), "R8 misses != with a unit-suffixed operand");
+  expect(has("R8", "EXPECT_EQ", 4, "seed_floatcmp.cc"),
+         "R8 misses EXPECT_EQ with a top-level float literal");
+  expect(count_rule("R8", "seed_floatcmp.cc") == 3,
+         "R8 flags nested literals, integer compares or dimensionless identifiers");
+
   if (ok) {
     std::printf("sdb_lint: self-test passed (%zu seeded findings)\n", findings.size());
     return 0;
@@ -516,33 +343,47 @@ int RunSelfTest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
-  fs::path allowlist_path;
-  bool self_test = false;
+  Options opt;
+  auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: sdb_lint [--repo-root DIR] [--allowlist FILE] [--self-test]\n"
+                 "                [--format=stderr|sarif] [--output FILE]\n");
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--self-test") {
-      self_test = true;
+      opt.self_test = true;
     } else if (arg == "--repo-root" && i + 1 < argc) {
-      root = argv[++i];
+      opt.root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
-      allowlist_path = argv[++i];
+      opt.allowlist_path = argv[++i];
+    } else if (arg == "--output" && i + 1 < argc) {
+      opt.output = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0 || (arg == "--format" && i + 1 < argc)) {
+      std::string format = arg.rfind("--format=", 0) == 0 ? arg.substr(9) : argv[++i];
+      if (format == "sarif") {
+        opt.sarif = true;
+      } else if (format != "stderr") {
+        return usage();
+      }
     } else {
-      std::fprintf(stderr,
-                   "usage: sdb_lint [--repo-root DIR] [--allowlist FILE] [--self-test]\n");
-      return 2;
+      return usage();
     }
   }
-  if (self_test) {
+  if (opt.self_test) {
     return RunSelfTest();
   }
-  if (allowlist_path.empty()) {
-    allowlist_path = root / "tools" / "lint" / "allowlist.txt";
+  if (opt.allowlist_path.empty()) {
+    opt.allowlist_path = opt.root / "tools" / "lint" / "allowlist.txt";
+    opt.allowlist_uri = "tools/lint/allowlist.txt";
+  } else {
+    opt.allowlist_uri = opt.allowlist_path.generic_string();
   }
-  if (!fs::exists(root / "src")) {
+  if (!fs::exists(opt.root / "src")) {
     std::fprintf(stderr, "sdb_lint: no src/ under %s (use --repo-root)\n",
-                 root.string().c_str());
+                 opt.root.string().c_str());
     return 2;
   }
-  return RunLint(root, allowlist_path);
+  return RunLint(opt);
 }

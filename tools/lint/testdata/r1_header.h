@@ -1,0 +1,17 @@
+// R1 fixture: raw dimensional doubles in a header. Never compiled; scanned
+// by tests/lint/rules_test.cc (and excluded from the repo scan by the
+// tools/lint/testdata/ carve-out in ScanTree).
+#ifndef TOOLS_LINT_TESTDATA_R1_HEADER_H_
+#define TOOLS_LINT_TESTDATA_R1_HEADER_H_
+
+struct PackTelemetry {
+  double bus_voltage_v = 3.7;   // VIOLATION R1 line 8: unit suffix.
+  double pack_current = 0.0;    // VIOLATION R1 line 9: quantity token.
+  double soc_fraction = 0.5;    // ok: dimensionless token.
+  double charge_margin = 0.02;  // ok: dimensionless token.
+  // double ghost_voltage_v;    // ok: commented out.
+  int sample_count = 1'000'000;  // ok: digit separator must not derail the scanner.
+  double rail_volts = 5.0;      // VIOLATION R1 line 14: quantity token after separator.
+};
+
+#endif  // TOOLS_LINT_TESTDATA_R1_HEADER_H_

@@ -1,0 +1,11 @@
+// R2 fixture: unit-suffixed locals unwrapping Quantities via .value().
+// Never compiled; scanned by tests/lint/rules_test.cc.
+void Consume(double);
+
+void Fixture() {
+  double load_w = demand.value();        // VIOLATION R2 line 6.
+  double drop_v = bus.value() * 0.5;     // VIOLATION R2 line 7.
+  double headroom = budget.value();      // ok: no unit suffix.
+  double soc_fraction = gauge.value();   // ok: dimensionless token.
+  Consume(load_w + drop_v + headroom + soc_fraction);
+}

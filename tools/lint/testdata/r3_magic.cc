@@ -1,0 +1,8 @@
+// R3 fixture: magic unit-conversion literals. Never compiled; scanned by
+// tests/lint/rules_test.cc.
+double Fixture(double hours, double celsius) {
+  double seconds = hours * 3600.0;    // VIOLATION R3 line 4.
+  double kelvin = celsius + 273.15;   // VIOLATION R3 line 5.
+  double port = 36000.0;              // ok: not the literal (word boundary).
+  return seconds + kelvin + port;
+}

@@ -1,0 +1,10 @@
+// R4 fixture: raw monotonic-clock reads. Never compiled; scanned by
+// tests/lint/rules_test.cc.
+void Fixture() {
+  auto t0 = std::chrono::steady_clock::now();  // VIOLATION R4 line 4.
+  // steady_clock::now() in a comment is fine.
+  const char* doc = "prefer steady_clock";     // ok: inside a string.
+  auto banner = R"(steady_clock, raw)";        // ok: inside a raw string.
+  int clock_steady = 0;                        // ok: different token.
+  (void)t0; (void)doc; (void)banner; (void)clock_steady;
+}

@@ -1,0 +1,11 @@
+// R5 fixture: nondeterministic randomness sources. Never compiled; scanned
+// by tests/lint/rules_test.cc.
+void Fixture() {
+  std::mt19937 gen(std::random_device{}());          // VIOLATION R5 x2 line 4.
+  srand(static_cast<unsigned>(time(nullptr)));       // VIOLATION R5 x2 line 5.
+  int noise = rand() % 6;                            // VIOLATION R5 line 6.
+  // std::random_device in a comment is fine.
+  const char* doc = "std::mt19937 is banned";        // ok: inside a string.
+  double strand_count = 2.0; randomize();            // ok: lookalike names.
+  (void)gen; (void)noise; (void)doc; (void)strand_count;
+}

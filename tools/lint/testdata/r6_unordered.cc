@@ -1,0 +1,8 @@
+// R6 fixture: unordered associative containers. Never compiled; scanned by
+// tests/lint/rules_test.cc.
+#include <unordered_map>  // VIOLATION R6 line 3.
+
+std::unordered_map<int, double> shares;     // VIOLATION R6 line 5.
+std::unordered_set<int> faulted;            // VIOLATION R6 line 6.
+std::map<int, double> ordered_shares;       // ok: ordered container.
+int unordered_mapping_count = 0;            // ok: lookalike identifier.

@@ -1,0 +1,15 @@
+// R7 fixture header: must-use API declarations harvested by
+// tests/lint/rules_test.cc. Never compiled.
+#ifndef TOOLS_LINT_TESTDATA_R7_API_H_
+#define TOOLS_LINT_TESTDATA_R7_API_H_
+
+namespace sdb {
+
+Status ApplyPlan(int plan_id);
+StatusOr<std::vector<int>> FetchReadings();
+Status Refresh(int channel);
+void Refresh(double budget);  // Same name, non-Status overload: ambiguous.
+
+}  // namespace sdb
+
+#endif  // TOOLS_LINT_TESTDATA_R7_API_H_

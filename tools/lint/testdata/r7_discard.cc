@@ -1,0 +1,12 @@
+// R7 fixture: discarded must-use results (API declared in r7_api.h). Never
+// compiled; scanned by tests/lint/rules_test.cc.
+void Fixture(Link& link) {
+  ApplyPlan(1);                              // VIOLATION R7 line 4.
+  (void)ApplyPlan(2);                        // ok: sanctioned explicit discard.
+  Status s = ApplyPlan(3);                   // ok: consumed.
+  if (!ApplyPlan(4).ok()) { return; }        // ok: consumed.
+  link.controller()->FetchReadings();        // VIOLATION R7 line 8.
+  Refresh(5);                                // ok: ambiguous overload set.
+  if (armed) ApplyPlan(6);                   // VIOLATION R7 line 10.
+  (void)s;
+}

@@ -1,0 +1,12 @@
+// R8 fixture: exact floating-point equality. Never compiled; scanned by
+// tests/lint/rules_test.cc.
+void Fixture() {
+  if (x == 0.5) { y = 1; }                // VIOLATION R8 line 4: float literal.
+  bool hit = result.current_a != 0;       // VIOLATION R8 line 5: unit suffix.
+  EXPECT_EQ(r.terminal_v, 0.0);           // VIOLATION R8 line 6: macro + literal.
+  EXPECT_EQ(Amps(1.0), q);                // ok: literal nested one level down.
+  if (n == 3) { y = 2; }                  // ok: integer literal.
+  bool same = count == other_count;       // ok: dimensionless identifiers.
+  bool live = battery_a_ != nullptr;      // ok: pointer compare.
+  (void)hit; (void)same; (void)live;
+}
