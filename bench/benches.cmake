@@ -40,6 +40,7 @@ set_property(TEST smoke_bench_policy_overhead PROPERTY TIMEOUT 120)
 sdb_bench(bench_optimal_vs_myopic)
 sdb_bench(bench_monte_carlo)
 sdb_bench(bench_weekly_wear)
+sdb_bench(bench_scenario_packs)
 
 # The MC bench doubles as the report-schema smoke: a tiny run emits
 # BENCH_monte_carlo.json, then the CI checker validates the schema (no

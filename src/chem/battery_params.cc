@@ -17,6 +17,8 @@ std::string_view ChemistryName(Chemistry chemistry) {
       return "Type3-CoO2-FastCharge";
     case Chemistry::kType4Bendable:
       return "Type4-Ceramic-Bendable";
+    case Chemistry::kNiMh:
+      return "NiMH-Ambient";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class Chemistry {
   kType2Standard,     // CoO2 cathode, high-density liquid polymer separator.
   kType3FastCharge,   // CoO2 cathode, low-density liquid polymer separator.
   kType4Bendable,     // CoO2 cathode, rubber-like solid ceramic separator.
+  kNiMh,              // Nickel-metal-hydride, 1.2 V flat plateau (scenario packs).
 };
 
 std::string_view ChemistryName(Chemistry chemistry);

@@ -218,6 +218,42 @@ BatteryParams MakeTwoInOneExternal(Charge capacity) {
   return p;
 }
 
+BatteryParams MakeNiMhAmbient(Charge capacity) {
+  BatteryParams p;
+  p.name = "NiMH-Ambient";
+  p.chemistry = Chemistry::kNiMh;
+  p.nominal_capacity = capacity;
+  p.nominal_voltage = Volts(1.20);
+  // Ni-MH discharge signature: steep knee near empty, long 1.2 V plateau,
+  // small rise toward full (arXiv 0802.3053 Fig. 2 shape).
+  p.ocv_vs_soc = PiecewiseLinearCurve::FromTable({{0.00, 1.00},
+                                                  {0.05, 1.14},
+                                                  {0.10, 1.18},
+                                                  {0.25, 1.21},
+                                                  {0.50, 1.23},
+                                                  {0.75, 1.26},
+                                                  {0.90, 1.31},
+                                                  {1.00, 1.45}});
+  // Moderate DCIR at AA/AAA scale; same Fig. 8c empty-end rise.
+  double r_mid = 0.080 * (0.5 / ToAmpHours(capacity));
+  p.dcir_vs_soc = DcirCurve(r_mid);
+  FillRcPair(p, r_mid, 0.60, 40.0);
+  p.max_discharge_current = p.CRate(2.0);
+  p.max_charge_current = p.CRate(0.5);
+  p.charge_cutoff_voltage = Volts(1.45);
+  p.rated_cycle_count = 500.0;
+  p.base_fade_per_cycle = 1.2e-4;
+  p.fade_current_stress = 4.0;
+  p.fade_reference_current = p.CRate(0.5);
+  p.resistance_growth = 2.0;
+  // The chemistry's defining weakness for always-on nodes: ~20%/month
+  // self-discharge at room temperature.
+  p.self_discharge_per_month = 0.20;
+  p.calendar_fade_per_month = 0.003;
+  FillPhysical(p, 300.0, 95.0, 0.08);
+  return p;
+}
+
 std::vector<BatteryParams> MakeBatteryLibrary() {
   std::vector<BatteryParams> lib;
   lib.reserve(15);

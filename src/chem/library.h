@@ -49,6 +49,11 @@ BatteryParams MakeFastChargeTablet(Charge capacity); // 530-540 Wh/l, 3C charge,
 BatteryParams MakeTwoInOneInternal(Charge capacity); // Tablet-side Li-ion.
 BatteryParams MakeTwoInOneExternal(Charge capacity); // Keyboard-base Li-ion.
 
+// Ni-MH ambient-sensor cell (PAPERS.md, arXiv 0802.3053): 1.2 V flat
+// plateau, high self-discharge, tolerant of shallow duty-cycled bursts.
+// Used by the scenario-pack registry, not part of MakeBatteryLibrary().
+BatteryParams MakeNiMhAmbient(Charge capacity);
+
 // The full 15-battery library in a stable order (indices are referenced by
 // the Fig. 8 bench).
 std::vector<BatteryParams> MakeBatteryLibrary();

@@ -1,0 +1,658 @@
+#include "src/emu/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/core/runtime.h"
+#include "src/emu/simulator.h"
+#include "src/emu/soak.h"
+#include "src/hw/command_link.h"
+#include "src/hw/microcontroller.h"
+#include "src/hw/safety.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace sdb {
+
+namespace {
+
+constexpr size_t kMaxViolationsPerCase = 16;
+constexpr uint64_t kSampleSalt = 0xF022BAD5EEDULL;
+constexpr uint64_t kFaultSalt = 0xFA17F1A6ULL;
+constexpr uint64_t kRigSalt = 0x2165EEDULL;
+
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a; folded into the fingerprint via MixU64.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h = (h ^ c) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string FormatG17(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+const FaultClass kAllFaultClasses[] = {
+    FaultClass::kLinkTimeout,       FaultClass::kLinkCorruptReply,
+    FaultClass::kGaugeBias,         FaultClass::kGaugeNoise,
+    FaultClass::kGaugeStuck,        FaultClass::kRegulatorCollapse,
+    FaultClass::kOpenCircuit,       FaultClass::kThermalTrip,
+    FaultClass::kMicroCrash,        FaultClass::kMicroBrownout,
+};
+
+bool ParseFaultClass(const std::string& name, FaultClass* out) {
+  for (FaultClass kind : kAllFaultClasses) {
+    if (FaultClassName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// The fuzz rig's recovery doctrine matches the soak harness: recovery on,
+// dwells short enough to complete inside a capped horizon.
+RecoveryConfig FuzzRecovery() {
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  recovery.base_dwell = Minutes(3.0);
+  recovery.dwell_backoff = 2.0;
+  recovery.max_dwell = Minutes(12.0);
+  recovery.probe_duration = Minutes(2.0);
+  return recovery;
+}
+
+SimConfig CappedSimConfig(const ScenarioSpec& spec, const FuzzConfig& config) {
+  SimConfig sim = spec.sim;
+  sim.max_duration = Seconds(
+      std::min(sim.max_duration.value(), config.horizon_cap.value()));
+  sim.stop_on_shortfall = false;
+  return sim;
+}
+
+// One fault-free policy run of the spec under explicit directives; returns
+// the achieved lifetime (first shortfall, or the whole run when the load
+// was always served).
+Duration PolicyLifetime(const ScenarioSpec& spec, DirectiveParameters directives,
+                        const FuzzConfig& config) {
+  SdbMicrocontroller micro =
+      MakeDefaultMicrocontroller(BuildScenarioCells(spec), spec.seed ^ kRigSalt);
+  RuntimeConfig runtime_config;
+  runtime_config.directives = directives;
+  SdbRuntime runtime(&micro, runtime_config);
+  Simulator sim(&runtime, CappedSimConfig(spec, config));
+  SimResult result = sim.Run(spec.load, spec.supply);
+  return result.first_shortfall.value_or(result.elapsed);
+}
+
+}  // namespace
+
+// --- Reproducer lines --------------------------------------------------------
+
+std::string FormatFuzzCase(const FuzzCase& fuzz_case) {
+  std::ostringstream os;
+  os << "pack=" << fuzz_case.pack << " seed=" << fuzz_case.seed
+     << " dch=" << FormatG17(fuzz_case.directives.discharging)
+     << " chg=" << FormatG17(fuzz_case.directives.charging);
+  for (const auto& [name, value] : fuzz_case.overrides) {
+    os << " p:" << name << "=" << FormatG17(value);
+  }
+  if (!fuzz_case.faults.empty()) {
+    os << " fseed=" << fuzz_case.faults.seed;
+    for (const FaultEvent& event : fuzz_case.faults.events) {
+      os << " fault=" << FaultClassName(event.kind) << ":"
+         << FormatG17(event.start.value()) << ":" << FormatG17(event.end.value())
+         << ":" << event.battery << ":" << FormatG17(event.magnitude) << ":"
+         << FormatG17(event.probability);
+    }
+  }
+  return os.str();
+}
+
+StatusOr<FuzzCase> ParseFuzzCase(const std::string& line) {
+  FuzzCase fuzz_case;
+  bool saw_pack = false;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("reproducer token without '=': '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "pack") {
+      if (value.empty()) {
+        return InvalidArgumentError("empty pack name");
+      }
+      fuzz_case.pack = value;
+      saw_pack = true;
+    } else if (key == "seed") {
+      if (!ParseU64(value, &fuzz_case.seed)) {
+        return InvalidArgumentError("bad seed '" + value + "'");
+      }
+    } else if (key == "dch") {
+      if (!ParseDouble(value, &fuzz_case.directives.discharging)) {
+        return InvalidArgumentError("bad dch '" + value + "'");
+      }
+    } else if (key == "chg") {
+      if (!ParseDouble(value, &fuzz_case.directives.charging)) {
+        return InvalidArgumentError("bad chg '" + value + "'");
+      }
+    } else if (key == "fseed") {
+      if (!ParseU64(value, &fuzz_case.faults.seed)) {
+        return InvalidArgumentError("bad fseed '" + value + "'");
+      }
+    } else if (key.rfind("p:", 0) == 0) {
+      double parsed = 0.0;
+      if (!ParseDouble(value, &parsed)) {
+        return InvalidArgumentError("bad parameter value '" + token + "'");
+      }
+      fuzz_case.overrides[key.substr(2)] = parsed;
+    } else if (key == "fault") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() != 6) {
+        return InvalidArgumentError(
+            "fault wants kind:start:end:battery:mag:prob, got '" + value + "'");
+      }
+      FaultEvent event;
+      double start = 0.0;
+      double end = 0.0;
+      double battery = 0.0;
+      if (!ParseFaultClass(parts[0], &event.kind)) {
+        return InvalidArgumentError("unknown fault kind '" + parts[0] + "'");
+      }
+      if (!ParseDouble(parts[1], &start) || !ParseDouble(parts[2], &end) ||
+          !ParseDouble(parts[3], &battery) ||
+          !ParseDouble(parts[4], &event.magnitude) ||
+          !ParseDouble(parts[5], &event.probability)) {
+        return InvalidArgumentError("bad fault numbers in '" + value + "'");
+      }
+      event.start = Seconds(start);
+      event.end = Seconds(end);
+      event.battery = static_cast<int>(battery);
+      fuzz_case.faults.Add(event);
+    } else {
+      return InvalidArgumentError("unknown reproducer key '" + key + "'");
+    }
+  }
+  if (!saw_pack) {
+    return InvalidArgumentError("reproducer line has no pack= token");
+  }
+  return fuzz_case;
+}
+
+std::string FormatFuzzCorpus(const std::vector<FuzzCase>& cases) {
+  std::ostringstream os;
+  os << "# sdb fuzz corpus: one reproducer per line (sdbsim fuzz --replay)\n";
+  for (const FuzzCase& fuzz_case : cases) {
+    os << FormatFuzzCase(fuzz_case) << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<std::vector<FuzzCase>> ParseFuzzCorpus(const std::string& text) {
+  std::vector<FuzzCase> cases;
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    StatusOr<FuzzCase> parsed = ParseFuzzCase(line);
+    if (!parsed.ok()) {
+      return InvalidArgumentError("corpus line " + std::to_string(line_number) +
+                                  ": " + std::string(parsed.status().message()));
+    }
+    cases.push_back(*std::move(parsed));
+  }
+  return cases;
+}
+
+// --- Sampling ----------------------------------------------------------------
+
+FuzzCase SampleFuzzCase(const FuzzConfig& config, uint64_t case_seed) {
+  Rng rng(case_seed ^ kSampleSalt);
+  std::vector<std::string> names = config.packs;
+  if (names.empty()) {
+    for (const ScenarioPack& pack : ScenarioPacks()) {
+      names.push_back(pack.name);
+    }
+  }
+  FuzzCase fuzz_case;
+  fuzz_case.pack = names[rng.NextBounded(names.size())];
+  fuzz_case.seed = case_seed;
+  const ScenarioPack* pack = FindScenarioPack(fuzz_case.pack);
+  SDB_CHECK(pack != nullptr);
+  // Each knob is overridden with probability 0.4; the rest stay at pack
+  // defaults so shrinking has something to revert toward.
+  for (const PackParamSpec& spec : pack->params) {
+    const bool override_it = rng.NextDouble() < 0.4;
+    const double value = rng.Uniform(spec.min_value, spec.max_value);
+    if (override_it) {
+      fuzz_case.overrides[spec.name] = value;
+    }
+  }
+  fuzz_case.directives.discharging = rng.Uniform(0.05, 0.95);
+  fuzz_case.directives.charging = rng.Uniform(0.05, 0.95);
+  if (rng.NextDouble() < config.fault_probability) {
+    StatusOr<ScenarioSpec> spec =
+        ExpandScenario(fuzz_case.pack, fuzz_case.overrides, fuzz_case.seed);
+    SDB_CHECK(spec.ok());  // Sampled overrides are in-range by construction.
+    const Duration horizon =
+        Seconds(std::min(spec->sim.max_duration.value(), config.horizon_cap.value()));
+    fuzz_case.faults =
+        MakeRandomFaultPlan(case_seed ^ kFaultSalt,
+                            static_cast<int>(spec->batteries.size()), horizon,
+                            std::max(1, config.max_fault_events));
+  }
+  return fuzz_case;
+}
+
+// --- Oracles -----------------------------------------------------------------
+
+std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
+                                            const FuzzConfig& config) {
+  std::vector<FuzzViolation> violations;
+  uint64_t dropped = 0;
+  auto add = [&](Duration at, const char* oracle, std::string detail) {
+    if (violations.size() >= kMaxViolationsPerCase) {
+      ++dropped;
+      return;
+    }
+    violations.push_back(FuzzViolation{oracle, std::move(detail), at});
+  };
+
+  StatusOr<ScenarioSpec> expanded =
+      ExpandScenario(fuzz_case.pack, fuzz_case.overrides, fuzz_case.seed);
+  if (!expanded.ok()) {
+    add(Seconds(0.0), "expand", std::string(expanded.status().message()));
+    return violations;
+  }
+  const ScenarioSpec& spec = *expanded;
+
+  // Main run: full rig (safety supervisor + command link + fault plan),
+  // audited by the soak invariants on every hardware tick.
+  SdbMicrocontroller micro =
+      MakeDefaultMicrocontroller(BuildScenarioCells(spec), spec.seed ^ kRigSalt);
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  SafetySupervisor safety(limits, FuzzRecovery());
+  micro.AttachSafety(&safety);
+  if (!fuzz_case.faults.empty()) {
+    micro.InstallFaults(fuzz_case.faults);
+  }
+  CommandLinkServer server(&micro);
+  CommandLinkClient client(
+      [&](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
+  client.AttachFaultInjector(micro.fault_injector());
+  RuntimeConfig runtime_config;
+  runtime_config.directives = fuzz_case.directives;
+  runtime_config.reintegration_horizon = Minutes(10.0);
+  SdbRuntime runtime(&micro, runtime_config);
+  runtime.AttachLink(&client);
+
+  std::vector<bool> prev_faulted(micro.battery_count(), false);
+  std::vector<double> prev_cycles(micro.battery_count(), 0.0);
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    prev_cycles[i] = micro.pack().cell(i).aging().cycle_count();
+  }
+
+  // Supply-funded energy the SimResult ledger cannot split out: the slice
+  // of the supply fed straight to the load (sampled exactly as the driver
+  // loop samples it) and the charge regulator's own losses.
+  double supply_to_load_j = 0.0;
+  double charge_circuit_loss_j = 0.0;
+
+  // Per-battery envelopes for oracle 3: a trip is only unexpected if no
+  // battery was ever commanded past its own 80% power envelope — the
+  // blended policy can legitimately concentrate an in-envelope pack load
+  // onto one battery, and protecting that battery is the supervisor's job.
+  std::vector<Power> battery_envelope;
+  for (const BatteryParams& battery : spec.batteries) {
+    battery_envelope.push_back(Watts(0.8 * battery.max_discharge_current.value() *
+                                     battery.nominal_voltage.value()));
+  }
+  bool overdrive = false;
+
+  // Oracle 3 counts only trips struck while the battery still held real
+  // charge: an undervoltage trip at the bottom of the discharge curve is
+  // the deep-discharge protection working, not a spurious trip.
+  std::vector<uint64_t> prev_trips(micro.battery_count(), 0);
+  uint64_t unexpected_trips = 0;
+
+  SimConfig sim_config = CappedSimConfig(spec, config);
+  sim_config.on_tick = [&](const MicroTick& tick, Duration now) {
+    const Duration at = now - tick.dt;
+    const Power load_power = spec.load.Sample(at);
+    const Power supply_power = spec.supply.Sample(at);
+    supply_to_load_j += std::min(std::max(0.0, load_power.value()),
+                                 std::max(0.0, supply_power.value())) *
+                        tick.dt.value();
+    charge_circuit_loss_j += tick.charge.circuit_loss.value();
+    const std::vector<double>& ratios = runtime.last_discharge_ratios();
+    for (size_t i = 0; i < ratios.size() && i < battery_envelope.size(); ++i) {
+      if (ratios[i] * std::max(0.0, load_power.value()) >
+          battery_envelope[i].value()) {
+        overdrive = true;
+      }
+    }
+    for (size_t i = 0; i < micro.battery_count(); ++i) {
+      const Cell& cell = micro.pack().cell(i);
+      double soc = cell.soc();
+      if (!std::isfinite(soc) || soc < 0.0 || soc > 1.0) {
+        add(now, "soc-range",
+            "battery " + std::to_string(i) + " soc " + std::to_string(soc));
+      }
+      double cycles = cell.aging().cycle_count();
+      if (cycles + 1e-12 < prev_cycles[i]) {
+        add(now, "cycle-monotone",
+            "battery " + std::to_string(i) + " cycles " + std::to_string(cycles) +
+                " < " + std::to_string(prev_cycles[i]));
+      }
+      prev_cycles[i] = cycles;
+      if (prev_faulted[i]) {
+        double discharge_a = i < tick.discharge.currents.size()
+                                 ? std::fabs(tick.discharge.currents[i].value())
+                                 : 0.0;
+        double charge_a = i < tick.charge.currents.size()
+                              ? std::fabs(tick.charge.currents[i].value())
+                              : 0.0;
+        if (discharge_a > 1e-9 || charge_a > 1e-9) {
+          add(now, "faulted-current",
+              "battery " + std::to_string(i) + " carried " +
+                  std::to_string(std::max(discharge_a, charge_a)) +
+                  " A while faulted");
+        }
+      }
+      prev_faulted[i] = safety.IsFaulted(i);
+      uint64_t trips = safety.trip_count(i);
+      if (trips > prev_trips[i] && soc > 0.15) {
+        unexpected_trips += trips - prev_trips[i];
+      }
+      prev_trips[i] = trips;
+    }
+  };
+
+  double e0 = micro.pack().TotalRemainingEnergy().value();
+  Simulator sim(&runtime, sim_config);
+  SimResult result = sim.Run(spec.load, spec.supply);
+  double e1 = micro.pack().TotalRemainingEnergy().value();
+
+  // Oracle 2: the energy ledger balances. Cells fund the pack-served slice
+  // of the load plus discharge/transfer losses and their own charge-time
+  // resistive loss; the supply funds what it feeds the load directly, what
+  // the pack absorbs, and the charge regulator's losses. Rearranged so
+  // both sides are observable:
+  //   (e0 - e1) + charged + supply_to_load
+  //     = delivered + total_losses - charge_circuit_loss
+  double drawn = (e0 - e1) + result.charged.value() + supply_to_load_j;
+  double accounted = result.delivered.value() + result.TotalLoss().value() -
+                     charge_circuit_loss_j;
+  double tolerance = std::max(2.0, std::fabs(drawn) * config.energy_tolerance_fraction);
+  if (!std::isfinite(accounted) || std::fabs(drawn - accounted) > tolerance) {
+    add(result.elapsed, "ledger",
+        "drawn " + std::to_string(drawn) + " J vs accounted " +
+            std::to_string(accounted) + " J");
+  }
+
+  // Oracle 3: no safety trip on an in-envelope, fault-free load where no
+  // battery was individually commanded past its own envelope either.
+  if (fuzz_case.faults.empty() && !overdrive &&
+      spec.load.PeakPower().value() <= spec.envelope.value() &&
+      unexpected_trips > 0) {
+    add(result.elapsed, "safety-trip",
+        std::to_string(unexpected_trips) +
+            " trip(s) on in-envelope fault-free load (peak " +
+            std::to_string(spec.load.PeakPower().value()) + " W, envelope " +
+            std::to_string(spec.envelope.value()) + " W)");
+  }
+
+  // Oracle 4: the sampled policy must stay within the configured fraction
+  // of the best panel policy's lifetime on the fault-free twin.
+  const double panel[] = {0.1, 0.5, 0.9};
+  Duration sampled_lifetime = PolicyLifetime(spec, fuzz_case.directives, config);
+  Duration best = sampled_lifetime;
+  double best_directive = fuzz_case.directives.discharging;
+  for (double d : panel) {
+    DirectiveParameters directives;
+    directives.discharging = d;
+    directives.charging = d;
+    Duration lifetime = PolicyLifetime(spec, directives, config);
+    if (lifetime.value() > best.value()) {
+      best = lifetime;
+      best_directive = d;
+    }
+  }
+  if (best.value() > 0.0 &&
+      sampled_lifetime.value() <
+          (1.0 - config.max_lifetime_loss_fraction) * best.value()) {
+    add(result.elapsed, "policy-regression",
+        "dch=" + FormatG17(fuzz_case.directives.discharging) + " lifetime " +
+            std::to_string(sampled_lifetime.value()) + " s vs " +
+            std::to_string(best.value()) + " s at panel dch=" +
+            FormatG17(best_directive));
+  }
+
+  if (dropped > 0) {
+    violations.back().detail += " (+" + std::to_string(dropped) + " dropped)";
+  }
+  return violations;
+}
+
+// --- Shrinking ---------------------------------------------------------------
+
+FuzzCase ShrinkFuzzCaseWith(const FuzzCase& fuzz_case,
+                            const std::function<bool(const FuzzCase&)>& fails,
+                            int budget, int* steps) {
+  FuzzCase current = fuzz_case;
+  int accepted = 0;
+  int spent = 0;
+  auto try_candidate = [&](const FuzzCase& candidate) {
+    if (spent >= budget) {
+      return false;
+    }
+    ++spent;
+    if (!fails(candidate)) {
+      return false;
+    }
+    current = candidate;
+    ++accepted;
+    return true;
+  };
+  bool reduced = true;
+  while (reduced && spent < budget) {
+    reduced = false;
+    // Pass 1: drop fault events one at a time.
+    for (size_t i = 0; i < current.faults.events.size();) {
+      FuzzCase candidate = current;
+      candidate.faults.events.erase(candidate.faults.events.begin() +
+                                    static_cast<long>(i));
+      if (try_candidate(candidate)) {
+        reduced = true;  // `current` shrank; retry the same index.
+      } else {
+        ++i;
+      }
+    }
+    // Pass 2: revert parameter overrides to pack defaults.
+    std::vector<std::string> keys;
+    for (const auto& [name, value] : current.overrides) {
+      keys.push_back(name);
+    }
+    for (const std::string& name : keys) {
+      FuzzCase candidate = current;
+      candidate.overrides.erase(name);
+      if (try_candidate(candidate)) {
+        reduced = true;
+      }
+    }
+    // Pass 3: snap directives to the neutral 0.5.
+    if (current.directives.discharging != 0.5) {
+      FuzzCase candidate = current;
+      candidate.directives.discharging = 0.5;
+      reduced = try_candidate(candidate) || reduced;
+    }
+    if (current.directives.charging != 0.5) {
+      FuzzCase candidate = current;
+      candidate.directives.charging = 0.5;
+      reduced = try_candidate(candidate) || reduced;
+    }
+  }
+  if (steps != nullptr) {
+    *steps = accepted;
+  }
+  return current;
+}
+
+FuzzCase ShrinkFuzzCase(const FuzzCase& fuzz_case, const FuzzConfig& config,
+                        int* steps) {
+  return ShrinkFuzzCaseWith(
+      fuzz_case,
+      [&config](const FuzzCase& candidate) {
+        return !EvaluateFuzzCase(candidate, config).empty();
+      },
+      config.shrink_budget, steps);
+}
+
+// --- The sweep ---------------------------------------------------------------
+
+namespace {
+
+FuzzCaseReport BuildCaseReport(FuzzCase sampled, const FuzzConfig& config,
+                               bool shrink) {
+  FuzzCaseReport report;
+  report.sampled = std::move(sampled);
+  report.violations = EvaluateFuzzCase(report.sampled, config);
+  report.failed = !report.violations.empty();
+  if (report.failed) {
+    FuzzCase minimal = shrink
+                           ? ShrinkFuzzCase(report.sampled, config,
+                                            &report.shrink_steps)
+                           : report.sampled;
+    report.reproducer = FormatFuzzCase(minimal);
+  }
+  uint64_t h = MixU64(0, report.sampled.seed);
+  h = MixU64(h, HashString(FormatFuzzCase(report.sampled)));
+  h = MixU64(h, report.failed ? 1 : 0);
+  h = MixU64(h, static_cast<uint64_t>(report.violations.size()));
+  for (const FuzzViolation& violation : report.violations) {
+    h = MixU64(h, HashString(violation.oracle));
+  }
+  h = MixU64(h, HashString(report.reproducer));
+  report.fingerprint = h;
+  return report;
+}
+
+FuzzReport MergeCaseReports(std::vector<FuzzCaseReport> slots) {
+  FuzzReport report;
+  report.cases = std::move(slots);
+  uint64_t h = 0;
+  for (const FuzzCaseReport& fuzz_case : report.cases) {
+    if (fuzz_case.failed) {
+      ++report.failures;
+    }
+    h = MixU64(h, fuzz_case.fingerprint);
+  }
+  report.fingerprint = h;
+  return report;
+}
+
+}  // namespace
+
+StatusOr<FuzzReport> RunFuzz(const FuzzConfig& config) {
+  if (config.cases <= 0) {
+    return InvalidArgumentError("fuzz wants at least one case");
+  }
+  for (const std::string& name : config.packs) {
+    if (FindScenarioPack(name) == nullptr) {
+      return InvalidArgumentError("unknown pack '" + name +
+                                  "' in fuzz pack list (sdbsim workload --list)");
+    }
+  }
+  std::vector<FuzzCaseReport> slots(config.cases);
+  std::optional<ThreadPool> pool;
+  if (config.jobs != 1) {
+    pool.emplace(config.jobs);
+  }
+  const FuzzConfig& cfg = config;
+  // Index-slot determinism: case k depends on (config, master_seed + k)
+  // alone and writes only slot k, so any worker count is bit-identical.
+  ParallelFor(pool.has_value() ? &*pool : nullptr, config.cases,
+              [&slots, &cfg](int64_t index) {
+                slots[index] = BuildCaseReport(
+                    SampleFuzzCase(cfg, cfg.master_seed + static_cast<uint64_t>(index)),
+                    cfg, cfg.shrink);
+              });
+  return MergeCaseReports(std::move(slots));
+}
+
+FuzzReport ReplayFuzzCases(const std::vector<FuzzCase>& cases,
+                           const FuzzConfig& config) {
+  std::vector<FuzzCaseReport> slots(cases.size());
+  std::optional<ThreadPool> pool;
+  if (config.jobs != 1 && cases.size() > 1) {
+    pool.emplace(config.jobs);
+  }
+  const FuzzConfig& cfg = config;
+  ParallelFor(pool.has_value() ? &*pool : nullptr,
+              static_cast<int64_t>(cases.size()),
+              [&slots, &cases, &cfg](int64_t index) {
+                // Replay never re-shrinks: the line under replay is already
+                // the minimal case and must fail (or pass) as-is.
+                slots[index] = BuildCaseReport(cases[index], cfg, /*shrink=*/false);
+              });
+  return MergeCaseReports(std::move(slots));
+}
+
+}  // namespace sdb

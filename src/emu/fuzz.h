@@ -1,0 +1,142 @@
+// Seeded scenario fuzzer (ROADMAP item 5): samples pack × parameter ×
+// directive × FaultPlan combinations from one master seed, plays each case
+// through a full recovery-enabled rig, and checks a set of oracles:
+//
+//   1. the soak harness's per-tick invariants (SoC in range, faulted
+//      batteries carry no current, cycle counts monotone),
+//   2. the energy ledger balances over the run,
+//   3. the safety supervisor never trips on a fault-free load that stays
+//      inside the pack envelope and never commands any single battery past
+//      its own envelope, and
+//   4. no sampled policy loses more than a configured fraction of lifetime
+//      against a small panel of alternative directives on the fault-free
+//      twin of the case (the cross-policy regression oracle).
+//
+// A failing case is shrunk greedily (drop fault events, revert parameter
+// overrides, snap directives to neutral) to a minimal still-failing case
+// and serialized as a one-line reproducer; a corpus of such lines replays
+// deterministically (same master seed ⇒ same fingerprints at any --jobs).
+#ifndef SRC_EMU_FUZZ_H_
+#define SRC_EMU_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/policy_db.h"
+#include "src/emu/scenario_pack.h"
+#include "src/hw/fault.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+
+struct FuzzConfig {
+  uint64_t master_seed = 1;
+  int cases = 20;
+  // Worker threads: 1 = serial, 0 = auto (SDB_THREADS / hardware).
+  int jobs = 1;
+  // Packs to sample from; empty means every registered pack.
+  std::vector<std::string> packs;
+  // Chance a sampled case carries a random fault plan.
+  double fault_probability = 0.5;
+  int max_fault_events = 3;
+  // Oracle 4: fail when the sampled directives' lifetime falls more than
+  // this fraction short of the best panel policy on the fault-free run.
+  // Zero demands the sampled policy match the panel optimum exactly.
+  double max_lifetime_loss_fraction = 0.25;
+  // Oracle 2 tolerance: |drawn - accounted| <= max(2 J, drawn * frac).
+  double energy_tolerance_fraction = 0.03;
+  // Per-run horizon cap: long packs are truncated here so a fuzz sweep
+  // stays fast. Applied identically to every run of a case.
+  Duration horizon_cap = Hours(2.0);
+  bool shrink = true;
+  // Oracle evaluations the shrinker may spend per failing case.
+  int shrink_budget = 48;
+};
+
+// One sampled (or replayed) scenario: everything needed to re-run it.
+struct FuzzCase {
+  std::string pack;
+  PackParams overrides;  // Only the explicitly overridden knobs.
+  uint64_t seed = 0;     // Drives expansion jitter and rig noise.
+  DirectiveParameters directives;
+  FaultPlan faults;      // Empty = fault-free case.
+};
+
+struct FuzzViolation {
+  std::string oracle;  // Short tag: "soc-range", "ledger", "safety-trip", ...
+  std::string detail;
+  Duration time;
+};
+
+struct FuzzCaseReport {
+  FuzzCase sampled;                     // As drawn from the master seed.
+  std::vector<FuzzViolation> violations;
+  bool failed = false;
+  // One-line reproducer for the (shrunk, when shrinking is on) case.
+  std::string reproducer;
+  int shrink_steps = 0;                 // Accepted reductions.
+  uint64_t fingerprint = 0;
+};
+
+struct FuzzReport {
+  std::vector<FuzzCaseReport> cases;
+  uint64_t failures = 0;
+  uint64_t fingerprint = 0;  // Index-ordered merge of case digests.
+
+  bool ok() const { return failures == 0; }
+};
+
+// --- Reproducer lines --------------------------------------------------------
+
+// Serializes a case as one line of space-separated key=value tokens
+// (doubles printed with %.17g so Parse(Format(c)) round-trips exactly):
+//   pack=ev-burst seed=7 dch=0.5 chg=0.5 p:hours=2
+//       fseed=7 fault=open-circuit:120:300:1:0:1
+std::string FormatFuzzCase(const FuzzCase& fuzz_case);
+StatusOr<FuzzCase> ParseFuzzCase(const std::string& line);
+
+// A corpus is reproducer lines separated by newlines; '#' comments and
+// blank lines are skipped on parse.
+std::string FormatFuzzCorpus(const std::vector<FuzzCase>& cases);
+StatusOr<std::vector<FuzzCase>> ParseFuzzCorpus(const std::string& text);
+
+// --- Single-case machinery ---------------------------------------------------
+
+// Deterministically draws case `index` of a sweep: pure function of
+// (config packs/fault knobs, case_seed).
+FuzzCase SampleFuzzCase(const FuzzConfig& config, uint64_t case_seed);
+
+// Runs every oracle against one case. Empty result = case passes.
+std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
+                                            const FuzzConfig& config);
+
+// Greedy shrink against an arbitrary failure predicate (`fails` must be
+// true for `fuzz_case` itself). Tries, to a fixpoint or until `budget`
+// predicate evaluations are spent: dropping fault events one at a time,
+// reverting parameter overrides to pack defaults, then snapping directives
+// to 0.5. Returns the smallest still-failing case found.
+FuzzCase ShrinkFuzzCaseWith(const FuzzCase& fuzz_case,
+                            const std::function<bool(const FuzzCase&)>& fails,
+                            int budget, int* steps = nullptr);
+
+// Shrink against the real oracle suite.
+FuzzCase ShrinkFuzzCase(const FuzzCase& fuzz_case, const FuzzConfig& config,
+                        int* steps = nullptr);
+
+// --- The sweep ---------------------------------------------------------------
+
+// Samples and evaluates `config.cases` cases (case k from master_seed + k),
+// shrinking failures when configured. Rejects unknown pack names in
+// `config.packs` with InvalidArgument. Bit-identical for any `jobs`.
+StatusOr<FuzzReport> RunFuzz(const FuzzConfig& config);
+
+// Replays an explicit case list through the oracles (the --replay path).
+FuzzReport ReplayFuzzCases(const std::vector<FuzzCase>& cases,
+                           const FuzzConfig& config);
+
+}  // namespace sdb
+
+#endif  // SRC_EMU_FUZZ_H_

@@ -1,0 +1,111 @@
+// Scenario packs: named, parameterized workload families (ROADMAP item 5,
+// grown the way ydb's `workload` CLI grows load suites). A pack is a small
+// typed parameter surface (each knob declared with a default, a valid range
+// and a one-line description) plus an expander that turns resolved
+// parameters + a seed into a complete, runnable ScenarioSpec: batteries,
+// initial SoC, load/supply traces, SimConfig and policy directives.
+//
+// Registered families:
+//   * the paper's §5 consumer devices, re-registered (smartwatch-day,
+//     fastcharge-tablet, phone-day),
+//   * an Ni-MH ambient-sensor node (PAPERS.md, arXiv 0802.3053),
+//   * a dual-battery energy-harvesting duty cycle (arXiv 1801.03813),
+//   * an EV-like high-C burst profile, and
+//   * a laptop/2-in-1 docking week with mains supply during work hours.
+//
+// Determinism doctrine: expansion is a pure function of (pack, resolved
+// params, seed). All jitter draws from one Rng seeded from those inputs, so
+// equal seeds give bit-identical specs and Monte-Carlo sweeps over a pack
+// stay bit-identical at any --jobs value. Any pack's synthetic load can be
+// substituted by an external CSV power trace (src/emu/trace_io.h) without
+// touching the rest of the expansion.
+#ifndef SRC_EMU_SCENARIO_PACK_H_
+#define SRC_EMU_SCENARIO_PACK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/chem/battery_params.h"
+#include "src/chem/cell.h"
+#include "src/core/policy_db.h"
+#include "src/emu/simulator.h"
+#include "src/emu/trace.h"
+#include "src/util/status.h"
+
+namespace sdb {
+
+// One tunable knob of a pack. Values are plain doubles; the name carries
+// the unit (e.g. "burst_mw", "dock_hours") and the description spells it
+// out. Overrides outside [min_value, max_value] are rejected.
+struct PackParamSpec {
+  std::string name;
+  double default_value = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::string description;
+};
+
+// Resolved parameter assignment: every declared knob present exactly once.
+// Ordered map so iteration (and anything hashed from it) is deterministic.
+using PackParams = std::map<std::string, double>;
+
+// A fully expanded scenario, ready to assemble into a rig. Cells are
+// move-only, so the spec carries BatteryParams + SoC and rigs construct
+// fresh cells per run (BuildScenarioCells).
+struct ScenarioSpec {
+  std::string pack;                  // Originating pack name.
+  uint64_t seed = 0;
+  std::vector<BatteryParams> batteries;
+  std::vector<double> initial_soc;   // Parallel to `batteries`.
+  PowerTrace load;
+  PowerTrace supply;                 // Empty = always on battery.
+  SimConfig sim;                     // Tick/period/horizon; faults left empty.
+  DirectiveParameters directives;
+  // Largest sustained load the pack's cells can serve with margin; the
+  // fuzzer's safety oracle only applies to loads inside this envelope.
+  Power envelope;
+};
+
+struct ScenarioPack {
+  std::string name;
+  std::string description;
+  std::vector<PackParamSpec> params;
+  // Expander contract: `resolved` contains every declared param (validated
+  // by ResolvePackParams) and the result depends on (resolved, seed) alone.
+  ScenarioSpec (*expand)(const PackParams& resolved, uint64_t seed);
+};
+
+// The registry, in stable registration order (CLI listings, fuzz sampling
+// and bench sweeps all iterate it; order changes reshuffle fuzz corpora).
+const std::vector<ScenarioPack>& ScenarioPacks();
+
+// Lookup by name; nullptr when unknown.
+const ScenarioPack* FindScenarioPack(std::string_view name);
+
+// Merges `overrides` over the pack's defaults. Rejects unknown parameter
+// names (listing the valid ones) and out-of-range values (quoting the
+// allowed range) with InvalidArgument.
+StatusOr<PackParams> ResolvePackParams(const ScenarioPack& pack,
+                                       const PackParams& overrides);
+
+// One-call expansion: resolve + expand. When `load_override` is non-null
+// its trace replaces the pack's synthetic load (the external-trace
+// substitution path); the sim horizon follows the substituted trace.
+StatusOr<ScenarioSpec> ExpandScenario(const std::string& pack_name,
+                                      const PackParams& overrides, uint64_t seed,
+                                      const PowerTrace* load_override = nullptr);
+
+// Fresh cells for one run of the spec.
+std::vector<Cell> BuildScenarioCells(const ScenarioSpec& spec);
+
+// Convenience driver: assembles the default rig (microcontroller + runtime
+// with the spec's directives) and plays the spec's load/supply through it.
+// `seed_salt` perturbs the rig seed for Monte-Carlo sweeps.
+SimResult RunScenario(const ScenarioSpec& spec, uint64_t seed_salt = 0);
+
+}  // namespace sdb
+
+#endif  // SRC_EMU_SCENARIO_PACK_H_

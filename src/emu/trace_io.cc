@@ -46,6 +46,10 @@ StatusOr<PowerTrace> ParsePowerTraceCsv(const std::string& text) {
       header_seen = true;
       continue;
     }
+    if (line == "seconds,watts") {
+      return InvalidArgumentError("trace CSV line " + std::to_string(line_no) +
+                                  ": duplicate header");
+    }
     size_t comma = line.find(',');
     if (comma == std::string::npos) {
       return InvalidArgumentError("trace CSV line " + std::to_string(line_no) +

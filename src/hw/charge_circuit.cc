@@ -105,6 +105,11 @@ ChargeTick SdbChargeCircuit::Step(BatteryPack& pack, const std::vector<double>& 
     double bus = cell.OpenCircuitVoltage().value();
     supply_cap[i] =
         p_batt > 0.0 ? regulator_.InputFor(Watts(p_batt), Volts(bus)).value() : 0.0;
+    if (shares[i] <= 0.0) {
+      // A zero share is a deliberate exclusion (the safety mask programs 0
+      // to quarantine a battery): offer spill-over no headroom here.
+      supply_cap[i] = 0.0;
+    }
   }
 
   // Proportional split with spill-over to batteries still below their cap.

@@ -106,8 +106,12 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   // redistribute the excess across unclamped batteries.
   std::vector<double> avail(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    // A disconnected battery offers nothing, so spill-over routes around it.
-    avail[i] = pack.IsOpenCircuit(i) ? 0.0 : AvailablePower(pack.cell(i), dt).value();
+    // A disconnected battery offers nothing, and a zero-share battery was
+    // deliberately excluded (the safety mask programs 0 to quarantine a
+    // battery) — spill-over routes around both.
+    avail[i] = (pack.IsOpenCircuit(i) || realised[i] <= 0.0)
+                   ? 0.0
+                   : AvailablePower(pack.cell(i), dt).value();
   }
   std::vector<double> request(n, 0.0);
   for (size_t i = 0; i < n; ++i) {

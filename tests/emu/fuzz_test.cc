@@ -1,0 +1,245 @@
+#include "src/emu/fuzz.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+FuzzConfig ShortConfig() {
+  FuzzConfig config;
+  config.cases = 6;
+  config.horizon_cap = Minutes(10.0);
+  return config;
+}
+
+// The checked-in known-bad: on the heterogeneous phone pack shrunk to
+// 1000 mAh and a 3x load, a 0.05 discharging directive collapses the
+// fault-free lifetime to seconds while the 0.9 panel policy serves the
+// whole horizon. Any config with max_lifetime_loss_fraction = 0 flags it.
+constexpr char kKnownBadLine[] =
+    "pack=phone-day seed=5 dch=0.050000000000000003 chg=0.5 "
+    "p:capacity_mah=1000 p:scale=3";
+
+FuzzConfig StrictPolicyConfig() {
+  FuzzConfig config;
+  config.max_lifetime_loss_fraction = 0.0;
+  config.horizon_cap = Hours(2.0);
+  return config;
+}
+
+TEST(FuzzTest, SamplingIsDeterministic) {
+  FuzzConfig config = ShortConfig();
+  FuzzCase a = SampleFuzzCase(config, 17);
+  FuzzCase b = SampleFuzzCase(config, 17);
+  EXPECT_EQ(FormatFuzzCase(a), FormatFuzzCase(b));
+  FuzzCase c = SampleFuzzCase(config, 18);
+  EXPECT_NE(FormatFuzzCase(a), FormatFuzzCase(c));
+}
+
+TEST(FuzzTest, SamplingHonoursThePackFilter) {
+  FuzzConfig config = ShortConfig();
+  config.packs = {"ev-burst"};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(SampleFuzzCase(config, seed).pack, "ev-burst");
+  }
+}
+
+TEST(FuzzTest, SweepFingerprintIsJobsInvariant) {
+  FuzzConfig config = ShortConfig();
+  config.master_seed = 3;
+  std::vector<uint64_t> fingerprints;
+  for (int jobs : {1, 2, 8}) {
+    config.jobs = jobs;
+    auto report = RunFuzz(config);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    fingerprints.push_back(report->fingerprint);
+    ASSERT_EQ(report->cases.size(), 6u);
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(FuzzTest, SweepRejectsBadConfigs) {
+  FuzzConfig config = ShortConfig();
+  config.cases = 0;
+  EXPECT_FALSE(RunFuzz(config).ok());
+
+  config = ShortConfig();
+  config.packs = {"no-such-pack"};
+  auto report = RunFuzz(config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzTest, ReproducerLinesRoundTripExactly) {
+  FuzzConfig config = ShortConfig();
+  // Sampled cases cover the full grammar (overrides, fault plans, %.17g
+  // doubles); Parse(Format(c)) must reproduce the identical line.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    FuzzCase sampled = SampleFuzzCase(config, seed);
+    std::string line = FormatFuzzCase(sampled);
+    auto parsed = ParseFuzzCase(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().message();
+    EXPECT_EQ(FormatFuzzCase(*parsed), line);
+  }
+}
+
+TEST(FuzzTest, ReproducerSurvivesAwkwardDoubles) {
+  FuzzCase awkward;
+  awkward.pack = "ev-burst";
+  awkward.seed = 12345678901234567ULL;
+  awkward.directives.discharging = 0.1 + 0.2;  // 0.30000000000000004
+  awkward.directives.charging = 1.0 / 3.0;
+  awkward.overrides["cruise_w"] = 59.999999999999993;
+  awkward.faults.seed = 42;
+  awkward.faults.Add(FaultEvent{.kind = FaultClass::kGaugeBias,
+                                .start = Seconds(100.125),
+                                .end = Seconds(333.25),
+                                .battery = 1,
+                                .magnitude = 0.1 + 0.2,
+                                .probability = 0.7});
+  std::string line = FormatFuzzCase(awkward);
+  auto parsed = ParseFuzzCase(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->directives.discharging, awkward.directives.discharging);
+  EXPECT_EQ(parsed->overrides["cruise_w"], awkward.overrides["cruise_w"]);
+  ASSERT_EQ(parsed->faults.events.size(), 1u);
+  EXPECT_EQ(parsed->faults.events[0].magnitude, awkward.faults.events[0].magnitude);
+  EXPECT_EQ(FormatFuzzCase(*parsed), line);
+}
+
+TEST(FuzzTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParseFuzzCase("").ok());
+  EXPECT_FALSE(ParseFuzzCase("seed=1 dch=0.5 chg=0.5").ok());  // No pack.
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst seed=banana").ok());
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst seed=1 wat=1").ok());
+  EXPECT_FALSE(
+      ParseFuzzCase("pack=ev-burst seed=1 fault=not-a-kind:0:1:0:0:1").ok());
+}
+
+TEST(FuzzTest, CorpusRoundTripsWithCommentsAndBlanks) {
+  FuzzConfig config = ShortConfig();
+  std::vector<FuzzCase> cases = {SampleFuzzCase(config, 4),
+                                 SampleFuzzCase(config, 5)};
+  std::string corpus = "# header comment\n\n" + FormatFuzzCorpus(cases) + "\n";
+  auto parsed = ParseFuzzCorpus(corpus);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_EQ(parsed->size(), cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(FormatFuzzCase((*parsed)[i]), FormatFuzzCase(cases[i]));
+  }
+  EXPECT_FALSE(ParseFuzzCorpus("pack=\n").ok());
+}
+
+TEST(FuzzTest, ShrinkerConvergesOnASyntheticPredicate) {
+  // Failure depends only on the "keep_me" override; everything else is
+  // noise the shrinker must strip.
+  FuzzCase noisy;
+  noisy.pack = "ev-burst";
+  noisy.seed = 7;
+  noisy.directives.discharging = 0.8;
+  noisy.directives.charging = 0.2;
+  noisy.overrides["keep_me"] = 1.0;
+  noisy.overrides["drop_a"] = 2.0;
+  noisy.overrides["drop_b"] = 3.0;
+  noisy.faults.seed = 9;
+  for (int i = 0; i < 3; ++i) {
+    noisy.faults.Add(FaultEvent{.kind = FaultClass::kGaugeNoise,
+                                .start = Seconds(10.0 * i),
+                                .end = Seconds(10.0 * i + 5.0),
+                                .battery = 0,
+                                .magnitude = 2.0});
+  }
+  auto fails = [](const FuzzCase& c) {
+    return c.overrides.count("keep_me") > 0;
+  };
+  int steps = 0;
+  FuzzCase minimal = ShrinkFuzzCaseWith(noisy, fails, /*budget=*/64, &steps);
+  EXPECT_TRUE(fails(minimal));
+  EXPECT_TRUE(minimal.faults.empty());
+  EXPECT_EQ(minimal.overrides.size(), 1u);
+  EXPECT_EQ(minimal.overrides.count("keep_me"), 1u);
+  EXPECT_EQ(minimal.directives.discharging, 0.5);
+  EXPECT_EQ(minimal.directives.charging, 0.5);
+  EXPECT_GE(steps, 7);  // 3 events + 2 overrides + 2 directive snaps.
+}
+
+TEST(FuzzTest, ShrinkerRespectsTheBudget) {
+  FuzzCase noisy;
+  noisy.pack = "ev-burst";
+  for (int i = 0; i < 3; ++i) {
+    noisy.overrides["knob_" + std::to_string(i)] = 1.0;
+  }
+  int evals = 0;
+  auto fails = [&](const FuzzCase&) {
+    ++evals;
+    return true;
+  };
+  (void)ShrinkFuzzCaseWith(noisy, fails, /*budget=*/2, nullptr);
+  EXPECT_LE(evals, 2);
+}
+
+TEST(FuzzTest, CleanCaseHasNoViolations) {
+  FuzzConfig config = ShortConfig();
+  auto parsed = ParseFuzzCase("pack=ambient-sensor-nimh seed=4 dch=0.5 chg=0.5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(EvaluateFuzzCase(*parsed, config).empty());
+}
+
+TEST(FuzzTest, KnownBadIsFoundShrunkAndMinimal) {
+  FuzzConfig config = StrictPolicyConfig();
+  auto parsed = ParseFuzzCase(kKnownBadLine);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  // Bury the real trigger under a superfluous override and fault plan.
+  FuzzCase noisy = *parsed;
+  noisy.overrides["days"] = 0.5;
+  noisy.faults.seed = 8;
+  noisy.faults.Add(FaultEvent{.kind = FaultClass::kGaugeNoise,
+                              .start = Seconds(100.0),
+                              .end = Seconds(200.0),
+                              .battery = 0,
+                              .magnitude = 2.0});
+
+  std::vector<FuzzViolation> violations = EvaluateFuzzCase(noisy, config);
+  ASSERT_FALSE(violations.empty());
+  bool saw_policy = false;
+  for (const FuzzViolation& v : violations) {
+    saw_policy = saw_policy || v.oracle == "policy-regression";
+  }
+  EXPECT_TRUE(saw_policy);
+
+  int steps = 0;
+  FuzzCase minimal = ShrinkFuzzCase(noisy, config, &steps);
+  EXPECT_GE(steps, 2);  // Drops the fault event and the days override.
+  EXPECT_TRUE(minimal.faults.empty());
+  EXPECT_EQ(minimal.overrides.count("days"), 0u);
+  EXPECT_EQ(minimal.overrides.count("capacity_mah"), 1u);
+  EXPECT_EQ(minimal.overrides.count("scale"), 1u);
+  // Even the neutral 0.5 directive regresses against the 0.9 panel at zero
+  // tolerance, so the shrinker snaps dch and lands on the true minimum.
+  EXPECT_EQ(FormatFuzzCase(minimal),
+            "pack=phone-day seed=5 dch=0.5 chg=0.5 "
+            "p:capacity_mah=1000 p:scale=3");
+  EXPECT_FALSE(EvaluateFuzzCase(minimal, config).empty());
+}
+
+TEST(FuzzTest, KnownBadReplaysDeterministically) {
+  FuzzConfig config = StrictPolicyConfig();
+  auto parsed = ParseFuzzCase(kKnownBadLine);
+  ASSERT_TRUE(parsed.ok());
+  FuzzReport first = ReplayFuzzCases({*parsed}, config);
+  FuzzReport second = ReplayFuzzCases({*parsed}, config);
+  EXPECT_EQ(first.failures, 1u);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  ASSERT_EQ(first.cases.size(), 1u);
+  EXPECT_TRUE(first.cases[0].failed);
+  EXPECT_EQ(first.cases[0].reproducer, kKnownBadLine);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -57,6 +57,39 @@ TEST(TraceIoTest, MalformedRowsRejectedWithLineNumbers) {
   EXPECT_FALSE(zero_duration.ok());
 }
 
+TEST(TraceIoTest, DuplicateHeaderRejected) {
+  auto parsed = ParsePowerTraceCsv("seconds,watts\n5,1.0\nseconds,watts\n6,2.0\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate header"), std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, MissingTrailingNewlineAccepted) {
+  auto parsed = ParsePowerTraceCsv("seconds,watts\n5,1.0\n10,2.0");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->segments()[1].duration.value(), 10.0);
+}
+
+TEST(TraceIoTest, HeaderOnlyParsesToEmptyTrace) {
+  auto parsed = ParsePowerTraceCsv("seconds,watts\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceIoTest, MultiDayTraceRoundTrips) {
+  // >24 h of segments: the format must not lose precision on long horizons.
+  PowerTrace trace;
+  for (int hour = 0; hour < 30; ++hour) {
+    trace.Append(Hours(1.0), Watts(hour % 2 == 0 ? 0.25 : 1.5));
+  }
+  auto parsed = ParsePowerTraceCsv(FormatPowerTraceCsv(trace));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->TotalDuration().value(), trace.TotalDuration().value());
+  EXPECT_DOUBLE_EQ(parsed->TotalEnergy().value(), trace.TotalEnergy().value());
+}
+
 TEST(TraceIoTest, FileRoundTrip) {
   PowerTrace trace = PowerTrace::Constant(Watts(3.0), Minutes(2.0));
   std::string path = ::testing::TempDir() + "/sdb_trace_io_test.csv";

@@ -221,11 +221,11 @@ TEST(GoldenResultsTest, RecoveredSmartwatchDay) {
   EXPECT_FALSE(micro.awaiting_resync());
 
   ExpectGolden("recovered.elapsed_s", result.elapsed.value(), 86400);
-  ExpectGolden("recovered.delivered_j", result.delivered.value(), 4861.6346368019549);
-  ExpectGolden("recovered.battery_loss_j", result.battery_loss.value(), 369.95049915889666);
-  ExpectGolden("recovered.circuit_loss_j", result.circuit_loss.value(), 49.524055975684021);
+  ExpectGolden("recovered.delivered_j", result.delivered.value(), 4998.7499265913439);
+  ExpectGolden("recovered.battery_loss_j", result.battery_loss.value(), 231.48709984450721);
+  ExpectGolden("recovered.circuit_loss_j", result.circuit_loss.value(), 50.8333752979187);
   ExpectGolden("recovered.final_soc0", result.final_soc[0], 1.5997280192715183e-05);
-  ExpectGolden("recovered.final_soc1", result.final_soc[1], 4.6666983007259038e-06);
+  ExpectGolden("recovered.final_soc1", result.final_soc[1], 2.594591719200603e-05);
 }
 
 }  // namespace

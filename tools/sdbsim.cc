@@ -20,6 +20,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <variant>
 #include <vector>
@@ -29,7 +30,9 @@
 #include "src/core/optimizer.h"
 #include "src/core/runtime.h"
 #include "src/core/telemetry.h"
+#include "src/emu/fuzz.h"
 #include "src/emu/monte_carlo.h"
+#include "src/emu/scenario_pack.h"
 #include "src/emu/simulator.h"
 #include "src/emu/soak.h"
 #include "src/emu/trace_io.h"
@@ -172,6 +175,18 @@ struct Args {
   std::vector<std::string> faults;  // Fault specs for `faults`.
   std::string trace_out;    // Chrome trace JSON (for `trace`).
   std::string metrics_out;  // MetricsRegistry JSON, written by any command.
+  // `workload` / `fuzz` (scenario packs, ROADMAP item 5):
+  std::string pack_name;            // Positional pack name for `workload`.
+  std::vector<std::string> params;  // --param NAME=VALUE overrides.
+  bool list_packs = false;          // --list
+  std::string export_trace;         // --export-trace FILE.csv
+  int cases = 20;                   // --cases for `fuzz`.
+  std::string packs_csv;            // --packs a,b[,c] pack filter for `fuzz`.
+  double fault_prob = 0.5;          // --fault-prob
+  double max_loss_pct = 25.0;       // --max-loss-pct (policy oracle slack).
+  bool no_shrink = false;           // --no-shrink
+  std::string corpus_out;           // --corpus-out FILE
+  std::string replay_path;          // --replay FILE
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv) {
@@ -182,6 +197,11 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
+    // One positional operand: the scenario-pack name for `workload`.
+    if (!flag.empty() && flag[0] != '-' && args.pack_name.empty()) {
+      args.pack_name = flag;
+      continue;
+    }
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "sdbsim: %s needs a value\n", flag.c_str());
@@ -281,6 +301,34 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--metrics-out") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.metrics_out = value;
+    } else if (flag == "--param") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.params.push_back(value);
+    } else if (flag == "--list") {
+      args.list_packs = true;
+    } else if (flag == "--export-trace") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.export_trace = value;
+    } else if (flag == "--cases") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.cases = std::atoi(value);
+    } else if (flag == "--packs") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.packs_csv = value;
+    } else if (flag == "--fault-prob") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.fault_prob = std::atof(value);
+    } else if (flag == "--max-loss-pct") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.max_loss_pct = std::atof(value);
+    } else if (flag == "--no-shrink") {
+      args.no_shrink = true;
+    } else if (flag == "--corpus-out") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.corpus_out = value;
+    } else if (flag == "--replay") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.replay_path = value;
     } else {
       std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -289,43 +337,116 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// --- Command registry ---------------------------------------------------------
+//
+// One entry per subcommand; the overview table, the detailed usage text and
+// the dispatch in main() are all generated from this list, so a new command
+// cannot be added without showing up in `sdbsim` / `sdbsim help`.
+
+int CmdList(const Args& args);
+int CmdSimulate(const Args& args);
+int CmdSweep(const Args& args);
+int CmdFaults(const Args& args);
+int CmdSoak(const Args& args);
+int CmdTrace(const Args& args);
+int CmdPlanCharge(const Args& args);
+int CmdPlanDischarge(const Args& args);
+int CmdWorkload(const Args& args);
+int CmdFuzz(const Args& args);
+int CmdHelp(const Args& args);
+
+struct CommandInfo {
+  const char* name;
+  const char* summary;  // One line for the generated overview table.
+  const char* usage;    // Flag detail, printed under the overview.
+  int (*handler)(const Args& args);
+};
+
+const CommandInfo kCommands[] = {
+    {"list", "print the battery registry (names for --battery specs)",
+     "  sdbsim list\n", CmdList},
+    {"simulate", "play a load (constant or CSV trace) through one rig",
+     "  sdbsim simulate (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+     "         (--load-watts W --hours H | --trace FILE.csv)\n"
+     "         [--supply-watts W] [--soc F] [--tick S]\n"
+     "         [--discharge-directive F] [--charge-directive F]\n"
+     "         [--hourly-csv OUT.csv] [--seed N]\n",
+     CmdSimulate},
+    {"workload", "expand and run a named scenario pack",
+     "  sdbsim workload [PACK] [--list] [--param NAME=VALUE ...] [--seed N]\n"
+     "         [--trace FILE.csv] [--export-trace OUT.csv] [--hourly-csv OUT.csv]\n"
+     "         (--list alone tabulates the packs; with PACK it tabulates the\n"
+     "          pack's parameters; --trace substitutes an external CSV power\n"
+     "          trace for the pack's synthetic load)\n",
+     CmdWorkload},
+    {"fuzz", "seeded scenario fuzzer over pack x params x policy x faults",
+     "  sdbsim fuzz [--seed N] [--cases N] [--jobs N] [--packs A,B,..]\n"
+     "         [--fault-prob F] [--max-loss-pct PCT] [--hours H] [--no-shrink]\n"
+     "         [--corpus-out FILE] [--replay FILE]\n"
+     "         (failing cases shrink to one-line reproducers; --corpus-out\n"
+     "          saves them and --replay re-runs a saved corpus; exit 1 on any\n"
+     "          oracle violation)\n",
+     CmdFuzz},
+    {"sweep", "Monte-Carlo sweep over per-run seeds",
+     "  sdbsim sweep (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+     "         (--load-watts W --hours H | --trace FILE.csv)\n"
+     "         [--runs N] [--jobs N] [--seed N] [--soc F] [--tick S]\n"
+     "         [--discharge-directive F] [--charge-directive F]\n",
+     CmdSweep},
+    {"faults", "one run with an explicit fault schedule installed",
+     "  sdbsim faults (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
+     "         (--load-watts W --hours H | --trace FILE.csv)\n"
+     "         --fault KIND:START_H:END_H[:BATTERY[:MAGNITUDE[:PROB]]] [--fault ...]\n"
+     "         [--supply-watts W] [--soc F] [--tick S] [--seed N]\n"
+     "         [--discharge-directive F] [--charge-directive F]\n"
+     "         kinds: link-timeout link-corrupt-reply gauge-bias gauge-noise\n"
+     "                gauge-stuck regulator-collapse open-circuit thermal-trip\n"
+     "                micro-crash micro-brownout\n"
+     "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n",
+     CmdFaults},
+    {"soak", "randomized fault schedules with per-tick invariants",
+     "  sdbsim soak [--seed N] [--schedules N] [--hours H] [--jobs N]\n"
+     "         [--tick S] [--period MIN]\n"
+     "         (randomized fault schedules on the recovery rig;\n"
+     "          per-tick invariants; exit 1 on any violation)\n",
+     CmdSoak},
+    {"trace", "traced run exported as Chrome trace-event JSON",
+     "  sdbsim trace --trace-out RUN.json [--metrics-out METRICS.json]\n"
+     "         [--battery NAME[:MAH] ... | --pack FILE]\n"
+     "         [--load-watts W --hours H | --trace FILE.csv]\n"
+     "         [--soc F] [--tick S] [--seed N] [--runs N] [--jobs N]\n"
+     "         (defaults: smartwatch pack + synthetic watch day;\n"
+     "          open RUN.json in https://ui.perfetto.dev)\n",
+     CmdTrace},
+    {"plan-charge", "offline charge plan toward a deadline",
+     "  sdbsim plan-charge --battery NAME[:MAH] [--battery ...]\n"
+     "         --soc F --deadline-hours H [--target-soc F]\n",
+     CmdPlanCharge},
+    {"plan-discharge", "offline-optimal two-battery discharge plan",
+     "  sdbsim plan-discharge --battery A --battery B\n"
+     "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n",
+     CmdPlanDischarge},
+    {"help", "print this overview", "  sdbsim help\n", CmdHelp},
+};
+
 void PrintUsage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  sdbsim list\n"
-               "  sdbsim simulate (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
-               "         (--load-watts W --hours H | --trace FILE.csv)\n"
-               "         [--supply-watts W] [--soc F] [--tick S]\n"
-               "         [--discharge-directive F] [--charge-directive F]\n"
-               "         [--hourly-csv OUT.csv] [--seed N]\n"
-               "  sdbsim plan-charge --battery NAME[:MAH] [--battery ...]\n"
-               "         --soc F --deadline-hours H [--target-soc F]\n"
-               "  sdbsim plan-discharge --battery A --battery B\n"
-               "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n"
-               "  sdbsim sweep (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
-               "         (--load-watts W --hours H | --trace FILE.csv)\n"
-               "         [--runs N] [--jobs N] [--seed N] [--soc F] [--tick S]\n"
-               "         [--discharge-directive F] [--charge-directive F]\n"
-               "  sdbsim faults (--battery NAME[:MAH] [--battery ...] | --pack FILE)\n"
-               "         (--load-watts W --hours H | --trace FILE.csv)\n"
-               "         --fault KIND:START_H:END_H[:BATTERY[:MAGNITUDE[:PROB]]] [--fault ...]\n"
-               "         [--supply-watts W] [--soc F] [--tick S] [--seed N]\n"
-               "         [--discharge-directive F] [--charge-directive F]\n"
-               "         kinds: link-timeout link-corrupt-reply gauge-bias gauge-noise\n"
-               "                gauge-stuck regulator-collapse open-circuit thermal-trip\n"
-               "                micro-crash micro-brownout\n"
-               "         (BATTERY -1 = all; thermal-trip MAGNITUDE in deg C)\n"
-               "  sdbsim soak [--seed N] [--schedules N] [--hours H] [--jobs N]\n"
-               "         [--tick S] [--period MIN]\n"
-               "         (randomized fault schedules on the recovery rig;\n"
-               "          per-tick invariants; exit 1 on any violation)\n"
-               "  sdbsim trace --trace-out RUN.json [--metrics-out METRICS.json]\n"
-               "         [--battery NAME[:MAH] ... | --pack FILE]\n"
-               "         [--load-watts W --hours H | --trace FILE.csv]\n"
-               "         [--soc F] [--tick S] [--seed N] [--runs N] [--jobs N]\n"
-               "         (defaults: smartwatch pack + synthetic watch day;\n"
-               "          open RUN.json in https://ui.perfetto.dev)\n"
-               "  any command also accepts --metrics-out METRICS.json\n");
+  TextTable table({"command", "does"});
+  for (const CommandInfo& command : kCommands) {
+    table.AddRow({command.name, command.summary});
+  }
+  std::ostringstream overview;
+  table.Print(overview);
+  std::fprintf(stderr, "sdbsim — command-line driver for the SDB stack\n\n%s\nusage:\n",
+               overview.str().c_str());
+  for (const CommandInfo& command : kCommands) {
+    std::fprintf(stderr, "%s", command.usage);
+  }
+  std::fprintf(stderr, "  any command also accepts --metrics-out METRICS.json\n");
+}
+
+int CmdHelp(const Args&) {
+  PrintUsage();
+  return 0;
 }
 
 // --- Shared rig assembly ------------------------------------------------------
@@ -395,7 +516,7 @@ void PrintTelemetrySummary(const TelemetryRecorder& telemetry) {
 
 // --- Commands -----------------------------------------------------------------
 
-int CmdList() {
+int CmdList(const Args&) {
   TextTable table({"name", "chemistry", "default character"});
   table.AddRow({"type1", "LiFePO4", "power-tool cell: 10C discharge, 2000 cycles"});
   table.AddRow({"type2", "CoO2 standard", "everyday mobile cell"});
@@ -953,6 +1074,235 @@ int CmdPlanDischarge(const Args& args) {
   return plan.full_trace_served ? 0 : 1;
 }
 
+// --- Scenario packs (`workload`) ---------------------------------------------
+
+// Parses the --param NAME=VALUE overrides into a PackParams map.
+std::optional<PackParams> ParseParamOverrides(const Args& args) {
+  PackParams overrides;
+  for (const std::string& spec : args.params) {
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "sdbsim: --param wants NAME=VALUE, got '%s'\n", spec.c_str());
+      return std::nullopt;
+    }
+    overrides[spec.substr(0, eq)] = std::atof(spec.substr(eq + 1).c_str());
+  }
+  return overrides;
+}
+
+int ListPacks() {
+  TextTable table({"pack", "params", "description"});
+  for (const ScenarioPack& pack : ScenarioPacks()) {
+    table.AddRow({pack.name, std::to_string(pack.params.size()), pack.description});
+  }
+  table.Print(std::cout);
+  std::cout << "parameters: sdbsim workload PACK --list\n";
+  return 0;
+}
+
+int ListPackParams(const ScenarioPack& pack) {
+  std::printf("%s: %s\n", pack.name.c_str(), pack.description.c_str());
+  TextTable table({"param", "default", "min", "max", "description"});
+  for (const PackParamSpec& spec : pack.params) {
+    table.AddRow({spec.name, TextTable::Num(spec.default_value, 3),
+                  TextTable::Num(spec.min_value, 3), TextTable::Num(spec.max_value, 3),
+                  spec.description});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdWorkload(const Args& args) {
+  if (args.pack_name.empty()) {
+    if (args.list_packs) {
+      return ListPacks();
+    }
+    std::fprintf(stderr, "sdbsim: workload needs a pack name; registered packs:\n");
+    ListPacks();
+    return 2;
+  }
+  const ScenarioPack* pack = FindScenarioPack(args.pack_name);
+  if (pack == nullptr) {
+    std::fprintf(stderr, "sdbsim: unknown pack '%s'; registered packs:\n",
+                 args.pack_name.c_str());
+    ListPacks();
+    return 2;
+  }
+  if (args.list_packs) {
+    return ListPackParams(*pack);
+  }
+  std::optional<PackParams> overrides = ParseParamOverrides(args);
+  if (!overrides.has_value()) {
+    return 2;
+  }
+  // Optional external-trace substitution for the pack's synthetic load.
+  std::optional<PowerTrace> substituted;
+  if (!args.trace_path.empty()) {
+    auto trace = ReadPowerTraceFile(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    substituted = *std::move(trace);
+  }
+  StatusOr<ScenarioSpec> expanded =
+      ExpandScenario(args.pack_name, *overrides, args.seed,
+                     substituted.has_value() ? &*substituted : nullptr);
+  if (!expanded.ok()) {
+    std::fprintf(stderr, "sdbsim: %s\n", expanded.status().ToString().c_str());
+    return 2;
+  }
+  const ScenarioSpec& spec = *expanded;
+  std::printf("pack %s (seed %llu): %zu batteries, load %.2f h / peak %.2f W / "
+              "%.1f kJ%s, envelope %.2f W\n",
+              spec.pack.c_str(), static_cast<unsigned long long>(spec.seed),
+              spec.batteries.size(), ToHours(spec.load.TotalDuration()),
+              spec.load.PeakPower().value(), spec.load.TotalEnergy().value() / 1000.0,
+              substituted.has_value() ? " (substituted trace)" : "",
+              spec.envelope.value());
+  for (size_t i = 0; i < spec.batteries.size(); ++i) {
+    std::printf("  battery %zu: %s, %.0f mAh, initial SoC %.0f%%\n", i,
+                spec.batteries[i].name.c_str(),
+                1000.0 * ToAmpHours(spec.batteries[i].nominal_capacity),
+                100.0 * spec.initial_soc[i]);
+  }
+  if (!args.export_trace.empty()) {
+    Status written = WritePowerTraceFile(spec.load, args.export_trace);
+    if (!written.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::printf("load trace written to %s\n", args.export_trace.c_str());
+  }
+
+  SimResult result = RunScenario(spec);
+  std::printf("simulated %.2f h; delivered %.1f kJ; losses %.1f J battery + %.1f J "
+              "circuit; charged %.1f kJ\n",
+              ToHours(result.elapsed), result.delivered.value() / 1000.0,
+              result.battery_loss.value(), result.circuit_loss.value(),
+              result.charged.value() / 1000.0);
+  if (result.first_shortfall.has_value()) {
+    std::printf("load first unmet at %.2f h\n", ToHours(*result.first_shortfall));
+  } else {
+    std::printf("load fully served\n");
+  }
+  for (size_t i = 0; i < result.final_soc.size(); ++i) {
+    std::printf("battery %zu (%s): final SoC %.1f%%\n", i,
+                spec.batteries[i].name.c_str(), 100.0 * result.final_soc[i]);
+  }
+  if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
+    return 2;
+  }
+  return result.first_shortfall.has_value() ? 1 : 0;
+}
+
+// --- Scenario fuzzer (`fuzz`) ------------------------------------------------
+
+void PrintFuzzReport(const FuzzReport& report) {
+  TextTable table({"case", "seed", "pack", "faults", "violations", "shrink", "status"});
+  for (size_t i = 0; i < report.cases.size(); ++i) {
+    const FuzzCaseReport& c = report.cases[i];
+    table.AddRow({std::to_string(i), std::to_string(c.sampled.seed), c.sampled.pack,
+                  std::to_string(c.sampled.faults.events.size()),
+                  std::to_string(c.violations.size()), std::to_string(c.shrink_steps),
+                  c.failed ? "FAILED" : "ok"});
+  }
+  table.Print(std::cout);
+  for (const FuzzCaseReport& c : report.cases) {
+    for (const FuzzViolation& v : c.violations) {
+      std::printf("violation: seed %llu at %.1f s [%s] %s\n",
+                  static_cast<unsigned long long>(c.sampled.seed), v.time.value(),
+                  v.oracle.c_str(), v.detail.c_str());
+    }
+    if (c.failed) {
+      std::printf("reproducer: %s\n", c.reproducer.c_str());
+    }
+  }
+  std::printf("fuzz fingerprint: %016llx (%llu failing case(s))\n",
+              static_cast<unsigned long long>(report.fingerprint),
+              static_cast<unsigned long long>(report.failures));
+}
+
+int CmdFuzz(const Args& args) {
+  FuzzConfig config;
+  config.master_seed = args.seed;
+  config.cases = args.cases;
+  config.jobs = args.jobs;
+  config.fault_probability = args.fault_prob;
+  config.max_lifetime_loss_fraction = args.max_loss_pct / 100.0;
+  config.shrink = !args.no_shrink;
+  if (args.hours > 0.0) {
+    config.horizon_cap = Hours(args.hours);
+  }
+  if (!args.packs_csv.empty()) {
+    size_t pos = 0;
+    while (pos <= args.packs_csv.size()) {
+      size_t comma = args.packs_csv.find(',', pos);
+      if (comma == std::string::npos) {
+        config.packs.push_back(args.packs_csv.substr(pos));
+        break;
+      }
+      config.packs.push_back(args.packs_csv.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+  }
+
+  FuzzReport report;
+  if (!args.replay_path.empty()) {
+    std::ifstream in(args.replay_path);
+    if (!in) {
+      std::fprintf(stderr, "sdbsim: cannot open corpus '%s'\n", args.replay_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    StatusOr<std::vector<FuzzCase>> corpus = ParseFuzzCorpus(text.str());
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", corpus.status().ToString().c_str());
+      return 2;
+    }
+    if (corpus->empty()) {
+      std::fprintf(stderr, "sdbsim: corpus '%s' has no cases\n", args.replay_path.c_str());
+      return 2;
+    }
+    std::printf("fuzz replay: %zu case(s) from %s, jobs %d\n", corpus->size(),
+                args.replay_path.c_str(), config.jobs);
+    report = ReplayFuzzCases(*corpus, config);
+  } else {
+    std::printf("fuzz: %d case(s), master seed %llu, jobs %d, fault-prob %.2f, "
+                "max-loss %.0f%%, horizon cap %.2f h\n",
+                config.cases, static_cast<unsigned long long>(config.master_seed),
+                config.jobs, config.fault_probability, args.max_loss_pct,
+                ToHours(config.horizon_cap));
+    StatusOr<FuzzReport> swept = RunFuzz(config);
+    if (!swept.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", swept.status().ToString().c_str());
+      return 2;
+    }
+    report = *std::move(swept);
+  }
+  PrintFuzzReport(report);
+
+  if (!args.corpus_out.empty()) {
+    std::ofstream out(args.corpus_out);
+    if (!out) {
+      std::fprintf(stderr, "sdbsim: cannot write %s\n", args.corpus_out.c_str());
+      return 2;
+    }
+    out << "# sdb fuzz corpus: one reproducer per line (sdbsim fuzz --replay)\n";
+    size_t written = 0;
+    for (const FuzzCaseReport& c : report.cases) {
+      if (c.failed) {
+        out << c.reproducer << "\n";
+        ++written;
+      }
+    }
+    std::printf("corpus: %zu failing reproducer(s) written to %s\n", written,
+                args.corpus_out.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -962,27 +1312,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   int rc = -1;
-  if (args->command == "list") {
-    rc = CmdList();
-  } else if (args->command == "simulate") {
-    rc = CmdSimulate(*args);
-  } else if (args->command == "sweep") {
-    rc = CmdSweep(*args);
-  } else if (args->command == "faults") {
-    rc = CmdFaults(*args);
-  } else if (args->command == "soak") {
-    rc = CmdSoak(*args);
-  } else if (args->command == "trace") {
-    rc = CmdTrace(*args);
-  } else if (args->command == "plan-charge") {
-    rc = CmdPlanCharge(*args);
-  } else if (args->command == "plan-discharge") {
-    rc = CmdPlanDischarge(*args);
-  } else {
+  const CommandInfo* command = nullptr;
+  for (const CommandInfo& candidate : kCommands) {
+    if (args->command == candidate.name) {
+      command = &candidate;
+    }
+  }
+  if (command == nullptr) {
     std::fprintf(stderr, "sdbsim: unknown command '%s'\n", args->command.c_str());
     PrintUsage();
     return 2;
   }
+  rc = command->handler(*args);
   // Any command can dump the process-wide metrics registry on exit.
   if (!args->metrics_out.empty()) {
     std::ofstream out(args->metrics_out);
