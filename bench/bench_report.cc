@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "src/obs/event.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -40,6 +42,20 @@ std::string JsonNumber(double v) {
 
 }  // namespace
 
+BenchBuildInfo BuildInfoFromEnv() {
+  BenchBuildInfo info;
+  const char* threads = std::getenv("SDB_THREADS");
+  if (threads != nullptr && threads[0] != '\0') {
+    int n = std::atoi(threads);
+    if (n > 0) {
+      info.sdb_threads = n;
+    }
+  }
+  info.tracing = SDB_TRACING != 0;
+  info.journal = SDB_JOURNAL != 0;
+  return info;
+}
+
 void BenchReport::AddMetric(const std::string& name, double value) {
   for (auto& [existing, v] : metrics) {
     if (existing == name) {
@@ -65,6 +81,9 @@ std::string ToJson(const BenchReport& report) {
      << ",\"git_sha\":\"" << JsonEscape(report.git_sha) << "\""
      << ",\"jobs\":" << report.jobs << ",\"runs\":" << report.runs
      << ",\"reps\":" << report.reps << ",\"wall_s\":" << JsonNumber(report.wall_s)
+     << ",\"build\":{\"sdb_threads\":" << report.build.sdb_threads
+     << ",\"tracing\":" << (report.build.tracing ? 1 : 0)
+     << ",\"journal\":" << (report.build.journal ? 1 : 0) << "}"
      << ",\"metrics\":{";
   bool first = true;
   for (const auto& [name, value] : report.metrics) {

@@ -4,7 +4,9 @@
 // without scraping stdout. The schema is deliberately flat:
 //
 //   {"bench": "monte_carlo", "git_sha": "...", "jobs": 8, "runs": 24,
-//    "reps": 3, "wall_s": 0.7, "metrics": {"cell_steps_per_s": 4.2e7, ...}}
+//    "reps": 3, "wall_s": 0.7,
+//    "build": {"sdb_threads": 0, "tracing": 1, "journal": 1},
+//    "metrics": {"cell_steps_per_s": 4.2e7, ...}}
 //
 // Timing doctrine (same as tools `check_overhead.py`): report the MINIMUM
 // wall time across reps, never the mean — the minimum is the run least
@@ -22,6 +24,19 @@
 namespace sdb {
 namespace bench {
 
+// The build/runtime configuration the numbers were measured under,
+// serialized as the report's top-level "build" object so a report diff
+// surfaces apples-vs-oranges comparisons (journal-on vs journal-off bench,
+// SDB_THREADS cap) immediately instead of as an unexplained perf delta.
+struct BenchBuildInfo {
+  int sdb_threads = 0;    // SDB_THREADS env (0 = unset, hardware decides).
+  bool tracing = false;   // Span tracing compiled in (SDB_TRACING)?
+  bool journal = false;   // Flight-recorder journal compiled in (SDB_JOURNAL)?
+};
+
+// The environment + compile-time flags of the calling binary.
+BenchBuildInfo BuildInfoFromEnv();
+
 struct BenchReport {
   std::string bench;              // Short bench id, e.g. "monte_carlo".
   std::string git_sha = "unknown";
@@ -29,6 +44,7 @@ struct BenchReport {
   int runs = 0;                   // Scenario seeds per sweep (bench-defined).
   int reps = 0;                   // Timing repetitions folded by min-of-reps.
   double wall_s = 0.0;            // Headline min-of-reps wall time.
+  BenchBuildInfo build = BuildInfoFromEnv();
   // Named scalar metrics, serialized in insertion order so reports diff
   // cleanly. Use AddMetric; duplicate names overwrite in place.
   std::vector<std::pair<std::string, double>> metrics;

@@ -5,6 +5,7 @@
 
 #include "src/core/allocator.h"
 #include "src/hw/command_link.h"
+#include "src/obs/event.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
@@ -62,6 +63,48 @@ Energy RemainingEnergy(const BatteryParams& params, double soc, Charge capacity)
   return Joules(sum * h * capacity.value());
 }
 
+#if SDB_JOURNAL
+// Renders a ratio vector in its JSONL wire form ("[0.5,0.5]"). Policy-switch
+// detection compares these strings — JsonNumber round-trips doubles exactly,
+// so this is change detection on the journaled representation itself.
+std::string FormatRatios(const std::vector<double>& ratios) {
+  std::string out = "[";
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += obs::JsonNumber(ratios[i]);
+  }
+  out += "]";
+  return out;
+}
+#endif  // SDB_JOURNAL
+
+// Journals a policy-switch decision when the programmed ratio vector changed,
+// carrying both the previous and new ratios plus the blend weight that
+// produced them.
+void JournalPolicyDecision(double t_s, const char* side, const std::vector<double>& prev,
+                           const std::vector<double>& next, double weight) {
+#if SDB_JOURNAL
+  if (!obs::JournalActive()) {
+    return;
+  }
+  std::string prev_str = FormatRatios(prev);
+  std::string next_str = FormatRatios(next);
+  if (prev_str == next_str) {
+    return;
+  }
+  obs::EmitEvent(obs::EventKind::kPolicyDecision, t_s, -1, side,
+                 prev_str + " -> " + next_str, weight);
+#else
+  (void)t_s;
+  (void)side;
+  (void)prev;
+  (void)next;
+  (void)weight;
+#endif
+}
+
 }  // namespace
 
 SdbRuntime::SdbRuntime(SdbMicrocontroller* micro, RuntimeConfig config)
@@ -82,11 +125,29 @@ SdbRuntime::SdbRuntime(SdbMicrocontroller* micro, RuntimeConfig config)
 }
 
 void SdbRuntime::SetChargingDirective(double value) {
-  blended_charge_.set_weight(Clamp(value, 0.0, 1.0));
+  double clamped = Clamp(value, 0.0, 1.0);
+#if SDB_JOURNAL
+  // Change detection on the journaled representation (JsonNumber round-trips
+  // doubles exactly), so a repeated set of the same weight stays silent.
+  if (obs::JournalActive() &&
+      obs::JsonNumber(clamped) != obs::JsonNumber(blended_charge_.weight())) {
+    obs::EmitEvent(obs::EventKind::kDirectiveChange, elapsed_.value(), -1, "charging",
+                   std::string(), clamped, blended_charge_.weight());
+  }
+#endif
+  blended_charge_.set_weight(clamped);
 }
 
 void SdbRuntime::SetDischargingDirective(double value) {
-  blended_discharge_.set_weight(Clamp(value, 0.0, 1.0));
+  double clamped = Clamp(value, 0.0, 1.0);
+#if SDB_JOURNAL
+  if (obs::JournalActive() &&
+      obs::JsonNumber(clamped) != obs::JsonNumber(blended_discharge_.weight())) {
+    obs::EmitEvent(obs::EventKind::kDirectiveChange, elapsed_.value(), -1, "discharging",
+                   std::string(), clamped, blended_discharge_.weight());
+  }
+#endif
+  blended_discharge_.set_weight(clamped);
 }
 
 void SdbRuntime::SetDirectives(DirectiveParameters params) {
@@ -211,6 +272,7 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     micro_->Resync();
     ++resilience_.resyncs;
     GlobalResilienceMetrics().resyncs->Increment();
+    SDB_JOURNAL_EVENT(obs::EventKind::kResync, elapsed_.value(), -1, "direct-resync");
   }
   // Query the battery status, retrying over a flaky link; while the link
   // stays down, plan from the last good status rather than crashing the
@@ -265,6 +327,10 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
       SDB_TRACE_SPAN("core", "runtime.quarantine");
       ++resilience_.quarantines;
       GlobalResilienceMetrics().quarantines->Increment();
+      SDB_JOURNAL_EVENT(obs::EventKind::kQuarantine, elapsed_.value(),
+                        static_cast<int>(i),
+                        (safety != nullptr && safety->IsFaulted(i)) ? "safety"
+                                                                    : "telemetry");
       if (ramping) {
         ramp_[i] = 0.0;  // A future return starts from zero share.
       }
@@ -272,6 +338,8 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
       SDB_TRACE_SPAN("core", "runtime.reintegrate");
       ++resilience_.reintegrations;
       GlobalResilienceMetrics().reintegrations->Increment();
+      SDB_JOURNAL_EVENT(obs::EventKind::kReintegrate, elapsed_.value(),
+                        static_cast<int>(i), ramping ? "ramped" : "immediate");
       if (!ramping) {
         ramp_[i] = 1.0;  // No ramp: rejoin at full share immediately.
       }
@@ -284,9 +352,13 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
   if (now_degraded && !degraded_) {
     ++resilience_.degraded_entries;
     GlobalResilienceMetrics().degraded_entries->Increment();
+    SDB_JOURNAL_EVENT(obs::EventKind::kDegradedEnter, elapsed_.value(), -1,
+                      std::string(), std::string(), static_cast<double>(masked));
   } else if (!now_degraded && degraded_) {
     ++resilience_.degraded_exits;
     GlobalResilienceMetrics().degraded_exits->Increment();
+    SDB_JOURNAL_EVENT(obs::EventKind::kDegradedExit, elapsed_.value(), -1,
+                      std::string(), std::string(), static_cast<double>(masked));
   }
   degraded_ = now_degraded;
 
@@ -310,12 +382,16 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     }
     if (link_ != nullptr) {
       if (link_->SetDischargeRatios(d).ok()) {
+        JournalPolicyDecision(elapsed_.value(), "discharge", last_discharge_ratios_, d,
+                              blended_discharge_.weight());
         last_discharge_ratios_ = d;
       }
       // A failed set keeps the previous ratios programmed; the next healthy
       // Update reprograms them.
     } else {
       SDB_RETURN_IF_ERROR(micro_->SetDischargeRatios(d));
+      JournalPolicyDecision(elapsed_.value(), "discharge", last_discharge_ratios_, d,
+                            blended_discharge_.weight());
       last_discharge_ratios_ = d;
     }
   }
@@ -337,10 +413,14 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
     }
     if (link_ != nullptr) {
       if (link_->SetChargeRatios(c).ok()) {
+        JournalPolicyDecision(elapsed_.value(), "charge", last_charge_ratios_, c,
+                              blended_charge_.weight());
         last_charge_ratios_ = c;
       }
     } else {
       SDB_RETURN_IF_ERROR(micro_->SetChargeRatios(c));
+      JournalPolicyDecision(elapsed_.value(), "charge", last_charge_ratios_, c,
+                            blended_charge_.weight());
       last_charge_ratios_ = c;
     }
   }

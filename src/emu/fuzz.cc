@@ -300,8 +300,15 @@ FuzzCase SampleFuzzCase(const FuzzConfig& config, uint64_t case_seed) {
 
 // --- Oracles -----------------------------------------------------------------
 
-std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
-                                            const FuzzConfig& config) {
+std::vector<FuzzViolation> EvaluateFuzzCase(
+    const FuzzCase& fuzz_case, const FuzzConfig& config,
+    std::vector<obs::JournalEvent>* journal) {
+  // Hermetic journaling: the case plays under its own journal (or none at
+  // all), never the caller's — shrink evaluations stay silent under an
+  // installed process journal, and a captured journal holds exactly this
+  // case's events regardless of which worker thread ran it.
+  obs::EventJournal local_journal;
+  obs::JournalScope journal_scope(journal != nullptr ? &local_journal : nullptr);
   std::vector<FuzzViolation> violations;
   uint64_t dropped = 0;
   auto add = [&](Duration at, const char* oracle, std::string detail) {
@@ -309,6 +316,8 @@ std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
       ++dropped;
       return;
     }
+    SDB_JOURNAL_EVENT(obs::EventKind::kOracleVerdict, at.value(), -1, oracle,
+                      detail);
     violations.push_back(FuzzViolation{oracle, std::move(detail), at});
   };
 
@@ -316,6 +325,9 @@ std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
       ExpandScenario(fuzz_case.pack, fuzz_case.overrides, fuzz_case.seed);
   if (!expanded.ok()) {
     add(Seconds(0.0), "expand", std::string(expanded.status().message()));
+    if (journal != nullptr) {
+      *journal = local_journal.Snapshot();
+    }
     return violations;
   }
   const ScenarioSpec& spec = *expanded;
@@ -488,6 +500,9 @@ std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
   if (dropped > 0) {
     violations.back().detail += " (+" + std::to_string(dropped) + " dropped)";
   }
+  if (journal != nullptr) {
+    *journal = local_journal.Snapshot();
+  }
   return violations;
 }
 
@@ -573,7 +588,7 @@ FuzzCaseReport BuildCaseReport(FuzzCase sampled, const FuzzConfig& config,
                                bool shrink) {
   FuzzCaseReport report;
   report.sampled = std::move(sampled);
-  report.violations = EvaluateFuzzCase(report.sampled, config);
+  report.violations = EvaluateFuzzCase(report.sampled, config, &report.journal);
   report.failed = !report.violations.empty();
   if (report.failed) {
     FuzzCase minimal = shrink
@@ -581,6 +596,12 @@ FuzzCaseReport BuildCaseReport(FuzzCase sampled, const FuzzConfig& config,
                                             &report.shrink_steps)
                            : report.sampled;
     report.reproducer = FormatFuzzCase(minimal);
+    if (report.reproducer != FormatFuzzCase(report.sampled)) {
+      // The journal should narrate the case the reproducer line replays, so
+      // re-run the shrunk case once with capture. The violations (and the
+      // fingerprint they feed) stay those of the sampled case.
+      EvaluateFuzzCase(minimal, config, &report.journal);
+    }
   }
   uint64_t h = MixU64(0, report.sampled.seed);
   h = MixU64(h, HashString(FormatFuzzCase(report.sampled)));

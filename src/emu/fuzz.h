@@ -27,6 +27,7 @@
 #include "src/core/policy_db.h"
 #include "src/emu/scenario_pack.h"
 #include "src/hw/fault.h"
+#include "src/obs/event.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
 
@@ -79,6 +80,11 @@ struct FuzzCaseReport {
   std::string reproducer;
   int shrink_steps = 0;                 // Accepted reductions.
   uint64_t fingerprint = 0;
+  // Flight-recorder journal of the failing run (fault windows, safety trips,
+  // oracle verdicts, ...): the shrunk case when shrinking reduced it, else
+  // the sampled case, so the journal narrates what the reproducer replays.
+  // Deterministic per case; NOT part of the fingerprint.
+  std::vector<obs::JournalEvent> journal;
 };
 
 struct FuzzReport {
@@ -109,9 +115,13 @@ StatusOr<std::vector<FuzzCase>> ParseFuzzCorpus(const std::string& text);
 // (config packs/fault knobs, case_seed).
 FuzzCase SampleFuzzCase(const FuzzConfig& config, uint64_t case_seed);
 
-// Runs every oracle against one case. Empty result = case passes.
-std::vector<FuzzViolation> EvaluateFuzzCase(const FuzzCase& fuzz_case,
-                                            const FuzzConfig& config);
+// Runs every oracle against one case. Empty result = case passes. When
+// `journal` is non-null the run is played under a private flight-recorder
+// journal whose snapshot lands in `*journal`; either way the evaluation is
+// hermetic — it never emits into a journal installed by the caller.
+std::vector<FuzzViolation> EvaluateFuzzCase(
+    const FuzzCase& fuzz_case, const FuzzConfig& config,
+    std::vector<obs::JournalEvent>* journal = nullptr);
 
 // Greedy shrink against an arbitrary failure predicate (`fails` must be
 // true for `fuzz_case` itself). Tries, to a fixpoint or until `budget`

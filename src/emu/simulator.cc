@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "src/obs/event.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 
@@ -13,6 +19,31 @@ Simulator::Simulator(SdbRuntime* runtime, SimConfig config)
   SDB_CHECK(runtime_ != nullptr);
   SDB_CHECK(config_.tick.value() > 0.0);
   SDB_CHECK(config_.runtime_period.value() >= config_.tick.value());
+}
+
+void Simulator::SampleTimeline(obs::Timeline& timeline, Duration now,
+                               const MicroTick& tick) const {
+  const SdbMicrocontroller* micro = runtime_->microcontroller();
+  const size_t n = micro->battery_count();
+  std::vector<std::pair<std::string, double>> row;
+  row.reserve(3 * n + 12);
+  for (size_t i = 0; i < n; ++i) {
+    const Cell& cell = micro->pack().cell(i);
+    std::string prefix = "b" + std::to_string(i);
+    row.emplace_back(prefix + ".soc", cell.soc());
+    row.emplace_back(prefix + ".temp_k", cell.thermal().temperature().value());
+    double share = i < tick.discharge.realised_shares.size()
+                       ? tick.discharge.realised_shares[i]
+                       : 0.0;
+    row.emplace_back(prefix + ".share", share);
+  }
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("sdb.runtime.", 0) == 0) {
+      row.emplace_back(name, static_cast<double>(value));
+    }
+  }
+  timeline.Sample(now.value(), row);
 }
 
 SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
@@ -62,6 +93,9 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
     if (config_.on_tick != nullptr) {
       config_.on_tick(tick, Seconds(t));
     }
+    if (config_.timeline != nullptr && config_.timeline->Due(t)) {
+      SampleTimeline(*config_.timeline, Seconds(t), tick);
+    }
 
     // Energy ledger.
     double delivered_j = tick.discharge.delivered.value() * tick_s;
@@ -100,10 +134,13 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
         result.depletion_time[i] = Seconds(t);
         result.events.push_back(
             SimEvent{SimEventKind::kBatteryDepleted, Seconds(t), static_cast<int>(i)});
+        SDB_JOURNAL_EVENT(obs::EventKind::kSimEvent, t, static_cast<int>(i),
+                          "battery-depleted");
       }
     }
     if (transfer_was_active && !micro->transfer_active()) {
       result.events.push_back(SimEvent{SimEventKind::kTransferEnded, Seconds(t), -1});
+      SDB_JOURNAL_EVENT(obs::EventKind::kSimEvent, t, -1, "transfer-ended");
     }
     transfer_was_active = micro->transfer_active();
 
@@ -111,6 +148,9 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
       if (!result.first_shortfall.has_value()) {
         result.first_shortfall = Seconds(t);
         result.events.push_back(SimEvent{SimEventKind::kLoadShortfall, Seconds(t), -1});
+        SDB_JOURNAL_EVENT(obs::EventKind::kSimEvent, t, -1, "load-shortfall",
+                          std::string(), tick.discharge.delivered.value(),
+                          p_load.value());
       }
       if (config_.stop_on_shortfall) {
         break;

@@ -18,6 +18,10 @@
 
 namespace sdb {
 
+namespace obs {
+class Timeline;
+}  // namespace obs
+
 struct SimConfig {
   Duration tick = Seconds(1.0);             // Hardware step.
   Duration runtime_period = Seconds(60.0);  // Policy re-plan period.
@@ -34,6 +38,10 @@ struct SimConfig {
   // outcome and the post-step simulated time. Lets harnesses (the soak
   // invariant checker) audit every tick without forking the driver loop.
   std::function<void(const MicroTick&, Duration now)> on_tick;
+  // Optional metrics timeline, sampled by Run() on the timeline's own
+  // sim-time cadence: per-battery SoC/temperature/realised share plus the
+  // sdb.runtime.* counters. Not owned; nullptr disables sampling.
+  obs::Timeline* timeline = nullptr;
 };
 
 enum class SimEventKind {
@@ -94,6 +102,10 @@ class Simulator {
   SimResult RunChargeOnly(Power supply, Duration timeout);
 
  private:
+  // Appends one timeline row at `now`: per-battery SoC/temperature/realised
+  // share plus the sdb.runtime.* counters.
+  void SampleTimeline(obs::Timeline& timeline, Duration now, const MicroTick& tick) const;
+
   SdbRuntime* runtime_;
   SimConfig config_;
 };

@@ -107,6 +107,9 @@ RigOutcome RunRig(const SoakConfig& config, uint64_t seed, const FaultPlan* plan
     if (report == nullptr) {
       return;
     }
+    // Every breach lands in the journal (the ring out-sizes the violation
+    // cap, so dropped violations stay visible in a post-mortem bundle).
+    SDB_JOURNAL_EVENT(obs::EventKind::kOracleVerdict, at.value(), -1, tag, detail);
     if (report->violations.size() >= kMaxViolationsPerSchedule) {
       ++report->violations_dropped;
       return;
@@ -246,6 +249,10 @@ RigOutcome RunRig(const SoakConfig& config, uint64_t seed, const FaultPlan* plan
 }
 
 SoakScheduleReport RunOneSchedule(const SoakConfig& config, uint64_t seed) {
+  // Hermetic: the schedule never emits into a journal installed by the
+  // caller (the --flight-out process journal when a slot runs inline), so
+  // what an outer journal holds cannot depend on work distribution.
+  obs::JournalScope silence(nullptr);
   SoakScheduleReport report;
   report.seed = seed;
   FaultPlan plan =
@@ -255,6 +262,11 @@ SoakScheduleReport RunOneSchedule(const SoakConfig& config, uint64_t seed) {
   // The never-faulted twin of the same rig gives the steady-state
   // allocation the faulted run must converge back to (invariant 6).
   RigOutcome baseline = RunRig(config, seed, nullptr, nullptr);
+  // The faulted run records into a per-schedule journal; each schedule runs
+  // start-to-finish on one worker thread, so the captured event sequence is
+  // independent of the --jobs value.
+  obs::EventJournal journal;
+  obs::JournalScope journal_scope(&journal);
   RigOutcome faulted = RunRig(config, seed, &plan, &report);
 
   report.completed = faulted.completed;
@@ -275,11 +287,16 @@ SoakScheduleReport RunOneSchedule(const SoakConfig& config, uint64_t seed) {
     report.violations.push_back(SoakViolation{
         seed, config.horizon, "no-recovery",
         "supervisor/runtime/controller still unhealthy at end of horizon"});
+    SDB_JOURNAL_EVENT(obs::EventKind::kOracleVerdict, config.horizon.value(), -1,
+                      "no-recovery", report.violations.back().detail);
   } else if (report.max_share_delta > config.convergence_tolerance) {
     report.violations.push_back(SoakViolation{
         seed, config.horizon, "convergence",
         "max share delta " + std::to_string(report.max_share_delta) + " vs baseline"});
+    SDB_JOURNAL_EVENT(obs::EventKind::kOracleVerdict, config.horizon.value(), -1,
+                      "convergence", report.violations.back().detail);
   }
+  report.journal = journal.Snapshot();
 
   uint64_t h = MixU64(0, seed);
   h = MixU64(h, static_cast<uint64_t>(report.events));

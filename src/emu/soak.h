@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/hw/fault.h"
+#include "src/obs/event.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -69,6 +70,10 @@ struct SoakScheduleReport {
   std::vector<SoakViolation> violations;  // Bounded; see violations_dropped.
   uint64_t violations_dropped = 0;
   uint64_t fingerprint = 0;    // Bit-exact digest of this schedule's result.
+  // Flight-recorder journal of the faulted run (safety trips, lifecycle,
+  // quarantines, oracle verdicts, ...). Deterministic per seed; NOT part of
+  // the fingerprint, which digests the explicit fields above.
+  std::vector<obs::JournalEvent> journal;
 };
 
 struct SoakReport {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/chem/soa_kernel.h"
+#include "src/obs/event.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
@@ -230,10 +231,14 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
   Cell& dst = pack.cell(to);
   if (src.IsEmpty() || pack.IsOpenCircuit(from)) {
     tick.source_exhausted = true;
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, static_cast<int>(from),
+                      "transfer-source-exhausted");
     return tick;
   }
   if (dst.IsFull() || pack.IsOpenCircuit(to)) {
     tick.destination_full = true;
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, static_cast<int>(to),
+                      "transfer-destination-full");
     return tick;
   }
 
@@ -259,6 +264,8 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
   double p_prof = ChargePowerAtCurrent(dst, j_cmd);
   if (p_prof <= 0.0) {
     tick.destination_full = true;
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, static_cast<int>(to),
+                      "transfer-destination-full");
     return tick;
   }
   if (p_dst > p_prof) {
@@ -278,6 +285,8 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
   if (drawn_w < w_src * 0.99) {
     p_dst = dst_power_for(std::max(0.0, drawn_w));
     tick.source_exhausted = true;
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, static_cast<int>(from),
+                      "transfer-source-exhausted", std::string(), drawn_w, w_src);
   }
   StepResult in = dst.StepChargePower(Watts(p_dst), dt);
   double moved_w = -in.energy_at_terminals.value() / dt.value();
@@ -288,6 +297,8 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
   tick.battery_loss = out.energy_lost + in.energy_lost;
   if (dst.IsFull()) {
     tick.destination_full = true;
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, static_cast<int>(to),
+                      "transfer-destination-full");
   }
   return tick;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/chem/soa_kernel.h"
+#include "src/obs/event.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
@@ -26,6 +27,15 @@ double SdbDischargeCircuit::ShareErrorEnvelope(double setting) const {
 
 Power SdbDischargeCircuit::CircuitLossAt(Power load, Voltage bus) const {
   return regulator_.LossAt(load, bus, RegulatorMode::kBuck);
+}
+
+void SdbDischargeCircuit::JournalShortfallEdge(bool shortfall, Power load,
+                                               Power delivered) {
+  if (shortfall && !shortfall_latched_) {
+    SDB_JOURNAL_EVENT(obs::EventKind::kCircuitEvent, -1.0, -1, "discharge-shortfall",
+                      std::string(), delivered.value(), load.value());
+  }
+  shortfall_latched_ = shortfall;
 }
 
 Power SdbDischargeCircuit::AvailablePower(const Cell& cell, Duration dt) const {
@@ -59,6 +69,7 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   tick.battery_loss = Joules(0.0);
   tick.delivered = Watts(0.0);
   if (load.value() <= 0.0) {
+    JournalShortfallEdge(false, load, Watts(0.0));
     return tick;
   }
 
@@ -73,6 +84,7 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   }
   if (live == 0) {
     tick.shortfall = true;
+    JournalShortfallEdge(true, load, Watts(0.0));
     return tick;
   }
   bus_v /= live;
@@ -96,6 +108,7 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   }
   if (sum <= 0.0) {
     tick.shortfall = true;
+    JournalShortfallEdge(true, load, Watts(0.0));
     return tick;
   }
   for (auto& s : realised) {
@@ -190,6 +203,7 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   tick.circuit_loss = Joules(actual_circuit_loss_w * dt.value());
   tick.battery_loss = Joules(battery_loss_j);
   tick.shortfall = delivered_w < load.value() * 0.995;
+  JournalShortfallEdge(tick.shortfall, load, tick.delivered);
   return tick;
 }
 

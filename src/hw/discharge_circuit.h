@@ -71,9 +71,14 @@ class SdbDischargeCircuit {
   // Terminal power battery i can deliver in this tick.
   Power AvailablePower(const Cell& cell, Duration dt) const;
 
+  // Journals the shortfall rising edge (kCircuitEvent) and tracks the latch
+  // so a sustained shortfall produces one event, not one per tick.
+  void JournalShortfallEdge(bool shortfall, Power load, Power delivered);
+
   DischargeCircuitConfig config_;
   RegulatorModel regulator_;
   Rng rng_;
+  bool shortfall_latched_ = false;
 };
 
 }  // namespace sdb

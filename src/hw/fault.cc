@@ -1,5 +1,8 @@
 #include "src/hw/fault.h"
 
+#include <string>
+
+#include "src/obs/event.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -43,7 +46,27 @@ FaultInjector::FaultInjector(FaultPlan plan)
 
 void FaultInjector::Advance(Duration dt) {
   SDB_CHECK(dt.value() >= 0.0);
+  Duration prev = now_;
   now_ += dt;
+#if SDB_JOURNAL
+  if (obs::JournalActive()) {
+    // Journal each window edge crossed by [prev, now_) exactly once, stamped
+    // with the *scheduled* edge time (not the advance boundary) so journals
+    // from different tick sizes still agree on when a fault began.
+    for (const FaultEvent& event : plan_.events) {
+      if (!(event.start < prev) && event.start < now_) {
+        obs::EmitEvent(obs::EventKind::kFaultInjected, event.start.value(), event.battery,
+                       std::string(FaultClassName(event.kind)), std::string(),
+                       event.magnitude, event.probability);
+      }
+      if (prev < event.end && !(now_ < event.end)) {
+        obs::EmitEvent(obs::EventKind::kFaultCleared, event.end.value(), event.battery,
+                       std::string(FaultClassName(event.kind)), std::string(),
+                       event.magnitude, event.probability);
+      }
+    }
+  }
+#endif
 }
 
 const FaultEvent* FaultInjector::Active(FaultClass kind, int battery) const {

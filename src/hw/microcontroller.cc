@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "src/obs/event.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
@@ -76,10 +78,14 @@ void SdbMicrocontroller::Reboot() {
   static obs::Counter* reboots =
       obs::MetricsRegistry::Global().GetCounter("sdb.hw.micro_reboots");
   reboots->Increment();
+  SDB_JOURNAL_EVENT(obs::EventKind::kMicroReboot, -1.0, -1, "watchdog-reboot",
+                    std::string(), static_cast<double>(boot_count_));
 }
 
 uint32_t SdbMicrocontroller::Resync() {
   awaiting_resync_ = false;
+  SDB_JOURNAL_EVENT(obs::EventKind::kResync, -1.0, -1, "micro-resync", std::string(),
+                    static_cast<double>(boot_count_));
   return boot_count_;
 }
 
@@ -206,7 +212,11 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
     if (fault_->MicroRebootEdge()) {
       Reboot();
     }
+    bool was_in_reset = in_reset_;
     in_reset_ = fault_->MicroHeldInReset();
+    if (in_reset_ && !was_in_reset) {
+      SDB_JOURNAL_EVENT(obs::EventKind::kMicroBrownout, -1.0, -1, "held-in-reset");
+    }
     for (size_t i = 0; i < n; ++i) {
       pack_.SetOpenCircuit(i, fault_->OpenCircuit(i));
     }

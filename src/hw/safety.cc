@@ -1,7 +1,9 @@
 #include "src/hw/safety.h"
 
 #include <cmath>
+#include <string>
 
+#include "src/obs/event.h"
 #include "src/util/check.h"
 
 namespace sdb {
@@ -91,6 +93,12 @@ void SafetySupervisor::SetHealth(size_t index, BatteryHealth to) {
   } else {
     ++transitions_dropped_;
   }
+  // Stamped from the thread-local sim clock (not clock_): latch-only
+  // supervisors never advance their own clock, but the simulator still
+  // publishes the timeline the transition happened on.
+  SDB_JOURNAL_EVENT(obs::EventKind::kLifecycle, -1.0, static_cast<int>(index),
+                    std::string(BatteryHealthName(to)),
+                    std::string(BatteryHealthName(s.health)));
   s.health = to;
 }
 
@@ -131,6 +139,9 @@ FaultKind SafetySupervisor::Inspect(size_t index, const Cell& cell, const StepRe
   faults_[index] = record;
   s.condition_clear = false;
   ++s.trips;
+  SDB_JOURNAL_EVENT(obs::EventKind::kSafetyTrip, -1.0, static_cast<int>(index),
+                    std::string(FaultKindName(record.kind)), std::string(),
+                    ReadingValue(record.observed), ReadingValue(record.limit));
   SetHealth(index, BatteryHealth::kTripped);
   return record.kind;
 }

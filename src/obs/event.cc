@@ -1,0 +1,222 @@
+#include "src/obs/event.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sdb {
+namespace obs {
+
+namespace {
+
+thread_local EventJournal* tls_journal = nullptr;
+
+// The taxonomy in declaration order; indexed by the enum value.
+constexpr const char* kKindNames[] = {
+    "fault-injected", "fault-cleared",  "safety-trip",      "lifecycle",
+    "quarantine",     "reintegrate",    "resync",           "micro-reboot",
+    "micro-brownout", "directive-change", "policy-decision", "degraded-enter",
+    "degraded-exit",  "oracle-verdict", "sim-event",        "circuit-event",
+    "check-failure",
+};
+constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+// Reverses JsonEscape for the escapes it produces. Unknown escapes pass
+// through verbatim so a hand-edited bundle still loads.
+std::string JsonUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    char next = s[++i];
+    switch (next) {
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          char buf[5] = {s[i + 1], s[i + 2], s[i + 3], s[i + 4], '\0'};
+          out.push_back(static_cast<char>(std::strtol(buf, nullptr, 16)));
+          i += 4;
+        }
+        break;
+      default:
+        out.push_back('\\');
+        out.push_back(next);
+    }
+  }
+  return out;
+}
+
+// Finds `"key":` at top level of one of our own JSONL lines and returns the
+// character index just past the colon, or npos.
+size_t FindField(const std::string& line, const char* key) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = line.find(needle);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+bool ParseStringField(const std::string& line, const char* key, std::string* out) {
+  size_t pos = FindField(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  size_t end = pos;
+  while (end < line.size() && !(line[end] == '"' && line[end - 1] != '\\')) {
+    ++end;
+  }
+  if (end >= line.size()) {
+    return false;
+  }
+  *out = JsonUnescape(std::string_view(line).substr(pos, end - pos));
+  return true;
+}
+
+bool ParseNumberField(const std::string& line, const char* key, double* out) {
+  size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  *out = std::strtod(line.c_str() + pos, nullptr);
+  return true;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  size_t index = static_cast<size_t>(kind);
+  return index < kKindCount ? kKindNames[index] : "unknown";
+}
+
+std::string EventToJsonl(const JournalEvent& event) {
+  std::ostringstream os;
+  os << "{\"seq\":" << event.seq << ",\"t_s\":" << JsonNumber(event.t_s)
+     << ",\"kind\":\"" << EventKindName(event.kind) << "\""
+     << ",\"battery\":" << event.battery << ",\"what\":\"" << JsonEscape(event.what)
+     << "\",\"detail\":\"" << JsonEscape(event.detail) << "\",\"value\":"
+     << JsonNumber(event.value) << ",\"limit\":" << JsonNumber(event.limit) << "}";
+  return os.str();
+}
+
+bool EventFromJsonl(const std::string& line, JournalEvent* event) {
+  JournalEvent parsed;
+  double seq = 0.0;
+  double battery = 0.0;
+  std::string kind;
+  if (!ParseNumberField(line, "seq", &seq) ||
+      !ParseNumberField(line, "t_s", &parsed.t_s) ||
+      !ParseStringField(line, "kind", &kind) ||
+      !ParseNumberField(line, "battery", &battery) ||
+      !ParseStringField(line, "what", &parsed.what) ||
+      !ParseStringField(line, "detail", &parsed.detail) ||
+      !ParseNumberField(line, "value", &parsed.value) ||
+      !ParseNumberField(line, "limit", &parsed.limit)) {
+    return false;
+  }
+  parsed.seq = static_cast<uint64_t>(seq);
+  parsed.battery = static_cast<int>(battery);
+  parsed.kind = EventKind::kSimEvent;
+  for (size_t i = 0; i < kKindCount; ++i) {
+    if (kind == kKindNames[i]) {
+      parsed.kind = static_cast<EventKind>(i);
+      break;
+    }
+  }
+  *event = std::move(parsed);
+  return true;
+}
+
+EventJournal::EventJournal(size_t capacity) : events_(capacity) {}
+
+void EventJournal::Emit(JournalEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  if (event.t_s < 0.0) {
+    event.t_s = CurrentSimTimeSeconds();
+  }
+  if (events_.full()) {
+    ++dropped_;
+  }
+  events_.Push(std::move(event));
+  ++recorded_;
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JournalEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_.At(i));
+  }
+  return out;
+}
+
+uint64_t EventJournal::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.Clear();
+  recorded_ = 0;
+  dropped_ = 0;
+  next_seq_ = 0;
+}
+
+EventJournal* InstalledJournal() { return tls_journal; }
+
+JournalScope::JournalScope(EventJournal* journal) : previous_(tls_journal) {
+  tls_journal = journal;
+}
+
+JournalScope::~JournalScope() { tls_journal = previous_; }
+
+void EmitEvent(JournalEvent event) {
+  if (tls_journal != nullptr) {
+    tls_journal->Emit(std::move(event));
+  }
+}
+
+void EmitEvent(EventKind kind, double t_s, int battery, std::string what,
+               std::string detail, double value, double limit) {
+  if (tls_journal == nullptr) {
+    return;
+  }
+  JournalEvent event;
+  event.kind = kind;
+  event.t_s = t_s;
+  event.battery = battery;
+  event.what = std::move(what);
+  event.detail = std::move(detail);
+  event.value = value;
+  event.limit = limit;
+  tls_journal->Emit(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace sdb

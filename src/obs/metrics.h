@@ -112,8 +112,10 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
-  // Plain-text exporter, one metric per line ("name value"); histograms
-  // expand to per-bucket lines with a "le" label, Prometheus-style.
+  // Prometheus text exporter, one metric per line ("name value") with names
+  // escaped to [a-zA-Z0-9_:] (dots become underscores); histograms expand to
+  // cumulative `name_bucket{le="..."}` lines where the "+Inf" bucket equals
+  // `name_count`, followed by `name_sum` and `name_count`.
   std::string ToText() const;
   // JSON exporter: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string ToJson() const;

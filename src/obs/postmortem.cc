@@ -1,0 +1,190 @@
+#include "src/obs/postmortem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+
+namespace sdb {
+namespace obs {
+
+namespace {
+
+std::string WriteFile(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return "cannot open " + path.string();
+  }
+  out << content;
+  if (!out) {
+    return "short write to " + path.string();
+  }
+  return "";
+}
+
+// Field extraction over our own single-line manifest JSON; same tolerance
+// rules as EventFromJsonl (missing fields keep their defaults).
+bool FindManifestString(const std::string& text, const char* key, std::string* out) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  size_t end = pos;
+  while (end < text.size() && !(text[end] == '"' && text[end - 1] != '\\')) {
+    ++end;
+  }
+  if (end >= text.size()) {
+    return false;
+  }
+  std::string raw = text.substr(pos, end - pos);
+  // The manifest only escapes quotes/backslashes in practice; unescape both.
+  std::string plain;
+  plain.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size()) {
+      plain.push_back(raw[++i]);
+    } else {
+      plain.push_back(raw[i]);
+    }
+  }
+  *out = plain;
+  return true;
+}
+
+bool FindManifestNumber(const std::string& text, const char* key, double* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+std::string DigestConfig(const std::string& config_text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : config_text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string GitShaForManifest() {
+  for (const char* var : {"SDB_GIT_SHA", "GITHUB_SHA"}) {
+    const char* sha = std::getenv(var);
+    if (sha != nullptr && sha[0] != '\0') {
+      return sha;
+    }
+  }
+  return "unknown";
+}
+
+std::string ManifestToJson(const PostmortemManifest& manifest) {
+  std::ostringstream os;
+  os << "{\"tool\":\"" << JsonEscape(manifest.tool) << "\""
+     << ",\"trigger\":\"" << JsonEscape(manifest.trigger) << "\""
+     << ",\"git_sha\":\"" << JsonEscape(manifest.git_sha) << "\""
+     << ",\"seed\":" << manifest.seed << ",\"jobs\":" << manifest.jobs
+     << ",\"config_digest\":\"" << JsonEscape(manifest.config_digest) << "\""
+     << ",\"reproducer\":\"" << JsonEscape(manifest.reproducer) << "\"}";
+  return os.str();
+}
+
+std::string WritePostmortemBundle(const std::string& dir,
+                                  const PostmortemManifest& manifest,
+                                  const std::vector<JournalEvent>& events,
+                                  const std::string& metrics_json,
+                                  size_t last_n) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return "cannot create bundle directory " + dir + ": " + ec.message();
+  }
+  std::filesystem::path root(dir);
+  if (std::string err = WriteFile(root / "manifest.json", ManifestToJson(manifest) + "\n");
+      !err.empty()) {
+    return err;
+  }
+  std::ostringstream lines;
+  size_t start = events.size() > last_n ? events.size() - last_n : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    lines << EventToJsonl(events[i]) << "\n";
+  }
+  if (std::string err = WriteFile(root / "events.jsonl", lines.str()); !err.empty()) {
+    return err;
+  }
+  if (std::string err = WriteFile(root / "metrics.json", metrics_json + "\n");
+      !err.empty()) {
+    return err;
+  }
+  if (!manifest.reproducer.empty()) {
+    if (std::string err = WriteFile(root / "reproducer.txt", manifest.reproducer + "\n");
+        !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
+std::string ReadPostmortemManifest(const std::string& dir, PostmortemManifest* manifest) {
+  std::ifstream in(std::filesystem::path(dir) / "manifest.json");
+  if (!in) {
+    return "cannot open " + dir + "/manifest.json";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  PostmortemManifest parsed;
+  FindManifestString(text, "tool", &parsed.tool);
+  FindManifestString(text, "trigger", &parsed.trigger);
+  FindManifestString(text, "git_sha", &parsed.git_sha);
+  FindManifestString(text, "config_digest", &parsed.config_digest);
+  FindManifestString(text, "reproducer", &parsed.reproducer);
+  double seed = 0.0;
+  double jobs = 1.0;
+  FindManifestNumber(text, "seed", &seed);
+  FindManifestNumber(text, "jobs", &jobs);
+  parsed.seed = static_cast<uint64_t>(seed);
+  parsed.jobs = static_cast<int>(jobs);
+  *manifest = std::move(parsed);
+  return "";
+}
+
+std::string ReadPostmortemEvents(const std::string& dir,
+                                 std::vector<JournalEvent>* events, size_t* skipped) {
+  std::ifstream in(std::filesystem::path(dir) / "events.jsonl");
+  if (!in) {
+    return "cannot open " + dir + "/events.jsonl";
+  }
+  events->clear();
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    JournalEvent event;
+    if (EventFromJsonl(line, &event)) {
+      events->push_back(std::move(event));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) {
+    *skipped = bad;
+  }
+  return "";
+}
+
+}  // namespace obs
+}  // namespace sdb

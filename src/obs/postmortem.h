@@ -1,0 +1,74 @@
+// Post-mortem bundle writer/reader: when a run trips something worth a
+// flight-recorder dump (soak invariant violation, fuzz oracle failure,
+// safety trip, SDB_CHECK failure — or unconditionally via --flight-out), the
+// harness writes a small directory:
+//
+//   <dir>/manifest.json    run manifest: tool, trigger, seed, git sha,
+//                          config digest, jobs, reproducer
+//   <dir>/events.jsonl     last-N journal events, one JSON object per line
+//   <dir>/metrics.json     MetricsRegistry snapshot (ToJson) at dump time
+//   <dir>/reproducer.txt   the one-line fuzz reproducer (fuzz runs only)
+//
+// Everything except metrics.json is derived from deterministic inputs, so a
+// bundle produced from the same seed is byte-identical across runs and
+// across --jobs (`sdbsim blackbox` renders and filters one).
+//
+// This layer sits below sdb_util (no sdb::Status available), so fallible
+// calls return an error message string — empty means success.
+#ifndef SRC_OBS_POSTMORTEM_H_
+#define SRC_OBS_POSTMORTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace sdb {
+namespace obs {
+
+// Everything needed to attribute a bundle to one run.
+struct PostmortemManifest {
+  std::string tool;              // "sdbsim fuzz", "sdbsim soak", ...
+  std::string trigger = "none";  // "fuzz-oracle", "soak-violation",
+                                 // "safety-trip", "check-failure", "none".
+  std::string git_sha = "unknown";
+  uint64_t seed = 0;
+  int jobs = 1;
+  std::string config_digest;  // DigestConfig over the flag/config string.
+  std::string reproducer;     // One-line fuzz reproducer ("" when n/a).
+};
+
+// FNV-1a over `config_text`, rendered as 16 hex digits — the manifest's
+// config digest. Deterministic, layout-independent.
+std::string DigestConfig(const std::string& config_text);
+
+// Build identifier: SDB_GIT_SHA env, else GITHUB_SHA, else "unknown".
+std::string GitShaForManifest();
+
+// Single-line JSON form of the manifest (fixed field order).
+std::string ManifestToJson(const PostmortemManifest& manifest);
+
+// Writes the bundle into `dir` (created, parents included, if missing):
+// manifest.json, events.jsonl (the newest `last_n` of `events`),
+// metrics.json (verbatim `metrics_json`), and reproducer.txt when the
+// manifest carries a reproducer. Returns "" on success, else a message.
+std::string WritePostmortemBundle(const std::string& dir,
+                                  const PostmortemManifest& manifest,
+                                  const std::vector<JournalEvent>& events,
+                                  const std::string& metrics_json,
+                                  size_t last_n = 256);
+
+// Readers for `sdbsim blackbox`. Malformed manifest fields default; event
+// lines that fail to parse are skipped (count reported via *skipped when
+// non-null). Both return "" on success, else a message.
+std::string ReadPostmortemManifest(const std::string& dir,
+                                   PostmortemManifest* manifest);
+std::string ReadPostmortemEvents(const std::string& dir,
+                                 std::vector<JournalEvent>* events,
+                                 size_t* skipped = nullptr);
+
+}  // namespace obs
+}  // namespace sdb
+
+#endif  // SRC_OBS_POSTMORTEM_H_

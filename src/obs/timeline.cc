@@ -1,0 +1,88 @@
+#include "src/obs/timeline.h"
+
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace sdb {
+namespace obs {
+
+Timeline::Timeline(double period_s) : period_s_(period_s) {
+  SDB_CHECK(period_s > 0.0);
+}
+
+bool Timeline::Due(double t_s) const {
+  return times_.empty() || t_s >= next_t_s_;
+}
+
+void Timeline::Sample(double t_s, const std::vector<std::pair<std::string, double>>& row) {
+  if (columns_.empty()) {
+    columns_.reserve(row.size());
+    for (const auto& [name, value] : row) {
+      (void)value;
+      columns_.push_back(name);
+    }
+  }
+  std::vector<double> values(columns_.size(), 0.0);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (const auto& [name, value] : row) {
+      if (name == columns_[i]) {
+        values[i] = value;
+        break;
+      }
+    }
+  }
+  times_.push_back(t_s);
+  rows_.push_back(std::move(values));
+  next_t_s_ = t_s + period_s_;
+}
+
+std::string Timeline::ToCsv() const {
+  std::ostringstream os;
+  os << "t_s";
+  for (const std::string& name : columns_) {
+    os << "," << name;
+  }
+  os << "\n";
+  for (size_t i = 0; i < times_.size(); ++i) {
+    os << JsonNumber(times_[i]);
+    for (double v : rows_[i]) {
+      os << "," << JsonNumber(v);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Timeline::ToJson() const {
+  std::ostringstream os;
+  os << "{\"period_s\":" << JsonNumber(period_s_) << ",\"columns\":[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(columns_[i]) << "\"";
+  }
+  os << "],\"t_s\":[";
+  for (size_t i = 0; i < times_.size(); ++i) {
+    os << (i == 0 ? "" : ",") << JsonNumber(times_[i]);
+  }
+  os << "],\"rows\":[";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "[";
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      os << (j == 0 ? "" : ",") << JsonNumber(rows_[i][j]);
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Timeline::Clear() {
+  next_t_s_ = 0.0;
+  columns_.clear();
+  times_.clear();
+  rows_.clear();
+}
+
+}  // namespace obs
+}  // namespace sdb

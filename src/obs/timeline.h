@@ -1,0 +1,60 @@
+// Metrics timeline: samples named scalar series on a sim-time cadence into
+// an exportable JSON/CSV time series (per-battery SoC/temperature/share
+// alongside sdb.runtime.* registry counters), so dashboards and bench trend
+// plots get real trajectories instead of end-state scalars.
+//
+// Same determinism doctrine as the journal (DESIGN.md §15): sampling reads
+// state, never mutates it, and records no wall time — two runs of the same
+// seed export byte-identical series.
+#ifndef SRC_OBS_TIMELINE_H_
+#define SRC_OBS_TIMELINE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdb {
+namespace obs {
+
+// Columnar time series with a fixed schema: the first Sample() call pins the
+// column set (in the order given); later samples are matched by name, with
+// absent columns recorded as 0 and unknown names ignored. That keeps every
+// row rectangular even when a sampler's metric set grows mid-run.
+class Timeline {
+ public:
+  explicit Timeline(double period_s = 60.0);
+
+  // True when the next cadence point is at or before `t_s` (always true
+  // before the first sample).
+  bool Due(double t_s) const;
+
+  // Records one row at sim time `t_s` and advances the cadence clock.
+  void Sample(double t_s, const std::vector<std::pair<std::string, double>>& row);
+
+  double period_s() const { return period_s_; }
+  size_t size() const { return times_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<double>& times() const { return times_; }
+  // rows()[i] is the row sampled at times()[i], parallel to columns().
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+
+  // "t_s,<col>,..." header plus one line per sample; numbers round-trip.
+  std::string ToCsv() const;
+  // {"period_s":..,"columns":[..],"t_s":[..],"rows":[[..],..]}
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  double period_s_;
+  double next_t_s_ = 0.0;
+  std::vector<std::string> columns_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace obs
+}  // namespace sdb
+
+#endif  // SRC_OBS_TIMELINE_H_

@@ -46,7 +46,19 @@ Tracer& Tracer::Global() {
 
 void Tracer::SetCapacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_ = RingBuffer<TraceEvent>(capacity);
+  // Preserve the newest spans that still fit and account the rest as drops,
+  // so recorded() - dropped() continues to equal the buffered span count
+  // across a mid-trace resize.
+  RingBuffer<TraceEvent> resized(capacity);
+  size_t keep = events_.size() < capacity ? events_.size() : capacity;
+  size_t evicted = events_.size() - keep;
+  for (size_t i = evicted; i < events_.size(); ++i) {
+    resized.Push(events_.At(i));
+  }
+  if (evicted > 0) {
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  events_ = std::move(resized);
 }
 
 void Tracer::Clear() {

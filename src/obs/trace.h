@@ -25,6 +25,13 @@
 #define SDB_TRACING 1
 #endif
 
+// The thread-local sim clock below is shared infrastructure: spans and the
+// event journal (src/obs/event.h) both stamp from it, so the publish macros
+// compile out only when BOTH observability halves are off.
+#ifndef SDB_JOURNAL
+#define SDB_JOURNAL 1
+#endif
+
 namespace sdb {
 namespace obs {
 
@@ -83,7 +90,10 @@ class Tracer {
   void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  // Drops buffered spans and re-sizes the ring.
+  // Re-sizes the ring, keeping the newest spans that fit; spans evicted by
+  // a shrink are counted into dropped(). recorded() is untouched, so the
+  // accounting identity recorded() - dropped() == buffered count survives a
+  // mid-trace resize.
   void SetCapacity(size_t capacity);
   void Clear();
 
@@ -149,20 +159,24 @@ class TraceSpan {
 // ("runtime.update"). Both must be string literals.
 #define SDB_TRACE_SPAN(category, name) \
   ::sdb::obs::TraceSpan SDB_OBS_CONCAT(sdb_trace_span_, __LINE__)(category, name)
-// Publishes the simulated clock for spans on this thread.
-#define SDB_TRACE_SET_SIM_TIME(t) ::sdb::obs::SetSimTime(t)
-// Marks the thread as outside any simulated timeline again.
-#define SDB_TRACE_CLEAR_SIM_TIME() ::sdb::obs::ClearSimTime()
 #else
 #define SDB_TRACE_SPAN(category, name) \
   do {                                 \
   } while (0)
+#endif  // SDB_TRACING
+
+#if SDB_TRACING || SDB_JOURNAL
+// Publishes the simulated clock for spans and journal events on this thread.
+#define SDB_TRACE_SET_SIM_TIME(t) ::sdb::obs::SetSimTime(t)
+// Marks the thread as outside any simulated timeline again.
+#define SDB_TRACE_CLEAR_SIM_TIME() ::sdb::obs::ClearSimTime()
+#else
 #define SDB_TRACE_SET_SIM_TIME(t) \
   do {                            \
   } while (0)
 #define SDB_TRACE_CLEAR_SIM_TIME() \
   do {                             \
   } while (0)
-#endif  // SDB_TRACING
+#endif  // SDB_TRACING || SDB_JOURNAL
 
 #endif  // SRC_OBS_TRACE_H_

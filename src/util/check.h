@@ -6,18 +6,42 @@
 #ifndef SRC_UTIL_CHECK_H_
 #define SRC_UTIL_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace sdb {
+
+// Called (at most once) on the way into abort() when an SDB_CHECK fails, so
+// a harness can flush a flight-recorder bundle before the process dies. The
+// handler must not assume the process is in a sane state.
+using CheckFailureHandler = void (*)(const char* expr, const char* file, int line);
+
 namespace check_internal {
+
+inline std::atomic<CheckFailureHandler>& FailureHandlerSlot() {
+  static std::atomic<CheckFailureHandler> slot{nullptr};
+  return slot;
+}
 
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  // Claim the handler before invoking it so a check failing *inside* the
+  // handler cannot recurse.
+  CheckFailureHandler handler = FailureHandlerSlot().exchange(nullptr);
+  if (handler != nullptr) {
+    handler(expr, file, line);
+  }
   std::abort();
 }
 
 }  // namespace check_internal
+
+// Installs (or, with nullptr, removes) the process-wide failure handler.
+inline void SetCheckFailureHandler(CheckFailureHandler handler) {
+  check_internal::FailureHandlerSlot().store(handler);
+}
+
 }  // namespace sdb
 
 // Always-on invariant check. Prefer this over <cassert> so release builds

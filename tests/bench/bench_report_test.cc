@@ -8,6 +8,9 @@
 #include <sstream>
 #include <string>
 
+#include "src/obs/event.h"
+#include "src/obs/trace.h"
+
 namespace sdb {
 namespace bench {
 namespace {
@@ -38,11 +41,28 @@ TEST(BenchReportTest, ToJsonSchema) {
   EXPECT_NE(json.find("\"runs\":24"), std::string::npos) << json;
   EXPECT_NE(json.find("\"reps\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"wall_s\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"build\":{\"sdb_threads\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"metrics\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"cell_steps_per_s\":40000000"), std::string::npos) << json;
   EXPECT_NE(json.find("\"batch_speedup\":2.5"), std::string::npos) << json;
   // Metrics serialize in insertion order (stable diffs).
   EXPECT_LT(json.find("cell_steps_per_s"), json.find("batch_speedup"));
+}
+
+TEST(BenchReportTest, BuildInfoSerializesFlagsAndThreadCap) {
+  BenchReport report;
+  report.bench = "x";
+  report.build.sdb_threads = 6;
+  report.build.tracing = true;
+  report.build.journal = false;
+  std::string json = ToJson(report);
+  EXPECT_NE(json.find("\"build\":{\"sdb_threads\":6,\"tracing\":1,\"journal\":0}"),
+            std::string::npos)
+      << json;
+  // The default build block reflects this binary's compile-time flags.
+  BenchBuildInfo info = BuildInfoFromEnv();
+  EXPECT_EQ(info.tracing, SDB_TRACING != 0);
+  EXPECT_EQ(info.journal, SDB_JOURNAL != 0);
 }
 
 TEST(BenchReportTest, ToJsonEscapesStrings) {

@@ -241,5 +241,41 @@ TEST(FuzzTest, KnownBadReplaysDeterministically) {
   EXPECT_EQ(first.cases[0].reproducer, kKnownBadLine);
 }
 
+TEST(FuzzTest, CapturedJournalIsJobsInvariant) {
+  // The flight-recorder journal attached to a failing case must not depend
+  // on which worker thread evaluated it — EvaluateFuzzCase journals into a
+  // case-local scope, so the captured sequence is a pure function of the
+  // case. Serialize byte-for-byte across jobs to pin that.
+  FuzzConfig config = StrictPolicyConfig();
+  auto parsed = ParseFuzzCase(kKnownBadLine);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::vector<std::string>> journals;
+  for (int jobs : {1, 4}) {
+    config.jobs = jobs;
+    FuzzReport report = ReplayFuzzCases({*parsed, *parsed, *parsed}, config);
+    ASSERT_EQ(report.cases.size(), 3u);
+    std::vector<std::string> lines;
+    for (const FuzzCaseReport& c : report.cases) {
+      EXPECT_TRUE(c.failed);
+      for (const obs::JournalEvent& event : c.journal) {
+        lines.push_back(obs::EventToJsonl(event));
+      }
+    }
+    journals.push_back(std::move(lines));
+  }
+  EXPECT_EQ(journals[0], journals[1]);
+#if SDB_JOURNAL
+  // The failing case actually journaled its oracle verdict — no vacuous pass.
+  EXPECT_FALSE(journals[0].empty());
+  bool saw_verdict = false;
+  for (const std::string& line : journals[0]) {
+    if (line.find("\"kind\":\"oracle-verdict\"") != std::string::npos) {
+      saw_verdict = true;
+    }
+  }
+  EXPECT_TRUE(saw_verdict);
+#endif
+}
+
 }  // namespace
 }  // namespace sdb

@@ -19,6 +19,7 @@
 #include "src/emu/workload.h"
 #include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
+#include "src/obs/event.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -116,6 +117,59 @@ TEST_F(ObsDeterminismTest, TracingOnOffIsBitIdenticalUnderFaults) {
   obs::Tracer::Global().SetEnabled(false);
 
   ExpectBitIdentical(off, on);
+}
+
+TEST_F(ObsDeterminismTest, JournalOnOffIsBitIdentical) {
+  SimResult off = RunWatchScenario(/*faulted=*/false);
+
+  obs::EventJournal journal;
+  SimResult on = [&journal] {
+    obs::JournalScope scope(&journal);
+    return RunWatchScenario(/*faulted=*/false);
+  }();
+
+#if SDB_JOURNAL
+  // The journaled run actually recorded events — this test must not pass
+  // vacuously in the default build.
+  EXPECT_GT(journal.recorded(), 0u);
+#endif
+  ExpectBitIdentical(off, on);
+}
+
+TEST_F(ObsDeterminismTest, JournalOnOffIsBitIdenticalUnderFaults) {
+  SimResult off = RunWatchScenario(/*faulted=*/true);
+
+  obs::EventJournal first;
+  SimResult on = [&first] {
+    obs::JournalScope scope(&first);
+    return RunWatchScenario(/*faulted=*/true);
+  }();
+  ExpectBitIdentical(off, on);
+
+  // The captured event sequence itself is deterministic: a second journaled
+  // run serializes to the same bytes, event for event — the property the
+  // post-mortem bundle diff-across-jobs contract rests on.
+  obs::EventJournal second;
+  {
+    obs::JournalScope scope(&second);
+    (void)RunWatchScenario(/*faulted=*/true);
+  }
+  std::vector<obs::JournalEvent> a = first.Snapshot();
+  std::vector<obs::JournalEvent> b = second.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(obs::EventToJsonl(a[i]), obs::EventToJsonl(b[i]));
+  }
+#if SDB_JOURNAL
+  // The faulted scenario exercises the taxonomy beyond generic sim events.
+  bool saw_fault = false;
+  for (const obs::JournalEvent& event : a) {
+    if (event.kind == obs::EventKind::kFaultInjected) {
+      saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+#endif
 }
 
 TEST_F(ObsDeterminismTest, SweepRegistryMetricsMatchLegacyCounters) {

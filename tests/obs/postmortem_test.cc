@@ -1,0 +1,165 @@
+// Post-mortem bundle writer/reader: digest stability, manifest round-trip,
+// last-N event truncation, reproducer gating, and tolerance for malformed
+// event lines.
+#include "src/obs/postmortem.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sdb {
+namespace obs {
+namespace {
+
+std::filesystem::path UniqueDir(const std::string& name) {
+  return std::filesystem::path(::testing::TempDir()) / name;
+}
+
+std::string ReadWholeFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+JournalEvent MakeEvent(uint64_t seq, const std::string& what) {
+  JournalEvent event;
+  event.kind = EventKind::kSimEvent;
+  event.seq = seq;
+  event.t_s = static_cast<double>(seq) * 30.0;
+  event.what = what;
+  return event;
+}
+
+TEST(DigestConfigTest, IsSixteenLowercaseHexAndInputSensitive) {
+  std::string digest = DigestConfig("fuzz --seed 5 --cases 64");
+  ASSERT_EQ(digest.size(), 16u);
+  for (char c : digest) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)))
+        << "not lowercase hex: " << digest;
+  }
+  EXPECT_EQ(digest, DigestConfig("fuzz --seed 5 --cases 64"));
+  EXPECT_NE(digest, DigestConfig("fuzz --seed 6 --cases 64"));
+  // The FNV-1a offset basis for the empty string, pinned: digests land in
+  // manifests that are diffed byte-for-byte across runs.
+  EXPECT_EQ(DigestConfig(""), "cbf29ce484222325");
+}
+
+TEST(PostmortemBundleTest, WriteThenReadRoundTripsManifestAndEvents) {
+  std::filesystem::path dir = UniqueDir("bundle_roundtrip");
+  PostmortemManifest manifest;
+  manifest.tool = "sdbsim fuzz";
+  manifest.trigger = "fuzz-oracle";
+  manifest.git_sha = "abc123";
+  manifest.seed = 42;
+  manifest.jobs = 8;
+  manifest.config_digest = DigestConfig("fuzz --seed 42");
+  manifest.reproducer = "pack=phone-day seed=42 dch=0.05 chg=0.5";
+
+  std::vector<JournalEvent> events = {MakeEvent(0, "first"), MakeEvent(1, "second")};
+  ASSERT_EQ(WritePostmortemBundle(dir.string(), manifest, events,
+                                  "{\"counters\":{}}"),
+            "");
+
+  PostmortemManifest read;
+  ASSERT_EQ(ReadPostmortemManifest(dir.string(), &read), "");
+  EXPECT_EQ(read.tool, "sdbsim fuzz");
+  EXPECT_EQ(read.trigger, "fuzz-oracle");
+  EXPECT_EQ(read.git_sha, "abc123");
+  EXPECT_EQ(read.seed, 42u);
+  EXPECT_EQ(read.jobs, 8);
+  EXPECT_EQ(read.config_digest, manifest.config_digest);
+  EXPECT_EQ(read.reproducer, manifest.reproducer);
+
+  std::vector<JournalEvent> read_events;
+  size_t skipped = 99;
+  ASSERT_EQ(ReadPostmortemEvents(dir.string(), &read_events, &skipped), "");
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(read_events.size(), 2u);
+  EXPECT_EQ(read_events[0].what, "first");
+  EXPECT_EQ(read_events[1].what, "second");
+  // The reproducer file exists exactly because the manifest carries one.
+  EXPECT_TRUE(std::filesystem::exists(dir / "reproducer.txt"));
+  EXPECT_EQ(ReadWholeFile(dir / "reproducer.txt"), manifest.reproducer + "\n");
+  EXPECT_EQ(ReadWholeFile(dir / "metrics.json"), "{\"counters\":{}}\n");
+}
+
+TEST(PostmortemBundleTest, CreatesMissingParentDirectories) {
+  std::filesystem::path dir = UniqueDir("bundle_nested") / "a" / "b";
+  ASSERT_EQ(WritePostmortemBundle(dir.string(), PostmortemManifest{}, {}, "{}"), "");
+  EXPECT_TRUE(std::filesystem::exists(dir / "manifest.json"));
+}
+
+TEST(PostmortemBundleTest, KeepsOnlyTheNewestLastNEvents) {
+  std::filesystem::path dir = UniqueDir("bundle_lastn");
+  std::vector<JournalEvent> events;
+  for (uint64_t i = 0; i < 10; ++i) {
+    events.push_back(MakeEvent(i, "e" + std::to_string(i)));
+  }
+  ASSERT_EQ(WritePostmortemBundle(dir.string(), PostmortemManifest{}, events, "{}",
+                                  /*last_n=*/3),
+            "");
+  std::vector<JournalEvent> read_events;
+  ASSERT_EQ(ReadPostmortemEvents(dir.string(), &read_events), "");
+  ASSERT_EQ(read_events.size(), 3u);
+  EXPECT_EQ(read_events[0].what, "e7");
+  EXPECT_EQ(read_events[2].what, "e9");
+}
+
+TEST(PostmortemBundleTest, OmitsReproducerFileWhenEmpty) {
+  std::filesystem::path dir = UniqueDir("bundle_norepro");
+  PostmortemManifest manifest;  // reproducer defaults to "".
+  ASSERT_EQ(WritePostmortemBundle(dir.string(), manifest, {}, "{}"), "");
+  EXPECT_FALSE(std::filesystem::exists(dir / "reproducer.txt"));
+}
+
+TEST(PostmortemBundleTest, SkipsMalformedEventLinesAndCountsThem) {
+  std::filesystem::path dir = UniqueDir("bundle_malformed");
+  ASSERT_EQ(WritePostmortemBundle(dir.string(), PostmortemManifest{},
+                                  {MakeEvent(0, "good")}, "{}"),
+            "");
+  {
+    std::ofstream out(dir / "events.jsonl", std::ios::app);
+    out << "this line is not json\n";
+    out << EventToJsonl(MakeEvent(1, "also-good")) << "\n";
+  }
+  std::vector<JournalEvent> read_events;
+  size_t skipped = 0;
+  ASSERT_EQ(ReadPostmortemEvents(dir.string(), &read_events, &skipped), "");
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(read_events.size(), 2u);
+  EXPECT_EQ(read_events[0].what, "good");
+  EXPECT_EQ(read_events[1].what, "also-good");
+}
+
+TEST(PostmortemBundleTest, ReadersReportMissingBundles) {
+  std::string missing = UniqueDir("no_such_bundle").string();
+  PostmortemManifest manifest;
+  std::vector<JournalEvent> events;
+  EXPECT_NE(ReadPostmortemManifest(missing, &manifest), "");
+  EXPECT_NE(ReadPostmortemEvents(missing, &events), "");
+}
+
+TEST(PostmortemBundleTest, SameInputsProduceByteIdenticalDeterministicFiles) {
+  std::filesystem::path dir_a = UniqueDir("bundle_det_a");
+  std::filesystem::path dir_b = UniqueDir("bundle_det_b");
+  PostmortemManifest manifest;
+  manifest.tool = "sdbsim soak";
+  manifest.trigger = "soak-violation";
+  manifest.seed = 7;
+  std::vector<JournalEvent> events = {MakeEvent(0, "trip")};
+  ASSERT_EQ(WritePostmortemBundle(dir_a.string(), manifest, events, "{}"), "");
+  ASSERT_EQ(WritePostmortemBundle(dir_b.string(), manifest, events, "{}"), "");
+  EXPECT_EQ(ReadWholeFile(dir_a / "manifest.json"), ReadWholeFile(dir_b / "manifest.json"));
+  EXPECT_EQ(ReadWholeFile(dir_a / "events.jsonl"), ReadWholeFile(dir_b / "events.jsonl"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sdb

@@ -1,0 +1,86 @@
+// Metrics timeline: cadence, column pinning, rectangular rows, and the
+// CSV/JSON exports' byte-exact form.
+#include "src/obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdb {
+namespace obs {
+namespace {
+
+using Row = std::vector<std::pair<std::string, double>>;
+
+TEST(TimelineTest, DueFollowsThePeriodCadence) {
+  Timeline timeline(/*period_s=*/60.0);
+  EXPECT_TRUE(timeline.Due(0.0));  // Always due before the first sample.
+  timeline.Sample(0.0, Row{{"a", 1.0}});
+  EXPECT_FALSE(timeline.Due(30.0));
+  EXPECT_TRUE(timeline.Due(60.0));
+  timeline.Sample(60.0, Row{{"a", 2.0}});
+  EXPECT_FALSE(timeline.Due(119.0));
+  EXPECT_TRUE(timeline.Due(120.0));
+}
+
+TEST(TimelineTest, FirstSamplePinsColumnsLaterRowsStayRectangular) {
+  Timeline timeline(10.0);
+  timeline.Sample(0.0, Row{{"a", 1.0}, {"b", 2.0}});
+  // Missing column -> 0; unknown column -> ignored; order-independent match.
+  timeline.Sample(10.0, Row{{"late", 9.0}, {"b", 3.0}});
+  ASSERT_EQ(timeline.columns(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.rows()[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(timeline.rows()[1], (std::vector<double>{0.0, 3.0}));
+  EXPECT_EQ(timeline.times(), (std::vector<double>{0.0, 10.0}));
+}
+
+TEST(TimelineTest, CsvExportIsByteExact) {
+  Timeline timeline(10.0);
+  timeline.Sample(0.0, Row{{"soc", 0.5}, {"temp", 298.0}});
+  timeline.Sample(10.0, Row{{"soc", 0.25}, {"temp", 299.5}});
+  EXPECT_EQ(timeline.ToCsv(),
+            "t_s,soc,temp\n"
+            "0,0.5,298\n"
+            "10,0.25,299.5\n");
+}
+
+TEST(TimelineTest, JsonExportCarriesPeriodColumnsTimesAndRows) {
+  Timeline timeline(10.0);
+  timeline.Sample(0.0, Row{{"soc", 0.5}});
+  timeline.Sample(10.0, Row{{"soc", 0.25}});
+  EXPECT_EQ(timeline.ToJson(),
+            "{\"period_s\":10,\"columns\":[\"soc\"],\"t_s\":[0,10],"
+            "\"rows\":[[0.5],[0.25]]}");
+}
+
+TEST(TimelineTest, ClearResetsSeriesAndCadence) {
+  Timeline timeline(10.0);
+  timeline.Sample(0.0, Row{{"a", 1.0}});
+  timeline.Clear();
+  EXPECT_EQ(timeline.size(), 0u);
+  EXPECT_TRUE(timeline.columns().empty());
+  EXPECT_TRUE(timeline.Due(0.0));
+  // A fresh first sample re-pins a fresh column set.
+  timeline.Sample(0.0, Row{{"b", 2.0}});
+  EXPECT_EQ(timeline.columns(), (std::vector<std::string>{"b"}));
+}
+
+TEST(TimelineTest, SameInputsExportIdenticalBytes) {
+  auto build = [] {
+    Timeline timeline(30.0);
+    timeline.Sample(0.0, Row{{"x", 1.0 / 3.0}});
+    timeline.Sample(30.0, Row{{"x", 2.0 / 3.0}});
+    return timeline;
+  };
+  Timeline a = build();
+  Timeline b = build();
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sdb

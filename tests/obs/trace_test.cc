@@ -79,6 +79,38 @@ TEST_F(TracerTest, RingKeepsMostRecentAndCountsDrops) {
   EXPECT_EQ(Tracer::Global().dropped() - dropped_before, 2u);
 }
 
+TEST_F(TracerTest, SetCapacityPreservesCountersAndNewestSpans) {
+  Tracer::Global().Clear();  // Absolute counter values from here on.
+  Tracer::Global().SetCapacity(4);
+  Tracer::Global().SetEnabled(true);
+  static const char* const kNames[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+  for (const char* name : kNames) {
+    TraceSpan span("test", name);
+  }
+  ASSERT_EQ(Tracer::Global().recorded(), 6u);
+  ASSERT_EQ(Tracer::Global().dropped(), 2u);
+
+  // Shrinking must behave like the ring evicting: newest survive, the
+  // evicted join the drop count, and recorded stays a lifetime total.
+  // (Regression: SetCapacity used to discard the buffer and zero both.)
+  Tracer::Global().SetCapacity(2);
+  EXPECT_EQ(Tracer::Global().recorded(), 6u);
+  EXPECT_EQ(Tracer::Global().dropped(), 4u);
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "s4");
+  EXPECT_STREQ(events[1].name, "s5");
+
+  // Growing loses nothing and charges no drops.
+  Tracer::Global().SetCapacity(8);
+  EXPECT_EQ(Tracer::Global().recorded(), 6u);
+  EXPECT_EQ(Tracer::Global().dropped(), 4u);
+  events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "s4");
+  EXPECT_STREQ(events[1].name, "s5");
+}
+
 TEST_F(TracerTest, ToggleMidStreamOnlyKeepsEnabledWindow) {
   Tracer::Global().SetEnabled(true);
   { TraceSpan span("test", "kept"); }

@@ -71,6 +71,22 @@ def check_schema(doc, path):
         fail(f"{path}: jobs must be >= 1, got {doc['jobs']}")
     if not math.isfinite(doc["wall_s"]) or doc["wall_s"] < 0.0:
         fail(f"{path}: wall_s must be finite and >= 0, got {doc['wall_s']}")
+    # "build" (sdb_threads / tracing / journal flags) is validated when
+    # present; older reports without it stay acceptable.
+    if "build" in doc:
+        build = doc["build"]
+        if not isinstance(build, dict):
+            fail(f"{path}: key 'build' has type {type(build).__name__}")
+        for key in ("sdb_threads", "tracing", "journal"):
+            if key not in build:
+                fail(f"{path}: build block missing key '{key}'")
+            if not isinstance(build[key], int):
+                fail(f"{path}: build key '{key}' has type {type(build[key]).__name__}")
+        if build["sdb_threads"] < 0:
+            fail(f"{path}: build sdb_threads must be >= 0, got {build['sdb_threads']}")
+        for key in ("tracing", "journal"):
+            if build[key] not in (0, 1):
+                fail(f"{path}: build key '{key}' must be 0 or 1, got {build[key]}")
     for name, value in doc["metrics"].items():
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             fail(f"{path}: metric '{name}' is not a finite number: {value!r}")

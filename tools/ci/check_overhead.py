@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
-"""Gate the cost of compiled-in-but-disabled tracing.
+"""Gate the cost of compiled-in-but-disabled observability.
 
-Compares two google-benchmark JSON files from bench_policy_overhead:
+Compares google-benchmark JSON files from bench_policy_overhead:
 
-  baseline  built with -DSDB_TRACING=OFF (span macros compiled out)
-  candidate built with tracing compiled in, tracer runtime-disabled
+  baseline    built with every obs layer compiled out
+              (-DSDB_TRACING=OFF -DSDB_JOURNAL=OFF)
+  candidates  one or more builds with obs layers compiled in but dormant
+              (e.g. journal-only, then tracing + journal)
 
 For each benchmark the min real_time across repetitions is used (min of
 repetitions is the standard noise filter for shared CI runners). The gate
-fails when the geometric-mean slowdown of candidate over baseline exceeds
-the threshold (default 5%); per-benchmark numbers are printed either way so
-a regression is attributable from the CI log alone.
+fails when any candidate's geometric-mean slowdown over the baseline
+exceeds the threshold (default 5%); per-benchmark numbers are printed
+either way so a regression is attributable from the CI log alone.
 
 Usage:
-  check_overhead.py BASELINE.json CANDIDATE.json [--threshold 0.05]
+  check_overhead.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+      [--threshold 0.05]
 """
 
 import argparse
@@ -41,24 +44,18 @@ def min_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="JSON from the -DSDB_TRACING=OFF build")
-    parser.add_argument("candidate", help="JSON from the tracing-compiled-in build")
-    parser.add_argument("--threshold", type=float, default=0.05,
-                        help="max allowed geomean slowdown (default 0.05 = 5%%)")
-    args = parser.parse_args()
-
-    base = min_times(args.baseline)
-    cand = min_times(args.candidate)
+def gate_candidate(base, cand_path, threshold):
+    """Print the per-benchmark comparison; return the geomean overhead."""
+    cand = min_times(cand_path)
     common = sorted(set(base) & set(cand))
     if not common:
-        sys.exit("error: baseline and candidate share no benchmark names")
+        sys.exit(f"error: baseline and {cand_path} share no benchmark names")
     missing = sorted(set(base) ^ set(cand))
     if missing:
         print(f"warning: benchmarks present in only one file: {', '.join(missing)}")
 
     log_sum = 0.0
+    print(f"\n{cand_path} vs baseline:")
     print(f"{'benchmark':<40} {'baseline':>12} {'candidate':>12} {'ratio':>8}")
     for name in common:
         ratio = cand[name] / base[name]
@@ -66,11 +63,29 @@ def main():
         print(f"{name:<40} {base[name]:>12.1f} {cand[name]:>12.1f} {ratio:>8.3f}")
     geomean = math.exp(log_sum / len(common))
     overhead = geomean - 1.0
-    print(f"\ngeomean slowdown: {overhead * 100:+.2f}% "
-          f"(threshold {args.threshold * 100:.1f}%)")
-    if overhead > args.threshold:
-        sys.exit("FAIL: disabled-tracing overhead exceeds the threshold")
-    print("OK: disabled tracing is within the overhead budget")
+    print(f"geomean slowdown: {overhead * 100:+.2f}% "
+          f"(threshold {threshold * 100:.1f}%)")
+    return overhead
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="JSON from the all-obs-off build")
+    parser.add_argument("candidates", nargs="+",
+                        help="JSON from builds with obs compiled in")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max allowed geomean slowdown (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    base = min_times(args.baseline)
+    failed = []
+    for cand_path in args.candidates:
+        if gate_candidate(base, cand_path, args.threshold) > args.threshold:
+            failed.append(cand_path)
+    if failed:
+        sys.exit("FAIL: disabled-obs overhead exceeds the threshold for: "
+                 + ", ".join(failed))
+    print("\nOK: every candidate is within the overhead budget")
 
 
 if __name__ == "__main__":

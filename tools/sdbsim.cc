@@ -41,9 +41,13 @@
 #include "src/hw/fault.h"
 #include "src/hw/microcontroller.h"
 #include "src/hw/safety.h"
+#include "src/obs/event.h"
 #include "src/obs/metrics.h"
+#include "src/obs/postmortem.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_export.h"
+#include "src/util/check.h"
 #include "src/util/table.h"
 
 namespace {
@@ -187,6 +191,11 @@ struct Args {
   bool no_shrink = false;           // --no-shrink
   std::string corpus_out;           // --corpus-out FILE
   std::string replay_path;          // --replay FILE
+  // Flight recorder / timeline (DESIGN.md §15):
+  std::string flight_out;    // --flight-out DIR: post-mortem bundle, any command.
+  std::string timeline_out;  // --timeline-out FILE(.csv|.json), simulate/workload.
+  double timeline_period_s = 60.0;  // --timeline-period S
+  std::string kind_filter;   // --kind KIND event filter for `blackbox`.
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv) {
@@ -329,12 +338,85 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--replay") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.replay_path = value;
+    } else if (flag == "--flight-out") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.flight_out = value;
+    } else if (flag == "--timeline-out") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.timeline_out = value;
+    } else if (flag == "--timeline-period") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.timeline_period_s = std::atof(value);
+    } else if (flag == "--kind") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.kind_filter = value;
     } else {
       std::fprintf(stderr, "sdbsim: unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
     }
   }
   return args;
+}
+
+// --- Flight recorder (--flight-out) ------------------------------------------
+
+// Process-wide flight-recorder context: a journal installed on the main
+// thread for the whole command, plus everything the post-mortem manifest
+// needs. The harness commands (fuzz, soak) write the bundle themselves from
+// the first failing case's own journal; every other command falls through
+// to the generic dump in main() after the handler returns.
+struct FlightContext {
+  std::string dir;
+  std::string tool;  // "sdbsim <command>".
+  uint64_t seed = 0;
+  int jobs = 1;
+  std::string config_digest;  // DigestConfig over the full flag line.
+  obs::EventJournal journal{4096};
+  bool written = false;
+};
+
+FlightContext* g_flight = nullptr;
+
+// Writes the bundle once per run (a check-failure dump may overwrite).
+void WriteFlightBundle(const std::string& trigger,
+                       const std::vector<obs::JournalEvent>& events,
+                       const std::string& reproducer) {
+  if (g_flight == nullptr || g_flight->written) {
+    return;
+  }
+  obs::PostmortemManifest manifest;
+  manifest.tool = g_flight->tool;
+  manifest.trigger = trigger;
+  manifest.git_sha = obs::GitShaForManifest();
+  manifest.seed = g_flight->seed;
+  manifest.jobs = g_flight->jobs;
+  manifest.config_digest = g_flight->config_digest;
+  manifest.reproducer = reproducer;
+  std::string error = obs::WritePostmortemBundle(
+      g_flight->dir, manifest, events, obs::MetricsRegistry::Global().ToJson());
+  if (!error.empty()) {
+    std::fprintf(stderr, "sdbsim: %s\n", error.c_str());
+    return;
+  }
+  g_flight->written = true;
+  std::printf("flight recorder: bundle written to %s (trigger %s, %zu event(s))\n",
+              g_flight->dir.c_str(), trigger.c_str(), events.size());
+}
+
+// SDB_CHECK hook: record the failure and dump whatever the process journal
+// holds before CheckFailed aborts. Overwrites an already-written bundle —
+// the crash dump is strictly more informative.
+void FlightCheckFailureHandler(const char* expr, const char* file, int line) {
+  if (g_flight == nullptr) {
+    return;
+  }
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kCheckFailure;
+  event.what = expr;
+  event.detail = std::string(file) + ":" + std::to_string(line);
+  g_flight->journal.Emit(std::move(event));
+  g_flight->written = false;
+  WriteFlightBundle("check-failure", g_flight->journal.Snapshot(), std::string());
 }
 
 // --- Command registry ---------------------------------------------------------
@@ -353,6 +435,7 @@ int CmdPlanCharge(const Args& args);
 int CmdPlanDischarge(const Args& args);
 int CmdWorkload(const Args& args);
 int CmdFuzz(const Args& args);
+int CmdBlackbox(const Args& args);
 int CmdHelp(const Args& args);
 
 struct CommandInfo {
@@ -370,11 +453,13 @@ const CommandInfo kCommands[] = {
      "         (--load-watts W --hours H | --trace FILE.csv)\n"
      "         [--supply-watts W] [--soc F] [--tick S]\n"
      "         [--discharge-directive F] [--charge-directive F]\n"
-     "         [--hourly-csv OUT.csv] [--seed N]\n",
+     "         [--hourly-csv OUT.csv] [--seed N]\n"
+     "         [--timeline-out OUT.csv|OUT.json] [--timeline-period S]\n",
      CmdSimulate},
     {"workload", "expand and run a named scenario pack",
      "  sdbsim workload [PACK] [--list] [--param NAME=VALUE ...] [--seed N]\n"
      "         [--trace FILE.csv] [--export-trace OUT.csv] [--hourly-csv OUT.csv]\n"
+     "         [--timeline-out OUT.csv|OUT.json] [--timeline-period S]\n"
      "         (--list alone tabulates the packs; with PACK it tabulates the\n"
      "          pack's parameters; --trace substitutes an external CSV power\n"
      "          trace for the pack's synthetic load)\n",
@@ -426,6 +511,11 @@ const CommandInfo kCommands[] = {
      "  sdbsim plan-discharge --battery A --battery B\n"
      "         (--load-watts W --hours H | --trace FILE.csv) [--soc F]\n",
      CmdPlanDischarge},
+    {"blackbox", "inspect a --flight-out post-mortem bundle",
+     "  sdbsim blackbox DIR [--kind KIND] [--battery N]\n"
+     "         (prints the bundle's manifest and recorded events; --kind\n"
+     "          filters by kebab-case event kind, --battery by battery index)\n",
+     CmdBlackbox},
     {"help", "print this overview", "  sdbsim help\n", CmdHelp},
 };
 
@@ -441,7 +531,9 @@ void PrintUsage() {
   for (const CommandInfo& command : kCommands) {
     std::fprintf(stderr, "%s", command.usage);
   }
-  std::fprintf(stderr, "  any command also accepts --metrics-out METRICS.json\n");
+  std::fprintf(stderr,
+               "  any command also accepts --metrics-out METRICS.json and\n"
+               "  --flight-out DIR (write a post-mortem bundle; see blackbox)\n");
 }
 
 int CmdHelp(const Args&) {
@@ -509,6 +601,21 @@ bool WriteHourlyCsv(const std::string& path, const SimResult& result) {
   return true;
 }
 
+// Writes the sampled timeline as CSV when the path ends in ".csv", JSON
+// otherwise.
+bool WriteTimelineFile(const std::string& path, const obs::Timeline& timeline) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "sdbsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  out << (csv ? timeline.ToCsv() : timeline.ToJson() + "\n");
+  std::printf("timeline written to %s (%zu sample(s), period %.0f s)\n",
+              path.c_str(), timeline.size(), timeline.period_s());
+  return true;
+}
+
 void PrintTelemetrySummary(const TelemetryRecorder& telemetry) {
   std::printf("telemetry: %zu decision samples buffered, %zu dropped\n", telemetry.size(),
               telemetry.dropped());
@@ -560,6 +667,10 @@ int CmdSimulate(const Args& args) {
   sim_config.tick = Seconds(args.tick_s);
   sim_config.runtime_period = Seconds(std::max(30.0, args.tick_s));
   sim_config.stop_on_shortfall = false;
+  obs::Timeline timeline(args.timeline_period_s);
+  if (!args.timeline_out.empty()) {
+    sim_config.timeline = &timeline;
+  }
   Simulator sim(&runtime, sim_config);
   PowerTrace supply = args.supply_watts > 0.0
                           ? PowerTrace::Constant(Watts(args.supply_watts), load.TotalDuration())
@@ -583,6 +694,9 @@ int CmdSimulate(const Args& args) {
   PrintTelemetrySummary(telemetry);
 
   if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
+    return 2;
+  }
+  if (!args.timeline_out.empty() && !WriteTimelineFile(args.timeline_out, timeline)) {
     return 2;
   }
   return result.first_shortfall.has_value() ? 1 : 0;
@@ -878,6 +992,14 @@ int CmdSoak(const Args& args) {
   std::printf("soak fingerprint: %016llx (%llu violation(s))\n",
               static_cast<unsigned long long>(report.fingerprint),
               static_cast<unsigned long long>(report.total_violations));
+  // Post-mortem: the first violating schedule's own journal (deterministic
+  // per seed, independent of --jobs), trigger "soak-violation".
+  for (const SoakScheduleReport& s : report.schedules) {
+    if (!s.violations.empty() || s.violations_dropped > 0) {
+      WriteFlightBundle("soak-violation", s.journal, std::string());
+      break;
+    }
+  }
   return report.ok() ? 0 : 1;
 }
 
@@ -1152,7 +1274,11 @@ int CmdWorkload(const Args& args) {
     std::fprintf(stderr, "sdbsim: %s\n", expanded.status().ToString().c_str());
     return 2;
   }
-  const ScenarioSpec& spec = *expanded;
+  ScenarioSpec spec = *std::move(expanded);
+  obs::Timeline timeline(args.timeline_period_s);
+  if (!args.timeline_out.empty()) {
+    spec.sim.timeline = &timeline;
+  }
   std::printf("pack %s (seed %llu): %zu batteries, load %.2f h / peak %.2f W / "
               "%.1f kJ%s, envelope %.2f W\n",
               spec.pack.c_str(), static_cast<unsigned long long>(spec.seed),
@@ -1191,6 +1317,9 @@ int CmdWorkload(const Args& args) {
                 spec.batteries[i].name.c_str(), 100.0 * result.final_soc[i]);
   }
   if (!args.hourly_csv.empty() && !WriteHourlyCsv(args.hourly_csv, result)) {
+    return 2;
+  }
+  if (!args.timeline_out.empty() && !WriteTimelineFile(args.timeline_out, timeline)) {
     return 2;
   }
   return result.first_shortfall.has_value() ? 1 : 0;
@@ -1300,7 +1429,74 @@ int CmdFuzz(const Args& args) {
     std::printf("corpus: %zu failing reproducer(s) written to %s\n", written,
                 args.corpus_out.c_str());
   }
+  // Post-mortem: the first failing case's own journal and reproducer
+  // (deterministic per case, independent of --jobs), trigger "fuzz-oracle".
+  for (const FuzzCaseReport& c : report.cases) {
+    if (c.failed) {
+      WriteFlightBundle("fuzz-oracle", c.journal, c.reproducer);
+      break;
+    }
+  }
   return report.ok() ? 0 : 1;
+}
+
+// --- Bundle inspector (`blackbox`) -------------------------------------------
+
+int CmdBlackbox(const Args& args) {
+  if (args.pack_name.empty()) {
+    std::fprintf(stderr, "sdbsim: blackbox needs a bundle directory\n");
+    return 2;
+  }
+  obs::PostmortemManifest manifest;
+  std::string error = obs::ReadPostmortemManifest(args.pack_name, &manifest);
+  if (!error.empty()) {
+    std::fprintf(stderr, "sdbsim: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("bundle %s\n", args.pack_name.c_str());
+  std::printf("  tool           %s\n", manifest.tool.c_str());
+  std::printf("  trigger        %s\n", manifest.trigger.c_str());
+  std::printf("  git sha        %s\n", manifest.git_sha.c_str());
+  std::printf("  seed           %llu\n",
+              static_cast<unsigned long long>(manifest.seed));
+  std::printf("  jobs           %d\n", manifest.jobs);
+  std::printf("  config digest  %s\n", manifest.config_digest.c_str());
+  if (!manifest.reproducer.empty()) {
+    std::printf("  reproducer     %s\n", manifest.reproducer.c_str());
+  }
+
+  std::vector<obs::JournalEvent> events;
+  size_t skipped = 0;
+  error = obs::ReadPostmortemEvents(args.pack_name, &events, &skipped);
+  if (!error.empty()) {
+    std::fprintf(stderr, "sdbsim: %s\n", error.c_str());
+    return 2;
+  }
+  // Filters: --kind by kebab-case kind name, --battery by index (the flag
+  // is shared with the rig commands; here its value is a bare index).
+  std::optional<int> battery_filter;
+  if (!args.batteries.empty()) {
+    battery_filter = std::atoi(args.batteries.front().c_str());
+  }
+  TextTable table({"seq", "t_s", "kind", "battery", "what", "value", "limit", "detail"});
+  size_t shown = 0;
+  for (const obs::JournalEvent& event : events) {
+    if (!args.kind_filter.empty() && args.kind_filter != obs::EventKindName(event.kind)) {
+      continue;
+    }
+    if (battery_filter.has_value() && event.battery != *battery_filter) {
+      continue;
+    }
+    table.AddRow({std::to_string(event.seq), obs::JsonNumber(event.t_s),
+                  obs::EventKindName(event.kind), std::to_string(event.battery),
+                  event.what, obs::JsonNumber(event.value),
+                  obs::JsonNumber(event.limit), event.detail});
+    ++shown;
+  }
+  table.Print(std::cout);
+  std::printf("%zu/%zu event(s) shown (%zu malformed line(s) skipped)\n", shown,
+              events.size(), skipped);
+  return 0;
 }
 
 }  // namespace
@@ -1323,7 +1519,42 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  // --flight-out: install a process journal on the main thread plus the
+  // SDB_CHECK crash hook; the config digest covers the exact flag line.
+  FlightContext flight;
+  std::optional<sdb::obs::JournalScope> flight_scope;
+  if (!args->flight_out.empty() && args->command != "blackbox") {
+    flight.dir = args->flight_out;
+    flight.tool = std::string("sdbsim ") + args->command;
+    flight.seed = args->seed;
+    flight.jobs = args->jobs;
+    std::ostringstream config_text;
+    for (int i = 1; i < argc; ++i) {
+      config_text << (i > 1 ? " " : "") << argv[i];
+    }
+    flight.config_digest = sdb::obs::DigestConfig(config_text.str());
+    g_flight = &flight;
+    flight_scope.emplace(&flight.journal);
+    sdb::SetCheckFailureHandler(FlightCheckFailureHandler);
+  }
   rc = command->handler(*args);
+  if (g_flight != nullptr) {
+    if (!flight.written) {
+      // Nothing harness-specific fired: dump the process journal, flagging
+      // a safety trip when the run recorded one.
+      std::vector<sdb::obs::JournalEvent> events = flight.journal.Snapshot();
+      std::string trigger = "none";
+      for (const sdb::obs::JournalEvent& event : events) {
+        if (event.kind == sdb::obs::EventKind::kSafetyTrip) {
+          trigger = "safety-trip";
+          break;
+        }
+      }
+      WriteFlightBundle(trigger, events, std::string());
+    }
+    sdb::SetCheckFailureHandler(nullptr);
+    g_flight = nullptr;
+  }
   // Any command can dump the process-wide metrics registry on exit.
   if (!args->metrics_out.empty()) {
     std::ofstream out(args->metrics_out);
