@@ -1,0 +1,81 @@
+// Versioned, checksummed snapshot container (DESIGN.md §16).
+//
+// Wire format, little-endian throughout:
+//
+//   header (40 bytes)
+//     u64  magic            "SDBCKPT1" (bytes, read as LE u64)
+//     u16  version          kFormatVersion
+//     u16  reserved         0
+//     u32  crc32            zlib-compatible CRC over every byte AFTER this
+//                           field (config_digest .. end of payload)
+//     u64  config_digest    caller-defined digest of the rig configuration
+//     u64  generation       monotone save counter (A/B slot arbitration)
+//     u64  payload_size     bytes of section payload that follow
+//   payload: sections, each
+//     u32  id               SectionId
+//     u64  size             payload bytes
+//     ...  bytes
+//
+// DecodeSnapshot performs structural validation only (magic, truncation,
+// CRC, section walk) and fails with kInvalidArgument; schema validation
+// (version skew, config-digest mismatch) is ValidateSchema and fails with
+// kFailedPrecondition. The split keeps "this file is damaged" distinct from
+// "this file is from a different build/rig", which the A/B store reports
+// separately.
+#ifndef SRC_CORE_CHECKPOINT_SNAPSHOT_H_
+#define SRC_CORE_CHECKPOINT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sdb {
+namespace checkpoint {
+
+inline constexpr uint16_t kFormatVersion = 1;
+inline constexpr uint64_t kMagic = 0x3154504B43424453ULL;  // "SDBCKPT1" LE.
+inline constexpr size_t kHeaderSize = 40;
+
+// Section ids are append-only; decoders skip unknown ids so older readers
+// tolerate newer writers within one format version.
+enum SectionId : uint32_t {
+  kSectionMicro = 1,       // Pack lanes, gauges, circuits, injector, controller.
+  kSectionSafety = 2,      // Supervisor lifecycle + fault latches.
+  kSectionLink = 3,        // Command-link client + server replay cache.
+  kSectionRuntime = 4,     // SdbRuntime policy/degraded/ramp state.
+  kSectionPredictor = 5,   // UserSchedulePredictor day statistics.
+  kSectionClassifier = 6,  // WorkloadClassifier sample window.
+  kSectionSimLoop = 7,     // Simulator loop state (emu resume point).
+};
+
+struct Section {
+  uint32_t id = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct Snapshot {
+  uint16_t version = kFormatVersion;
+  uint64_t config_digest = 0;
+  uint64_t generation = 0;
+  std::vector<Section> sections;
+
+  const Section* FindSection(uint32_t id) const;
+  void AddSection(uint32_t id, std::vector<uint8_t> bytes);
+};
+
+// Serializes the snapshot, stamping the CRC.
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot);
+
+// Structural validation + parse. kInvalidArgument on damage of any kind
+// (bad magic, truncation, CRC mismatch, mis-sized section walk).
+StatusOr<Snapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes);
+
+// Schema validation: the snapshot must carry the running format version and
+// the expected rig digest. kFailedPrecondition otherwise.
+Status ValidateSchema(const Snapshot& snapshot, uint64_t expected_config_digest);
+
+}  // namespace checkpoint
+}  // namespace sdb
+
+#endif  // SRC_CORE_CHECKPOINT_SNAPSHOT_H_

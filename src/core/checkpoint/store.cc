@@ -1,0 +1,190 @@
+#include "src/core/checkpoint/store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/obs/event.h"
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace sdb {
+namespace checkpoint {
+
+namespace {
+
+// Process-wide mirrors of the per-store activity, so checkpoint health is
+// visible through MetricsRegistry::Snapshot() (same pattern as the runtime's
+// ResilienceMetrics).
+struct CheckpointMetrics {
+  obs::Counter* saves;
+  obs::Counter* restores;
+  obs::Counter* corrupt_slots;
+  obs::Counter* slot_fallbacks;
+};
+
+CheckpointMetrics& GlobalCheckpointMetrics() {
+  static CheckpointMetrics* metrics = new CheckpointMetrics{
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.saves"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.restores"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.corrupt_slots"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.slot_fallbacks"),
+  };
+  return *metrics;
+}
+
+const char* SlotName(int slot) { return slot == 0 ? "A" : "B"; }
+
+}  // namespace
+
+Status MemorySlotDevice::Write(int slot, const std::vector<uint8_t>& bytes) {
+  SDB_CHECK(slot >= 0 && slot < kSlotCount);
+  slots_[slot] = bytes;
+  present_[slot] = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> MemorySlotDevice::Read(int slot) const {
+  SDB_CHECK(slot >= 0 && slot < kSlotCount);
+  if (!present_[slot]) {
+    return NotFoundError("checkpoint: slot " + std::string(SlotName(slot)) +
+                         " never written");
+  }
+  return slots_[slot];
+}
+
+FileSlotDevice::FileSlotDevice(std::string dir) : dir_(std::move(dir)) {}
+
+std::string FileSlotDevice::SlotPath(int slot) const {
+  SDB_CHECK(slot >= 0 && slot < kSlotCount);
+  return dir_ + (slot == 0 ? "/snap.a" : "/snap.b");
+}
+
+Status FileSlotDevice::Write(int slot, const std::vector<uint8_t>& bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // Best effort; open decides.
+  std::ofstream out(SlotPath(slot), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return UnavailableError("checkpoint: cannot open " + SlotPath(slot) +
+                            " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return UnavailableError("checkpoint: short write to " + SlotPath(slot));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> FileSlotDevice::Read(int slot) const {
+  std::ifstream in(SlotPath(slot), std::ios::binary);
+  if (!in) {
+    return NotFoundError("checkpoint: no snapshot at " + SlotPath(slot));
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return UnavailableError("checkpoint: read error on " + SlotPath(slot));
+  }
+  return bytes;
+}
+
+CheckpointStore::CheckpointStore(SlotDevice* device, uint64_t config_digest)
+    : device_(device), config_digest_(config_digest) {
+  SDB_CHECK(device_ != nullptr);
+}
+
+void CheckpointStore::SetWriteMutatorOnce(WriteMutator mutator) {
+  mutator_ = std::move(mutator);
+}
+
+Status CheckpointStore::Save(Snapshot snapshot, Duration sim_now) {
+  snapshot.version = kFormatVersion;
+  snapshot.config_digest = config_digest_;
+  snapshot.generation = next_generation_;
+  std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+  if (mutator_) {
+    // One-shot torn/bit-flip injection on the encoded image.
+    WriteMutator mutator = std::move(mutator_);
+    mutator_ = nullptr;
+    mutator(bytes);
+  }
+  const int slot = next_slot_;
+  SDB_RETURN_IF_ERROR(device_->Write(slot, bytes));
+  next_slot_ = 1 - next_slot_;
+  ++next_generation_;
+  ++saves_;
+  GlobalCheckpointMetrics().saves->Increment();
+  SDB_JOURNAL_EVENT(obs::EventKind::kCheckpointSave, sim_now.value(), -1, SlotName(slot),
+                    std::string(), static_cast<double>(snapshot.generation),
+                    static_cast<double>(bytes.size()));
+  return Status::Ok();
+}
+
+void CheckpointStore::AdoptLoaded(const LoadResult& loaded) {
+  SDB_CHECK(loaded.slot >= 0 && loaded.slot < SlotDevice::kSlotCount);
+  next_generation_ = loaded.snapshot.generation + 1;
+  next_slot_ = 1 - loaded.slot;
+}
+
+StatusOr<LoadResult> CheckpointStore::LoadLastGood() const {
+  LoadResult result;
+  Status first_error = Status::Ok();
+  int present = 0;
+  for (int slot = 0; slot < SlotDevice::kSlotCount; ++slot) {
+    SlotDiagnostic& diag = result.diagnostics[slot];
+    StatusOr<std::vector<uint8_t>> bytes = device_->Read(slot);
+    if (!bytes.ok()) {
+      if (bytes.status().code() != StatusCode::kNotFound) {
+        diag.present = true;  // IO error: the slot exists but is unreadable.
+        diag.error = bytes.status().ToString();
+      }
+      continue;
+    }
+    diag.present = true;
+    ++present;
+    StatusOr<Snapshot> decoded = DecodeSnapshot(*bytes);
+    Status schema = decoded.ok()
+                        ? ValidateSchema(*decoded, config_digest_)
+                        : decoded.status();
+    if (!schema.ok()) {
+      diag.error = schema.ToString();
+      ++result.corrupt_slots;
+      GlobalCheckpointMetrics().corrupt_slots->Increment();
+      SDB_JOURNAL_EVENT(obs::EventKind::kCorruptionDetected, -1.0, -1,
+                        SlotName(slot), schema.ToString());
+      if (first_error.ok()) {
+        first_error = schema;
+      }
+      continue;
+    }
+    diag.valid = true;
+    diag.generation = decoded->generation;
+    if (result.slot < 0 || decoded->generation > result.snapshot.generation) {
+      result.snapshot = std::move(*decoded);
+      result.slot = slot;
+    }
+  }
+  if (result.slot < 0) {
+    if (present == 0) {
+      return NotFoundError("checkpoint: no snapshot in either slot");
+    }
+    return first_error;
+  }
+  // Fallback = some slot was corrupt yet a valid one remained; the A/B
+  // protocol guarantees the survivor is the previous complete snapshot.
+  result.fell_back = result.corrupt_slots > 0;
+  GlobalCheckpointMetrics().restores->Increment();
+  if (result.fell_back) {
+    GlobalCheckpointMetrics().slot_fallbacks->Increment();
+  }
+  SDB_JOURNAL_EVENT(obs::EventKind::kCheckpointRestore, -1.0, -1,
+                    SlotName(result.slot), std::string(),
+                    static_cast<double>(result.snapshot.generation),
+                    static_cast<double>(result.corrupt_slots));
+  return result;
+}
+
+}  // namespace checkpoint
+}  // namespace sdb

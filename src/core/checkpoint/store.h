@@ -1,0 +1,128 @@
+// Double-buffered A/B snapshot store (DESIGN.md §16).
+//
+// Protocol: saves alternate between two slots, each write stamped with a
+// monotone generation, so a crash mid-write can only damage the slot being
+// written — the other slot still holds the previous complete snapshot.
+// LoadLastGood validates both slots (structure via DecodeSnapshot, schema
+// via ValidateSchema) and adopts the highest-generation valid one; a slot
+// that is present but invalid is counted, journaled (kCorruptionDetected)
+// and reported in per-slot diagnostics, never silently loaded.
+//
+// Torn/partial/bit-flipped-write injection hooks in through the write
+// mutator: the harness mutates the encoded bytes after the CRC is stamped
+// and before the device write, exactly what a power cut mid-write produces.
+#ifndef SRC_CORE_CHECKPOINT_STORE_H_
+#define SRC_CORE_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint/snapshot.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace sdb {
+namespace checkpoint {
+
+// Storage backend holding exactly two snapshot slots (0 = A, 1 = B).
+class SlotDevice {
+ public:
+  static constexpr int kSlotCount = 2;
+
+  virtual ~SlotDevice() = default;
+
+  // Replaces slot contents. The device itself is not expected to be atomic:
+  // the A/B protocol above provides crash consistency.
+  virtual Status Write(int slot, const std::vector<uint8_t>& bytes) = 0;
+
+  // kNotFound when the slot has never been written.
+  virtual StatusOr<std::vector<uint8_t>> Read(int slot) const = 0;
+};
+
+// In-memory device for tests and the crash soak (simulated process death
+// keeps the "disk" alive across the simulated restart).
+class MemorySlotDevice : public SlotDevice {
+ public:
+  Status Write(int slot, const std::vector<uint8_t>& bytes) override;
+  StatusOr<std::vector<uint8_t>> Read(int slot) const override;
+
+ private:
+  std::vector<uint8_t> slots_[kSlotCount];
+  bool present_[kSlotCount] = {false, false};
+};
+
+// Files `<dir>/snap.a` and `<dir>/snap.b`. The directory must exist (or be
+// creatable); IO failures surface as kUnavailable.
+class FileSlotDevice : public SlotDevice {
+ public:
+  explicit FileSlotDevice(std::string dir);
+
+  Status Write(int slot, const std::vector<uint8_t>& bytes) override;
+  StatusOr<std::vector<uint8_t>> Read(int slot) const override;
+
+  std::string SlotPath(int slot) const;
+
+ private:
+  std::string dir_;
+};
+
+// What LoadLastGood learned about one slot.
+struct SlotDiagnostic {
+  bool present = false;
+  bool valid = false;
+  uint64_t generation = 0;  // Meaningful only when valid.
+  std::string error;        // Decode/schema error for present-but-invalid.
+};
+
+struct LoadResult {
+  Snapshot snapshot;
+  int slot = -1;            // Slot the snapshot was loaded from.
+  int corrupt_slots = 0;    // Present-but-invalid slots encountered.
+  bool fell_back = false;   // The newest-written slot was bad; used the other.
+  SlotDiagnostic diagnostics[SlotDevice::kSlotCount];
+};
+
+class CheckpointStore {
+ public:
+  using WriteMutator = std::function<void(std::vector<uint8_t>&)>;
+
+  // `device` must outlive the store. `config_digest` identifies the rig;
+  // snapshots from other digests are rejected at load.
+  CheckpointStore(SlotDevice* device, uint64_t config_digest);
+
+  // Applied to the encoded bytes of the NEXT save only, then cleared
+  // (torn-write injection fires on one scheduled checkpoint).
+  void SetWriteMutatorOnce(WriteMutator mutator);
+
+  // Stamps generation + digest, encodes, and writes the slot not holding
+  // the newest snapshot. `sim_now` is simulated time for the journal.
+  Status Save(Snapshot snapshot, Duration sim_now);
+
+  // Validates both slots and returns the highest-generation valid one.
+  // kNotFound when no slot was ever written; the first slot's decode error
+  // otherwise (typed: kInvalidArgument for damage, kFailedPrecondition for
+  // schema skew) when slots exist but none validates.
+  StatusOr<LoadResult> LoadLastGood() const;
+
+  // After a warm restart: continue the generation sequence from the loaded
+  // snapshot and aim the next save at the other slot, so the surviving
+  // last-good image is never the one overwritten first.
+  void AdoptLoaded(const LoadResult& loaded);
+
+  uint64_t saves() const { return saves_; }
+
+ private:
+  SlotDevice* device_;
+  uint64_t config_digest_;
+  uint64_t next_generation_ = 1;
+  int next_slot_ = 0;
+  uint64_t saves_ = 0;
+  WriteMutator mutator_;
+};
+
+}  // namespace checkpoint
+}  // namespace sdb
+
+#endif  // SRC_CORE_CHECKPOINT_STORE_H_

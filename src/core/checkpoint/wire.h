@@ -1,0 +1,165 @@
+// Little-endian byte codec for checkpoint snapshots (DESIGN.md §16).
+//
+// ByteWriter appends fixed-width scalars to a growing buffer; ByteReader is
+// its truncation-checked inverse: every read returns a Status and a reader
+// can never run past the end of the buffer, so a torn or hostile snapshot
+// is rejected with a typed error instead of undefined behaviour.
+#ifndef SRC_CORE_CHECKPOINT_WIRE_H_
+#define SRC_CORE_CHECKPOINT_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sdb {
+namespace checkpoint {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutBytes(const uint8_t* data, size_t size) {
+    out_.insert(out_.end(), data, data + size);
+  }
+  void PutF64Vector(const std::vector<double>& v) {
+    PutU64(v.size());
+    for (double x : v) {
+      PutF64(x);
+    }
+  }
+  void PutBoolVector(const std::vector<bool>& v) {
+    PutU64(v.size());
+    for (bool x : v) {
+      PutBool(x);
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return out_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  void PutLittleEndian(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(uint8_t* out) {
+    SDB_RETURN_IF_ERROR(Need(1));
+    *out = data_[pos_++];
+    return Status::Ok();
+  }
+  Status ReadU16(uint16_t* out) { return ReadLittleEndian(out, 2); }
+  Status ReadU32(uint32_t* out) { return ReadLittleEndian(out, 4); }
+  Status ReadU64(uint64_t* out) { return ReadLittleEndian(out, 8); }
+  Status ReadBool(bool* out) {
+    uint8_t v = 0;
+    SDB_RETURN_IF_ERROR(ReadU8(&v));
+    *out = v != 0;
+    return Status::Ok();
+  }
+  Status ReadF64(double* out) {
+    uint64_t bits = 0;
+    SDB_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+  Status ReadF64Vector(std::vector<double>* out) {
+    uint64_t count = 0;
+    SDB_RETURN_IF_ERROR(ReadU64(&count));
+    // Each element costs 8 bytes, so a count the buffer cannot hold is a
+    // corrupt length field, caught here before any allocation.
+    if (count > remaining() / 8) {
+      return InvalidArgumentError("checkpoint: vector length exceeds payload");
+    }
+    out->assign(static_cast<size_t>(count), 0.0);
+    for (auto& x : *out) {
+      SDB_RETURN_IF_ERROR(ReadF64(&x));
+    }
+    return Status::Ok();
+  }
+  Status ReadBoolVector(std::vector<bool>* out) {
+    uint64_t count = 0;
+    SDB_RETURN_IF_ERROR(ReadU64(&count));
+    if (count > remaining()) {
+      return InvalidArgumentError("checkpoint: vector length exceeds payload");
+    }
+    out->assign(static_cast<size_t>(count), false);
+    for (size_t i = 0; i < count; ++i) {
+      bool v = false;
+      SDB_RETURN_IF_ERROR(ReadBool(&v));
+      (*out)[i] = v;
+    }
+    return Status::Ok();
+  }
+
+  Status Skip(size_t n) {
+    SDB_RETURN_IF_ERROR(Need(n));
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  // All payload consumed? Trailing garbage marks a corrupt section.
+  Status ExpectExhausted() const {
+    if (remaining() != 0) {
+      return InvalidArgumentError("checkpoint: " + std::to_string(remaining()) +
+                                  " trailing byte(s) after section payload");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (remaining() < n) {
+      return InvalidArgumentError("checkpoint: truncated payload (need " +
+                                  std::to_string(n) + " byte(s), have " +
+                                  std::to_string(remaining()) + ")");
+    }
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadLittleEndian(T* out, int width) {
+    SDB_RETURN_IF_ERROR(Need(static_cast<size_t>(width)));
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    *out = static_cast<T>(v);
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace checkpoint
+}  // namespace sdb
+
+#endif  // SRC_CORE_CHECKPOINT_WIRE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "src/core/allocator.h"
 #include "src/hw/command_link.h"
@@ -46,6 +48,38 @@ ResilienceMetrics& GlobalResilienceMetrics() {
       obs::MetricsRegistry::Global().GetGauge("sdb.runtime.backoff_total_s"),
   };
   return *metrics;
+}
+
+// Warm-restart observability: how often restores resync'd (or deferred the
+// handshake into a brownout window) and how many status fields the hardware
+// disagreed with the checkpoint about.
+struct RestoreMetrics {
+  obs::Counter* restore_resyncs;
+  obs::Counter* reconcile_deferred;
+  obs::Counter* drift_fields;
+};
+
+RestoreMetrics& GlobalRestoreMetrics() {
+  static RestoreMetrics* metrics = new RestoreMetrics{
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.restore_resyncs"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.reconcile_deferred"),
+      obs::MetricsRegistry::Global().GetCounter("sdb.runtime.checkpoint.drift_fields"),
+  };
+  return *metrics;
+}
+
+// Field-wise drift between a checkpointed battery status and the hardware's
+// current report (exact compares: both sides come from the same gauge state,
+// so any difference is real divergence, not float noise).
+uint64_t CountStatusDrift(const BatteryStatus& saved, const BatteryStatus& hw) {
+  uint64_t drift = 0;
+  drift += saved.soc != hw.soc ? 1 : 0;
+  drift += saved.terminal_voltage.value() != hw.terminal_voltage.value() ? 1 : 0;
+  drift += saved.cycle_count != hw.cycle_count ? 1 : 0;
+  drift += saved.full_capacity.value() != hw.full_capacity.value() ? 1 : 0;
+  drift += saved.last_current.value() != hw.last_current.value() ? 1 : 0;
+  drift += saved.temperature.value() != hw.temperature.value() ? 1 : 0;
+  return drift;
 }
 
 // Chemical energy still extractable at `soc` per the manufacturer OCV curve.
@@ -453,6 +487,111 @@ Status SdbRuntime::Update(Power expected_load, Power expected_supply) {
 
 Status SdbRuntime::RequestTransfer(size_t from, size_t to, Power power, Duration duration) {
   return micro_->ChargeOneFromAnother(from, to, power, duration);
+}
+
+RuntimeState SdbRuntime::SaveState() const {
+  RuntimeState state;
+  state.directives = directives();
+  if (reserve_.hint().has_value()) {
+    state.has_hint = true;
+    state.hint = *reserve_.hint();
+  }
+  state.last_ccb = last_ccb_;
+  state.last_rbl = last_rbl_;
+  state.elapsed = elapsed_;
+  state.last_discharge_ratios = last_discharge_ratios_;
+  state.last_charge_ratios = last_charge_ratios_;
+  state.last_statuses = last_statuses_;
+  state.consecutive_stale = consecutive_stale_;
+  state.degraded = degraded_;
+  state.excluded = excluded_;
+  state.prev_excluded = prev_excluded_;
+  state.ramp = ramp_;
+  state.last_link_resyncs = last_link_resyncs_;
+  state.resilience = resilience_;
+  return state;
+}
+
+Status SdbRuntime::RestoreState(const RuntimeState& state) {
+  const size_t n = micro_->battery_count();
+  if (state.last_discharge_ratios.size() != n || state.last_charge_ratios.size() != n ||
+      state.prev_excluded.size() != n || state.ramp.size() != n) {
+    return InvalidArgumentError("runtime: snapshot arity does not match battery count " +
+                                std::to_string(n));
+  }
+  // last_statuses_/excluded_ may legitimately be empty (no Update yet), but a
+  // non-empty vector must match the pack.
+  if (!state.last_statuses.empty() && state.last_statuses.size() != n) {
+    return InvalidArgumentError("runtime: snapshot status arity does not match battery count");
+  }
+  if (!state.excluded.empty() && state.excluded.size() != n) {
+    return InvalidArgumentError("runtime: snapshot exclusion arity does not match battery count");
+  }
+  // Route directives through the setters so the blend weights land in the
+  // policies; the journal change-detection makes repeated sets silent.
+  SetDirectives(state.directives);
+  reserve_.SetHint(state.has_hint ? std::optional<WorkloadHint>(state.hint) : std::nullopt);
+  last_ccb_ = state.last_ccb;
+  last_rbl_ = state.last_rbl;
+  elapsed_ = state.elapsed;
+  last_discharge_ratios_ = state.last_discharge_ratios;
+  last_charge_ratios_ = state.last_charge_ratios;
+  last_statuses_ = state.last_statuses;
+  consecutive_stale_ = static_cast<int>(state.consecutive_stale);
+  degraded_ = state.degraded;
+  excluded_ = state.excluded;
+  prev_excluded_ = state.prev_excluded;
+  ramp_ = state.ramp;
+  last_link_resyncs_ = state.last_link_resyncs;
+  resilience_ = state.resilience;
+  return Status::Ok();
+}
+
+StatusOr<RestoreReport> SdbRuntime::RestoreAndResync(const RuntimeState& state) {
+  SDB_RETURN_IF_ERROR(RestoreState(state));
+  RestoreReport report;
+  // Boot-count handshake, directly against the controller: restore happens
+  // before the wire is live, and a link roundtrip would consume fault-plan
+  // RNG that the uncrashed timeline never drew.
+  if (micro_->awaiting_resync()) {
+    if (micro_->in_reset()) {
+      // Brownout window: the handshake defers to the first Update after the
+      // controller comes back (the direct-resync path there).
+      report.resync_deferred = true;
+      GlobalRestoreMetrics().reconcile_deferred->Increment();
+    } else {
+      uint32_t boot = micro_->Resync();
+      if (link_ != nullptr) {
+        link_->AdoptBootCount(boot);
+      }
+      ++resilience_.resyncs;
+      GlobalResilienceMetrics().resyncs->Increment();
+      GlobalRestoreMetrics().restore_resyncs->Increment();
+      report.resynced = true;
+      SDB_JOURNAL_EVENT(obs::EventKind::kResync, elapsed_.value(), -1, "restore-resync",
+                        std::string(), static_cast<double>(boot));
+    }
+  }
+  // Drift reconciliation: the checkpointed statuses were written by the
+  // pre-crash gauges; ask the hardware what it reports now (a direct const
+  // query — no RNG, no wire) and adopt its values, counting disagreements.
+  if (!last_statuses_.empty() && !micro_->in_reset()) {
+    std::vector<BatteryStatus> hw = micro_->QueryBatteryStatus();
+    if (hw.size() == last_statuses_.size()) {
+      uint64_t drift = 0;
+      for (size_t i = 0; i < hw.size(); ++i) {
+        drift += CountStatusDrift(last_statuses_[i], hw[i]);
+      }
+      if (drift > 0) {
+        report.drift_fields = drift;
+        GlobalRestoreMetrics().drift_fields->Increment(drift);
+        SDB_JOURNAL_EVENT(obs::EventKind::kCheckpointRestore, elapsed_.value(), -1,
+                          "drift-reconciled", std::string(), static_cast<double>(drift));
+        last_statuses_ = std::move(hw);
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace sdb

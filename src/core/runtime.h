@@ -6,6 +6,7 @@
 #ifndef SRC_CORE_RUNTIME_H_
 #define SRC_CORE_RUNTIME_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -49,6 +50,40 @@ struct RuntimeConfig {
   // time advanced through AdvanceTime) instead of snapping back to full.
   // Zero disables ramping — a returning battery rejoins at full share.
   Duration reintegration_horizon = Seconds(0.0);
+};
+
+// Complete mutable runtime state for checkpoint/restore: policy directives,
+// the workload-hint window, planning caches (last ratios / statuses), the
+// degraded-mode and quarantine masks, reintegration ramp progress, and the
+// resilience counters. Policy configuration is not carried — a restore
+// re-applies this onto a runtime constructed from the same RuntimeConfig.
+struct RuntimeState {
+  DirectiveParameters directives;
+  bool has_hint = false;  // Flattened std::optional<WorkloadHint>.
+  WorkloadHint hint;
+  double last_ccb = 1.0;
+  Energy last_rbl;
+  Duration elapsed;
+  std::vector<double> last_discharge_ratios;
+  std::vector<double> last_charge_ratios;
+  std::vector<BatteryStatus> last_statuses;
+  int64_t consecutive_stale = 0;
+  bool degraded = false;
+  std::vector<bool> excluded;
+  std::vector<bool> prev_excluded;
+  std::vector<double> ramp;
+  uint64_t last_link_resyncs = 0;
+  ResilienceCounters resilience;
+};
+
+// What RestoreAndResync did beyond restoring state: whether the boot-count
+// handshake ran (or was deferred because the controller is held in reset)
+// and how many checkpointed status fields disagreed with what the hardware
+// reports now (adopted from hardware, counted as drift).
+struct RestoreReport {
+  bool resynced = false;
+  bool resync_deferred = false;
+  uint64_t drift_fields = 0;
 };
 
 class SdbRuntime {
@@ -124,6 +159,23 @@ class SdbRuntime {
   const ResilienceCounters& resilience() const { return resilience_; }
 
   SdbMicrocontroller* microcontroller() { return micro_; }
+
+  // --- Checkpoint / warm restart --------------------------------------------
+
+  // Snapshots / reinstates the full mutable runtime state (see RuntimeState).
+  // Restore rejects snapshots whose per-battery vectors do not match this
+  // runtime's battery count.
+  RuntimeState SaveState() const;
+  [[nodiscard]] Status RestoreState(const RuntimeState& state);
+
+  // Warm-restart entry point: restores `state`, then (a) completes the
+  // boot-count resync handshake directly against the microcontroller — never
+  // over the command link, whose fault injection would consume RNG — and
+  // adopts the boot count into the attached link client; (b) reconciles
+  // drift between the checkpointed battery statuses and what the hardware
+  // reports now, adopting the hardware values. A controller held in reset
+  // defers the handshake to the first post-restore Update.
+  [[nodiscard]] StatusOr<RestoreReport> RestoreAndResync(const RuntimeState& state);
 
  private:
   // QueryBatteryStatus with retry-with-backoff over the attached link (or a

@@ -5,10 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "src/core/checkpoint/rig_codec.h"
+#include "src/core/checkpoint/snapshot.h"
+#include "src/core/checkpoint/store.h"
 #include "src/core/runtime.h"
 #include "src/emu/simulator.h"
 #include "src/emu/soak.h"
@@ -27,6 +31,13 @@ constexpr size_t kMaxViolationsPerCase = 16;
 constexpr uint64_t kSampleSalt = 0xF022BAD5EEDULL;
 constexpr uint64_t kFaultSalt = 0xFA17F1A6ULL;
 constexpr uint64_t kRigSalt = 0x2165EEDULL;
+// The crash/flip/charge-phase dimensions each draw from their own salted
+// stream, so sampling them (or disabling them) leaves every pre-existing
+// draw — and therefore the shape of historical corpora — untouched.
+constexpr uint64_t kCrashSalt = 0xC2A54D175EEDULL;
+constexpr uint64_t kFlipSalt = 0xF11BD1CE5EEDULL;
+constexpr uint64_t kChargeFaultSalt = 0xC4A26EFA5EEDULL;
+constexpr uint64_t kFuzzTornSalt = 0xF0221025EEDULL;
 
 uint64_t MixU64(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -93,6 +104,29 @@ bool ParseFaultClass(const std::string& name, FaultClass* out) {
   return false;
 }
 
+bool ParseCrashBarrier(const std::string& name, CrashBarrier* out) {
+  for (CrashBarrier barrier :
+       {CrashBarrier::kPreAllocate, CrashBarrier::kPostAllocate,
+        CrashBarrier::kMidCheckpointWrite}) {
+    if (CrashBarrierName(barrier) == name) {
+      *out = barrier;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseTornWriteKind(const std::string& name, TornWriteKind* out) {
+  for (TornWriteKind kind : {TornWriteKind::kNone, TornWriteKind::kTruncate,
+                             TornWriteKind::kZeroRange, TornWriteKind::kBitFlip}) {
+    if (TornWriteKindName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 // The fuzz rig's recovery doctrine matches the soak harness: recovery on,
 // dwells short enough to complete inside a capped horizon.
 RecoveryConfig FuzzRecovery() {
@@ -128,6 +162,135 @@ Duration PolicyLifetime(const ScenarioSpec& spec, DirectiveParameters directives
   return result.first_shortfall.value_or(result.elapsed);
 }
 
+std::vector<SafetyLimits> FuzzLimits(const SdbMicrocontroller& micro) {
+  std::vector<SafetyLimits> limits;
+  for (size_t i = 0; i < micro.battery_count(); ++i) {
+    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
+  }
+  return limits;
+}
+
+RuntimeConfig FuzzRuntimeConfig(const FuzzCase& fuzz_case) {
+  RuntimeConfig config;
+  config.directives = fuzz_case.directives;
+  config.reintegration_horizon = Minutes(10.0);
+  return config;
+}
+
+// The full rig a fuzz case plays against: microcontroller + supervisor +
+// command link + runtime, faults installed before the injector attaches to
+// the link. Heap-held by the crash-equivalence oracle, which rebuilds it
+// across simulated process deaths — components point at each other, so a
+// rig never moves.
+struct FuzzRig {
+  FuzzRig(const ScenarioSpec& spec, const FuzzCase& fuzz_case)
+      : micro(MakeDefaultMicrocontroller(BuildScenarioCells(spec),
+                                         spec.seed ^ kRigSalt)),
+        safety(FuzzLimits(micro), FuzzRecovery()),
+        server(&micro),
+        client([this](const std::vector<uint8_t>& bytes) {
+          return server.Receive(bytes);
+        }),
+        runtime(&micro, FuzzRuntimeConfig(fuzz_case)) {
+    micro.AttachSafety(&safety);
+    if (!fuzz_case.faults.empty()) {
+      micro.InstallFaults(fuzz_case.faults);
+    }
+    client.AttachFaultInjector(micro.fault_injector());
+    runtime.AttachLink(&client);
+  }
+
+  FuzzRig(const FuzzRig&) = delete;
+  FuzzRig& operator=(const FuzzRig&) = delete;
+
+  SdbMicrocontroller micro;
+  SafetySupervisor safety;
+  CommandLinkServer server;
+  CommandLinkClient client;
+  SdbRuntime runtime;
+};
+
+// Applies every directive flip whose time has passed. Called from on_tick
+// by the main run and its crash twin alike, so both play the same policy
+// timeline; after a warm restart the cursor is re-derived from the resume
+// clock (the flips' effect itself rides in the restored RuntimeState).
+void ApplyDueFlips(const FuzzCase& fuzz_case, FuzzRig& rig, Duration now,
+                   size_t* cursor) {
+  while (*cursor < fuzz_case.flips.size() &&
+         fuzz_case.flips[*cursor].time.value() <= now.value()) {
+    const DirectiveFlip& flip = fuzz_case.flips[*cursor];
+    DirectiveParameters directives;
+    directives.discharging = flip.discharging;
+    directives.charging = flip.charging;
+    rig.runtime.SetDirectives(directives);
+    ++(*cursor);
+  }
+}
+
+// The crash twin checkpoints the core rig sections plus the driver-loop
+// state; the os-layer sections the crash soak carries (predictor,
+// classifier) have no counterpart in the fuzz rig.
+checkpoint::Snapshot SnapshotFuzzRig(const FuzzRig& rig, const SimLoopState& state) {
+  checkpoint::Snapshot snap;
+  snap.AddSection(checkpoint::kSectionMicro,
+                  checkpoint::EncodeMicroState(rig.micro.SaveState()));
+  snap.AddSection(checkpoint::kSectionSafety,
+                  checkpoint::EncodeSupervisorState(rig.safety.SaveState()));
+  snap.AddSection(checkpoint::kSectionLink,
+                  checkpoint::EncodeLinkState(
+                      {rig.client.SaveState(), rig.server.SaveState()}));
+  snap.AddSection(checkpoint::kSectionRuntime,
+                  checkpoint::EncodeRuntimeState(rig.runtime.SaveState()));
+  snap.AddSection(checkpoint::kSectionSimLoop, EncodeSimLoopState(state));
+  return snap;
+}
+
+Status MissingFuzzSection(const char* name) {
+  return InvalidArgumentError(std::string("checkpoint: snapshot is missing the ") +
+                              name + " section");
+}
+
+// Restores every component of a freshly-built rig from the snapshot and
+// completes the boot-count resync handshake. Decodes everything before
+// mutating anything, hardware first (mirrors the crash soak's RestoreRig).
+Status RestoreFuzzRig(FuzzRig& rig, const checkpoint::Snapshot& snap,
+                      SimLoopState* loop) {
+  const checkpoint::Section* micro_s = snap.FindSection(checkpoint::kSectionMicro);
+  const checkpoint::Section* safety_s = snap.FindSection(checkpoint::kSectionSafety);
+  const checkpoint::Section* link_s = snap.FindSection(checkpoint::kSectionLink);
+  const checkpoint::Section* runtime_s = snap.FindSection(checkpoint::kSectionRuntime);
+  const checkpoint::Section* loop_s = snap.FindSection(checkpoint::kSectionSimLoop);
+  if (micro_s == nullptr) return MissingFuzzSection("microcontroller");
+  if (safety_s == nullptr) return MissingFuzzSection("safety");
+  if (link_s == nullptr) return MissingFuzzSection("link");
+  if (runtime_s == nullptr) return MissingFuzzSection("runtime");
+  if (loop_s == nullptr) return MissingFuzzSection("sim-loop");
+
+  StatusOr<MicroState> micro_state = checkpoint::DecodeMicroState(micro_s->bytes);
+  SDB_RETURN_IF_ERROR(micro_state.status());
+  StatusOr<SafetySupervisor::SupervisorState> safety_state =
+      checkpoint::DecodeSupervisorState(safety_s->bytes);
+  SDB_RETURN_IF_ERROR(safety_state.status());
+  StatusOr<checkpoint::LinkState> link_state =
+      checkpoint::DecodeLinkState(link_s->bytes);
+  SDB_RETURN_IF_ERROR(link_state.status());
+  StatusOr<RuntimeState> runtime_state =
+      checkpoint::DecodeRuntimeState(runtime_s->bytes);
+  SDB_RETURN_IF_ERROR(runtime_state.status());
+  StatusOr<SimLoopState> loop_state = DecodeSimLoopState(loop_s->bytes);
+  SDB_RETURN_IF_ERROR(loop_state.status());
+
+  SDB_RETURN_IF_ERROR(rig.micro.RestoreState(*micro_state));
+  rig.micro.RequireResync();
+  SDB_RETURN_IF_ERROR(rig.safety.RestoreState(*safety_state));
+  rig.server.RestoreState(link_state->server);
+  rig.client.RestoreState(link_state->client);
+  StatusOr<RestoreReport> resync = rig.runtime.RestoreAndResync(*runtime_state);
+  SDB_RETURN_IF_ERROR(resync.status());
+  *loop = std::move(*loop_state);
+  return Status::Ok();
+}
+
 }  // namespace
 
 // --- Reproducer lines --------------------------------------------------------
@@ -148,6 +311,14 @@ std::string FormatFuzzCase(const FuzzCase& fuzz_case) {
          << ":" << event.battery << ":" << FormatG17(event.magnitude) << ":"
          << FormatG17(event.probability);
     }
+  }
+  for (const CrashEvent& event : fuzz_case.crashes) {
+    os << " crash=" << CrashBarrierName(event.barrier) << ":"
+       << TornWriteKindName(event.torn) << ":" << FormatG17(event.time.value());
+  }
+  for (const DirectiveFlip& flip : fuzz_case.flips) {
+    os << " flip=" << FormatG17(flip.time.value()) << ":"
+       << FormatG17(flip.discharging) << ":" << FormatG17(flip.charging);
   }
   return os.str();
 }
@@ -215,6 +386,40 @@ StatusOr<FuzzCase> ParseFuzzCase(const std::string& line) {
       event.end = Seconds(end);
       event.battery = static_cast<int>(battery);
       fuzz_case.faults.Add(event);
+    } else if (key == "crash") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() != 3) {
+        return InvalidArgumentError("crash wants barrier:torn:time, got '" +
+                                    value + "'");
+      }
+      CrashEvent event;
+      double time = 0.0;
+      if (!ParseCrashBarrier(parts[0], &event.barrier)) {
+        return InvalidArgumentError("unknown crash barrier '" + parts[0] + "'");
+      }
+      if (!ParseTornWriteKind(parts[1], &event.torn)) {
+        return InvalidArgumentError("unknown torn-write kind '" + parts[1] + "'");
+      }
+      if (!ParseDouble(parts[2], &time)) {
+        return InvalidArgumentError("bad crash time in '" + value + "'");
+      }
+      event.time = Seconds(time);
+      fuzz_case.crashes.push_back(event);
+    } else if (key == "flip") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() != 3) {
+        return InvalidArgumentError("flip wants time:dch:chg, got '" + value +
+                                    "'");
+      }
+      DirectiveFlip flip;
+      double time = 0.0;
+      if (!ParseDouble(parts[0], &time) ||
+          !ParseDouble(parts[1], &flip.discharging) ||
+          !ParseDouble(parts[2], &flip.charging)) {
+        return InvalidArgumentError("bad flip numbers in '" + value + "'");
+      }
+      flip.time = Seconds(time);
+      fuzz_case.flips.push_back(flip);
     } else {
       return InvalidArgumentError("unknown reproducer key '" + key + "'");
     }
@@ -295,6 +500,99 @@ FuzzCase SampleFuzzCase(const FuzzConfig& config, uint64_t case_seed) {
                             static_cast<int>(spec->batteries.size()), horizon,
                             std::max(1, config.max_fault_events));
   }
+
+  // The dimensions below draw from their own salted streams (see the salt
+  // block up top) and need the expanded spec for windows and horizons.
+  StatusOr<ScenarioSpec> spec =
+      ExpandScenario(fuzz_case.pack, fuzz_case.overrides, fuzz_case.seed);
+  SDB_CHECK(spec.ok());
+  const Duration horizon =
+      Seconds(std::min(spec->sim.max_duration.value(), config.horizon_cap.value()));
+
+  // Charge-phase faults: when the scenario has a live supply window, aim one
+  // fault drawn from the kinds that matter while charging at a supply-active
+  // span, so recovery and replanning get exercised mid-charge too.
+  Rng charge_rng(case_seed ^ kChargeFaultSalt);
+  if (!spec->supply.empty() && charge_rng.NextDouble() < 0.5) {
+    std::vector<const TraceSegment*> active;
+    for (const TraceSegment& segment : spec->supply.segments()) {
+      if (segment.power.value() > 0.0 && segment.start.value() < horizon.value()) {
+        active.push_back(&segment);
+      }
+    }
+    if (!active.empty()) {
+      const TraceSegment& segment = *active[charge_rng.NextBounded(active.size())];
+      const double span_start = segment.start.value();
+      const double span_end =
+          std::min(span_start + segment.duration.value(), horizon.value());
+      const FaultClass kinds[] = {
+          FaultClass::kRegulatorCollapse, FaultClass::kThermalTrip,
+          FaultClass::kGaugeBias, FaultClass::kGaugeStuck};
+      FaultEvent event;
+      event.kind = kinds[charge_rng.NextBounded(std::size(kinds))];
+      const double start = charge_rng.Uniform(span_start, span_end);
+      event.start = Seconds(start);
+      event.end = Seconds(std::min(
+          span_end, start + std::max(30.0, 0.25 * (span_end - span_start))));
+      event.battery =
+          static_cast<int>(charge_rng.NextBounded(spec->batteries.size()));
+      switch (event.kind) {
+        case FaultClass::kRegulatorCollapse:
+          event.magnitude = charge_rng.Uniform(0.5, 0.9);
+          break;
+        case FaultClass::kThermalTrip:
+          event.magnitude = Celsius(charge_rng.Uniform(62.0, 75.0)).value();
+          break;
+        case FaultClass::kGaugeBias:
+          event.magnitude = charge_rng.Uniform(-0.3, 0.3);
+          break;
+        default:
+          event.magnitude = 0.0;
+          break;
+      }
+      if (fuzz_case.faults.empty()) {
+        fuzz_case.faults.seed = case_seed ^ kChargeFaultSalt;
+      }
+      fuzz_case.faults.Add(event);
+    }
+  }
+
+  // Crash schedule (oracle 5): seeded kill points, torn checkpoint writes.
+  Rng crash_rng(case_seed ^ kCrashSalt);
+  if (crash_rng.NextDouble() < config.crash_probability) {
+    fuzz_case.crashes =
+        MakeRandomCrashPlan(case_seed ^ kCrashSalt, horizon,
+                            std::max(1, config.max_crash_events))
+            .events;
+  }
+
+  // Directive flips: when the case has faults, aim them just after a fault
+  // window closes — the supervisor's CoolDown → Probing recovery window —
+  // so replanning under new directives meets a still-recovering pack.
+  Rng flip_rng(case_seed ^ kFlipSalt);
+  if (flip_rng.NextDouble() < config.flip_probability) {
+    const int count = 1 + static_cast<int>(flip_rng.NextBounded(
+                              std::max(1, config.max_directive_flips)));
+    for (int k = 0; k < count; ++k) {
+      DirectiveFlip flip;
+      if (!fuzz_case.faults.events.empty()) {
+        const FaultEvent& fault = fuzz_case.faults.events[flip_rng.NextBounded(
+            fuzz_case.faults.events.size())];
+        flip.time = Seconds(std::min(
+            fault.end.value() + flip_rng.Uniform(0.0, Minutes(10.0).value()),
+            horizon.value()));
+      } else {
+        flip.time = Seconds(horizon.value() * flip_rng.Uniform(0.1, 0.9));
+      }
+      flip.discharging = flip_rng.Uniform(0.05, 0.95);
+      flip.charging = flip_rng.Uniform(0.05, 0.95);
+      fuzz_case.flips.push_back(flip);
+    }
+    std::sort(fuzz_case.flips.begin(), fuzz_case.flips.end(),
+              [](const DirectiveFlip& a, const DirectiveFlip& b) {
+                return a.time.value() < b.time.value();
+              });
+  }
   return fuzz_case;
 }
 
@@ -334,31 +632,12 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
 
   // Main run: full rig (safety supervisor + command link + fault plan),
   // audited by the soak invariants on every hardware tick.
-  SdbMicrocontroller micro =
-      MakeDefaultMicrocontroller(BuildScenarioCells(spec), spec.seed ^ kRigSalt);
-  std::vector<SafetyLimits> limits;
-  for (size_t i = 0; i < micro.battery_count(); ++i) {
-    limits.push_back(DeriveLimits(micro.pack().cell(i).params()));
-  }
-  SafetySupervisor safety(limits, FuzzRecovery());
-  micro.AttachSafety(&safety);
-  if (!fuzz_case.faults.empty()) {
-    micro.InstallFaults(fuzz_case.faults);
-  }
-  CommandLinkServer server(&micro);
-  CommandLinkClient client(
-      [&](const std::vector<uint8_t>& bytes) { return server.Receive(bytes); });
-  client.AttachFaultInjector(micro.fault_injector());
-  RuntimeConfig runtime_config;
-  runtime_config.directives = fuzz_case.directives;
-  runtime_config.reintegration_horizon = Minutes(10.0);
-  SdbRuntime runtime(&micro, runtime_config);
-  runtime.AttachLink(&client);
+  FuzzRig rig(spec, fuzz_case);
 
-  std::vector<bool> prev_faulted(micro.battery_count(), false);
-  std::vector<double> prev_cycles(micro.battery_count(), 0.0);
-  for (size_t i = 0; i < micro.battery_count(); ++i) {
-    prev_cycles[i] = micro.pack().cell(i).aging().cycle_count();
+  std::vector<bool> prev_faulted(rig.micro.battery_count(), false);
+  std::vector<double> prev_cycles(rig.micro.battery_count(), 0.0);
+  for (size_t i = 0; i < rig.micro.battery_count(); ++i) {
+    prev_cycles[i] = rig.micro.pack().cell(i).aging().cycle_count();
   }
 
   // Supply-funded energy the SimResult ledger cannot split out: the slice
@@ -381,11 +660,13 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
   // Oracle 3 counts only trips struck while the battery still held real
   // charge: an undervoltage trip at the bottom of the discharge curve is
   // the deep-discharge protection working, not a spurious trip.
-  std::vector<uint64_t> prev_trips(micro.battery_count(), 0);
+  std::vector<uint64_t> prev_trips(rig.micro.battery_count(), 0);
   uint64_t unexpected_trips = 0;
 
+  size_t flip_cursor = 0;
   SimConfig sim_config = CappedSimConfig(spec, config);
   sim_config.on_tick = [&](const MicroTick& tick, Duration now) {
+    ApplyDueFlips(fuzz_case, rig, now, &flip_cursor);
     const Duration at = now - tick.dt;
     const Power load_power = spec.load.Sample(at);
     const Power supply_power = spec.supply.Sample(at);
@@ -393,15 +674,15 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
                                  std::max(0.0, supply_power.value())) *
                         tick.dt.value();
     charge_circuit_loss_j += tick.charge.circuit_loss.value();
-    const std::vector<double>& ratios = runtime.last_discharge_ratios();
+    const std::vector<double>& ratios = rig.runtime.last_discharge_ratios();
     for (size_t i = 0; i < ratios.size() && i < battery_envelope.size(); ++i) {
       if (ratios[i] * std::max(0.0, load_power.value()) >
           battery_envelope[i].value()) {
         overdrive = true;
       }
     }
-    for (size_t i = 0; i < micro.battery_count(); ++i) {
-      const Cell& cell = micro.pack().cell(i);
+    for (size_t i = 0; i < rig.micro.battery_count(); ++i) {
+      const Cell& cell = rig.micro.pack().cell(i);
       double soc = cell.soc();
       if (!std::isfinite(soc) || soc < 0.0 || soc > 1.0) {
         add(now, "soc-range",
@@ -428,8 +709,8 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
                   " A while faulted");
         }
       }
-      prev_faulted[i] = safety.IsFaulted(i);
-      uint64_t trips = safety.trip_count(i);
+      prev_faulted[i] = rig.safety.IsFaulted(i);
+      uint64_t trips = rig.safety.trip_count(i);
       if (trips > prev_trips[i] && soc > 0.15) {
         unexpected_trips += trips - prev_trips[i];
       }
@@ -437,10 +718,10 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
     }
   };
 
-  double e0 = micro.pack().TotalRemainingEnergy().value();
-  Simulator sim(&runtime, sim_config);
+  double e0 = rig.micro.pack().TotalRemainingEnergy().value();
+  Simulator sim(&rig.runtime, sim_config);
   SimResult result = sim.Run(spec.load, spec.supply);
-  double e1 = micro.pack().TotalRemainingEnergy().value();
+  double e1 = rig.micro.pack().TotalRemainingEnergy().value();
 
   // Oracle 2: the energy ledger balances. Cells fund the pack-served slice
   // of the load plus discharge/transfer losses and their own charge-time
@@ -497,6 +778,131 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
             FormatG17(best_directive));
   }
 
+  // Oracle 5: crash equivalence. Replay the case with checkpointing on and
+  // the scheduled deaths injected — killed at the named barriers, tearing
+  // the checkpoint write when scheduled, warm-restarted from the last good
+  // A/B slot (cold start when no slot survived). The final result must be
+  // bit-identical to the never-crashed main run above; a failed restore of
+  // a slot the store called good is a violation too.
+  if (!fuzz_case.crashes.empty()) {
+    std::vector<CrashEvent> crashes = fuzz_case.crashes;
+    std::sort(crashes.begin(), crashes.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                return a.time.value() < b.time.value();
+              });
+    checkpoint::MemorySlotDevice device;
+    const uint64_t digest =
+        MixU64(MixU64(0, fuzz_case.seed), HashString(fuzz_case.pack));
+    size_t crash_index = 0;
+    auto twin = std::make_unique<FuzzRig>(spec, fuzz_case);
+    auto store = std::make_unique<checkpoint::CheckpointStore>(&device, digest);
+    bool cold_boot = true;
+    SimLoopState resume_state;
+    SimResult twin_result;
+    bool restore_failed = false;
+    for (;;) {
+      size_t twin_cursor = 0;
+      if (!cold_boot) {
+        // Flips at or before the checkpoint were applied before the
+        // snapshot and ride in the restored RuntimeState.
+        while (twin_cursor < fuzz_case.flips.size() &&
+               fuzz_case.flips[twin_cursor].time.value() <=
+                   resume_state.t.value()) {
+          ++twin_cursor;
+        }
+      }
+      SimConfig twin_config = CappedSimConfig(spec, config);
+      twin_config.checkpoint_period = config.crash_checkpoint_period;
+      FuzzRig* twin_ptr = twin.get();
+      checkpoint::CheckpointStore* store_ptr = store.get();
+      twin_config.on_tick = [&fuzz_case, twin_ptr, &twin_cursor](
+                                const MicroTick&, Duration now) {
+        ApplyDueFlips(fuzz_case, *twin_ptr, now, &twin_cursor);
+      };
+      twin_config.on_barrier = [&crashes, &crash_index](CrashBarrier barrier,
+                                                        Duration now) {
+        if (crash_index < crashes.size()) {
+          const CrashEvent& next = crashes[crash_index];
+          if (next.barrier == barrier && now.value() >= next.time.value()) {
+            ++crash_index;
+            SDB_JOURNAL_EVENT(obs::EventKind::kSimEvent, now.value(), -1,
+                              "crash-injected",
+                              std::string(CrashBarrierName(barrier)));
+            return false;
+          }
+        }
+        return true;
+      };
+      twin_config.on_checkpoint = [&](const SimLoopState& state) {
+        bool die = false;
+        if (crash_index < crashes.size()) {
+          const CrashEvent& next = crashes[crash_index];
+          if (next.barrier == CrashBarrier::kMidCheckpointWrite &&
+              state.t.value() >= next.time.value()) {
+            die = true;
+            if (next.torn != TornWriteKind::kNone) {
+              const TornWriteKind torn = next.torn;
+              const uint64_t torn_seed =
+                  fuzz_case.seed ^ kFuzzTornSalt ^ crash_index;
+              store_ptr->SetWriteMutatorOnce(
+                  [torn, torn_seed](std::vector<uint8_t>& bytes) {
+                    ApplyTornWrite(torn, torn_seed, bytes);
+                  });
+            }
+            ++crash_index;
+            SDB_JOURNAL_EVENT(
+                obs::EventKind::kSimEvent, state.t.value(), -1,
+                "crash-injected",
+                std::string(CrashBarrierName(CrashBarrier::kMidCheckpointWrite)) +
+                    (next.torn != TornWriteKind::kNone
+                         ? std::string(":") +
+                               std::string(TornWriteKindName(next.torn))
+                         : std::string()));
+          }
+        }
+        Status saved = store_ptr->Save(SnapshotFuzzRig(*twin_ptr, state), state.t);
+        if (!saved.ok()) {
+          add(state.t, "crash-save", saved.ToString());
+        }
+        return !die;
+      };
+      Simulator twin_sim(&twin->runtime, twin_config);
+      twin_result = cold_boot ? twin_sim.Run(spec.load, spec.supply)
+                              : twin_sim.Resume(resume_state, spec.load, spec.supply);
+      if (!twin_result.crashed) {
+        break;
+      }
+      // Process death: rig and store die; only the slot device survives.
+      twin = std::make_unique<FuzzRig>(spec, fuzz_case);
+      store = std::make_unique<checkpoint::CheckpointStore>(&device, digest);
+      StatusOr<checkpoint::LoadResult> loaded = store->LoadLastGood();
+      if (!loaded.ok()) {
+        SDB_JOURNAL_EVENT(obs::EventKind::kCheckpointRestore, -1.0, -1,
+                          "cold-start", loaded.status().ToString());
+        cold_boot = true;
+        continue;
+      }
+      Status restored = RestoreFuzzRig(*twin, loaded->snapshot, &resume_state);
+      if (!restored.ok()) {
+        add(result.elapsed, "crash-restore", restored.ToString());
+        restore_failed = true;
+        break;
+      }
+      SDB_JOURNAL_EVENT(obs::EventKind::kCheckpointRestore,
+                        resume_state.t.value(), -1, "warm-restart",
+                        std::string(loaded->fell_back ? "fallback slot"
+                                                      : "newest slot"));
+      store->AdoptLoaded(*loaded);
+      cold_boot = false;
+    }
+    if (!restore_failed) {
+      std::string divergence = DescribeSimResultDivergence(result, twin_result);
+      if (!divergence.empty()) {
+        add(twin_result.elapsed, "crash-divergence", divergence);
+      }
+    }
+  }
+
   if (dropped > 0) {
     violations.back().detail += " (+" + std::to_string(dropped) + " dropped)";
   }
@@ -540,7 +946,27 @@ FuzzCase ShrinkFuzzCaseWith(const FuzzCase& fuzz_case,
         ++i;
       }
     }
-    // Pass 2: revert parameter overrides to pack defaults.
+    // Pass 2: drop crash events one at a time.
+    for (size_t i = 0; i < current.crashes.size();) {
+      FuzzCase candidate = current;
+      candidate.crashes.erase(candidate.crashes.begin() + static_cast<long>(i));
+      if (try_candidate(candidate)) {
+        reduced = true;
+      } else {
+        ++i;
+      }
+    }
+    // Pass 3: drop directive flips one at a time.
+    for (size_t i = 0; i < current.flips.size();) {
+      FuzzCase candidate = current;
+      candidate.flips.erase(candidate.flips.begin() + static_cast<long>(i));
+      if (try_candidate(candidate)) {
+        reduced = true;
+      } else {
+        ++i;
+      }
+    }
+    // Pass 4: revert parameter overrides to pack defaults.
     std::vector<std::string> keys;
     for (const auto& [name, value] : current.overrides) {
       keys.push_back(name);
@@ -552,7 +978,7 @@ FuzzCase ShrinkFuzzCaseWith(const FuzzCase& fuzz_case,
         reduced = true;
       }
     }
-    // Pass 3: snap directives to the neutral 0.5.
+    // Pass 5: snap directives to the neutral 0.5.
     if (current.directives.discharging != 0.5) {
       FuzzCase candidate = current;
       candidate.directives.discharging = 0.5;

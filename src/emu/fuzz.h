@@ -1,21 +1,33 @@
 // Seeded scenario fuzzer (ROADMAP item 5): samples pack × parameter ×
-// directive × FaultPlan combinations from one master seed, plays each case
-// through a full recovery-enabled rig, and checks a set of oracles:
+// directive × FaultPlan × crash-schedule × directive-flip combinations from
+// one master seed, plays each case through a full recovery-enabled rig, and
+// checks a set of oracles:
 //
 //   1. the soak harness's per-tick invariants (SoC in range, faulted
 //      batteries carry no current, cycle counts monotone),
 //   2. the energy ledger balances over the run,
 //   3. the safety supervisor never trips on a fault-free load that stays
 //      inside the pack envelope and never commands any single battery past
-//      its own envelope, and
+//      its own envelope,
 //   4. no sampled policy loses more than a configured fraction of lifetime
 //      against a small panel of alternative directives on the fault-free
-//      twin of the case (the cross-policy regression oracle).
+//      twin of the case (the cross-policy regression oracle), and
+//   5. a case that carries a crash schedule (DESIGN.md §16) is replayed
+//      with checkpointing on, killed at the scheduled barriers — tearing
+//      the checkpoint write it interrupts — warm-restarted from the last
+//      good A/B slot, and must finish bit-identical to the never-crashed
+//      run (the crash-equivalence oracle).
 //
-// A failing case is shrunk greedily (drop fault events, revert parameter
-// overrides, snap directives to neutral) to a minimal still-failing case
-// and serialized as a one-line reproducer; a corpus of such lines replays
-// deterministically (same master seed ⇒ same fingerprints at any --jobs).
+// Fault plans can land inside the charge phase (a dedicated stream aims one
+// charge-relevant fault at a supply-active window when the scenario has
+// one), and directive flips re-aim the policy mid-run, targeted at the
+// CoolDown/Probing recovery window right after a fault clears.
+//
+// A failing case is shrunk greedily (drop fault/crash/flip events, revert
+// parameter overrides, snap directives to neutral) to a minimal
+// still-failing case and serialized as a one-line reproducer; a corpus of
+// such lines replays deterministically (same master seed ⇒ same
+// fingerprints at any --jobs).
 #ifndef SRC_EMU_FUZZ_H_
 #define SRC_EMU_FUZZ_H_
 
@@ -25,6 +37,7 @@
 #include <vector>
 
 #include "src/core/policy_db.h"
+#include "src/emu/crash.h"
 #include "src/emu/scenario_pack.h"
 #include "src/hw/fault.h"
 #include "src/obs/event.h"
@@ -43,6 +56,17 @@ struct FuzzConfig {
   // Chance a sampled case carries a random fault plan.
   double fault_probability = 0.5;
   int max_fault_events = 3;
+  // Chance a sampled case carries a seeded crash schedule (oracle 5), and
+  // how many deaths it may hold. Sampled from a dedicated salted stream, so
+  // turning the dimension off leaves every other draw untouched.
+  double crash_probability = 0.35;
+  int max_crash_events = 2;
+  // Checkpoint cadence for the crash-equivalence twin of a crashing case.
+  Duration crash_checkpoint_period = Minutes(5.0);
+  // Chance a sampled case flips the policy directives mid-run (aimed at the
+  // CoolDown/Probing window after a fault clears, when the case has faults).
+  double flip_probability = 0.4;
+  int max_directive_flips = 2;
   // Oracle 4: fail when the sampled directives' lifetime falls more than
   // this fraction short of the best panel policy on the fault-free run.
   // Zero demands the sampled policy match the panel optimum exactly.
@@ -57,6 +81,15 @@ struct FuzzConfig {
   int shrink_budget = 48;
 };
 
+// One mid-run policy re-aim: at `time` the runtime's directives are
+// replaced wholesale (the OS changing its mind about the battery doctrine
+// while the pack may still be recovering from a fault).
+struct DirectiveFlip {
+  Duration time;
+  double discharging = 0.5;
+  double charging = 0.5;
+};
+
 // One sampled (or replayed) scenario: everything needed to re-run it.
 struct FuzzCase {
   std::string pack;
@@ -64,6 +97,11 @@ struct FuzzCase {
   uint64_t seed = 0;     // Drives expansion jitter and rig noise.
   DirectiveParameters directives;
   FaultPlan faults;      // Empty = fault-free case.
+  // Crash schedule for oracle 5; empty = the crash twin is never run.
+  std::vector<CrashEvent> crashes;
+  // Mid-run directive flips, applied (in time order) to the main run and
+  // its crash twin alike.
+  std::vector<DirectiveFlip> flips;
 };
 
 struct FuzzViolation {
@@ -101,6 +139,7 @@ struct FuzzReport {
 // (doubles printed with %.17g so Parse(Format(c)) round-trips exactly):
 //   pack=ev-burst seed=7 dch=0.5 chg=0.5 p:hours=2
 //       fseed=7 fault=open-circuit:120:300:1:0:1
+//       crash=mid-checkpoint-write:truncate:1800 flip=2400:0.2:0.8
 std::string FormatFuzzCase(const FuzzCase& fuzz_case);
 StatusOr<FuzzCase> ParseFuzzCase(const std::string& line);
 
@@ -125,9 +164,9 @@ std::vector<FuzzViolation> EvaluateFuzzCase(
 
 // Greedy shrink against an arbitrary failure predicate (`fails` must be
 // true for `fuzz_case` itself). Tries, to a fixpoint or until `budget`
-// predicate evaluations are spent: dropping fault events one at a time,
-// reverting parameter overrides to pack defaults, then snapping directives
-// to 0.5. Returns the smallest still-failing case found.
+// predicate evaluations are spent: dropping fault, crash and flip events
+// one at a time, reverting parameter overrides to pack defaults, then
+// snapping directives to 0.5. Returns the smallest still-failing case found.
 FuzzCase ShrinkFuzzCaseWith(const FuzzCase& fuzz_case,
                             const std::function<bool(const FuzzCase&)>& fails,
                             int budget, int* steps = nullptr);

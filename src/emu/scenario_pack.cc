@@ -94,7 +94,20 @@ ScenarioSpec ExpandFastchargeTablet(const PackParams& params, uint64_t seed) {
   spec.load = MakeBurstyTrace(Watts(P(params, "load_w")),
                               Watts(2.0 * P(params, "load_w")), 0.25, horizon,
                               Minutes(1.0), MixSeed(seed, 0xFA57C4A6ULL));
-  spec.supply = PowerTrace::Constant(Watts(P(params, "supply_w")), horizon);
+  // The wall supply plugs in at supply_start_h: the pack carries the load
+  // alone until then, so the charge phase starts mid-run (and charge-phase
+  // faults have a window that is not the whole trace). 0 = plugged in from
+  // the start, the historical shape.
+  const Duration supply_start =
+      Hours(std::min(P(params, "supply_start_h"), P(params, "hours")));
+  PowerTrace supply;
+  if (supply_start.value() > 0.0) {
+    supply.Append(supply_start, Watts(0.0));
+  }
+  if (horizon.value() > supply_start.value()) {
+    supply.Append(horizon - supply_start, Watts(P(params, "supply_w")));
+  }
+  spec.supply = std::move(supply);
   spec.sim.tick = Seconds(5.0);
   spec.sim.runtime_period = Minutes(1.0);
   FinishSpec(spec);
@@ -283,13 +296,24 @@ ScenarioSpec ExpandEvBurst(const PackParams& params, uint64_t seed) {
   PowerTrace load;
   PowerTrace supply;
   double elapsed = 0.0;
+  bool spiked = false;
   while (elapsed < horizon.value()) {
     double span = std::min(burst_every, horizon.value() - elapsed);
     double cruise_jitter = 1.0 + rng.Uniform(-0.1, 0.1);
     double accel = std::min(burst_len, span);
     // Acceleration burst, cruise, and optional regen feed-in after the burst.
-    load.Append(Seconds(accel),
-                Watts(P(params, "burst_w") * (1.0 + rng.Uniform(-0.15, 0.15))));
+    // The jitter draw stays unconditional so spike_w never shifts the RNG
+    // stream: with spike_w=0 the trace is bit-identical to the historical one.
+    double burst_w =
+        P(params, "burst_w") * (1.0 + rng.Uniform(-0.15, 0.15));
+    if (!spiked && P(params, "spike_w") > 0.0 &&
+        elapsed >= 0.5 * horizon.value()) {
+      // Trip bait: one mid-drive burst swaps in spike_w, typically well past
+      // the pack envelope, to exercise the safety supervisor's trip path.
+      burst_w = P(params, "spike_w");
+      spiked = true;
+    }
+    load.Append(Seconds(accel), Watts(burst_w));
     if (span - accel > 0.0) {
       load.Append(Seconds(span - accel),
                   Watts(P(params, "cruise_w") * cruise_jitter));
@@ -335,6 +359,8 @@ std::vector<ScenarioPack> BuildRegistry() {
           {"supply_w", 30.0, 10.0, 65.0, "wall supply (W)"},
           {"hours", 4.0, 1.0, 24.0, "trace length (h)"},
           {"initial_soc", 0.25, 0.05, 1.0, "starting state of charge"},
+          {"supply_start_h", 0.0, 0.0, 24.0,
+           "wall supply plugs in at this hour (h); 0 = from the start"},
       },
       &ExpandFastchargeTablet});
   packs.push_back(ScenarioPack{
@@ -395,6 +421,9 @@ std::vector<ScenarioPack> BuildRegistry() {
           {"burst_s", 8.0, 1.0, 60.0, "burst length (s)"},
           {"burst_every_s", 120.0, 20.0, 900.0, "burst period (s)"},
           {"regen_w", 0.0, 0.0, 40.0, "regen feed-in after each burst (W)"},
+          {"spike_w", 0.0, 0.0, 400.0,
+           "one trip-bait spike replacing the first burst at/after mid-drive "
+           "(W); 0 disables"},
       },
       &ExpandEvBurst});
   return packs;

@@ -14,11 +14,24 @@
 
 namespace sdb {
 
+std::string_view CrashBarrierName(CrashBarrier barrier) {
+  switch (barrier) {
+    case CrashBarrier::kPreAllocate:
+      return "pre-allocate";
+    case CrashBarrier::kPostAllocate:
+      return "post-allocate";
+    case CrashBarrier::kMidCheckpointWrite:
+      return "mid-checkpoint-write";
+  }
+  return "unknown";
+}
+
 Simulator::Simulator(SdbRuntime* runtime, SimConfig config)
     : runtime_(runtime), config_(config) {
   SDB_CHECK(runtime_ != nullptr);
   SDB_CHECK(config_.tick.value() > 0.0);
   SDB_CHECK(config_.runtime_period.value() >= config_.tick.value());
+  SDB_CHECK(config_.checkpoint_period.value() >= 0.0);
 }
 
 void Simulator::SampleTimeline(obs::Timeline& timeline, Duration now,
@@ -49,35 +62,71 @@ void Simulator::SampleTimeline(obs::Timeline& timeline, Duration now,
 SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
   SDB_TRACE_SPAN("emu", "sim.run");
   SdbMicrocontroller* micro = runtime_->microcontroller();
-  const size_t n = micro->battery_count();
   if (!config_.faults.empty()) {
     micro->InstallFaults(config_.faults);
   }
+  SimLoopState start;
+  start.partial.final_soc.assign(micro->battery_count(), 0.0);
+  start.partial.depletion_time.assign(micro->battery_count(), std::nullopt);
+  return RunLoop(std::move(start), load, supply);
+}
 
-  SimResult result;
-  result.delivered = Joules(0.0);
-  result.battery_loss = Joules(0.0);
-  result.circuit_loss = Joules(0.0);
-  result.charged = Joules(0.0);
-  result.final_soc.assign(n, 0.0);
-  result.depletion_time.assign(n, std::nullopt);
+SimResult Simulator::Resume(const SimLoopState& from, const PowerTrace& load,
+                            const PowerTrace& supply) {
+  SDB_TRACE_SPAN("emu", "sim.resume");
+  return RunLoop(from, load, supply);
+}
+
+SimResult Simulator::RunLoop(SimLoopState state, const PowerTrace& load,
+                             const PowerTrace& supply) {
+  SdbMicrocontroller* micro = runtime_->microcontroller();
+  const size_t n = micro->battery_count();
+
+  SimResult result = std::move(state.partial);
 
   double horizon_s =
       std::min(std::max(load.TotalDuration(), supply.TotalDuration()).value(),
                config_.max_duration.value());
   double tick_s = config_.tick.value();
-  double next_replan = 0.0;
-  bool transfer_was_active = false;
+  double next_replan = state.next_replan.value();
+  bool transfer_was_active = state.transfer_was_active;
+  const double checkpoint_s = config_.checkpoint_period.value();
+  double next_checkpoint = state.next_checkpoint.value();
+  const bool checkpointing = checkpoint_s > 0.0 && config_.on_checkpoint != nullptr;
 
-  double t = 0.0;
+  double t = state.t.value();
   while (t < horizon_s) {
     // Publish the simulated clock so spans opened below carry it; tracing
     // only ever reads this — it never feeds back into the simulation.
     SDB_TRACE_SET_SIM_TIME(Seconds(t));
+
+    // Checkpoint at the top of the iteration, before this tick's work, so
+    // the saved loop state re-executes the tick it interrupted. The deadline
+    // advances BEFORE the callback: the state it snapshots must aim the
+    // resumed run at the NEXT checkpoint, not back at this one.
+    if (checkpointing && t >= next_checkpoint) {
+      next_checkpoint += checkpoint_s;
+      SimLoopState snap;
+      snap.t = Seconds(t);
+      snap.next_replan = Seconds(next_replan);
+      snap.next_checkpoint = Seconds(next_checkpoint);
+      snap.transfer_was_active = transfer_was_active;
+      snap.partial = result;
+      if (!config_.on_checkpoint(snap)) {
+        result.crashed = true;
+        break;
+      }
+    }
+
     Power p_load = load.Sample(Seconds(t));
     Power p_supply = supply.Sample(Seconds(t));
 
     if (t >= next_replan) {
+      if (config_.on_barrier != nullptr &&
+          !config_.on_barrier(CrashBarrier::kPreAllocate, Seconds(t))) {
+        result.crashed = true;
+        break;
+      }
       // A failed update is survivable — the runtime keeps the previous
       // ratios — but never silent: the result carries the count.
       Status update_status = runtime_->Update(p_load, p_supply);
@@ -85,6 +134,11 @@ SimResult Simulator::Run(const PowerTrace& load, const PowerTrace& supply) {
         ++result.update_failures;
       }
       next_replan = t + config_.runtime_period.value();
+      if (config_.on_barrier != nullptr &&
+          !config_.on_barrier(CrashBarrier::kPostAllocate, Seconds(t))) {
+        result.crashed = true;
+        break;
+      }
     }
 
     MicroTick tick = micro->Step(p_load, p_supply, Seconds(tick_s));

@@ -9,6 +9,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/runtime.h"
@@ -21,6 +22,21 @@ namespace sdb {
 namespace obs {
 class Timeline;
 }  // namespace obs
+
+// Named kill points inside the driver loop (DESIGN.md §16): where a
+// seed-keyed crash schedule may simulate process death. The two allocate
+// barriers bracket the runtime's re-plan; mid-checkpoint-write death is
+// modelled through SimConfig::on_checkpoint returning false (optionally
+// after arming a torn-write mutator on the checkpoint store).
+enum class CrashBarrier {
+  kPreAllocate,          // Replan boundary reached, Update() not yet run.
+  kPostAllocate,         // Update() completed, ratios programmed.
+  kMidCheckpointWrite,   // Death while the snapshot bytes hit the device.
+};
+
+std::string_view CrashBarrierName(CrashBarrier barrier);
+
+struct SimLoopState;
 
 struct SimConfig {
   Duration tick = Seconds(1.0);             // Hardware step.
@@ -42,6 +58,22 @@ struct SimConfig {
   // sim-time cadence: per-battery SoC/temperature/realised share plus the
   // sdb.runtime.* counters. Not owned; nullptr disables sampling.
   obs::Timeline* timeline = nullptr;
+
+  // --- Crash-consistency hooks (DESIGN.md §16) -----------------------------
+  // All three default off, in which case the loop is bit-identical to the
+  // pre-checkpoint driver (the hooks are never consulted).
+  //
+  // Checkpoint cadence: with a positive period, `on_checkpoint` fires at the
+  // top of the first loop iteration (t = 0 — a restorable slot exists before
+  // any tick) and then every `checkpoint_period` of simulated time. The
+  // callback snapshots the rig however it likes (the loop state handed in is
+  // what Resume() needs back); returning false simulates process death
+  // during the snapshot write — the run stops with SimResult::crashed set.
+  Duration checkpoint_period = Seconds(0.0);
+  std::function<bool(const SimLoopState&)> on_checkpoint;
+  // Kill points: consulted at the named barriers; returning false stops the
+  // run with SimResult::crashed set (simulated power cut between ticks).
+  std::function<bool(CrashBarrier, Duration now)> on_barrier;
 };
 
 enum class SimEventKind {
@@ -85,8 +117,26 @@ struct SimResult {
   // Runtime Update() calls that returned non-OK and were absorbed (the
   // runtime keeps the previous ratios; common during link-fault windows).
   int update_failures = 0;
+  // True when a crash hook (on_barrier / on_checkpoint) killed the run; the
+  // other fields hold whatever had accumulated when the "power cut" hit.
+  bool crashed = false;
 
   Energy TotalLoss() const { return battery_loss + circuit_loss; }
+};
+
+// Everything the driver loop itself needs to continue a run from a
+// checkpoint: the clock, the replan/checkpoint deadlines, the
+// transfer-edge latch, and the partial SimResult accumulated so far. The
+// rig state (cells, gauges, runtime, link) is checkpointed separately; the
+// pair together makes Resume() bit-identical to the never-crashed run.
+struct SimLoopState {
+  Duration t;
+  Duration next_replan;
+  // Deadline AFTER the checkpoint being written, so a resumed run continues
+  // the cadence instead of immediately re-checkpointing (and re-crashing).
+  Duration next_checkpoint;
+  bool transfer_was_active = false;
+  SimResult partial;
 };
 
 class Simulator {
@@ -98,6 +148,12 @@ class Simulator {
   // (empty supply == always on battery).
   SimResult Run(const PowerTrace& load, const PowerTrace& supply = PowerTrace());
 
+  // Warm restart: continues a run from a checkpointed loop state, against a
+  // rig the caller already restored. Does NOT reinstall config.faults — the
+  // restored fault injector carries the plan's mid-run clock and RNG.
+  SimResult Resume(const SimLoopState& from, const PowerTrace& load,
+                   const PowerTrace& supply = PowerTrace());
+
   // Convenience: charge until the pack is full (or `timeout`), no load.
   SimResult RunChargeOnly(Power supply, Duration timeout);
 
@@ -105,6 +161,8 @@ class Simulator {
   // Appends one timeline row at `now`: per-battery SoC/temperature/realised
   // share plus the sdb.runtime.* counters.
   void SampleTimeline(obs::Timeline& timeline, Duration now, const MicroTick& tick) const;
+  // The driver loop shared by Run/Resume, starting from `state`.
+  SimResult RunLoop(SimLoopState state, const PowerTrace& load, const PowerTrace& supply);
 
   SdbRuntime* runtime_;
   SimConfig config_;

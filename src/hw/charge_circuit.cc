@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/chem/soa_kernel.h"
 #include "src/obs/event.h"
@@ -301,6 +302,31 @@ TransferTick SdbChargeCircuit::StepTransfer(BatteryPack& pack, size_t from, size
                       "transfer-destination-full");
   }
   return tick;
+}
+
+ChargeCircuitState SdbChargeCircuit::SaveState() const {
+  ChargeCircuitState state;
+  state.rng = rng_.SaveState();
+  state.selected_profiles.reserve(banks_.size());
+  for (const ChargeProfileBank& bank : banks_) {
+    state.selected_profiles.push_back(bank.selected_index());
+  }
+  return state;
+}
+
+Status SdbChargeCircuit::RestoreState(const ChargeCircuitState& state) {
+  if (state.selected_profiles.size() != banks_.size()) {
+    return InvalidArgumentError("charge circuit: snapshot has " +
+                                std::to_string(state.selected_profiles.size()) +
+                                " profile selections for " +
+                                std::to_string(banks_.size()) + " batteries");
+  }
+  for (size_t i = 0; i < banks_.size(); ++i) {
+    SDB_RETURN_IF_ERROR(
+        banks_[i].Select(static_cast<size_t>(state.selected_profiles[i])));
+  }
+  rng_.RestoreState(state.rng);
+  return Status::Ok();
 }
 
 }  // namespace sdb

@@ -41,6 +41,13 @@ struct ChargeCircuitConfig {
   Voltage transfer_rail = Volts(6.0);
 };
 
+// Mutable circuit state for checkpoint/restore: the setpoint-error noise
+// stream and the per-battery profile selections.
+struct ChargeCircuitState {
+  RngState rng;
+  std::vector<uint64_t> selected_profiles;  // One index per battery.
+};
+
 struct ChargeTick {
   Power supply_offered;            // External power made available.
   Power absorbed;                  // Total power into battery terminals.
@@ -91,6 +98,11 @@ class SdbChargeCircuit {
   double EfficiencyVsTypical(Current charge_current, Voltage bus) const;
 
   const ChargeCircuitConfig& config() const { return config_; }
+
+  ChargeCircuitState SaveState() const;
+  // Restore aborts (SDB_CHECK) when the battery count disagrees; profile
+  // indices are validated through the banks' own Select.
+  Status RestoreState(const ChargeCircuitState& state);
 
  private:
   ChargeCircuitConfig config_;

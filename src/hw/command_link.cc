@@ -426,4 +426,40 @@ StatusOr<std::vector<BatteryStatus>> CommandLinkClient::QueryBatteryStatus() {
   return statuses;
 }
 
+LinkServerState CommandLinkServer::SaveState() const {
+  LinkServerState state;
+  state.known_boot = known_boot_;
+  state.have_last = have_last_;
+  state.last_seq = last_seq_;
+  state.last_type = static_cast<uint8_t>(last_type_);
+  state.last_payload = last_payload_;
+  state.last_response = last_response_;
+  state.replayed_commands = replayed_commands_;
+  return state;
+}
+
+void CommandLinkServer::RestoreState(const LinkServerState& state) {
+  known_boot_ = state.known_boot;
+  have_last_ = state.have_last;
+  last_seq_ = state.last_seq;
+  last_type_ = static_cast<MessageType>(state.last_type);
+  last_payload_ = state.last_payload;
+  last_response_ = state.last_response;
+  replayed_commands_ = state.replayed_commands;
+}
+
+LinkClientState CommandLinkClient::SaveState() const {
+  LinkClientState state;
+  state.next_seq = next_seq_;
+  state.last_boot_count = last_boot_count_;
+  state.resyncs = resyncs_;
+  return state;
+}
+
+void CommandLinkClient::RestoreState(const LinkClientState& state) {
+  next_seq_ = state.next_seq;
+  last_boot_count_ = state.last_boot_count;
+  resyncs_ = state.resyncs;
+}
+
 }  // namespace sdb

@@ -81,6 +81,25 @@ class FrameDecoder {
   size_t frames_decoded_ = 0;
 };
 
+// Mutable endpoint state for checkpoint/restore. The decoders are empty
+// between the synchronous roundtrips both endpoints run, so they carry no
+// state worth snapshotting.
+struct LinkServerState {
+  uint32_t known_boot = 0;
+  bool have_last = false;
+  uint16_t last_seq = 0;
+  uint8_t last_type = 0;
+  std::vector<uint8_t> last_payload;
+  std::vector<uint8_t> last_response;
+  uint64_t replayed_commands = 0;
+};
+
+struct LinkClientState {
+  uint16_t next_seq = 1;
+  uint32_t last_boot_count = 0;
+  uint64_t resyncs = 0;
+};
+
 // Firmware-side endpoint: executes decoded command frames against the
 // microcontroller and produces response bytes.
 class CommandLinkServer {
@@ -96,6 +115,10 @@ class CommandLinkServer {
   // Commands answered from the idempotent-replay cache instead of being
   // applied a second time.
   uint64_t replayed_commands() const { return replayed_commands_; }
+
+  // Checkpoint/restore of the replay cache + boot tracking.
+  LinkServerState SaveState() const;
+  void RestoreState(const LinkServerState& state);
 
  private:
   std::vector<uint8_t> Execute(const Frame& frame);
@@ -141,6 +164,15 @@ class CommandLinkClient {
   Status Resync();
   uint32_t last_boot_count() const { return last_boot_count_; }
   uint64_t resyncs() const { return resyncs_; }
+
+  // Warm-restart reconciliation: adopt the controller's boot count without
+  // a wire roundtrip (the restore path resyncs the micro directly and
+  // counts the handshake itself).
+  void AdoptBootCount(uint32_t boot_count) { last_boot_count_ = boot_count; }
+
+  // Checkpoint/restore of the sequence stream + boot tracking.
+  LinkClientState SaveState() const;
+  void RestoreState(const LinkClientState& state);
 
  private:
   // Sends a frame and decodes the single expected response frame.

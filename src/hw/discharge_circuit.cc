@@ -207,4 +207,16 @@ DischargeTick SdbDischargeCircuit::Step(BatteryPack& pack, const std::vector<dou
   return tick;
 }
 
+DischargeCircuitState SdbDischargeCircuit::SaveState() const {
+  DischargeCircuitState state;
+  state.rng = rng_.SaveState();
+  state.shortfall_latched = shortfall_latched_;
+  return state;
+}
+
+void SdbDischargeCircuit::RestoreState(const DischargeCircuitState& state) {
+  rng_.RestoreState(state.rng);
+  shortfall_latched_ = state.shortfall_latched;
+}
+
 }  // namespace sdb

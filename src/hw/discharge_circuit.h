@@ -36,6 +36,13 @@ struct DischargeCircuitConfig {
   double power_margin = 0.98;
 };
 
+// Mutable circuit state for checkpoint/restore: the proportion-error noise
+// stream plus the shortfall journal latch.
+struct DischargeCircuitState {
+  RngState rng;
+  bool shortfall_latched = false;
+};
+
 struct DischargeTick {
   Power requested;                  // Load power asked for.
   Power delivered;                  // Power that reached the load.
@@ -66,6 +73,9 @@ class SdbDischargeCircuit {
   Power CircuitLossAt(Power load, Voltage bus) const;
 
   const DischargeCircuitConfig& config() const { return config_; }
+
+  DischargeCircuitState SaveState() const;
+  void RestoreState(const DischargeCircuitState& state);
 
  private:
   // Terminal power battery i can deliver in this tick.

@@ -168,4 +168,31 @@ std::optional<Temperature> FaultInjector::ReportedTemperatureFloor(size_t batter
   return Kelvin(event->magnitude);
 }
 
+FaultInjectorState FaultInjector::SaveState() const {
+  FaultInjectorState state;
+  state.rng = rng_.SaveState();
+  state.now = now_;
+  state.dropped_queries = dropped_queries_;
+  state.corrupted_replies = corrupted_replies_;
+  state.micro_reboots = micro_reboots_;
+  state.reboot_fired = reboot_fired_;
+  return state;
+}
+
+Status FaultInjector::RestoreState(const FaultInjectorState& state) {
+  if (state.reboot_fired.size() != reboot_fired_.size()) {
+    return InvalidArgumentError(
+        "fault injector: snapshot fired-flag count " +
+        std::to_string(state.reboot_fired.size()) + " does not match plan (" +
+        std::to_string(reboot_fired_.size()) + " event(s))");
+  }
+  rng_.RestoreState(state.rng);
+  now_ = state.now;
+  dropped_queries_ = state.dropped_queries;
+  corrupted_replies_ = state.corrupted_replies;
+  micro_reboots_ = state.micro_reboots;
+  reboot_fired_ = state.reboot_fired;
+  return Status::Ok();
+}
+
 }  // namespace sdb

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -68,6 +69,18 @@ struct FaultPlan {
     events.push_back(event);
     return *this;
   }
+};
+
+// Mutable injector runtime state for checkpoint/restore. The plan itself is
+// config (reinstalled from the scenario on restart); this carries only what
+// evolves while the plan plays.
+struct FaultInjectorState {
+  RngState rng;
+  Duration now;
+  uint64_t dropped_queries = 0;
+  uint64_t corrupted_replies = 0;
+  uint64_t micro_reboots = 0;
+  std::vector<bool> reboot_fired;
 };
 
 // Evaluates a FaultPlan against simulated time. The microcontroller owns
@@ -125,6 +138,11 @@ class FaultInjector {
   uint64_t dropped_queries() const { return dropped_queries_; }
   uint64_t corrupted_replies() const { return corrupted_replies_; }
   uint64_t micro_reboots() const { return micro_reboots_; }
+
+  // Checkpoint/restore of the runtime state (the plan is config). Restore
+  // rejects a fired-flag vector sized for a different plan.
+  FaultInjectorState SaveState() const;
+  Status RestoreState(const FaultInjectorState& state);
 
  private:
   // First active event of `kind` matching `battery` (events targeting -1

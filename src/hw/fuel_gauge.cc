@@ -65,4 +65,20 @@ void FuelGauge::AttachFaultInjector(const FaultInjector* injector, size_t batter
   battery_ = battery;
 }
 
+FuelGaugeState FuelGauge::SaveState() const {
+  FuelGaugeState state;
+  state.rng = rng_.SaveState();
+  state.soc_estimate = soc_estimate_;
+  state.last_current = last_current_;
+  state.last_voltage = last_voltage_;
+  return state;
+}
+
+void FuelGauge::RestoreState(const FuelGaugeState& state) {
+  rng_.RestoreState(state.rng);
+  soc_estimate_ = state.soc_estimate;
+  last_current_ = state.last_current;
+  last_voltage_ = state.last_voltage;
+}
+
 }  // namespace sdb

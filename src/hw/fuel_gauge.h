@@ -23,6 +23,15 @@ struct FuelGaugeConfig {
   double soc_drift_per_hour = 0.0;       // Integrator drift (fraction of capacity).
 };
 
+// Complete mutable gauge state for checkpoint/restore: the noise stream and
+// the integrator resume bit-identically.
+struct FuelGaugeState {
+  RngState rng;
+  double soc_estimate = 0.0;
+  Current last_current;
+  Voltage last_voltage;
+};
+
 class FuelGauge {
  public:
   FuelGauge(FuelGaugeConfig config, uint64_t seed, double initial_soc_estimate);
@@ -44,6 +53,10 @@ class FuelGauge {
   // gauge's battery index within the pack. While attached, Observe and
   // EstimatedSoc consult the injector for bias/noise/stuck windows.
   void AttachFaultInjector(const FaultInjector* injector, size_t battery);
+
+  // Checkpoint/restore of everything mutable (attachments excluded).
+  FuelGaugeState SaveState() const;
+  void RestoreState(const FuelGaugeState& state);
 
  private:
   double Quantise(double value, double lsb) const;

@@ -82,6 +82,13 @@ void SdbMicrocontroller::Reboot() {
                     std::string(), static_cast<double>(boot_count_));
 }
 
+void SdbMicrocontroller::RequireResync() {
+  awaiting_resync_ = true;
+  ++boot_count_;
+  SDB_JOURNAL_EVENT(obs::EventKind::kMicroReboot, -1.0, -1, "warm-restart",
+                    std::string(), static_cast<double>(boot_count_));
+}
+
 uint32_t SdbMicrocontroller::Resync() {
   awaiting_resync_ = false;
   SDB_JOURNAL_EVENT(obs::EventKind::kResync, -1.0, -1, "micro-resync", std::string(),
@@ -335,6 +342,82 @@ MicroTick SdbMicrocontroller::Step(Power load, Power external_supply, Duration d
     fault_->Advance(dt);
   }
   return tick;
+}
+
+MicroState SdbMicrocontroller::SaveState() const {
+  MicroState state;
+  const size_t n = pack_.size();
+  state.lanes.reserve(n);
+  state.open_circuit.reserve(n);
+  state.gauges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    state.lanes.push_back(pack_.cell(i).ExportLaneState());
+    state.open_circuit.push_back(pack_.IsOpenCircuit(i));
+    state.gauges.push_back(gauges_[i].SaveState());
+  }
+  state.discharge_circuit = discharge_circuit_.SaveState();
+  state.charge_circuit = charge_circuit_.SaveState();
+  state.charge_ratios = charge_ratios_;
+  state.discharge_ratios = discharge_ratios_;
+  if (transfer_.has_value()) {
+    state.transfer_active = true;
+    state.transfer_from = transfer_->from;
+    state.transfer_to = transfer_->to;
+    state.transfer_power = transfer_->power;
+    state.transfer_remaining = transfer_->remaining;
+  }
+  state.awaiting_resync = awaiting_resync_;
+  state.in_reset = in_reset_;
+  state.boot_count = boot_count_;
+  if (fault_.has_value()) {
+    state.has_fault_state = true;
+    state.fault = fault_->SaveState();
+  }
+  return state;
+}
+
+Status SdbMicrocontroller::RestoreState(const MicroState& state) {
+  const size_t n = pack_.size();
+  if (state.lanes.size() != n || state.open_circuit.size() != n ||
+      state.gauges.size() != n || state.charge_ratios.size() != n ||
+      state.discharge_ratios.size() != n) {
+    return InvalidArgumentError("microcontroller: snapshot arity does not match pack size " +
+                                std::to_string(n));
+  }
+  if (state.has_fault_state != fault_.has_value()) {
+    return InvalidArgumentError(
+        "microcontroller: snapshot fault-injector presence does not match installed plan");
+  }
+  if (state.transfer_active &&
+      (state.transfer_from >= n || state.transfer_to >= n ||
+       state.transfer_from == state.transfer_to)) {
+    return InvalidArgumentError("microcontroller: snapshot transfer endpoints invalid");
+  }
+  // Validate the fallible restores before mutating anything else, so a
+  // rejected snapshot leaves the controller unchanged.
+  SDB_RETURN_IF_ERROR(charge_circuit_.RestoreState(state.charge_circuit));
+  if (fault_.has_value()) {
+    SDB_RETURN_IF_ERROR(fault_->RestoreState(state.fault));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    pack_.cell(i).ImportLaneState(state.lanes[i]);
+    pack_.SetOpenCircuit(i, state.open_circuit[i]);
+    gauges_[i].RestoreState(state.gauges[i]);
+  }
+  discharge_circuit_.RestoreState(state.discharge_circuit);
+  charge_ratios_ = state.charge_ratios;
+  discharge_ratios_ = state.discharge_ratios;
+  if (state.transfer_active) {
+    transfer_ = ActiveTransfer{static_cast<size_t>(state.transfer_from),
+                               static_cast<size_t>(state.transfer_to), state.transfer_power,
+                               state.transfer_remaining};
+  } else {
+    transfer_.reset();
+  }
+  awaiting_resync_ = state.awaiting_resync;
+  in_reset_ = state.in_reset;
+  boot_count_ = state.boot_count;
+  return Status::Ok();
 }
 
 SdbMicrocontroller MakeDefaultMicrocontroller(std::vector<Cell> cells, uint64_t seed) {

@@ -48,6 +48,33 @@ struct MicroTick {
   Duration dt;
 };
 
+// Complete volatile microcontroller + pack state for checkpoint/restore:
+// ground-truth cell lanes, gauge estimators, circuit RNG streams, ratio
+// tuples, the in-flight transfer, the reboot/resync latch and the fault
+// injector's clock. Configuration (cell parameters, circuit configs, the
+// fault *plan*) is not carried — a restore re-applies this state onto a
+// freshly constructed rig built from the same config and seeds.
+struct MicroState {
+  std::vector<soa::LaneState> lanes;  // Per-cell ground truth.
+  std::vector<bool> open_circuit;
+  std::vector<FuelGaugeState> gauges;
+  DischargeCircuitState discharge_circuit;
+  ChargeCircuitState charge_circuit;
+  std::vector<double> charge_ratios;
+  std::vector<double> discharge_ratios;
+  // Flattened std::optional<ActiveTransfer> (wire-friendly).
+  bool transfer_active = false;
+  uint64_t transfer_from = 0;
+  uint64_t transfer_to = 0;
+  Power transfer_power;
+  Duration transfer_remaining;
+  bool awaiting_resync = false;
+  bool in_reset = false;
+  uint32_t boot_count = 0;
+  bool has_fault_state = false;  // False when no fault plan was installed.
+  FaultInjectorState fault;
+};
+
 class SdbMicrocontroller {
  public:
   // Takes ownership of the pack. `seed` drives all measurement noise.
@@ -95,6 +122,13 @@ class SdbMicrocontroller {
   // Returns the boot counter the OS should record.
   uint32_t Resync();
 
+  // Warm-restart hook: marks the controller as freshly power-cycled —
+  // mutating commands are refused until Resync() — and bumps the boot
+  // counter, WITHOUT resetting the ratio tuples or dropping the transfer
+  // (unlike a watchdog Reboot(); the restore path reinstates those from the
+  // snapshot and then completes the handshake itself).
+  void RequireResync();
+
   // Attaches a protection supervisor (non-owning; must outlive the
   // microcontroller, or detach with nullptr). While attached, every tick's
   // per-battery outcome is inspected and faulted batteries are removed from
@@ -127,6 +161,13 @@ class SdbMicrocontroller {
   // Ground-truth access for the emulator and tests (not visible to the OS).
   const BatteryPack& pack() const { return pack_; }
   BatteryPack& mutable_pack() { return pack_; }
+
+  // Checkpoint/restore of the full volatile state (see MicroState). Restore
+  // rejects snapshots whose arity does not match this controller's pack, or
+  // whose fault-injector state does not match the installed plan; it must be
+  // called on a rig built from the same configuration and seeds.
+  MicroState SaveState() const;
+  Status RestoreState(const MicroState& state);
 
  private:
   struct ActiveTransfer {

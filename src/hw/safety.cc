@@ -279,4 +279,30 @@ bool SafetySupervisor::ClearFault(size_t index, const Cell& cell) {
   return true;
 }
 
+SafetySupervisor::SupervisorState SafetySupervisor::SaveState() const {
+  SupervisorState state;
+  state.faults = faults_;
+  state.lifecycle = state_;
+  state.transitions = transitions_;
+  state.transitions_dropped = transitions_dropped_;
+  state.clock = clock_;
+  return state;
+}
+
+Status SafetySupervisor::RestoreState(const SupervisorState& state) {
+  if (state.faults.size() != faults_.size() ||
+      state.lifecycle.size() != state_.size()) {
+    return InvalidArgumentError(
+        "safety supervisor: snapshot sized for " +
+        std::to_string(state.faults.size()) + " batteries, supervisor has " +
+        std::to_string(faults_.size()));
+  }
+  faults_ = state.faults;
+  state_ = state.lifecycle;
+  transitions_ = state.transitions;
+  transitions_dropped_ = state.transitions_dropped;
+  clock_ = state.clock;
+  return Status::Ok();
+}
+
 }  // namespace sdb

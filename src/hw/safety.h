@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/chem/cell.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -108,6 +109,28 @@ class SafetySupervisor {
     FaultKind kind = FaultKind::kNone;
   };
 
+  // Per-battery lifecycle bookkeeping; public so checkpoint snapshots can
+  // carry it (SupervisorState below).
+  struct LifecycleState {
+    BatteryHealth health = BatteryHealth::kHealthy;
+    Duration dwell_remaining;
+    Duration probe_remaining;
+    Duration next_dwell;           // Escalates on probe re-trips.
+    bool condition_clear = false;  // Hysteresis check from the last Inspect.
+    uint64_t trips = 0;
+    uint64_t recoveries = 0;
+  };
+
+  // Complete mutable supervisor state for checkpoint/restore (limits and
+  // recovery doctrine are config).
+  struct SupervisorState {
+    std::vector<FaultRecord> faults;
+    std::vector<LifecycleState> lifecycle;
+    std::vector<Transition> transitions;
+    uint64_t transitions_dropped = 0;
+    Duration clock;
+  };
+
   // One limit set per battery. Default recovery config = latch-only.
   explicit SafetySupervisor(std::vector<SafetyLimits> limits,
                             RecoveryConfig recovery = {});
@@ -148,17 +171,12 @@ class SafetySupervisor {
   const std::vector<Transition>& transitions() const { return transitions_; }
   uint64_t transitions_dropped() const { return transitions_dropped_; }
 
- private:
-  struct LifecycleState {
-    BatteryHealth health = BatteryHealth::kHealthy;
-    Duration dwell_remaining;
-    Duration probe_remaining;
-    Duration next_dwell;           // Escalates on probe re-trips.
-    bool condition_clear = false;  // Hysteresis check from the last Inspect.
-    uint64_t trips = 0;
-    uint64_t recoveries = 0;
-  };
+  // Checkpoint/restore of the lifecycle machine. Restore rejects snapshots
+  // sized for a different battery count.
+  SupervisorState SaveState() const;
+  Status RestoreState(const SupervisorState& state);
 
+ private:
   // Hysteresis: true when the latched condition for `index` has re-entered
   // its limit minus the configured margin.
   bool ConditionCleared(size_t index, const Cell& cell, const StepResult& step) const;

@@ -20,7 +20,8 @@ constexpr const char* kKindNames[] = {
     "quarantine",     "reintegrate",    "resync",           "micro-reboot",
     "micro-brownout", "directive-change", "policy-decision", "degraded-enter",
     "degraded-exit",  "oracle-verdict", "sim-event",        "circuit-event",
-    "check-failure",
+    "check-failure",  "checkpoint-save", "checkpoint-restore",
+    "corruption-detected",
 };
 constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
 

@@ -55,6 +55,9 @@ enum class EventKind : uint8_t {
   kSimEvent,         // Simulator event (depleted, shortfall, transfer end).
   kCircuitEvent,     // Circuit-level edge (shortfall, transfer exhaustion).
   kCheckFailure,     // SDB_CHECK failed (via the check-failure handler).
+  kCheckpointSave,     // A snapshot was written to an A/B slot.
+  kCheckpointRestore,  // A warm restart loaded last-good state.
+  kCorruptionDetected, // A slot failed CRC/version/digest validation.
 };
 
 // Stable kebab-case name for a kind ("safety-trip"); "unknown" for values

@@ -144,16 +144,38 @@ std::string ReadPostmortemManifest(const std::string& dir, PostmortemManifest* m
   std::stringstream buffer;
   buffer << in.rdbuf();
   std::string text = buffer.str();
+  // Structural sanity before field extraction: the manifest is one JSON
+  // object. An empty or non-object file is a corrupt bundle, not a manifest
+  // with defaults.
+  size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || text[first] != '{') {
+    return dir + "/manifest.json is not a JSON object (corrupt bundle?)";
+  }
   PostmortemManifest parsed;
-  FindManifestString(text, "tool", &parsed.tool);
-  FindManifestString(text, "trigger", &parsed.trigger);
+  std::string missing;
+  auto require_string = [&](const char* key, std::string* out) {
+    if (!FindManifestString(text, key, out)) {
+      missing += std::string(missing.empty() ? "" : ", ") + key;
+    }
+  };
+  require_string("tool", &parsed.tool);
+  require_string("trigger", &parsed.trigger);
+  require_string("config_digest", &parsed.config_digest);
+  // Optional fields keep their defaults (a reproducer only exists for fuzz).
   FindManifestString(text, "git_sha", &parsed.git_sha);
-  FindManifestString(text, "config_digest", &parsed.config_digest);
   FindManifestString(text, "reproducer", &parsed.reproducer);
   double seed = 0.0;
   double jobs = 1.0;
-  FindManifestNumber(text, "seed", &seed);
-  FindManifestNumber(text, "jobs", &jobs);
+  if (!FindManifestNumber(text, "seed", &seed)) {
+    missing += std::string(missing.empty() ? "" : ", ") + "seed";
+  }
+  if (!FindManifestNumber(text, "jobs", &jobs)) {
+    missing += std::string(missing.empty() ? "" : ", ") + "jobs";
+  }
+  if (!missing.empty()) {
+    return dir + "/manifest.json is missing key(s): " + missing +
+           " (corrupt or foreign bundle)";
+  }
   parsed.seed = static_cast<uint64_t>(seed);
   parsed.jobs = static_cast<int>(jobs);
   *manifest = std::move(parsed);
@@ -166,15 +188,26 @@ std::string ReadPostmortemEvents(const std::string& dir,
   if (!in) {
     return "cannot open " + dir + "/events.jsonl";
   }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  // A well-formed journal ends with a newline; a file cut mid-line is a
+  // torn write (crash, full disk) and its tail is not trustworthy.
+  bool torn_tail = !text.empty() && text.back() != '\n';
   events->clear();
   size_t bad = 0;
+  size_t lines = 0;
+  bool last_parsed = true;
+  std::istringstream stream(text);
   std::string line;
-  while (std::getline(in, line)) {
+  while (std::getline(stream, line)) {
     if (line.empty()) {
       continue;
     }
+    ++lines;
     JournalEvent event;
-    if (EventFromJsonl(line, &event)) {
+    last_parsed = EventFromJsonl(line, &event);
+    if (last_parsed) {
       events->push_back(std::move(event));
     } else {
       ++bad;
@@ -182,6 +215,14 @@ std::string ReadPostmortemEvents(const std::string& dir,
   }
   if (skipped != nullptr) {
     *skipped = bad;
+  }
+  if (torn_tail && !last_parsed) {
+    return dir + "/events.jsonl ends mid-line (truncated write); " +
+           std::to_string(events->size()) + " event(s) recovered before the tear";
+  }
+  if (lines > 0 && events->empty()) {
+    return dir + "/events.jsonl has no parseable event lines (" +
+           std::to_string(bad) + " malformed)";
   }
   return "";
 }

@@ -59,9 +59,13 @@ std::string WritePostmortemBundle(const std::string& dir,
                                   const std::string& metrics_json,
                                   size_t last_n = 256);
 
-// Readers for `sdbsim blackbox`. Malformed manifest fields default; event
-// lines that fail to parse are skipped (count reported via *skipped when
-// non-null). Both return "" on success, else a message.
+// Readers for `sdbsim blackbox`. The manifest must be a JSON object with
+// the required keys (tool, trigger, seed, jobs, config_digest) — anything
+// else is reported as a corrupt bundle, not silently defaulted; git_sha and
+// reproducer stay optional. Interior event lines that fail to parse are
+// skipped (count via *skipped when non-null), but a file that ends mid-line
+// (torn write) or holds no parseable line at all is an error. Both return
+// "" on success, else a message.
 std::string ReadPostmortemManifest(const std::string& dir,
                                    PostmortemManifest* manifest);
 std::string ReadPostmortemEvents(const std::string& dir,

@@ -1,5 +1,7 @@
 #include "src/os/predictor.h"
 
+#include <string>
+
 #include "src/util/check.h"
 
 namespace sdb {
@@ -31,6 +33,31 @@ std::vector<int> UserSchedulePredictor::RecurringHours() const {
     }
   }
   return recurring;
+}
+
+PredictorState UserSchedulePredictor::SaveState() const {
+  PredictorState state;
+  state.days = days_;
+  state.high_days.reserve(24);
+  state.power_sum_w.reserve(24);
+  for (int h = 0; h < 24; ++h) {
+    state.high_days.push_back(hours_[h].high_days);
+    state.power_sum_w.push_back(hours_[h].power_sum.value());
+  }
+  return state;
+}
+
+Status UserSchedulePredictor::RestoreState(const PredictorState& state) {
+  if (state.high_days.size() != 24 || state.power_sum_w.size() != 24) {
+    return InvalidArgumentError("predictor: snapshot must carry exactly 24 hour slots, got " +
+                                std::to_string(state.high_days.size()));
+  }
+  days_ = static_cast<int>(state.days);
+  for (int h = 0; h < 24; ++h) {
+    hours_[h].high_days = static_cast<int>(state.high_days[h]);
+    hours_[h].power_sum = Watts(state.power_sum_w[h]);
+  }
+  return Status::Ok();
 }
 
 std::optional<WorkloadHint> UserSchedulePredictor::PredictNext(Duration time_of_day) const {

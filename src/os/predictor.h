@@ -7,13 +7,24 @@
 #ifndef SRC_OS_PREDICTOR_H_
 #define SRC_OS_PREDICTOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "src/core/workload_aware.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 
 namespace sdb {
+
+// Learned schedule state for checkpoint/restore: the observed-day count and
+// the 24 per-hour recurrence accumulators, flattened into parallel vectors
+// (wire-friendly; always exactly 24 entries).
+struct PredictorState {
+  int64_t days = 0;
+  std::vector<int64_t> high_days;
+  std::vector<double> power_sum_w;
+};
 
 struct PredictorConfig {
   // How far ahead a predicted event produces a hint.
@@ -41,6 +52,11 @@ class UserSchedulePredictor {
 
   // Recurring high-power hours learned so far (0-23).
   std::vector<int> RecurringHours() const;
+
+  // Checkpoint/restore of the learned schedule. Restore rejects vectors not
+  // sized for 24 hours.
+  PredictorState SaveState() const;
+  [[nodiscard]] Status RestoreState(const PredictorState& state);
 
  private:
   PredictorConfig config_;

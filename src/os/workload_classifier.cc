@@ -70,6 +70,28 @@ WorkloadClass WorkloadClassifier::Classify() const {
   return WorkloadClass::kInteractive;
 }
 
+std::vector<double> WorkloadClassifier::SaveState() const {
+  std::vector<double> samples;
+  samples.reserve(window_.size());
+  for (size_t i = 0; i < window_.size(); ++i) {
+    samples.push_back(window_.At(i));
+  }
+  return samples;
+}
+
+Status WorkloadClassifier::RestoreState(const std::vector<double>& samples_w) {
+  if (samples_w.size() > window_.capacity()) {
+    return InvalidArgumentError("workload classifier: snapshot carries " +
+                                std::to_string(samples_w.size()) + " samples, window holds " +
+                                std::to_string(window_.capacity()));
+  }
+  window_.Clear();
+  for (double w : samples_w) {
+    window_.Push(w);
+  }
+  return Status::Ok();
+}
+
 std::string WorkloadClassifier::SuggestedSituation() const {
   switch (Classify()) {
     case WorkloadClass::kIdle:

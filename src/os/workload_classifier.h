@@ -8,8 +8,10 @@
 #define SRC_OS_WORKLOAD_CLASSIFIER_H_
 
 #include <string>
+#include <vector>
 
 #include "src/util/ring_buffer.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 
 namespace sdb {
@@ -54,6 +56,11 @@ class WorkloadClassifier {
   // interactive -> "interactive", sustained -> "low-battery" stretching,
   // peak -> "performance".
   std::string SuggestedSituation() const;
+
+  // Checkpoint/restore of the rolling window: samples in watts, oldest
+  // first. Restore rejects more samples than the configured window holds.
+  std::vector<double> SaveState() const;
+  [[nodiscard]] Status RestoreState(const std::vector<double>& samples_w);
 
  private:
   WorkloadClassifierConfig config_;

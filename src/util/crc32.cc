@@ -1,0 +1,37 @@
+#include "src/util/crc32.h"
+
+namespace sdb {
+namespace {
+
+// 256-entry table for the reflected polynomial 0xEDB88320, built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+}  // namespace sdb

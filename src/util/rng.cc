@@ -81,6 +81,24 @@ uint64_t Rng::NextBounded(uint64_t bound) {
   }
 }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) {
+    s.state[i] = state_[i];
+  }
+  s.has_cached_gaussian = has_cached_gaussian_;
+  s.cached_gaussian = cached_gaussian_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = state.state[i];
+  }
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 bool Rng::Bernoulli(double p) {
   if (p <= 0.0) {
     return false;

@@ -10,6 +10,15 @@
 
 namespace sdb {
 
+// Complete serializable Rng state: the Xoshiro words plus the Box-Muller
+// pair cache. Restoring this mid-stream resumes the exact draw sequence,
+// which the checkpoint subsystem relies on for bit-identical warm restarts.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 // Xoshiro256** by Blackman & Vigna — small, fast, good statistical quality.
 class Rng {
  public:
@@ -35,6 +44,10 @@ class Rng {
 
   // True with probability p (clamped to [0,1]).
   bool Bernoulli(double p);
+
+  // Snapshot / restore of the full generator state (checkpointing).
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

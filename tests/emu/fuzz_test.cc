@@ -118,6 +118,59 @@ TEST(FuzzTest, ParseRejectsMalformedLines) {
   EXPECT_FALSE(ParseFuzzCase("pack=ev-burst seed=1 wat=1").ok());
   EXPECT_FALSE(
       ParseFuzzCase("pack=ev-burst seed=1 fault=not-a-kind:0:1:0:0:1").ok());
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst crash=pre-allocate:none").ok());
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst crash=nowhere:none:10").ok());
+  EXPECT_FALSE(
+      ParseFuzzCase("pack=ev-burst crash=pre-allocate:shredded:10").ok());
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst flip=10:0.5").ok());
+  EXPECT_FALSE(ParseFuzzCase("pack=ev-burst flip=ten:0.5:0.5").ok());
+}
+
+TEST(FuzzTest, CrashAndFlipTokensRoundTrip) {
+  FuzzCase fuzz_case;
+  fuzz_case.pack = "fastcharge-tablet";
+  fuzz_case.seed = 9;
+  fuzz_case.crashes.push_back(CrashEvent{Seconds(120.5),
+                                         CrashBarrier::kPreAllocate,
+                                         TornWriteKind::kNone});
+  fuzz_case.crashes.push_back(CrashEvent{Seconds(333.25),
+                                         CrashBarrier::kMidCheckpointWrite,
+                                         TornWriteKind::kTruncate});
+  fuzz_case.flips.push_back(
+      DirectiveFlip{Seconds(200.0), 0.1 + 0.2, 1.0 / 3.0});
+  std::string line = FormatFuzzCase(fuzz_case);
+  auto parsed = ParseFuzzCase(line);
+  ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().message();
+  ASSERT_EQ(parsed->crashes.size(), 2u);
+  EXPECT_EQ(parsed->crashes[1].barrier, CrashBarrier::kMidCheckpointWrite);
+  EXPECT_EQ(parsed->crashes[1].torn, TornWriteKind::kTruncate);
+  ASSERT_EQ(parsed->flips.size(), 1u);
+  EXPECT_EQ(parsed->flips[0].discharging, 0.1 + 0.2);
+  EXPECT_EQ(parsed->flips[0].charging, 1.0 / 3.0);
+  EXPECT_EQ(FormatFuzzCase(*parsed), line);
+}
+
+TEST(FuzzTest, OldReproducerLinesStillParse) {
+  // Corpus lines written before the crash/flip dimensions existed carry no
+  // crash=/flip= tokens and must keep replaying unchanged.
+  auto parsed = ParseFuzzCase(
+      "pack=phone-day seed=5 dch=0.05 chg=0.5 p:capacity_mah=1000 p:scale=3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed->crashes.empty());
+  EXPECT_TRUE(parsed->flips.empty());
+}
+
+TEST(FuzzTest, SampledCrashSchedulesRoundTrip) {
+  FuzzConfig config = ShortConfig();
+  config.crash_probability = 1.0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FuzzCase sampled = SampleFuzzCase(config, seed);
+    EXPECT_FALSE(sampled.crashes.empty());
+    std::string line = FormatFuzzCase(sampled);
+    auto parsed = ParseFuzzCase(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().message();
+    EXPECT_EQ(FormatFuzzCase(*parsed), line);
+  }
 }
 
 TEST(FuzzTest, CorpusRoundTripsWithCommentsAndBlanks) {
@@ -153,6 +206,9 @@ TEST(FuzzTest, ShrinkerConvergesOnASyntheticPredicate) {
                                 .battery = 0,
                                 .magnitude = 2.0});
   }
+  noisy.crashes.push_back(CrashEvent{Seconds(60.0), CrashBarrier::kPostAllocate,
+                                     TornWriteKind::kNone});
+  noisy.flips.push_back(DirectiveFlip{Seconds(90.0), 0.3, 0.7});
   auto fails = [](const FuzzCase& c) {
     return c.overrides.count("keep_me") > 0;
   };
@@ -160,11 +216,14 @@ TEST(FuzzTest, ShrinkerConvergesOnASyntheticPredicate) {
   FuzzCase minimal = ShrinkFuzzCaseWith(noisy, fails, /*budget=*/64, &steps);
   EXPECT_TRUE(fails(minimal));
   EXPECT_TRUE(minimal.faults.empty());
+  EXPECT_TRUE(minimal.crashes.empty());
+  EXPECT_TRUE(minimal.flips.empty());
   EXPECT_EQ(minimal.overrides.size(), 1u);
   EXPECT_EQ(minimal.overrides.count("keep_me"), 1u);
   EXPECT_EQ(minimal.directives.discharging, 0.5);
   EXPECT_EQ(minimal.directives.charging, 0.5);
-  EXPECT_GE(steps, 7);  // 3 events + 2 overrides + 2 directive snaps.
+  // 3 fault events + 1 crash + 1 flip + 2 overrides + 2 directive snaps.
+  EXPECT_GE(steps, 9);
 }
 
 TEST(FuzzTest, ShrinkerRespectsTheBudget) {
@@ -187,6 +246,53 @@ TEST(FuzzTest, CleanCaseHasNoViolations) {
   auto parsed = ParseFuzzCase("pack=ambient-sensor-nimh seed=4 dch=0.5 chg=0.5");
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(EvaluateFuzzCase(*parsed, config).empty());
+}
+
+TEST(FuzzTest, CrashEquivalenceOracleHoldsThroughDeathsAndTornWrites) {
+  // A case with a mid-run directive flip, a post-allocate death and a
+  // mid-checkpoint-write death that bit-flips the image: the crash twin
+  // must warm-restart (falling back past the torn slot) and still finish
+  // bit-identical to the never-crashed run — and do so deterministically.
+  FuzzConfig config;
+  config.horizon_cap = Hours(1.0);
+  FuzzCase fuzz_case;
+  fuzz_case.pack = "fastcharge-tablet";
+  fuzz_case.seed = 11;
+  fuzz_case.directives.discharging = 0.6;
+  fuzz_case.directives.charging = 0.4;
+  fuzz_case.crashes.push_back(CrashEvent{
+      Seconds(600.0), CrashBarrier::kPostAllocate, TornWriteKind::kNone});
+  fuzz_case.crashes.push_back(CrashEvent{Seconds(1500.0),
+                                         CrashBarrier::kMidCheckpointWrite,
+                                         TornWriteKind::kBitFlip});
+  fuzz_case.flips.push_back(DirectiveFlip{Seconds(1200.0), 0.2, 0.8});
+
+  std::vector<obs::JournalEvent> journal;
+  std::vector<FuzzViolation> first =
+      EvaluateFuzzCase(fuzz_case, config, &journal);
+  for (const FuzzViolation& violation : first) {
+    EXPECT_NE(violation.oracle, "crash-divergence") << violation.detail;
+    EXPECT_NE(violation.oracle, "crash-restore") << violation.detail;
+    EXPECT_NE(violation.oracle, "crash-save") << violation.detail;
+  }
+  std::vector<FuzzViolation> second = EvaluateFuzzCase(fuzz_case, config);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].oracle, second[i].oracle);
+    EXPECT_EQ(first[i].detail, second[i].detail);
+  }
+#if SDB_JOURNAL
+  // The twin actually died and restarted — no vacuous pass.
+  bool saw_crash = false;
+  bool saw_restart = false;
+  for (const obs::JournalEvent& event : journal) {
+    const std::string line = obs::EventToJsonl(event);
+    saw_crash = saw_crash || line.find("crash-injected") != std::string::npos;
+    saw_restart = saw_restart || line.find("warm-restart") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_restart);
+#endif
 }
 
 TEST(FuzzTest, KnownBadIsFoundShrunkAndMinimal) {

@@ -168,6 +168,50 @@ TEST(ScenarioPackTest, ImportedCsvFeedsAPack) {
   EXPECT_DOUBLE_EQ(spec->load.TotalDuration().value(), 86400.0 + 7200.0 + 43200.0);
 }
 
+TEST(ScenarioPackTest, SupplyStartDelaysTheTabletWallSupply) {
+  // Default (supply_start_h=0) keeps the historical always-on supply.
+  auto base = ExpandScenario("fastcharge-tablet", {}, /*seed=*/4);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+  EXPECT_GT(base->supply.Sample(Seconds(1.0)).value(), 0.0);
+
+  auto delayed =
+      ExpandScenario("fastcharge-tablet", {{"supply_start_h", 2.0}}, /*seed=*/4);
+  ASSERT_TRUE(delayed.ok()) << delayed.status().message();
+  // Unplugged before the start hour, on wall power after it.
+  EXPECT_DOUBLE_EQ(delayed->supply.Sample(Hours(1.0)).value(), 0.0);
+  EXPECT_GT(delayed->supply.Sample(Hours(3.0)).value(), 0.0);
+  // The knob only reshapes the supply: load and horizon stay put.
+  EXPECT_EQ(FormatPowerTraceCsv(delayed->load), FormatPowerTraceCsv(base->load));
+  EXPECT_EQ(delayed->supply.TotalDuration().value(),
+            base->supply.TotalDuration().value());
+}
+
+TEST(ScenarioPackTest, SpikeWSwapsOneMidDriveBurst) {
+  // spike_w=0 (the default) must not perturb the trace at all — the jitter
+  // draw is unconditional, so the RNG stream is shared.
+  auto base = ExpandScenario("ev-burst", {}, /*seed=*/6);
+  auto zero = ExpandScenario("ev-burst", {{"spike_w", 0.0}}, /*seed=*/6);
+  ASSERT_TRUE(base.ok() && zero.ok());
+  ExpectSpecsIdentical(*base, *zero);
+
+  // A 400 W spike dwarfs every jittered burst, so it must own the peak, and
+  // it lands in the second half of the drive.
+  auto spiked = ExpandScenario("ev-burst", {{"spike_w", 400.0}}, /*seed=*/6);
+  ASSERT_TRUE(spiked.ok()) << spiked.status().message();
+  EXPECT_DOUBLE_EQ(spiked->load.PeakPower().value(), 400.0);
+  EXPECT_LT(base->load.PeakPower().value(), 400.0);
+  Duration horizon = spiked->load.TotalDuration();
+  EXPECT_LT(spiked->load.Sample(Seconds(0.5)).value(), 400.0);
+  bool found = false;
+  for (double t = 0.5 * horizon.value(); t < horizon.value(); t += 1.0) {
+    if (spiked->load.Sample(Seconds(t)).value() > 399.0) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(ScenarioPackTest, RunScenarioIsDeterministic) {
   auto spec = ExpandScenario("ambient-sensor-nimh", {{"days", 0.25}}, 21);
   ASSERT_TRUE(spec.ok()) << spec.status().message();

@@ -138,6 +138,102 @@ TEST(PostmortemBundleTest, SkipsMalformedEventLinesAndCountsThem) {
   EXPECT_EQ(read_events[1].what, "also-good");
 }
 
+// --- Corrupt-bundle fixtures ------------------------------------------------
+// A bundle on disk can be damaged in ways the writer never produces: a
+// truncated events.jsonl (crash or full disk mid-write), a manifest that is
+// not JSON, or a manifest missing required keys. Each must surface a clear
+// error message — never a crash, never silently-defaulted garbage.
+
+std::filesystem::path MakeBundle(const std::string& name, size_t events = 2) {
+  std::filesystem::path dir = UniqueDir(name);
+  PostmortemManifest manifest;
+  manifest.tool = "sdbsim soak";
+  manifest.trigger = "soak-violation";
+  manifest.seed = 7;
+  manifest.config_digest = DigestConfig("soak --seed 7");
+  std::vector<JournalEvent> all;
+  for (uint64_t i = 0; i < events; ++i) {
+    all.push_back(MakeEvent(i, "e" + std::to_string(i)));
+  }
+  EXPECT_EQ(WritePostmortemBundle(dir.string(), manifest, all, "{}"), "");
+  return dir;
+}
+
+TEST(CorruptBundleTest, TruncatedEventsTailIsAnError) {
+  std::filesystem::path dir = MakeBundle("bundle_torn_tail", 3);
+  std::string text = ReadWholeFile(dir / "events.jsonl");
+  ASSERT_GT(text.size(), 10u);
+  {
+    std::ofstream out(dir / "events.jsonl", std::ios::trunc);
+    out << text.substr(0, text.size() - 10);  // Cut mid-line, no newline.
+  }
+  std::vector<JournalEvent> events;
+  size_t skipped = 0;
+  std::string error = ReadPostmortemEvents(dir.string(), &events, &skipped);
+  ASSERT_NE(error, "");
+  EXPECT_NE(error.find("mid-line"), std::string::npos) << error;
+  // Everything before the tear was still recovered for display.
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(CorruptBundleTest, AllMalformedEventLinesIsAnError) {
+  std::filesystem::path dir = MakeBundle("bundle_all_bad", 1);
+  {
+    std::ofstream out(dir / "events.jsonl", std::ios::trunc);
+    out << "not json\n{\"also\":\"not an event\"}\n";
+  }
+  std::vector<JournalEvent> events;
+  size_t skipped = 0;
+  std::string error = ReadPostmortemEvents(dir.string(), &events, &skipped);
+  ASSERT_NE(error, "");
+  EXPECT_NE(error.find("no parseable"), std::string::npos) << error;
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(CorruptBundleTest, EmptyEventsFileIsFine) {
+  // A run that journaled nothing writes a zero-line file; that is a valid
+  // (if boring) bundle, not corruption.
+  std::filesystem::path dir = MakeBundle("bundle_no_events", 0);
+  std::vector<JournalEvent> events = {MakeEvent(0, "stale")};
+  ASSERT_EQ(ReadPostmortemEvents(dir.string(), &events), "");
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(CorruptBundleTest, NonJsonManifestIsAnError) {
+  std::filesystem::path dir = MakeBundle("bundle_manifest_garbage");
+  {
+    std::ofstream out(dir / "manifest.json", std::ios::trunc);
+    out << "<html>definitely not a manifest</html>\n";
+  }
+  PostmortemManifest manifest;
+  std::string error = ReadPostmortemManifest(dir.string(), &manifest);
+  ASSERT_NE(error, "");
+  EXPECT_NE(error.find("not a JSON object"), std::string::npos) << error;
+}
+
+TEST(CorruptBundleTest, MissingManifestKeysAreNamedInTheError) {
+  std::filesystem::path dir = MakeBundle("bundle_manifest_missing");
+  {
+    std::ofstream out(dir / "manifest.json", std::ios::trunc);
+    out << "{\"tool\":\"sdbsim soak\",\"jobs\":2}\n";  // No trigger/seed/digest.
+  }
+  PostmortemManifest manifest;
+  std::string error = ReadPostmortemManifest(dir.string(), &manifest);
+  ASSERT_NE(error, "");
+  EXPECT_NE(error.find("trigger"), std::string::npos) << error;
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  EXPECT_NE(error.find("config_digest"), std::string::npos) << error;
+}
+
+TEST(CorruptBundleTest, EmptyManifestFileIsAnError) {
+  std::filesystem::path dir = MakeBundle("bundle_manifest_empty");
+  {
+    std::ofstream out(dir / "manifest.json", std::ios::trunc);
+  }
+  PostmortemManifest manifest;
+  EXPECT_NE(ReadPostmortemManifest(dir.string(), &manifest), "");
+}
+
 TEST(PostmortemBundleTest, ReadersReportMissingBundles) {
   std::string missing = UniqueDir("no_such_bundle").string();
   PostmortemManifest manifest;

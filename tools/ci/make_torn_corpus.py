@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Regenerates the committed torn-write corpus under tests/core/testdata/.
+
+Each case directory holds an A/B slot pair (snap.a, snap.b) in the
+SDBCKPT1 container format: one slot carries a specific class of damage
+(torn tail, flipped bit, zeroed extent, schema skew, ...) and the other
+a valid snapshot, so `sdbsim crash --corpus` / ValidateTornCorpus must
+both detect the damage and recover from the survivor.
+
+The script is fully deterministic (no randomness, no timestamps): running
+it twice produces byte-identical files, so the corpus is committed and
+any diff after a rerun is a format change that needs review.
+
+Usage: tools/ci/make_torn_corpus.py [--out DIR]
+"""
+
+import argparse
+import pathlib
+import shutil
+import struct
+import zlib
+
+MAGIC = 0x3154504B43424453  # "SDBCKPT1" little-endian.
+FORMAT_VERSION = 1
+# Must match kTornCorpusDigest in src/emu/crash.h.
+CORPUS_DIGEST = 0xC0DE50AB0B5EED
+
+SECTION_MICRO = 1
+SECTION_RUNTIME = 4
+
+
+def pattern_bytes(length, salt):
+    """Deterministic pseudo-random-looking payload filler."""
+    out = bytearray()
+    state = (salt * 2654435761) & 0xFFFFFFFF
+    for _ in range(length):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        out.append((state >> 16) & 0xFF)
+    return bytes(out)
+
+
+def encode_snapshot(generation, digest=CORPUS_DIGEST, version=FORMAT_VERSION,
+                    reserved=0):
+    payload = b""
+    for section_id, body in (
+        (SECTION_MICRO, pattern_bytes(96, generation * 7 + 1)),
+        (SECTION_RUNTIME, pattern_bytes(48, generation * 7 + 2)),
+    ):
+        payload += struct.pack("<IQ", section_id, len(body)) + body
+    tail = struct.pack("<QQQ", digest, generation, len(payload)) + payload
+    crc = zlib.crc32(tail) & 0xFFFFFFFF
+    header = struct.pack("<QHHI", MAGIC, version, reserved, crc)
+    return header + tail
+
+
+def flip_bit(image, byte_pos, bit):
+    out = bytearray(image)
+    out[byte_pos] ^= 1 << bit
+    return bytes(out)
+
+
+def zero_range(image, start, length):
+    out = bytearray(image)
+    out[start:start + length] = b"\x00" * length
+    return bytes(out)
+
+
+def build_cases():
+    """Returns {case_name: {slot_file: image_bytes}}.
+
+    Slot A holds generation 1, slot B generation 2 (matching the store's
+    A-first write order); the damaged side alternates so both fallback
+    directions are exercised.
+    """
+    a = encode_snapshot(1)
+    b = encode_snapshot(2)
+    cases = {}
+
+    # Torn tail: the end of the image never hit the device.
+    cases["case01-truncate-tail"] = {"snap.a": a[: len(a) // 2], "snap.b": b}
+    # A single payload bit landed wrong: CRC mismatch.
+    cases["case02-bitflip-payload"] = {"snap.a": a, "snap.b": flip_bit(b, len(b) - 5, 3)}
+    # A flipped bit inside the checksummed header fields (config digest).
+    cases["case03-bitflip-header"] = {"snap.a": flip_bit(a, 17, 0), "snap.b": b}
+    # A middle extent never flushed and reads back as zeros.
+    cases["case04-zero-extent"] = {"snap.a": a, "snap.b": zero_range(b, 48, 24)}
+    # Wrong magic: not a snapshot at all.
+    cases["case05-bad-magic"] = {"snap.a": flip_bit(a, 0, 1), "snap.b": b}
+    # Newer format version, CRC intact: schema skew, not corruption.
+    cases["case06-newer-version"] = {
+        "snap.a": encode_snapshot(1, version=FORMAT_VERSION + 1),
+        "snap.b": b,
+    }
+    # Valid snapshot from a different rig (config digest mismatch).
+    cases["case07-foreign-digest"] = {
+        "snap.a": a,
+        "snap.b": encode_snapshot(2, digest=CORPUS_DIGEST ^ 0xA5A5),
+    }
+    # Unstructured garbage where a snapshot should be.
+    cases["case08-garbage"] = {"snap.a": pattern_bytes(200, 99), "snap.b": b}
+    # Nonzero reserved header bytes (outside the CRC range; the decoder
+    # must reject them structurally).
+    cases["case09-reserved-nonzero"] = {
+        "snap.a": encode_snapshot(1, reserved=0x4141),
+        "snap.b": b,
+    }
+    # Image shorter than the fixed header.
+    cases["case10-short-header"] = {"snap.a": a, "snap.b": b[:10]}
+    return cases
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "tests" / "core" / "testdata" / "torn_corpus"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=default_out)
+    args = parser.parse_args()
+
+    if args.out.exists():
+        shutil.rmtree(args.out)
+    for name, slots in sorted(build_cases().items()):
+        case_dir = args.out / name
+        case_dir.mkdir(parents=True)
+        for slot_file, image in sorted(slots.items()):
+            (case_dir / slot_file).write_bytes(image)
+        print(f"wrote {case_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@
 #include "src/emu/monte_carlo.h"
 #include "src/emu/scenario_pack.h"
 #include "src/emu/simulator.h"
+#include "src/emu/crash.h"
 #include "src/emu/soak.h"
 #include "src/emu/trace_io.h"
 #include "src/emu/workload.h"
@@ -176,6 +177,10 @@ struct Args {
   int jobs = 0;   // Sweep workers: 0 = auto (SDB_THREADS / hardware).
   int schedules = 20;       // Randomized fault schedules for `soak`.
   double period_min = 10.0; // Runtime replan period for `soak`, minutes.
+  // `crash` (DESIGN.md §16):
+  double checkpoint_min = 5.0;  // --checkpoint-period MIN
+  int max_crashes = 3;          // --max-crashes per schedule
+  std::string crash_corpus;     // --corpus DIR: validate a torn-write corpus.
   std::vector<std::string> faults;  // Fault specs for `faults`.
   std::string trace_out;    // Chrome trace JSON (for `trace`).
   std::string metrics_out;  // MetricsRegistry JSON, written by any command.
@@ -301,6 +306,15 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--period") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.period_min = std::atof(value);
+    } else if (flag == "--checkpoint-period") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.checkpoint_min = std::atof(value);
+    } else if (flag == "--max-crashes") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.max_crashes = std::atoi(value);
+    } else if (flag == "--corpus") {
+      if ((value = next()) == nullptr) return std::nullopt;
+      args.crash_corpus = value;
     } else if (flag == "--fault") {
       if ((value = next()) == nullptr) return std::nullopt;
       args.faults.push_back(value);
@@ -373,6 +387,7 @@ struct FlightContext {
   std::string config_digest;  // DigestConfig over the full flag line.
   obs::EventJournal journal{4096};
   bool written = false;
+  bool failed = false;  // A requested bundle could not be written.
 };
 
 FlightContext* g_flight = nullptr;
@@ -395,10 +410,14 @@ void WriteFlightBundle(const std::string& trigger,
   std::string error = obs::WritePostmortemBundle(
       g_flight->dir, manifest, events, obs::MetricsRegistry::Global().ToJson());
   if (!error.empty()) {
+    // The user asked for a bundle and did not get one: surface it in the
+    // exit code (main checks `failed`), not just on stderr.
     std::fprintf(stderr, "sdbsim: %s\n", error.c_str());
+    g_flight->failed = true;
     return;
   }
   g_flight->written = true;
+  g_flight->failed = false;
   std::printf("flight recorder: bundle written to %s (trigger %s, %zu event(s))\n",
               g_flight->dir.c_str(), trigger.c_str(), events.size());
 }
@@ -430,6 +449,7 @@ int CmdSimulate(const Args& args);
 int CmdSweep(const Args& args);
 int CmdFaults(const Args& args);
 int CmdSoak(const Args& args);
+int CmdCrash(const Args& args);
 int CmdTrace(const Args& args);
 int CmdPlanCharge(const Args& args);
 int CmdPlanDischarge(const Args& args);
@@ -495,6 +515,17 @@ const CommandInfo kCommands[] = {
      "         (randomized fault schedules on the recovery rig;\n"
      "          per-tick invariants; exit 1 on any violation)\n",
      CmdSoak},
+    {"crash", "crash-recovery soak: seeded kill points + torn checkpoint writes",
+     "  sdbsim crash [--seed N] [--schedules N] [--hours H] [--jobs N]\n"
+     "         [--tick S] [--period MIN] [--checkpoint-period MIN]\n"
+     "         [--max-crashes N]\n"
+     "  sdbsim crash --corpus DIR\n"
+     "         (every schedule dies at seeded kill points, warm-restarts from\n"
+     "          the A/B checkpoint store and must finish bit-identical to its\n"
+     "          never-crashed baseline; --corpus instead validates a committed\n"
+     "          torn-write corpus — every damaged slot detected AND recovered;\n"
+     "          exit 1 on any violation)\n",
+     CmdCrash},
     {"trace", "traced run exported as Chrome trace-event JSON",
      "  sdbsim trace --trace-out RUN.json [--metrics-out METRICS.json]\n"
      "         [--battery NAME[:MAH] ... | --pack FILE]\n"
@@ -597,6 +628,11 @@ bool WriteHourlyCsv(const std::string& path, const SimResult& result) {
         << stats.link_retries << "," << stats.link_failures << "," << stats.stale_updates
         << "\n";
   }
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "sdbsim: short write to %s\n", path.c_str());
+    return false;
+  }
   std::printf("hourly breakdown written to %s\n", path.c_str());
   return true;
 }
@@ -611,6 +647,11 @@ bool WriteTimelineFile(const std::string& path, const obs::Timeline& timeline) {
   }
   bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
   out << (csv ? timeline.ToCsv() : timeline.ToJson() + "\n");
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "sdbsim: short write to %s\n", path.c_str());
+    return false;
+  }
   std::printf("timeline written to %s (%zu sample(s), period %.0f s)\n",
               path.c_str(), timeline.size(), timeline.period_s());
   return true;
@@ -997,6 +1038,103 @@ int CmdSoak(const Args& args) {
   for (const SoakScheduleReport& s : report.schedules) {
     if (!s.violations.empty() || s.violations_dropped > 0) {
       WriteFlightBundle("soak-violation", s.journal, std::string());
+      break;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
+// Crash-recovery soak (DESIGN.md §16): every schedule dies at seeded kill
+// points (optionally tearing the checkpoint write), warm-restarts from the
+// A/B store and must finish bit-identical to its never-crashed baseline.
+// With --corpus DIR the command instead walks a committed torn-write corpus
+// through the checkpoint store: every damaged slot must be detected and
+// every case must still recover from the surviving slot.
+int CmdCrash(const Args& args) {
+  if (!args.crash_corpus.empty()) {
+    StatusOr<std::vector<CorpusCaseResult>> results =
+        ValidateTornCorpus(args.crash_corpus);
+    if (!results.ok()) {
+      std::fprintf(stderr, "sdbsim: %s\n", results.status().ToString().c_str());
+      return 2;
+    }
+    TextTable table({"case", "detected", "recovered", "detail"});
+    int failures = 0;
+    for (const CorpusCaseResult& result : *results) {
+      table.AddRow({result.name, result.detected ? "yes" : "NO",
+                    result.recovered ? "yes" : "NO", result.detail});
+      if (!result.ok()) {
+        ++failures;
+      }
+    }
+    table.Print(std::cout);
+    std::printf("corpus %s: %zu case(s), %d failure(s)\n",
+                args.crash_corpus.c_str(), results->size(), failures);
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (args.schedules <= 0) {
+    std::fprintf(stderr, "sdbsim: --schedules must be positive\n");
+    return 2;
+  }
+  if (args.max_crashes <= 0) {
+    std::fprintf(stderr, "sdbsim: --max-crashes must be positive\n");
+    return 2;
+  }
+  if (args.checkpoint_min <= 0.0) {
+    std::fprintf(stderr, "sdbsim: --checkpoint-period must be positive\n");
+    return 2;
+  }
+  CrashConfig config;
+  config.base_seed = args.seed;
+  config.schedules = args.schedules;
+  config.jobs = args.jobs;
+  if (args.hours > 0.0) {
+    config.horizon = Hours(args.hours);
+  }
+  config.tick = Seconds(args.tick_s > 0.0 ? args.tick_s : 10.0);
+  config.runtime_period = Minutes(args.period_min);
+  config.checkpoint_period = Minutes(args.checkpoint_min);
+  config.max_crashes = args.max_crashes;
+
+  std::printf("crash: %d schedule(s), seeds %llu..%llu, horizon %.2f h, "
+              "checkpoint every %.1f min, <=%d crash(es)/schedule, jobs %d\n",
+              config.schedules, static_cast<unsigned long long>(config.base_seed),
+              static_cast<unsigned long long>(config.base_seed + config.schedules - 1),
+              ToHours(config.horizon), config.checkpoint_period.value() / 60.0,
+              config.max_crashes, config.jobs);
+  CrashReport report = RunCrashSoak(config);
+
+  TextTable table({"seed", "planned", "fired", "warm", "cold", "torn", "corrupt",
+                   "fallback", "drift", "status"});
+  for (const CrashScheduleReport& s : report.schedules) {
+    std::string status = !s.completed           ? "INCOMPLETE"
+                         : !s.violations.empty() ? "VIOLATED"
+                         : s.identical           ? "identical"
+                                                 : "DIVERGED";
+    table.AddRow({std::to_string(s.seed), std::to_string(s.planned_crashes),
+                  std::to_string(s.crashes_fired), std::to_string(s.warm_restarts),
+                  std::to_string(s.cold_restarts), std::to_string(s.torn_writes),
+                  std::to_string(s.corrupt_slots), std::to_string(s.slot_fallbacks),
+                  std::to_string(s.drift_fields), status});
+  }
+  table.Print(std::cout);
+
+  for (const CrashScheduleReport& s : report.schedules) {
+    for (const CrashViolation& v : s.violations) {
+      std::printf("violation: seed %llu [%s] %s\n",
+                  static_cast<unsigned long long>(v.seed), v.check.c_str(),
+                  v.detail.c_str());
+    }
+  }
+  std::printf("crash fingerprint: %016llx (%llu violation(s))\n",
+              static_cast<unsigned long long>(report.fingerprint),
+              static_cast<unsigned long long>(report.total_violations));
+  // Post-mortem: the first violating schedule's own journal (deterministic
+  // per seed, independent of --jobs), trigger "crash-oracle".
+  for (const CrashScheduleReport& s : report.schedules) {
+    if (!s.violations.empty()) {
+      WriteFlightBundle("crash-oracle", s.journal, std::string());
       break;
     }
   }
@@ -1426,6 +1564,11 @@ int CmdFuzz(const Args& args) {
         ++written;
       }
     }
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "sdbsim: short write to %s\n", args.corpus_out.c_str());
+      return 2;
+    }
     std::printf("corpus: %zu failing reproducer(s) written to %s\n", written,
                 args.corpus_out.c_str());
   }
@@ -1496,6 +1639,11 @@ int CmdBlackbox(const Args& args) {
   table.Print(std::cout);
   std::printf("%zu/%zu event(s) shown (%zu malformed line(s) skipped)\n", shown,
               events.size(), skipped);
+  if (skipped > 0) {
+    std::fprintf(stderr, "sdbsim: bundle %s holds %zu malformed event line(s)\n",
+                 args.pack_name.c_str(), skipped);
+    return 1;  // The bundle rendered, but it is damaged — say so loudly.
+  }
   return 0;
 }
 
@@ -1554,6 +1702,9 @@ int main(int argc, char** argv) {
     }
     sdb::SetCheckFailureHandler(nullptr);
     g_flight = nullptr;
+    if (flight.failed && rc == 0) {
+      rc = 2;  // --flight-out was requested but no bundle landed on disk.
+    }
   }
   // Any command can dump the process-wide metrics registry on exit.
   if (!args->metrics_out.empty()) {
@@ -1563,6 +1714,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << sdb::obs::MetricsRegistry::Global().ToJson() << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "sdbsim: short write to %s\n", args->metrics_out.c_str());
+      return 2;
+    }
     std::printf("metrics written to %s\n", args->metrics_out.c_str());
   }
   return rc;
